@@ -1,0 +1,164 @@
+//! Degree-of-adaptiveness studies (Sections 3.4, 4.1 and 5).
+
+use turnroute_core::adaptiveness::{
+    abonf_shortest_paths, abopl_shortest_paths, fully_adaptive_shortest_paths,
+    hypercube_fully_adaptive_shortest_paths, negative_first_shortest_paths,
+    north_last_shortest_paths, pcube_shortest_paths, west_first_shortest_paths,
+};
+use turnroute_topology::{NodeId, Topology};
+
+/// Summary adaptiveness statistics for one algorithm on one topology.
+#[derive(Debug, Clone)]
+pub struct AdaptivenessRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean of `S_p / S_f` over all ordered pairs of distinct nodes.
+    pub avg_ratio: f64,
+    /// Fraction of pairs with `S_p = 1` (a single allowed shortest
+    /// path). The paper notes this is at least half for the 2D
+    /// algorithms.
+    pub single_path_fraction: f64,
+    /// Mean `S_p` over all pairs.
+    pub avg_paths: f64,
+}
+
+/// Computes an [`AdaptivenessRow`] from a per-pair `(S_p, S_f)` oracle.
+pub fn adaptiveness_row(
+    topo: &dyn Topology,
+    algorithm: &str,
+    ratio: impl Fn(NodeId, NodeId) -> (u128, u128),
+) -> AdaptivenessRow {
+    let mut sum_ratio = 0.0;
+    let mut singles = 0u64;
+    let mut sum_paths = 0.0;
+    let mut pairs = 0u64;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s == d {
+                continue;
+            }
+            let (sp, sf) = ratio(s, d);
+            sum_ratio += sp as f64 / sf as f64;
+            sum_paths += sp as f64;
+            if sp == 1 {
+                singles += 1;
+            }
+            pairs += 1;
+        }
+    }
+    AdaptivenessRow {
+        algorithm: algorithm.to_owned(),
+        avg_ratio: sum_ratio / pairs as f64,
+        single_path_fraction: singles as f64 / pairs as f64,
+        avg_paths: sum_paths / pairs as f64,
+    }
+}
+
+/// The Section 3.4 study for a 2D mesh: west-first, north-last and
+/// negative-first against the fully adaptive baseline.
+pub fn study_2d_mesh(mesh: &dyn Topology) -> Vec<AdaptivenessRow> {
+    assert_eq!(mesh.num_dims(), 2);
+    vec![
+        adaptiveness_row(mesh, "west-first", |s, d| {
+            (west_first_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+        }),
+        adaptiveness_row(mesh, "north-last", |s, d| {
+            (north_last_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+        }),
+        adaptiveness_row(mesh, "negative-first", |s, d| {
+            (
+                negative_first_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
+        }),
+    ]
+}
+
+/// The Section 4.1 study for an n-dimensional mesh: ABONF, ABOPL and
+/// negative-first.
+pub fn study_nd_mesh(mesh: &dyn Topology) -> Vec<AdaptivenessRow> {
+    vec![
+        adaptiveness_row(mesh, "abonf", |s, d| {
+            (abonf_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+        }),
+        adaptiveness_row(mesh, "abopl", |s, d| {
+            (abopl_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+        }),
+        adaptiveness_row(mesh, "negative-first", |s, d| {
+            (
+                negative_first_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
+        }),
+    ]
+}
+
+/// The Section 5 study for a hypercube: p-cube against the fully
+/// adaptive `h!` baseline.
+pub fn study_hypercube(cube: &dyn Topology) -> AdaptivenessRow {
+    adaptiveness_row(cube, "p-cube", |s, d| {
+        (
+            pcube_shortest_paths(s.index(), d.index()),
+            hypercube_fully_adaptive_shortest_paths(s.index(), d.index()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Hypercube, Mesh};
+
+    #[test]
+    fn paper_claims_hold_on_the_16x16_mesh() {
+        let mesh = Mesh::new_2d(16, 16);
+        for row in study_2d_mesh(&mesh) {
+            // "averaged across all source-destination pairs, S_p/S_f > 1/2"
+            assert!(row.avg_ratio > 0.5, "{}: {}", row.algorithm, row.avg_ratio);
+            // "S_p = 1 for at least half of the source-destination pairs"
+            assert!(
+                row.single_path_fraction >= 0.5 - 1e-9,
+                "{}: {}",
+                row.algorithm,
+                row.single_path_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_bound_decays_with_dimension() {
+        // Section 4.1: S_p/S_f > 1/2^(n-1) on average.
+        let mesh3 = Mesh::new(vec![4, 4, 4]);
+        for row in study_nd_mesh(&mesh3) {
+            assert!(row.avg_ratio > 0.25, "{}: {}", row.algorithm, row.avg_ratio);
+        }
+        let cube = Hypercube::new(8);
+        let row = study_hypercube(&cube);
+        assert!(row.avg_ratio > 1.0 / 128.0, "{}", row.avg_ratio);
+        // And adaptiveness is far below fully adaptive for large n.
+        assert!(row.avg_ratio < 0.5);
+    }
+
+    #[test]
+    fn negative_first_single_path_fraction_2d() {
+        // Exactly the mixed-sign pairs (minus aligned ones with a single
+        // offset) have one path; for a square mesh this is more than
+        // half of all pairs.
+        let mesh = Mesh::new_2d(8, 8);
+        let rows = study_2d_mesh(&mesh);
+        let nf = rows.iter().find(|r| r.algorithm == "negative-first").unwrap();
+        assert!(nf.single_path_fraction > 0.5);
+        // West-first's single-path pairs are those strictly to the west
+        // plus aligned pairs.
+        let wf = rows.iter().find(|r| r.algorithm == "west-first").unwrap();
+        assert!(wf.single_path_fraction > 0.4 && wf.single_path_fraction < 0.7);
+    }
+
+    #[test]
+    fn avg_paths_exceed_one_for_adaptive_algorithms() {
+        let mesh = Mesh::new_2d(8, 8);
+        for row in study_2d_mesh(&mesh) {
+            assert!(row.avg_paths > 1.0, "{}", row.algorithm);
+        }
+    }
+}

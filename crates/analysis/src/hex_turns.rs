@@ -1,0 +1,216 @@
+//! The turn model on hexagonal meshes — the paper's Section 7 future
+//! work: "in such topologies, the turns are not necessarily 90-degrees
+//! and the abstract cycles are not necessarily formed by four turns."
+//!
+//! A hex mesh has six directions on three axes (A, B and the derived
+//! diagonal C = A + B). Its elementary abstract cycles are *triangles* —
+//! three 120-degree turns through `{+A, +B, -C}` or `{-A, -B, +C}` —
+//! alongside the four-turn axis-pair cycles meshes have. The
+//! negative-first construction still works verbatim: prohibiting every
+//! positive-to-negative turn breaks all of them, and the prohibition is
+//! again exactly a quarter of the turns.
+
+use turnroute_core::{ChannelDependencyGraph, Turn, TurnSet};
+use turnroute_topology::{Direction, HexMesh};
+
+/// The angular class of a hex turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexTurnKind {
+    /// Adjacent directions, e.g. `+A -> +C`.
+    Sixty,
+    /// e.g. `+A -> +B` (their sum is the `+C` diagonal) or `+A -> -C`.
+    OneTwenty,
+    /// Reversal along one axis.
+    OneEighty,
+}
+
+/// Classifies a turn between hex directions by the angle between their
+/// axial steps.
+pub fn hex_turn_kind(turn: Turn) -> HexTurnKind {
+    fn step(d: Direction) -> (i64, i64) {
+        let s = d.sign().delta() as i64;
+        match d.dim() {
+            0 => (s, 0),
+            1 => (0, s),
+            2 => (s, s),
+            _ => unreachable!("hex directions have three axes"),
+        }
+    }
+    let (a, b) = (step(turn.from_dir()), step(turn.to_dir()));
+    // Opposite steps: 180. Steps whose sum is another unit step: 60
+    // (adjacent). Otherwise 120.
+    if a.0 == -b.0 && a.1 == -b.1 {
+        HexTurnKind::OneEighty
+    } else {
+        let sum = (a.0 + b.0, a.1 + b.1);
+        let units = [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1)];
+        if units.contains(&sum) {
+            HexTurnKind::OneTwenty
+        } else {
+            HexTurnKind::Sixty
+        }
+    }
+}
+
+/// One elementary abstract cycle of the hex direction graph.
+#[derive(Debug, Clone)]
+pub struct HexCycle {
+    /// The turns, in cycle order (each `to` is the next `from`).
+    pub turns: Vec<Turn>,
+}
+
+/// The elementary abstract cycles of a hexagonal network: the four
+/// directed triangles (two zero-sum direction triples, two orientations
+/// each) and the six directed axis-pair quadrilaterals.
+pub fn hex_abstract_cycles() -> Vec<HexCycle> {
+    let dir = |dim: usize, plus: bool| {
+        if plus {
+            Direction::plus(dim)
+        } else {
+            Direction::minus(dim)
+        }
+    };
+    let mut cycles = Vec::new();
+    let ring = |dirs: &[Direction]| HexCycle {
+        turns: (0..dirs.len())
+            .map(|i| Turn::new(dirs[i], dirs[(i + 1) % dirs.len()]))
+            .collect(),
+    };
+    // Triangles: +A, +B, -C sums to zero (and its reverse orientation),
+    // likewise -A, -B, +C.
+    for (a, b, c) in [(true, true, false), (false, false, true)] {
+        let t = [dir(0, a), dir(1, b), dir(2, c)];
+        cycles.push(ring(&t));
+        let rev = [t[0], t[2], t[1]];
+        cycles.push(ring(&rev));
+    }
+    // Axis-pair quadrilaterals, both orientations.
+    for (i, j) in [(0, 1), (0, 2), (1, 2)] {
+        let q = [dir(i, true), dir(j, true), dir(i, false), dir(j, false)];
+        cycles.push(ring(&q));
+        let rev = [q[0], q[3], q[2], q[1]];
+        cycles.push(ring(&rev));
+    }
+    cycles
+}
+
+/// The negative-first turn set on the three hex axes — the same
+/// construction as Section 4.1, applied off the paper's page.
+pub fn hex_negative_first() -> TurnSet {
+    TurnSet::negative_first(3)
+}
+
+/// Axis-order routing's turn set on the hex axes (`A` before `B` before
+/// `C`): the hex analog of xy routing.
+pub fn hex_axis_order() -> TurnSet {
+    TurnSet::dimension_order(3)
+}
+
+/// `true` if `set` prohibits at least one turn in every elementary hex
+/// cycle (the step-4 necessary condition, hex edition).
+pub fn breaks_all_hex_cycles(set: &TurnSet) -> bool {
+    hex_abstract_cycles()
+        .iter()
+        .all(|cycle| cycle.turns.iter().any(|&t| !set.allows(t)))
+}
+
+/// `true` if `set` is deadlock free on the given hex mesh (full CDG
+/// check).
+pub fn hex_deadlock_free(hex: &HexMesh, set: &TurnSet) -> bool {
+    ChannelDependencyGraph::from_turn_set(hex, set).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::Topology;
+
+    #[test]
+    fn twenty_four_turns_partition_by_angle() {
+        let turns: Vec<Turn> = Turn::all_ninety(3).collect();
+        assert_eq!(turns.len(), 24);
+        let sixty = turns
+            .iter()
+            .filter(|&&t| hex_turn_kind(t) == HexTurnKind::Sixty)
+            .count();
+        let onetwenty = turns
+            .iter()
+            .filter(|&&t| hex_turn_kind(t) == HexTurnKind::OneTwenty)
+            .count();
+        // Each direction has two 60-degree and two 120-degree turns.
+        assert_eq!(sixty, 12);
+        assert_eq!(onetwenty, 12);
+    }
+
+    #[test]
+    fn cycles_are_triangles_and_quadrilaterals() {
+        let cycles = hex_abstract_cycles();
+        assert_eq!(cycles.len(), 10);
+        let triangles = cycles.iter().filter(|c| c.turns.len() == 3).count();
+        assert_eq!(triangles, 4, "the paper's 'not necessarily four turns'");
+        // Cycle orders chain correctly.
+        for c in &cycles {
+            for k in 0..c.turns.len() {
+                assert_eq!(
+                    c.turns[k].to_dir(),
+                    c.turns[(k + 1) % c.turns.len()].from_dir()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_breaks_every_hex_cycle_with_a_quarter() {
+        let nf = hex_negative_first();
+        assert!(breaks_all_hex_cycles(&nf));
+        // A quarter again: 6 of 24.
+        assert_eq!(nf.prohibited_ninety().count(), 6);
+    }
+
+    #[test]
+    fn axis_order_breaks_every_hex_cycle() {
+        assert!(breaks_all_hex_cycles(&hex_axis_order()));
+    }
+
+    #[test]
+    fn fully_adaptive_breaks_nothing() {
+        assert!(!breaks_all_hex_cycles(&TurnSet::fully_adaptive(3)));
+    }
+
+    #[test]
+    fn cdg_verdicts_on_a_real_hex_mesh() {
+        let hex = HexMesh::new(5, 5);
+        assert!(hex_deadlock_free(&hex, &hex_negative_first()));
+        assert!(hex_deadlock_free(&hex, &hex_axis_order()));
+        assert!(!hex_deadlock_free(&hex, &TurnSet::fully_adaptive(3)));
+    }
+
+    #[test]
+    fn breaking_only_quadrilaterals_is_not_enough() {
+        // Prohibit one turn per axis-pair quadrilateral but leave the
+        // triangles whole: the hex-specific failure mode.
+        let mut set = TurnSet::fully_adaptive(3);
+        // Break the six quadrilaterals with turns chosen to avoid every
+        // triangle turn.
+        set.prohibit(Turn::new(Direction::plus(1), Direction::minus(0)));
+        set.prohibit(Turn::new(Direction::plus(0), Direction::minus(1)));
+        set.prohibit(Turn::new(Direction::plus(0), Direction::plus(2)));
+        set.prohibit(Turn::new(Direction::plus(2), Direction::plus(0)));
+        set.prohibit(Turn::new(Direction::plus(1), Direction::plus(2)));
+        set.prohibit(Turn::new(Direction::plus(2), Direction::plus(1)));
+        // Triangles {+A,+B,-C} orientations survive...
+        assert!(!breaks_all_hex_cycles(&set));
+        // ...and the mesh deadlocks.
+        let hex = HexMesh::new(4, 4);
+        assert!(!hex_deadlock_free(&hex, &set));
+    }
+
+    #[test]
+    fn hex_mesh_has_consistent_channel_structure() {
+        let hex = HexMesh::new(4, 4);
+        assert!(hex.num_channels() > 0);
+        for ch in hex.channels() {
+            assert_eq!(hex.neighbor(ch.src, ch.dir), Some(ch.dst));
+        }
+    }
+}

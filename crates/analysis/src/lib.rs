@@ -1,0 +1,56 @@
+//! Executable theorems and analytic studies from *"The Turn Model for
+//! Adaptive Routing"* (Glass & Ni, ISCA 1992).
+//!
+//! Everything the paper proves or tabulates with pencil and paper is
+//! recomputed here and pinned by tests:
+//!
+//! * [`turn_census`], [`theorem6_holds`] — Theorems 1 and 6: exactly a
+//!   quarter of the turns must and suffice to be prohibited.
+//! * [`classify_2d_prohibitions`], [`symmetry_classes_of_valid_choices`]
+//!   — Section 3's "of the 16 ways, 12 prevent deadlock and 3 are unique
+//!   up to symmetry".
+//! * [`study_2d_mesh`], [`study_nd_mesh`], [`study_hypercube`] — the
+//!   degree-of-adaptiveness measures of Sections 3.4, 4.1 and 5.
+//! * [`mean_uniform_distance`] and friends — the average path lengths
+//!   quoted in Section 6 (10.61 / 11.34 / 4.01 / 4.27 hops).
+//! * [`section5_example`] — the worked p-cube table, byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_analysis::classify_2d_prohibitions;
+//!
+//! let ok = classify_2d_prohibitions()
+//!     .iter()
+//!     .filter(|c| c.deadlock_free)
+//!     .count();
+//! assert_eq!(ok, 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptiveness_study;
+mod hex_turns;
+mod path_length;
+mod pcube_table;
+mod theorems;
+
+pub use adaptiveness_study::{
+    adaptiveness_row, study_2d_mesh, study_hypercube, study_nd_mesh, AdaptivenessRow,
+};
+pub use hex_turns::{
+    breaks_all_hex_cycles, hex_abstract_cycles, hex_axis_order, hex_deadlock_free,
+    hex_negative_first, hex_turn_kind, HexCycle, HexTurnKind,
+};
+pub use path_length::{
+    mean_pattern_distance, mean_reverse_flip_distance, mean_transpose_distance,
+    mean_uniform_distance,
+};
+pub use pcube_table::{pcube_choice_table, section5_example, PCubeTableRow};
+pub use theorems::{
+    classify_2d_prohibitions, classify_3d_prohibitions, cube_symmetries,
+    square_symmetries, symmetry_classes_of_valid_3d_choices,
+    symmetry_classes_of_valid_choices, theorem6_holds, turn_census,
+    ProhibitionChoice, TurnCensus,
+};

@@ -1,0 +1,116 @@
+//! Average path-length analytics for the Section 6 traffic patterns.
+//!
+//! The paper quotes mean hop counts to argue that the adaptive
+//! algorithms' throughput wins are not an artifact of shorter paths:
+//! 10.61 (uniform) vs 11.34 (transpose) hops in the 16x16 mesh, and 4.01
+//! (uniform) vs 4.27 (reverse-flip) hops in the 8-cube. These functions
+//! compute the same quantities exactly.
+
+use turnroute_topology::{Hypercube, Mesh, NodeId, Topology};
+
+/// Mean minimal hop count under uniform traffic (all ordered pairs of
+/// distinct nodes).
+pub fn mean_uniform_distance(topo: &dyn Topology) -> f64 {
+    turnroute_topology::average_distance(topo)
+}
+
+/// Mean minimal hop count under a deterministic pattern, averaged over
+/// the nodes the pattern maps away from themselves.
+///
+/// Returns `None` if the pattern sends every node to itself.
+pub fn mean_pattern_distance(
+    topo: &dyn Topology,
+    pattern: impl Fn(NodeId) -> Option<NodeId>,
+) -> Option<f64> {
+    let mut total = 0usize;
+    let mut senders = 0usize;
+    for src in topo.nodes() {
+        if let Some(dst) = pattern(src) {
+            total += topo.distance(src, dst);
+            senders += 1;
+        }
+    }
+    (senders > 0).then(|| total as f64 / senders as f64)
+}
+
+/// Mean hops for matrix-transpose traffic in a square 2D mesh (the
+/// paper's matrix convention: `(i, j) -> (k-1-j, k-1-i)` in Cartesian
+/// coordinates; see `turnroute_sim::patterns::Transpose`).
+pub fn mean_transpose_distance(mesh: &Mesh) -> f64 {
+    assert_eq!(mesh.num_dims(), 2);
+    let k = mesh.radix(0) as u16;
+    mean_pattern_distance(mesh, |src| {
+        let c = mesh.coord_of(src);
+        let (i, j) = (c.get(0), c.get(1));
+        (i + j != k - 1).then(|| mesh.node_at(&[k - 1 - j, k - 1 - i].into()))
+    })
+    .expect("some node is off the anti-diagonal")
+}
+
+/// Mean hops for reverse-flip traffic in a hypercube.
+pub fn mean_reverse_flip_distance(cube: &Hypercube) -> f64 {
+    let n = cube.num_dims();
+    mean_pattern_distance(cube, |src| {
+        let x = src.index();
+        let mut d = 0usize;
+        for i in 0..n {
+            d |= ((x >> (n - 1 - i) & 1) ^ 1) << i;
+        }
+        (d != x).then(|| NodeId::new(d))
+    })
+    .expect("some node moves under reverse-flip")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_uniform_close_to_paper() {
+        // Paper (measured): 10.61. Analytic all-pairs mean: 10.667.
+        let mesh = Mesh::new_2d(16, 16);
+        let mean = mean_uniform_distance(&mesh);
+        assert!((mean - 10.6667).abs() < 1e-3, "{mean}");
+        assert!((mean - 10.61).abs() < 0.1, "close to the paper's 10.61");
+    }
+
+    #[test]
+    fn mesh_transpose_matches_paper() {
+        // Paper: 11.34. Analytic: 11.333.
+        let mean = mean_transpose_distance(&Mesh::new_2d(16, 16));
+        assert!((mean - 11.3333).abs() < 1e-3, "{mean}");
+        assert!((mean - 11.34).abs() < 0.01);
+    }
+
+    #[test]
+    fn cube_uniform_matches_paper() {
+        // Paper: 4.01. Analytic: 8 * 128/255 = 4.0157.
+        let mean = mean_uniform_distance(&Hypercube::new(8));
+        assert!((mean - 4.0157).abs() < 1e-3, "{mean}");
+        assert!((mean - 4.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn cube_reverse_flip_matches_paper() {
+        // Paper: 4.27. Analytic: 1024/240 = 4.2667.
+        let mean = mean_reverse_flip_distance(&Hypercube::new(8));
+        assert!((mean - 4.2667).abs() < 1e-3, "{mean}");
+        assert!((mean - 4.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn transpose_is_longer_than_uniform_in_both_topologies() {
+        // The paper's point: the adaptive win on nonuniform traffic is
+        // despite *longer* average paths.
+        let mesh = Mesh::new_2d(16, 16);
+        assert!(mean_transpose_distance(&mesh) > mean_uniform_distance(&mesh));
+        let cube = Hypercube::new(8);
+        assert!(mean_reverse_flip_distance(&cube) > mean_uniform_distance(&cube));
+    }
+
+    #[test]
+    fn pattern_with_all_self_maps_returns_none() {
+        let mesh = Mesh::new_2d(4, 4);
+        assert_eq!(mean_pattern_distance(&mesh, |_| None), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Section 5 worked example: p-cube routing choices along a path in
+//! a binary 10-cube.
+
+use turnroute_core::{PCube, RoutingAlgorithm};
+use turnroute_topology::{Hypercube, NodeId, Topology};
+
+/// One row of the Section 5 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PCubeTableRow {
+    /// The node transmitting the message, as an n-bit address.
+    pub address: usize,
+    /// Minimal p-cube choices at this node.
+    pub choices: usize,
+    /// Additional choices available with nonminimal routing.
+    pub extra_nonminimal: usize,
+    /// The dimension the example path takes from this node.
+    pub dimension_taken: usize,
+}
+
+/// Replays a path through a hypercube and reports, at each transmitting
+/// node, the number of p-cube routing choices (minimal, plus the
+/// nonminimal extras in parentheses in the paper's table).
+///
+/// # Panics
+///
+/// Panics if a step in `dims_taken` is not actually permitted by
+/// (nonminimal) p-cube routing toward `dst`.
+pub fn pcube_choice_table(
+    cube: &Hypercube,
+    src: NodeId,
+    dst: NodeId,
+    dims_taken: &[usize],
+) -> Vec<PCubeTableRow> {
+    let minimal = PCube::minimal();
+    let nonminimal = PCube::nonminimal();
+    let mut rows = Vec::new();
+    let mut current = src;
+    for &dim in dims_taken {
+        let min_set = minimal.route(cube, current, dst, None);
+        let full_set = nonminimal.route(cube, current, dst, None);
+        let taken_dir = full_set
+            .iter()
+            .find(|d| d.dim() == dim)
+            .unwrap_or_else(|| panic!("dimension {dim} not permitted at {current}"));
+        rows.push(PCubeTableRow {
+            address: current.index(),
+            choices: min_set.len(),
+            extra_nonminimal: full_set.len() - min_set.len(),
+            dimension_taken: dim,
+        });
+        current = cube
+            .neighbor(current, taken_dir)
+            .expect("hypercube neighbors always exist along permitted directions");
+    }
+    assert_eq!(current, dst, "the replayed path must end at the destination");
+    rows
+}
+
+/// The paper's exact Section 5 example: source `1011010100`, destination
+/// `0010111001` in a binary 10-cube, taking dimensions 2, 9, 6, 5, 0, 3.
+pub fn section5_example() -> Vec<PCubeTableRow> {
+    let cube = Hypercube::new(10);
+    pcube_choice_table(
+        &cube,
+        NodeId::new(0b1011010100),
+        NodeId::new(0b0010111001),
+        &[2, 9, 6, 5, 0, 3],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section5_table_reproduces_exactly() {
+        let rows = section5_example();
+        assert_eq!(rows.len(), 6);
+
+        // Addresses along the path, from the paper.
+        let addresses = [
+            0b1011010100,
+            0b1011010000,
+            0b0011010000,
+            0b0010010000,
+            0b0010110000,
+            0b0010110001,
+        ];
+        // "choices" column: 3(+2), 2(+2), 1(+2), 3, 2, 1.
+        let choices = [3, 2, 1, 3, 2, 1];
+        let extras = [2, 2, 2, 0, 0, 0];
+        let dims = [2, 9, 6, 5, 0, 3];
+
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.address, addresses[i], "row {i} address");
+            assert_eq!(row.choices, choices[i], "row {i} choices");
+            assert_eq!(row.extra_nonminimal, extras[i], "row {i} extras");
+            assert_eq!(row.dimension_taken, dims[i], "row {i} dim");
+        }
+    }
+
+    #[test]
+    fn total_shortest_paths_is_36() {
+        // h1 = h0 = 3 gives 3! * 3! = 36 paths (Section 5).
+        use turnroute_core::adaptiveness::pcube_shortest_paths;
+        assert_eq!(pcube_shortest_paths(0b1011010100, 0b0010111001), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "not permitted")]
+    fn illegal_path_is_rejected() {
+        // Dimension 0 is an upward (phase-two) correction; taking it
+        // first violates p-cube.
+        let cube = Hypercube::new(10);
+        let _ = pcube_choice_table(
+            &cube,
+            NodeId::new(0b1011010100),
+            NodeId::new(0b0010111001),
+            &[0, 2, 9, 6, 5, 3],
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! Executable forms of the paper's counting theorems and the Section 3
+//! prohibition-choice analysis.
+
+use turnroute_core::{abstract_cycles, ChannelDependencyGraph, Turn, TurnSet};
+use turnroute_topology::{Direction, Mesh, Sign};
+
+/// The turn census of an n-dimensional mesh (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TurnCensus {
+    /// Dimensions.
+    pub num_dims: usize,
+    /// 90-degree turns: `4n(n-1)`.
+    pub ninety_degree_turns: usize,
+    /// Abstract cycles: `n(n-1)` (two per plane).
+    pub abstract_cycles: usize,
+    /// Minimum turns to prohibit (Theorem 1): `n(n-1)`, a quarter.
+    pub min_prohibited: usize,
+}
+
+/// Counts turns and cycles for an n-dimensional mesh, verifying the
+/// structural facts behind Theorem 1: the 90-degree turns partition into
+/// `n(n-1)` four-turn cycles, so at least one quarter of the turns must
+/// be prohibited.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_analysis::turn_census;
+///
+/// let census = turn_census(2);
+/// assert_eq!(census.ninety_degree_turns, 8);
+/// assert_eq!(census.min_prohibited, 2);
+/// ```
+pub fn turn_census(num_dims: usize) -> TurnCensus {
+    let cycles = abstract_cycles(num_dims);
+    let turns: Vec<Turn> = Turn::all_ninety(num_dims).collect();
+    // Partition check: every turn lies in exactly one cycle.
+    for &turn in &turns {
+        let containing = cycles.iter().filter(|c| c.contains(turn)).count();
+        assert_eq!(containing, 1, "turn {turn} must lie in exactly one cycle");
+    }
+    TurnCensus {
+        num_dims,
+        ninety_degree_turns: turns.len(),
+        abstract_cycles: cycles.len(),
+        min_prohibited: cycles.len(),
+    }
+}
+
+/// One of the 16 ways to prohibit one turn per abstract cycle in a 2D
+/// mesh, with its verdict.
+#[derive(Debug, Clone)]
+pub struct ProhibitionChoice {
+    /// The resulting turn set.
+    pub turns: TurnSet,
+    /// The two prohibited 90-degree turns.
+    pub prohibited: Vec<Turn>,
+    /// `true` if the choice's channel dependency graph is acyclic.
+    pub deadlock_free: bool,
+}
+
+/// Evaluates all 16 one-turn-per-cycle prohibition choices for a 2D mesh
+/// against the full CDG check (Section 3: 12 prevent deadlock, 4 do
+/// not).
+pub fn classify_2d_prohibitions() -> Vec<ProhibitionChoice> {
+    let mesh = Mesh::new_2d(4, 4);
+    TurnSet::one_turn_per_cycle_prohibitions(2)
+        .into_iter()
+        .map(|turns| {
+            let deadlock_free =
+                ChannelDependencyGraph::from_turn_set(&mesh, &turns).is_acyclic();
+            let prohibited = turns.prohibited_ninety().collect();
+            ProhibitionChoice { turns, prohibited, deadlock_free }
+        })
+        .collect()
+}
+
+/// The eight symmetries of the square (rotations and reflections),
+/// represented as relabelings of the 2D directions.
+pub fn square_symmetries() -> Vec<fn(Direction) -> Direction> {
+    fn identity(d: Direction) -> Direction {
+        d
+    }
+    fn rot90(d: Direction) -> Direction {
+        // +x -> +y -> -x -> -y -> +x.
+        match (d.dim(), d.sign()) {
+            (0, Sign::Plus) => Direction::NORTH,
+            (1, Sign::Plus) => Direction::WEST,
+            (0, Sign::Minus) => Direction::SOUTH,
+            (1, Sign::Minus) => Direction::EAST,
+            _ => unreachable!("2D"),
+        }
+    }
+    fn rot180(d: Direction) -> Direction {
+        rot90(rot90(d))
+    }
+    fn rot270(d: Direction) -> Direction {
+        rot90(rot180(d))
+    }
+    fn mirror_x(d: Direction) -> Direction {
+        // Flip east/west.
+        if d.dim() == 0 {
+            d.opposite()
+        } else {
+            d
+        }
+    }
+    fn m_rot90(d: Direction) -> Direction {
+        rot90(mirror_x(d))
+    }
+    fn m_rot180(d: Direction) -> Direction {
+        rot180(mirror_x(d))
+    }
+    fn m_rot270(d: Direction) -> Direction {
+        rot270(mirror_x(d))
+    }
+    vec![
+        identity, rot90, rot180, rot270, mirror_x, m_rot90, m_rot180, m_rot270,
+    ]
+}
+
+/// Groups the deadlock-free 2D prohibition choices into equivalence
+/// classes under the square's symmetries. The paper: "three are unique
+/// if symmetry is taken into account."
+pub fn symmetry_classes_of_valid_choices() -> Vec<Vec<TurnSet>> {
+    let valid: Vec<TurnSet> = classify_2d_prohibitions()
+        .into_iter()
+        .filter(|c| c.deadlock_free)
+        .map(|c| c.turns)
+        .collect();
+    let symmetries = square_symmetries();
+    let mut classes: Vec<Vec<TurnSet>> = Vec::new();
+    for set in valid {
+        let known = classes.iter_mut().find(|class| {
+            symmetries.iter().any(|&s| class[0].relabel(s) == set)
+        });
+        match known {
+            Some(class) => class.push(set),
+            None => classes.push(vec![set]),
+        }
+    }
+    classes
+}
+
+/// Extends the Section 3 analysis to 3D meshes: evaluates all
+/// `4^6 = 4096` one-turn-per-cycle prohibition choices against the full
+/// CDG check and returns `(deadlock_free, total)`.
+///
+/// The verdict mesh is 3x3x3 — large enough to host every complex
+/// cycle (verdicts are identical on 4x4x4), whereas a 2x2x2 mesh
+/// over-approves because extent-2 dimensions cannot realize some
+/// cycles.
+///
+/// The result sharpens the paper's warning that step 4 "must be chosen
+/// carefully ... including complex cycles not identified in Step 3": in
+/// 2D, 75% of the candidate choices work (12 of 16); in 3D only ~4.3%
+/// do (176 of 4096).
+pub fn classify_3d_prohibitions() -> (usize, usize) {
+    let mesh = Mesh::new(vec![3, 3, 3]);
+    let sets = TurnSet::one_turn_per_cycle_prohibitions(3);
+    let total = sets.len();
+    let free = sets
+        .iter()
+        .filter(|s| ChannelDependencyGraph::from_turn_set(&mesh, s).is_acyclic())
+        .count();
+    (free, total)
+}
+
+/// The 48 symmetries of the cube (axis permutations with sign flips) as
+/// direction relabelings.
+pub fn cube_symmetries() -> Vec<impl Fn(Direction) -> Direction + Copy> {
+    const PERMS: [[usize; 3]; 6] =
+        [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    #[derive(Clone, Copy)]
+    struct Symmetry {
+        perm: [usize; 3],
+        flips: u8,
+    }
+    impl Symmetry {
+        fn apply(self, d: Direction) -> Direction {
+            let dim = self.perm[d.dim()];
+            let flip = self.flips >> d.dim() & 1 == 1;
+            let sign = if flip { d.sign().opposite() } else { d.sign() };
+            Direction::new(dim, sign)
+        }
+    }
+    // `impl Fn` via closures capturing Copy data.
+    let mut out: Vec<_> = Vec::with_capacity(48);
+    for perm in PERMS {
+        for flips in 0u8..8 {
+            let s = Symmetry { perm, flips };
+            out.push(move |d: Direction| s.apply(d));
+        }
+    }
+    out
+}
+
+/// Groups the deadlock-free 3D prohibition choices into equivalence
+/// classes under the cube's 48 symmetries. The 3D analog of the paper's
+/// "three are unique if symmetry is taken into account": **nine** are.
+pub fn symmetry_classes_of_valid_3d_choices() -> Vec<usize> {
+    let mesh = Mesh::new(vec![3, 3, 3]);
+    let valid: Vec<TurnSet> = TurnSet::one_turn_per_cycle_prohibitions(3)
+        .into_iter()
+        .filter(|s| ChannelDependencyGraph::from_turn_set(&mesh, s).is_acyclic())
+        .collect();
+    let symmetries = cube_symmetries();
+    let key = |s: &TurnSet| -> Vec<Turn> {
+        let mut v: Vec<Turn> = s.prohibited_ninety().collect();
+        v.sort();
+        v
+    };
+    let mut classes: Vec<(Vec<Turn>, usize)> = Vec::new();
+    for set in &valid {
+        // Canonicalize: the lexicographically smallest relabeled key.
+        let mut canon = key(set);
+        for sym in &symmetries {
+            let rk = key(&set.relabel(*sym));
+            if rk < canon {
+                canon = rk;
+            }
+        }
+        match classes.iter_mut().find(|(k, _)| *k == canon) {
+            Some((_, count)) => *count += 1,
+            None => classes.push((canon, 1)),
+        }
+    }
+    let mut sizes: Vec<usize> = classes.into_iter().map(|(_, c)| c).collect();
+    sizes.sort_unstable();
+    sizes
+}
+
+/// Theorem 6, executable: prohibiting the `n(n-1)` positive-to-negative
+/// turns (negative-first) is sufficient for deadlock freedom, and no
+/// choice prohibiting fewer turns can even break all abstract cycles.
+pub fn theorem6_holds(num_dims: usize, mesh: &Mesh) -> bool {
+    let nf = TurnSet::negative_first(num_dims);
+    let quarter = num_dims * (num_dims - 1);
+    let sufficient = nf.prohibited_ninety().count() == quarter
+        && ChannelDependencyGraph::from_turn_set(mesh, &nf).is_acyclic();
+    // Necessity: the turns partition into n(n-1) disjoint cycles, so
+    // fewer prohibitions leave a cycle untouched (pigeonhole over the
+    // census's partition check).
+    let necessary = turn_census(num_dims).min_prohibited == quarter;
+    sufficient && necessary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_formulas() {
+        for n in 2..=6 {
+            let c = turn_census(n);
+            assert_eq!(c.ninety_degree_turns, 4 * n * (n - 1));
+            assert_eq!(c.abstract_cycles, n * (n - 1));
+            assert_eq!(c.min_prohibited, c.ninety_degree_turns / 4);
+        }
+    }
+
+    #[test]
+    fn twelve_of_sixteen_prevent_deadlock() {
+        let choices = classify_2d_prohibitions();
+        assert_eq!(choices.len(), 16);
+        let free = choices.iter().filter(|c| c.deadlock_free).count();
+        assert_eq!(free, 12);
+        for c in &choices {
+            assert_eq!(c.prohibited.len(), 2);
+        }
+    }
+
+    #[test]
+    fn failing_choices_prohibit_reversed_turn_pairs() {
+        // The four deadlocking choices are exactly those whose two
+        // prohibited turns are reverses of one another — Fig. 4's "three
+        // allowed left turns compose into the prohibited right turn".
+        for c in classify_2d_prohibitions() {
+            let (a, b) = (c.prohibited[0], c.prohibited[1]);
+            let reversed = a.from_dir() == b.to_dir() && a.to_dir() == b.from_dir();
+            assert_eq!(
+                !c.deadlock_free,
+                reversed,
+                "prohibited {:?} deadlock_free={}",
+                c.prohibited,
+                c.deadlock_free
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_three_symmetry_classes() {
+        let classes = symmetry_classes_of_valid_choices();
+        assert_eq!(classes.len(), 3, "Section 3: three unique up to symmetry");
+        let sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+        // The three named algorithms land in three different classes.
+        let named = [
+            TurnSet::west_first(),
+            TurnSet::north_last(),
+            TurnSet::negative_first(2),
+        ];
+        let symmetries = square_symmetries();
+        // Compare on the 90-degree structure: the named constructors
+        // additionally admit safe 180-degree turns (step 6), which the
+        // raw prohibition enumeration does not.
+        let key = |set: &TurnSet| {
+            let mut turns: Vec<Turn> = set.prohibited_ninety().collect();
+            turns.sort();
+            turns
+        };
+        let class_of = |set: &TurnSet| {
+            classes.iter().position(|class| {
+                symmetries.iter().any(|&s| key(&class[0].relabel(s)) == key(set))
+            })
+        };
+        let mut found: Vec<usize> = named.iter().map(|s| class_of(s).unwrap()).collect();
+        found.sort_unstable();
+        found.dedup();
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn square_symmetries_form_a_group_of_eight() {
+        let syms = square_symmetries();
+        assert_eq!(syms.len(), 8);
+        // Each symmetry permutes the four directions.
+        for s in &syms {
+            let mut images: Vec<Direction> =
+                Direction::all(2).map(s).collect();
+            images.sort();
+            images.dedup();
+            assert_eq!(images.len(), 4);
+        }
+        // All eight act differently on (EAST, NORTH).
+        let mut signatures: Vec<(Direction, Direction)> = syms
+            .iter()
+            .map(|s| (s(Direction::EAST), s(Direction::NORTH)))
+            .collect();
+        signatures.sort();
+        signatures.dedup();
+        assert_eq!(signatures.len(), 8);
+    }
+
+    #[test]
+    fn three_d_admits_176_of_4096() {
+        let (free, total) = classify_3d_prohibitions();
+        assert_eq!(total, 4096);
+        assert_eq!(free, 176);
+    }
+
+    #[test]
+    fn three_d_has_nine_symmetry_classes() {
+        let sizes = symmetry_classes_of_valid_3d_choices();
+        assert_eq!(sizes.iter().sum::<usize>(), 176);
+        assert_eq!(sizes.len(), 9, "the 3D analog of 'three are unique'");
+        assert_eq!(sizes, vec![8, 12, 12, 24, 24, 24, 24, 24, 24]);
+        // The size-8 orbit is negative-first's: its stabilizer is the
+        // full axis-permutation subgroup (order 6), so |orbit| = 48/6.
+    }
+
+    #[test]
+    fn named_3d_sets_are_among_the_valid_choices() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        for set in [TurnSet::negative_first(3), TurnSet::abonf(3), TurnSet::abopl(3)] {
+            assert!(ChannelDependencyGraph::from_turn_set(&mesh, &set).is_acyclic());
+        }
+        // Negative-first is invariant under every axis permutation.
+        let nf = TurnSet::negative_first(3);
+        let perm = |d: Direction| Direction::new((d.dim() + 1) % 3, d.sign());
+        let key = |s: &TurnSet| {
+            let mut v: Vec<Turn> = s.prohibited_ninety().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&nf.relabel(perm)), key(&nf));
+    }
+
+    #[test]
+    fn cube_symmetries_are_48_distinct_bijections() {
+        let syms = cube_symmetries();
+        assert_eq!(syms.len(), 48);
+        let mut signatures: Vec<Vec<Direction>> = syms
+            .iter()
+            .map(|s| Direction::all(3).map(*s).collect())
+            .collect();
+        signatures.sort();
+        signatures.dedup();
+        assert_eq!(signatures.len(), 48);
+        for sym in &syms {
+            let mut images: Vec<Direction> = Direction::all(3).map(*sym).collect();
+            images.sort();
+            images.dedup();
+            assert_eq!(images.len(), 6, "each symmetry permutes the six directions");
+        }
+    }
+
+    #[test]
+    fn theorem6_for_2d_through_4d() {
+        assert!(theorem6_holds(2, &Mesh::new_2d(4, 4)));
+        assert!(theorem6_holds(3, &Mesh::new(vec![3, 3, 3])));
+        assert!(theorem6_holds(4, &Mesh::new(vec![2, 2, 2, 2])));
+    }
+}

@@ -1,0 +1,55 @@
+//! Selection-policy ablation (the paper's \[19\] future-work direction):
+//! how input arbitration (FCFS / fixed priority / random) and output
+//! channel choice (lowest dimension / highest / straight-first / random)
+//! affect west-first's latency and throughput on transpose traffic.
+
+use turnroute_bench::Scale;
+use turnroute_core::WestFirst;
+use turnroute_sim::patterns::Transpose;
+use turnroute_sim::{sweep, InputSelection, OutputSelection, SimConfig};
+use turnroute_topology::Mesh;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mesh = Mesh::new_2d(16, 16);
+    let algo = WestFirst::minimal();
+    let loads = [0.02, 0.05, 0.08, 0.12, 0.16];
+
+    println!("input_selection,output_selection,offered_load,throughput,avg_latency_usec,sustainable");
+    let inputs = [
+        ("fcfs", InputSelection::FirstComeFirstServed),
+        ("fixed", InputSelection::FixedPriority),
+        ("random", InputSelection::Random),
+    ];
+    let outputs = [
+        ("lowest-dim", OutputSelection::LowestDimension),
+        ("highest-dim", OutputSelection::HighestDimension),
+        ("straight-first", OutputSelection::StraightFirst),
+        ("random", OutputSelection::Random),
+    ];
+    for (in_name, input) in inputs {
+        for (out_name, output) in outputs {
+            let config: SimConfig = scale
+                .config()
+                .input_selection(input)
+                .output_selection(output);
+            let series = sweep(&mesh, &algo, &Transpose, &config, &loads);
+            for p in &series.points {
+                println!(
+                    "{},{},{:.3},{:.2},{},{}",
+                    in_name,
+                    out_name,
+                    p.offered_load,
+                    p.throughput,
+                    p.avg_latency_usec
+                        .map_or(String::new(), |v| format!("{v:.2}")),
+                    p.sustainable
+                );
+            }
+            eprintln!(
+                "#  {in_name:>6} / {out_name:<14} max sustainable {:>7.1} flits/usec",
+                series.max_sustainable_throughput()
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 13: latency vs. throughput for **uniform** traffic in a
+//! 16x16 mesh — xy, west-first, north-last and negative-first.
+//!
+//! Expected shape (paper): all algorithms agree at low load; at high
+//! load the nonadaptive xy algorithm sustains slightly higher throughput
+//! with lower latency, because dimension-order routing happens to spread
+//! uniform traffic evenly.
+
+use turnroute_bench::{run_figure, Scale, MESH_LOADS};
+use turnroute_core::{DimensionOrder, NegativeFirst, NorthLast, RoutingAlgorithm, WestFirst};
+use turnroute_sim::patterns::Uniform;
+use turnroute_topology::Mesh;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mesh = Mesh::new_2d(16, 16);
+    let xy = DimensionOrder::new();
+    let wf = WestFirst::minimal();
+    let nl = NorthLast::minimal();
+    let nf = NegativeFirst::minimal();
+    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
+        ("xy", &xy),
+        ("west-first", &wf),
+        ("north-last", &nl),
+        ("negative-first", &nf),
+    ];
+    run_figure(
+        "Figure 13: uniform traffic",
+        &mesh,
+        &algorithms,
+        &Uniform,
+        MESH_LOADS,
+        scale,
+    );
+}

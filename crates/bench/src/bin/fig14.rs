@@ -1,0 +1,35 @@
+//! Figure 14: latency vs. throughput for **matrix-transpose** traffic in
+//! a 16x16 mesh.
+//!
+//! Expected shape (paper): the partially adaptive algorithms sustain
+//! roughly twice the throughput of xy, with negative-first the best —
+//! transpose traffic lives in the quadrant negative-first routes fully
+//! adaptively.
+
+use turnroute_bench::{run_figure, Scale, MESH_LOADS};
+use turnroute_core::{DimensionOrder, NegativeFirst, NorthLast, RoutingAlgorithm, WestFirst};
+use turnroute_sim::patterns::Transpose;
+use turnroute_topology::Mesh;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mesh = Mesh::new_2d(16, 16);
+    let xy = DimensionOrder::new();
+    let wf = WestFirst::minimal();
+    let nl = NorthLast::minimal();
+    let nf = NegativeFirst::minimal();
+    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
+        ("xy", &xy),
+        ("west-first", &wf),
+        ("north-last", &nl),
+        ("negative-first", &nf),
+    ];
+    run_figure(
+        "Figure 14: matrix-transpose traffic",
+        &mesh,
+        &algorithms,
+        &Transpose,
+        MESH_LOADS,
+        scale,
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 15: latency vs. throughput for **matrix-transpose** traffic in
+//! a binary 8-cube — e-cube vs. the partially adaptive algorithms
+//! (ABONF, ABOPL, and negative-first, whose hypercube form is p-cube).
+//!
+//! Expected shape (paper): the partially adaptive algorithms sustain
+//! about twice the throughput of e-cube.
+
+use turnroute_bench::{run_figure, Scale, CUBE_LOADS};
+use turnroute_core::{Abonf, Abopl, DimensionOrder, PCube, RoutingAlgorithm};
+use turnroute_sim::patterns::HypercubeTranspose;
+use turnroute_topology::Hypercube;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cube = Hypercube::new(8);
+    let ecube = DimensionOrder::new();
+    let abonf = Abonf::with_dims(8, true);
+    let abopl = Abopl::with_dims(8, true);
+    let pcube = PCube::minimal();
+    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
+        ("e-cube", &ecube),
+        ("abonf", &abonf),
+        ("abopl", &abopl),
+        ("negative-first", &pcube),
+    ];
+    run_figure(
+        "Figure 15: matrix-transpose traffic",
+        &cube,
+        &algorithms,
+        &HypercubeTranspose,
+        CUBE_LOADS,
+        scale,
+    );
+}

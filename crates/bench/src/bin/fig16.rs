@@ -1,0 +1,35 @@
+//! Figure 16: latency vs. throughput for **reverse-flip** traffic in a
+//! binary 8-cube.
+//!
+//! Expected shape (paper): the partially adaptive algorithms sustain
+//! about four times the throughput of e-cube — the largest win in the
+//! paper, and overall the highest sustainable throughput of the
+//! hypercube experiments.
+
+use turnroute_bench::{run_figure, Scale, CUBE_LOADS};
+use turnroute_core::{Abonf, Abopl, DimensionOrder, PCube, RoutingAlgorithm};
+use turnroute_sim::patterns::ReverseFlip;
+use turnroute_topology::Hypercube;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cube = Hypercube::new(8);
+    let ecube = DimensionOrder::new();
+    let abonf = Abonf::with_dims(8, true);
+    let abopl = Abopl::with_dims(8, true);
+    let pcube = PCube::minimal();
+    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
+        ("e-cube", &ecube),
+        ("abonf", &abonf),
+        ("abopl", &abopl),
+        ("negative-first", &pcube),
+    ];
+    run_figure(
+        "Figure 16: reverse-flip traffic",
+        &cube,
+        &algorithms,
+        &ReverseFlip,
+        CUBE_LOADS,
+        scale,
+    );
+}

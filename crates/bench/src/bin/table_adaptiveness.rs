@@ -1,0 +1,48 @@
+//! The degree-of-adaptiveness tables of Sections 3.4, 4.1 and 5:
+//! average `S_p / S_f`, single-path fraction, and average path count for
+//! every algorithm on the paper's topologies.
+
+use turnroute_analysis::{study_2d_mesh, study_hypercube, study_nd_mesh};
+use turnroute_topology::{Hypercube, Mesh, Topology};
+
+fn main() {
+    println!("topology,algorithm,avg_ratio,single_path_fraction,avg_paths");
+
+    let mesh = Mesh::new_2d(16, 16);
+    for row in study_2d_mesh(&mesh) {
+        println!(
+            "{},{},{:.4},{:.4},{:.2}",
+            mesh.label(),
+            row.algorithm,
+            row.avg_ratio,
+            row.single_path_fraction,
+            row.avg_paths
+        );
+    }
+    eprintln!("# Section 3.4 claim: avg S_p/S_f > 1/2 in 2D meshes");
+
+    let mesh3 = Mesh::new(vec![6, 6, 6]);
+    for row in study_nd_mesh(&mesh3) {
+        println!(
+            "{},{},{:.4},{:.4},{:.2}",
+            mesh3.label(),
+            row.algorithm,
+            row.avg_ratio,
+            row.single_path_fraction,
+            row.avg_paths
+        );
+    }
+    eprintln!("# Section 4.1 claim: avg S_p/S_f > 1/2^(n-1) in nD meshes");
+
+    let cube = Hypercube::new(8);
+    let row = study_hypercube(&cube);
+    println!(
+        "{},{},{:.4},{:.4},{:.2}",
+        cube.label(),
+        row.algorithm,
+        row.avg_ratio,
+        row.single_path_fraction,
+        row.avg_paths
+    );
+    eprintln!("# Section 5: S_p-cube = h1! h0!, vs. S_f = h!");
+}

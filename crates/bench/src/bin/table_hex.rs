@@ -1,0 +1,72 @@
+//! The turn model on hexagonal meshes (Section 7 future work): turn
+//! census, cycle inventory, deadlock verdicts, and a saturation
+//! comparison of axis-order vs. negative-first routing.
+
+use turnroute_analysis::{
+    hex_abstract_cycles, hex_axis_order, hex_deadlock_free, hex_negative_first,
+    hex_turn_kind, HexTurnKind,
+};
+use turnroute_bench::Scale;
+use turnroute_core::{DimensionOrder, NegativeFirst, RoutingAlgorithm, Turn, TurnSet};
+use turnroute_sim::patterns::Uniform;
+use turnroute_sim::sweep;
+use turnroute_topology::{HexMesh, Topology};
+
+fn main() {
+    let scale = Scale::from_args();
+
+    // Census.
+    let turns: Vec<Turn> = Turn::all_ninety(3).collect();
+    let sixty = turns.iter().filter(|&&t| hex_turn_kind(t) == HexTurnKind::Sixty).count();
+    let onetwenty = turns
+        .iter()
+        .filter(|&&t| hex_turn_kind(t) == HexTurnKind::OneTwenty)
+        .count();
+    eprintln!("# hex turn census: {} turns ({sixty} at 60 deg, {onetwenty} at 120 deg)", turns.len());
+    let cycles = hex_abstract_cycles();
+    let triangles = cycles.iter().filter(|c| c.turns.len() == 3).count();
+    eprintln!(
+        "# elementary cycles: {} ({} triangles, {} quadrilaterals)",
+        cycles.len(),
+        triangles,
+        cycles.len() - triangles
+    );
+
+    // Verdicts.
+    let hex = HexMesh::new(8, 8);
+    println!("turn_set,prohibited_turns,deadlock_free");
+    for (name, set) in [
+        ("fully-adaptive", TurnSet::fully_adaptive(3)),
+        ("axis-order", hex_axis_order()),
+        ("negative-first", hex_negative_first()),
+    ] {
+        println!(
+            "{},{},{}",
+            name,
+            set.prohibited_ninety().count(),
+            hex_deadlock_free(&hex, &set)
+        );
+    }
+    eprintln!("# negative-first again prohibits exactly a quarter (6 of 24)");
+
+    // Saturation comparison under uniform traffic.
+    let config = scale.config();
+    let loads = [0.02, 0.05, 0.08, 0.12, 0.16, 0.22];
+    let dor = DimensionOrder::new();
+    let nf = NegativeFirst::with_dims(3, true);
+    let algos: Vec<(&str, &dyn RoutingAlgorithm)> =
+        vec![("axis-order", &dor), ("negative-first", &nf)];
+    println!();
+    println!("algorithm,pattern,offered_load,throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,sustainable");
+    for (name, algo) in algos {
+        let mut series = sweep(&hex, algo, &Uniform, &config, &loads);
+        series.algorithm = name.to_owned();
+        print!("{}", series.to_csv());
+        eprintln!(
+            "#   {:<16} max sustainable {:>8.1} flits/usec on {}",
+            name,
+            series.max_sustainable_throughput(),
+            hex.label()
+        );
+    }
+}

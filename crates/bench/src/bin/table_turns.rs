@@ -1,0 +1,64 @@
+//! Theorem 1/6 and the Section 3 prohibition analysis: turn counts per
+//! dimension, the 12-of-16 classification, and the three symmetry
+//! classes.
+
+use turnroute_analysis::{
+    classify_2d_prohibitions, classify_3d_prohibitions,
+    symmetry_classes_of_valid_3d_choices, symmetry_classes_of_valid_choices,
+    turn_census,
+};
+
+fn main() {
+    println!("n,ninety_degree_turns,abstract_cycles,min_prohibited");
+    for n in 2..=8 {
+        let c = turn_census(n);
+        println!(
+            "{},{},{},{}",
+            n, c.ninety_degree_turns, c.abstract_cycles, c.min_prohibited
+        );
+    }
+    eprintln!("# Theorem 1/6: exactly a quarter of the turns must and suffice to be prohibited");
+
+    let choices = classify_2d_prohibitions();
+    let ok = choices.iter().filter(|c| c.deadlock_free).count();
+    eprintln!("# Section 3: {ok} of {} one-turn-per-cycle prohibitions prevent deadlock", choices.len());
+    println!();
+    println!("prohibited_turn_1,prohibited_turn_2,deadlock_free");
+    for c in &choices {
+        println!(
+            "{},{},{}",
+            c.prohibited[0], c.prohibited[1], c.deadlock_free
+        );
+    }
+
+    let classes = symmetry_classes_of_valid_choices();
+    eprintln!("# {} symmetry classes among the deadlock-free choices:", classes.len());
+    for (i, class) in classes.iter().enumerate() {
+        let members: Vec<String> = class
+            .iter()
+            .map(|set| {
+                set.prohibited_ninety()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            })
+            .collect();
+        eprintln!("#   class {}: {} members [{}]", i + 1, class.len(), members.join(", "));
+    }
+
+    // The 3D extension: step 4's "complex cycles" warning, quantified.
+    let (free, total) = classify_3d_prohibitions();
+    eprintln!();
+    eprintln!(
+        "# 3D extension: {free} of {total} one-turn-per-cycle choices prevent deadlock \
+         ({:.1}%, vs 75% in 2D)",
+        100.0 * free as f64 / total as f64
+    );
+    let sizes = symmetry_classes_of_valid_3d_choices();
+    eprintln!(
+        "#   {} symmetry classes under the cube's 48 symmetries, orbit sizes {:?}",
+        sizes.len(),
+        sizes
+    );
+    eprintln!("#   (the size-8 orbit is negative-first's: axis-permutation invariant)");
+}

@@ -1,0 +1,118 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of Glass & Ni's
+//! evaluation; see `DESIGN.md`'s experiment index. Every binary accepts
+//! `--full` for paper-scale measurement windows (the default "quick"
+//! mode produces the same qualitative shapes in a fraction of the time)
+//! and prints CSV to stdout with a human-readable summary on stderr.
+
+use turnroute_core::RoutingAlgorithm;
+use turnroute_sim::{patterns::TrafficPattern, SimConfig, SweepSeries};
+use turnroute_topology::Topology;
+
+/// Measurement scale for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short windows: same qualitative curves, minutes not hours.
+    Quick,
+    /// Paper-scale windows.
+    Full,
+}
+
+impl Scale {
+    /// Parses process arguments: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// The base simulation configuration at this scale.
+    pub fn config(self) -> SimConfig {
+        match self {
+            Scale::Quick => SimConfig::paper()
+                .warmup_cycles(6_000)
+                .measure_cycles(20_000),
+            Scale::Full => SimConfig::paper()
+                .warmup_cycles(40_000)
+                .measure_cycles(120_000),
+        }
+    }
+}
+
+/// The offered loads (flits per cycle per node) swept for the 16x16 mesh
+/// figures. Saturation for dimension-ordered uniform traffic sits near
+/// 0.1; the sweep brackets every algorithm/pattern pairing.
+pub const MESH_LOADS: &[f64] = &[
+    0.01, 0.02, 0.04, 0.06, 0.08, 0.09, 0.10, 0.12, 0.14, 0.18, 0.25,
+];
+
+/// The offered loads swept for the 8-cube figures (higher bisection
+/// bandwidth, so saturation sits higher).
+pub const CUBE_LOADS: &[f64] = &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55];
+
+/// Runs one figure: sweeps every `(name, algorithm)` pair under
+/// `pattern` and prints the combined CSV to stdout plus a summary table
+/// (max sustainable throughput per algorithm) to stderr.
+pub fn run_figure(
+    title: &str,
+    topo: &dyn Topology,
+    algorithms: &[(&str, &dyn RoutingAlgorithm)],
+    pattern: &dyn TrafficPattern,
+    loads: &[f64],
+    scale: Scale,
+) -> Vec<SweepSeries> {
+    let config = scale.config();
+    eprintln!("# {title} on {} ({:?} scale)", topo.label(), scale);
+    println!("algorithm,pattern,offered_load,throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,sustainable");
+    let mut all = Vec::new();
+    for &(name, algo) in algorithms {
+        let mut series = turnroute_sim::sweep(topo, algo, pattern, &config, loads);
+        series.algorithm = name.to_owned();
+        print!("{}", series.to_csv());
+        eprintln!(
+            "#   {:<16} max sustainable throughput {:>8.1} flits/usec",
+            name,
+            series.max_sustainable_throughput()
+        );
+        all.push(series);
+    }
+    all
+}
+
+/// Formats a ratio like the paper's "twice"/"four times" claims.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_full() {
+        let q = Scale::Quick.config();
+        let f = Scale::Full.config();
+        assert!(q.measure_cycles < f.measure_cycles);
+        assert!(q.warmup_cycles < f.warmup_cycles);
+    }
+
+    #[test]
+    fn loads_are_increasing() {
+        for loads in [MESH_LOADS, CUBE_LOADS] {
+            assert!(loads.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(4.0, 2.0), 2.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,321 @@
+//! Degree-of-adaptiveness formulas (Sections 3.4, 4.1 and 5).
+//!
+//! `S_algorithm` is the number of distinct shortest paths a minimal
+//! algorithm allows between a source and a destination. The paper gives
+//! closed forms for the fully adaptive baseline and each partially
+//! adaptive algorithm; this module implements them (cross-checked against
+//! exhaustive path counting in `path_count`).
+
+use turnroute_topology::{NodeId, Topology};
+
+/// `(Σ deltas)! / Π (delta_i!)` — the number of shortest paths in a mesh
+/// with the given per-dimension offsets, i.e. `S_f` for a fully adaptive
+/// minimal algorithm.
+///
+/// Computed multiplicatively as a product of binomial coefficients so it
+/// fits in `u128` far beyond the sizes the paper considers.
+///
+/// # Panics
+///
+/// Panics on overflow (offsets totalling beyond ~128 hops in a square
+/// mesh).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::adaptiveness::multinomial;
+///
+/// assert_eq!(multinomial(&[2, 2]), 6);   // 4!/2!2!
+/// assert_eq!(multinomial(&[1, 1, 1]), 6); // 3!
+/// assert_eq!(multinomial(&[5, 0]), 1);
+/// ```
+pub fn multinomial(deltas: &[u64]) -> u128 {
+    let mut result: u128 = 1;
+    let mut placed: u64 = 0;
+    for &d in deltas {
+        for i in 1..=d {
+            placed += 1;
+            // result *= C(placed, i) incrementally: result * placed / i
+            // stays integral because it is a product of binomials.
+            result = result
+                .checked_mul(placed as u128)
+                .expect("multinomial overflow")
+                / i as u128;
+        }
+    }
+    result
+}
+
+/// The per-dimension absolute offsets between two nodes of a mesh.
+fn offsets(topo: &dyn Topology, src: NodeId, dst: NodeId) -> Vec<u64> {
+    let (s, d) = (topo.coord_of(src), topo.coord_of(dst));
+    (0..topo.num_dims())
+        .map(|i| (s.get(i) as i64 - d.get(i) as i64).unsigned_abs())
+        .collect()
+}
+
+/// Splits the offsets into (negative-going, positive-going) per
+/// dimension: `negative[i]` is the offset if the packet must travel minus
+/// along dimension `i`, else 0, and symmetrically for `positive`.
+fn signed_offsets(topo: &dyn Topology, src: NodeId, dst: NodeId) -> (Vec<u64>, Vec<u64>) {
+    let (s, d) = (topo.coord_of(src), topo.coord_of(dst));
+    let mut neg = Vec::with_capacity(topo.num_dims());
+    let mut pos = Vec::with_capacity(topo.num_dims());
+    for i in 0..topo.num_dims() {
+        let delta = d.get(i) as i64 - s.get(i) as i64;
+        neg.push(if delta < 0 { (-delta) as u64 } else { 0 });
+        pos.push(if delta > 0 { delta as u64 } else { 0 });
+    }
+    (neg, pos)
+}
+
+/// `S_f`: shortest paths available to a fully adaptive minimal algorithm
+/// in a mesh.
+pub fn fully_adaptive_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    multinomial(&offsets(topo, src, dst))
+}
+
+/// `S_west-first` (Section 3.4): the full multinomial when the
+/// destination is not to the west, otherwise exactly one path.
+pub fn west_first_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    assert_eq!(topo.num_dims(), 2, "west-first is a 2D algorithm");
+    let (s, d) = (topo.coord_of(src), topo.coord_of(dst));
+    if d.get(0) >= s.get(0) {
+        fully_adaptive_shortest_paths(topo, src, dst)
+    } else {
+        1
+    }
+}
+
+/// `S_north-last` (Section 3.4): the full multinomial when the
+/// destination is not to the north, otherwise exactly one path.
+pub fn north_last_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    assert_eq!(topo.num_dims(), 2, "north-last is a 2D algorithm");
+    let (s, d) = (topo.coord_of(src), topo.coord_of(dst));
+    if d.get(1) <= s.get(1) {
+        fully_adaptive_shortest_paths(topo, src, dst)
+    } else {
+        1
+    }
+}
+
+/// `S_negative-first` for n-dimensional meshes: the negative-going and
+/// positive-going corrections are each fully adaptive among themselves
+/// but may not interleave, so the count is the product of their
+/// multinomials. In 2D this reduces to Section 3.4's case split (full
+/// multinomial when both offsets have the same sign, one path otherwise).
+pub fn negative_first_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    let (neg, pos) = signed_offsets(topo, src, dst);
+    multinomial(&neg) * multinomial(&pos)
+}
+
+/// `S_abonf` for n-dimensional meshes: phase one is the negative
+/// corrections of all but the last dimension, phase two everything else.
+pub fn abonf_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    let (mut neg, mut pos) = signed_offsets(topo, src, dst);
+    let n = topo.num_dims();
+    // The last dimension's negative correction belongs to phase two.
+    pos[n - 1] += neg[n - 1];
+    neg[n - 1] = 0;
+    multinomial(&neg) * multinomial(&pos)
+}
+
+/// `S_abopl` for n-dimensional meshes: phase one is the negative
+/// corrections plus the positive correction of dimension 0, phase two the
+/// remaining positive corrections.
+pub fn abopl_shortest_paths(topo: &dyn Topology, src: NodeId, dst: NodeId) -> u128 {
+    let (mut neg, mut pos) = signed_offsets(topo, src, dst);
+    // Dimension 0's positive correction belongs to phase one.
+    neg[0] += pos[0];
+    pos[0] = 0;
+    multinomial(&neg) * multinomial(&pos)
+}
+
+/// `S_p-cube` (Section 5): `h1! * h0!`, where `h1` counts the 1->0
+/// corrections and `h0` the 0->1 corrections between the addresses.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::adaptiveness::pcube_shortest_paths;
+///
+/// // The Section 5 worked example: h1 = h0 = 3, so 3! * 3! = 36 paths.
+/// assert_eq!(pcube_shortest_paths(0b1011010100, 0b0010111001), 36);
+/// ```
+pub fn pcube_shortest_paths(src: usize, dst: usize) -> u128 {
+    let h1 = (src & !dst).count_ones() as u64;
+    let h0 = (!src & dst).count_ones() as u64;
+    factorial(h1) * factorial(h0)
+}
+
+/// `S_f` in a hypercube: `h!` over the Hamming distance `h`.
+pub fn hypercube_fully_adaptive_shortest_paths(src: usize, dst: usize) -> u128 {
+    factorial((src ^ dst).count_ones() as u64)
+}
+
+/// `n!` as a `u128`.
+///
+/// # Panics
+///
+/// Panics for `n > 33` (overflow).
+pub fn factorial(n: u64) -> u128 {
+    (1..=n as u128).product()
+}
+
+/// The mean of `S_p / S_f` over all ordered pairs of distinct nodes — the
+/// paper's summary measure of partial adaptiveness. `ratio` receives
+/// `(src, dst)` and returns `(S_p, S_f)`.
+pub fn average_adaptiveness_ratio(
+    topo: &dyn Topology,
+    ratio: impl Fn(NodeId, NodeId) -> (u128, u128),
+) -> f64 {
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s == d {
+                continue;
+            }
+            let (sp, sf) = ratio(s, d);
+            total += sp as f64 / sf as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Hypercube, Mesh};
+
+    #[test]
+    fn multinomial_basics() {
+        assert_eq!(multinomial(&[]), 1);
+        assert_eq!(multinomial(&[0, 0]), 1);
+        assert_eq!(multinomial(&[3, 2]), 10);
+        assert_eq!(multinomial(&[15, 15]), 155117520); // 30!/(15!)^2
+        assert_eq!(multinomial(&[1; 6]), 720);
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(3), 6);
+        assert_eq!(factorial(10), 3628800);
+    }
+
+    #[test]
+    fn west_first_case_split() {
+        let mesh = Mesh::new_2d(8, 8);
+        let s = mesh.node_at(&[4, 4].into());
+        // Destination east: fully adaptive.
+        let east = mesh.node_at(&[6, 6].into());
+        assert_eq!(west_first_shortest_paths(&mesh, s, east), 6);
+        // Destination west: a single path.
+        let west = mesh.node_at(&[2, 6].into());
+        assert_eq!(west_first_shortest_paths(&mesh, s, west), 1);
+    }
+
+    #[test]
+    fn north_last_case_split() {
+        let mesh = Mesh::new_2d(8, 8);
+        let s = mesh.node_at(&[4, 4].into());
+        let south = mesh.node_at(&[6, 2].into());
+        assert_eq!(north_last_shortest_paths(&mesh, s, south), 6);
+        let north = mesh.node_at(&[6, 6].into());
+        assert_eq!(north_last_shortest_paths(&mesh, s, north), 1);
+    }
+
+    #[test]
+    fn negative_first_case_split_2d() {
+        let mesh = Mesh::new_2d(8, 8);
+        let s = mesh.node_at(&[4, 4].into());
+        // Both offsets negative: fully adaptive.
+        assert_eq!(
+            negative_first_shortest_paths(&mesh, s, mesh.node_at(&[2, 2].into())),
+            6
+        );
+        // Both positive: fully adaptive.
+        assert_eq!(
+            negative_first_shortest_paths(&mesh, s, mesh.node_at(&[6, 6].into())),
+            6
+        );
+        // Mixed: exactly one shortest path.
+        assert_eq!(
+            negative_first_shortest_paths(&mesh, s, mesh.node_at(&[2, 6].into())),
+            1
+        );
+    }
+
+    #[test]
+    fn negative_first_product_form_3d() {
+        let mesh = Mesh::new(vec![5, 5, 5]);
+        let s = mesh.node_at(&[4, 0, 4].into());
+        let d = mesh.node_at(&[1, 2, 2].into());
+        // Negative offsets (3, 0, 2), positive (0, 2, 0):
+        // 5!/(3!2!) * 1 = 10.
+        assert_eq!(negative_first_shortest_paths(&mesh, s, d), 10);
+    }
+
+    #[test]
+    fn pcube_matches_section5_example() {
+        assert_eq!(pcube_shortest_paths(0b1011010100, 0b0010111001), 36);
+        assert_eq!(
+            hypercube_fully_adaptive_shortest_paths(0b1011010100, 0b0010111001),
+            720
+        );
+    }
+
+    #[test]
+    fn average_ratio_exceeds_half_in_2d() {
+        // Section 3.4: averaged across all pairs, S_p / S_f > 1/2.
+        let mesh = Mesh::new_2d(8, 8);
+        for f in [
+            west_first_shortest_paths,
+            north_last_shortest_paths,
+            negative_first_shortest_paths,
+        ] as [fn(&dyn Topology, NodeId, NodeId) -> u128; 3]
+        {
+            let avg = average_adaptiveness_ratio(&mesh, |s, d| {
+                (f(&mesh, s, d), fully_adaptive_shortest_paths(&mesh, s, d))
+            });
+            assert!(avg > 0.5, "average ratio {avg} should exceed 1/2");
+        }
+    }
+
+    #[test]
+    fn average_ratio_exceeds_bound_in_higher_dims() {
+        // Section 4.1: averaged across all pairs, S_p/S_f > 1/2^(n-1).
+        let mesh = Mesh::new(vec![4, 4, 4]);
+        let avg = average_adaptiveness_ratio(&mesh, |s, d| {
+            (
+                negative_first_shortest_paths(&mesh, s, d),
+                fully_adaptive_shortest_paths(&mesh, s, d),
+            )
+        });
+        assert!(avg > 0.25, "3D bound is 1/4, got {avg}");
+
+        let cube = Hypercube::new(6);
+        let avg = average_adaptiveness_ratio(&cube, |s, d| {
+            (
+                pcube_shortest_paths(s.index(), d.index()),
+                hypercube_fully_adaptive_shortest_paths(s.index(), d.index()),
+            )
+        });
+        assert!(avg > 1.0 / 32.0, "6-cube bound is 1/32, got {avg}");
+    }
+
+    #[test]
+    fn pcube_is_negative_first_on_the_hypercube() {
+        let cube = Hypercube::new(5);
+        for s in cube.nodes() {
+            for d in cube.nodes() {
+                assert_eq!(
+                    pcube_shortest_paths(s.index(), d.index()),
+                    negative_first_shortest_paths(&cube, s, d)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Nonadaptive dimension-order routing: `xy` in meshes, `e-cube` in
+//! hypercubes.
+
+use crate::algorithms::RoutingAlgorithm;
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// Dimension-order routing: correct the offset in dimension 0 completely,
+/// then dimension 1, and so on.
+///
+/// This is the `xy` routing algorithm for 2D meshes and the `e-cube`
+/// algorithm for hypercubes — the nonadaptive, deadlock-free baselines
+/// the paper compares against. Exactly one direction is ever permitted,
+/// so routing is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{DimensionOrder, RoutingAlgorithm};
+/// use turnroute_topology::{Direction, Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let xy = DimensionOrder::new();
+/// let from = mesh.node_at(&[2, 2].into());
+/// let to = mesh.node_at(&[5, 7].into());
+/// // x before y, always.
+/// let dirs = xy.route(&mesh, from, to, None);
+/// assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::EAST]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DimensionOrder {
+    _private: (),
+}
+
+impl DimensionOrder {
+    /// Creates the dimension-order router.
+    pub fn new() -> Self {
+        DimensionOrder { _private: () }
+    }
+
+    /// The conventional name on the given topology: `"xy"` on 2D meshes,
+    /// `"e-cube"` on hypercubes, `"dimension-order"` otherwise.
+    pub fn conventional_name(topo: &dyn Topology) -> &'static str {
+        if topo.num_dims() == 2 && !topo.wraps(0) {
+            "xy"
+        } else if (0..topo.num_dims()).all(|d| topo.radix(d) == 2) {
+            "e-cube"
+        } else {
+            "dimension-order"
+        }
+    }
+}
+
+impl RoutingAlgorithm for DimensionOrder {
+    fn name(&self) -> String {
+        "dimension-order".to_owned()
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        _arrived: Option<Direction>,
+    ) -> DirSet {
+        // The productive direction in the lowest unresolved dimension.
+        // `DirSet::first` iterates lowest dimension first, which is
+        // exactly dimension order.
+        let mut set = DirSet::new();
+        if let Some(dir) = topo.minimal_directions(current, dest).first() {
+            set.insert(dir);
+        }
+        set
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{check_routing_contract, walk};
+    use turnroute_topology::{Hypercube, Mesh};
+
+    #[test]
+    fn xy_resolves_x_before_y() {
+        let mesh = Mesh::new_2d(8, 8);
+        let xy = DimensionOrder::new();
+        let from = mesh.node_at(&[2, 6].into());
+        let to = mesh.node_at(&[6, 1].into());
+        let path = walk(&xy, &mesh, from, to);
+        // First 4 hops east, then 5 hops south.
+        let coords: Vec<_> = path.iter().map(|&n| mesh.coord_of(n)).collect();
+        for w in coords.windows(2).take(4) {
+            assert_eq!(w[1].get(0), w[0].get(0) + 1, "x leg first");
+            assert_eq!(w[1].get(1), w[0].get(1));
+        }
+        for w in coords.windows(2).skip(4) {
+            assert_eq!(w[1].get(0), w[0].get(0));
+            assert_eq!(w[1].get(1), w[0].get(1) - 1, "y leg second");
+        }
+    }
+
+    #[test]
+    fn ecube_resolves_lowest_dimension_first() {
+        let cube = Hypercube::new(6);
+        let ecube = DimensionOrder::new();
+        let from = NodeId::new(0b101101);
+        let to = NodeId::new(0b010110);
+        let path = walk(&ecube, &cube, from, to);
+        assert_eq!(path.len(), cube.distance(from, to) + 1);
+        // Dimensions are corrected in ascending order.
+        let dims: Vec<usize> = path
+            .windows(2)
+            .map(|w| (w[0].index() ^ w[1].index()).trailing_zeros() as usize)
+            .collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims, sorted);
+    }
+
+    #[test]
+    fn exactly_one_direction_is_permitted() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        let algo = DimensionOrder::new();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let dirs = algo.route(&mesh, s, d, None);
+                assert_eq!(dirs.len(), usize::from(s != d));
+            }
+        }
+    }
+
+    #[test]
+    fn contract_holds() {
+        let algo = DimensionOrder::new();
+        check_routing_contract(&algo, &Mesh::new_2d(5, 4));
+        check_routing_contract(&algo, &Hypercube::new(4));
+    }
+
+    #[test]
+    fn conventional_names() {
+        assert_eq!(
+            DimensionOrder::conventional_name(&Mesh::new_2d(4, 4)),
+            "xy"
+        );
+        assert_eq!(
+            DimensionOrder::conventional_name(&Hypercube::new(4)),
+            "e-cube"
+        );
+        assert_eq!(
+            DimensionOrder::conventional_name(&Mesh::new(vec![4, 4, 4])),
+            "dimension-order"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The routing algorithms of the paper, behind one trait.
+//!
+//! Every algorithm answers the single question a wormhole router asks:
+//! *given where this header is, where it is going, and which direction it
+//! arrived from, which output directions may it take?* The answer is a
+//! [`DirSet`]; arbitration among the permitted directions is the
+//! simulator's output-selection policy, not the algorithm's business.
+
+mod dimension_order;
+mod pcube;
+mod torus_routing;
+mod turn_routing;
+mod two_phase;
+
+pub use dimension_order::DimensionOrder;
+pub use pcube::PCube;
+pub use torus_routing::{FirstHopWraparound, NegativeFirstTorus};
+pub use turn_routing::TurnSetRouting;
+pub use two_phase::{Abonf, Abopl, NegativeFirst, NorthLast, TwoPhase, WestFirst};
+
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// A wormhole routing algorithm: a *routing relation* from (current node,
+/// destination, arrival direction) to the set of output directions the
+/// header may request.
+///
+/// Implementations must guarantee:
+///
+/// * **progress** — if `current != dest`, the returned set is non-empty
+///   whenever the packet is in a state the algorithm can produce (for
+///   minimal algorithms: always);
+/// * **termination** — repeatedly following any permitted direction
+///   reaches `dest` in finitely many hops (livelock freedom);
+/// * the set only contains directions with an existing output channel.
+///
+/// Deadlock freedom is a property of the relation as a whole and is
+/// checked separately via
+/// [`ChannelDependencyGraph`](crate::ChannelDependencyGraph).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{RoutingAlgorithm, WestFirst};
+/// use turnroute_topology::{Direction, Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let wf = WestFirst::minimal();
+/// let from = mesh.node_at(&[4, 4].into());
+/// let to = mesh.node_at(&[1, 6].into());
+/// // Destination is to the west: the packet must travel west first.
+/// let dirs = wf.route(&mesh, from, to, None);
+/// assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::WEST]);
+/// ```
+pub trait RoutingAlgorithm {
+    /// A short name for tables and plots, e.g. `"west-first"`.
+    fn name(&self) -> String;
+
+    /// The output directions the header may request next.
+    ///
+    /// `arrived` is the direction of the channel the header occupies
+    /// (`None` if the packet is still at its source). Minimal stateless
+    /// algorithms may ignore it; turn-constrained nonminimal ones need
+    /// it.
+    ///
+    /// Must return the empty set iff `current == dest`.
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet;
+
+    /// `true` if the algorithm ever offers more than one direction.
+    fn is_adaptive(&self) -> bool;
+
+    /// `true` if the algorithm only uses shortest paths.
+    fn is_minimal(&self) -> bool;
+}
+
+/// Follows `algorithm` from `source` to `dest`, always taking the first
+/// permitted direction in index order (the paper's "xy" output-selection
+/// policy), and returns the node sequence including both endpoints.
+///
+/// Useful for tests, examples and path visualisation.
+///
+/// # Panics
+///
+/// Panics if the algorithm returns an empty set away from the
+/// destination, returns a direction without a channel, or fails to reach
+/// `dest` within `4 * (diameter-bound)` hops — all violations of the
+/// [`RoutingAlgorithm`] contract.
+pub fn walk(
+    algorithm: &dyn RoutingAlgorithm,
+    topo: &dyn Topology,
+    source: NodeId,
+    dest: NodeId,
+) -> Vec<NodeId> {
+    let mut path = vec![source];
+    let mut current = source;
+    let mut arrived = None;
+    let hop_limit = 4 * (topo.num_nodes() + 1);
+    while current != dest {
+        assert!(path.len() <= hop_limit, "walk exceeded hop limit: livelock?");
+        let dirs = algorithm.route(topo, current, dest, arrived);
+        let dir = dirs
+            .first()
+            .expect("routing algorithm returned no direction away from dest");
+        current = topo
+            .neighbor(current, dir)
+            .expect("routing algorithm returned a direction without a channel");
+        arrived = Some(dir);
+        path.push(current);
+    }
+    path
+}
+
+/// Checks the [`RoutingAlgorithm`] contract for every source/destination
+/// pair by exhaustive depth-first traversal of the relation: every
+/// reachable `(node, arrived)` state away from the destination offers at
+/// least one direction, every offered direction has a channel, and (for
+/// minimal algorithms) every offered direction reduces the distance.
+///
+/// Returns the number of `(source, dest)` pairs checked.
+///
+/// # Panics
+///
+/// Panics on the first contract violation.
+pub fn check_routing_contract(
+    algorithm: &dyn RoutingAlgorithm,
+    topo: &dyn Topology,
+) -> usize {
+    let mut pairs = 0;
+    for source in topo.nodes() {
+        for dest in topo.nodes() {
+            if source == dest {
+                continue;
+            }
+            pairs += 1;
+            // DFS over (node, arrived) states.
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![(source, None::<Direction>)];
+            while let Some((node, arrived)) = stack.pop() {
+                if node == dest || !seen.insert((node, arrived)) {
+                    continue;
+                }
+                let dirs = algorithm.route(topo, node, dest, arrived);
+                assert!(
+                    !dirs.is_empty(),
+                    "{} offers no direction at {} toward {} (arrived {:?})",
+                    algorithm.name(),
+                    node,
+                    dest,
+                    arrived
+                );
+                for dir in dirs {
+                    let next = topo.neighbor(node, dir).unwrap_or_else(|| {
+                        panic!(
+                            "{} offers {} at {} with no channel",
+                            algorithm.name(),
+                            dir,
+                            node
+                        )
+                    });
+                    if algorithm.is_minimal() {
+                        assert!(
+                            topo.distance(next, dest) < topo.distance(node, dest),
+                            "{} offers unproductive {} at {} toward {}",
+                            algorithm.name(),
+                            dir,
+                            node,
+                            dest
+                        );
+                    }
+                    stack.push((next, Some(dir)));
+                }
+            }
+        }
+    }
+    pairs
+}

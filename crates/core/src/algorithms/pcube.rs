@@ -1,0 +1,201 @@
+//! The p-cube routing algorithm for hypercubes (Section 5).
+
+use crate::algorithms::RoutingAlgorithm;
+use turnroute_topology::{DirSet, Direction, NodeId, Sign, Topology};
+
+/// The p-cube routing algorithm: the hypercube special case of
+/// negative-first, computed with the paper's bitwise steps (Figs. 11
+/// and 12).
+///
+/// Let `C` be the current node's address and `D` the destination's. In
+/// the minimal variant, phase one routes along any dimension `i` with
+/// `c_i = 1, d_i = 0` (computed as `R = C & !D`); when `R = 0`, phase two
+/// routes along any dimension with `c_i = 0, d_i = 1` (`R = !C & D`).
+/// The nonminimal variant's phase one may additionally route along any
+/// dimension with `c_i = 1, d_i = 1` — a misroute that clears a bit that
+/// will have to be set again — as long as the packet has not yet made a
+/// phase-two (upward) hop.
+///
+/// The number of shortest paths offered is `h1! * h0!` where `h1` and
+/// `h0` count the 1->0 and 0->1 corrections (Section 5); see
+/// [`crate::adaptiveness::pcube_shortest_paths`].
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{PCube, RoutingAlgorithm};
+/// use turnroute_topology::{Hypercube, NodeId};
+///
+/// let cube = Hypercube::new(4);
+/// let pcube = PCube::minimal();
+/// // From 0b1100 to 0b0101: clear bit 3 first (bit 2 stays), then set bit 0.
+/// let dirs = pcube.route(&cube, NodeId::new(0b1100), NodeId::new(0b0101), None);
+/// assert_eq!(dirs.len(), 1); // only one 1->0 correction: dimension 3
+/// ```
+#[derive(Debug, Clone)]
+pub struct PCube {
+    minimal: bool,
+}
+
+impl PCube {
+    /// The minimal p-cube algorithm (Fig. 11).
+    pub fn minimal() -> Self {
+        PCube { minimal: true }
+    }
+
+    /// The nonminimal p-cube algorithm (Fig. 12), which is more adaptive
+    /// and fault tolerant.
+    pub fn nonminimal() -> Self {
+        PCube { minimal: false }
+    }
+
+    fn assert_hypercube(topo: &dyn Topology) {
+        assert!(
+            (0..topo.num_dims()).all(|d| topo.radix(d) == 2 && !topo.wraps(d)),
+            "p-cube routing requires a hypercube"
+        );
+    }
+}
+
+impl RoutingAlgorithm for PCube {
+    fn name(&self) -> String {
+        "p-cube".to_owned()
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        Self::assert_hypercube(topo);
+        let (c, d) = (current.index(), dest.index());
+        if c == d {
+            return DirSet::new();
+        }
+        let mut set = DirSet::new();
+        // Phase one: dimensions with c_i = 1 and d_i = 0.
+        let down = c & !d;
+        if self.minimal {
+            let r = if down != 0 { down } else { !c & d };
+            for i in 0..topo.num_dims() {
+                if r >> i & 1 == 1 {
+                    // 1 -> 0 hops travel minus; 0 -> 1 hops travel plus.
+                    let sign = if c >> i & 1 == 1 { Sign::Minus } else { Sign::Plus };
+                    set.insert(Direction::new(i, sign));
+                }
+            }
+            return set;
+        }
+
+        // Nonminimal (Fig. 12): while productive 1->0 corrections remain,
+        // phase one may clear *any* set bit — the shared bits (c_i = 1,
+        // d_i = 1) are the extra nonminimal choices of the Section 5
+        // table. Once `down` is empty the packet is in phase two and only
+        // sets missing bits (clearing a shared bit then would add two
+        // hops with no remaining adaptivity to buy).
+        let _ = arrived; // phase is derivable from the addresses alone
+        if down != 0 {
+            for i in 0..topo.num_dims() {
+                if c >> i & 1 == 1 {
+                    set.insert(Direction::minus(i));
+                }
+            }
+        } else {
+            for i in 0..topo.num_dims() {
+                if (!c & d) >> i & 1 == 1 {
+                    set.insert(Direction::plus(i));
+                }
+            }
+        }
+        set
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.minimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{check_routing_contract, walk, NegativeFirst};
+    use turnroute_topology::Hypercube;
+
+    #[test]
+    fn phase_one_clears_bits_phase_two_sets_them() {
+        let cube = Hypercube::new(6);
+        let pcube = PCube::minimal();
+        let c = NodeId::new(0b110100);
+        let d = NodeId::new(0b001101);
+        // c & !d = 0b110000: dimensions 4 and 5 may be cleared.
+        let dirs = pcube.route(&cube, c, d, None);
+        let got: Vec<_> = dirs.iter().collect();
+        assert_eq!(got, vec![Direction::minus(4), Direction::minus(5)]);
+        // Once only upward corrections remain: !c & d = 0b001001.
+        let c2 = NodeId::new(0b000100);
+        let dirs = pcube.route(&cube, c2, d, Some(Direction::minus(4)));
+        let got: Vec<_> = dirs.iter().collect();
+        assert_eq!(got, vec![Direction::plus(0), Direction::plus(3)]);
+    }
+
+    #[test]
+    fn minimal_pcube_equals_negative_first_on_hypercube() {
+        let cube = Hypercube::new(5);
+        let pcube = PCube::minimal();
+        let nf = NegativeFirst::with_dims(5, true);
+        for s in cube.nodes() {
+            for d in cube.nodes() {
+                assert_eq!(
+                    pcube.route(&cube, s, d, None),
+                    nf.route(&cube, s, d, None),
+                    "s={s} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contract_holds_minimal_and_nonminimal() {
+        let cube = Hypercube::new(4);
+        check_routing_contract(&PCube::minimal(), &cube);
+        check_routing_contract(&PCube::nonminimal(), &cube);
+    }
+
+    #[test]
+    fn walks_are_minimal() {
+        let cube = Hypercube::new(8);
+        let pcube = PCube::minimal();
+        let s = NodeId::new(0b1011_0101);
+        let d = NodeId::new(0b0010_1110);
+        let path = walk(&pcube, &cube, s, d);
+        assert_eq!(path.len(), cube.distance(s, d) + 1);
+    }
+
+    #[test]
+    fn nonminimal_offers_extra_downward_choices() {
+        // The Section 5 table's "(+2)" entries: at the source of the
+        // worked example, minimal p-cube offers 3 choices and nonminimal
+        // adds 2 more (the set bits shared with the destination).
+        let cube = Hypercube::new(10);
+        let s = NodeId::new(0b1011010100);
+        let d = NodeId::new(0b0010111001);
+        let minimal = PCube::minimal().route(&cube, s, d, None);
+        let nonminimal = PCube::nonminimal().route(&cube, s, d, None);
+        assert_eq!(minimal.len(), 3);
+        assert_eq!(nonminimal.len(), 5);
+        assert!(minimal.difference(nonminimal).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a hypercube")]
+    fn rejects_non_hypercubes() {
+        let mesh = turnroute_topology::Mesh::new_2d(4, 4);
+        let _ = PCube::minimal().route(&mesh, NodeId::new(0), NodeId::new(5), None);
+    }
+}

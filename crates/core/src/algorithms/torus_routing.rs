@@ -1,0 +1,404 @@
+//! Turn-model routing on k-ary n-cubes (Section 4.2).
+//!
+//! Tori have cycles that involve no turns at all (the rings), so a mesh
+//! turn set alone cannot prevent deadlock — see
+//! `ChannelDependencyGraph::plain_turn_set_on_torus_deadlocks` in the CDG
+//! tests. The paper extends the mesh algorithms two ways, both
+//! implemented here:
+//!
+//! 1. [`FirstHopWraparound`] — wraparound channels may be used only as a
+//!    packet's very first hop; afterwards the packet routes on the mesh
+//!    sub-network with any mesh algorithm.
+//! 2. [`NegativeFirstTorus`] — classify every wraparound channel by the
+//!    coordinate direction it routes packets (the `(k-1) -> 0` channel is
+//!    a *negative* channel, the `0 -> (k-1)` channel a *positive* one)
+//!    and apply negative-first over the classification. Strictly
+//!    nonminimal, as the paper notes all deadlock-free torus algorithms
+//!    without extra channels must be for `k > 4`.
+
+use crate::algorithms::RoutingAlgorithm;
+use turnroute_topology::{DirSet, Direction, Mesh, NodeId, Sign, Topology, Torus};
+
+/// Torus routing that admits wraparound channels only on a packet's
+/// first hop, then runs a mesh algorithm on the mesh sub-network.
+///
+/// Deadlock free whenever the base algorithm is: no network channel ever
+/// depends *into* a wraparound channel, so wraparound channels cannot lie
+/// on a dependency cycle.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{FirstHopWraparound, NegativeFirst, RoutingAlgorithm};
+/// use turnroute_topology::{NodeId, Topology, Torus};
+///
+/// let torus = Torus::new(8, 1);
+/// let algo = FirstHopWraparound::new(&torus, NegativeFirst::with_dims(1, true));
+/// // 1 -> 7 can take the 1 -> 0 mesh hop... but better, the first hop may
+/// // be the wraparound jump toward 7's side of the mesh.
+/// let dirs = algo.route(&torus, NodeId::new(0), NodeId::new(7), None);
+/// assert!(!dirs.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstHopWraparound<A> {
+    base: A,
+    /// The torus's mesh sub-network: identical node numbering, only the
+    /// non-wraparound channels.
+    mesh: Mesh,
+}
+
+impl<A: RoutingAlgorithm> FirstHopWraparound<A> {
+    /// Wraps `base` (a mesh algorithm) for use on `torus`.
+    pub fn new(torus: &Torus, base: A) -> Self {
+        let dims = vec![torus.k(); torus.num_dims()];
+        FirstHopWraparound { base, mesh: Mesh::new(dims) }
+    }
+
+    /// The base mesh algorithm.
+    pub fn base(&self) -> &A {
+        &self.base
+    }
+}
+
+impl<A: RoutingAlgorithm> RoutingAlgorithm for FirstHopWraparound<A> {
+    fn name(&self) -> String {
+        format!("{}+first-hop-wrap", self.base.name())
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        assert_eq!(
+            topo.num_nodes(),
+            self.mesh.num_nodes(),
+            "constructed for a different torus"
+        );
+        if current == dest {
+            return DirSet::new();
+        }
+        // After the first hop: pure mesh routing (node ids are shared
+        // between the torus and its mesh sub-network).
+        let mut dirs = self.base.route(&self.mesh, current, dest, arrived);
+        if arrived.is_none() {
+            // The first hop may also be a wraparound channel, if it
+            // strictly shortens the remaining mesh route.
+            let here = self.mesh.distance(current, dest);
+            for dir in Direction::all(topo.num_dims()) {
+                if let Some(id) = topo.channel_from(current, dir) {
+                    let ch = topo.channel(id);
+                    if ch.wraparound && self.mesh.distance(ch.dst, dest) < here {
+                        dirs.insert(dir);
+                    }
+                }
+            }
+        }
+        dirs
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_minimal(&self) -> bool {
+        // Minimal on the mesh sub-network, but not with respect to torus
+        // distance.
+        false
+    }
+}
+
+/// Which of negative-first's phases a torus packet is in, derived from
+/// the coordinate-direction class of its last hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No positive-class hop taken yet: negative channels still usable.
+    NegOk,
+    /// A positive-class hop has been taken: positive channels only.
+    PosOnly,
+}
+
+/// The negative-first algorithm extended to k-ary n-cubes by classifying
+/// wraparound channels by the coordinate direction they route packets
+/// (Section 4.2).
+///
+/// A mesh `x -> x-1` channel and the wraparound `(k-1) -> 0` channel are
+/// *negative class*; a mesh `x -> x+1` channel and the wraparound
+/// `0 -> (k-1)` channel are *positive class*. A packet makes all its
+/// negative-class hops before any positive-class hop. Within that
+/// constraint this implementation offers every hop that lies on a
+/// shortest remaining legal route (computed from per-dimension distance
+/// tables), so routes are as short as the phase discipline permits —
+/// which for `k > 4` is sometimes longer than the torus distance: the
+/// algorithm is strictly nonminimal, exactly as the paper observes.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{NegativeFirstTorus, RoutingAlgorithm};
+/// use turnroute_topology::{NodeId, Topology, Torus};
+///
+/// let torus = Torus::new(8, 2);
+/// let algo = NegativeFirstTorus::new(&torus);
+/// let path_len = turnroute_core::walk(&algo, &torus, NodeId::new(0), NodeId::new(63)).len() - 1;
+/// assert!(path_len >= torus.distance(NodeId::new(0), NodeId::new(63)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NegativeFirstTorus {
+    k: usize,
+    num_dims: usize,
+    /// `cost[phase][x * k + d]`: hops to correct one dimension from
+    /// coordinate `x` to `d`, given the phase.
+    cost: [Vec<u32>; 2],
+}
+
+impl NegativeFirstTorus {
+    /// Builds the per-dimension distance tables for `torus`.
+    pub fn new(torus: &Torus) -> Self {
+        let k = torus.k();
+        // Dynamic programming over the per-dimension state graph:
+        //   (x, NegOk)  -neg->  (x-1, NegOk)      for x > 0
+        //   (k-1, NegOk) -neg-> (0, NegOk)        (negative-class wrap)
+        //   (x, p)      -pos->  (x+1, PosOnly)    for x < k-1
+        //   (0, p)      -pos->  (k-1, PosOnly)    (positive-class wrap)
+        // PosOnly distances first (they do not depend on NegOk ones).
+        let mut pos_only = vec![u32::MAX; k * k];
+        for d in 0..k {
+            // From x, positive-class reachability: x..=k-1 by mesh hops,
+            // plus the 0 -> k-1 jump.
+            for x in 0..k {
+                let direct = if d >= x { (d - x) as u32 } else { u32::MAX };
+                let via_jump = if x == 0 && d == k - 1 { 1 } else { u32::MAX };
+                pos_only[x * k + d] = direct.min(via_jump);
+            }
+        }
+        let mut neg_ok = vec![u32::MAX; k * k];
+        for d in 0..k {
+            for x in 0..k {
+                // Choose the negative segment's endpoint y, then finish
+                // positive-only from y.
+                let mut best = u32::MAX;
+                for y in 0..=x {
+                    let neg = (x - y) as u32;
+                    let pos = pos_only[y * k + d];
+                    if pos != u32::MAX {
+                        best = best.min(neg + pos);
+                    }
+                }
+                // The negative-class wraparound: k-1 -> 0 in one hop.
+                if x == k - 1 && pos_only[d] != u32::MAX {
+                    best = best.min(1 + pos_only[d]);
+                }
+                neg_ok[x * k + d] = best;
+            }
+        }
+        NegativeFirstTorus { k, num_dims: torus.num_dims(), cost: [neg_ok, pos_only] }
+    }
+
+    fn cost_dim(&self, phase: Phase, x: usize, d: usize) -> u32 {
+        let table = match phase {
+            Phase::NegOk => &self.cost[0],
+            Phase::PosOnly => &self.cost[1],
+        };
+        table[x * self.k + d]
+    }
+
+    fn total_cost(&self, topo: &dyn Topology, node: NodeId, dest: NodeId, phase: Phase) -> Option<u32> {
+        let (c, d) = (topo.coord_of(node), topo.coord_of(dest));
+        let mut total = 0u32;
+        for dim in 0..self.num_dims {
+            let cost = self.cost_dim(phase, c.get(dim) as usize, d.get(dim) as usize);
+            if cost == u32::MAX {
+                return None;
+            }
+            total += cost;
+        }
+        Some(total)
+    }
+
+    /// The coordinate-direction class of arriving at `node` travelling
+    /// `dir`: positive if the hop increased the coordinate.
+    fn arrival_class(&self, topo: &dyn Topology, node: NodeId, dir: Direction) -> Phase {
+        let x = topo.coord_of(node).get(dir.dim()) as usize;
+        match dir.sign() {
+            // A plus hop into coordinate 0 was the (k-1) -> 0 wraparound:
+            // negative class.
+            Sign::Plus if x == 0 => Phase::NegOk,
+            Sign::Plus => Phase::PosOnly,
+            // A minus hop into coordinate k-1 was the 0 -> (k-1)
+            // wraparound: positive class.
+            Sign::Minus if x == self.k - 1 => Phase::PosOnly,
+            Sign::Minus => Phase::NegOk,
+        }
+    }
+
+    /// The class of leaving `node` along `dir`.
+    fn departure_class(&self, topo: &dyn Topology, node: NodeId, dir: Direction) -> Phase {
+        let x = topo.coord_of(node).get(dir.dim()) as usize;
+        match dir.sign() {
+            // k-1 -> 0 wraparound: negative class.
+            Sign::Plus if x == self.k - 1 => Phase::NegOk,
+            Sign::Plus => Phase::PosOnly,
+            // 0 -> k-1 wraparound: positive class.
+            Sign::Minus if x == 0 => Phase::PosOnly,
+            Sign::Minus => Phase::NegOk,
+        }
+    }
+}
+
+impl RoutingAlgorithm for NegativeFirstTorus {
+    fn name(&self) -> String {
+        "negative-first-torus".to_owned()
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == dest {
+            return DirSet::new();
+        }
+        let phase = match arrived {
+            None => Phase::NegOk,
+            Some(dir) => self.arrival_class(topo, current, dir),
+        };
+        let total = self
+            .total_cost(topo, current, dest, phase)
+            .expect("destination always reachable before any hop is taken");
+        let mut set = DirSet::new();
+        for dir in Direction::all(self.num_dims) {
+            let class = self.departure_class(topo, current, dir);
+            if phase == Phase::PosOnly && class == Phase::NegOk {
+                continue; // negative hops are spent
+            }
+            let Some(next) = topo.neighbor(current, dir) else { continue };
+            let next_phase = match class {
+                Phase::NegOk => Phase::NegOk,
+                Phase::PosOnly => Phase::PosOnly,
+            };
+            if self.total_cost(topo, next, dest, next_phase) == Some(total - 1) {
+                set.insert(dir);
+            }
+        }
+        set
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_minimal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{check_routing_contract, walk, NegativeFirst};
+    use crate::ChannelDependencyGraph;
+    use crate::Turn;
+    use crate::TurnSet;
+
+    #[test]
+    fn first_hop_wraparound_reaches_everyone() {
+        let torus = Torus::new(5, 2);
+        let algo = FirstHopWraparound::new(&torus, NegativeFirst::with_dims(2, true));
+        check_routing_contract(&algo, &torus);
+    }
+
+    #[test]
+    fn first_hop_wraparound_uses_the_shortcut() {
+        let torus = Torus::new(8, 1);
+        let algo = FirstHopWraparound::new(&torus, NegativeFirst::with_dims(1, true));
+        // 1 -> 7: mesh route is 6 hops east; wrap route is 1 -> 0 -> 7?
+        // No: the only useful wraparound from 1 doesn't exist; from 0 the
+        // 0 -> 7 wraparound makes it 2 hops.
+        let path = walk(&algo, &torus, NodeId::new(1), NodeId::new(7));
+        assert!(path.len() - 1 <= 6);
+        // 0 -> 7 directly: the first hop may be the wraparound.
+        let dirs = algo.route(&torus, NodeId::new(0), NodeId::new(7), None);
+        assert!(dirs.contains(Direction::minus(0)));
+    }
+
+    #[test]
+    fn negative_first_torus_contract() {
+        for (k, n) in [(4, 2), (5, 2), (8, 1)] {
+            let torus = Torus::new(k, n);
+            let algo = NegativeFirstTorus::new(&torus);
+            check_routing_contract(&algo, &torus);
+        }
+    }
+
+    #[test]
+    fn negative_first_torus_is_strictly_nonminimal_for_large_k() {
+        // Section 4.2: for k > 4 no deadlock-free minimal algorithm
+        // exists without extra channels; this algorithm takes the
+        // phase-legal shortest route, which is sometimes longer.
+        let torus = Torus::new(8, 1);
+        let algo = NegativeFirstTorus::new(&torus);
+        let mut stretched = 0;
+        for s in torus.nodes() {
+            for d in torus.nodes() {
+                if s == d {
+                    continue;
+                }
+                let path = walk(&algo, &torus, s, d);
+                let hops = path.len() - 1;
+                assert!(hops >= torus.distance(s, d));
+                if hops > torus.distance(s, d) {
+                    stretched += 1;
+                }
+            }
+        }
+        assert!(stretched > 0, "some pairs must be routed nonminimally");
+    }
+
+    #[test]
+    fn negative_first_torus_uses_negative_wraparound() {
+        let torus = Torus::new(8, 1);
+        let algo = NegativeFirstTorus::new(&torus);
+        // 7 -> 2: the (7 -> 0) wraparound is negative class; 7 -> 0 -> 1
+        // -> 2 is 3 hops versus 5 mesh hops down.
+        let path = walk(&algo, &torus, NodeId::new(7), NodeId::new(2));
+        assert_eq!(path.len() - 1, 3);
+        assert_eq!(path[1], NodeId::new(0));
+    }
+
+    #[test]
+    fn negative_first_torus_cdg_is_acyclic() {
+        // Dependency relation: hops follow the phase discipline; a
+        // positive-class channel may never be followed by a
+        // negative-class one.
+        let torus = Torus::new(5, 2);
+        let algo = NegativeFirstTorus::new(&torus);
+        let cdg = ChannelDependencyGraph::from_relation(&torus, |c1, c2| {
+            if c1.dst != c2.src {
+                return false;
+            }
+            // No 180-degree reversals within a dimension.
+            if c1.dir.dim() == c2.dir.dim() && c1.dir.sign() != c2.dir.sign() {
+                return false;
+            }
+            let cls1 = algo.arrival_class(&torus, c1.dst, c1.dir);
+            let cls2 = algo.departure_class(&torus, c2.src, c2.dir);
+            !(cls1 == Phase::PosOnly && cls2 == Phase::NegOk)
+        });
+        assert!(cdg.is_acyclic());
+    }
+
+    #[test]
+    fn first_hop_wraparound_cdg_is_acyclic() {
+        let torus = Torus::new(4, 2);
+        let set = TurnSet::west_first();
+        let cdg = ChannelDependencyGraph::from_relation(&torus, |c1, c2| {
+            !c2.wraparound && set.allows(Turn::new(c1.dir, c2.dir))
+        });
+        assert!(cdg.is_acyclic());
+    }
+}

@@ -1,0 +1,119 @@
+//! Routing directly from a turn set.
+
+use crate::algorithms::RoutingAlgorithm;
+use crate::TurnSet;
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// Minimal routing constrained only by a [`TurnSet`]: the permitted
+/// directions are the productive ones reachable by an allowed turn from
+/// the arrival direction.
+///
+/// This is the raw step-4 artifact of the turn model: plug in any turn
+/// set — including ones that do *not* prevent deadlock, like
+/// [`TurnSet::deadlocky_six_turns`], or that do not even guarantee a path
+/// exists — and observe the consequences. Unlike the named algorithms it
+/// makes **no progress guarantee**: a poorly chosen turn set can strand a
+/// packet ([`route`](RoutingAlgorithm::route) then returns an empty set
+/// away from the destination). The simulator treats that as a routing
+/// failure, and `examples/deadlock_demo.rs` uses exactly this type to
+/// reproduce Fig. 4's deadlock.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{TurnSet, TurnSetRouting, RoutingAlgorithm};
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let wf = TurnSetRouting::new(TurnSet::west_first());
+/// let from = mesh.node_at(&[1, 1].into());
+/// let to = mesh.node_at(&[5, 5].into());
+/// assert_eq!(wf.route(&mesh, from, to, None).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TurnSetRouting {
+    turns: TurnSet,
+}
+
+impl TurnSetRouting {
+    /// Creates minimal turn-set routing.
+    pub fn new(turns: TurnSet) -> Self {
+        TurnSetRouting { turns }
+    }
+
+    /// The turn set being routed within.
+    pub fn turn_set(&self) -> &TurnSet {
+        &self.turns
+    }
+}
+
+impl RoutingAlgorithm for TurnSetRouting {
+    fn name(&self) -> String {
+        format!("turn-set({})", self.turns)
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        let productive = topo.minimal_directions(current, dest);
+        match arrived {
+            None => productive,
+            Some(from) => productive.intersection(self.turns.turnable(from)),
+        }
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::walk;
+    use crate::Turn;
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn west_first_turn_set_routes_like_west_first_along_allowed_turns() {
+        let mesh = Mesh::new_2d(6, 6);
+        let algo = TurnSetRouting::new(TurnSet::west_first());
+        // Eastbound traffic is unrestricted and minimal.
+        let s = mesh.node_at(&[0, 0].into());
+        let d = mesh.node_at(&[5, 5].into());
+        let path = walk(&algo, &mesh, s, d);
+        assert_eq!(path.len(), mesh.distance(s, d) + 1);
+    }
+
+    #[test]
+    fn bad_turn_set_can_strand_a_packet() {
+        // With north->east prohibited, a packet that goes north first can
+        // no longer correct east: the permitted set goes empty.
+        let mesh = Mesh::new_2d(4, 4);
+        let mut set = TurnSet::fully_adaptive(2);
+        set.prohibit(Turn::new(Direction::NORTH, Direction::EAST));
+        let algo = TurnSetRouting::new(set);
+        let at = mesh.node_at(&[2, 2].into());
+        let dest = mesh.node_at(&[3, 2].into()); // due east
+        let dirs = algo.route(&mesh, at, dest, Some(Direction::NORTH));
+        assert!(dirs.is_empty());
+    }
+
+    #[test]
+    fn first_hop_is_unrestricted() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = TurnSetRouting::new(TurnSet::dimension_order(2));
+        let s = mesh.node_at(&[1, 1].into());
+        let d = mesh.node_at(&[2, 2].into());
+        let dirs = algo.route(&mesh, s, d, None);
+        assert_eq!(dirs.len(), 2);
+    }
+}

@@ -1,0 +1,500 @@
+//! Two-phase partially adaptive algorithms: west-first, north-last,
+//! negative-first, and their n-dimensional analogs ABONF and ABOPL.
+
+use crate::algorithms::RoutingAlgorithm;
+use crate::TurnSet;
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// A two-phase routing algorithm: route first adaptively among the
+/// *phase-one* directions, then adaptively among the remaining
+/// (*phase-two*) directions, never returning to phase one.
+///
+/// All of Section 3's and Section 4.1's algorithms are instances (see
+/// [`WestFirst`], [`NorthLast`], [`NegativeFirst`], [`Abonf`],
+/// [`Abopl`]); this type also lets you build your own split, e.g. to
+/// explore other of the "12 of 16" valid prohibition choices.
+///
+/// In **minimal** mode the permitted set is: the productive phase-one
+/// directions if any exist, otherwise the productive phase-two
+/// directions.
+///
+/// In **nonminimal** mode the permitted set contains every direction
+/// reachable by an allowed turn from the arrival direction *and* from
+/// which the destination is still reachable (once a phase-two hop is
+/// taken, every remaining offset must be correctable with phase-two
+/// directions). Nonminimal routes terminate because the algorithm's turn
+/// set is acyclic: any legal walk follows strictly monotone channel
+/// numbers and cannot revisit a channel.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{RoutingAlgorithm, TwoPhase};
+/// use turnroute_topology::{DirSet, Direction, Mesh, Topology};
+///
+/// // Negative-first, built by hand.
+/// let phase1: DirSet = [Direction::WEST, Direction::SOUTH].into_iter().collect();
+/// let nf = TwoPhase::new("negative-first", 2, phase1, true);
+/// let mesh = Mesh::new_2d(8, 8);
+/// let from = mesh.node_at(&[4, 4].into());
+/// let to = mesh.node_at(&[2, 2].into());
+/// // Both negative moves are on offer: adaptive.
+/// assert_eq!(nf.route(&mesh, from, to, None).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoPhase {
+    name: String,
+    num_dims: usize,
+    phase1: DirSet,
+    phase2: DirSet,
+    minimal: bool,
+}
+
+impl TwoPhase {
+    /// Creates a two-phase algorithm over `num_dims` dimensions whose
+    /// first phase uses `phase1`; phase two is the complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase1` contains directions outside `num_dims`
+    /// dimensions.
+    pub fn new(name: &str, num_dims: usize, phase1: DirSet, minimal: bool) -> Self {
+        let all = DirSet::all(num_dims);
+        assert!(
+            phase1.difference(all).is_empty(),
+            "phase-one directions outside the topology's dimensions"
+        );
+        TwoPhase {
+            name: name.to_owned(),
+            num_dims,
+            phase1,
+            phase2: all.difference(phase1),
+            minimal,
+        }
+    }
+
+    /// The phase-one directions.
+    pub fn phase1(&self) -> DirSet {
+        self.phase1
+    }
+
+    /// The phase-two directions.
+    pub fn phase2(&self) -> DirSet {
+        self.phase2
+    }
+
+    /// The turn set this algorithm routes within: all turns except those
+    /// from a phase-two direction back to a phase-one direction.
+    pub fn turn_set(&self) -> TurnSet {
+        TurnSet::from_phases(self.num_dims, &[self.phase1, self.phase2])
+    }
+
+    /// The directions an allowed turn can reach from `arrived`: any
+    /// direction at the source; within phase one, everything except a
+    /// reversal back into phase one; within phase two, the phase-two
+    /// directions except the reversal.
+    fn legal_from(&self, arrived: Option<Direction>) -> DirSet {
+        match arrived {
+            None => DirSet::all(self.num_dims),
+            Some(from) if self.phase1.contains(from) => {
+                let mut set = DirSet::all(self.num_dims);
+                if self.phase1.contains(from.opposite()) {
+                    set.remove(from.opposite());
+                }
+                set
+            }
+            Some(from) => {
+                let mut set = self.phase2;
+                set.remove(from.opposite());
+                set
+            }
+        }
+    }
+
+    /// `true` if, standing at `node` having taken a phase-two hop, every
+    /// remaining offset toward `dest` can be corrected with phase-two
+    /// directions only.
+    fn phase2_can_finish(&self, topo: &dyn Topology, node: NodeId, dest: NodeId) -> bool {
+        topo.minimal_directions(node, dest)
+            .difference(self.phase2)
+            .is_empty()
+    }
+}
+
+impl RoutingAlgorithm for TwoPhase {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == dest {
+            return DirSet::new();
+        }
+        let productive = topo.minimal_directions(current, dest);
+        if self.minimal {
+            let first = productive.intersection(self.phase1);
+            return if first.is_empty() {
+                productive.intersection(self.phase2)
+            } else {
+                first
+            };
+        }
+
+        // Nonminimal: turn-legal moves that keep the destination
+        // reachable. Legality follows the algorithm's turn set,
+        // including the safe phase-advancing 180-degree reversals
+        // (Fig. 8c); reachability needs two guards: a phase-two hop must
+        // leave only phase-two corrections (sign feasibility), and a
+        // misroute must leave a productive follow-up at the next router
+        // (otherwise boundaries plus the 180-degree prohibition could
+        // strand the packet facing its destination).
+        self.legal_from(arrived)
+            .iter()
+            .filter(|&dir| {
+                let Some(next) = topo.neighbor(current, dir) else {
+                    return false;
+                };
+                if self.phase2.contains(dir) && !self.phase2_can_finish(topo, next, dest)
+                {
+                    return false;
+                }
+                if productive.contains(dir) {
+                    return true;
+                }
+                // Misroute: a productive, legal, feasible continuation
+                // must remain after taking it.
+                let next_legal = self.legal_from(Some(dir));
+                topo.minimal_directions(next, dest)
+                    .intersection(next_legal)
+                    .iter()
+                    .any(|q| {
+                        self.phase1.contains(q)
+                            || topo
+                                .neighbor(next, q)
+                                .is_some_and(|n2| self.phase2_can_finish(topo, n2, dest))
+                    })
+            })
+            .collect()
+    }
+
+    fn is_adaptive(&self) -> bool {
+        // Adaptive unless each phase is a single direction and the split
+        // is a strict ordering (dimension-order style splits are not
+        // expressible as TwoPhase, so any multi-direction phase adapts).
+        self.phase1.len() > 1 || self.phase2.len() > 1
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.minimal
+    }
+}
+
+macro_rules! two_phase_wrapper {
+    ($(#[$doc:meta])* $name:ident, $label:expr, |$n:ident| $phase1:expr, $dims:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(TwoPhase);
+
+        impl $name {
+            /// The minimal variant (used in the paper's simulations).
+            pub fn minimal() -> Self {
+                Self::with_dims($dims, true)
+            }
+
+            /// The nonminimal variant (more adaptive and fault tolerant).
+            pub fn nonminimal() -> Self {
+                Self::with_dims($dims, false)
+            }
+
+            /// The variant for an `n`-dimensional topology.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `num_dims` is 0 or exceeds 16.
+            pub fn with_dims(num_dims: usize, minimal: bool) -> Self {
+                let $n = num_dims;
+                $name(TwoPhase::new($label, num_dims, $phase1, minimal))
+            }
+
+            /// The turn set this algorithm routes within.
+            pub fn turn_set(&self) -> TurnSet {
+                self.0.turn_set()
+            }
+        }
+
+        impl RoutingAlgorithm for $name {
+            fn name(&self) -> String {
+                self.0.name()
+            }
+
+            fn route(
+                &self,
+                topo: &dyn Topology,
+                current: NodeId,
+                dest: NodeId,
+                arrived: Option<Direction>,
+            ) -> DirSet {
+                self.0.route(topo, current, dest, arrived)
+            }
+
+            fn is_adaptive(&self) -> bool {
+                self.0.is_adaptive()
+            }
+
+            fn is_minimal(&self) -> bool {
+                self.0.is_minimal()
+            }
+        }
+    };
+}
+
+two_phase_wrapper!(
+    /// The west-first routing algorithm for 2D meshes (Section 3.1):
+    /// route a packet first west, if necessary, and then adaptively
+    /// south, east and north. Deadlock free by Theorem 2.
+    WestFirst,
+    "west-first",
+    |_n| [Direction::WEST].into_iter().collect(),
+    2
+);
+
+two_phase_wrapper!(
+    /// The north-last routing algorithm for 2D meshes (Section 3.2):
+    /// route a packet first adaptively west, south and east, and then
+    /// north. Deadlock free by Theorem 3.
+    NorthLast,
+    "north-last",
+    |_n| [Direction::WEST, Direction::SOUTH, Direction::EAST]
+        .into_iter()
+        .collect(),
+    2
+);
+
+two_phase_wrapper!(
+    /// The negative-first routing algorithm (Sections 3.3 and 4.1): route
+    /// a packet first adaptively in the negative directions, then
+    /// adaptively in the positive directions. Deadlock free by
+    /// Theorems 4 and 5. Use `with_dims` for n-dimensional meshes.
+    NegativeFirst,
+    "negative-first",
+    |n| (0..n).map(Direction::minus).collect(),
+    2
+);
+
+two_phase_wrapper!(
+    /// The all-but-one-negative-first algorithm for n-dimensional meshes
+    /// (Section 4.1), the analog of west-first: route first adaptively in
+    /// the negative directions of all but the last dimension, then
+    /// adaptively in the other directions.
+    Abonf,
+    "abonf",
+    |n| (0..n.saturating_sub(1)).map(Direction::minus).collect(),
+    2
+);
+
+two_phase_wrapper!(
+    /// The all-but-one-positive-last algorithm for n-dimensional meshes
+    /// (Section 4.1), the analog of north-last: route first adaptively in
+    /// the negative directions and the positive direction of dimension 0,
+    /// then adaptively in the other directions.
+    Abopl,
+    "abopl",
+    |n| {
+        let mut set: DirSet = (0..n).map(Direction::minus).collect();
+        set.insert(Direction::plus(0));
+        set
+    },
+    2
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{check_routing_contract, walk};
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn west_first_goes_west_first() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = WestFirst::minimal();
+        let from = mesh.node_at(&[5, 2].into());
+        let to = mesh.node_at(&[1, 6].into());
+        // While the destination is west, only west is permitted.
+        let dirs = wf.route(&mesh, from, to, None);
+        assert_eq!(dirs.len(), 1);
+        assert!(dirs.contains(Direction::WEST));
+        // Once aligned, the remaining directions are adaptive.
+        let aligned = mesh.node_at(&[1, 2].into());
+        let dirs = wf.route(&mesh, aligned, to, Some(Direction::WEST));
+        assert!(dirs.contains(Direction::NORTH));
+        assert_eq!(dirs.len(), 1); // only north is productive here
+    }
+
+    #[test]
+    fn west_first_is_fully_adaptive_when_heading_east() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = WestFirst::minimal();
+        let from = mesh.node_at(&[1, 1].into());
+        let to = mesh.node_at(&[5, 5].into());
+        let dirs = wf.route(&mesh, from, to, None);
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.contains(Direction::EAST));
+        assert!(dirs.contains(Direction::NORTH));
+    }
+
+    #[test]
+    fn north_last_saves_north_for_last() {
+        let mesh = Mesh::new_2d(8, 8);
+        let nl = NorthLast::minimal();
+        let from = mesh.node_at(&[3, 3].into());
+        let to = mesh.node_at(&[5, 6].into());
+        // East is productive and phase one: north must wait.
+        let dirs = nl.route(&mesh, from, to, None);
+        assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::EAST]);
+        // Aligned in x: north at last.
+        let aligned = mesh.node_at(&[5, 3].into());
+        let dirs = nl.route(&mesh, aligned, to, Some(Direction::EAST));
+        assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::NORTH]);
+    }
+
+    #[test]
+    fn negative_first_orders_phases() {
+        let mesh = Mesh::new_2d(8, 8);
+        let nf = NegativeFirst::minimal();
+        let from = mesh.node_at(&[4, 4].into());
+        // Mixed offsets: negative part first, exactly one path shape.
+        let to = mesh.node_at(&[2, 6].into());
+        let dirs = nf.route(&mesh, from, to, None);
+        assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::WEST]);
+        // Both negative: fully adaptive.
+        let to = mesh.node_at(&[2, 2].into());
+        assert_eq!(nf.route(&mesh, from, to, None).len(), 2);
+        // Both positive: fully adaptive.
+        let to = mesh.node_at(&[6, 6].into());
+        assert_eq!(nf.route(&mesh, from, to, None).len(), 2);
+    }
+
+    #[test]
+    fn minimal_walks_have_minimal_length() {
+        let mesh = Mesh::new_2d(6, 6);
+        for algo in [
+            WestFirst::minimal().0,
+            NorthLast::minimal().0,
+            NegativeFirst::minimal().0,
+        ] {
+            for s in [0usize, 7, 35] {
+                for d in [0usize, 5, 30, 35] {
+                    let (s, d) = (NodeId::new(s), NodeId::new(d));
+                    let path = walk(&algo, &mesh, s, d);
+                    assert_eq!(path.len(), mesh.distance(s, d) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contract_holds_on_2d_mesh() {
+        let mesh = Mesh::new_2d(5, 5);
+        for algo in [
+            WestFirst::minimal().0,
+            NorthLast::minimal().0,
+            NegativeFirst::minimal().0,
+        ] {
+            check_routing_contract(&algo, &mesh);
+        }
+    }
+
+    #[test]
+    fn contract_holds_nonminimal_2d() {
+        let mesh = Mesh::new_2d(4, 4);
+        for algo in [
+            WestFirst::nonminimal().0,
+            NorthLast::nonminimal().0,
+            NegativeFirst::nonminimal().0,
+        ] {
+            check_routing_contract(&algo, &mesh);
+        }
+    }
+
+    #[test]
+    fn contract_holds_on_3d_mesh() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        for algo in [
+            Abonf::with_dims(3, true).0,
+            Abopl::with_dims(3, true).0,
+            NegativeFirst::with_dims(3, true).0,
+        ] {
+            check_routing_contract(&algo, &mesh);
+        }
+    }
+
+    #[test]
+    fn abonf_2d_matches_west_first_and_abopl_matches_north_last() {
+        let mesh = Mesh::new_2d(5, 5);
+        let (wf, ab) = (WestFirst::minimal(), Abonf::with_dims(2, true));
+        let (nl, ap) = (NorthLast::minimal(), Abopl::with_dims(2, true));
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(
+                    wf.route(&mesh, s, d, None),
+                    ab.route(&mesh, s, d, None)
+                );
+                assert_eq!(
+                    nl.route(&mesh, s, d, None),
+                    ap.route(&mesh, s, d, None)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonminimal_allows_misrouting_but_respects_turns() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = WestFirst::nonminimal();
+        let from = mesh.node_at(&[4, 4].into());
+        let to = mesh.node_at(&[6, 4].into());
+        // Traveling north (phase two), west is never on offer.
+        let dirs = wf.route(&mesh, from, to, Some(Direction::NORTH));
+        assert!(!dirs.contains(Direction::WEST));
+        assert!(!dirs.contains(Direction::SOUTH)); // 180-degree
+        assert!(dirs.contains(Direction::EAST));
+        assert!(dirs.contains(Direction::NORTH)); // misroute allowed
+    }
+
+    #[test]
+    fn nonminimal_filters_unreachable_phase2_moves() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = WestFirst::nonminimal();
+        let from = mesh.node_at(&[4, 4].into());
+        let to = mesh.node_at(&[2, 4].into()); // west of here
+        // At the source the packet may only go west: any other hop is a
+        // phase-two hop after which west is unreachable.
+        let dirs = wf.route(&mesh, from, to, None);
+        assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::WEST]);
+    }
+
+    #[test]
+    fn turn_sets_match_named_constructors() {
+        assert_eq!(WestFirst::minimal().turn_set(), TurnSet::west_first());
+        assert_eq!(NorthLast::minimal().turn_set(), TurnSet::north_last());
+        assert_eq!(
+            NegativeFirst::with_dims(3, true).turn_set(),
+            TurnSet::negative_first(3)
+        );
+        assert_eq!(Abonf::with_dims(4, true).turn_set(), TurnSet::abonf(4));
+        assert_eq!(Abopl::with_dims(4, true).turn_set(), TurnSet::abopl(4));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WestFirst::minimal().name(), "west-first");
+        assert_eq!(NorthLast::minimal().name(), "north-last");
+        assert_eq!(NegativeFirst::minimal().name(), "negative-first");
+    }
+}

@@ -1,0 +1,349 @@
+//! Channel dependency graphs and the Dally–Seitz acyclicity check.
+
+use crate::{Turn, TurnSet};
+use turnroute_topology::{Channel, ChannelId, Topology};
+
+/// The channel dependency graph (CDG) of a routing relation on a
+/// topology.
+///
+/// Vertices are the topology's channels; there is an edge `c1 -> c2` when
+/// a packet holding `c1` may request `c2` next. Dally and Seitz showed a
+/// wormhole routing algorithm is deadlock free iff this graph is acyclic
+/// (equivalently, iff the channels can be numbered so every route follows
+/// strictly decreasing numbers).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{ChannelDependencyGraph, TurnSet};
+/// use turnroute_topology::Mesh;
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+/// assert!(cdg.find_cycle().is_none()); // Theorem 2: deadlock free
+///
+/// let bad = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::fully_adaptive(2));
+/// assert!(bad.find_cycle().is_some()); // unrestricted turns deadlock
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelDependencyGraph {
+    /// `succ[c.index()]` lists the channels a holder of `c` may request.
+    succ: Vec<Vec<ChannelId>>,
+}
+
+impl ChannelDependencyGraph {
+    /// Builds the CDG of turn-set routing: `c1 -> c2` iff `c2` leaves the
+    /// router `c1` enters and the turn from `c1`'s direction to `c2`'s is
+    /// allowed.
+    ///
+    /// This models *nonminimal* routing with the given turns — the most
+    /// permissive relation — so acyclicity here implies deadlock freedom
+    /// for every restriction (e.g. the minimal variants the paper
+    /// simulates).
+    pub fn from_turn_set(topo: &dyn Topology, turns: &TurnSet) -> Self {
+        Self::from_relation(topo, |c1, c2| {
+            turns.allows(Turn::new(c1.dir, c2.dir))
+        })
+    }
+
+    /// Builds a dependency graph directly from successor lists. Index
+    /// `i` of `successors` lists the channels a holder of channel `i`
+    /// may request.
+    ///
+    /// This is the escape hatch for resource graphs beyond a plain
+    /// topology's channels — e.g. *virtual* channels, where several
+    /// buffered lanes share each physical link (the `turnroute-vc`
+    /// crate builds its graphs this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any successor index is out of range.
+    pub fn from_successors(successors: Vec<Vec<ChannelId>>) -> Self {
+        let n = successors.len();
+        for succs in &successors {
+            for s in succs {
+                assert!(s.index() < n, "successor index out of range");
+            }
+        }
+        ChannelDependencyGraph { succ: successors }
+    }
+
+    /// Builds the CDG of an arbitrary relation: for each pair of channels
+    /// with `c1.dst == c2.src`, `may_follow(c1, c2)` decides whether the
+    /// dependency exists.
+    ///
+    /// Use this for rules that are not pure turn sets, such as the torus
+    /// extension that admits wraparound channels only as a packet's first
+    /// hop (no network channel may then depend *into* a wraparound
+    /// channel).
+    pub fn from_relation(
+        topo: &dyn Topology,
+        may_follow: impl Fn(&Channel, &Channel) -> bool,
+    ) -> Self {
+        let channels = topo.channels();
+        let mut succ = vec![Vec::new(); channels.len()];
+        // Group candidate successors by source router for O(C * degree).
+        let mut leaving: Vec<Vec<ChannelId>> = vec![Vec::new(); topo.num_nodes()];
+        for (i, ch) in channels.iter().enumerate() {
+            leaving[ch.src.index()].push(ChannelId::new(i));
+        }
+        for (i, c1) in channels.iter().enumerate() {
+            for &next in &leaving[c1.dst.index()] {
+                let c2 = &channels[next.index()];
+                if may_follow(c1, c2) {
+                    succ[i].push(next);
+                }
+            }
+        }
+        ChannelDependencyGraph { succ }
+    }
+
+    /// Number of channels (vertices).
+    pub fn num_channels(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of dependencies (edges).
+    pub fn num_dependencies(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// The channels a holder of `c` may request.
+    pub fn successors(&self, c: ChannelId) -> &[ChannelId] {
+        &self.succ[c.index()]
+    }
+
+    /// `true` if the graph is acyclic, i.e. the routing relation is
+    /// deadlock free.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Finds a dependency cycle, if any, returned as a channel sequence
+    /// `c0 -> c1 -> ... -> c0` (the first channel is not repeated).
+    ///
+    /// A returned cycle is a concrete circular-wait witness: packets
+    /// holding these channels and each requesting the next would deadlock.
+    pub fn find_cycle(&self) -> Option<Vec<ChannelId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.succ.len();
+        let mut color = vec![Color::White; n];
+        let mut parent_edge: Vec<usize> = vec![usize::MAX; n];
+
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS: stack of (node, next successor index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < self.succ[node].len() {
+                    let succ = self.succ[node][*next].index();
+                    *next += 1;
+                    match color[succ] {
+                        Color::White => {
+                            color[succ] = Color::Gray;
+                            parent_edge[succ] = node;
+                            stack.push((succ, 0));
+                        }
+                        Color::Gray => {
+                            // Back edge: unwind the cycle succ -> ... -> node.
+                            let mut cycle = vec![ChannelId::new(node)];
+                            let mut cur = node;
+                            while cur != succ {
+                                cur = parent_edge[cur];
+                                cycle.push(ChannelId::new(cur));
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// A topological numbering of the channels (highest number first in
+    /// route order), or `None` if the graph has a cycle.
+    ///
+    /// This is the constructive side of the Dally–Seitz argument: any
+    /// route following the relation traverses strictly decreasing
+    /// numbers.
+    pub fn topological_numbering(&self) -> Option<Vec<usize>> {
+        let n = self.succ.len();
+        let mut indegree = vec![0usize; n];
+        for succs in &self.succ {
+            for s in succs {
+                indegree[s.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut number = vec![0usize; n];
+        let mut next_number = n;
+        let mut processed = 0;
+        while let Some(node) = queue.pop() {
+            next_number -= 1;
+            number[node] = next_number;
+            processed += 1;
+            for s in &self.succ[node] {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    queue.push(s.index());
+                }
+            }
+        }
+        (processed == n).then_some(number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Hypercube, Mesh, Torus};
+
+    #[test]
+    fn all_named_2d_turn_sets_are_deadlock_free() {
+        let mesh = Mesh::new_2d(6, 6);
+        for set in [
+            TurnSet::dimension_order(2),
+            TurnSet::west_first(),
+            TurnSet::north_last(),
+            TurnSet::negative_first(2),
+        ] {
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &set);
+            assert!(cdg.is_acyclic(), "{set} should be deadlock free");
+        }
+    }
+
+    #[test]
+    fn fully_adaptive_2d_deadlocks() {
+        let mesh = Mesh::new_2d(3, 3);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::fully_adaptive(2));
+        let cycle = cdg.find_cycle().expect("must contain a cycle");
+        assert!(cycle.len() >= 4);
+        // Validate the witness: each channel's successor set contains the
+        // next channel in the cycle.
+        for k in 0..cycle.len() {
+            let next = cycle[(k + 1) % cycle.len()];
+            assert!(cdg.successors(cycle[k]).contains(&next));
+        }
+    }
+
+    #[test]
+    fn deadlocky_six_turns_has_cycle_despite_breaking_abstract_cycles() {
+        // Fig. 4's point: one prohibited turn per abstract cycle is not
+        // sufficient.
+        let set = TurnSet::deadlocky_six_turns();
+        assert!(set.breaks_all_abstract_cycles());
+        let mesh = Mesh::new_2d(3, 3);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &set);
+        assert!(!cdg.is_acyclic());
+    }
+
+    #[test]
+    fn exactly_12_of_16_prohibition_choices_are_deadlock_free() {
+        // Section 3: "Of the 16 different ways to prohibit these two
+        // turns, 12 prevent deadlock".
+        let mesh = Mesh::new_2d(4, 4);
+        let ok = TurnSet::one_turn_per_cycle_prohibitions(2)
+            .iter()
+            .filter(|set| {
+                ChannelDependencyGraph::from_turn_set(&mesh, set).is_acyclic()
+            })
+            .count();
+        assert_eq!(ok, 12);
+    }
+
+    #[test]
+    fn n_dimensional_turn_sets_are_deadlock_free() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        for set in [
+            TurnSet::dimension_order(3),
+            TurnSet::negative_first(3),
+            TurnSet::abonf(3),
+            TurnSet::abopl(3),
+        ] {
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &set);
+            assert!(cdg.is_acyclic(), "{set} should be deadlock free");
+        }
+    }
+
+    #[test]
+    fn hypercube_turn_sets_are_deadlock_free() {
+        let cube = Hypercube::new(4);
+        for set in [
+            TurnSet::dimension_order(4), // e-cube
+            TurnSet::negative_first(4),  // p-cube's turn structure
+            TurnSet::abonf(4),
+            TurnSet::abopl(4),
+        ] {
+            let cdg = ChannelDependencyGraph::from_turn_set(&cube, &set);
+            assert!(cdg.is_acyclic(), "{set} should be deadlock free");
+        }
+    }
+
+    #[test]
+    fn torus_negative_first_on_mesh_channels_only_is_acyclic() {
+        // Wraparound channels admitted only as first hops: no dependency
+        // may enter a wraparound channel.
+        let torus = Torus::new(4, 2);
+        let set = TurnSet::negative_first(2);
+        let cdg = ChannelDependencyGraph::from_relation(&torus, |c1, c2| {
+            !c2.wraparound && set.allows(Turn::new(c1.dir, c2.dir))
+        });
+        assert!(cdg.is_acyclic());
+    }
+
+    #[test]
+    fn plain_turn_set_on_torus_deadlocks_around_the_ring() {
+        // Without special wraparound treatment even negative-first
+        // deadlocks on a torus: rings need no turns to cycle.
+        let torus = Torus::new(4, 2);
+        let cdg =
+            ChannelDependencyGraph::from_turn_set(&torus, &TurnSet::negative_first(2));
+        assert!(!cdg.is_acyclic());
+    }
+
+    #[test]
+    fn topological_numbering_decreases_along_dependencies() {
+        let mesh = Mesh::new_2d(5, 5);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+        let numbers = cdg.topological_numbering().expect("acyclic");
+        for c in 0..cdg.num_channels() {
+            for s in cdg.successors(ChannelId::new(c)) {
+                assert!(
+                    numbers[s.index()] < numbers[c],
+                    "numbering must decrease along dependencies"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_numbering() {
+        let mesh = Mesh::new_2d(3, 3);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::fully_adaptive(2));
+        assert!(cdg.topological_numbering().is_none());
+    }
+
+    #[test]
+    fn edge_counts_are_plausible() {
+        let mesh = Mesh::new_2d(4, 4);
+        let all = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::fully_adaptive(2));
+        let xy = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::dimension_order(2));
+        assert_eq!(all.num_channels(), mesh.num_channels());
+        assert!(xy.num_dependencies() < all.num_dependencies());
+        assert!(xy.num_dependencies() > 0);
+    }
+}

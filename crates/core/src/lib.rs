@@ -1,0 +1,72 @@
+//! The turn model for adaptive wormhole routing.
+//!
+//! This crate implements the central contribution of Glass & Ni, *"The
+//! Turn Model for Adaptive Routing"* (ISCA 1992): design wormhole routing
+//! algorithms that are deadlock free, livelock free, minimal or
+//! nonminimal, and maximally adaptive — without adding physical or
+//! virtual channels — by analyzing the turns packets can make and
+//! prohibiting just enough of them to break every cycle.
+//!
+//! # Layout
+//!
+//! * [`Turn`], [`AbstractCycle`], [`abstract_cycles`] — steps 2–3 of the
+//!   model: the turn algebra.
+//! * [`TurnSet`] — step 4: which turns an algorithm allows, with
+//!   constructors for every named algorithm in the paper and an
+//!   enumerator for the full space of one-turn-per-cycle prohibitions.
+//! * [`ChannelDependencyGraph`] — the Dally–Seitz deadlock-freedom
+//!   check: a routing relation is deadlock free iff its CDG is acyclic.
+//! * [`numbering`] — the concrete channel numberings from the paper's
+//!   proofs (Theorems 2 and 5), verified monotone.
+//! * [`RoutingAlgorithm`] and implementations — `xy`/`e-cube`
+//!   ([`DimensionOrder`]), [`WestFirst`], [`NorthLast`],
+//!   [`NegativeFirst`], [`Abonf`], [`Abopl`], [`PCube`], plus the torus
+//!   extensions [`FirstHopWraparound`] and [`NegativeFirstTorus`] and the
+//!   generic [`TurnSetRouting`].
+//! * [`adaptiveness`] and [`count_paths`] — Section 3.4/4.1/5's
+//!   degree-of-adaptiveness formulas and their exhaustive oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_core::{ChannelDependencyGraph, TurnSet, WestFirst, walk, RoutingAlgorithm};
+//! use turnroute_topology::{Mesh, Topology};
+//!
+//! let mesh = Mesh::new_2d(8, 8);
+//!
+//! // West-first breaks both abstract cycles of the 2D mesh...
+//! let turns = TurnSet::west_first();
+//! assert!(turns.breaks_all_abstract_cycles());
+//! // ...and its channel dependency graph is acyclic: deadlock free.
+//! assert!(ChannelDependencyGraph::from_turn_set(&mesh, &turns).is_acyclic());
+//!
+//! // Route a packet with it.
+//! let path = walk(
+//!     &WestFirst::minimal(),
+//!     &mesh,
+//!     mesh.node_at(&[6, 1].into()),
+//!     mesh.node_at(&[1, 6].into()),
+//! );
+//! assert_eq!(path.len(), 11); // a shortest path: 5 + 5 hops
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptiveness;
+mod algorithms;
+mod cdg;
+pub mod numbering;
+mod path_count;
+mod turn;
+mod turn_set;
+
+pub use algorithms::{
+    check_routing_contract, walk, Abonf, Abopl, DimensionOrder, FirstHopWraparound,
+    NegativeFirst, NegativeFirstTorus, NorthLast, PCube, RoutingAlgorithm,
+    TurnSetRouting, TwoPhase, WestFirst,
+};
+pub use cdg::ChannelDependencyGraph;
+pub use path_count::{count_paths, enumerate_paths};
+pub use turn::{abstract_cycles, AbstractCycle, Rotation, Turn, TurnKind};
+pub use turn_set::TurnSet;

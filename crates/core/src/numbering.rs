@@ -1,0 +1,248 @@
+//! Concrete channel numberings: the executable form of the paper's
+//! deadlock-freedom proofs (Theorems 2–5).
+//!
+//! A routing relation is deadlock free iff the channels can be numbered
+//! so every packet follows strictly monotone numbers (Dally & Seitz).
+//! This module implements:
+//!
+//! * [`west_first_numbering`] — a two-digit base-`r` numbering in the
+//!   spirit of the paper's Fig. 6/7 under which west-first routes follow
+//!   strictly *decreasing* numbers. (The figure's exact digit assignments
+//!   are not reproduced in the retrospective text, so we derive an
+//!   equivalent scheme and verify it exhaustively in tests.)
+//! * [`negative_first_numbering`] — the Theorem 5 scheme, verbatim:
+//!   channels leaving a node with coordinate sum `X` are numbered
+//!   `K - n + X` (positive directions) and `K - n - X` (negative
+//!   directions), where `K` is the sum of the radixes; negative-first
+//!   routes follow strictly *increasing* numbers.
+//!
+//! [`verify_monotone`] checks a numbering against every dependency of a
+//! routing relation, turning each theorem into a unit test.
+
+use crate::ChannelDependencyGraph;
+use turnroute_topology::{Direction, Mesh, Sign, Topology};
+
+/// A west-first channel numbering for an `m x n` 2D mesh.
+///
+/// Returns one number per channel (indexed by
+/// [`ChannelId::index`](turnroute_topology::ChannelId)), encoded as the
+/// two-digit base-`r` value `a * r + b` with `r = max(2m, n + 1)`:
+///
+/// * westward channel leaving column `x`: `a = m - 1 + x`, `b = 0` —
+///   lower the farther west, and above every adaptive-phase channel it
+///   can hand over to;
+/// * eastward channel leaving column `x`: `a = m - 1 - x`, `b = 0` —
+///   lower the farther east;
+/// * northward channel leaving `(x, y)`: `a = m - 1 - x`,
+///   `b = n - 1 - y` — lower the farther north;
+/// * southward channel leaving `(x, y)`: `a = m - 1 - x`, `b = y` —
+///   lower the farther south.
+///
+/// Every turn west-first allows strictly decreases the number: west
+/// travel decreases `a` within the west phase; leaving the west phase
+/// drops `a` below `m`; east travel decreases `a`; north/south travel
+/// keeps `a` and decreases `b`; and a north/south channel hands over to
+/// an east channel of the *next* column, whose `a` is smaller.
+pub fn west_first_numbering(mesh: &Mesh) -> Vec<u64> {
+    assert_eq!(mesh.num_dims(), 2, "west-first numbering is for 2D meshes");
+    let (m, n) = (mesh.radix(0) as u64, mesh.radix(1) as u64);
+    let r = (2 * m).max(n + 1);
+    mesh.channels()
+        .iter()
+        .map(|ch| {
+            let c = mesh.coord_of(ch.src);
+            let (x, y) = (c.get(0) as u64, c.get(1) as u64);
+            let (a, b) = match (ch.dir.dim(), ch.dir.sign()) {
+                (0, Sign::Minus) => (m - 1 + x, 0),     // west
+                (0, Sign::Plus) => (m - 1 - x, 0),      // east
+                (1, Sign::Plus) => (m - 1 - x, n - 1 - y), // north
+                (1, Sign::Minus) => (m - 1 - x, y),     // south
+                _ => unreachable!("2D mesh"),
+            };
+            a * r + b
+        })
+        .collect()
+}
+
+/// The Theorem 5 numbering for an n-dimensional mesh: channels leaving a
+/// node with coordinate sum `X` get `K - n + X` (positive directions) or
+/// `K - n - X` (negative directions), with `K` the sum of the radixes.
+///
+/// Negative-first routes follow strictly increasing numbers. The offset
+/// `K - n` keeps all numbers non-negative (`X <= K - n`), exactly as in
+/// the paper; it is immaterial to monotonicity.
+pub fn negative_first_numbering(mesh: &Mesh) -> Vec<u64> {
+    let n = mesh.num_dims() as u64;
+    let k: u64 = (0..mesh.num_dims()).map(|d| mesh.radix(d) as u64).sum();
+    mesh.channels()
+        .iter()
+        .map(|ch| {
+            let coord = mesh.coord_of(ch.src);
+            let x: u64 = coord.components().iter().map(|&c| c as u64).sum();
+            match ch.dir.sign() {
+                Sign::Plus => k - n + x,
+                Sign::Minus => k - n - x,
+            }
+        })
+        .collect()
+}
+
+/// The order a numbering claims routes follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monotonic {
+    /// Every dependency goes from a higher to a lower number.
+    Decreasing,
+    /// Every dependency goes from a lower to a higher number.
+    Increasing,
+}
+
+/// Checks that `numbers` is strictly monotone along every dependency of
+/// `cdg`, i.e. that the numbering proves the relation deadlock free.
+///
+/// Returns the first violating dependency `(holder, requested)` if any.
+///
+/// # Panics
+///
+/// Panics if `numbers.len()` differs from the graph's channel count.
+pub fn verify_monotone(
+    cdg: &ChannelDependencyGraph,
+    numbers: &[u64],
+    order: Monotonic,
+) -> Result<(), (usize, usize)> {
+    assert_eq!(numbers.len(), cdg.num_channels(), "one number per channel");
+    for c in 0..cdg.num_channels() {
+        for s in cdg.successors(turnroute_topology::ChannelId::new(c)) {
+            let ok = match order {
+                Monotonic::Decreasing => numbers[s.index()] < numbers[c],
+                Monotonic::Increasing => numbers[s.index()] > numbers[c],
+            };
+            if !ok {
+                return Err((c, s.index()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: the direction a 2D-mesh channel routes packets, as the
+/// paper's compass name.
+pub fn compass(dir: Direction) -> &'static str {
+    match (dir.dim(), dir.sign()) {
+        (0, Sign::Minus) => "west",
+        (0, Sign::Plus) => "east",
+        (1, Sign::Minus) => "south",
+        (1, Sign::Plus) => "north",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TurnSet;
+
+    #[test]
+    fn theorem_2_west_first_numbers_decrease() {
+        // Exhaustive check over every west-first dependency in several
+        // mesh sizes, including non-square ones.
+        for (m, n) in [(4, 4), (8, 8), (3, 7), (7, 3), (2, 2), (16, 16)] {
+            let mesh = Mesh::new_2d(m, n);
+            let cdg =
+                ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+            let numbers = west_first_numbering(&mesh);
+            assert_eq!(
+                verify_monotone(&cdg, &numbers, Monotonic::Decreasing),
+                Ok(()),
+                "{m}x{n} mesh"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_negative_first_numbers_increase_2d() {
+        for (m, n) in [(4, 4), (5, 9), (16, 16)] {
+            let mesh = Mesh::new_2d(m, n);
+            let cdg = ChannelDependencyGraph::from_turn_set(
+                &mesh,
+                &TurnSet::negative_first(2),
+            );
+            let numbers = negative_first_numbering(&mesh);
+            assert_eq!(
+                verify_monotone(&cdg, &numbers, Monotonic::Increasing),
+                Ok(()),
+                "{m}x{n} mesh"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_negative_first_numbers_increase_nd() {
+        for dims in [vec![3, 3, 3], vec![2, 4, 3], vec![2, 2, 2, 2]] {
+            let n = dims.len();
+            let mesh = Mesh::new(dims.clone());
+            let cdg = ChannelDependencyGraph::from_turn_set(
+                &mesh,
+                &TurnSet::negative_first(n),
+            );
+            let numbers = negative_first_numbering(&mesh);
+            assert_eq!(
+                verify_monotone(&cdg, &numbers, Monotonic::Increasing),
+                Ok(()),
+                "{dims:?} mesh"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_north_last_by_rotation() {
+        // The paper proves north-last by rotating the west-first figures;
+        // here we simply verify the rotated numbering exists via the
+        // topological construction.
+        let mesh = Mesh::new_2d(8, 8);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::north_last());
+        let numbers: Vec<u64> = cdg
+            .topological_numbering()
+            .expect("north-last is acyclic")
+            .into_iter()
+            .map(|v| v as u64)
+            .collect();
+        assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing), Ok(()));
+    }
+
+    #[test]
+    fn numbering_rejects_bad_relation() {
+        // The deadlocky set has a cycle, so no monotone numbering exists;
+        // in particular ours must fail on it.
+        let mesh = Mesh::new_2d(4, 4);
+        let cdg = ChannelDependencyGraph::from_turn_set(
+            &mesh,
+            &TurnSet::deadlocky_six_turns(),
+        );
+        let numbers = west_first_numbering(&mesh);
+        assert!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing).is_err());
+    }
+
+    #[test]
+    fn negative_first_numbers_match_paper_formula() {
+        // Spot-check the K - n +/- X values on a 4x4 mesh: K = 8, n = 2.
+        let mesh = Mesh::new_2d(4, 4);
+        let numbers = negative_first_numbering(&mesh);
+        for (i, ch) in mesh.channels().iter().enumerate() {
+            let coord = mesh.coord_of(ch.src);
+            let x = (coord.get(0) + coord.get(1)) as u64;
+            let expected = match ch.dir.sign() {
+                Sign::Plus => 6 + x,
+                Sign::Minus => 6 - x,
+            };
+            assert_eq!(numbers[i], expected);
+        }
+    }
+
+    #[test]
+    fn compass_names() {
+        assert_eq!(compass(Direction::WEST), "west");
+        assert_eq!(compass(Direction::EAST), "east");
+        assert_eq!(compass(Direction::NORTH), "north");
+        assert_eq!(compass(Direction::SOUTH), "south");
+    }
+}

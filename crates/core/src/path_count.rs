@@ -1,0 +1,297 @@
+//! Exhaustive counting of the paths a routing algorithm allows.
+//!
+//! This is the oracle for the closed forms in [`crate::adaptiveness`]:
+//! dynamic programming over `(node, arrival direction)` states counts
+//! exactly the distinct paths the routing relation admits from a source
+//! to a destination.
+
+use crate::RoutingAlgorithm;
+use std::collections::HashMap;
+use turnroute_topology::{Direction, NodeId, Topology};
+
+/// Counts the distinct paths `algorithm` allows from `src` to `dst`.
+///
+/// For a minimal algorithm this is the paper's `S_algorithm`. The count
+/// distinguishes paths by their node sequences; the arrival-direction
+/// state only serves turn-constrained algorithms.
+///
+/// # Panics
+///
+/// Panics if the routing relation admits a cyclic state sequence (the
+/// path count would be infinite) — cannot happen for minimal algorithms.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{count_paths, WestFirst};
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let wf = WestFirst::minimal();
+/// let s = mesh.node_at(&[2, 2].into());
+/// let d = mesh.node_at(&[4, 4].into());
+/// assert_eq!(count_paths(&wf, &mesh, s, d), 6); // fully adaptive here
+/// ```
+pub fn count_paths(
+    algorithm: &dyn RoutingAlgorithm,
+    topo: &dyn Topology,
+    src: NodeId,
+    dst: NodeId,
+) -> u128 {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        OnStack,
+        Done(u128),
+    }
+    type State = (NodeId, Option<Direction>);
+
+    fn visit(
+        algorithm: &dyn RoutingAlgorithm,
+        topo: &dyn Topology,
+        dst: NodeId,
+        state: State,
+        memo: &mut HashMap<State, Mark>,
+    ) -> u128 {
+        let (node, arrived) = state;
+        if node == dst {
+            return 1;
+        }
+        match memo.get(&state) {
+            Some(Mark::Done(count)) => return *count,
+            Some(Mark::OnStack) => {
+                panic!("routing relation admits unboundedly many paths")
+            }
+            None => {}
+        }
+        memo.insert(state, Mark::OnStack);
+        let mut total: u128 = 0;
+        for dir in algorithm.route(topo, node, dst, arrived) {
+            let next = topo
+                .neighbor(node, dir)
+                .expect("routing algorithm returned a direction without a channel");
+            total += visit(algorithm, topo, dst, (next, Some(dir)), memo);
+        }
+        memo.insert(state, Mark::Done(total));
+        total
+    }
+
+    let mut memo = HashMap::new();
+    visit(algorithm, topo, dst, (src, None), &mut memo)
+}
+
+/// Enumerates (rather than counts) every allowed path as node sequences.
+/// Intended for small cases — tests, examples, figures.
+///
+/// # Panics
+///
+/// Panics if more than `limit` paths exist, to guard against explosion.
+pub fn enumerate_paths(
+    algorithm: &dyn RoutingAlgorithm,
+    topo: &dyn Topology,
+    src: NodeId,
+    dst: NodeId,
+    limit: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut paths = Vec::new();
+    let mut current = vec![src];
+
+    fn dfs(
+        algorithm: &dyn RoutingAlgorithm,
+        topo: &dyn Topology,
+        dst: NodeId,
+        arrived: Option<Direction>,
+        current: &mut Vec<NodeId>,
+        paths: &mut Vec<Vec<NodeId>>,
+        limit: usize,
+    ) {
+        let node = *current.last().expect("path never empty");
+        if node == dst {
+            assert!(paths.len() < limit, "more than {limit} paths");
+            paths.push(current.clone());
+            return;
+        }
+        for dir in algorithm.route(topo, node, dst, arrived) {
+            let next = topo
+                .neighbor(node, dir)
+                .expect("routing algorithm returned a direction without a channel");
+            current.push(next);
+            dfs(algorithm, topo, dst, Some(dir), current, paths, limit);
+            current.pop();
+        }
+    }
+
+    dfs(algorithm, topo, dst, None, &mut current, &mut paths, limit);
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptiveness::{
+        abonf_shortest_paths, abopl_shortest_paths, fully_adaptive_shortest_paths,
+        negative_first_shortest_paths, north_last_shortest_paths, pcube_shortest_paths,
+        west_first_shortest_paths,
+    };
+    use crate::{Abonf, Abopl, DimensionOrder, NegativeFirst, NorthLast, PCube, WestFirst};
+    use turnroute_topology::{Hypercube, Mesh};
+
+    #[test]
+    fn dimension_order_always_counts_one() {
+        let mesh = Mesh::new_2d(5, 5);
+        let xy = DimensionOrder::new();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(count_paths(&xy, &mesh, s, d), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_counts_match_formula() {
+        let mesh = Mesh::new_2d(6, 6);
+        let wf = WestFirst::minimal();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(
+                    count_paths(&wf, &mesh, s, d),
+                    west_first_shortest_paths(&mesh, s, d).max(
+                        // S = 1 includes the trivial path when s == d.
+                        u128::from(s == d)
+                    ),
+                    "s={s} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn north_last_counts_match_formula() {
+        let mesh = Mesh::new_2d(6, 6);
+        let nl = NorthLast::minimal();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&nl, &mesh, s, d),
+                        north_last_shortest_paths(&mesh, s, d)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_counts_match_formula_2d_and_3d() {
+        let mesh = Mesh::new_2d(6, 6);
+        let nf = NegativeFirst::minimal();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&nf, &mesh, s, d),
+                        negative_first_shortest_paths(&mesh, s, d)
+                    );
+                }
+            }
+        }
+        let mesh3 = Mesh::new(vec![3, 4, 3]);
+        let nf3 = NegativeFirst::with_dims(3, true);
+        for s in mesh3.nodes() {
+            for d in mesh3.nodes() {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&nf3, &mesh3, s, d),
+                        negative_first_shortest_paths(&mesh3, s, d)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abonf_and_abopl_counts_match_formulas() {
+        let mesh = Mesh::new(vec![3, 3, 4]);
+        let abonf = Abonf::with_dims(3, true);
+        let abopl = Abopl::with_dims(3, true);
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&abonf, &mesh, s, d),
+                        abonf_shortest_paths(&mesh, s, d),
+                        "abonf s={s} d={d}"
+                    );
+                    assert_eq!(
+                        count_paths(&abopl, &mesh, s, d),
+                        abopl_shortest_paths(&mesh, s, d),
+                        "abopl s={s} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcube_counts_match_h1_h0_factorials() {
+        let cube = Hypercube::new(6);
+        let pcube = PCube::minimal();
+        for s in cube.nodes().step_by(5) {
+            for d in cube.nodes().step_by(3) {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&pcube, &cube, s, d),
+                        pcube_shortest_paths(s.index(), d.index())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_adaptive_count_is_the_multinomial() {
+        // Sanity for the oracle itself: an unrestricted minimal router
+        // must count the multinomial.
+        use crate::{TurnSet, TurnSetRouting};
+        let mesh = Mesh::new_2d(5, 5);
+        let free = TurnSetRouting::new(TurnSet::fully_adaptive(2));
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                if s != d {
+                    assert_eq!(
+                        count_paths(&free, &mesh, s, d),
+                        fully_adaptive_shortest_paths(&mesh, s, d)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_lists_exactly_the_counted_paths() {
+        let mesh = Mesh::new_2d(5, 5);
+        let wf = WestFirst::minimal();
+        let s = mesh.node_at(&[1, 1].into());
+        let d = mesh.node_at(&[3, 4].into());
+        let paths = enumerate_paths(&wf, &mesh, s, d, 1000);
+        assert_eq!(paths.len() as u128, count_paths(&wf, &mesh, s, d));
+        // All distinct, all minimal, all end at d.
+        for p in &paths {
+            assert_eq!(p.len(), mesh.distance(s, d) + 1);
+            assert_eq!(*p.last().unwrap(), d);
+        }
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), paths.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn enumerate_respects_limit() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = WestFirst::minimal();
+        let s = mesh.node_at(&[0, 0].into());
+        let d = mesh.node_at(&[7, 7].into());
+        let _ = enumerate_paths(&wf, &mesh, s, d, 10);
+    }
+}

@@ -1,0 +1,285 @@
+//! Turns and abstract turn cycles (steps 2 and 3 of the turn model).
+
+use std::fmt;
+use turnroute_topology::Direction;
+
+/// A change of travel direction at a router: arriving in `from`, leaving
+/// in `to`.
+///
+/// Step 2 of the turn model identifies the possible turns between the
+/// direction classes of a topology. In an n-dimensional mesh there are
+/// `2n` directions and `4n(n-1)` 90-degree turns.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{Turn, TurnKind};
+/// use turnroute_topology::Direction;
+///
+/// let turn = Turn::new(Direction::NORTH, Direction::WEST);
+/// assert_eq!(turn.kind(), TurnKind::Ninety);
+/// assert_eq!(turn.plane(), Some((0, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Turn {
+    from: Direction,
+    to: Direction,
+}
+
+/// Classification of a [`Turn`] by the angle between its directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TurnKind {
+    /// A turn into a different dimension.
+    Ninety,
+    /// A reversal within one dimension.
+    OneEighty,
+    /// Continuing in the same direction. Only a genuine *turn* when a
+    /// physical direction is split into several virtual directions
+    /// (paper step 2); without extra channels it is plain forward travel.
+    Zero,
+}
+
+/// The rotation sense of a 90-degree turn within its plane.
+///
+/// Using the mathematical convention in plane `(i, j)` with `i < j`:
+/// counterclockwise follows `+i -> +j -> -i -> -j -> +i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rotation {
+    /// With the cycle `+i -> +j -> -i -> -j`.
+    CounterClockwise,
+    /// Against it.
+    Clockwise,
+}
+
+impl Turn {
+    /// Creates a turn from one direction to another.
+    pub fn new(from: Direction, to: Direction) -> Self {
+        Turn { from, to }
+    }
+
+    /// The arrival direction.
+    pub fn from_dir(self) -> Direction {
+        self.from
+    }
+
+    /// The departure direction.
+    pub fn to_dir(self) -> Direction {
+        self.to
+    }
+
+    /// The angle class of this turn.
+    pub fn kind(self) -> TurnKind {
+        if self.from.dim() != self.to.dim() {
+            TurnKind::Ninety
+        } else if self.from.sign() != self.to.sign() {
+            TurnKind::OneEighty
+        } else {
+            TurnKind::Zero
+        }
+    }
+
+    /// The plane `(lower dim, higher dim)` of a 90-degree turn, or `None`
+    /// for 0- and 180-degree turns.
+    pub fn plane(self) -> Option<(usize, usize)> {
+        match self.kind() {
+            TurnKind::Ninety => {
+                let (a, b) = (self.from.dim(), self.to.dim());
+                Some((a.min(b), a.max(b)))
+            }
+            _ => None,
+        }
+    }
+
+    /// The rotation sense of a 90-degree turn, or `None` otherwise.
+    pub fn rotation(self) -> Option<Rotation> {
+        let (i, _j) = self.plane()?;
+        // Positions around the CCW cycle +i, +j, -i, -j.
+        let pos = |d: Direction| -> u8 {
+            match (d.dim() == i, d.is_positive()) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (false, false) => 3,
+            }
+        };
+        match (pos(self.to) + 4 - pos(self.from)) % 4 {
+            1 => Some(Rotation::CounterClockwise),
+            3 => Some(Rotation::Clockwise),
+            _ => unreachable!("90-degree turns differ by an odd step"),
+        }
+    }
+
+    /// All 90-degree turns of an n-dimensional topology, `4n(n-1)` of
+    /// them, in a deterministic order.
+    pub fn all_ninety(num_dims: usize) -> impl Iterator<Item = Turn> {
+        Direction::all(num_dims).flat_map(move |from| {
+            Direction::all(num_dims)
+                .filter(move |to| to.dim() != from.dim())
+                .map(move |to| Turn::new(from, to))
+        })
+    }
+}
+
+impl fmt::Display for Turn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// One abstract cycle of four 90-degree turns in a plane (step 3 of the
+/// turn model).
+///
+/// Every plane `(i, j)` of an n-dimensional mesh contributes two cycles,
+/// one per [`Rotation`]; an n-dimensional mesh therefore has `n(n-1)`
+/// abstract cycles in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbstractCycle {
+    /// The plane `(lower dim, higher dim)` the cycle lies in.
+    pub plane: (usize, usize),
+    /// The rotation sense shared by the cycle's four turns.
+    pub rotation: Rotation,
+    /// The four turns, in cycle order.
+    pub turns: [Turn; 4],
+}
+
+impl AbstractCycle {
+    /// The cycle with the given sense in plane `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i < j`.
+    pub fn new(i: usize, j: usize, rotation: Rotation) -> Self {
+        assert!(i < j, "plane must be given as (lower, higher)");
+        let ring = match rotation {
+            Rotation::CounterClockwise => {
+                [Direction::plus(i), Direction::plus(j), Direction::minus(i), Direction::minus(j)]
+            }
+            Rotation::Clockwise => {
+                [Direction::plus(j), Direction::plus(i), Direction::minus(j), Direction::minus(i)]
+            }
+        };
+        let turns = [
+            Turn::new(ring[0], ring[1]),
+            Turn::new(ring[1], ring[2]),
+            Turn::new(ring[2], ring[3]),
+            Turn::new(ring[3], ring[0]),
+        ];
+        AbstractCycle { plane: (i, j), rotation, turns }
+    }
+
+    /// `true` if `turn` is one of this cycle's four turns.
+    pub fn contains(&self, turn: Turn) -> bool {
+        self.turns.contains(&turn)
+    }
+}
+
+/// All `n(n-1)` abstract cycles of an n-dimensional mesh (step 3 of the
+/// turn model): two per plane.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::abstract_cycles;
+///
+/// assert_eq!(abstract_cycles(2).len(), 2);  // the two cycles of Fig. 2
+/// assert_eq!(abstract_cycles(4).len(), 12); // n(n-1) = 12
+/// ```
+pub fn abstract_cycles(num_dims: usize) -> Vec<AbstractCycle> {
+    let mut cycles = Vec::new();
+    for i in 0..num_dims {
+        for j in i + 1..num_dims {
+            cycles.push(AbstractCycle::new(i, j, Rotation::CounterClockwise));
+            cycles.push(AbstractCycle::new(i, j, Rotation::Clockwise));
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(Turn::new(Direction::NORTH, Direction::WEST).kind(), TurnKind::Ninety);
+        assert_eq!(Turn::new(Direction::NORTH, Direction::SOUTH).kind(), TurnKind::OneEighty);
+        assert_eq!(Turn::new(Direction::NORTH, Direction::NORTH).kind(), TurnKind::Zero);
+    }
+
+    #[test]
+    fn ninety_turn_count_is_4n_n_minus_1() {
+        for n in 1..=5 {
+            assert_eq!(Turn::all_ninety(n).count(), 4 * n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn plane_of_non_ninety_is_none() {
+        assert_eq!(Turn::new(Direction::EAST, Direction::WEST).plane(), None);
+        assert_eq!(Turn::new(Direction::EAST, Direction::EAST).plane(), None);
+        assert_eq!(
+            Turn::new(Direction::EAST, Direction::NORTH).plane(),
+            Some((0, 1))
+        );
+    }
+
+    #[test]
+    fn rotation_sense_2d() {
+        // East (+x) to north (+y) follows +i -> +j: counterclockwise.
+        let t = Turn::new(Direction::EAST, Direction::NORTH);
+        assert_eq!(t.rotation(), Some(Rotation::CounterClockwise));
+        // North to east is the reverse: a clockwise (right) turn.
+        let t = Turn::new(Direction::NORTH, Direction::EAST);
+        assert_eq!(t.rotation(), Some(Rotation::Clockwise));
+        // West (-x) to south (-y) follows -i -> -j: counterclockwise.
+        let t = Turn::new(Direction::WEST, Direction::SOUTH);
+        assert_eq!(t.rotation(), Some(Rotation::CounterClockwise));
+    }
+
+    #[test]
+    fn each_ninety_turn_is_in_exactly_one_cycle() {
+        for n in 2..=4 {
+            let cycles = abstract_cycles(n);
+            for turn in Turn::all_ninety(n) {
+                let count = cycles.iter().filter(|c| c.contains(turn)).count();
+                assert_eq!(count, 1, "turn {turn} in {count} cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_have_consistent_rotation() {
+        for cycle in abstract_cycles(4) {
+            for turn in cycle.turns {
+                assert_eq!(turn.rotation(), Some(cycle.rotation));
+                assert_eq!(turn.plane(), Some(cycle.plane));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_turns_chain() {
+        // Each turn's departure direction is the next turn's arrival.
+        for cycle in abstract_cycles(3) {
+            for k in 0..4 {
+                assert_eq!(
+                    cycle.turns[k].to_dir(),
+                    cycle.turns[(k + 1) % 4].from_dir()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_dimensional_cycle_count() {
+        assert_eq!(abstract_cycles(2).len(), 2);
+        assert_eq!(abstract_cycles(3).len(), 6);
+        assert_eq!(abstract_cycles(8).len(), 56);
+    }
+
+    #[test]
+    fn turn_display() {
+        let t = Turn::new(Direction::NORTH, Direction::WEST);
+        assert_eq!(t.to_string(), "+d1->-d0");
+    }
+}

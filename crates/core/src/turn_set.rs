@@ -1,0 +1,481 @@
+//! Sets of allowed turns (step 4 of the turn model).
+
+use crate::turn::{abstract_cycles, Turn};
+use std::fmt;
+use turnroute_topology::{DirSet, Direction};
+
+/// The set of turns a routing algorithm permits.
+///
+/// A `TurnSet` records, for every ordered pair of directions, whether a
+/// packet travelling in the first direction may leave a router in the
+/// second. Step 4 of the turn model prohibits just enough 90-degree turns
+/// to break every abstract cycle; [`TurnSet::breaks_all_abstract_cycles`]
+/// checks the necessary condition and
+/// [`ChannelDependencyGraph`](crate::ChannelDependencyGraph) checks the
+/// full (sufficient) condition on a concrete topology.
+///
+/// 180-degree turns are prohibited by default (step 6 may re-admit them);
+/// 0-degree "turns" (continuing straight) are always permitted, since
+/// without extra virtual channels they are plain forward travel.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::TurnSet;
+///
+/// let west_first = TurnSet::west_first();
+/// // Six of the eight 90-degree turns are allowed (Fig. 5a)...
+/// assert_eq!(west_first.allowed_ninety().count(), 6);
+/// // ...and both abstract cycles are broken.
+/// assert!(west_first.breaks_all_abstract_cycles());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TurnSet {
+    num_dims: usize,
+    /// Bit `from.index() * 2n + to.index()` set iff the turn is allowed.
+    bits: Vec<u64>,
+}
+
+impl TurnSet {
+    fn bit_index(&self, turn: Turn) -> usize {
+        turn.from_dir().index() * 2 * self.num_dims + turn.to_dir().index()
+    }
+
+    fn empty(num_dims: usize) -> Self {
+        assert!(num_dims >= 1 && num_dims <= 16, "1..=16 dimensions supported");
+        let n_bits = (2 * num_dims) * (2 * num_dims);
+        TurnSet { num_dims, bits: vec![0; n_bits.div_ceil(64)] }
+    }
+
+    /// A turn set allowing every 90- and 0-degree turn (and no
+    /// 180-degree turns) in `num_dims` dimensions. This is *not* deadlock
+    /// free for `num_dims >= 2`; it models unrestricted fully adaptive
+    /// routing without extra channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= num_dims <= 16`.
+    pub fn fully_adaptive(num_dims: usize) -> Self {
+        let mut set = TurnSet::empty(num_dims);
+        for turn in Turn::all_ninety(num_dims) {
+            set.allow(turn);
+        }
+        for dir in Direction::all(num_dims) {
+            set.allow(Turn::new(dir, dir));
+        }
+        set
+    }
+
+    /// The dimension-order turn set (`xy` routing in 2D, `e-cube` in
+    /// hypercubes): turns are allowed only from a lower dimension to a
+    /// higher one, plus straight travel (Fig. 3).
+    pub fn dimension_order(num_dims: usize) -> Self {
+        let mut set = TurnSet::empty(num_dims);
+        for dir in Direction::all(num_dims) {
+            set.allow(Turn::new(dir, dir));
+        }
+        for turn in Turn::all_ninety(num_dims) {
+            if turn.from_dir().dim() < turn.to_dir().dim() {
+                set.allow(turn);
+            }
+        }
+        set
+    }
+
+    /// Builds the turn set of a multi-phase routing algorithm: a turn is
+    /// allowed within a phase and from an earlier phase to a later phase,
+    /// never backwards.
+    ///
+    /// All the paper's named algorithms are two-phase instances:
+    /// west-first is `[{west}, {south, east, north}]`, negative-first is
+    /// `[negative dirs, positive dirs]`, and so on. Dimension-order
+    /// routing is the n-phase instance `[{±d0}, {±d1}, ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phases do not partition the `2 * num_dims`
+    /// directions (empty phases are allowed).
+    pub fn from_phases(num_dims: usize, phases: &[DirSet]) -> Self {
+        let mut seen = DirSet::new();
+        for phase in phases {
+            assert!(
+                phase.intersection(seen).is_empty(),
+                "phases must be disjoint"
+            );
+            seen = seen.union(*phase);
+        }
+        assert_eq!(seen, DirSet::all(num_dims), "phases must cover all directions");
+
+        let mut set = TurnSet::empty(num_dims);
+        for dir in Direction::all(num_dims) {
+            set.allow(Turn::new(dir, dir));
+        }
+        for (i, from_phase) in phases.iter().enumerate() {
+            for from in from_phase.iter() {
+                for later_phase in &phases[i..] {
+                    for to in later_phase.iter() {
+                        if from.dim() != to.dim() {
+                            set.allow(Turn::new(from, to));
+                        }
+                    }
+                }
+                // Step 6: incorporate the safe 180-degree turns — a
+                // reversal is a strict phase *advance*, so it cannot
+                // close a cycle (Fig. 8c's nonminimal turn).
+                if phases[i + 1..]
+                    .iter()
+                    .any(|later| later.contains(from.opposite()))
+                {
+                    set.allow(Turn::new(from, from.opposite()));
+                }
+            }
+        }
+        set
+    }
+
+    /// The west-first turn set for 2D meshes (Fig. 5a): the two turns *to*
+    /// the west are prohibited.
+    pub fn west_first() -> Self {
+        TurnSet::abonf(2)
+    }
+
+    /// The north-last turn set for 2D meshes (Fig. 9a): the two turns
+    /// *while travelling north* are prohibited.
+    pub fn north_last() -> Self {
+        TurnSet::abopl(2)
+    }
+
+    /// The negative-first turn set (Fig. 10a in 2D, Section 4.1 in
+    /// general): every turn from a positive to a negative direction is
+    /// prohibited.
+    pub fn negative_first(num_dims: usize) -> Self {
+        let negatives: DirSet = (0..num_dims).map(Direction::minus).collect();
+        let positives: DirSet = (0..num_dims).map(Direction::plus).collect();
+        TurnSet::from_phases(num_dims, &[negatives, positives])
+    }
+
+    /// The all-but-one-negative-first turn set (Section 4.1): phase one
+    /// routes adaptively in the negative directions of every dimension
+    /// but the last, phase two in the remaining directions. The 2D case
+    /// is west-first.
+    pub fn abonf(num_dims: usize) -> Self {
+        let phase1: DirSet = (0..num_dims.saturating_sub(1)).map(Direction::minus).collect();
+        let phase2 = DirSet::all(num_dims).difference(phase1);
+        TurnSet::from_phases(num_dims, &[phase1, phase2])
+    }
+
+    /// The all-but-one-positive-last turn set (Section 4.1): phase one
+    /// routes adaptively in the negative directions plus the positive
+    /// direction of dimension 0, phase two in the remaining positive
+    /// directions. The 2D case is north-last.
+    pub fn abopl(num_dims: usize) -> Self {
+        let mut phase1: DirSet = (0..num_dims).map(Direction::minus).collect();
+        phase1.insert(Direction::plus(0));
+        let phase2 = DirSet::all(num_dims).difference(phase1);
+        TurnSet::from_phases(num_dims, &[phase1, phase2])
+    }
+
+    /// A deliberately *unsafe* 2D turn set in the spirit of Fig. 4: one
+    /// turn is prohibited from each abstract cycle, yet the remaining six
+    /// turns still allow deadlock (the three allowed left turns compose
+    /// into the prohibited right turn and vice versa).
+    ///
+    /// Used to demonstrate that breaking each abstract cycle once is
+    /// necessary but not sufficient, and to exercise deadlock detection.
+    pub fn deadlocky_six_turns() -> Self {
+        let mut set = TurnSet::fully_adaptive(2);
+        // Prohibit north->east (clockwise cycle) and east->north
+        // (counterclockwise cycle): reversed copies of one another, which
+        // Section 3 shows leaves both cycles intact.
+        set.prohibit(Turn::new(Direction::NORTH, Direction::EAST));
+        set.prohibit(Turn::new(Direction::EAST, Direction::NORTH));
+        set
+    }
+
+    /// Number of dimensions this turn set is defined over.
+    pub fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    /// `true` if `turn` is allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the turn's dimensions exceed [`TurnSet::num_dims`].
+    pub fn allows(&self, turn: Turn) -> bool {
+        assert!(
+            turn.from_dir().dim() < self.num_dims && turn.to_dir().dim() < self.num_dims,
+            "turn outside this turn set's dimensions"
+        );
+        let i = self.bit_index(turn);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Allows `turn`.
+    pub fn allow(&mut self, turn: Turn) {
+        let i = self.bit_index(turn);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Prohibits `turn`.
+    pub fn prohibit(&mut self, turn: Turn) {
+        let i = self.bit_index(turn);
+        self.bits[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// The allowed 90-degree turns.
+    pub fn allowed_ninety(&self) -> impl Iterator<Item = Turn> + '_ {
+        Turn::all_ninety(self.num_dims).filter(|&t| self.allows(t))
+    }
+
+    /// The prohibited 90-degree turns.
+    pub fn prohibited_ninety(&self) -> impl Iterator<Item = Turn> + '_ {
+        Turn::all_ninety(self.num_dims).filter(|&t| !self.allows(t))
+    }
+
+    /// The directions a packet travelling in `arrived` may turn to,
+    /// including straight travel if the 0-degree turn is allowed.
+    pub fn turnable(&self, arrived: Direction) -> DirSet {
+        Direction::all(self.num_dims)
+            .filter(|&to| self.allows(Turn::new(arrived, to)))
+            .collect()
+    }
+
+    /// `true` if every abstract cycle contains at least one prohibited
+    /// turn (step 4's necessary condition for deadlock freedom).
+    ///
+    /// This is *not* sufficient: Fig. 4 exhibits a set that breaks both
+    /// abstract cycles yet deadlocks. Use
+    /// [`ChannelDependencyGraph`](crate::ChannelDependencyGraph) for the
+    /// full check on a concrete topology.
+    pub fn breaks_all_abstract_cycles(&self) -> bool {
+        abstract_cycles(self.num_dims)
+            .iter()
+            .all(|cycle| cycle.turns.iter().any(|&t| !self.allows(t)))
+    }
+
+    /// Enumerates every turn set obtained from `fully_adaptive(num_dims)`
+    /// by prohibiting exactly one turn in each abstract cycle — the
+    /// candidate space of step 4. In 2D this yields the 16 combinations of
+    /// Section 3, of which 12 prevent deadlock.
+    ///
+    /// The number of candidates is `4^(n(n-1))`; only call this for small
+    /// `n`.
+    pub fn one_turn_per_cycle_prohibitions(num_dims: usize) -> Vec<TurnSet> {
+        let cycles = abstract_cycles(num_dims);
+        let mut result = Vec::new();
+        let mut choice = vec![0usize; cycles.len()];
+        loop {
+            let mut set = TurnSet::fully_adaptive(num_dims);
+            for (cycle, &pick) in cycles.iter().zip(&choice) {
+                set.prohibit(cycle.turns[pick]);
+            }
+            result.push(set);
+            // Odometer increment over base-4 digits.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    return result;
+                }
+                choice[i] += 1;
+                if choice[i] < 4 {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Applies a relabeling of directions, producing the turn set in
+    /// which `map(from) -> map(to)` is allowed iff `from -> to` was. Used
+    /// to quotient turn sets by mesh symmetries (Section 3's "three are
+    /// unique if symmetry is taken into account").
+    pub fn relabel(&self, map: impl Fn(Direction) -> Direction) -> TurnSet {
+        let mut out = TurnSet::empty(self.num_dims);
+        for from in Direction::all(self.num_dims) {
+            for to in Direction::all(self.num_dims) {
+                if self.allows(Turn::new(from, to)) {
+                    out.allow(Turn::new(map(from), map(to)));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TurnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prohibited: Vec<String> =
+            self.prohibited_ninety().map(|t| t.to_string()).collect();
+        f.debug_struct("TurnSet")
+            .field("num_dims", &self.num_dims)
+            .field("prohibited_ninety", &prohibited)
+            .finish()
+    }
+}
+
+impl fmt::Display for TurnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turn set ({}D, prohibits", self.num_dims)?;
+        for t in self.prohibited_ninety() {
+            write!(f, " {t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_adaptive_allows_everything_but_180() {
+        let set = TurnSet::fully_adaptive(2);
+        assert_eq!(set.allowed_ninety().count(), 8);
+        assert!(set.allows(Turn::new(Direction::EAST, Direction::EAST)));
+        assert!(!set.allows(Turn::new(Direction::EAST, Direction::WEST)));
+        assert!(!set.breaks_all_abstract_cycles());
+    }
+
+    #[test]
+    fn dimension_order_matches_fig3() {
+        // xy routing allows exactly W->N, W->S, E->N, E->S (Fig. 3).
+        let set = TurnSet::dimension_order(2);
+        let allowed: Vec<Turn> = set.allowed_ninety().collect();
+        assert_eq!(allowed.len(), 4);
+        for t in &allowed {
+            assert_eq!(t.from_dir().dim(), 0);
+            assert_eq!(t.to_dir().dim(), 1);
+        }
+        assert!(set.breaks_all_abstract_cycles());
+    }
+
+    #[test]
+    fn west_first_prohibits_turns_to_west() {
+        let set = TurnSet::west_first();
+        assert_eq!(set.prohibited_ninety().count(), 2);
+        assert!(!set.allows(Turn::new(Direction::NORTH, Direction::WEST)));
+        assert!(!set.allows(Turn::new(Direction::SOUTH, Direction::WEST)));
+        assert!(set.allows(Turn::new(Direction::WEST, Direction::NORTH)));
+        assert!(set.breaks_all_abstract_cycles());
+    }
+
+    #[test]
+    fn north_last_prohibits_turns_while_north() {
+        let set = TurnSet::north_last();
+        assert_eq!(set.prohibited_ninety().count(), 2);
+        assert!(!set.allows(Turn::new(Direction::NORTH, Direction::WEST)));
+        assert!(!set.allows(Turn::new(Direction::NORTH, Direction::EAST)));
+        assert!(set.breaks_all_abstract_cycles());
+    }
+
+    #[test]
+    fn negative_first_prohibits_positive_to_negative() {
+        let set = TurnSet::negative_first(2);
+        assert!(!set.allows(Turn::new(Direction::EAST, Direction::SOUTH)));
+        assert!(!set.allows(Turn::new(Direction::NORTH, Direction::WEST)));
+        assert!(set.allows(Turn::new(Direction::WEST, Direction::NORTH)));
+        assert!(set.breaks_all_abstract_cycles());
+
+        // In n dimensions exactly n(n-1) turns are prohibited: a quarter.
+        for n in 2..=5 {
+            let set = TurnSet::negative_first(n);
+            assert_eq!(set.prohibited_ninety().count(), n * (n - 1));
+            assert!(set.breaks_all_abstract_cycles());
+        }
+    }
+
+    #[test]
+    fn abonf_and_abopl_prohibit_a_quarter() {
+        for n in 2..=5 {
+            for set in [TurnSet::abonf(n), TurnSet::abopl(n)] {
+                assert_eq!(set.prohibited_ninety().count(), n * (n - 1));
+                assert!(set.breaks_all_abstract_cycles());
+            }
+        }
+    }
+
+    #[test]
+    fn abonf_2d_is_west_first_and_abopl_2d_is_north_last() {
+        assert_eq!(TurnSet::abonf(2), TurnSet::west_first());
+        assert_eq!(TurnSet::abopl(2), TurnSet::north_last());
+    }
+
+    #[test]
+    fn deadlocky_set_breaks_no_abstract_cycle_fully() {
+        let set = TurnSet::deadlocky_six_turns();
+        assert_eq!(set.prohibited_ninety().count(), 2);
+        // One turn is prohibited per abstract cycle...
+        assert!(set.breaks_all_abstract_cycles());
+        // ...yet (as the CDG tests show) it still deadlocks.
+    }
+
+    #[test]
+    fn one_turn_per_cycle_enumeration_2d_has_16() {
+        let sets = TurnSet::one_turn_per_cycle_prohibitions(2);
+        assert_eq!(sets.len(), 16);
+        for set in &sets {
+            assert_eq!(set.prohibited_ninety().count(), 2);
+            assert!(set.breaks_all_abstract_cycles());
+        }
+        // All distinct.
+        for (i, a) in sets.iter().enumerate() {
+            for b in &sets[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn turnable_reflects_allowed_turns() {
+        let set = TurnSet::west_first();
+        let from_north = set.turnable(Direction::NORTH);
+        assert!(from_north.contains(Direction::NORTH)); // straight
+        assert!(from_north.contains(Direction::EAST));
+        assert!(!from_north.contains(Direction::WEST));
+        assert!(!from_north.contains(Direction::SOUTH)); // 180
+    }
+
+    #[test]
+    fn relabel_rotates_west_first_into_a_valid_set() {
+        // Rotate 90 degrees: W->S, S->E, E->N, N->W.
+        let rot = |d: Direction| -> Direction {
+            match d {
+                Direction::WEST => Direction::SOUTH,
+                Direction::SOUTH => Direction::EAST,
+                Direction::EAST => Direction::NORTH,
+                Direction::NORTH => Direction::WEST,
+                _ => unreachable!(),
+            }
+        };
+        let rotated = TurnSet::west_first().relabel(rot);
+        assert_eq!(rotated.prohibited_ninety().count(), 2);
+        // "South-first": prohibits turns to the south.
+        assert!(!rotated.allows(Turn::new(Direction::EAST, Direction::SOUTH)));
+        assert!(!rotated.allows(Turn::new(Direction::WEST, Direction::SOUTH)));
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must cover")]
+    fn from_phases_requires_cover() {
+        let phase1: DirSet = [Direction::WEST].into_iter().collect();
+        let _ = TurnSet::from_phases(2, &[phase1]);
+    }
+
+    #[test]
+    fn from_phases_three_phases() {
+        // Dimension-order as phases [{±d0}, {±d1}].
+        let p0: DirSet = [Direction::WEST, Direction::EAST].into_iter().collect();
+        let p1: DirSet = [Direction::SOUTH, Direction::NORTH].into_iter().collect();
+        let set = TurnSet::from_phases(2, &[p0, p1]);
+        assert_eq!(set, TurnSet::dimension_order(2));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let set = TurnSet::west_first();
+        assert!(format!("{set:?}").contains("prohibited"));
+        assert!(set.to_string().contains("prohibits"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation configuration.
+
+/// Channel bandwidth used throughout the paper's Section 6: 20 flits/µs,
+/// i.e. one flit crosses one channel per 0.05 µs cycle.
+pub const FLITS_PER_USEC: f64 = 20.0;
+
+/// Converts simulator cycles to microseconds at the paper's channel
+/// bandwidth.
+pub fn cycles_to_usec(cycles: u64) -> f64 {
+    cycles as f64 / FLITS_PER_USEC
+}
+
+/// How message lengths are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDistribution {
+    /// Every message has the same length.
+    Fixed(u32),
+    /// Each message is `short` or `long` with equal probability — the
+    /// paper uses 10 or 200 flits.
+    Bimodal {
+        /// The short length (paper: 10 flits).
+        short: u32,
+        /// The long length (paper: 200 flits).
+        long: u32,
+    },
+}
+
+impl LengthDistribution {
+    /// The paper's Section 6 distribution: 10 or 200 flits, equally
+    /// likely.
+    pub fn paper() -> Self {
+        LengthDistribution::Bimodal { short: 10, long: 200 }
+    }
+
+    /// The mean length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDistribution::Fixed(l) => l as f64,
+            LengthDistribution::Bimodal { short, long } => (short + long) as f64 / 2.0,
+        }
+    }
+}
+
+/// Which header wins when several compete for one output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputSelection {
+    /// Local first-come-first-served: the header that has waited at the
+    /// router longest wins. Fair, so indefinite postponement is
+    /// impossible — the paper's policy.
+    #[default]
+    FirstComeFirstServed,
+    /// The header that arrived over the lowest-indexed direction wins
+    /// (injection beats every network input). Unfair; can postpone
+    /// indefinitely. Included for the selection-policy ablation.
+    FixedPriority,
+    /// A uniformly random contender wins each cycle.
+    Random,
+}
+
+/// Which output channel a header takes when several are permitted and
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputSelection {
+    /// Prefer the lowest dimension (minus before plus) — the paper's
+    /// "xy" policy.
+    #[default]
+    LowestDimension,
+    /// Prefer the highest dimension.
+    HighestDimension,
+    /// Prefer continuing in the arrival direction, then lowest
+    /// dimension.
+    StraightFirst,
+    /// Pick uniformly at random among the free permitted channels.
+    Random,
+}
+
+/// Full configuration of one simulation run.
+///
+/// The defaults reproduce the paper's Section 6 setup: 20 flits/µs
+/// channels, single-flit buffers, bimodal 10/200-flit messages,
+/// local-FCFS input selection and "xy" output selection.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_sim::SimConfig;
+///
+/// let config = SimConfig::paper()
+///     .injection_rate(0.1)
+///     .seed(7)
+///     .warmup_cycles(1_000)
+///     .measure_cycles(10_000);
+/// assert_eq!(config.injection_rate_flits, 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Offered load per node, in flits per cycle (1 flit/cycle = the
+    /// full 20 flits/µs channel bandwidth). Messages are generated with
+    /// exponentially distributed inter-arrival times whose mean is
+    /// `mean_length / injection_rate_flits` cycles.
+    pub injection_rate_flits: f64,
+    /// Message length distribution.
+    pub lengths: LengthDistribution,
+    /// Input (arbitration) policy.
+    pub input_selection: InputSelection,
+    /// Output (channel choice) policy.
+    pub output_selection: OutputSelection,
+    /// RNG seed — runs are fully deterministic given the seed.
+    pub seed: u64,
+    /// Cycles to run before statistics collection starts.
+    pub warmup_cycles: u64,
+    /// Cycles of the measurement window.
+    pub measure_cycles: u64,
+    /// Cycles of no in-flight progress after which deadlock is declared.
+    pub deadlock_threshold: u64,
+}
+
+impl SimConfig {
+    /// The paper's Section 6 configuration at zero load; set
+    /// [`injection_rate`](Self::injection_rate) before running.
+    pub fn paper() -> Self {
+        SimConfig {
+            injection_rate_flits: 0.0,
+            lengths: LengthDistribution::paper(),
+            input_selection: InputSelection::FirstComeFirstServed,
+            output_selection: OutputSelection::LowestDimension,
+            seed: 0x7453_1DE5,
+            warmup_cycles: 20_000,
+            measure_cycles: 60_000,
+            deadlock_threshold: 50_000,
+        }
+    }
+
+    /// Sets the offered load per node in flits per cycle.
+    pub fn injection_rate(mut self, flits_per_cycle: f64) -> Self {
+        assert!(flits_per_cycle >= 0.0, "negative injection rate");
+        self.injection_rate_flits = flits_per_cycle;
+        self
+    }
+
+    /// Sets the message length distribution.
+    pub fn lengths(mut self, lengths: LengthDistribution) -> Self {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Sets the input selection policy.
+    pub fn input_selection(mut self, policy: InputSelection) -> Self {
+        self.input_selection = policy;
+        self
+    }
+
+    /// Sets the output selection policy.
+    pub fn output_selection(mut self, policy: OutputSelection) -> Self {
+        self.output_selection = policy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the warmup length in cycles.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Sets the measurement window in cycles.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.measure_cycles = cycles;
+        self
+    }
+
+    /// Sets the deadlock watchdog threshold in cycles.
+    pub fn deadlock_threshold(mut self, cycles: u64) -> Self {
+        self.deadlock_threshold = cycles;
+        self
+    }
+
+    /// Mean message inter-arrival time per node, in cycles; `None` at
+    /// zero load.
+    pub fn mean_interarrival_cycles(&self) -> Option<f64> {
+        (self.injection_rate_flits > 0.0)
+            .then(|| self.lengths.mean() / self.injection_rate_flits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper();
+        assert_eq!(c.lengths, LengthDistribution::paper());
+        assert_eq!(c.lengths.mean(), 105.0);
+        assert_eq!(c.input_selection, InputSelection::FirstComeFirstServed);
+        assert_eq!(c.output_selection, OutputSelection::LowestDimension);
+    }
+
+    #[test]
+    fn interarrival_matches_load() {
+        let c = SimConfig::paper().injection_rate(0.5);
+        // 105-flit mean messages at 0.5 flits/cycle: one message every
+        // 210 cycles.
+        assert_eq!(c.mean_interarrival_cycles(), Some(210.0));
+        assert_eq!(SimConfig::paper().mean_interarrival_cycles(), None);
+    }
+
+    #[test]
+    fn cycles_convert_to_usec() {
+        assert_eq!(cycles_to_usec(20), 1.0);
+        assert_eq!(cycles_to_usec(0), 0.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SimConfig::paper()
+            .injection_rate(0.25)
+            .seed(42)
+            .warmup_cycles(5)
+            .measure_cycles(10)
+            .deadlock_threshold(99)
+            .output_selection(OutputSelection::Random)
+            .input_selection(InputSelection::Random)
+            .lengths(LengthDistribution::Fixed(16));
+        assert_eq!(c.injection_rate_flits, 0.25);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.warmup_cycles, 5);
+        assert_eq!(c.measure_cycles, 10);
+        assert_eq!(c.deadlock_threshold, 99);
+        assert_eq!(c.lengths.mean(), 16.0);
+    }
+}

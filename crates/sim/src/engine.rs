@@ -1,0 +1,819 @@
+//! The cycle-based wormhole simulation engine.
+
+use crate::config::{InputSelection, OutputSelection, SimConfig};
+use crate::deadlock::{detect_deadlock, DeadlockReport};
+use crate::metrics::MetricsCollector;
+use crate::packet::{Packet, PacketId, PacketState};
+use crate::patterns::TrafficPattern;
+use crate::traffic::PoissonSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use turnroute_core::RoutingAlgorithm;
+use turnroute_topology::{ChannelId, DirSet, Direction, NodeId, Topology};
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The configured cycles completed.
+    Completed,
+    /// The deadlock watchdog fired: no in-flight packet advanced for the
+    /// configured threshold, and a circular wait was found.
+    Deadlocked(DeadlockReport),
+}
+
+/// The result of a simulation run: the collected metrics plus outcome
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Offered load per node in flits per cycle.
+    pub offered_load: f64,
+    /// Collected measurement-window statistics.
+    pub metrics: MetricsCollector,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Packets the routing relation stranded (no permitted direction
+    /// while in flight — only possible with hand-built turn sets).
+    pub stranded_packets: u64,
+    /// Total messages delivered over the whole run.
+    pub total_delivered: u64,
+    /// Total messages generated over the whole run.
+    pub total_generated: u64,
+}
+
+impl SimReport {
+    /// `true` if the run completed with bounded source queues — the
+    /// paper's criterion for a *sustainable* operating point.
+    pub fn sustainable(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Completed) && self.metrics.queues_bounded()
+    }
+}
+
+/// A flit-level wormhole network simulation, faithful to the paper's
+/// Section 6 setup:
+///
+/// * every channel moves one flit per 0.05 µs cycle (20 flits/µs);
+/// * each router input channel buffers a single flit, so a blocked worm
+///   stalls in place, one flit per occupied channel;
+/// * one injection and one ejection channel connect each router to its
+///   processor; blocked messages queue at the source; destinations
+///   consume immediately;
+/// * input selection is local first-come-first-served, output selection
+///   prefers the lowest dimension ("xy"), both configurable for
+///   ablations.
+///
+/// Use [`Simulation::run`] for a full warmup + measurement run, or
+/// [`Simulation::step`] to single-step in tests.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::WestFirst;
+/// use turnroute_sim::{SimConfig, Simulation, patterns::Uniform};
+/// use turnroute_topology::Mesh;
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let algo = WestFirst::minimal();
+/// let config = SimConfig::paper()
+///     .injection_rate(0.05)
+///     .warmup_cycles(500)
+///     .measure_cycles(2_000);
+/// let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
+/// let report = sim.run();
+/// assert!(report.sustainable());
+/// ```
+pub struct Simulation<'a> {
+    topo: &'a dyn Topology,
+    algo: &'a dyn RoutingAlgorithm,
+    pattern: &'a dyn TrafficPattern,
+    config: SimConfig,
+    rng: StdRng,
+    source: PoissonSource,
+    cycle: u64,
+    packets: Vec<Packet>,
+    /// Per-node source queue of packets waiting to inject.
+    queues: Vec<VecDeque<PacketId>>,
+    /// Per-node packet currently streaming flits from the source.
+    injecting: Vec<Option<PacketId>>,
+    /// Per-node packet currently streaming flits into the local
+    /// processor (the single ejection channel of the paper's router).
+    ejecting: Vec<Option<PacketId>>,
+    /// Per-channel occupant.
+    channel_owner: Vec<Option<PacketId>>,
+    /// Channels taken out of service by fault injection.
+    faulty: Vec<bool>,
+    /// Flits routed over each channel during the measurement window
+    /// (credited when a header acquires the channel).
+    channel_flits: Vec<u64>,
+    /// Packets currently in flight.
+    in_flight: Vec<PacketId>,
+    /// Ids of packets the routing relation stranded.
+    stranded: Vec<PacketId>,
+    last_progress: u64,
+    generation_enabled: bool,
+    metrics: MetricsCollector,
+    total_delivered: u64,
+    total_generated: u64,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation over `topo` routed by `algo` under `pattern`.
+    pub fn new(
+        topo: &'a dyn Topology,
+        algo: &'a dyn RoutingAlgorithm,
+        pattern: &'a dyn TrafficPattern,
+        config: SimConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let source = PoissonSource::new(
+            topo.num_nodes(),
+            config.mean_interarrival_cycles(),
+            config.lengths,
+            &mut rng,
+        );
+        Simulation {
+            topo,
+            algo,
+            pattern,
+            config,
+            rng,
+            source,
+            cycle: 0,
+            packets: Vec::new(),
+            queues: vec![VecDeque::new(); topo.num_nodes()],
+            injecting: vec![None; topo.num_nodes()],
+            ejecting: vec![None; topo.num_nodes()],
+            channel_owner: vec![None; topo.num_channels()],
+            faulty: vec![false; topo.num_channels()],
+            channel_flits: vec![0; topo.num_channels()],
+            in_flight: Vec::new(),
+            stranded: Vec::new(),
+            last_progress: 0,
+            generation_enabled: true,
+            metrics: MetricsCollector::default(),
+            total_delivered: 0,
+            total_generated: 0,
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The packet with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        &self.packets[id.0 as usize]
+    }
+
+    /// All packets created so far.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> &[PacketId] {
+        &self.in_flight
+    }
+
+    /// The packet currently occupying `channel`, if any.
+    pub fn channel_owner(&self, channel: ChannelId) -> Option<PacketId> {
+        self.channel_owner[channel.index()]
+    }
+
+    /// Total messages waiting in source queues.
+    pub fn queued_messages(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Enqueues a hand-crafted message (useful for directed tests and
+    /// the deadlock demonstration). Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or `length == 0`.
+    pub fn inject_message(&mut self, src: NodeId, dst: NodeId, length: u32) -> PacketId {
+        let id = PacketId(self.packets.len() as u64);
+        self.packets.push(Packet::new(id, src, dst, length, self.cycle));
+        self.queues[src.index()].push_back(id);
+        self.total_generated += 1;
+        if self.in_window() {
+            self.metrics.messages_generated += 1;
+            self.metrics.flits_generated += length as u64;
+        }
+        id
+    }
+
+    /// Stops Poisson generation (used while draining).
+    pub fn disable_generation(&mut self) {
+        self.generation_enabled = false;
+    }
+
+    /// Takes a channel out of service: no header will be granted it
+    /// from the next arbitration on. A worm currently occupying it is
+    /// not disturbed (the fault model is "link goes down for new
+    /// traffic", the common assumption in the paper's fault-tolerance
+    /// discussion); adaptive algorithms route around, nonadaptive ones
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn fail_channel(&mut self, channel: ChannelId) {
+        self.faulty[channel.index()] = true;
+    }
+
+    /// Returns a failed channel to service.
+    pub fn repair_channel(&mut self, channel: ChannelId) {
+        self.faulty[channel.index()] = false;
+    }
+
+    /// `true` if `channel` is currently failed.
+    pub fn is_faulty(&self, channel: ChannelId) -> bool {
+        self.faulty[channel.index()]
+    }
+
+    /// Per-channel offered load over the measurement window, in flits
+    /// per microsecond (each channel's capacity is
+    /// [`FLITS_PER_USEC`](crate::FLITS_PER_USEC) = 20). Flits are
+    /// credited to a channel when a header acquires it, so the tail of
+    /// the window can slightly overshoot true utilization; the *shape*
+    /// — which channels are hot — is exact, and it is the shape that
+    /// explains the figures: dimension-order routing funnels transpose
+    /// traffic through a few corner channels, adaptive routing spreads
+    /// it.
+    pub fn channel_utilization(&self) -> Vec<f64> {
+        let cycles = self
+            .metrics
+            .window_end
+            .min(self.cycle)
+            .saturating_sub(self.metrics.window_start);
+        if cycles == 0 {
+            return vec![0.0; self.channel_flits.len()];
+        }
+        let usec = crate::config::cycles_to_usec(cycles);
+        self.channel_flits.iter().map(|&f| f as f64 / usec).collect()
+    }
+
+    fn in_window(&self) -> bool {
+        self.cycle >= self.metrics.window_start && self.cycle < self.metrics.window_end
+    }
+
+    /// Advances the simulation one cycle. Returns a deadlock report if
+    /// the watchdog fired this cycle.
+    pub fn step(&mut self) -> Option<DeadlockReport> {
+        self.generate();
+        let grants = self.arbitrate();
+        let progressed = self.advance(grants);
+        if self.in_window() && self.cycle % 256 == 0 {
+            let queued = self.queued_messages();
+            self.metrics.queue_samples.push(queued);
+        }
+        if progressed || self.in_flight.iter().all(|id| self.stranded.contains(id)) {
+            self.last_progress = self.cycle;
+        }
+        self.cycle += 1;
+        if !self.in_flight.is_empty()
+            && self.cycle - self.last_progress >= self.config.deadlock_threshold
+        {
+            return Some(detect_deadlock(self));
+        }
+        None
+    }
+
+    /// Runs warmup, the measurement window, then a drain phase (with
+    /// generation disabled) so that measured messages can finish.
+    pub fn run(&mut self) -> SimReport {
+        self.metrics.window_start = self.config.warmup_cycles;
+        self.metrics.window_end = self.config.warmup_cycles + self.config.measure_cycles;
+        let drain_limit = self.metrics.window_end + self.config.measure_cycles;
+
+        let mut outcome = RunOutcome::Completed;
+        while self.cycle < drain_limit {
+            if self.cycle == self.metrics.window_end {
+                self.disable_generation();
+            }
+            if let Some(report) = self.step() {
+                outcome = RunOutcome::Deadlocked(report);
+                break;
+            }
+            // Stop draining early once the network is empty.
+            if self.cycle > self.metrics.window_end
+                && self.in_flight.is_empty()
+                && self.queued_messages() == 0
+            {
+                break;
+            }
+        }
+        SimReport {
+            offered_load: self.config.injection_rate_flits,
+            metrics: self.metrics.clone(),
+            outcome,
+            stranded_packets: self.stranded.len() as u64,
+            total_delivered: self.total_delivered,
+            total_generated: self.total_generated,
+        }
+    }
+
+    fn generate(&mut self) {
+        if !self.generation_enabled {
+            return;
+        }
+        // Split borrows: the source and RNG are disjoint fields.
+        let mut new_messages: Vec<(NodeId, u32)> = Vec::new();
+        for node in 0..self.topo.num_nodes() {
+            let (source, rng) = (&mut self.source, &mut self.rng);
+            let mut lengths = Vec::new();
+            source.poll(node, self.cycle, rng, |len| lengths.push(len));
+            for len in lengths {
+                new_messages.push((NodeId::new(node), len));
+            }
+        }
+        for (src, len) in new_messages {
+            if let Some(dst) = self.pattern.dest(self.topo, src, &mut self.rng) {
+                self.inject_message(src, dst, len);
+            }
+        }
+    }
+
+    /// Each requesting header's permitted, free output channels, in the
+    /// output-selection policy's preference order.
+    fn candidates(&mut self, id: PacketId) -> Vec<ChannelId> {
+        let (head, dst, arrived) = {
+            let p = &self.packets[id.0 as usize];
+            (p.head_node, p.dst, p.arrived)
+        };
+        let permitted = self.algo.route(self.topo, head, dst, arrived);
+        let ordered = self.order_directions(permitted, arrived);
+        ordered
+            .into_iter()
+            .filter_map(|dir| self.topo.channel_from(head, dir))
+            .filter(|c| !self.faulty[c.index()] && self.channel_owner[c.index()].is_none())
+            .collect()
+    }
+
+    fn order_directions(
+        &mut self,
+        permitted: DirSet,
+        arrived: Option<Direction>,
+    ) -> Vec<Direction> {
+        let mut dirs: Vec<Direction> = permitted.iter().collect();
+        match self.config.output_selection {
+            OutputSelection::LowestDimension => {}
+            OutputSelection::HighestDimension => dirs.reverse(),
+            OutputSelection::StraightFirst => {
+                if let Some(fwd) = arrived {
+                    if let Some(pos) = dirs.iter().position(|&d| d == fwd) {
+                        dirs.remove(pos);
+                        dirs.insert(0, fwd);
+                    }
+                }
+            }
+            OutputSelection::Random => {
+                // Fisher-Yates with the simulation RNG.
+                for i in (1..dirs.len()).rev() {
+                    let j = self.rng.random_range(0..=i);
+                    dirs.swap(i, j);
+                }
+            }
+        }
+        dirs
+    }
+
+    /// Arbitration: headers request channels; contested channels go to
+    /// the input-selection winner. Returns `(packet, channel)` grants.
+    fn arbitrate(&mut self) -> Vec<(PacketId, ChannelId)> {
+        // Requesters: in-flight headers not yet at their destination,
+        // plus each node's queue head if the injection channel is free.
+        let mut requesters: Vec<PacketId> = Vec::new();
+        for &id in &self.in_flight {
+            let p = &self.packets[id.0 as usize];
+            if p.head_node != p.dst && !self.stranded.contains(&id) {
+                requesters.push(id);
+            }
+        }
+        for node in 0..self.topo.num_nodes() {
+            if self.injecting[node].is_none() {
+                if let Some(&head) = self.queues[node].front() {
+                    requesters.push(head);
+                }
+            }
+        }
+
+        // Input selection: a global priority order implements the local
+        // policy at every contested channel.
+        match self.config.input_selection {
+            InputSelection::FirstComeFirstServed => {
+                requesters
+                    .sort_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
+            }
+            InputSelection::FixedPriority => {
+                requesters.sort_by_key(|&id| {
+                    let p = &self.packets[id.0 as usize];
+                    let dir_rank = p.arrived.map_or(0, |d| d.index() + 1);
+                    (dir_rank, id.0)
+                });
+            }
+            InputSelection::Random => {
+                for i in (1..requesters.len()).rev() {
+                    let j = self.rng.random_range(0..=i);
+                    requesters.swap(i, j);
+                }
+            }
+        }
+
+        let mut grants = Vec::new();
+        let mut granted_this_cycle = vec![false; self.topo.num_channels()];
+        for id in requesters {
+            let candidates = self.candidates(id);
+            if candidates.is_empty() {
+                // Either every permitted channel is busy (normal
+                // blocking) or the relation offers nothing (stranded).
+                let p = &self.packets[id.0 as usize];
+                let permitted = self.algo.route(self.topo, p.head_node, p.dst, p.arrived);
+                if permitted.is_empty()
+                    && p.state() == PacketState::InFlight
+                    && !self.stranded.contains(&id)
+                {
+                    self.stranded.push(id);
+                }
+                continue;
+            }
+            if let Some(&channel) =
+                candidates.iter().find(|c| !granted_this_cycle[c.index()])
+            {
+                granted_this_cycle[channel.index()] = true;
+                grants.push((id, channel));
+            }
+        }
+        grants
+    }
+
+    /// Moves every worm that can move: granted headers take their new
+    /// channel; headers at their destination consume a flit.
+    fn advance(&mut self, grants: Vec<(PacketId, ChannelId)>) -> bool {
+        let mut progressed = false;
+
+        // Consumption first: headers parked at their destinations. Each
+        // router has a single ejection channel, held by one packet until
+        // its tail passes; contenders wait (local FCFS by header
+        // arrival).
+        let mut at_dest: Vec<PacketId> = self
+            .in_flight
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let p = &self.packets[id.0 as usize];
+                p.head_node == p.dst
+            })
+            .collect();
+        at_dest.sort_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
+        for id in at_dest {
+            let node = self.packets[id.0 as usize].dst.index();
+            match self.ejecting[node] {
+                None => self.ejecting[node] = Some(id),
+                Some(holder) if holder == id => {}
+                Some(_) => continue, // ejection channel busy
+            }
+            self.consume_one_flit(id);
+            progressed = true;
+        }
+
+        for (id, channel) in grants {
+            self.take_channel(id, channel);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn take_channel(&mut self, id: PacketId, channel: ChannelId) {
+        let ch = self.topo.channel(channel);
+        let first_hop = {
+            let p = &self.packets[id.0 as usize];
+            p.state() == PacketState::Queued
+        };
+        if first_hop {
+            // Leave the source queue and claim the injection channel.
+            let node = ch.src.index();
+            let front = self.queues[node].pop_front();
+            debug_assert_eq!(front, Some(id));
+            self.injecting[node] = Some(id);
+            self.packets[id.0 as usize].injected_at = Some(self.cycle);
+            self.in_flight.push(id);
+        }
+        self.channel_owner[channel.index()] = Some(id);
+        if self.in_window() {
+            let len = self.packets[id.0 as usize].length as u64;
+            self.channel_flits[channel.index()] += len;
+        }
+        let cycle = self.cycle;
+        let p = &mut self.packets[id.0 as usize];
+        p.worm.push(channel);
+        p.head_node = ch.dst;
+        p.arrived = Some(ch.dir);
+        p.head_arrival = cycle + 1;
+        p.hops += 1;
+        self.shift_tail(id);
+    }
+
+    fn consume_one_flit(&mut self, id: PacketId) {
+        self.note_delivered_flit();
+        let p = &mut self.packets[id.0 as usize];
+        p.flits_consumed += 1;
+        let done = p.flits_consumed == p.length;
+        self.shift_tail(id);
+        if done {
+            let p = &mut self.packets[id.0 as usize];
+            debug_assert!(p.worm.is_empty());
+            p.delivered_at = Some(self.cycle);
+            let dst = p.dst.index();
+            if self.ejecting[dst] == Some(id) {
+                self.ejecting[dst] = None;
+            }
+            self.total_delivered += 1;
+            self.in_flight.retain(|&q| q != id);
+            let p = &self.packets[id.0 as usize];
+            let record = p.created_at >= self.metrics.window_start
+                && p.created_at < self.metrics.window_end;
+            if record {
+                let latency = self.cycle - p.created_at;
+                let net_latency = self.cycle - p.injected_at.expect("delivered => injected");
+                let hops = p.hops;
+                self.metrics.latencies.push(latency);
+                self.metrics.network_latencies.push(net_latency);
+                self.metrics.hop_counts.push(hops);
+            }
+        }
+    }
+
+    /// After the worm moved one step at the head (new channel or
+    /// consumed flit), feed the tail: a fresh flit enters from the
+    /// source, or the tail channel drains and is released.
+    fn shift_tail(&mut self, id: PacketId) {
+        let idx = id.0 as usize;
+        if self.packets[idx].flits_at_source > 0 {
+            self.packets[idx].flits_at_source -= 1;
+            if self.packets[idx].flits_at_source == 0 {
+                // Tail left the source: release the injection channel.
+                let src = self.packets[idx].src.index();
+                if self.injecting[src] == Some(id) {
+                    self.injecting[src] = None;
+                }
+            }
+        } else if !self.packets[idx].worm.is_empty() {
+            let tail = self.packets[idx].worm.remove(0);
+            self.channel_owner[tail.index()] = None;
+        }
+    }
+
+    /// Flits consumed this window (updated by `consume_one_flit`).
+    fn note_delivered_flit(&mut self) {
+        if self.in_window() {
+            self.metrics.flits_delivered += 1;
+        }
+    }
+
+    /// Internal accessors for deadlock analysis.
+    pub(crate) fn deadlock_view(
+        &self,
+    ) -> (
+        &dyn Topology,
+        &dyn RoutingAlgorithm,
+        &[Packet],
+        &[Option<PacketId>],
+        &[PacketId],
+        &[bool],
+    ) {
+        (
+            self.topo,
+            self.algo,
+            &self.packets,
+            &self.channel_owner,
+            &self.in_flight,
+            &self.faulty,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{Transpose, Uniform};
+    use turnroute_core::{DimensionOrder, NegativeFirst, WestFirst};
+    use turnroute_topology::Mesh;
+
+    fn quiet_config() -> SimConfig {
+        SimConfig::paper()
+            .warmup_cycles(0)
+            .measure_cycles(5_000)
+            .deadlock_threshold(2_000)
+    }
+
+    #[test]
+    fn single_packet_pipeline_latency() {
+        // One 10-flit packet over d hops takes d + 10 cycles to deliver
+        // (header d hops, then one flit consumed per cycle, the last at
+        // cycle d + 10 - 1... measured inclusive below).
+        let mesh = Mesh::new_2d(8, 8);
+        let algo = DimensionOrder::new();
+        let config = quiet_config();
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
+        let src = mesh.node_at(&[0, 0].into());
+        let dst = mesh.node_at(&[4, 0].into());
+        let id = sim.inject_message(src, dst, 10);
+        for _ in 0..100 {
+            assert!(sim.step().is_none());
+        }
+        let p = sim.packet(id);
+        assert_eq!(p.state(), PacketState::Delivered);
+        // Distance 4: header advances one hop per cycle starting at
+        // cycle 0; the header reaches the destination at cycle 3 (end of
+        // cycle), consumption runs cycles 4..14.
+        let latency = p.latency_cycles().unwrap();
+        assert_eq!(latency, 4 + 10 - 1, "got {latency}");
+        assert_eq!(p.hops(), 4);
+    }
+
+    #[test]
+    fn worm_occupies_min_of_length_and_path() {
+        let mesh = Mesh::new_2d(8, 8);
+        let algo = DimensionOrder::new();
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, quiet_config());
+        let src = mesh.node_at(&[0, 0].into());
+        let dst = mesh.node_at(&[6, 0].into());
+        let id = sim.inject_message(src, dst, 3);
+        // After 4 cycles the head has taken 4 hops but only 3 flits
+        // exist: the worm spans 3 channels.
+        for _ in 0..4 {
+            sim.step();
+        }
+        let p = sim.packet(id);
+        assert_eq!(p.flits_in_network(), 3);
+        assert!(p.injection_complete());
+    }
+
+    #[test]
+    fn two_packets_share_the_network_without_collision() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = WestFirst::minimal();
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, quiet_config());
+        let a = sim.inject_message(
+            mesh.node_at(&[0, 0].into()),
+            mesh.node_at(&[3, 3].into()),
+            20,
+        );
+        let b = sim.inject_message(
+            mesh.node_at(&[3, 0].into()),
+            mesh.node_at(&[0, 3].into()),
+            20,
+        );
+        for _ in 0..300 {
+            sim.step();
+        }
+        assert_eq!(sim.packet(a).state(), PacketState::Delivered);
+        assert_eq!(sim.packet(b).state(), PacketState::Delivered);
+        // Every channel was released.
+        for c in 0..mesh.num_channels() {
+            assert_eq!(sim.channel_owner(ChannelId::new(c)), None);
+        }
+    }
+
+    #[test]
+    fn injection_serializes_per_node() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = DimensionOrder::new();
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, quiet_config());
+        let src = mesh.node_at(&[0, 0].into());
+        let a = sim.inject_message(src, mesh.node_at(&[3, 0].into()), 50);
+        let b = sim.inject_message(src, mesh.node_at(&[0, 3].into()), 10);
+        sim.step();
+        // Packet a claimed the injection channel; b still queued.
+        assert_eq!(sim.packet(a).state(), PacketState::InFlight);
+        assert_eq!(sim.packet(b).state(), PacketState::Queued);
+        // b cannot inject before a's tail leaves the source (50 flits).
+        for _ in 0..40 {
+            sim.step();
+            assert_eq!(sim.packet(b).state(), PacketState::Queued);
+        }
+        for _ in 0..300 {
+            sim.step();
+        }
+        assert_eq!(sim.packet(b).state(), PacketState::Delivered);
+    }
+
+    #[test]
+    fn contended_channel_blocks_the_later_header() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = DimensionOrder::new();
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, quiet_config());
+        // Both packets need the north channel out of (1,0).
+        let first = sim.inject_message(
+            mesh.node_at(&[0, 0].into()),
+            mesh.node_at(&[1, 3].into()),
+            30,
+        );
+        for _ in 0..5 {
+            sim.step(); // first acquires the contested channel
+        }
+        let second = sim.inject_message(
+            mesh.node_at(&[1, 0].into()),
+            mesh.node_at(&[1, 2].into()),
+            30,
+        );
+        // While the first worm streams, the second stays queued.
+        for _ in 0..10 {
+            sim.step();
+            assert_eq!(sim.packet(second).state(), PacketState::Queued);
+        }
+        for _ in 0..200 {
+            sim.step();
+        }
+        let (p1, p2) = (sim.packet(first), sim.packet(second));
+        assert_eq!(p1.state(), PacketState::Delivered);
+        assert_eq!(p2.state(), PacketState::Delivered);
+        assert!(p1.delivered_at.unwrap() < p2.delivered_at.unwrap());
+    }
+
+    #[test]
+    fn uniform_traffic_low_load_is_sustainable() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = WestFirst::minimal();
+        let config = SimConfig::paper()
+            .injection_rate(0.02)
+            .warmup_cycles(1_000)
+            .measure_cycles(8_000)
+            .seed(11);
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
+        let report = sim.run();
+        assert!(report.sustainable());
+        assert!(report.total_delivered > 0);
+        assert!(report.metrics.avg_latency_usec().unwrap() > 0.0);
+        assert_eq!(report.stranded_packets, 0);
+    }
+
+    #[test]
+    fn transpose_runs_on_all_algorithms() {
+        let mesh = Mesh::new_2d(4, 4);
+        let config = SimConfig::paper()
+            .injection_rate(0.02)
+            .warmup_cycles(500)
+            .measure_cycles(4_000);
+        let algos: Vec<Box<dyn RoutingAlgorithm>> = vec![
+            Box::new(DimensionOrder::new()),
+            Box::new(WestFirst::minimal()),
+            Box::new(NegativeFirst::minimal()),
+        ];
+        for algo in &algos {
+            let mut sim = Simulation::new(&mesh, algo.as_ref(), &Transpose, config.clone());
+            let report = sim.run();
+            assert!(report.sustainable(), "{} saturated", algo.name());
+            assert!(report.total_delivered > 0);
+        }
+    }
+
+    #[test]
+    fn flit_conservation_invariant() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = WestFirst::minimal();
+        let config = SimConfig::paper().injection_rate(0.1).warmup_cycles(0).measure_cycles(0);
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
+        for _ in 0..2_000 {
+            sim.step();
+            for p in sim.packets() {
+                let total =
+                    p.flits_at_source + p.flits_in_network() + p.flits_consumed;
+                assert_eq!(total, p.length);
+            }
+            // Channel ownership is consistent with worms.
+            let mut owned = 0;
+            for p in sim.packets() {
+                for c in p.worm() {
+                    assert_eq!(sim.channel_owner(*c), Some(p.id));
+                    owned += 1;
+                }
+            }
+            let owners =
+                (0..mesh.num_channels()).filter(|&c| sim.channel_owner(ChannelId::new(c)).is_some()).count();
+            assert_eq!(owned, owners);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = NegativeFirst::minimal();
+        let config = SimConfig::paper()
+            .injection_rate(0.05)
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .seed(1234);
+        let r1 = Simulation::new(&mesh, &algo, &Uniform, config.clone()).run();
+        let r2 = Simulation::new(&mesh, &algo, &Uniform, config).run();
+        assert_eq!(r1.total_delivered, r2.total_delivered);
+        assert_eq!(r1.metrics.latencies, r2.metrics.latencies);
+    }
+}

@@ -1,0 +1,202 @@
+//! Messages, packets and in-flight worm state.
+
+use turnroute_topology::{ChannelId, Direction, NodeId};
+
+/// Identifies a packet across the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub(crate) u64);
+
+impl PacketId {
+    /// The dense index of this packet (creation order).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// Where a packet is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketState {
+    /// Waiting in its source processor's queue.
+    Queued,
+    /// Streaming flits into / through the network.
+    InFlight,
+    /// Every flit consumed at the destination.
+    Delivered,
+}
+
+/// A message (one packet, as in the paper's Section 6) and, once
+/// injected, its worm: the contiguous chain of channels its flits
+/// occupy, one flit per channel.
+///
+/// With single-flit input buffers, a wormhole packet's flits advance in
+/// lockstep: when the head moves one hop, every flit behind it shifts one
+/// channel and a new flit (if any remain) enters at the tail. The worm
+/// is therefore fully described by the occupied-channel chain plus the
+/// counts of flits still at the source and already consumed.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// This packet's id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total length in flits.
+    pub length: u32,
+    /// Cycle the message was created (entered the source queue).
+    pub created_at: u64,
+    /// Cycle the header first entered the network, if it has.
+    pub injected_at: Option<u64>,
+    /// Cycle the tail flit was consumed, if delivered.
+    pub delivered_at: Option<u64>,
+    /// Channels currently occupied, tail first, head last. Each holds
+    /// exactly one flit of this packet.
+    pub(crate) worm: Vec<ChannelId>,
+    /// Flits not yet entered into the network.
+    pub(crate) flits_at_source: u32,
+    /// Flits consumed at the destination.
+    pub(crate) flits_consumed: u32,
+    /// The router the header currently occupies (the head channel's
+    /// `dst`, or `src` before injection).
+    pub(crate) head_node: NodeId,
+    /// Direction of the head channel (`None` before injection).
+    pub(crate) arrived: Option<Direction>,
+    /// Cycle the header arrived at `head_node` (for FCFS arbitration).
+    pub(crate) head_arrival: u64,
+    /// Number of hops the header has taken.
+    pub(crate) hops: u32,
+}
+
+impl Packet {
+    /// Creates a queued packet.
+    pub(crate) fn new(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        length: u32,
+        created_at: u64,
+    ) -> Self {
+        assert!(length > 0, "packets have at least one flit");
+        assert_ne!(src, dst, "self-addressed packets are consumed locally");
+        Packet {
+            id,
+            src,
+            dst,
+            length,
+            created_at,
+            injected_at: None,
+            delivered_at: None,
+            worm: Vec::new(),
+            flits_at_source: length,
+            flits_consumed: 0,
+            head_node: src,
+            arrived: None,
+            head_arrival: created_at,
+            hops: 0,
+        }
+    }
+
+    /// The packet's lifecycle state.
+    pub fn state(&self) -> PacketState {
+        if self.delivered_at.is_some() {
+            PacketState::Delivered
+        } else if self.injected_at.is_some() {
+            PacketState::InFlight
+        } else {
+            PacketState::Queued
+        }
+    }
+
+    /// The router the header currently occupies.
+    pub fn head_node(&self) -> NodeId {
+        self.head_node
+    }
+
+    /// Hops taken by the header so far.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// The occupied channel chain, tail first.
+    pub fn worm(&self) -> &[ChannelId] {
+        &self.worm
+    }
+
+    /// Flits currently inside the network (== occupied channels).
+    pub fn flits_in_network(&self) -> u32 {
+        self.worm.len() as u32
+    }
+
+    /// Flits not yet entered into the network.
+    pub fn flits_at_source(&self) -> u32 {
+        self.flits_at_source
+    }
+
+    /// Flits already consumed at the destination.
+    pub fn flits_consumed(&self) -> u32 {
+        self.flits_consumed
+    }
+
+    /// `true` once the tail flit has left the source, freeing the
+    /// injection channel for the next queued message.
+    pub fn injection_complete(&self) -> bool {
+        self.flits_at_source == 0
+    }
+
+    /// Latency from creation to delivery, in cycles.
+    ///
+    /// `None` until delivered.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        self.delivered_at.map(|d| d - self.created_at)
+    }
+
+    /// Latency from injection to delivery, in cycles (excludes source
+    /// queueing). `None` until delivered.
+    pub fn network_latency_cycles(&self) -> Option<u64> {
+        match (self.injected_at, self.delivered_at) {
+            (Some(i), Some(d)) => Some(d - i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Packet {
+        Packet::new(PacketId(1), NodeId::new(0), NodeId::new(5), 10, 100)
+    }
+
+    #[test]
+    fn fresh_packet_is_queued() {
+        let p = packet();
+        assert_eq!(p.state(), PacketState::Queued);
+        assert_eq!(p.flits_in_network(), 0);
+        assert_eq!(p.head_node(), NodeId::new(0));
+        assert!(!p.injection_complete());
+        assert_eq!(p.latency_cycles(), None);
+    }
+
+    #[test]
+    fn latency_accounts_from_creation() {
+        let mut p = packet();
+        p.injected_at = Some(120);
+        p.delivered_at = Some(150);
+        assert_eq!(p.state(), PacketState::Delivered);
+        assert_eq!(p.latency_cycles(), Some(50));
+        assert_eq!(p.network_latency_cycles(), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_rejected() {
+        let _ = Packet::new(PacketId(0), NodeId::new(0), NodeId::new(1), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-addressed")]
+    fn self_addressed_rejected() {
+        let _ = Packet::new(PacketId(0), NodeId::new(3), NodeId::new(3), 5, 0);
+    }
+}

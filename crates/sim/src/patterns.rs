@@ -1,0 +1,572 @@
+//! Traffic patterns: who sends to whom.
+//!
+//! The paper's Section 6 evaluates uniform, matrix-transpose (in the
+//! mesh and embedded in the hypercube) and reverse-flip traffic; this
+//! module adds the other classic patterns (bit-complement, bit-reversal,
+//! shuffle, tornado, hotspot, nearest-neighbor) for wider studies.
+
+use rand::Rng;
+use turnroute_topology::{NodeId, Topology};
+
+/// A traffic pattern: maps a source to a destination, possibly randomly.
+///
+/// Returns `None` when the pattern maps the source to itself (such
+/// messages are consumed locally and never enter the network).
+pub trait TrafficPattern {
+    /// A short name for tables and plots.
+    fn name(&self) -> String;
+
+    /// Picks the destination for a message from `src`.
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn rand::RngCore)
+        -> Option<NodeId>;
+}
+
+/// Uniform traffic: every other node is equally likely (Section 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl TrafficPattern for Uniform {
+    fn name(&self) -> String {
+        "uniform".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = topo.num_nodes();
+        let mut pick = rng.random_range(0..n - 1);
+        if pick >= src.index() {
+            pick += 1;
+        }
+        Some(NodeId::new(pick))
+    }
+}
+
+/// Matrix transpose in a 2D mesh (Section 6): the processor at row `r`,
+/// column `c` sends to the one at row `c`, column `r`.
+///
+/// With the matrix convention the paper uses — row 0 at the top — this
+/// is `(i, j) -> (k-1-j, k-1-i)` in the Cartesian (y-up) coordinates of
+/// [`Mesh`](turnroute_topology::Mesh): a reflection across the
+/// *anti*-diagonal. Both offsets of every pair then share a sign, which
+/// is what makes negative-first fully adaptive on this pattern (and is
+/// confirmed by the paper's own hypercube embedding of the same
+/// pattern, whose complemented bits encode exactly this reflection).
+/// Anti-diagonal nodes send to themselves and generate no network
+/// traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Transpose;
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> String {
+        "matrix-transpose".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        assert_eq!(topo.num_dims(), 2, "transpose is a 2D-mesh pattern");
+        assert_eq!(topo.radix(0), topo.radix(1), "transpose needs a square mesh");
+        let k = topo.radix(0) as u16;
+        let c = topo.coord_of(src);
+        let (i, j) = (c.get(0), c.get(1));
+        (i + j != k - 1).then(|| topo.node_at(&[k - 1 - j, k - 1 - i].into()))
+    }
+}
+
+/// The diagonal transpose `(i, j) -> (j, i)` in Cartesian coordinates: a
+/// reflection across the *main* diagonal. Every pair's offsets have
+/// **opposite** signs (`dx = -dy`), which puts all traffic on the mixed
+/// quadrants where Section 3.4 shows every channel-free turn-model
+/// algorithm allows exactly one shortest path (`S_p = 1`) — the
+/// adversarial complement of [`Transpose`], and the showcase workload
+/// for the fully adaptive virtual-channel algorithms of
+/// `turnroute-vc`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiagonalTranspose;
+
+impl TrafficPattern for DiagonalTranspose {
+    fn name(&self) -> String {
+        "diagonal-transpose".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        assert_eq!(topo.num_dims(), 2, "diagonal transpose is a 2D-mesh pattern");
+        assert_eq!(topo.radix(0), topo.radix(1), "diagonal transpose needs a square mesh");
+        let c = topo.coord_of(src);
+        let (i, j) = (c.get(0), c.get(1));
+        (i != j).then(|| topo.node_at(&[j, i].into()))
+    }
+}
+
+/// The paper's matrix transpose embedded in the binary 8-cube: a message
+/// from `(x0, ..., x7)` goes to `(!x4, x5, x6, x7, !x0, x1, x2, x3)`,
+/// derived by mapping a 16x16 mesh onto the hypercube so mesh neighbors
+/// stay neighbors (Section 6). Generalizes to any even `n`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HypercubeTranspose;
+
+impl TrafficPattern for HypercubeTranspose {
+    fn name(&self) -> String {
+        "matrix-transpose".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = topo.num_dims();
+        assert!(n % 2 == 0, "hypercube transpose needs an even dimension count");
+        assert!(
+            (0..n).all(|d| topo.radix(d) == 2),
+            "hypercube transpose is a hypercube pattern"
+        );
+        let half = n / 2;
+        let x = src.index();
+        let low = x & ((1 << half) - 1);
+        let high = x >> half;
+        // Swap halves, complementing the bit that crosses each half's
+        // origin (bits 0 and `half`).
+        let d = (high | (low << half)) ^ (1 | (1 << half));
+        (d != x).then(|| NodeId::new(d))
+    }
+}
+
+/// Reverse-flip traffic in a hypercube: destination bit `i` is the
+/// complement of source bit `n-1-i` (Section 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReverseFlip;
+
+impl TrafficPattern for ReverseFlip {
+    fn name(&self) -> String {
+        "reverse-flip".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = topo.num_dims();
+        assert!(
+            (0..n).all(|d| topo.radix(d) == 2),
+            "reverse-flip is a hypercube pattern"
+        );
+        let x = src.index();
+        let mut d = 0usize;
+        for i in 0..n {
+            let bit = x >> (n - 1 - i) & 1;
+            d |= (bit ^ 1) << i;
+        }
+        (d != x).then(|| NodeId::new(d))
+    }
+}
+
+/// Bit-complement traffic: destination bit `i` is the complement of
+/// source bit `i`. In a mesh, the coordinate reflection
+/// `x_i -> k_i - 1 - x_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitComplement;
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> String {
+        "bit-complement".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let c = topo.coord_of(src);
+        let flipped: Vec<u16> = (0..topo.num_dims())
+            .map(|i| (topo.radix(i) - 1) as u16 - c.get(i))
+            .collect();
+        let d = topo.node_at(&flipped.into());
+        (d != src).then_some(d)
+    }
+}
+
+/// Bit-reversal traffic in a hypercube: destination bit `i` is source
+/// bit `n-1-i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitReversal;
+
+impl TrafficPattern for BitReversal {
+    fn name(&self) -> String {
+        "bit-reversal".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = topo.num_dims();
+        assert!(
+            (0..n).all(|d| topo.radix(d) == 2),
+            "bit-reversal is a hypercube pattern"
+        );
+        let x = src.index();
+        let mut d = 0usize;
+        for i in 0..n {
+            d |= (x >> (n - 1 - i) & 1) << i;
+        }
+        (d != x).then(|| NodeId::new(d))
+    }
+}
+
+/// Perfect-shuffle traffic in a hypercube: rotate the address bits left
+/// by one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Shuffle;
+
+impl TrafficPattern for Shuffle {
+    fn name(&self) -> String {
+        "shuffle".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = topo.num_dims();
+        assert!(
+            (0..n).all(|d| topo.radix(d) == 2),
+            "shuffle is a hypercube pattern"
+        );
+        let x = src.index();
+        let d = ((x << 1) | (x >> (n - 1))) & ((1 << n) - 1);
+        (d != x).then(|| NodeId::new(d))
+    }
+}
+
+/// Tornado traffic: halfway around dimension 0 (toward the diagonal in a
+/// mesh) — a classic adversarial pattern for dimension-order routing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tornado;
+
+impl TrafficPattern for Tornado {
+    fn name(&self) -> String {
+        "tornado".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let mut c = topo.coord_of(src);
+        let k = topo.radix(0);
+        let shift = (k - 1) / 2;
+        c.set(0, ((c.get(0) as usize + shift) % k) as u16);
+        let d = topo.node_at(&c);
+        (d != src).then_some(d)
+    }
+}
+
+/// Hotspot traffic: with probability `fraction`, send to the hotspot
+/// node; otherwise uniform.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// The favored node.
+    pub hotspot: NodeId,
+    /// The probability a message targets the hotspot.
+    pub fraction: f64,
+}
+
+impl Hotspot {
+    /// Creates a hotspot pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn new(hotspot: NodeId, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        Hotspot { hotspot, fraction }
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> String {
+        format!("hotspot({}%)", (self.fraction * 100.0).round())
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        if rng.random_bool(self.fraction) {
+            (self.hotspot != src).then_some(self.hotspot)
+        } else {
+            Uniform.dest(topo, src, rng)
+        }
+    }
+}
+
+/// Nearest-neighbor traffic: a uniformly random neighbor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NearestNeighbor;
+
+impl TrafficPattern for NearestNeighbor {
+    fn name(&self) -> String {
+        "nearest-neighbor".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let neighbors: Vec<NodeId> = turnroute_topology::Direction::all(topo.num_dims())
+            .filter_map(|d| topo.neighbor(src, d))
+            .collect();
+        let pick = rng.random_range(0..neighbors.len());
+        Some(neighbors[pick])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use turnroute_topology::{Hypercube, Mesh, Torus};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn uniform_never_sends_to_self_and_covers_everyone() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        let src = NodeId::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = Uniform.dest(&mesh, src, &mut rng).unwrap();
+            assert_ne!(d, src);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn transpose_reflects_across_the_anti_diagonal() {
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = rng();
+        let src = mesh.node_at(&[3, 11].into());
+        let d = Transpose.dest(&mesh, src, &mut rng).unwrap();
+        assert_eq!(mesh.coord_of(d), [4, 12].into());
+        // The anti-diagonal stays silent.
+        let diag = mesh.node_at(&[7, 8].into());
+        assert_eq!(Transpose.dest(&mesh, diag, &mut rng), None);
+        // It is an involution.
+        let back = Transpose.dest(&mesh, d, &mut rng).unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn diagonal_transpose_offsets_have_opposite_signs() {
+        let mesh = Mesh::new_2d(8, 8);
+        let mut rng = rng();
+        for src in mesh.nodes() {
+            if let Some(d) = DiagonalTranspose.dest(&mesh, src, &mut rng) {
+                let (s, t) = (mesh.coord_of(src), mesh.coord_of(d));
+                let dx = t.get(0) as i32 - s.get(0) as i32;
+                let dy = t.get(1) as i32 - s.get(1) as i32;
+                assert_eq!(dx, -dy);
+                assert_ne!(dx, 0);
+            }
+        }
+        // Involution; main diagonal silent.
+        let diag = mesh.node_at(&[5, 5].into());
+        assert_eq!(DiagonalTranspose.dest(&mesh, diag, &mut rng), None);
+    }
+
+    #[test]
+    fn transpose_offsets_share_a_sign() {
+        // The property behind the paper's Figure 14: negative-first is
+        // fully adaptive on transpose because both offsets of every
+        // pair point the same way.
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = rng();
+        for src in mesh.nodes() {
+            if let Some(d) = Transpose.dest(&mesh, src, &mut rng) {
+                let (s, t) = (mesh.coord_of(src), mesh.coord_of(d));
+                let dx = t.get(0) as i32 - s.get(0) as i32;
+                let dy = t.get(1) as i32 - s.get(1) as i32;
+                assert_eq!(dx, dy, "transpose offsets are equal");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_transpose_matches_paper_formula() {
+        // (x0..x7) -> (!x4, x5, x6, x7, !x0, x1, x2, x3).
+        let cube = Hypercube::new(8);
+        let mut rng = rng();
+        let x = 0b1011_0100usize; // bits x0..x7 = 0,0,1,0,1,1,0,1
+        let d = HypercubeTranspose
+            .dest(&cube, NodeId::new(x), &mut rng)
+            .unwrap()
+            .index();
+        for i in 0..4 {
+            let expect = if i == 0 {
+                (x >> 4 & 1) ^ 1
+            } else {
+                x >> (4 + i) & 1
+            };
+            assert_eq!(d >> i & 1, expect, "bit {i}");
+            let expect_high = if i == 0 { (x & 1) ^ 1 } else { x >> i & 1 };
+            assert_eq!(d >> (4 + i) & 1, expect_high, "bit {}", i + 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_transpose_is_an_involution() {
+        let cube = Hypercube::new(8);
+        let mut rng = rng();
+        for src in cube.nodes() {
+            if let Some(d) = HypercubeTranspose.dest(&cube, src, &mut rng) {
+                let back = HypercubeTranspose.dest(&cube, d, &mut rng).unwrap();
+                assert_eq!(back, src);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_flip_mean_distance_matches_paper() {
+        // Section 6: average path length 4.27 hops for reverse-flip in
+        // the 8-cube (over the 240 nodes that generate traffic).
+        let cube = Hypercube::new(8);
+        let mut rng = rng();
+        let (mut total, mut senders) = (0usize, 0usize);
+        for src in cube.nodes() {
+            if let Some(d) = ReverseFlip.dest(&cube, src, &mut rng) {
+                total += cube.distance(src, d);
+                senders += 1;
+            }
+        }
+        assert_eq!(senders, 240);
+        let mean = total as f64 / senders as f64;
+        assert!((mean - 4.2667).abs() < 1e-3, "got {mean}");
+    }
+
+    #[test]
+    fn mesh_transpose_mean_distance_matches_paper() {
+        // Section 6: 11.34 hops for matrix-transpose in the 16x16 mesh.
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = rng();
+        let (mut total, mut senders) = (0usize, 0usize);
+        for src in mesh.nodes() {
+            if let Some(d) = Transpose.dest(&mesh, src, &mut rng) {
+                total += mesh.distance(src, d);
+                senders += 1;
+            }
+        }
+        let mean = total as f64 / senders as f64;
+        assert!((mean - 11.3333).abs() < 1e-3, "got {mean}");
+    }
+
+    #[test]
+    fn hypercube_transpose_mean_distance_matches_paper() {
+        // Section 6 reports 4.01 hops for uniform and cites transpose as
+        // nonuniform; the embedded transpose averages 4.27 hops over its
+        // senders (the same value as reverse-flip, by symmetry of the
+        // half-swap).
+        let cube = Hypercube::new(8);
+        let mut rng = rng();
+        let (mut total, mut senders) = (0usize, 0usize);
+        for src in cube.nodes() {
+            if let Some(d) = HypercubeTranspose.dest(&cube, src, &mut rng) {
+                total += cube.distance(src, d);
+                senders += 1;
+            }
+        }
+        let mean = total as f64 / senders as f64;
+        assert!(mean > 4.0, "transpose is longer than uniform, got {mean}");
+    }
+
+    #[test]
+    fn bit_complement_reflects_mesh_coordinates() {
+        let mesh = Mesh::new_2d(8, 8);
+        let mut rng = rng();
+        let src = mesh.node_at(&[1, 6].into());
+        let d = BitComplement.dest(&mesh, src, &mut rng).unwrap();
+        assert_eq!(mesh.coord_of(d), [6, 1].into());
+    }
+
+    #[test]
+    fn bit_reversal_reverses() {
+        let cube = Hypercube::new(6);
+        let mut rng = rng();
+        let d = BitReversal
+            .dest(&cube, NodeId::new(0b110010), &mut rng)
+            .unwrap();
+        assert_eq!(d.index(), 0b010011);
+    }
+
+    #[test]
+    fn shuffle_rotates() {
+        let cube = Hypercube::new(4);
+        let mut rng = rng();
+        let d = Shuffle.dest(&cube, NodeId::new(0b1001), &mut rng).unwrap();
+        assert_eq!(d.index(), 0b0011);
+    }
+
+    #[test]
+    fn tornado_moves_half_way() {
+        let torus = Torus::new(8, 2);
+        let mut rng = rng();
+        let src = torus.node_at(&[1, 3].into());
+        let d = Tornado.dest(&torus, src, &mut rng).unwrap();
+        assert_eq!(torus.coord_of(d), [4, 3].into());
+    }
+
+    #[test]
+    fn hotspot_favors_the_hotspot() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        let hs = NodeId::new(9);
+        let pattern = Hotspot::new(hs, 0.5);
+        let hits = (0..1000)
+            .filter(|_| pattern.dest(&mesh, NodeId::new(0), &mut rng) == Some(hs))
+            .count();
+        assert!((400..650).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn nearest_neighbor_stays_adjacent() {
+        let mesh = Mesh::new_2d(5, 5);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let d = NearestNeighbor
+                .dest(&mesh, NodeId::new(12), &mut rng)
+                .unwrap();
+            assert_eq!(mesh.distance(NodeId::new(12), d), 1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Injection-rate sweeps: the driver behind every latency-vs-throughput
+//! figure.
+
+use crate::config::SimConfig;
+use crate::engine::{RunOutcome, SimReport, Simulation};
+use crate::patterns::TrafficPattern;
+use turnroute_core::RoutingAlgorithm;
+use turnroute_topology::Topology;
+
+/// One operating point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load per node, flits per cycle.
+    pub offered_load: f64,
+    /// Delivered network throughput, flits per microsecond.
+    pub throughput: f64,
+    /// Mean message latency (creation to delivery), microseconds.
+    pub avg_latency_usec: Option<f64>,
+    /// 95th-percentile latency, microseconds.
+    pub p95_latency_usec: Option<f64>,
+    /// Mean header hops of measured messages.
+    pub avg_hops: Option<f64>,
+    /// `true` if the point is sustainable (bounded source queues, no
+    /// deadlock).
+    pub sustainable: bool,
+}
+
+impl SweepPoint {
+    fn from_report(report: &SimReport) -> Self {
+        SweepPoint {
+            offered_load: report.offered_load,
+            throughput: report.metrics.throughput_flits_per_usec(),
+            avg_latency_usec: report.metrics.avg_latency_usec(),
+            p95_latency_usec: report.metrics.latency_quantile_usec(0.95),
+            avg_hops: report.metrics.avg_hops(),
+            sustainable: report.sustainable(),
+        }
+    }
+}
+
+/// The result of sweeping one algorithm under one traffic pattern.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// The routing algorithm's name.
+    pub algorithm: String,
+    /// The traffic pattern's name.
+    pub pattern: String,
+    /// One point per offered load, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// The largest sustainable delivered throughput observed —
+    /// the paper's "maximum sustainable throughput".
+    pub fn max_sustainable_throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.sustainable)
+            .map(|p| p.throughput)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the series as CSV rows
+    /// (`algorithm,pattern,offered,throughput,latency,p95,hops,sustainable`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.3},{},{},{},{}\n",
+                self.algorithm,
+                self.pattern,
+                p.offered_load,
+                p.throughput,
+                p.avg_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
+                p.p95_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
+                p.avg_hops.map_or("".into(), |v| format!("{v:.2}")),
+                p.sustainable,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs `algorithm` under `pattern` at each offered load and collects
+/// the latency/throughput series.
+///
+/// Each load runs a fresh, identically seeded simulation so that the
+/// series is comparable point to point. A deadlocked run (impossible for
+/// the paper's algorithms; possible for hand-built turn sets) yields an
+/// unsustainable point with zero throughput.
+pub fn sweep(
+    topo: &dyn Topology,
+    algorithm: &dyn RoutingAlgorithm,
+    pattern: &dyn TrafficPattern,
+    base: &SimConfig,
+    offered_loads: &[f64],
+) -> SweepSeries {
+    let mut points = Vec::with_capacity(offered_loads.len());
+    for &load in offered_loads {
+        let config = base.clone().injection_rate(load);
+        let mut sim = Simulation::new(topo, algorithm, pattern, config);
+        let report = sim.run();
+        let mut point = SweepPoint::from_report(&report);
+        if matches!(report.outcome, RunOutcome::Deadlocked(_)) {
+            point.sustainable = false;
+        }
+        points.push(point);
+    }
+    SweepSeries {
+        algorithm: algorithm.name(),
+        pattern: pattern.name(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{Transpose, Uniform};
+    use turnroute_core::{DimensionOrder, NegativeFirst};
+    use turnroute_topology::Mesh;
+
+    fn small_config() -> SimConfig {
+        SimConfig::paper()
+            .warmup_cycles(1_000)
+            .measure_cycles(6_000)
+            .seed(5)
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = DimensionOrder::new();
+        let series = sweep(
+            &mesh,
+            &algo,
+            &Uniform,
+            &small_config(),
+            &[0.01, 0.05],
+        );
+        assert_eq!(series.points.len(), 2);
+        let (a, b) = (&series.points[0], &series.points[1]);
+        assert!(a.sustainable && b.sustainable);
+        assert!(b.throughput > a.throughput);
+        // Delivered roughly equals offered: 16 nodes * load * 20.
+        let offered_fpu = 16.0 * 0.05 * 20.0;
+        assert!((b.throughput - offered_fpu).abs() / offered_fpu < 0.25,
+            "delivered {} vs offered {}", b.throughput, offered_fpu);
+    }
+
+    #[test]
+    fn saturation_is_detected_at_absurd_load() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = DimensionOrder::new();
+        let series = sweep(&mesh, &algo, &Uniform, &small_config(), &[2.0]);
+        assert!(!series.points[0].sustainable);
+        assert!(series.max_sustainable_throughput() == 0.0);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = NegativeFirst::minimal();
+        let series = sweep(&mesh, &algo, &Transpose, &small_config(), &[0.01, 0.02]);
+        let csv = series.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("negative-first,matrix-transpose,"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Message generation: Poisson arrivals with the paper's bimodal
+//! lengths.
+
+use crate::config::LengthDistribution;
+use rand::Rng;
+use rand::RngCore;
+
+/// Per-node Poisson message source: inter-arrival times are drawn from a
+/// negative exponential distribution (Section 6), message lengths from
+/// the configured [`LengthDistribution`].
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    mean_interarrival: Option<f64>,
+    lengths: LengthDistribution,
+    /// Next arrival cycle per node (fractional cycles accumulate so the
+    /// rate is exact in the long run).
+    next_arrival: Vec<f64>,
+}
+
+impl PoissonSource {
+    /// Creates a source for `num_nodes` nodes. `mean_interarrival` is in
+    /// cycles; `None` disables generation. Initial phases are staggered
+    /// by drawing the first arrival of each node from the same
+    /// exponential.
+    pub fn new(
+        num_nodes: usize,
+        mean_interarrival: Option<f64>,
+        lengths: LengthDistribution,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let next_arrival = match mean_interarrival {
+            None => vec![f64::INFINITY; num_nodes],
+            Some(mean) => (0..num_nodes).map(|_| exponential(rng, mean)).collect(),
+        };
+        PoissonSource { mean_interarrival, lengths, next_arrival }
+    }
+
+    /// Calls `emit(length)` once per message node `node` generates up to
+    /// and including `cycle`.
+    pub fn poll(
+        &mut self,
+        node: usize,
+        cycle: u64,
+        rng: &mut dyn RngCore,
+        mut emit: impl FnMut(u32),
+    ) {
+        let Some(mean) = self.mean_interarrival else { return };
+        while self.next_arrival[node] <= cycle as f64 {
+            emit(self.sample_length(rng));
+            self.next_arrival[node] += exponential(rng, mean);
+        }
+    }
+
+    /// Draws a message length.
+    pub fn sample_length(&self, rng: &mut dyn RngCore) -> u32 {
+        match self.lengths {
+            LengthDistribution::Fixed(l) => l,
+            LengthDistribution::Bimodal { short, long } => {
+                if rng.random_bool(0.5) {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+}
+
+/// An exponential variate with the given mean, via inverse transform.
+fn exponential(rng: &mut dyn RngCore, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src =
+            PoissonSource::new(1, Some(50.0), LengthDistribution::Fixed(10), &mut rng);
+        let mut count = 0u32;
+        for cycle in 0..100_000u64 {
+            src.poll(0, cycle, &mut rng, |_| count += 1);
+        }
+        // Expected 2000 messages; Poisson sd is ~45.
+        assert!((1800..2200).contains(&count), "got {count}");
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src = PoissonSource::new(4, None, LengthDistribution::paper(), &mut rng);
+        for cycle in 0..1000 {
+            src.poll(2, cycle, &mut rng, |_| panic!("no messages at zero load"));
+        }
+    }
+
+    #[test]
+    fn bimodal_lengths_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = PoissonSource::new(1, Some(1.0), LengthDistribution::paper(), &mut rng);
+        let mut shorts = 0;
+        for _ in 0..1000 {
+            let l = src.sample_length(&mut rng);
+            assert!(l == 10 || l == 200);
+            if l == 10 {
+                shorts += 1;
+            }
+        }
+        assert!((420..580).contains(&shorts), "got {shorts}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 =
+            (0..20_000).map(|_| exponential(&mut rng, 7.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 7.0).abs() < 0.2, "got {mean}");
+    }
+
+    #[test]
+    fn bursts_in_one_poll_are_possible() {
+        // With a tiny mean, one poll spanning many cycles emits several
+        // messages.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut src =
+            PoissonSource::new(1, Some(0.5), LengthDistribution::Fixed(1), &mut rng);
+        let mut count = 0;
+        src.poll(0, 100, &mut rng, |_| count += 1);
+        assert!(count > 50, "got {count}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Channel-utilization accounting, and the load-distribution mechanism
+//! behind the figures: on the paper's transpose pattern, adaptive
+//! routing spreads the funnels that dimension-order routing creates.
+
+use turnroute_core::{DimensionOrder, NegativeFirst};
+use turnroute_sim::patterns::{DiagonalTranspose, Transpose, Uniform};
+use turnroute_sim::{SimConfig, Simulation, FLITS_PER_USEC};
+use turnroute_topology::Mesh;
+
+fn run_utilization(
+    algo: &dyn turnroute_core::RoutingAlgorithm,
+    pattern: &dyn turnroute_sim::patterns::TrafficPattern,
+    load: f64,
+) -> Vec<f64> {
+    let mesh = Mesh::new_2d(16, 16);
+    let config = SimConfig::paper()
+        .injection_rate(load)
+        .warmup_cycles(2_000)
+        .measure_cycles(12_000)
+        .seed(8);
+    let mut sim = Simulation::new(&mesh, algo, pattern, config);
+    sim.run();
+    sim.channel_utilization()
+}
+
+fn max_avg(util: &[f64]) -> (f64, f64) {
+    let max = util.iter().cloned().fold(0.0, f64::max);
+    let avg = util.iter().sum::<f64>() / util.len() as f64;
+    (max, avg)
+}
+
+#[test]
+fn utilization_respects_channel_capacity() {
+    let xy = DimensionOrder::new();
+    let util = run_utilization(&xy, &Uniform, 0.06);
+    let (max, avg) = max_avg(&util);
+    assert!(avg > 0.0);
+    // Acquisition-credited load can overshoot slightly at the window
+    // edge but must stay near the physical 20 flits/usec.
+    assert!(max <= FLITS_PER_USEC * 1.2, "max {max}");
+}
+
+#[test]
+fn uniform_traffic_is_balanced_under_xy() {
+    let xy = DimensionOrder::new();
+    let util = run_utilization(&xy, &Uniform, 0.05);
+    let (max, avg) = max_avg(&util);
+    // The center channels carry more than the edge, but no funnels.
+    assert!(max < avg * 4.0, "max {max}, avg {avg}");
+}
+
+#[test]
+fn transpose_funnels_under_xy_spread_under_negative_first() {
+    // The mechanism behind Figure 14: at the same offered load, the
+    // hottest channel under negative-first carries significantly less
+    // than under xy.
+    let xy = DimensionOrder::new();
+    let nf = NegativeFirst::minimal();
+    let (xy_max, xy_avg) = max_avg(&run_utilization(&xy, &Transpose, 0.05));
+    let (nf_max, nf_avg) = max_avg(&run_utilization(&nf, &Transpose, 0.05));
+    // Same traffic, same total work.
+    assert!((xy_avg - nf_avg).abs() < xy_avg * 0.1);
+    assert!(
+        nf_max < xy_max * 0.8,
+        "nf max {nf_max:.1} should be well below xy max {xy_max:.1}"
+    );
+}
+
+#[test]
+fn diagonal_transpose_funnels_for_both() {
+    // On the mixed-sign transpose both algorithms have S_p = 1 and the
+    // same single paths per pair family: the funnels match.
+    let xy = DimensionOrder::new();
+    let nf = NegativeFirst::minimal();
+    let (xy_max, _) = max_avg(&run_utilization(&xy, &DiagonalTranspose, 0.05));
+    let (nf_max, _) = max_avg(&run_utilization(&nf, &DiagonalTranspose, 0.05));
+    assert!(
+        (nf_max - xy_max).abs() < xy_max * 0.35,
+        "nf {nf_max:.1} vs xy {xy_max:.1}"
+    );
+}
+
+#[test]
+fn zero_window_reports_zero_utilization() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = DimensionOrder::new();
+    let sim = Simulation::new(
+        &mesh,
+        &xy,
+        &Uniform,
+        SimConfig::paper().warmup_cycles(0).measure_cycles(0),
+    );
+    assert!(sim.channel_utilization().iter().all(|&u| u == 0.0));
+}

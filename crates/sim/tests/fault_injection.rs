@@ -1,0 +1,156 @@
+//! Fault tolerance under live traffic: the paper's argument for
+//! nonminimal adaptive routing (Sections 1 and 7), exercised in the
+//! simulator rather than on paper.
+
+use turnroute_core::{DimensionOrder, RoutingAlgorithm, WestFirst};
+use turnroute_sim::patterns::{TrafficPattern, Uniform};
+use turnroute_sim::{RunOutcome, SimConfig, Simulation};
+use turnroute_topology::{Direction, Mesh, NodeId, Topology};
+
+fn config() -> SimConfig {
+    SimConfig::paper()
+        .injection_rate(0.02)
+        .warmup_cycles(500)
+        .measure_cycles(8_000)
+        .deadlock_threshold(3_000)
+        .seed(77)
+}
+
+/// Kills the eastward channel out of `(3, 3)`.
+fn fail_one_link(sim: &mut Simulation<'_>, mesh: &Mesh) {
+    let from = mesh.node_at(&[3, 3].into());
+    sim.fail_channel(mesh.channel_from(from, Direction::EAST).expect("interior"));
+}
+
+/// Traffic that crosses the faulty column: west-side sources at row 3,
+/// east-side destinations spread over nearby rows (so xy always crosses
+/// at the dead link, while adaptive detours stay short).
+struct CrossTraffic;
+
+impl TrafficPattern for CrossTraffic {
+    fn name(&self) -> String {
+        "cross-the-fault".to_owned()
+    }
+
+    fn dest(
+        &self,
+        topo: &dyn Topology,
+        src: NodeId,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        use rand::Rng;
+        let c = topo.coord_of(src);
+        if c.get(0) > 2 || c.get(1) != 3 {
+            return None; // west-side row-3 sources only
+        }
+        let x = rng.random_range(5..topo.radix(0)) as u16;
+        let y = rng.random_range(3..6) as u16;
+        Some(topo.node_at(&[x, y].into()))
+    }
+}
+
+#[test]
+fn nonminimal_west_first_routes_around_a_dead_link() {
+    let mesh = Mesh::new_2d(8, 8);
+    let algo = WestFirst::nonminimal();
+    // Only three row-3 west-side nodes generate: give them a high rate.
+    let mut sim = Simulation::new(
+        &mesh,
+        &algo,
+        &CrossTraffic,
+        config().injection_rate(0.15).measure_cycles(16_000),
+    );
+    fail_one_link(&mut sim, &mesh);
+    let report = sim.run();
+    assert!(
+        matches!(report.outcome, RunOutcome::Completed),
+        "nonminimal west-first must keep delivering"
+    );
+    assert!(report.total_delivered > 20, "{}", report.total_delivered);
+    // Packets bound for row 3 cannot cross minimally: they detour one
+    // row and come back, exceeding the minimal hop count.
+    let detours = sim
+        .packets()
+        .iter()
+        .filter(|p| p.delivered_at.is_some())
+        .filter(|p| p.hops() > mesh.distance(p.src, p.dst) as u32)
+        .count();
+    assert!(detours > 0, "some routes must be nonminimal");
+}
+
+#[test]
+fn minimal_xy_blocks_permanently_at_a_dead_link() {
+    // xy crosses at the source row — always row 3, always the dead
+    // link. Every generated packet eventually wedges there.
+    let mesh = Mesh::new_2d(8, 8);
+    let algo = DimensionOrder::new();
+    let mut sim = Simulation::new(&mesh, &algo, &CrossTraffic, config());
+    fail_one_link(&mut sim, &mesh);
+    let report = sim.run();
+    match report.outcome {
+        RunOutcome::Deadlocked(d) => {
+            // Not a circular wait: a permanent roadblock at the failed
+            // link.
+            assert!(d.cycle.is_empty());
+            assert!(!d.stranded.is_empty(), "fault-blocked packets are roadblocks");
+        }
+        RunOutcome::Completed => {
+            panic!("xy cannot route around a dead link on its only path")
+        }
+    }
+}
+
+#[test]
+fn repair_restores_service() {
+    let mesh = Mesh::new_2d(8, 8);
+    let algo = DimensionOrder::new();
+    let mut sim = Simulation::new(
+        &mesh,
+        &algo,
+        &Uniform,
+        config().deadlock_threshold(1_000_000),
+    );
+    // Fail then repair one link; traffic flows normally afterwards.
+    let ch = mesh
+        .channel_from(mesh.node_at(&[3, 3].into()), Direction::EAST)
+        .unwrap();
+    sim.fail_channel(ch);
+    assert!(sim.is_faulty(ch));
+    for _ in 0..2_000 {
+        sim.step();
+    }
+    sim.repair_channel(ch);
+    assert!(!sim.is_faulty(ch));
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let delivered = sim
+        .packets()
+        .iter()
+        .filter(|p| p.delivered_at.is_some())
+        .count();
+    assert!(delivered > 50, "{delivered}");
+}
+
+#[test]
+fn faulty_channels_are_never_granted() {
+    let mesh = Mesh::new_2d(6, 6);
+    let algo = WestFirst::nonminimal();
+    let mut sim = Simulation::new(
+        &mesh,
+        &algo,
+        &Uniform,
+        config().injection_rate(0.1).deadlock_threshold(1_000_000),
+    );
+    // Fail a scattering of channels.
+    let failed: Vec<_> = (0..mesh.num_channels()).step_by(7).collect();
+    for c in &failed {
+        sim.fail_channel((*c).into());
+    }
+    for _ in 0..5_000 {
+        sim.step();
+        for &c in &failed {
+            assert_eq!(sim.channel_owner(c.into()), None, "faulty channel granted");
+        }
+    }
+}

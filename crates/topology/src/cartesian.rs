@@ -1,0 +1,299 @@
+//! Shared machinery for Cartesian (grid-shaped) topologies.
+
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId};
+
+/// Common state for meshes, tori and hypercubes: per-dimension radixes and
+/// wrap flags, plus precomputed channel tables.
+#[derive(Debug, Clone)]
+pub(crate) struct Cartesian {
+    dims: Vec<usize>,
+    wrap: Vec<bool>,
+    strides: Vec<usize>,
+    num_nodes: usize,
+    channels: Vec<Channel>,
+    /// `channel_from[node * 2n + dir.index()]`.
+    channel_from: Vec<Option<ChannelId>>,
+}
+
+impl Cartesian {
+    /// Builds the grid and enumerates its channels (ascending source node,
+    /// then ascending direction index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any radix is < 2, or there are more than
+    /// 16 dimensions (the [`DirSet`] limit).
+    pub(crate) fn new(dims: Vec<usize>, wrap: Vec<bool>) -> Self {
+        assert!(!dims.is_empty(), "topology needs at least one dimension");
+        assert!(dims.len() <= 16, "at most 16 dimensions are supported");
+        assert_eq!(dims.len(), wrap.len());
+        assert!(dims.iter().all(|&k| k >= 2), "every radix must be at least 2");
+        assert!(
+            dims.iter().all(|&k| k <= u16::MAX as usize),
+            "radix must fit in u16"
+        );
+
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut num_nodes = 1usize;
+        for &k in &dims {
+            strides.push(num_nodes);
+            num_nodes = num_nodes.checked_mul(k).expect("node count overflow");
+        }
+
+        let mut grid = Cartesian {
+            dims,
+            wrap,
+            strides,
+            num_nodes,
+            channels: Vec::new(),
+            channel_from: Vec::new(),
+        };
+
+        let n = grid.dims.len();
+        grid.channel_from = vec![None; num_nodes * 2 * n];
+        for node in 0..num_nodes {
+            let node = NodeId::new(node);
+            for dir in Direction::all(n) {
+                if let Some((dst, wraparound)) = grid.step(node, dir) {
+                    let id = ChannelId::new(grid.channels.len());
+                    grid.channels.push(Channel { src: node, dst, dir, wraparound });
+                    grid.channel_from[node.index() * 2 * n + dir.index()] = Some(id);
+                }
+            }
+        }
+        grid
+    }
+
+    pub(crate) fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    pub(crate) fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub(crate) fn coord_of(&self, node: NodeId) -> Coord {
+        assert!(node.index() < self.num_nodes, "node out of range");
+        let mut rest = node.index();
+        let components = self
+            .dims
+            .iter()
+            .map(|&k| {
+                let c = (rest % k) as u16;
+                rest /= k;
+                c
+            })
+            .collect();
+        Coord::new(components)
+    }
+
+    pub(crate) fn node_at(&self, coord: &Coord) -> NodeId {
+        assert_eq!(coord.num_dims(), self.dims.len(), "dimension mismatch");
+        let mut index = 0usize;
+        for (dim, c) in coord.iter() {
+            assert!((c as usize) < self.dims[dim], "coordinate out of range");
+            index += c as usize * self.strides[dim];
+        }
+        NodeId::new(index)
+    }
+
+    /// The neighbor reached by one hop in `dir`, plus whether that hop
+    /// uses a wraparound channel. `None` at a mesh edge.
+    pub(crate) fn step(&self, node: NodeId, dir: Direction) -> Option<(NodeId, bool)> {
+        let dim = dir.dim();
+        if dim >= self.dims.len() {
+            return None;
+        }
+        let k = self.dims[dim];
+        let c = (node.index() / self.strides[dim]) % k;
+        let next = c as i64 + dir.sign().delta() as i64;
+        if next < 0 || next >= k as i64 {
+            if !self.wrap[dim] {
+                return None;
+            }
+            let wrapped = (next.rem_euclid(k as i64)) as usize;
+            let base = node.index() - c * self.strides[dim];
+            Some((NodeId::new(base + wrapped * self.strides[dim]), true))
+        } else {
+            let base = node.index() - c * self.strides[dim];
+            Some((NodeId::new(base + next as usize * self.strides[dim]), false))
+        }
+    }
+
+    pub(crate) fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.step(node, dir).map(|(n, _)| n)
+    }
+
+    pub(crate) fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    pub(crate) fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        let n = self.dims.len();
+        if dir.dim() >= n || node.index() >= self.num_nodes {
+            return None;
+        }
+        self.channel_from[node.index() * 2 * n + dir.index()]
+    }
+
+    /// Minimal hop count between two nodes: per dimension, the direct
+    /// distance, or (when the dimension wraps) the shorter way around.
+    pub(crate) fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ca, cb) = (self.coord_of(a), self.coord_of(b));
+        (0..self.dims.len())
+            .map(|dim| self.dim_distance(ca.get(dim), cb.get(dim), dim))
+            .sum()
+    }
+
+    fn dim_distance(&self, from: u16, to: u16, dim: usize) -> usize {
+        let k = self.dims[dim];
+        let direct = (from as i64 - to as i64).unsigned_abs() as usize;
+        if self.wrap[dim] {
+            direct.min(k - direct)
+        } else {
+            direct
+        }
+    }
+
+    /// Directions that reduce the distance to `to` by one hop. When a
+    /// wrapping dimension's two ways around are equally short, both signs
+    /// are productive.
+    pub(crate) fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        let (cf, ct) = (self.coord_of(from), self.coord_of(to));
+        let mut set = DirSet::new();
+        for dim in 0..self.dims.len() {
+            let (f, t) = (cf.get(dim) as i64, ct.get(dim) as i64);
+            if f == t {
+                continue;
+            }
+            let k = self.dims[dim] as i64;
+            if !self.wrap[dim] {
+                set.insert(if t > f { Direction::plus(dim) } else { Direction::minus(dim) });
+            } else {
+                // Positive hops needed going up modulo k, vs. going down.
+                let up = (t - f).rem_euclid(k);
+                let down = (f - t).rem_euclid(k);
+                if up <= down {
+                    set.insert(Direction::plus(dim));
+                }
+                if down <= up {
+                    set.insert(Direction::minus(dim));
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh3x4() -> Cartesian {
+        Cartesian::new(vec![3, 4], vec![false, false])
+    }
+
+    #[test]
+    fn coord_node_round_trip() {
+        let g = mesh3x4();
+        for i in 0..g.num_nodes() {
+            let node = NodeId::new(i);
+            assert_eq!(g.node_at(&g.coord_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn dimension_zero_varies_fastest() {
+        let g = mesh3x4();
+        assert_eq!(g.coord_of(NodeId::new(0)), [0, 0].into());
+        assert_eq!(g.coord_of(NodeId::new(1)), [1, 0].into());
+        assert_eq!(g.coord_of(NodeId::new(3)), [0, 1].into());
+    }
+
+    #[test]
+    fn mesh_edges_have_no_neighbor() {
+        let g = mesh3x4();
+        let origin = g.node_at(&[0, 0].into());
+        assert_eq!(g.neighbor(origin, Direction::WEST), None);
+        assert_eq!(g.neighbor(origin, Direction::SOUTH), None);
+        assert_eq!(
+            g.neighbor(origin, Direction::EAST),
+            Some(g.node_at(&[1, 0].into()))
+        );
+    }
+
+    #[test]
+    fn torus_wraps_and_flags_wraparound() {
+        let g = Cartesian::new(vec![4], vec![true]);
+        let last = g.node_at(&[3].into());
+        let (dst, wrapped) = g.step(last, Direction::plus(0)).unwrap();
+        assert_eq!(dst, g.node_at(&[0].into()));
+        assert!(wrapped);
+        let (dst, wrapped) = g.step(g.node_at(&[1].into()), Direction::plus(0)).unwrap();
+        assert_eq!(dst, g.node_at(&[2].into()));
+        assert!(!wrapped);
+    }
+
+    #[test]
+    fn channel_count_mesh() {
+        // m x n mesh: 2 * (n*(m-1) + m*(n-1)) unidirectional channels.
+        let g = mesh3x4();
+        assert_eq!(g.channels().len(), 2 * (4 * 2 + 3 * 3));
+    }
+
+    #[test]
+    fn channel_count_torus() {
+        // k-ary n-cube, k > 2: 2n * k^n unidirectional channels.
+        let g = Cartesian::new(vec![4, 4], vec![true, true]);
+        assert_eq!(g.channels().len(), 4 * 16);
+    }
+
+    #[test]
+    fn channel_from_matches_channel_table() {
+        let g = mesh3x4();
+        for (i, ch) in g.channels().iter().enumerate() {
+            assert_eq!(g.channel_from(ch.src, ch.dir), Some(ChannelId::new(i)));
+            assert_eq!(g.neighbor(ch.src, ch.dir), Some(ch.dst));
+        }
+    }
+
+    #[test]
+    fn torus_distance_uses_shorter_way() {
+        let g = Cartesian::new(vec![8], vec![true]);
+        assert_eq!(g.distance(NodeId::new(0), NodeId::new(7)), 1);
+        assert_eq!(g.distance(NodeId::new(0), NodeId::new(4)), 4);
+        assert_eq!(g.distance(NodeId::new(1), NodeId::new(6)), 3);
+    }
+
+    #[test]
+    fn minimal_directions_mesh() {
+        let g = mesh3x4();
+        let from = g.node_at(&[0, 3].into());
+        let to = g.node_at(&[2, 1].into());
+        let dirs = g.minimal_directions(from, to);
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.contains(Direction::EAST));
+        assert!(dirs.contains(Direction::SOUTH));
+        assert!(g.minimal_directions(from, from).is_empty());
+    }
+
+    #[test]
+    fn minimal_directions_torus_tie_allows_both_signs() {
+        let g = Cartesian::new(vec![8], vec![true]);
+        let dirs = g.minimal_directions(NodeId::new(0), NodeId::new(4));
+        assert_eq!(dirs.len(), 2);
+        let dirs = g.minimal_directions(NodeId::new(0), NodeId::new(6));
+        assert_eq!(dirs.len(), 1);
+        assert!(dirs.contains(Direction::minus(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radix must be at least 2")]
+    fn rejects_radix_one() {
+        let _ = Cartesian::new(vec![1, 4], vec![false, false]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Unidirectional network channels.
+
+use crate::{Direction, NodeId};
+use std::fmt;
+
+/// Identifies a unidirectional channel in a topology.
+///
+/// Channel ids are dense: a topology with `C` channels uses ids `0..C`.
+/// The enumeration order is defined by each topology (ascending source
+/// node, then ascending [`Direction::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelId(u32);
+
+impl ChannelId {
+    /// Creates a channel id from a dense index.
+    pub fn new(index: usize) -> Self {
+        ChannelId(u32::try_from(index).expect("channel index exceeds u32"))
+    }
+
+    /// Returns the dense index of this channel.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ChannelId {
+    fn from(index: usize) -> Self {
+        ChannelId::new(index)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A unidirectional channel from one router to a neighboring router.
+///
+/// Every network channel routes packets in a single [`Direction`]; step 1
+/// of the turn model partitions channels by this direction. Wraparound
+/// channels of a [`Torus`](crate::Torus) are flagged so that step 5 of the
+/// model (incorporating wraparound turns) can treat them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// The router this channel leaves.
+    pub src: NodeId,
+    /// The router this channel enters.
+    pub dst: NodeId,
+    /// The direction in which the channel routes packets.
+    pub dir: Direction,
+    /// `true` if this is a torus wraparound channel (connects coordinate
+    /// `k-1` to `0` or vice versa).
+    pub wraparound: bool,
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} [{}{}]",
+            self.src,
+            self.dst,
+            self.dir,
+            if self.wraparound { ", wrap" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_id_round_trip() {
+        let id = ChannelId::new(9);
+        assert_eq!(id.index(), 9);
+        assert_eq!(ChannelId::from(9usize), id);
+        assert_eq!(id.to_string(), "c9");
+    }
+
+    #[test]
+    fn channel_display() {
+        let ch = Channel {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            dir: Direction::EAST,
+            wraparound: false,
+        };
+        assert_eq!(ch.to_string(), "n0 -> n1 [+d0]");
+        let wrap = Channel { wraparound: true, ..ch };
+        assert_eq!(wrap.to_string(), "n0 -> n1 [+d0, wrap]");
+    }
+}

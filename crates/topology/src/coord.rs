@@ -1,0 +1,184 @@
+//! Node identifiers and coordinates.
+
+use std::fmt;
+
+/// Identifies a node in a topology.
+///
+/// Node ids are dense: a topology with `N` nodes uses ids `0..N`. The
+/// mapping between ids and [`Coord`]s is defined by each topology
+/// (row-major, dimension 0 fastest).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::NodeId;
+///
+/// let node = NodeId::new(42);
+/// assert_eq!(node.index(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The position of a node in a Cartesian topology: one component per
+/// dimension, component `i` in `0..k_i`.
+///
+/// Components are stored with dimension 0 first, matching the paper's
+/// convention where dimension 0 is the `x` axis of a 2D mesh.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::Coord;
+///
+/// let c: Coord = [3, 7].into();
+/// assert_eq!(c.get(0), 3);
+/// assert_eq!(c.get(1), 7);
+/// assert_eq!(c.num_dims(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord(Vec<u16>);
+
+impl Coord {
+    /// Creates a coordinate from per-dimension components.
+    pub fn new(components: Vec<u16>) -> Self {
+        Coord(components)
+    }
+
+    /// Creates the all-zero coordinate with `n` dimensions.
+    pub fn zero(n: usize) -> Self {
+        Coord(vec![0; n])
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn get(&self, dim: usize) -> u16 {
+        self.0[dim]
+    }
+
+    /// Sets the component along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn set(&mut self, dim: usize, value: u16) {
+        self.0[dim] = value;
+    }
+
+    /// The components as a slice, dimension 0 first.
+    pub fn components(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// Iterates over `(dimension, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u16)> + '_ {
+        self.0.iter().copied().enumerate()
+    }
+}
+
+impl From<Vec<u16>> for Coord {
+    fn from(components: Vec<u16>) -> Self {
+        Coord(components)
+    }
+}
+
+impl<const N: usize> From<[u16; N]> for Coord {
+    fn from(components: [u16; N]) -> Self {
+        Coord(components.to_vec())
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::new(123);
+        assert_eq!(id.index(), 123);
+        assert_eq!(NodeId::from(123usize), id);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn node_id_ordering_matches_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn coord_accessors() {
+        let mut c = Coord::zero(3);
+        assert_eq!(c.num_dims(), 3);
+        assert_eq!(c.components(), &[0, 0, 0]);
+        c.set(1, 5);
+        assert_eq!(c.get(1), 5);
+    }
+
+    #[test]
+    fn coord_from_array_and_vec() {
+        let a: Coord = [1, 2, 3].into();
+        let b = Coord::new(vec![1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coord_display() {
+        let c: Coord = [4, 9].into();
+        assert_eq!(c.to_string(), "(4,9)");
+    }
+
+    #[test]
+    fn coord_iter_yields_dim_component_pairs() {
+        let c: Coord = [8, 6].into();
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(0, 8), (1, 6)]);
+    }
+}

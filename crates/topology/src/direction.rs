@@ -1,0 +1,417 @@
+//! Directions of travel and sets of directions.
+
+use std::fmt;
+
+/// The sign of a direction along a dimension.
+///
+/// In the paper's 2D terminology, `Minus` along dimension 0 is *west* and
+/// `Plus` along dimension 1 is *north*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// Toward decreasing coordinates (`-x`, `-y`, ...).
+    Minus,
+    /// Toward increasing coordinates (`+x`, `+y`, ...).
+    Plus,
+}
+
+impl Sign {
+    /// The opposite sign.
+    ///
+    /// ```
+    /// use turnroute_topology::Sign;
+    /// assert_eq!(Sign::Minus.opposite(), Sign::Plus);
+    /// ```
+    pub fn opposite(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    /// `-1` for `Minus`, `+1` for `Plus`.
+    pub fn delta(self) -> i32 {
+        match self {
+            Sign::Minus => -1,
+            Sign::Plus => 1,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Minus => write!(f, "-"),
+            Sign::Plus => write!(f, "+"),
+        }
+    }
+}
+
+/// A direction of travel: a dimension and a sign.
+///
+/// An n-dimensional Cartesian topology has `2n` directions. Step 1 of the
+/// turn model partitions channels by their direction; all turn analysis is
+/// done over values of this type.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::Direction;
+///
+/// let west = Direction::WEST;
+/// assert_eq!(west, Direction::minus(0));
+/// assert_eq!(west.opposite(), Direction::EAST);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Direction {
+    dim: u8,
+    sign: Sign,
+}
+
+impl Direction {
+    /// West: `-x`, i.e. minus along dimension 0 (2D naming).
+    pub const WEST: Direction = Direction { dim: 0, sign: Sign::Minus };
+    /// East: `+x`, i.e. plus along dimension 0 (2D naming).
+    pub const EAST: Direction = Direction { dim: 0, sign: Sign::Plus };
+    /// South: `-y`, i.e. minus along dimension 1 (2D naming).
+    pub const SOUTH: Direction = Direction { dim: 1, sign: Sign::Minus };
+    /// North: `+y`, i.e. plus along dimension 1 (2D naming).
+    pub const NORTH: Direction = Direction { dim: 1, sign: Sign::Plus };
+
+    /// Creates a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= 16`; topologies in this workspace support at most
+    /// 16 dimensions so that a [`DirSet`] fits in a `u32`.
+    pub fn new(dim: usize, sign: Sign) -> Self {
+        assert!(dim < 16, "at most 16 dimensions are supported");
+        Direction { dim: dim as u8, sign }
+    }
+
+    /// The negative direction along `dim`.
+    pub fn minus(dim: usize) -> Self {
+        Direction::new(dim, Sign::Minus)
+    }
+
+    /// The positive direction along `dim`.
+    pub fn plus(dim: usize) -> Self {
+        Direction::new(dim, Sign::Plus)
+    }
+
+    /// The dimension this direction travels along.
+    pub fn dim(self) -> usize {
+        self.dim as usize
+    }
+
+    /// The sign of travel.
+    pub fn sign(self) -> Sign {
+        self.sign
+    }
+
+    /// The 180-degree opposite direction.
+    pub fn opposite(self) -> Direction {
+        Direction { dim: self.dim, sign: self.sign.opposite() }
+    }
+
+    /// Dense index in `0..2n`: `2 * dim + (sign == Plus)`.
+    ///
+    /// Iterating directions by index visits lower dimensions first, which
+    /// is exactly the paper's "xy" output selection order.
+    pub fn index(self) -> usize {
+        self.dim as usize * 2 + matches!(self.sign, Sign::Plus) as usize
+    }
+
+    /// Inverse of [`Direction::index`].
+    pub fn from_index(index: usize) -> Direction {
+        let sign = if index % 2 == 0 { Sign::Minus } else { Sign::Plus };
+        Direction::new(index / 2, sign)
+    }
+
+    /// All `2n` directions of an n-dimensional topology, in index order.
+    pub fn all(num_dims: usize) -> impl Iterator<Item = Direction> {
+        (0..2 * num_dims).map(Direction::from_index)
+    }
+
+    /// `true` if this direction travels toward decreasing coordinates.
+    pub fn is_negative(self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` if this direction travels toward increasing coordinates.
+    pub fn is_positive(self) -> bool {
+        self.sign == Sign::Plus
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d{}", self.sign, self.dim)
+    }
+}
+
+/// A set of directions, stored as a bitset over [`Direction::index`].
+///
+/// Supports topologies of up to 16 dimensions (32 directions). Iteration
+/// yields directions in index order: lowest dimension first, minus before
+/// plus — the paper's "xy" output-selection priority.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{DirSet, Direction};
+///
+/// let mut set = DirSet::new();
+/// set.insert(Direction::NORTH);
+/// set.insert(Direction::WEST);
+/// assert_eq!(set.len(), 2);
+/// // Lowest dimension iterates first:
+/// assert_eq!(set.iter().next(), Some(Direction::WEST));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DirSet(u32);
+
+impl DirSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DirSet(0)
+    }
+
+    /// Creates a set containing every direction of an `n`-dimensional
+    /// topology.
+    pub fn all(num_dims: usize) -> Self {
+        assert!(num_dims <= 16, "at most 16 dimensions are supported");
+        if num_dims == 16 {
+            DirSet(u32::MAX)
+        } else {
+            DirSet((1u32 << (2 * num_dims)) - 1)
+        }
+    }
+
+    /// Adds a direction to the set.
+    pub fn insert(&mut self, dir: Direction) {
+        self.0 |= 1 << dir.index();
+    }
+
+    /// Removes a direction from the set.
+    pub fn remove(&mut self, dir: Direction) {
+        self.0 &= !(1 << dir.index());
+    }
+
+    /// `true` if `dir` is in the set.
+    pub fn contains(self, dir: Direction) -> bool {
+        self.0 & (1 << dir.index()) != 0
+    }
+
+    /// Number of directions in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the set contains no directions.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// Directions in `self` but not in `other`.
+    pub fn difference(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & !other.0)
+    }
+
+    /// Iterates directions in index order (lowest dimension first).
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The first direction in index order, if any — the "xy" output
+    /// selection policy's preferred choice.
+    pub fn first(self) -> Option<Direction> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Direction::from_index(self.0.trailing_zeros() as usize))
+        }
+    }
+}
+
+impl FromIterator<Direction> for DirSet {
+    fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
+        let mut set = DirSet::new();
+        for dir in iter {
+            set.insert(dir);
+        }
+        set
+    }
+}
+
+impl Extend<Direction> for DirSet {
+    fn extend<I: IntoIterator<Item = Direction>>(&mut self, iter: I) {
+        for dir in iter {
+            self.insert(dir);
+        }
+    }
+}
+
+impl IntoIterator for DirSet {
+    type Item = Direction;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the directions of a [`DirSet`], lowest index first.
+#[derive(Debug, Clone)]
+pub struct Iter(u32);
+
+impl Iterator for Iter {
+    type Item = Direction;
+
+    fn next(&mut self) -> Option<Direction> {
+        if self.0 == 0 {
+            None
+        } else {
+            let index = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(Direction::from_index(index))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Display for DirSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, dir) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{dir}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_directions_match_2d_convention() {
+        assert_eq!(Direction::WEST, Direction::minus(0));
+        assert_eq!(Direction::EAST, Direction::plus(0));
+        assert_eq!(Direction::SOUTH, Direction::minus(1));
+        assert_eq!(Direction::NORTH, Direction::plus(1));
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for dir in Direction::all(4) {
+            assert_eq!(dir.opposite().opposite(), dir);
+            assert_ne!(dir.opposite(), dir);
+            assert_eq!(dir.opposite().dim(), dir.dim());
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for dir in Direction::all(16) {
+            assert_eq!(Direction::from_index(dir.index()), dir);
+        }
+    }
+
+    #[test]
+    fn all_yields_2n_distinct_directions() {
+        let dirs: Vec<_> = Direction::all(3).collect();
+        assert_eq!(dirs.len(), 6);
+        let set: DirSet = dirs.iter().copied().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn sign_delta() {
+        assert_eq!(Sign::Minus.delta(), -1);
+        assert_eq!(Sign::Plus.delta(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 dimensions")]
+    fn direction_rejects_dim_16() {
+        let _ = Direction::new(16, Sign::Plus);
+    }
+
+    #[test]
+    fn dirset_basic_operations() {
+        let mut set = DirSet::new();
+        assert!(set.is_empty());
+        set.insert(Direction::NORTH);
+        set.insert(Direction::NORTH);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(Direction::NORTH));
+        assert!(!set.contains(Direction::SOUTH));
+        set.remove(Direction::NORTH);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn dirset_all_contains_everything() {
+        let set = DirSet::all(5);
+        assert_eq!(set.len(), 10);
+        for dir in Direction::all(5) {
+            assert!(set.contains(dir));
+        }
+        assert_eq!(DirSet::all(16).len(), 32);
+    }
+
+    #[test]
+    fn dirset_set_algebra() {
+        let a: DirSet = [Direction::WEST, Direction::NORTH].into_iter().collect();
+        let b: DirSet = [Direction::NORTH, Direction::EAST].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(Direction::NORTH));
+        assert_eq!(a.difference(b).len(), 1);
+        assert!(a.difference(b).contains(Direction::WEST));
+    }
+
+    #[test]
+    fn dirset_iterates_lowest_dimension_first() {
+        let set: DirSet = [Direction::NORTH, Direction::EAST, Direction::SOUTH]
+            .into_iter()
+            .collect();
+        let dirs: Vec<_> = set.iter().collect();
+        assert_eq!(dirs, vec![Direction::EAST, Direction::SOUTH, Direction::NORTH]);
+        assert_eq!(set.first(), Some(Direction::EAST));
+    }
+
+    #[test]
+    fn dirset_exact_size_iterator() {
+        let set = DirSet::all(3);
+        let iter = set.iter();
+        assert_eq!(iter.len(), 6);
+        assert_eq!(iter.count(), 6);
+    }
+
+    #[test]
+    fn dirset_display() {
+        let set: DirSet = [Direction::WEST, Direction::NORTH].into_iter().collect();
+        assert_eq!(set.to_string(), "{-d0,+d1}");
+        assert_eq!(DirSet::new().to_string(), "{}");
+    }
+}

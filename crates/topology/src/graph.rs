@@ -1,0 +1,131 @@
+//! Graph utilities over topologies: BFS distances, diameter, average
+//! distance.
+//!
+//! These operate purely on the channel graph, so they double as an oracle
+//! for checking each topology's closed-form [`Topology::distance`].
+
+use crate::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every node, computed by BFS over the
+/// channel graph. Unreachable nodes get `usize::MAX` (cannot happen in the
+/// connected topologies of this crate, but kept for fault studies).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{bfs_distances, Mesh, NodeId, Topology};
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let dist = bfs_distances(&mesh, NodeId::new(0));
+/// assert_eq!(dist[mesh.node_at(&[3, 3].into()).index()], 6);
+/// ```
+pub fn bfs_distances(topo: &dyn Topology, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topo.num_nodes()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::from([source]);
+    // Adjacency from the channel table keeps this valid for any topology.
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); topo.num_nodes()];
+    for ch in topo.channels() {
+        out[ch.src.index()].push(ch.dst);
+    }
+    while let Some(node) = queue.pop_front() {
+        let d = dist[node.index()];
+        for &next in &out[node.index()] {
+            if dist[next.index()] == usize::MAX {
+                dist[next.index()] = d + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// The network diameter: the largest minimal hop count between any pair.
+pub fn diameter(topo: &dyn Topology) -> usize {
+    topo.nodes()
+        .flat_map(|a| {
+            let dist = bfs_distances(topo, a);
+            dist.into_iter().filter(|&d| d != usize::MAX).max()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean minimal hop count over all ordered pairs of *distinct* nodes.
+pub fn average_distance(topo: &dyn Topology) -> f64 {
+    let n = topo.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    for a in topo.nodes() {
+        for b in topo.nodes() {
+            if a != b {
+                total += topo.distance(a, b);
+            }
+        }
+    }
+    total as f64 / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hypercube, Mesh, Torus};
+
+    #[test]
+    fn bfs_matches_closed_form_mesh() {
+        let mesh = Mesh::new_2d(5, 4);
+        for a in mesh.nodes() {
+            let dist = bfs_distances(&mesh, a);
+            for b in mesh.nodes() {
+                assert_eq!(dist[b.index()], mesh.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_closed_form_torus() {
+        let torus = Torus::new(5, 2);
+        for a in torus.nodes() {
+            let dist = bfs_distances(&torus, a);
+            for b in torus.nodes() {
+                assert_eq!(dist[b.index()], torus.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_closed_form_hypercube() {
+        let cube = Hypercube::new(5);
+        for a in cube.nodes() {
+            let dist = bfs_distances(&cube, a);
+            for b in cube.nodes() {
+                assert_eq!(dist[b.index()], cube.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&Mesh::new_2d(16, 16)), 30);
+        assert_eq!(diameter(&Hypercube::new(8)), 8);
+        assert_eq!(diameter(&Torus::new(8, 2)), 8);
+    }
+
+    #[test]
+    fn average_distance_uniform_traffic_hypercube() {
+        // Paper Section 6: 4.01 hops for uniform traffic in the 8-cube.
+        let avg = average_distance(&Hypercube::new(8));
+        assert!((avg - 4.0157).abs() < 1e-3, "got {avg}");
+    }
+
+    #[test]
+    fn average_distance_uniform_traffic_mesh() {
+        // Paper Section 6 reports 10.61 hops (measured); the analytic
+        // all-pairs mean for a 16x16 mesh is 10.667.
+        let avg = average_distance(&Mesh::new_2d(16, 16));
+        assert!((avg - 10.6667).abs() < 1e-3, "got {avg}");
+    }
+}

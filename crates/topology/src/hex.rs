@@ -1,0 +1,287 @@
+//! Hexagonal meshes: the paper's Section 7 example of a topology where
+//! the turn model still applies but turns are not 90 degrees and
+//! abstract cycles are not four turns.
+
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId, Topology};
+
+/// A hexagonal (triangular-lattice) mesh: nodes at axial coordinates
+/// `(q, r)` with `q in 0..m`, `r in 0..n`, and up to six neighbors each.
+///
+/// The six directions come in three *axes*, represented as dimensions of
+/// [`Direction`]:
+///
+/// | axis | plus step | minus step |
+/// |---|---|---|
+/// | 0 (A) | `(+1, 0)` | `(-1, 0)` |
+/// | 1 (B) | `(0, +1)` | `(0, -1)` |
+/// | 2 (C = A+B) | `(+1, +1)` | `(-1, -1)` |
+///
+/// **Contract notes.** `num_dims()` is 3 (three direction axes) while
+/// coordinates have two components — axis C is the derived diagonal, so
+/// `radix(2)` reports the nominal diagonal extent `min(m, n)`. All of
+/// the [`Topology`] machinery the routing algorithms and the simulator
+/// use (`neighbor`, `channels`, `distance`, `minimal_directions`) is
+/// exact; only the "k_i nodes along dimension i" reading of `radix`
+/// does not apply to the derived axis.
+///
+/// Distance is the hexagonal metric: with `d = (dq, dr)`,
+/// `max(|dq|, |dr|)` when the offsets share a sign and `|dq| + |dr|`
+/// otherwise.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{HexMesh, Topology};
+///
+/// let hex = HexMesh::new(6, 6);
+/// assert_eq!(hex.num_nodes(), 36);
+/// let a = hex.node_at(&[0, 0].into());
+/// let b = hex.node_at(&[3, 2].into());
+/// // Two diagonal (C) hops cover (2,2); one A hop covers the rest.
+/// assert_eq!(hex.distance(a, b), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexMesh {
+    m: usize,
+    n: usize,
+    channels: Vec<Channel>,
+    /// `channel_from[node * 6 + dir.index()]`.
+    channel_from: Vec<Option<ChannelId>>,
+}
+
+impl HexMesh {
+    /// Creates an `m x n` hexagonal mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both extents are at least 2.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m >= 2 && n >= 2, "hex mesh extents must be at least 2");
+        assert!(m <= u16::MAX as usize && n <= u16::MAX as usize);
+        let mut hex = HexMesh {
+            m,
+            n,
+            channels: Vec::new(),
+            channel_from: vec![None; m * n * 6],
+        };
+        for node in 0..m * n {
+            let node = NodeId::new(node);
+            for dir in Direction::all(3) {
+                if let Some(dst) = hex.step(node, dir) {
+                    let id = ChannelId::new(hex.channels.len());
+                    hex.channels.push(Channel { src: node, dst, dir, wraparound: false });
+                    hex.channel_from[node.index() * 6 + dir.index()] = Some(id);
+                }
+            }
+        }
+        hex
+    }
+
+    fn axial(&self, node: NodeId) -> (i64, i64) {
+        let q = (node.index() % self.m) as i64;
+        let r = (node.index() / self.m) as i64;
+        (q, r)
+    }
+
+    /// The axial step of a direction.
+    fn delta(dir: Direction) -> (i64, i64) {
+        let s = dir.sign().delta() as i64;
+        match dir.dim() {
+            0 => (s, 0),
+            1 => (0, s),
+            2 => (s, s),
+            _ => unreachable!("hex meshes have three axes"),
+        }
+    }
+
+    fn step(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        if dir.dim() >= 3 {
+            return None;
+        }
+        let (q, r) = self.axial(node);
+        let (dq, dr) = Self::delta(dir);
+        let (q, r) = (q + dq, r + dr);
+        (q >= 0 && r >= 0 && (q as usize) < self.m && (r as usize) < self.n)
+            .then(|| NodeId::new(r as usize * self.m + q as usize))
+    }
+
+    /// The hexagonal metric between axial offsets.
+    fn hex_len(dq: i64, dr: i64) -> usize {
+        if dq.signum() * dr.signum() >= 0 {
+            dq.abs().max(dr.abs()) as usize
+        } else {
+            (dq.abs() + dr.abs()) as usize
+        }
+    }
+}
+
+impl Topology for HexMesh {
+    fn num_dims(&self) -> usize {
+        3
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        match dim {
+            0 => self.m,
+            1 => self.n,
+            2 => self.m.min(self.n),
+            _ => panic!("dimension out of range"),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.m * self.n
+    }
+
+    fn wraps(&self, dim: usize) -> bool {
+        assert!(dim < 3, "dimension out of range");
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        assert!(node.index() < self.num_nodes(), "node out of range");
+        let (q, r) = self.axial(node);
+        Coord::new(vec![q as u16, r as u16])
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        assert_eq!(coord.num_dims(), 2, "hex coordinates are axial (q, r)");
+        let (q, r) = (coord.get(0) as usize, coord.get(1) as usize);
+        assert!(q < self.m && r < self.n, "coordinate out of range");
+        NodeId::new(r * self.m + q)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.step(node, dir)
+    }
+
+    fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        if dir.dim() >= 3 || node.index() >= self.num_nodes() {
+            return None;
+        }
+        self.channel_from[node.index() * 6 + dir.index()]
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let ((qa, ra), (qb, rb)) = (self.axial(a), self.axial(b));
+        Self::hex_len(qb - qa, rb - ra)
+    }
+
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        let here = self.distance(from, to);
+        let mut set = DirSet::new();
+        if here == 0 {
+            return set;
+        }
+        for dir in Direction::all(3) {
+            if let Some(next) = self.step(from, dir) {
+                if self.distance(next, to) < here {
+                    set.insert(dir);
+                }
+            }
+        }
+        set
+    }
+
+    fn label(&self) -> String {
+        format!("{}x{} hex mesh", self.m, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_distances;
+
+    #[test]
+    fn interior_nodes_have_six_neighbors() {
+        let hex = HexMesh::new(5, 5);
+        let center = hex.node_at(&[2, 2].into());
+        let degree = Direction::all(3)
+            .filter(|&d| hex.neighbor(center, d).is_some())
+            .count();
+        assert_eq!(degree, 6);
+        // The (0,0) corner loses A-, B-, C-.
+        let corner = hex.node_at(&[0, 0].into());
+        let degree = Direction::all(3)
+            .filter(|&d| hex.neighbor(corner, d).is_some())
+            .count();
+        assert_eq!(degree, 3);
+    }
+
+    #[test]
+    fn channel_count() {
+        let hex = HexMesh::new(4, 3);
+        // A: (m-1)*n pairs, B: m*(n-1), C: (m-1)*(n-1); two channels each.
+        assert_eq!(hex.num_channels(), 2 * (3 * 3 + 4 * 2 + 3 * 2));
+    }
+
+    #[test]
+    fn hex_distance_matches_bfs() {
+        let hex = HexMesh::new(5, 4);
+        for a in hex.nodes() {
+            let dist = bfs_distances(&hex, a);
+            for b in hex.nodes() {
+                assert_eq!(dist[b.index()], hex.distance(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_directions_always_exist_and_reduce() {
+        let hex = HexMesh::new(6, 6);
+        for a in hex.nodes() {
+            for b in hex.nodes() {
+                if a == b {
+                    continue;
+                }
+                let dirs = hex.minimal_directions(a, b);
+                assert!(!dirs.is_empty(), "{a}->{b} has no productive direction");
+                for d in dirs {
+                    let next = hex.neighbor(a, d).unwrap();
+                    assert_eq!(hex.distance(next, b) + 1, hex.distance(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_sign_offsets_use_the_diagonal() {
+        let hex = HexMesh::new(8, 8);
+        let a = hex.node_at(&[1, 1].into());
+        let b = hex.node_at(&[4, 3].into());
+        // (3, 2): 2 diagonal hops + 1 A hop.
+        assert_eq!(hex.distance(a, b), 3);
+        let dirs = hex.minimal_directions(a, b);
+        assert!(dirs.contains(Direction::plus(2)), "C+ is productive");
+        assert!(dirs.contains(Direction::plus(0)), "A+ is productive");
+        assert!(!dirs.contains(Direction::plus(1)), "B+ alone does not reduce");
+    }
+
+    #[test]
+    fn opposite_sign_offsets_avoid_the_diagonal() {
+        let hex = HexMesh::new(8, 8);
+        let a = hex.node_at(&[1, 5].into());
+        let b = hex.node_at(&[4, 2].into());
+        assert_eq!(hex.distance(a, b), 6);
+        let dirs = hex.minimal_directions(a, b);
+        assert!(dirs.contains(Direction::plus(0)));
+        assert!(dirs.contains(Direction::minus(1)));
+        assert!(!dirs.contains(Direction::plus(2)));
+        assert!(!dirs.contains(Direction::minus(2)));
+    }
+
+    #[test]
+    fn label_and_radix() {
+        let hex = HexMesh::new(6, 4);
+        assert_eq!(hex.label(), "6x4 hex mesh");
+        assert_eq!(hex.radix(0), 6);
+        assert_eq!(hex.radix(1), 4);
+        assert_eq!(hex.radix(2), 4);
+        assert_eq!(hex.num_dims(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Binary n-cubes (hypercubes).
+
+use crate::cartesian::Cartesian;
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId, Topology};
+
+/// A hypercube (binary n-cube): `2^n` nodes, where node addresses are
+/// n-bit binary numbers and two nodes are neighbors iff their addresses
+/// differ in exactly one bit.
+///
+/// Bit `i` of a node address is its coordinate along dimension `i`, so
+/// `NodeId::index()` *is* the binary address the paper works with in
+/// Section 5. Travelling from bit 0 to bit 1 along a dimension is the
+/// positive direction.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Hypercube, Topology, NodeId};
+///
+/// let cube = Hypercube::new(8); // the paper's binary 8-cube
+/// assert_eq!(cube.num_nodes(), 256);
+/// // Distance is Hamming distance.
+/// assert_eq!(cube.distance(NodeId::new(0b1011), NodeId::new(0b0010)), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    grid: Cartesian,
+    n: usize,
+}
+
+impl Hypercube {
+    /// Creates a binary n-cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 16`.
+    pub fn new(n: usize) -> Self {
+        Hypercube { grid: Cartesian::new(vec![2; n], vec![false; n]), n }
+    }
+
+    /// Bit `dim` of `node`'s address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `dim` is out of range.
+    pub fn bit(&self, node: NodeId, dim: usize) -> bool {
+        assert!(node.index() < self.grid.num_nodes(), "node out of range");
+        assert!(dim < self.n, "dimension out of range");
+        node.index() >> dim & 1 == 1
+    }
+
+    /// The Hamming distance between two node addresses.
+    pub fn hamming(&self, a: NodeId, b: NodeId) -> usize {
+        (a.index() ^ b.index()).count_ones() as usize
+    }
+
+    /// The neighbor across dimension `dim` (always exists in a hypercube).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `dim` is out of range.
+    pub fn neighbor_across(&self, node: NodeId, dim: usize) -> NodeId {
+        assert!(node.index() < self.grid.num_nodes(), "node out of range");
+        assert!(dim < self.n, "dimension out of range");
+        NodeId::new(node.index() ^ (1 << dim))
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_dims(&self) -> usize {
+        self.n
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        assert!(dim < self.n, "dimension out of range");
+        2
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.grid.num_nodes()
+    }
+
+    fn wraps(&self, dim: usize) -> bool {
+        assert!(dim < self.n, "dimension out of range");
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        self.grid.coord_of(node)
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        self.grid.node_at(coord)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.grid.neighbor(node, dir)
+    }
+
+    fn channels(&self) -> &[Channel] {
+        self.grid.channels()
+    }
+
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        self.grid.channel_from(node, dir)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.hamming(a, b)
+    }
+
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        self.grid.minimal_directions(from, to)
+    }
+
+    fn label(&self) -> String {
+        format!("binary {}-cube", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_index_is_binary_address() {
+        let cube = Hypercube::new(4);
+        let node = NodeId::new(0b1010);
+        let coord = cube.coord_of(node);
+        assert_eq!(coord.components(), &[0, 1, 0, 1]);
+        assert_eq!(cube.node_at(&coord), node);
+        assert!(cube.bit(node, 1));
+        assert!(!cube.bit(node, 0));
+    }
+
+    #[test]
+    fn every_node_has_n_neighbors() {
+        let cube = Hypercube::new(5);
+        for node in cube.nodes() {
+            let degree = Direction::all(5)
+                .filter(|&d| cube.neighbor(node, d).is_some())
+                .count();
+            assert_eq!(degree, 5);
+        }
+    }
+
+    #[test]
+    fn neighbor_across_flips_one_bit() {
+        let cube = Hypercube::new(8);
+        let node = NodeId::new(0b1011_0101);
+        assert_eq!(cube.neighbor_across(node, 3), NodeId::new(0b1011_1101));
+        assert_eq!(cube.hamming(node, cube.neighbor_across(node, 3)), 1);
+    }
+
+    #[test]
+    fn neighbor_direction_depends_on_bit() {
+        let cube = Hypercube::new(3);
+        let zero = NodeId::new(0);
+        assert_eq!(cube.neighbor(zero, Direction::plus(0)), Some(NodeId::new(1)));
+        assert_eq!(cube.neighbor(zero, Direction::minus(0)), None);
+        let one = NodeId::new(1);
+        assert_eq!(cube.neighbor(one, Direction::minus(0)), Some(zero));
+        assert_eq!(cube.neighbor(one, Direction::plus(0)), None);
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let cube = Hypercube::new(10);
+        let s = NodeId::new(0b1011010100 >> 0);
+        let d = NodeId::new(0b0010111001);
+        // The Section 5 example: h = 6.
+        assert_eq!(cube.distance(s, d), 6);
+    }
+
+    #[test]
+    fn channel_count_is_n_2n() {
+        let cube = Hypercube::new(8);
+        assert_eq!(cube.num_channels(), 8 * 256);
+    }
+
+    #[test]
+    fn label_names_n() {
+        assert_eq!(Hypercube::new(8).label(), "binary 8-cube");
+    }
+}

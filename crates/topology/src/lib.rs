@@ -1,0 +1,52 @@
+//! Direct-network topologies for wormhole routing.
+//!
+//! This crate provides the network substrates studied in Glass & Ni,
+//! *"The Turn Model for Adaptive Routing"* (ISCA 1992): [`Mesh`]
+//! (n-dimensional meshes), [`Torus`] (k-ary n-cubes with wraparound
+//! channels) and [`Hypercube`] (binary n-cubes), all behind the common
+//! object-safe [`Topology`] trait.
+//!
+//! A topology is a set of nodes identified by [`NodeId`], each located at a
+//! [`Coord`], connected by unidirectional [`Channel`]s that each route
+//! packets in a single [`Direction`] (a signed dimension). Routing
+//! algorithms in `turnroute-core` are written against the [`Topology`]
+//! trait so that every algorithm/topology pairing the paper discusses can
+//! be expressed without duplication.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_topology::{Mesh, Topology, NodeId};
+//!
+//! // The 16x16 mesh used in the paper's Section 6 simulations.
+//! let mesh = Mesh::new_2d(16, 16);
+//! assert_eq!(mesh.num_nodes(), 256);
+//!
+//! let a = mesh.node_at(&[0, 0].into());
+//! let b = mesh.node_at(&[15, 15].into());
+//! assert_eq!(mesh.distance(a, b), 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cartesian;
+mod channel;
+mod coord;
+mod direction;
+mod graph;
+mod hex;
+mod hypercube;
+mod mesh;
+mod torus;
+mod traits;
+
+pub use channel::{Channel, ChannelId};
+pub use coord::{Coord, NodeId};
+pub use direction::{DirSet, Direction, Sign};
+pub use graph::{average_distance, bfs_distances, diameter};
+pub use hex::HexMesh;
+pub use hypercube::Hypercube;
+pub use mesh::Mesh;
+pub use torus::Torus;
+pub use traits::Topology;

@@ -1,0 +1,165 @@
+//! n-dimensional meshes.
+
+use crate::cartesian::Cartesian;
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId, Topology};
+
+/// An n-dimensional mesh: `k_0 x k_1 x ... x k_{n-1}` nodes with no
+/// wraparound channels.
+///
+/// Two nodes are neighbors iff their coordinates agree in all dimensions
+/// except one, where they differ by exactly 1. Interior nodes have `2n`
+/// neighbors; corner nodes have `n`.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new(vec![4, 4, 4]);
+/// assert_eq!(mesh.num_nodes(), 64);
+/// assert_eq!(mesh.label(), "4x4x4 mesh");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    grid: Cartesian,
+}
+
+impl Mesh {
+    /// Creates an n-dimensional mesh with the given per-dimension radixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, has more than 16 dimensions, or any
+    /// radix is less than 2.
+    pub fn new(dims: Vec<usize>) -> Self {
+        let wrap = vec![false; dims.len()];
+        Mesh { grid: Cartesian::new(dims, wrap) }
+    }
+
+    /// Creates the 2D `m x n` mesh of the paper's Section 3 (dimension 0
+    /// is `x`/east-west, dimension 1 is `y`/north-south).
+    pub fn new_2d(m: usize, n: usize) -> Self {
+        Mesh::new(vec![m, n])
+    }
+
+    /// The per-dimension radixes.
+    pub fn dims(&self) -> &[usize] {
+        self.grid.dims()
+    }
+}
+
+impl Topology for Mesh {
+    fn num_dims(&self) -> usize {
+        self.grid.num_dims()
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        self.grid.dims()[dim]
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.grid.num_nodes()
+    }
+
+    fn wraps(&self, _dim: usize) -> bool {
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        self.grid.coord_of(node)
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        self.grid.node_at(coord)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.grid.neighbor(node, dir)
+    }
+
+    fn channels(&self) -> &[Channel] {
+        self.grid.channels()
+    }
+
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        self.grid.channel_from(node, dir)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.grid.distance(a, b)
+    }
+
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        self.grid.minimal_directions(from, to)
+    }
+
+    fn label(&self) -> String {
+        let dims: Vec<String> = self.grid.dims().iter().map(|k| k.to_string()).collect();
+        format!("{} mesh", dims.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_has_256_nodes() {
+        let mesh = Mesh::new_2d(16, 16);
+        assert_eq!(mesh.num_nodes(), 256);
+        assert_eq!(mesh.num_dims(), 2);
+        assert_eq!(mesh.radix(0), 16);
+        // 2 channels per interior edge: 2 * 2 * 16 * 15 = 960.
+        assert_eq!(mesh.num_channels(), 960);
+    }
+
+    #[test]
+    fn corner_nodes_have_n_neighbors() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        let corner = mesh.node_at(&[0, 0, 0].into());
+        let degree = Direction::all(3)
+            .filter(|&d| mesh.neighbor(corner, d).is_some())
+            .count();
+        assert_eq!(degree, 3);
+        let center = mesh.node_at(&[1, 1, 1].into());
+        let degree = Direction::all(3)
+            .filter(|&d| mesh.neighbor(center, d).is_some())
+            .count();
+        assert_eq!(degree, 6);
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let mesh = Mesh::new_2d(16, 16);
+        let a = mesh.node_at(&[2, 3].into());
+        let b = mesh.node_at(&[10, 1].into());
+        assert_eq!(mesh.distance(a, b), 8 + 2);
+        assert_eq!(mesh.distance(a, a), 0);
+        assert_eq!(mesh.distance(a, b), mesh.distance(b, a));
+    }
+
+    #[test]
+    fn never_wraps() {
+        let mesh = Mesh::new(vec![4, 5]);
+        assert!(!mesh.wraps(0));
+        assert!(!mesh.wraps(1));
+        assert!(mesh.channels().iter().all(|c| !c.wraparound));
+    }
+
+    #[test]
+    fn label_mentions_radixes() {
+        assert_eq!(Mesh::new_2d(16, 16).label(), "16x16 mesh");
+        assert_eq!(Mesh::new(vec![2, 3, 4]).label(), "2x3x4 mesh");
+    }
+
+    #[test]
+    fn minimal_directions_point_at_destination() {
+        let mesh = Mesh::new_2d(8, 8);
+        let from = mesh.node_at(&[4, 4].into());
+        let to = mesh.node_at(&[2, 6].into());
+        let dirs = mesh.minimal_directions(from, to);
+        assert!(dirs.contains(Direction::WEST));
+        assert!(dirs.contains(Direction::NORTH));
+        assert_eq!(dirs.len(), 2);
+    }
+}

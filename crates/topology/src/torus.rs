@@ -1,0 +1,158 @@
+//! k-ary n-cubes (tori).
+
+use crate::cartesian::Cartesian;
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId, Topology};
+
+/// A k-ary n-cube: `k^n` nodes with modular (wraparound) neighbor
+/// arithmetic in every dimension.
+///
+/// Two nodes are neighbors iff their coordinates agree in all dimensions
+/// except one, where they differ by 1 modulo `k`. Every node has `2n`
+/// neighbors when `k > 2` and `n` neighbors when `k = 2`; the topology is
+/// node- and edge-symmetric.
+///
+/// For `k = 2` prefer [`Hypercube`](crate::Hypercube), which avoids the
+/// doubled channels a literal 2-ary torus would have.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Torus, Topology};
+///
+/// let torus = Torus::new(4, 2); // 4-ary 2-cube
+/// assert_eq!(torus.num_nodes(), 16);
+/// assert!(torus.wraps(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Torus {
+    grid: Cartesian,
+    k: usize,
+}
+
+impl Torus {
+    /// Creates a k-ary n-cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3` (use [`Hypercube`](crate::Hypercube) for `k = 2`),
+    /// `n == 0`, or `n > 16`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 3, "use Hypercube for k = 2");
+        Torus { grid: Cartesian::new(vec![k; n], vec![true; n]), k }
+    }
+
+    /// The radix `k` (identical in every dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Topology for Torus {
+    fn num_dims(&self) -> usize {
+        self.grid.num_dims()
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        assert!(dim < self.grid.num_dims(), "dimension out of range");
+        self.k
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.grid.num_nodes()
+    }
+
+    fn wraps(&self, dim: usize) -> bool {
+        assert!(dim < self.grid.num_dims(), "dimension out of range");
+        true
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        self.grid.coord_of(node)
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        self.grid.node_at(coord)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.grid.neighbor(node, dir)
+    }
+
+    fn channels(&self) -> &[Channel] {
+        self.grid.channels()
+    }
+
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        self.grid.channel_from(node, dir)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.grid.distance(a, b)
+    }
+
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        self.grid.minimal_directions(from, to)
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-cube", self.k, self.grid.num_dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_has_2n_neighbors() {
+        let torus = Torus::new(4, 3);
+        for node in torus.nodes() {
+            let degree = Direction::all(3)
+                .filter(|&d| torus.neighbor(node, d).is_some())
+                .count();
+            assert_eq!(degree, 6);
+        }
+    }
+
+    #[test]
+    fn channel_count_is_2n_kn() {
+        let torus = Torus::new(5, 2);
+        assert_eq!(torus.num_channels(), 4 * 25);
+    }
+
+    #[test]
+    fn wraparound_channels_are_flagged() {
+        let torus = Torus::new(4, 1);
+        let wraps: Vec<_> = torus.channels().iter().filter(|c| c.wraparound).collect();
+        assert_eq!(wraps.len(), 2);
+        // One in each sign: 3 -> 0 (plus) and 0 -> 3 (minus).
+        assert!(wraps
+            .iter()
+            .any(|c| c.src == NodeId::new(3) && c.dst == NodeId::new(0)));
+        assert!(wraps
+            .iter()
+            .any(|c| c.src == NodeId::new(0) && c.dst == NodeId::new(3)));
+    }
+
+    #[test]
+    fn diameter_is_half_k_times_n() {
+        let torus = Torus::new(8, 2);
+        let max = torus
+            .nodes()
+            .map(|b| torus.distance(NodeId::new(0), b))
+            .max()
+            .unwrap();
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn label_names_k_and_n() {
+        assert_eq!(Torus::new(4, 3).label(), "4-ary 3-cube");
+    }
+
+    #[test]
+    #[should_panic(expected = "use Hypercube")]
+    fn rejects_k_two() {
+        let _ = Torus::new(2, 3);
+    }
+}

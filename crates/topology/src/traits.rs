@@ -1,0 +1,148 @@
+//! The [`Topology`] trait.
+
+use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId};
+
+/// A direct network: nodes at Cartesian coordinates connected by
+/// unidirectional channels, each routing packets in a single
+/// [`Direction`].
+///
+/// The trait is object-safe so that routing algorithms and the simulator
+/// can be written once against `&dyn Topology` and applied to every
+/// topology the paper studies.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Hypercube, Topology};
+///
+/// let cube = Hypercube::new(8);
+/// assert_eq!(cube.num_nodes(), 256);
+/// assert_eq!(cube.num_channels(), 8 * 256);
+/// ```
+pub trait Topology {
+    /// Number of dimensions `n`.
+    fn num_dims(&self) -> usize;
+
+    /// Number of nodes `k_i` along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.num_dims()`.
+    fn radix(&self, dim: usize) -> usize;
+
+    /// Total number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// `true` if dimension `dim` has wraparound channels.
+    fn wraps(&self, dim: usize) -> bool;
+
+    /// The coordinate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn coord_of(&self, node: NodeId) -> Coord;
+
+    /// The node at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` has the wrong dimensionality or is out of range.
+    fn node_at(&self, coord: &Coord) -> NodeId;
+
+    /// The neighbor reached by one hop in `dir`, or `None` at a mesh edge
+    /// (or if `dir`'s dimension does not exist).
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId>;
+
+    /// All channels, indexed by [`ChannelId`].
+    fn channels(&self) -> &[Channel];
+
+    /// The channel leaving `node` in `dir`, if one exists.
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId>;
+
+    /// Minimal hop count from `a` to `b`.
+    fn distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// The directions that reduce the distance from `from` to `to`
+    /// (the *productive* directions of minimal routing).
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet;
+
+    /// A short human-readable description, e.g. `"16x16 mesh"`.
+    fn label(&self) -> String;
+
+    /// Total number of channels.
+    fn num_channels(&self) -> usize {
+        self.channels().len()
+    }
+
+    /// The channel with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    fn channel(&self, id: ChannelId) -> Channel {
+        self.channels()[id.index()]
+    }
+
+    /// Iterates over every node id.
+    fn nodes(&self) -> NodeIds {
+        NodeIds { next: 0, end: self.num_nodes() }
+    }
+}
+
+/// Iterator over all node ids of a topology, in ascending order.
+#[derive(Debug, Clone)]
+pub struct NodeIds {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId::new(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mesh;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mesh = Mesh::new_2d(4, 4);
+        let topo: &dyn Topology = &mesh;
+        assert_eq!(topo.num_nodes(), 16);
+        assert_eq!(topo.nodes().len(), 16);
+    }
+
+    #[test]
+    fn default_channel_accessor() {
+        let mesh = Mesh::new_2d(3, 3);
+        let topo: &dyn Topology = &mesh;
+        let ch = topo.channel(ChannelId::new(0));
+        assert_eq!(topo.channel_from(ch.src, ch.dir), Some(ChannelId::new(0)));
+    }
+
+    #[test]
+    fn nodes_iterates_in_order() {
+        let mesh = Mesh::new_2d(2, 2);
+        let ids: Vec<usize> = mesh.nodes().map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

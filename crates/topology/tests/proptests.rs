@@ -1,0 +1,129 @@
+//! Property-based invariants of the topology substrate.
+
+use proptest::prelude::*;
+use turnroute_topology::{
+    bfs_distances, Direction, HexMesh, Hypercube, Mesh, NodeId, Topology, Torus,
+};
+
+fn check_roundtrip(topo: &dyn Topology) {
+    for node in topo.nodes() {
+        assert_eq!(topo.node_at(&topo.coord_of(node)), node);
+    }
+}
+
+fn check_neighbor_symmetry(topo: &dyn Topology) {
+    for node in topo.nodes() {
+        for dir in Direction::all(topo.num_dims()) {
+            if let Some(next) = topo.neighbor(node, dir) {
+                assert_eq!(
+                    topo.neighbor(next, dir.opposite()),
+                    Some(node),
+                    "neighbor must be symmetric"
+                );
+            }
+        }
+    }
+}
+
+fn check_channel_table(topo: &dyn Topology) {
+    for (i, ch) in topo.channels().iter().enumerate() {
+        assert_eq!(topo.neighbor(ch.src, ch.dir), Some(ch.dst));
+        assert_eq!(
+            topo.channel_from(ch.src, ch.dir).map(|c| c.index()),
+            Some(i)
+        );
+    }
+}
+
+fn check_metric(topo: &dyn Topology) {
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    for &a in nodes.iter().step_by(3) {
+        let bfs = bfs_distances(topo, a);
+        for &b in nodes.iter().step_by(2) {
+            assert_eq!(topo.distance(a, b), bfs[b.index()]);
+            assert_eq!(topo.distance(a, b), topo.distance(b, a));
+        }
+    }
+}
+
+fn check_minimal_directions(topo: &dyn Topology) {
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    for &a in nodes.iter().step_by(2) {
+        for &b in nodes.iter().step_by(3) {
+            let dirs = topo.minimal_directions(a, b);
+            assert_eq!(dirs.is_empty(), a == b);
+            for d in dirs {
+                let next = topo.neighbor(a, d).expect("productive implies channel");
+                assert_eq!(topo.distance(next, b) + 1, topo.distance(a, b));
+            }
+        }
+    }
+}
+
+fn check_all(topo: &dyn Topology) {
+    check_roundtrip(topo);
+    check_neighbor_symmetry(topo);
+    check_channel_table(topo);
+    check_metric(topo);
+    check_minimal_directions(topo);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mesh_invariants(dims in proptest::collection::vec(2usize..6, 1..4)) {
+        check_all(&Mesh::new(dims));
+    }
+
+    #[test]
+    fn torus_invariants(k in 3usize..7, n in 1usize..3) {
+        check_all(&Torus::new(k, n));
+    }
+
+    #[test]
+    fn hypercube_invariants(n in 1usize..7) {
+        check_all(&Hypercube::new(n));
+    }
+
+    #[test]
+    fn hex_invariants(m in 2usize..7, n in 2usize..7) {
+        check_all(&HexMesh::new(m, n));
+    }
+
+    /// In every topology here, a channel exists iff its reverse does.
+    #[test]
+    fn channels_come_in_antiparallel_pairs(m in 2usize..6, n in 2usize..6) {
+        for topo in [&Mesh::new_2d(m, n) as &dyn Topology, &HexMesh::new(m, n)] {
+            for ch in topo.channels() {
+                assert!(
+                    topo.channel_from(ch.dst, ch.dir.opposite()).is_some(),
+                    "missing reverse of {ch}"
+                );
+            }
+        }
+    }
+
+    /// Hypercube distance is the Hamming distance of ids.
+    #[test]
+    fn hypercube_distance_is_hamming(n in 1usize..8, a in 0usize..256, b in 0usize..256) {
+        let cube = Hypercube::new(n);
+        let (a, b) = (a % cube.num_nodes(), b % cube.num_nodes());
+        prop_assert_eq!(
+            cube.distance(NodeId::new(a), NodeId::new(b)),
+            (a ^ b).count_ones() as usize
+        );
+    }
+
+    /// Torus distance never exceeds mesh distance on the same coords.
+    #[test]
+    fn wraparound_never_hurts(k in 3usize..8, a in 0usize..64, b in 0usize..64) {
+        let torus = Torus::new(k, 2);
+        let mesh = Mesh::new_2d(k, k);
+        let (a, b) = (a % (k * k), b % (k * k));
+        prop_assert!(
+            torus.distance(NodeId::new(a), NodeId::new(b))
+                <= mesh.distance(NodeId::new(a), NodeId::new(b))
+        );
+    }
+}

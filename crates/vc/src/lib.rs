@@ -1,0 +1,60 @@
+//! Virtual channels and the turn model.
+//!
+//! The paper's step 1 already anticipates extra channels: "if each node
+//! has v channels in a physical direction, treat these channels as being
+//! in v distinct virtual directions". This crate follows that road — the
+//! subject of the paper's companion reference \[18\] (Glass & Ni,
+//! *"Maximally Fully Adaptive Routing in 2D Meshes"*) — and builds:
+//!
+//! * [`VirtualDirection`] / [`VDirSet`] / [`VcTable`] — lanes as
+//!   first-class directions;
+//! * [`MadY`] — **fully adaptive, deadlock-free minimal routing for 2D
+//!   meshes** with one extra lane in the y dimension: every shortest
+//!   path allowed (`S = S_f`), which Theorem 1 proves impossible without
+//!   added channels;
+//! * [`DatelineDimensionOrder`] — **minimal deadlock-free torus
+//!   routing** with one extra lane per dimension, the counterpoint to
+//!   Section 4.2's observation that channel-free torus algorithms must
+//!   be nonminimal for `k > 4`;
+//! * [`vc_dependency_graph`] — the Dally–Seitz check lifted to lanes;
+//! * [`VcSimulation`] — the wormhole engine with per-link bandwidth
+//!   multiplexed among lanes, plus [`SingleClass`] to run the paper's
+//!   channel-free algorithms in the same engine for fair comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_vc::{count_physical_paths, MadY, VcRoutingAlgorithm, VcTable};
+//! use turnroute_core::adaptiveness::fully_adaptive_shortest_paths;
+//! use turnroute_topology::{Mesh, Topology};
+//!
+//! let mesh = Mesh::new_2d(8, 8);
+//! let mady = MadY::new();
+//! let table = VcTable::new(&mesh, &mady.provisioning(&mesh));
+//! let s = mesh.node_at(&[6, 1].into());
+//! let d = mesh.node_at(&[2, 5].into());
+//! // Fully adaptive: every shortest path is allowed.
+//! assert_eq!(
+//!     count_physical_paths(&mady, &mesh, &table, s, d),
+//!     fully_adaptive_shortest_paths(&mesh, s, d),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dateline;
+mod engine;
+mod mady;
+mod routing;
+mod table;
+mod vdir;
+mod verify;
+
+pub use dateline::{dateline_may_follow, DatelineDimensionOrder};
+pub use engine::{sweep_vc, VcPacket, VcPacketId, VcSimulation};
+pub use mady::{mady_may_follow, MadY};
+pub use routing::{check_vc_routing_contract, walk_vc, SingleClass, VcRoutingAlgorithm};
+pub use table::{VcTable, VirtualChannelId};
+pub use vdir::{VDirSet, VirtualDirection, MAX_CLASSES};
+pub use verify::{count_physical_paths, vc_dependency_graph};

@@ -1,0 +1,202 @@
+//! Virtual directions: a physical direction split into buffered lanes.
+
+use std::fmt;
+use turnroute_topology::Direction;
+
+/// The largest number of virtual-channel classes per physical direction.
+///
+/// Four classes keep a [`VDirSet`] within a `u128`
+/// (`32 directions x 4 classes`); the paper's step 1 ("if each node has
+/// v channels in a physical direction, treat these as v distinct virtual
+/// directions") never needs more than two for the algorithms built here.
+pub const MAX_CLASSES: u8 = 4;
+
+/// A virtual direction: a physical [`Direction`] plus a class index
+/// identifying which of its virtual channels is meant.
+///
+/// Step 1 of the turn model treats each class as a distinct direction;
+/// transitions between classes of the *same* physical direction are the
+/// 0-degree turns of step 2.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_vc::VirtualDirection;
+/// use turnroute_topology::Direction;
+///
+/// let y1 = VirtualDirection::new(Direction::NORTH, 0);
+/// let y2 = VirtualDirection::new(Direction::NORTH, 1);
+/// assert_eq!(y1.dir(), y2.dir());
+/// assert_ne!(y1, y2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualDirection {
+    dir: Direction,
+    class: u8,
+}
+
+impl VirtualDirection {
+    /// Creates a virtual direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= MAX_CLASSES`.
+    pub fn new(dir: Direction, class: u8) -> Self {
+        assert!(class < MAX_CLASSES, "at most {MAX_CLASSES} classes per direction");
+        VirtualDirection { dir, class }
+    }
+
+    /// The physical direction.
+    pub fn dir(self) -> Direction {
+        self.dir
+    }
+
+    /// The class index within the physical direction.
+    pub fn class(self) -> u8 {
+        self.class
+    }
+
+    /// Dense index in `0..128`: `dir.index() * MAX_CLASSES + class`.
+    pub fn index(self) -> usize {
+        self.dir.index() * MAX_CLASSES as usize + self.class as usize
+    }
+
+    /// Inverse of [`VirtualDirection::index`].
+    pub fn from_index(index: usize) -> Self {
+        VirtualDirection::new(
+            Direction::from_index(index / MAX_CLASSES as usize),
+            (index % MAX_CLASSES as usize) as u8,
+        )
+    }
+}
+
+impl fmt::Display for VirtualDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.dir, self.class)
+    }
+}
+
+/// A set of virtual directions, as a `u128` bitset over
+/// [`VirtualDirection::index`]. Iteration order is by index: lowest
+/// physical dimension first, then class — the "xy" output-selection
+/// priority extended to virtual channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VDirSet(u128);
+
+impl VDirSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        VDirSet(0)
+    }
+
+    /// Adds a virtual direction.
+    pub fn insert(&mut self, v: VirtualDirection) {
+        self.0 |= 1 << v.index();
+    }
+
+    /// Removes a virtual direction.
+    pub fn remove(&mut self, v: VirtualDirection) {
+        self.0 &= !(1 << v.index());
+    }
+
+    /// `true` if `v` is in the set.
+    pub fn contains(self, v: VirtualDirection) -> bool {
+        self.0 >> v.index() & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in index order.
+    pub fn iter(self) -> impl Iterator<Item = VirtualDirection> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let index = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(VirtualDirection::from_index(index))
+            }
+        })
+    }
+
+    /// The distinct physical directions present in the set.
+    pub fn physical(self) -> turnroute_topology::DirSet {
+        self.iter().map(VirtualDirection::dir).collect()
+    }
+}
+
+impl FromIterator<VirtualDirection> for VDirSet {
+    fn from_iter<I: IntoIterator<Item = VirtualDirection>>(iter: I) -> Self {
+        let mut set = VDirSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for dir in Direction::all(16) {
+            for class in 0..MAX_CLASSES {
+                let v = VirtualDirection::new(dir, class);
+                assert_eq!(VirtualDirection::from_index(v.index()), v);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "classes per direction")]
+    fn class_bound_enforced() {
+        let _ = VirtualDirection::new(Direction::EAST, MAX_CLASSES);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut set = VDirSet::new();
+        let a = VirtualDirection::new(Direction::NORTH, 0);
+        let b = VirtualDirection::new(Direction::NORTH, 1);
+        set.insert(a);
+        set.insert(b);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(a) && set.contains(b));
+        set.remove(a);
+        assert!(!set.contains(a));
+        assert_eq!(set.physical().len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_lowest_dimension_first() {
+        let set: VDirSet = [
+            VirtualDirection::new(Direction::NORTH, 1),
+            VirtualDirection::new(Direction::WEST, 0),
+            VirtualDirection::new(Direction::NORTH, 0),
+        ]
+        .into_iter()
+        .collect();
+        let order: Vec<VirtualDirection> = set.iter().collect();
+        assert_eq!(order[0].dir(), Direction::WEST);
+        assert_eq!(order[1], VirtualDirection::new(Direction::NORTH, 0));
+        assert_eq!(order[2], VirtualDirection::new(Direction::NORTH, 1));
+    }
+
+    #[test]
+    fn display_shows_dir_and_class() {
+        let v = VirtualDirection::new(Direction::SOUTH, 1);
+        assert_eq!(v.to_string(), "-d1.1");
+    }
+}

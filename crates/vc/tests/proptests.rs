@@ -1,0 +1,191 @@
+//! Property-based invariants of the virtual-channel layer.
+
+use proptest::prelude::*;
+use turnroute_core::adaptiveness::fully_adaptive_shortest_paths;
+use turnroute_core::{DimensionOrder, NegativeFirst, RoutingAlgorithm, WestFirst};
+use turnroute_sim::patterns::Uniform;
+use turnroute_sim::{SimConfig, Simulation};
+use turnroute_topology::{Mesh, NodeId, Topology, Torus};
+use turnroute_vc::{
+    count_physical_paths, mady_may_follow, vc_dependency_graph, walk_vc,
+    DatelineDimensionOrder, MadY, SingleClass, VcRoutingAlgorithm, VcSimulation, VcTable,
+    VirtualDirection,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mad-y is fully adaptive on every mesh shape and pair.
+    #[test]
+    fn mady_full_adaptivity(
+        m in 2usize..8,
+        n in 2usize..8,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let mesh = Mesh::new_2d(m, n);
+        let (a, b) = (a % (m * n), b % (m * n));
+        prop_assume!(a != b);
+        let mady = MadY::new();
+        let table = VcTable::new(&mesh, &mady.provisioning(&mesh));
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(
+            count_physical_paths(&mady, &mesh, &table, s, d),
+            fully_adaptive_shortest_paths(&mesh, s, d)
+        );
+    }
+
+    /// The mad-y lane relation stays acyclic on random mesh shapes.
+    #[test]
+    fn mady_cdg_acyclic(m in 2usize..9, n in 2usize..9) {
+        let mesh = Mesh::new_2d(m, n);
+        let table = VcTable::new(&mesh, &[1, 2]);
+        let cdg = vc_dependency_graph(&mesh, &table, |_, from, to| {
+            mady_may_follow(from.1, to.1)
+        });
+        prop_assert!(cdg.is_acyclic());
+    }
+
+    /// Mad-y walks are minimal.
+    #[test]
+    fn mady_walks_minimal(m in 3usize..8, a in 0usize..64, b in 0usize..64) {
+        let mesh = Mesh::new_2d(m, m);
+        let (a, b) = (a % (m * m), b % (m * m));
+        prop_assume!(a != b);
+        let mady = MadY::new();
+        let table = VcTable::new(&mesh, &mady.provisioning(&mesh));
+        let path = walk_vc(&mady, &mesh, &table, NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(path.len() - 1, mesh.distance(NodeId::new(a), NodeId::new(b)));
+    }
+
+    /// Dateline routing is minimal on random tori.
+    #[test]
+    fn dateline_walks_minimal(k in 3usize..8, a in 0usize..64, b in 0usize..64) {
+        let torus = Torus::new(k, 2);
+        let (a, b) = (a % torus.num_nodes(), b % torus.num_nodes());
+        prop_assume!(a != b);
+        let algo = DatelineDimensionOrder::new();
+        let table = VcTable::new(&torus, &algo.provisioning(&torus));
+        let path = walk_vc(&algo, &torus, &table, NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(path.len() - 1, torus.distance(NodeId::new(a), NodeId::new(b)));
+    }
+
+    /// The VC engine conserves flits and ownership under random loads.
+    #[test]
+    fn vc_engine_conserves_flits(seed in 0u64..500, load in 0.02f64..0.3) {
+        let mesh = Mesh::new_2d(4, 4);
+        let mady = MadY::new();
+        let config = SimConfig::paper()
+            .injection_rate(load)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(seed);
+        let mut sim = VcSimulation::new(&mesh, &mady, &Uniform, config);
+        for _ in 0..400 {
+            sim.step();
+        }
+        for p in sim.packets() {
+            let (a, b, c) = p.flit_counts();
+            prop_assert_eq!(a + b + c, p.length);
+            for &vc in p.worm() {
+                prop_assert_eq!(sim.vc_owner(vc), Some(p.id));
+            }
+        }
+    }
+
+    /// SingleClass in the VC engine delivers the same message count as
+    /// the plain engine for identical seeds and loads (one lane, same
+    /// semantics).
+    #[test]
+    fn single_class_engines_agree(seed in 0u64..200) {
+        let mesh = Mesh::new_2d(4, 4);
+        let config = SimConfig::paper()
+            .injection_rate(0.06)
+            .warmup_cycles(500)
+            .measure_cycles(3_000)
+            .seed(seed);
+        let plain_algo = WestFirst::minimal();
+        let plain = Simulation::new(&mesh, &plain_algo, &Uniform, config.clone()).run();
+        let vc_algo = SingleClass::new(WestFirst::minimal());
+        let vc = VcSimulation::new(&mesh, &vc_algo, &Uniform, config).run();
+        prop_assert_eq!(plain.total_generated, vc.total_generated);
+        prop_assert_eq!(plain.total_delivered, vc.total_delivered);
+        prop_assert_eq!(plain.metrics.latencies, vc.metrics.latencies);
+    }
+
+    /// Lane candidates never include an unprovisioned class.
+    #[test]
+    fn route_vc_respects_provisioning(
+        which in 0u8..3,
+        a in 0usize..36,
+        b in 0usize..36,
+    ) {
+        let mesh = Mesh::new_2d(6, 6);
+        let (a, b) = (a % 36, b % 36);
+        prop_assume!(a != b);
+        let algo: Box<dyn VcRoutingAlgorithm> = match which {
+            0 => Box::new(MadY::new()),
+            1 => Box::new(SingleClass::new(DimensionOrder::new())),
+            _ => Box::new(SingleClass::new(NegativeFirst::minimal())),
+        };
+        let table = VcTable::new(&mesh, &algo.provisioning(&mesh));
+        let vdirs = algo.route_vc(&mesh, &table, NodeId::new(a), NodeId::new(b), None);
+        for v in vdirs.iter() {
+            prop_assert!(table.vc_from(&mesh, NodeId::new(a), v).is_some(), "{v}");
+        }
+    }
+
+    /// Virtual-direction indices round trip for every dim/class combo.
+    #[test]
+    fn vdir_index_roundtrip(index in 0usize..128) {
+        let v = VirtualDirection::from_index(index);
+        prop_assert_eq!(v.index(), index);
+    }
+}
+
+/// Dateline routing never deadlocks on a saturated torus — the dynamic
+/// counterpart of its acyclic lane dependency graph.
+#[test]
+fn dateline_survives_saturating_stress() {
+    let torus = Torus::new(5, 2);
+    let algo = DatelineDimensionOrder::new();
+    let config = SimConfig::paper()
+        .injection_rate(0.8)
+        .warmup_cycles(0)
+        .measure_cycles(10_000)
+        .deadlock_threshold(1_500)
+        .seed(41);
+    let mut sim = VcSimulation::new(&torus, &algo, &Uniform, config);
+    for _ in 0..12_000 {
+        assert!(sim.step().is_none(), "dateline routing must not deadlock");
+    }
+    let delivered = sim
+        .packets()
+        .iter()
+        .filter(|p| p.delivered_at.is_some())
+        .count();
+    assert!(delivered > 100, "{delivered}");
+}
+
+/// The single-lane torus discipline (no dateline) deadlocks on the same
+/// load: the rings need the extra lane.
+#[test]
+fn single_lane_torus_dimension_order_deadlocks() {
+    let torus = Torus::new(5, 2);
+    let algo = SingleClass::new(DimensionOrder::new());
+    let config = SimConfig::paper()
+        .injection_rate(0.8)
+        .warmup_cycles(0)
+        .measure_cycles(60_000)
+        .deadlock_threshold(2_000)
+        .seed(41);
+    let mut sim = VcSimulation::new(&torus, &algo, &Uniform, config);
+    let mut deadlocked = false;
+    for _ in 0..60_000 {
+        if sim.step().is_some() {
+            deadlocked = true;
+            break;
+        }
+    }
+    assert!(deadlocked, "plain dimension order must deadlock on a torus");
+}

@@ -1,0 +1,86 @@
+//! Designing your own routing algorithm with the turn model.
+//!
+//! The six steps of Section 2, executed: pick turns to prohibit, check
+//! the abstract cycles, verify the channel dependency graph, and route.
+//!
+//! ```sh
+//! cargo run --example custom_turn_model
+//! ```
+
+use turnroute::core::{
+    walk, ChannelDependencyGraph, Turn, TurnSet, TurnSetRouting, TwoPhase,
+};
+use turnroute::topology::{DirSet, Direction, Mesh, Topology};
+
+fn main() {
+    let mesh = Mesh::new_2d(8, 8);
+
+    // Attempt 1: prohibit two turns naively — one per abstract cycle,
+    // but reversed copies of each other (Fig. 4's mistake).
+    let mut naive = TurnSet::fully_adaptive(2);
+    naive.prohibit(Turn::new(Direction::NORTH, Direction::EAST));
+    naive.prohibit(Turn::new(Direction::EAST, Direction::NORTH));
+    println!("attempt 1: {naive}");
+    println!("  breaks abstract cycles: {}", naive.breaks_all_abstract_cycles());
+    let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &naive);
+    match cdg.find_cycle() {
+        Some(cycle) => println!(
+            "  REJECTED: circular wait of {} channels is still possible",
+            cycle.len()
+        ),
+        None => println!("  accepted"),
+    }
+
+    // Attempt 2: "south-first", a rotation of west-first — a member of
+    // the same symmetry class, built as a two-phase split.
+    let phase1: DirSet = [Direction::SOUTH].into_iter().collect();
+    let south_first = TwoPhase::new("south-first", 2, phase1, true);
+    let turns = south_first.turn_set();
+    println!("\nattempt 2: {turns}");
+    println!("  breaks abstract cycles: {}", turns.breaks_all_abstract_cycles());
+    let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &turns);
+    println!("  deadlock free: {}", cdg.is_acyclic());
+
+    // The Dally-Seitz numbering, constructed rather than guessed:
+    let numbering = cdg.topological_numbering().expect("acyclic");
+    println!(
+        "  channel numbering exists: {} channels, every route strictly decreasing",
+        numbering.len()
+    );
+
+    // Route with it, both as the two-phase algorithm and as raw
+    // turn-set routing.
+    let src = mesh.node_at(&[1, 6].into());
+    let dst = mesh.node_at(&[6, 1].into());
+    let path = walk(&south_first, &mesh, src, dst);
+    println!(
+        "  south-first route {} -> {}: {} hops",
+        mesh.coord_of(src),
+        mesh.coord_of(dst),
+        path.len() - 1
+    );
+    // Raw turn-set routing lacks the algorithm's phase discipline at
+    // the source (it could strand a packet that greedily heads east
+    // when it still owes a south hop), so demonstrate it on a pair the
+    // turn set serves from any first hop.
+    let raw = TurnSetRouting::new(turns);
+    let (ne_src, ne_dst) = (mesh.node_at(&[1, 2].into()), mesh.node_at(&[6, 6].into()));
+    let path = walk(&raw, &mesh, ne_src, ne_dst);
+    println!(
+        "  raw turn-set route {} -> {}: {} hops",
+        mesh.coord_of(ne_src),
+        mesh.coord_of(ne_dst),
+        path.len() - 1
+    );
+
+    // Survey: how many two-direction phase-1 splits are deadlock free?
+    println!("\nsurvey of all two-phase splits of the 2D directions:");
+    for bits in 1u32..15 {
+        let phase1: DirSet = Direction::all(2)
+            .filter(|d| bits >> d.index() & 1 == 1)
+            .collect();
+        let algo = TwoPhase::new("candidate", 2, phase1, true);
+        let ok = ChannelDependencyGraph::from_turn_set(&mesh, &algo.turn_set()).is_acyclic();
+        println!("  phase1 = {:<18} deadlock free: {ok}", phase1.to_string());
+    }
+}

@@ -1,0 +1,97 @@
+//! Nonminimal routing around faults — the paper's motivation for
+//! keeping algorithms nonminimal (Sections 1 and 7).
+//!
+//! West-first's nonminimal variant may misroute east/north/south at any
+//! time; as long as a packet never needs a prohibited turn, it can steer
+//! around broken channels. This example knocks out a wall of channels
+//! and routes through the gap, choosing among the algorithm's permitted
+//! directions with a simple fault-aware selection.
+//!
+//! ```sh
+//! cargo run --example fault_tolerant_routing
+//! ```
+
+use std::collections::HashSet;
+use turnroute::core::{RoutingAlgorithm, WestFirst};
+use turnroute::topology::{ChannelId, Direction, Mesh, NodeId, Topology};
+
+/// Follows `algo`, skipping faulty channels; picks the first healthy
+/// permitted direction, preferring productive ones (the permitted set is
+/// already ordered lowest-dimension-first).
+fn walk_avoiding(
+    algo: &dyn RoutingAlgorithm,
+    mesh: &Mesh,
+    faulty: &HashSet<ChannelId>,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    let mut path = vec![src];
+    let mut current = src;
+    let mut arrived: Option<Direction> = None;
+    for _ in 0..4 * mesh.num_nodes() {
+        if current == dst {
+            return Some(path);
+        }
+        let permitted = algo.route(mesh, current, dst, arrived);
+        // Prefer productive healthy channels, then any healthy one.
+        let productive = mesh.minimal_directions(current, dst);
+        let healthy = |d: &Direction| {
+            mesh.channel_from(current, *d)
+                .is_some_and(|c| !faulty.contains(&c))
+        };
+        let choice = permitted
+            .intersection(productive)
+            .iter()
+            .find(healthy)
+            .or_else(|| permitted.iter().find(healthy))?;
+        current = mesh.neighbor(current, choice).expect("permitted => channel");
+        arrived = Some(choice);
+        path.push(current);
+    }
+    None
+}
+
+fn main() {
+    let mesh = Mesh::new_2d(8, 8);
+    let algo = WestFirst::nonminimal();
+    let src = mesh.node_at(&[1, 1].into());
+    let dst = mesh.node_at(&[6, 5].into());
+
+    // Break every eastward channel crossing x = 3.5 except the one at
+    // y = 7: a wall with a gap at the top.
+    let mut faulty = HashSet::new();
+    for y in 0..7u16 {
+        let from = mesh.node_at(&[3, y].into());
+        faulty.insert(mesh.channel_from(from, Direction::EAST).expect("interior"));
+    }
+    println!(
+        "faulty: {} eastward channels at x=3..4 (gap at y=7)",
+        faulty.len()
+    );
+
+    let healthy_path = walk_avoiding(&algo, &mesh, &HashSet::new(), src, dst)
+        .expect("no faults: must route");
+    println!(
+        "\nwithout faults: {} hops (minimal distance {})",
+        healthy_path.len() - 1,
+        mesh.distance(src, dst)
+    );
+
+    let path = walk_avoiding(&algo, &mesh, &faulty, src, dst)
+        .expect("nonminimal west-first routes through the gap");
+    let coords: Vec<String> = path.iter().map(|&n| mesh.coord_of(n).to_string()).collect();
+    println!(
+        "with the wall:  {} hops, via the gap at y=7:\n  {}",
+        path.len() - 1,
+        coords.join(" ")
+    );
+    assert!(path.len() - 1 > mesh.distance(src, dst), "detour is nonminimal");
+
+    // The minimal variant cannot help itself: every permitted direction
+    // crosses the wall.
+    let minimal = WestFirst::minimal();
+    match walk_avoiding(&minimal, &mesh, &faulty, src, dst) {
+        Some(_) => println!("\nminimal west-first also got through (unexpected here)"),
+        None => println!("\nminimal west-first is stuck: all its shortest paths cross the wall"),
+    }
+}

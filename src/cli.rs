@@ -1,0 +1,309 @@
+//! Command-line front end: parse topology, algorithm and pattern
+//! specifications into trait objects.
+//!
+//! Used by the `turnroute` binary; exposed as a library module so the
+//! parsing rules are unit-testable and reusable.
+
+use std::fmt;
+use turnroute_core::{
+    Abonf, Abopl, DimensionOrder, FirstHopWraparound, NegativeFirst, NegativeFirstTorus,
+    NorthLast, PCube, RoutingAlgorithm, WestFirst,
+};
+use turnroute_sim::patterns::{
+    BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose,
+    NearestNeighbor, ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
+};
+use turnroute_topology::{HexMesh, Hypercube, Mesh, NodeId, Topology, Torus};
+
+/// A parse failure, with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError(String);
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn err(msg: impl Into<String>) -> ParseSpecError {
+    ParseSpecError(msg.into())
+}
+
+/// The topology specifications the CLI accepts.
+pub const TOPOLOGY_SPECS: &str = "\
+  mesh:<k0>x<k1>[x<k2>...]   n-dimensional mesh, e.g. mesh:16x16
+  torus:<k>,<n>              k-ary n-cube, e.g. torus:8,2
+  hypercube:<n>              binary n-cube, e.g. hypercube:8
+  hex:<m>x<n>                hexagonal mesh, e.g. hex:8x8";
+
+/// Parses a topology specification like `mesh:16x16`, `torus:8,2`,
+/// `hypercube:8` or `hex:6x6`.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted forms on any mismatch.
+pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, ParseSpecError> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| err(format!("topology '{spec}' needs a ':<shape>' suffix")))?;
+    match kind {
+        "mesh" => {
+            let dims: Vec<usize> = rest
+                .split('x')
+                .map(|p| p.parse().map_err(|_| err(format!("bad mesh extent '{p}'"))))
+                .collect::<Result<_, _>>()?;
+            if dims.is_empty() || dims.iter().any(|&k| k < 2) {
+                return Err(err("mesh extents must all be at least 2"));
+            }
+            Ok(Box::new(Mesh::new(dims)))
+        }
+        "torus" => {
+            let (k, n) = rest
+                .split_once(',')
+                .ok_or_else(|| err("torus spec is torus:<k>,<n>"))?;
+            let k: usize = k.parse().map_err(|_| err(format!("bad radix '{k}'")))?;
+            let n: usize = n.parse().map_err(|_| err(format!("bad dimension '{n}'")))?;
+            if k < 3 {
+                return Err(err("torus radix must be at least 3 (use hypercube for k = 2)"));
+            }
+            Ok(Box::new(Torus::new(k, n)))
+        }
+        "hypercube" => {
+            let n: usize = rest.parse().map_err(|_| err(format!("bad dimension '{rest}'")))?;
+            if n == 0 || n > 16 {
+                return Err(err("hypercube dimension must be 1..=16"));
+            }
+            Ok(Box::new(Hypercube::new(n)))
+        }
+        "hex" => {
+            let (m, n) = rest
+                .split_once('x')
+                .ok_or_else(|| err("hex spec is hex:<m>x<n>"))?;
+            let m: usize = m.parse().map_err(|_| err(format!("bad extent '{m}'")))?;
+            let n: usize = n.parse().map_err(|_| err(format!("bad extent '{n}'")))?;
+            if m < 2 || n < 2 {
+                return Err(err("hex extents must be at least 2"));
+            }
+            Ok(Box::new(HexMesh::new(m, n)))
+        }
+        other => Err(err(format!("unknown topology kind '{other}'"))),
+    }
+}
+
+/// The algorithm names the CLI accepts.
+pub const ALGORITHM_NAMES: &str = "\
+  xy | dimension-order | e-cube   nonadaptive baseline
+  west-first[-nonminimal]         2D mesh (Section 3.1)
+  north-last[-nonminimal]         2D mesh (Section 3.2)
+  negative-first[-nonminimal]     any mesh/hypercube (Sections 3.3, 4.1)
+  abonf | abopl                   n-dimensional analogs (Section 4.1)
+  p-cube[-nonminimal]             hypercubes (Section 5)
+  negative-first-torus            k-ary n-cubes (Section 4.2)
+  first-hop-wrap                  k-ary n-cubes (Section 4.2)";
+
+/// Parses an algorithm name in the context of `topo` (dimension counts
+/// and torus-specific constructions depend on the topology).
+///
+/// # Errors
+///
+/// Returns a message listing the accepted names on any mismatch.
+pub fn parse_algorithm(
+    name: &str,
+    topo: &dyn Topology,
+) -> Result<Box<dyn RoutingAlgorithm>, ParseSpecError> {
+    let n = topo.num_dims();
+    let is_torus = (0..n).all(|d| topo.wraps(d));
+    Ok(match name {
+        "xy" | "dimension-order" | "e-cube" => Box::new(DimensionOrder::new()),
+        "west-first" => Box::new(WestFirst::with_dims(2, true)),
+        "west-first-nonminimal" => Box::new(WestFirst::with_dims(2, false)),
+        "north-last" => Box::new(NorthLast::with_dims(2, true)),
+        "north-last-nonminimal" => Box::new(NorthLast::with_dims(2, false)),
+        "negative-first" => Box::new(NegativeFirst::with_dims(n, true)),
+        "negative-first-nonminimal" => Box::new(NegativeFirst::with_dims(n, false)),
+        "abonf" => Box::new(Abonf::with_dims(n, true)),
+        "abopl" => Box::new(Abopl::with_dims(n, true)),
+        "p-cube" | "pcube" => Box::new(PCube::minimal()),
+        "p-cube-nonminimal" => Box::new(PCube::nonminimal()),
+        "negative-first-torus" if is_torus => {
+            let k = topo.radix(0);
+            Box::new(NegativeFirstTorus::new(&Torus::new(k, n)))
+        }
+        "first-hop-wrap" if is_torus => {
+            let k = topo.radix(0);
+            Box::new(FirstHopWraparound::new(
+                &Torus::new(k, n),
+                NegativeFirst::with_dims(n, true),
+            ))
+        }
+        "negative-first-torus" | "first-hop-wrap" => {
+            return Err(err(format!("'{name}' requires a torus topology")))
+        }
+        other => {
+            return Err(err(format!(
+                "unknown algorithm '{other}'; accepted names:\n{ALGORITHM_NAMES}"
+            )))
+        }
+    })
+}
+
+/// The pattern names the CLI accepts.
+pub const PATTERN_NAMES: &str = "\
+  uniform | transpose | diagonal-transpose | hypercube-transpose
+  reverse-flip | bit-complement | bit-reversal | shuffle | tornado
+  neighbor | hotspot:<node>,<percent>";
+
+/// Parses a traffic pattern name, e.g. `uniform` or `hotspot:120,10`.
+///
+/// # Errors
+///
+/// Returns a message listing the accepted names on any mismatch.
+pub fn parse_pattern(name: &str) -> Result<Box<dyn TrafficPattern>, ParseSpecError> {
+    if let Some(rest) = name.strip_prefix("hotspot:") {
+        let (node, pct) = rest
+            .split_once(',')
+            .ok_or_else(|| err("hotspot spec is hotspot:<node>,<percent>"))?;
+        let node: usize = node.parse().map_err(|_| err(format!("bad node '{node}'")))?;
+        let pct: f64 = pct.parse().map_err(|_| err(format!("bad percent '{pct}'")))?;
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(err("hotspot percent must be within 0..=100"));
+        }
+        return Ok(Box::new(Hotspot::new(NodeId::new(node), pct / 100.0)));
+    }
+    Ok(match name {
+        "uniform" => Box::new(Uniform),
+        "transpose" => Box::new(Transpose),
+        "diagonal-transpose" => Box::new(DiagonalTranspose),
+        "hypercube-transpose" => Box::new(HypercubeTranspose),
+        "reverse-flip" => Box::new(ReverseFlip),
+        "bit-complement" => Box::new(BitComplement),
+        "bit-reversal" => Box::new(BitReversal),
+        "shuffle" => Box::new(Shuffle),
+        "tornado" => Box::new(Tornado),
+        "neighbor" => Box::new(NearestNeighbor),
+        other => {
+            return Err(err(format!(
+                "unknown pattern '{other}'; accepted names:\n{PATTERN_NAMES}"
+            )))
+        }
+    })
+}
+
+/// Parses a node given either as a dense id (`137`) or a coordinate
+/// tuple (`9,4`).
+///
+/// # Errors
+///
+/// Returns a message on malformed or out-of-range input.
+pub fn parse_node(spec: &str, topo: &dyn Topology) -> Result<NodeId, ParseSpecError> {
+    if spec.contains(',') {
+        let parts: Vec<u16> = spec
+            .split(',')
+            .map(|p| p.parse().map_err(|_| err(format!("bad coordinate '{p}'"))))
+            .collect::<Result<_, _>>()?;
+        let coord = turnroute_topology::Coord::new(parts);
+        let expect = topo.coord_of(NodeId::new(0)).num_dims();
+        if coord.num_dims() != expect {
+            return Err(err(format!(
+                "expected {expect} coordinates for {}",
+                topo.label()
+            )));
+        }
+        for (dim, c) in coord.iter() {
+            let bound = if dim < topo.num_dims() { topo.radix(dim) } else { usize::MAX };
+            if (c as usize) >= bound {
+                return Err(err(format!("coordinate {c} out of range in dimension {dim}")));
+            }
+        }
+        Ok(topo.node_at(&coord))
+    } else {
+        let id: usize = spec.parse().map_err(|_| err(format!("bad node id '{spec}'")))?;
+        if id >= topo.num_nodes() {
+            return Err(err(format!(
+                "node {id} out of range (topology has {} nodes)",
+                topo.num_nodes()
+            )));
+        }
+        Ok(NodeId::new(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_parse() {
+        assert_eq!(parse_topology("mesh:16x16").unwrap().num_nodes(), 256);
+        assert_eq!(parse_topology("mesh:3x4x5").unwrap().num_nodes(), 60);
+        assert_eq!(parse_topology("torus:8,2").unwrap().num_nodes(), 64);
+        assert_eq!(parse_topology("hypercube:8").unwrap().num_nodes(), 256);
+        assert_eq!(parse_topology("hex:6x5").unwrap().num_nodes(), 30);
+    }
+
+    #[test]
+    fn bad_topologies_are_rejected_with_messages() {
+        for bad in ["mesh", "mesh:1x4", "torus:2,2", "hypercube:0", "hex:6", "ring:8"] {
+            match parse_topology(bad) {
+                Err(e) => assert!(!e.to_string().is_empty(), "{bad}"),
+                Ok(_) => panic!("'{bad}' should not parse"),
+            }
+        }
+    }
+
+    #[test]
+    fn algorithms_parse_in_context() {
+        let mesh = parse_topology("mesh:8x8").unwrap();
+        for name in [
+            "xy",
+            "west-first",
+            "north-last",
+            "negative-first",
+            "abonf",
+            "abopl",
+            "west-first-nonminimal",
+        ] {
+            assert!(parse_algorithm(name, mesh.as_ref()).is_ok(), "{name}");
+        }
+        let torus = parse_topology("torus:5,2").unwrap();
+        assert!(parse_algorithm("negative-first-torus", torus.as_ref()).is_ok());
+        assert!(parse_algorithm("first-hop-wrap", torus.as_ref()).is_ok());
+        // Torus-only algorithms rejected on meshes.
+        assert!(parse_algorithm("negative-first-torus", mesh.as_ref()).is_err());
+        assert!(parse_algorithm("frobnicate", mesh.as_ref()).is_err());
+    }
+
+    #[test]
+    fn patterns_parse() {
+        for name in [
+            "uniform",
+            "transpose",
+            "diagonal-transpose",
+            "reverse-flip",
+            "bit-complement",
+            "tornado",
+            "neighbor",
+        ] {
+            assert!(parse_pattern(name).is_ok(), "{name}");
+        }
+        assert!(parse_pattern("hotspot:12,10").is_ok());
+        assert!(parse_pattern("hotspot:12").is_err());
+        assert!(parse_pattern("hotspot:12,200").is_err());
+        assert!(parse_pattern("noise").is_err());
+    }
+
+    #[test]
+    fn nodes_parse_by_id_or_coordinates() {
+        let mesh = parse_topology("mesh:8x8").unwrap();
+        assert_eq!(parse_node("0", mesh.as_ref()).unwrap().index(), 0);
+        assert_eq!(parse_node("3,2", mesh.as_ref()).unwrap().index(), 19);
+        assert!(parse_node("64", mesh.as_ref()).is_err());
+        assert!(parse_node("9,2", mesh.as_ref()).is_err());
+        assert!(parse_node("1,2,3", mesh.as_ref()).is_err());
+        // Hex coordinates are axial pairs even though there are 3 axes.
+        let hex = parse_topology("hex:5x5").unwrap();
+        assert!(parse_node("2,3", hex.as_ref()).is_ok());
+    }
+}

@@ -1,0 +1,51 @@
+//! `turnroute` — the turn model for adaptive wormhole routing.
+//!
+//! A faithful, tested reproduction of Glass & Ni, *"The Turn Model for
+//! Adaptive Routing"* (ISCA 1992; reprinted with a retrospective in
+//! *25 Years of ISCA*, 1998), as a Rust workspace:
+//!
+//! * [`topology`] — n-dimensional meshes, k-ary n-cubes, hypercubes;
+//! * [`core`] — the turn model itself: turn algebra, turn sets, the
+//!   channel-dependency-graph deadlock check, the paper's channel
+//!   numberings, and all nine routing algorithms;
+//! * [`sim`] — a flit-level wormhole network simulator matching the
+//!   paper's Section 6 setup;
+//! * [`analysis`] — the paper's theorems and analytic tables, executable;
+//! * [`vc`] — virtual channels: the companion results of reference \[18\]
+//!   (fully adaptive mad-y for meshes, dateline routing for tori) and a
+//!   lane-aware simulator.
+//!
+//! This facade crate re-exports the individual crates under short module
+//! names and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use turnroute::core::{walk, ChannelDependencyGraph, TurnSet, WestFirst};
+//! use turnroute::topology::{Mesh, Topology};
+//!
+//! let mesh = Mesh::new_2d(8, 8);
+//! // Deadlock freedom, checked rather than assumed:
+//! let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+//! assert!(cdg.is_acyclic());
+//! // And a route under the algorithm:
+//! let path = walk(
+//!     &WestFirst::minimal(),
+//!     &mesh,
+//!     mesh.node_at(&[7, 0].into()),
+//!     mesh.node_at(&[0, 7].into()),
+//! );
+//! assert_eq!(path.len(), 15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use turnroute_analysis as analysis;
+pub use turnroute_core as core;
+pub use turnroute_sim as sim;
+pub use turnroute_topology as topology;
+pub use turnroute_vc as vc;

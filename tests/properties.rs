@@ -1,0 +1,198 @@
+//! Property-based tests over the whole stack: random topologies,
+//! endpoints, turn sets and loads.
+
+use proptest::prelude::*;
+use turnroute::core::{
+    count_paths, walk, Abonf, Abopl, ChannelDependencyGraph, DimensionOrder,
+    NegativeFirst, NorthLast, PCube, RoutingAlgorithm, TurnSet, TwoPhase, WestFirst,
+};
+use turnroute::core::adaptiveness::{
+    fully_adaptive_shortest_paths, negative_first_shortest_paths,
+};
+use turnroute::core::numbering::{
+    negative_first_numbering, verify_monotone, west_first_numbering, Monotonic,
+};
+use turnroute::sim::patterns::Uniform;
+use turnroute::sim::{SimConfig, Simulation};
+use turnroute::topology::{DirSet, Direction, Hypercube, Mesh, NodeId, Topology};
+
+fn algo_2d(which: u8, minimal: bool) -> Box<dyn RoutingAlgorithm> {
+    match which % 4 {
+        0 => Box::new(DimensionOrder::new()),
+        1 => Box::new(WestFirst::with_dims(2, minimal)),
+        2 => Box::new(NorthLast::with_dims(2, minimal)),
+        _ => Box::new(NegativeFirst::with_dims(2, minimal)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Minimal algorithms produce shortest walks between arbitrary pairs
+    /// in arbitrary mesh shapes.
+    #[test]
+    fn minimal_walks_are_shortest(
+        m in 2usize..9,
+        n in 2usize..9,
+        which in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let mesh = Mesh::new_2d(m, n);
+        let (a, b) = (a % (m * n), b % (m * n));
+        prop_assume!(a != b);
+        let algo = algo_2d(which, true);
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let path = walk(algo.as_ref(), &mesh, s, d);
+        prop_assert_eq!(path.len() - 1, mesh.distance(s, d));
+    }
+
+    /// Nonminimal two-phase walks still terminate at the destination.
+    #[test]
+    fn nonminimal_walks_terminate(
+        m in 2usize..7,
+        n in 2usize..7,
+        which in 1u8..4,
+        a in 0usize..49,
+        b in 0usize..49,
+    ) {
+        let mesh = Mesh::new_2d(m, n);
+        let (a, b) = (a % (m * n), b % (m * n));
+        prop_assume!(a != b);
+        let algo = algo_2d(which, false);
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let path = walk(algo.as_ref(), &mesh, s, d);
+        prop_assert_eq!(*path.last().unwrap(), d);
+    }
+
+    /// Theorem 2 numbering is monotone for every mesh shape, not just
+    /// the tested sizes.
+    #[test]
+    fn west_first_numbering_monotone(m in 2usize..11, n in 2usize..11) {
+        let mesh = Mesh::new_2d(m, n);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+        let numbers = west_first_numbering(&mesh);
+        prop_assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing), Ok(()));
+    }
+
+    /// Theorem 5 numbering is monotone for random n-dimensional shapes.
+    #[test]
+    fn negative_first_numbering_monotone(dims in proptest::collection::vec(2usize..5, 1..4)) {
+        let n = dims.len();
+        let mesh = Mesh::new(dims);
+        let cdg =
+            ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::negative_first(n));
+        let numbers = negative_first_numbering(&mesh);
+        prop_assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Increasing), Ok(()));
+    }
+
+    /// Every two-phase split of the 2D directions yields a deadlock-free
+    /// turn set: phase ordering is inherently acyclic.
+    #[test]
+    fn all_two_phase_splits_are_deadlock_free(bits in 0u32..16) {
+        let phase1: DirSet = Direction::all(2)
+            .filter(|d| bits >> d.index() & 1 == 1)
+            .collect();
+        // A degenerate split with every direction in one phase is fully
+        // adaptive (all turns allowed within the phase) and cyclic.
+        prop_assume!(!phase1.is_empty() && phase1.len() < 4);
+        let algo = TwoPhase::new("split", 2, phase1, true);
+        let mesh = Mesh::new_2d(4, 4);
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &algo.turn_set());
+        prop_assert!(cdg.is_acyclic());
+    }
+
+    /// The negative-first closed form equals the DP oracle on random
+    /// 3D boxes and pairs.
+    #[test]
+    fn negative_first_formula_matches_oracle_3d(
+        dims in proptest::collection::vec(2usize..5, 3..4),
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let mesh = Mesh::new(dims);
+        let (a, b) = (a % mesh.num_nodes(), b % mesh.num_nodes());
+        prop_assume!(a != b);
+        let nf = NegativeFirst::with_dims(3, true);
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(
+            count_paths(&nf, &mesh, s, d),
+            negative_first_shortest_paths(&mesh, s, d)
+        );
+    }
+
+    /// Partial adaptiveness never exceeds full adaptiveness.
+    #[test]
+    fn sp_at_most_sf(
+        m in 2usize..8,
+        n in 2usize..8,
+        which in 0u8..4,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        let mesh = Mesh::new_2d(m, n);
+        let (a, b) = (a % (m * n), b % (m * n));
+        prop_assume!(a != b);
+        let algo = algo_2d(which, true);
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let sp = count_paths(algo.as_ref(), &mesh, s, d);
+        prop_assert!(sp >= 1);
+        prop_assert!(sp <= fully_adaptive_shortest_paths(&mesh, s, d));
+    }
+
+    /// p-cube in random hypercubes: minimal, and offers at most the
+    /// fully adaptive choice count at each step.
+    #[test]
+    fn pcube_walks_random_cubes(n in 2usize..8, a in 0usize..256, b in 0usize..256) {
+        let cube = Hypercube::new(n);
+        let (a, b) = (a % cube.num_nodes(), b % cube.num_nodes());
+        prop_assume!(a != b);
+        let pcube = PCube::minimal();
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let path = walk(&pcube, &cube, s, d);
+        prop_assert_eq!(path.len() - 1, cube.distance(s, d));
+    }
+
+    /// Simulator flit conservation holds under random light loads and
+    /// seeds, for a random algorithm.
+    #[test]
+    fn simulator_conserves_flits(
+        seed in 0u64..1000,
+        which in 0u8..4,
+        load in 0.01f64..0.2,
+    ) {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = algo_2d(which, true);
+        let config = SimConfig::paper()
+            .injection_rate(load)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(seed);
+        let mut sim = Simulation::new(&mesh, algo.as_ref(), &Uniform, config);
+        for _ in 0..500 {
+            sim.step();
+        }
+        for p in sim.packets() {
+            prop_assert_eq!(
+                p.flits_at_source() + p.flits_in_network() + p.flits_consumed(),
+                p.length
+            );
+        }
+    }
+
+    /// n-dimensional analogs agree with the 2D originals on 2D meshes,
+    /// for random pairs.
+    #[test]
+    fn analogs_reduce_to_2d(m in 2usize..8, a in 0usize..64, b in 0usize..64) {
+        let mesh = Mesh::new_2d(m, m);
+        let (a, b) = (a % (m * m), b % (m * m));
+        prop_assume!(a != b);
+        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let wf = WestFirst::minimal();
+        let abonf = Abonf::with_dims(2, true);
+        prop_assert_eq!(wf.route(&mesh, s, d, None), abonf.route(&mesh, s, d, None));
+        let nl = NorthLast::minimal();
+        let abopl = Abopl::with_dims(2, true);
+        prop_assert_eq!(nl.route(&mesh, s, d, None), abopl.route(&mesh, s, d, None));
+    }
+}
