@@ -60,10 +60,16 @@ pub fn study_2d_mesh(mesh: &dyn Topology) -> Vec<AdaptivenessRow> {
     assert_eq!(mesh.num_dims(), 2);
     vec![
         adaptiveness_row(mesh, "west-first", |s, d| {
-            (west_first_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+            (
+                west_first_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
         }),
         adaptiveness_row(mesh, "north-last", |s, d| {
-            (north_last_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+            (
+                north_last_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
         }),
         adaptiveness_row(mesh, "negative-first", |s, d| {
             (
@@ -79,10 +85,16 @@ pub fn study_2d_mesh(mesh: &dyn Topology) -> Vec<AdaptivenessRow> {
 pub fn study_nd_mesh(mesh: &dyn Topology) -> Vec<AdaptivenessRow> {
     vec![
         adaptiveness_row(mesh, "abonf", |s, d| {
-            (abonf_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+            (
+                abonf_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
         }),
         adaptiveness_row(mesh, "abopl", |s, d| {
-            (abopl_shortest_paths(mesh, s, d), fully_adaptive_shortest_paths(mesh, s, d))
+            (
+                abopl_shortest_paths(mesh, s, d),
+                fully_adaptive_shortest_paths(mesh, s, d),
+            )
         }),
         adaptiveness_row(mesh, "negative-first", |s, d| {
             (
@@ -146,7 +158,10 @@ mod tests {
         // half of all pairs.
         let mesh = Mesh::new_2d(8, 8);
         let rows = study_2d_mesh(&mesh);
-        let nf = rows.iter().find(|r| r.algorithm == "negative-first").unwrap();
+        let nf = rows
+            .iter()
+            .find(|r| r.algorithm == "negative-first")
+            .unwrap();
         assert!(nf.single_path_fraction > 0.5);
         // West-first's single-path pairs are those strictly to the west
         // plus aligned pairs.

@@ -49,8 +49,7 @@ pub use path_length::{
 };
 pub use pcube_table::{pcube_choice_table, section5_example, PCubeTableRow};
 pub use theorems::{
-    classify_2d_prohibitions, classify_3d_prohibitions, cube_symmetries,
-    square_symmetries, symmetry_classes_of_valid_3d_choices,
-    symmetry_classes_of_valid_choices, theorem6_holds, turn_census,
-    ProhibitionChoice, TurnCensus,
+    classify_2d_prohibitions, classify_3d_prohibitions, cube_symmetries, square_symmetries,
+    symmetry_classes_of_valid_3d_choices, symmetry_classes_of_valid_choices, theorem6_holds,
+    turn_census, ProhibitionChoice, TurnCensus,
 };

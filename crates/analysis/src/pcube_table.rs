@@ -52,7 +52,10 @@ pub fn pcube_choice_table(
             .neighbor(current, taken_dir)
             .expect("hypercube neighbors always exist along permitted directions");
     }
-    assert_eq!(current, dst, "the replayed path must end at the destination");
+    assert_eq!(
+        current, dst,
+        "the replayed path must end at the destination"
+    );
     rows
 }
 

@@ -67,10 +67,13 @@ pub fn classify_2d_prohibitions() -> Vec<ProhibitionChoice> {
     TurnSet::one_turn_per_cycle_prohibitions(2)
         .into_iter()
         .map(|turns| {
-            let deadlock_free =
-                ChannelDependencyGraph::from_turn_set(&mesh, &turns).is_acyclic();
+            let deadlock_free = ChannelDependencyGraph::from_turn_set(&mesh, &turns).is_acyclic();
             let prohibited = turns.prohibited_ninety().collect();
-            ProhibitionChoice { turns, prohibited, deadlock_free }
+            ProhibitionChoice {
+                turns,
+                prohibited,
+                deadlock_free,
+            }
         })
         .collect()
 }
@@ -131,9 +134,9 @@ pub fn symmetry_classes_of_valid_choices() -> Vec<Vec<TurnSet>> {
     let symmetries = square_symmetries();
     let mut classes: Vec<Vec<TurnSet>> = Vec::new();
     for set in valid {
-        let known = classes.iter_mut().find(|class| {
-            symmetries.iter().any(|&s| class[0].relabel(s) == set)
-        });
+        let known = classes
+            .iter_mut()
+            .find(|class| symmetries.iter().any(|&s| class[0].relabel(s) == set));
         match known {
             Some(class) => class.push(set),
             None => classes.push(vec![set]),
@@ -169,8 +172,14 @@ pub fn classify_3d_prohibitions() -> (usize, usize) {
 /// The 48 symmetries of the cube (axis permutations with sign flips) as
 /// direction relabelings.
 pub fn cube_symmetries() -> Vec<impl Fn(Direction) -> Direction + Copy> {
-    const PERMS: [[usize; 3]; 6] =
-        [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    const PERMS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
     #[derive(Clone, Copy)]
     struct Symmetry {
         perm: [usize; 3],
@@ -279,11 +288,9 @@ mod tests {
             let (a, b) = (c.prohibited[0], c.prohibited[1]);
             let reversed = a.from_dir() == b.to_dir() && a.to_dir() == b.from_dir();
             assert_eq!(
-                !c.deadlock_free,
-                reversed,
+                !c.deadlock_free, reversed,
                 "prohibited {:?} deadlock_free={}",
-                c.prohibited,
-                c.deadlock_free
+                c.prohibited, c.deadlock_free
             );
         }
     }
@@ -311,7 +318,9 @@ mod tests {
         };
         let class_of = |set: &TurnSet| {
             classes.iter().position(|class| {
-                symmetries.iter().any(|&s| key(&class[0].relabel(s)) == key(set))
+                symmetries
+                    .iter()
+                    .any(|&s| key(&class[0].relabel(s)) == key(set))
             })
         };
         let mut found: Vec<usize> = named.iter().map(|s| class_of(s).unwrap()).collect();
@@ -326,8 +335,7 @@ mod tests {
         assert_eq!(syms.len(), 8);
         // Each symmetry permutes the four directions.
         for s in &syms {
-            let mut images: Vec<Direction> =
-                Direction::all(2).map(s).collect();
+            let mut images: Vec<Direction> = Direction::all(2).map(s).collect();
             images.sort();
             images.dedup();
             assert_eq!(images.len(), 4);
@@ -362,7 +370,11 @@ mod tests {
     #[test]
     fn named_3d_sets_are_among_the_valid_choices() {
         let mesh = Mesh::new(vec![3, 3, 3]);
-        for set in [TurnSet::negative_first(3), TurnSet::abonf(3), TurnSet::abopl(3)] {
+        for set in [
+            TurnSet::negative_first(3),
+            TurnSet::abonf(3),
+            TurnSet::abopl(3),
+        ] {
             assert!(ChannelDependencyGraph::from_turn_set(&mesh, &set).is_acyclic());
         }
         // Negative-first is invariant under every axis permutation.

@@ -1,54 +1,51 @@
 //! Benchmarks of path counting: the closed forms against the exhaustive
 //! dynamic-programming oracle.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use turnroute_bench::timing::Harness;
 use turnroute_core::adaptiveness::{
     fully_adaptive_shortest_paths, pcube_shortest_paths, west_first_shortest_paths,
 };
 use turnroute_core::{count_paths, PCube, WestFirst};
 use turnroute_topology::{Hypercube, Mesh, NodeId, Topology};
 
-fn formulas(c: &mut Criterion) {
+fn formulas(h: &mut Harness) {
     let mesh = Mesh::new_2d(16, 16);
     let s = mesh.node_at(&[0, 0].into());
     let d = mesh.node_at(&[15, 15].into());
-    c.bench_function("formula-west-first-16x16-corner", |b| {
-        b.iter(|| black_box(west_first_shortest_paths(&mesh, s, d)))
+    h.bench("formula-west-first-16x16-corner", || {
+        black_box(west_first_shortest_paths(&mesh, s, d))
     });
-    c.bench_function("formula-fully-adaptive-16x16-corner", |b| {
-        b.iter(|| black_box(fully_adaptive_shortest_paths(&mesh, s, d)))
+    h.bench("formula-fully-adaptive-16x16-corner", || {
+        black_box(fully_adaptive_shortest_paths(&mesh, s, d))
     });
-    c.bench_function("formula-pcube-10-cube", |b| {
-        b.iter(|| black_box(pcube_shortest_paths(0b1011010100, 0b0010111001)))
+    h.bench("formula-pcube-10-cube", || {
+        black_box(pcube_shortest_paths(0b1011010100, 0b0010111001))
     });
 }
 
-fn oracle(c: &mut Criterion) {
+fn oracle(h: &mut Harness) {
     let mesh = Mesh::new_2d(8, 8);
     let wf = WestFirst::minimal();
     let s = mesh.node_at(&[0, 0].into());
     let d = mesh.node_at(&[7, 7].into());
-    c.bench_function("dp-count-west-first-8x8-corner", |b| {
-        b.iter(|| black_box(count_paths(&wf, &mesh, s, d)))
+    h.bench("dp-count-west-first-8x8-corner", || {
+        black_box(count_paths(&wf, &mesh, s, d))
     });
     let cube = Hypercube::new(8);
     let pcube = PCube::minimal();
-    c.bench_function("dp-count-pcube-8cube", |b| {
-        b.iter(|| {
-            black_box(count_paths(
-                &pcube,
-                &cube,
-                NodeId::new(0b1011_0101),
-                NodeId::new(0b0100_1010),
-            ))
-        })
+    h.bench("dp-count-pcube-8cube", || {
+        black_box(count_paths(
+            &pcube,
+            &cube,
+            NodeId::new(0b1011_0101),
+            NodeId::new(0b0100_1010),
+        ))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = formulas, oracle
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    formulas(&mut h);
+    oracle(&mut h);
 }
-criterion_main!(benches);

@@ -2,20 +2,17 @@
 //! Section 7 concern that adaptive route selection "may increase node
 //! delay".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use turnroute_core::{
-    DimensionOrder, NegativeFirst, PCube, RoutingAlgorithm, WestFirst,
-};
+use turnroute_bench::timing::Harness;
+use turnroute_core::{DimensionOrder, NegativeFirst, PCube, RoutingAlgorithm, WestFirst};
 use turnroute_topology::{Hypercube, Mesh, NodeId};
 
-fn mesh_decisions(c: &mut Criterion) {
+fn mesh_decisions(h: &mut Harness) {
     let mesh = Mesh::new_2d(16, 16);
     let pairs: Vec<(NodeId, NodeId)> = (0..64)
         .map(|i| (NodeId::new(i * 3 % 256), NodeId::new((i * 7 + 13) % 256)))
         .filter(|(s, d)| s != d)
         .collect();
-    let mut group = c.benchmark_group("route-2d-mesh");
     let algos: Vec<(&str, Box<dyn RoutingAlgorithm>)> = vec![
         ("xy", Box::new(DimensionOrder::new())),
         ("west-first", Box::new(WestFirst::minimal())),
@@ -23,48 +20,40 @@ fn mesh_decisions(c: &mut Criterion) {
         ("west-first-nonminimal", Box::new(WestFirst::nonminimal())),
     ];
     for (name, algo) in &algos {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for &(s, d) in &pairs {
-                    acc += algo.route(&mesh, s, d, None).len();
-                }
-                black_box(acc)
-            })
+        h.bench(&format!("route-2d-mesh/{name}"), || {
+            let mut acc = 0usize;
+            for &(s, d) in &pairs {
+                acc += algo.route(&mesh, s, d, None).len();
+            }
+            black_box(acc)
         });
     }
-    group.finish();
 }
 
-fn hypercube_decisions(c: &mut Criterion) {
+fn hypercube_decisions(h: &mut Harness) {
     let cube = Hypercube::new(8);
     let pairs: Vec<(NodeId, NodeId)> = (0..64)
         .map(|i| (NodeId::new(i * 5 % 256), NodeId::new((i * 11 + 7) % 256)))
         .filter(|(s, d)| s != d)
         .collect();
-    let mut group = c.benchmark_group("route-8-cube");
     let algos: Vec<(&str, Box<dyn RoutingAlgorithm>)> = vec![
         ("e-cube", Box::new(DimensionOrder::new())),
         ("p-cube", Box::new(PCube::minimal())),
         ("p-cube-nonminimal", Box::new(PCube::nonminimal())),
     ];
     for (name, algo) in &algos {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for &(s, d) in &pairs {
-                    acc += algo.route(&cube, s, d, None).len();
-                }
-                black_box(acc)
-            })
+        h.bench(&format!("route-8-cube/{name}"), || {
+            let mut acc = 0usize;
+            for &(s, d) in &pairs {
+                acc += algo.route(&cube, s, d, None).len();
+            }
+            black_box(acc)
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = mesh_decisions, hypercube_decisions
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    mesh_decisions(&mut h);
+    hypercube_decisions(&mut h);
 }
-criterion_main!(benches);

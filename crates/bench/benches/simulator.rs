@@ -1,92 +1,85 @@
 //! Benchmarks of the wormhole engine itself: simulated cycles per
 //! second on the paper's two topologies at moderate load.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use turnroute_bench::timing::Harness;
 use turnroute_core::{NegativeFirst, PCube};
 use turnroute_sim::{patterns, SimConfig, Simulation};
 use turnroute_topology::{HexMesh, Hypercube, Mesh};
 use turnroute_vc::{MadY, VcSimulation};
 
-fn mesh_engine(c: &mut Criterion) {
+fn mesh_engine(h: &mut Harness) {
     let mesh = Mesh::new_2d(16, 16);
     let algo = NegativeFirst::minimal();
-    c.bench_function("sim-2000-cycles-16x16-mesh-transpose", |b| {
-        b.iter(|| {
-            let config = SimConfig::paper()
-                .injection_rate(0.06)
-                .warmup_cycles(0)
-                .measure_cycles(0)
-                .seed(42);
-            let mut sim = Simulation::new(&mesh, &algo, &patterns::Transpose, config);
-            for _ in 0..2_000 {
-                sim.step();
-            }
-            black_box(sim.cycle())
-        })
+    h.bench("sim-2000-cycles-16x16-mesh-transpose", || {
+        let config = SimConfig::paper()
+            .injection_rate(0.06)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(42);
+        let mut sim = Simulation::new(&mesh, &algo, &patterns::Transpose, config);
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        black_box(sim.cycle())
     });
 }
 
-fn cube_engine(c: &mut Criterion) {
+fn cube_engine(h: &mut Harness) {
     let cube = Hypercube::new(8);
     let algo = PCube::minimal();
-    c.bench_function("sim-2000-cycles-8cube-reverse-flip", |b| {
-        b.iter(|| {
-            let config = SimConfig::paper()
-                .injection_rate(0.1)
-                .warmup_cycles(0)
-                .measure_cycles(0)
-                .seed(42);
-            let mut sim = Simulation::new(&cube, &algo, &patterns::ReverseFlip, config);
-            for _ in 0..2_000 {
-                sim.step();
-            }
-            black_box(sim.cycle())
-        })
+    h.bench("sim-2000-cycles-8cube-reverse-flip", || {
+        let config = SimConfig::paper()
+            .injection_rate(0.1)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(42);
+        let mut sim = Simulation::new(&cube, &algo, &patterns::ReverseFlip, config);
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        black_box(sim.cycle())
     });
 }
 
-fn vc_engine(c: &mut Criterion) {
+fn vc_engine(h: &mut Harness) {
     let mesh = Mesh::new_2d(16, 16);
     let mady = MadY::new();
-    c.bench_function("vcsim-2000-cycles-16x16-mady-transpose", |b| {
-        b.iter(|| {
-            let config = SimConfig::paper()
-                .injection_rate(0.06)
-                .warmup_cycles(0)
-                .measure_cycles(0)
-                .seed(42);
-            let mut sim = VcSimulation::new(&mesh, &mady, &patterns::Transpose, config);
-            for _ in 0..2_000 {
-                sim.step();
-            }
-            black_box(sim.cycle())
-        })
+    h.bench("vcsim-2000-cycles-16x16-mady-transpose", || {
+        let config = SimConfig::paper()
+            .injection_rate(0.06)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(42);
+        let mut sim = VcSimulation::new(&mesh, &mady, &patterns::Transpose, config);
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        black_box(sim.cycle())
     });
 }
 
-fn hex_engine(c: &mut Criterion) {
+fn hex_engine(h: &mut Harness) {
     let hex = HexMesh::new(16, 16);
     let algo = NegativeFirst::with_dims(3, true);
-    c.bench_function("sim-2000-cycles-16x16-hex-uniform", |b| {
-        b.iter(|| {
-            let config = SimConfig::paper()
-                .injection_rate(0.08)
-                .warmup_cycles(0)
-                .measure_cycles(0)
-                .seed(42);
-            let mut sim = Simulation::new(&hex, &algo, &patterns::Uniform, config);
-            for _ in 0..2_000 {
-                sim.step();
-            }
-            black_box(sim.cycle())
-        })
+    h.bench("sim-2000-cycles-16x16-hex-uniform", || {
+        let config = SimConfig::paper()
+            .injection_rate(0.08)
+            .warmup_cycles(0)
+            .measure_cycles(0)
+            .seed(42);
+        let mut sim = Simulation::new(&hex, &algo, &patterns::Uniform, config);
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        black_box(sim.cycle())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = mesh_engine, cube_engine, vc_engine, hex_engine
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    mesh_engine(&mut h);
+    cube_engine(&mut h);
+    vc_engine(&mut h);
+    hex_engine(&mut h);
 }
-criterion_main!(benches);

@@ -1,58 +1,48 @@
 //! Benchmarks of the deadlock-freedom machinery: CDG construction and
 //! acyclicity checking, and the full 16-choice Section 3 classification.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use turnroute_bench::timing::Harness;
 use turnroute_core::{ChannelDependencyGraph, TurnSet};
 use turnroute_topology::{Hypercube, Mesh};
 
-fn cdg_mesh(c: &mut Criterion) {
+fn cdg_mesh(h: &mut Harness) {
     let mesh16 = Mesh::new_2d(16, 16);
     let wf = TurnSet::west_first();
-    c.bench_function("cdg-build-check-16x16-west-first", |b| {
-        b.iter(|| {
-            let cdg = ChannelDependencyGraph::from_turn_set(&mesh16, &wf);
-            black_box(cdg.is_acyclic())
-        })
+    h.bench("cdg-build-check-16x16-west-first", || {
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh16, &wf);
+        black_box(cdg.is_acyclic())
     });
     let free = TurnSet::fully_adaptive(2);
-    c.bench_function("cdg-find-cycle-16x16-fully-adaptive", |b| {
-        b.iter(|| {
-            let cdg = ChannelDependencyGraph::from_turn_set(&mesh16, &free);
-            black_box(cdg.find_cycle().is_some())
-        })
+    h.bench("cdg-find-cycle-16x16-fully-adaptive", || {
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh16, &free);
+        black_box(cdg.find_cycle().is_some())
     });
 }
 
-fn cdg_hypercube(c: &mut Criterion) {
+fn cdg_hypercube(h: &mut Harness) {
     let cube = Hypercube::new(8);
     let nf = TurnSet::negative_first(8);
-    c.bench_function("cdg-build-check-8cube-negative-first", |b| {
-        b.iter(|| {
-            let cdg = ChannelDependencyGraph::from_turn_set(&cube, &nf);
-            black_box(cdg.is_acyclic())
-        })
+    h.bench("cdg-build-check-8cube-negative-first", || {
+        let cdg = ChannelDependencyGraph::from_turn_set(&cube, &nf);
+        black_box(cdg.is_acyclic())
     });
 }
 
-fn classify_16_choices(c: &mut Criterion) {
+fn classify_16_choices(h: &mut Harness) {
     let mesh = Mesh::new_2d(4, 4);
-    c.bench_function("classify-16-prohibition-choices", |b| {
-        b.iter(|| {
-            let ok = TurnSet::one_turn_per_cycle_prohibitions(2)
-                .iter()
-                .filter(|set| {
-                    ChannelDependencyGraph::from_turn_set(&mesh, set).is_acyclic()
-                })
-                .count();
-            black_box(ok)
-        })
+    h.bench("classify-16-prohibition-choices", || {
+        let ok = TurnSet::one_turn_per_cycle_prohibitions(2)
+            .iter()
+            .filter(|set| ChannelDependencyGraph::from_turn_set(&mesh, set).is_acyclic())
+            .count();
+        black_box(ok)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = cdg_mesh, cdg_hypercube, classify_16_choices
+fn main() {
+    let mut h = Harness::new().sample_size(20);
+    cdg_mesh(&mut h);
+    cdg_hypercube(&mut h);
+    classify_16_choices(&mut h);
 }
-criterion_main!(benches);

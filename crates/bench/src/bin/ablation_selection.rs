@@ -2,20 +2,25 @@
 //! how input arbitration (FCFS / fixed priority / random) and output
 //! channel choice (lowest dimension / highest / straight-first / random)
 //! affect west-first's latency and throughput on transpose traffic.
+//!
+//! Selection policies live in [`SimConfig`], not the algorithm, so this
+//! grid is one [`SeriesJob`] per (input, output) pair — all fanned out
+//! through the same deterministic executor as the figures, with the
+//! policy pair as the series label.
 
-use turnroute_bench::Scale;
+use turnroute_bench::RunArgs;
 use turnroute_core::WestFirst;
 use turnroute_sim::patterns::Transpose;
-use turnroute_sim::{sweep, InputSelection, OutputSelection, SimConfig};
-use turnroute_topology::Mesh;
+use turnroute_sim::report::write_csv;
+use turnroute_sim::{Executor, InputSelection, OutputSelection, SeriesJob, SimConfig, SweepSeries};
+use turnroute_topology::{Mesh, Topology};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = RunArgs::from_args();
     let mesh = Mesh::new_2d(16, 16);
     let algo = WestFirst::minimal();
     let loads = [0.02, 0.05, 0.08, 0.12, 0.16];
 
-    println!("input_selection,output_selection,offered_load,throughput,avg_latency_usec,sustainable");
     let inputs = [
         ("fcfs", InputSelection::FirstComeFirstServed),
         ("fixed", InputSelection::FixedPriority),
@@ -27,29 +32,42 @@ fn main() {
         ("straight-first", OutputSelection::StraightFirst),
         ("random", OutputSelection::Random),
     ];
-    for (in_name, input) in inputs {
-        for (out_name, output) in outputs {
-            let config: SimConfig = scale
-                .config()
-                .input_selection(input)
-                .output_selection(output);
-            let series = sweep(&mesh, &algo, &Transpose, &config, &loads);
-            for p in &series.points {
-                println!(
-                    "{},{},{:.3},{:.2},{},{}",
-                    in_name,
-                    out_name,
-                    p.offered_load,
-                    p.throughput,
-                    p.avg_latency_usec
-                        .map_or(String::new(), |v| format!("{v:.2}")),
-                    p.sustainable
-                );
-            }
-            eprintln!(
-                "#  {in_name:>6} / {out_name:<14} max sustainable {:>7.1} flits/usec",
-                series.max_sustainable_throughput()
-            );
-        }
+
+    let combos: Vec<(String, SimConfig)> = inputs
+        .iter()
+        .flat_map(|&(in_name, input)| {
+            outputs.iter().map(move |&(out_name, output)| {
+                let config: SimConfig = args
+                    .scale
+                    .config()
+                    .input_selection(input)
+                    .output_selection(output);
+                (format!("{in_name}/{out_name}"), config)
+            })
+        })
+        .collect();
+
+    eprintln!(
+        "# selection-policy ablation, west-first/transpose on {} ({:?} scale, {} thread(s))",
+        mesh.label(),
+        args.scale,
+        args.threads
+    );
+    let jobs: Vec<SeriesJob<'_>> = combos
+        .iter()
+        .map(|(_, config)| SeriesJob::simulation(&mesh, &algo, &Transpose, config, &loads))
+        .collect();
+    let mut series: Vec<SweepSeries> = Executor::new(args.threads).run(jobs);
+    for (s, (label, _)) in series.iter_mut().zip(&combos) {
+        s.algorithm = label.clone();
+    }
+    let mut out = std::io::stdout().lock();
+    write_csv(&series, &mut out).expect("writing CSV to stdout");
+    for s in &series {
+        eprintln!(
+            "#  {:<22} max sustainable {:>7.1} flits/usec",
+            s.algorithm,
+            s.max_sustainable_throughput()
+        );
     }
 }

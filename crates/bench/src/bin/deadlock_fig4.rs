@@ -3,8 +3,8 @@
 //! and the simulator's watchdog extracts the circular wait. The same
 //! load routed by west-first never deadlocks.
 
-use rand::Rng;
 use turnroute_core::{RoutingAlgorithm, TurnSet, TurnSetRouting, WestFirst};
+use turnroute_rng::Rng;
 use turnroute_sim::patterns::{TrafficPattern, Uniform};
 use turnroute_sim::{LengthDistribution, RunOutcome, SimConfig, Simulation};
 use turnroute_topology::{Mesh, NodeId, Topology};
@@ -25,7 +25,7 @@ impl TrafficPattern for NonNortheast {
         &self,
         topo: &dyn Topology,
         src: NodeId,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn turnroute_rng::RngCore,
     ) -> Option<NodeId> {
         let s = topo.coord_of(src);
         loop {
@@ -70,10 +70,17 @@ fn stress(algo: &dyn RoutingAlgorithm, pattern: &dyn TrafficPattern, label: &str
 
 fn main() {
     let mesh = Mesh::new_2d(8, 8);
-    println!("Stress test on a {}: 0.9 flits/cycle/node, 64-flit worms\n", mesh.label());
+    println!(
+        "Stress test on a {}: 0.9 flits/cycle/node, 64-flit worms\n",
+        mesh.label()
+    );
 
     let unrestricted = TurnSetRouting::new(TurnSet::fully_adaptive(2));
-    stress(&unrestricted, &Uniform, "fully adaptive, no extra channels (Fig. 1)");
+    stress(
+        &unrestricted,
+        &Uniform,
+        "fully adaptive, no extra channels (Fig. 1)",
+    );
 
     let bad = TurnSetRouting::new(TurnSet::deadlocky_six_turns());
     println!(

@@ -6,30 +6,17 @@
 //! with lower latency, because dimension-order routing happens to spread
 //! uniform traffic evenly.
 
-use turnroute_bench::{run_figure, Scale, MESH_LOADS};
-use turnroute_core::{DimensionOrder, NegativeFirst, NorthLast, RoutingAlgorithm, WestFirst};
-use turnroute_sim::patterns::Uniform;
-use turnroute_topology::Mesh;
+use turnroute::experiment::ExperimentSpec;
+use turnroute_bench::{run_spec, RunArgs, MESH_LOADS};
 
 fn main() {
-    let scale = Scale::from_args();
-    let mesh = Mesh::new_2d(16, 16);
-    let xy = DimensionOrder::new();
-    let wf = WestFirst::minimal();
-    let nl = NorthLast::minimal();
-    let nf = NegativeFirst::minimal();
-    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
-        ("xy", &xy),
-        ("west-first", &wf),
-        ("north-last", &nl),
-        ("negative-first", &nf),
-    ];
-    run_figure(
-        "Figure 13: uniform traffic",
-        &mesh,
-        &algorithms,
-        &Uniform,
-        MESH_LOADS,
-        scale,
-    );
+    let args = RunArgs::from_args();
+    let spec = ExperimentSpec::new("mesh:16x16", "uniform")
+        .algorithm_as("xy", "xy")
+        .algorithm("west-first")
+        .algorithm("north-last")
+        .algorithm("negative-first")
+        .loads(MESH_LOADS)
+        .config(args.scale.config());
+    run_spec("Figure 13: uniform traffic", &spec, args);
 }

@@ -6,30 +6,17 @@
 //! paper, and overall the highest sustainable throughput of the
 //! hypercube experiments.
 
-use turnroute_bench::{run_figure, Scale, CUBE_LOADS};
-use turnroute_core::{Abonf, Abopl, DimensionOrder, PCube, RoutingAlgorithm};
-use turnroute_sim::patterns::ReverseFlip;
-use turnroute_topology::Hypercube;
+use turnroute::experiment::ExperimentSpec;
+use turnroute_bench::{run_spec, RunArgs, CUBE_LOADS};
 
 fn main() {
-    let scale = Scale::from_args();
-    let cube = Hypercube::new(8);
-    let ecube = DimensionOrder::new();
-    let abonf = Abonf::with_dims(8, true);
-    let abopl = Abopl::with_dims(8, true);
-    let pcube = PCube::minimal();
-    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
-        ("e-cube", &ecube),
-        ("abonf", &abonf),
-        ("abopl", &abopl),
-        ("negative-first", &pcube),
-    ];
-    run_figure(
-        "Figure 16: reverse-flip traffic",
-        &cube,
-        &algorithms,
-        &ReverseFlip,
-        CUBE_LOADS,
-        scale,
-    );
+    let args = RunArgs::from_args();
+    let spec = ExperimentSpec::new("hypercube:8", "reverse-flip")
+        .algorithm_as("e-cube", "e-cube")
+        .algorithm("abonf")
+        .algorithm("abopl")
+        .algorithm_as("negative-first", "p-cube")
+        .loads(CUBE_LOADS)
+        .config(args.scale.config());
+    run_spec("Figure 16: reverse-flip traffic", &spec, args);
 }

@@ -2,32 +2,19 @@
 //! messages target one node, the rest are uniform. Adaptive algorithms
 //! route around the congested region.
 
-use turnroute_bench::{run_figure, Scale};
-use turnroute_core::{DimensionOrder, NegativeFirst, RoutingAlgorithm, WestFirst};
-use turnroute_sim::patterns::Hotspot;
-use turnroute_topology::{Mesh, Topology};
+use turnroute::experiment::ExperimentSpec;
+use turnroute_bench::{run_spec, RunArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let mesh = Mesh::new_2d(16, 16);
-    let hotspot = Hotspot::new(mesh.node_at(&[8, 8].into()), 0.10);
-    let xy = DimensionOrder::new();
-    let wf = WestFirst::minimal();
-    let nf = NegativeFirst::minimal();
-    let algorithms: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
-        ("xy", &xy),
-        ("west-first", &wf),
-        ("negative-first", &nf),
-    ];
-    // The hot node's ejection channel caps total throughput early;
-    // sweep low loads where the interesting differences live.
-    let loads = [0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.06];
-    run_figure(
-        "Hot-spot traffic (10% to the center)",
-        &mesh,
-        &algorithms,
-        &hotspot,
-        &loads,
-        scale,
-    );
+    let args = RunArgs::from_args();
+    // Node 136 is the center (8, 8) of the 16x16 mesh. The hot node's
+    // ejection channel caps total throughput early; sweep low loads
+    // where the interesting differences live.
+    let spec = ExperimentSpec::new("mesh:16x16", "hotspot:136,10")
+        .algorithm_as("xy", "xy")
+        .algorithm("west-first")
+        .algorithm("negative-first")
+        .loads(&[0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.06])
+        .config(args.scale.config());
+    run_spec("Hot-spot traffic (10% to the center)", &spec, args);
 }

@@ -2,43 +2,27 @@
 //! y lane) against the best channel-free algorithms, on the paper's
 //! 16x16-mesh workloads, all in the virtual-channel engine for an
 //! apples-to-apples comparison.
+//!
+//! The diagonal transpose is mad-y's showcase: every pair is mixed-sign,
+//! so all the channel-free algorithms collapse to a single path while
+//! mad-y stays fully adaptive.
 
-use turnroute_bench::{Scale, MESH_LOADS};
-use turnroute_core::{DimensionOrder, NegativeFirst};
-use turnroute_sim::patterns::{DiagonalTranspose, TrafficPattern, Transpose, Uniform};
-use turnroute_vc::{sweep_vc, MadY, SingleClass, VcRoutingAlgorithm};
-use turnroute_topology::{Mesh, Topology};
+use turnroute::experiment::{Engine, ExperimentSpec};
+use turnroute_bench::{run_specs, RunArgs, MESH_LOADS};
 
 fn main() {
-    let scale = Scale::from_args();
-    let mesh = Mesh::new_2d(16, 16);
-    let config = scale.config();
-
-    let xy = SingleClass::new(DimensionOrder::new());
-    let nf = SingleClass::new(NegativeFirst::minimal());
-    let mady = MadY::new();
-    let algos: Vec<(&str, &dyn VcRoutingAlgorithm)> = vec![
-        ("xy", &xy),
-        ("negative-first", &nf),
-        ("mad-y", &mady),
-    ];
-    // The diagonal transpose is mad-y's showcase: every pair is
-    // mixed-sign, so all the channel-free algorithms collapse to a
-    // single path while mad-y stays fully adaptive.
-    let patterns: Vec<&dyn TrafficPattern> = vec![&Uniform, &Transpose, &DiagonalTranspose];
-
-    println!("algorithm,pattern,offered_load,throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,sustainable");
-    for pattern in &patterns {
-        eprintln!("# mad-y comparison, {} on {} ({scale:?} scale)", pattern.name(), mesh.label());
-        for &(name, algo) in &algos {
-            let mut series = sweep_vc(&mesh, algo, *pattern, &config, MESH_LOADS);
-            series.algorithm = name.to_owned();
-            print!("{}", series.to_csv());
-            eprintln!(
-                "#   {:<16} max sustainable throughput {:>8.1} flits/usec",
-                name,
-                series.max_sustainable_throughput()
-            );
-        }
-    }
+    let args = RunArgs::from_args();
+    let specs: Vec<ExperimentSpec> = ["uniform", "transpose", "diagonal-transpose"]
+        .into_iter()
+        .map(|pattern| {
+            ExperimentSpec::new("mesh:16x16", pattern)
+                .algorithm_as("xy", "xy")
+                .algorithm("negative-first")
+                .algorithm("mad-y")
+                .loads(MESH_LOADS)
+                .config(args.scale.config())
+                .engine(Engine::VirtualChannel)
+        })
+        .collect();
+    run_specs("mad-y comparison on mesh:16x16", &specs, args);
 }

@@ -4,43 +4,19 @@
 //! wraparound) are strictly nonminimal; the dateline scheme buys
 //! minimal routing with one extra lane per dimension.
 
-use turnroute_bench::Scale;
-use turnroute_core::{FirstHopWraparound, NegativeFirst, NegativeFirstTorus};
-use turnroute_sim::patterns::Uniform;
-use turnroute_vc::{sweep_vc, DatelineDimensionOrder, SingleClass, VcRoutingAlgorithm};
-use turnroute_topology::{Topology, Torus};
+use turnroute::experiment::{Engine, ExperimentSpec};
+use turnroute_bench::{run_spec, RunArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let torus = Torus::new(8, 2);
-    let config = scale.config();
-    let loads = [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40];
-
-    let nft = SingleClass::new(NegativeFirstTorus::new(&torus));
-    let fhw = SingleClass::new(FirstHopWraparound::new(
-        &torus,
-        NegativeFirst::with_dims(2, true),
-    ));
-    let dateline = DatelineDimensionOrder::new();
-    let algos: Vec<(&str, &dyn VcRoutingAlgorithm)> = vec![
-        ("negative-first-torus", &nft),
-        ("first-hop-wrap", &fhw),
-        ("dateline (2 lanes)", &dateline),
-    ];
-
-    eprintln!("# torus routing, uniform traffic on {} ({scale:?} scale)", torus.label());
-    println!("algorithm,pattern,offered_load,throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,sustainable");
-    for &(name, algo) in &algos {
-        let mut series = sweep_vc(&torus, algo, &Uniform, &config, &loads);
-        series.algorithm = name.to_owned();
-        print!("{}", series.to_csv());
-        eprintln!(
-            "#   {:<22} max sustainable {:>8.1} flits/usec, avg hops {:?}",
-            name,
-            series.max_sustainable_throughput(),
-            series.points.first().and_then(|p| p.avg_hops).map(|h| (h * 100.0).round() / 100.0)
-        );
-    }
+    let args = RunArgs::from_args();
+    let spec = ExperimentSpec::new("torus:8,2", "uniform")
+        .algorithm("negative-first-torus")
+        .algorithm_as("first-hop-wrap", "first-hop-wrap")
+        .algorithm_as("dateline (2 lanes)", "dateline")
+        .loads(&[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40])
+        .config(args.scale.config())
+        .engine(Engine::VirtualChannel);
+    run_spec("torus routing, uniform traffic", &spec, args);
     eprintln!("# The dateline scheme's hop counts equal the torus distance (minimal);");
     eprintln!("# the channel-free algorithms pay extra hops for deadlock freedom.");
 }

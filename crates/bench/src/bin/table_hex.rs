@@ -3,8 +3,8 @@
 //! comparison of axis-order vs. negative-first routing.
 
 use turnroute_analysis::{
-    hex_abstract_cycles, hex_axis_order, hex_deadlock_free, hex_negative_first,
-    hex_turn_kind, HexTurnKind,
+    hex_abstract_cycles, hex_axis_order, hex_deadlock_free, hex_negative_first, hex_turn_kind,
+    HexTurnKind,
 };
 use turnroute_bench::Scale;
 use turnroute_core::{DimensionOrder, NegativeFirst, RoutingAlgorithm, Turn, TurnSet};
@@ -17,12 +17,18 @@ fn main() {
 
     // Census.
     let turns: Vec<Turn> = Turn::all_ninety(3).collect();
-    let sixty = turns.iter().filter(|&&t| hex_turn_kind(t) == HexTurnKind::Sixty).count();
+    let sixty = turns
+        .iter()
+        .filter(|&&t| hex_turn_kind(t) == HexTurnKind::Sixty)
+        .count();
     let onetwenty = turns
         .iter()
         .filter(|&&t| hex_turn_kind(t) == HexTurnKind::OneTwenty)
         .count();
-    eprintln!("# hex turn census: {} turns ({sixty} at 60 deg, {onetwenty} at 120 deg)", turns.len());
+    eprintln!(
+        "# hex turn census: {} turns ({sixty} at 60 deg, {onetwenty} at 120 deg)",
+        turns.len()
+    );
     let cycles = hex_abstract_cycles();
     let triangles = cycles.iter().filter(|c| c.turns.len() == 3).count();
     eprintln!(

@@ -8,13 +8,9 @@
 //! * best cube point (adaptive / reverse-flip) ~1.5x the second best
 //!   (e-cube / uniform).
 
-use turnroute_bench::{ratio, run_figure, Scale, CUBE_LOADS, MESH_LOADS};
-use turnroute_core::{
-    Abonf, Abopl, DimensionOrder, NegativeFirst, PCube, RoutingAlgorithm, WestFirst,
-};
-use turnroute_sim::patterns::{HypercubeTranspose, ReverseFlip, Transpose, Uniform};
+use turnroute::experiment::ExperimentSpec;
+use turnroute_bench::{ratio, run_specs, RunArgs, CUBE_LOADS, MESH_LOADS};
 use turnroute_sim::SweepSeries;
-use turnroute_topology::{Hypercube, Mesh};
 
 fn best(series: &[SweepSeries]) -> Vec<(String, f64)> {
     series
@@ -23,51 +19,47 @@ fn best(series: &[SweepSeries]) -> Vec<(String, f64)> {
         .collect()
 }
 
+fn mesh_spec(pattern: &str, args: RunArgs) -> ExperimentSpec {
+    ExperimentSpec::new("mesh:16x16", pattern)
+        .algorithm_as("xy", "xy")
+        .algorithm("west-first")
+        .algorithm("negative-first")
+        .loads(MESH_LOADS)
+        .config(args.scale.config())
+}
+
+fn cube_spec(pattern: &str, args: RunArgs) -> ExperimentSpec {
+    ExperimentSpec::new("hypercube:8", pattern)
+        .algorithm_as("e-cube", "e-cube")
+        .algorithm("abonf")
+        .algorithm("abopl")
+        .algorithm_as("negative-first", "p-cube")
+        .loads(CUBE_LOADS)
+        .config(args.scale.config())
+}
+
 fn main() {
-    let scale = Scale::from_args();
-    let mesh = Mesh::new_2d(16, 16);
-    let cube = Hypercube::new(8);
-
-    let xy = DimensionOrder::new();
-    let wf = WestFirst::minimal();
-    let nf = NegativeFirst::minimal();
-    let mesh_algos: Vec<(&str, &dyn RoutingAlgorithm)> =
-        vec![("xy", &xy), ("west-first", &wf), ("negative-first", &nf)];
-
-    let ecube = DimensionOrder::new();
-    let abonf = Abonf::with_dims(8, true);
-    let abopl = Abopl::with_dims(8, true);
-    let pcube = PCube::minimal();
-    let cube_algos: Vec<(&str, &dyn RoutingAlgorithm)> = vec![
-        ("e-cube", &ecube),
-        ("abonf", &abonf),
-        ("abopl", &abopl),
-        ("negative-first", &pcube),
+    let args = RunArgs::from_args();
+    let specs = vec![
+        mesh_spec("uniform", args),
+        mesh_spec("transpose", args),
+        cube_spec("uniform", args),
+        cube_spec("hypercube-transpose", args),
+        cube_spec("reverse-flip", args),
     ];
-
-    let mesh_uniform = best(&run_figure(
-        "saturation: mesh/uniform", &mesh, &mesh_algos, &Uniform, MESH_LOADS, scale,
-    ));
-    let mesh_transpose = best(&run_figure(
-        "saturation: mesh/transpose", &mesh, &mesh_algos, &Transpose, MESH_LOADS, scale,
-    ));
-    let cube_uniform = best(&run_figure(
-        "saturation: cube/uniform", &cube, &cube_algos, &Uniform, CUBE_LOADS, scale,
-    ));
-    let cube_transpose = best(&run_figure(
-        "saturation: cube/transpose",
-        &cube,
-        &cube_algos,
-        &HypercubeTranspose,
-        CUBE_LOADS,
-        scale,
-    ));
-    let cube_flip = best(&run_figure(
-        "saturation: cube/reverse-flip", &cube, &cube_algos, &ReverseFlip, CUBE_LOADS, scale,
-    ));
+    let groups = run_specs("saturation table (E9)", &specs, args);
+    let tables: Vec<Vec<(String, f64)>> = groups.iter().map(|g| best(g)).collect();
+    let [mesh_uniform, mesh_transpose, cube_uniform, cube_transpose, cube_flip] = &tables[..]
+    else {
+        unreachable!("five specs yield five groups")
+    };
 
     let get = |table: &[(String, f64)], name: &str| {
-        table.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0.0)
+        table
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
     };
     let best_adaptive = |table: &[(String, f64)]| {
         table
@@ -81,22 +73,25 @@ fn main() {
     eprintln!("# Paper claim vs. measured:");
     eprintln!(
         "#   mesh transpose, adaptive vs xy:        {:.2}x (paper ~2x)",
-        ratio(best_adaptive(&mesh_transpose), get(&mesh_transpose, "xy"))
+        ratio(best_adaptive(mesh_transpose), get(mesh_transpose, "xy"))
     );
     eprintln!(
         "#   cube transpose, adaptive vs e-cube:    {:.2}x (paper ~2x)",
-        ratio(best_adaptive(&cube_transpose), get(&cube_transpose, "e-cube"))
+        ratio(best_adaptive(cube_transpose), get(cube_transpose, "e-cube"))
     );
     eprintln!(
         "#   cube reverse-flip, adaptive vs e-cube: {:.2}x (paper ~4x)",
-        ratio(best_adaptive(&cube_flip), get(&cube_flip, "e-cube"))
+        ratio(best_adaptive(cube_flip), get(cube_flip, "e-cube"))
     );
     eprintln!(
         "#   mesh best (nf/transpose) vs xy/uniform: {:.2}x (paper ~1.3x)",
-        ratio(get(&mesh_transpose, "negative-first"), get(&mesh_uniform, "xy"))
+        ratio(
+            get(mesh_transpose, "negative-first"),
+            get(mesh_uniform, "xy")
+        )
     );
     eprintln!(
         "#   cube best (adaptive/flip) vs e-cube/uniform: {:.2}x (paper ~1.5x)",
-        ratio(best_adaptive(&cube_flip), get(&cube_uniform, "e-cube"))
+        ratio(best_adaptive(cube_flip), get(cube_uniform, "e-cube"))
     );
 }

@@ -3,9 +3,8 @@
 //! classes.
 
 use turnroute_analysis::{
-    classify_2d_prohibitions, classify_3d_prohibitions,
-    symmetry_classes_of_valid_3d_choices, symmetry_classes_of_valid_choices,
-    turn_census,
+    classify_2d_prohibitions, classify_3d_prohibitions, symmetry_classes_of_valid_3d_choices,
+    symmetry_classes_of_valid_choices, turn_census,
 };
 
 fn main() {
@@ -21,7 +20,10 @@ fn main() {
 
     let choices = classify_2d_prohibitions();
     let ok = choices.iter().filter(|c| c.deadlock_free).count();
-    eprintln!("# Section 3: {ok} of {} one-turn-per-cycle prohibitions prevent deadlock", choices.len());
+    eprintln!(
+        "# Section 3: {ok} of {} one-turn-per-cycle prohibitions prevent deadlock",
+        choices.len()
+    );
     println!();
     println!("prohibited_turn_1,prohibited_turn_2,deadlock_free");
     for c in &choices {
@@ -32,7 +34,10 @@ fn main() {
     }
 
     let classes = symmetry_classes_of_valid_choices();
-    eprintln!("# {} symmetry classes among the deadlock-free choices:", classes.len());
+    eprintln!(
+        "# {} symmetry classes among the deadlock-free choices:",
+        classes.len()
+    );
     for (i, class) in classes.iter().enumerate() {
         let members: Vec<String> = class
             .iter()
@@ -43,7 +48,12 @@ fn main() {
                     .join("+")
             })
             .collect();
-        eprintln!("#   class {}: {} members [{}]", i + 1, class.len(), members.join(", "));
+        eprintln!(
+            "#   class {}: {} members [{}]",
+            i + 1,
+            class.len(),
+            members.join(", ")
+        );
     }
 
     // The 3D extension: step 4's "complex cycles" warning, quantified.

@@ -6,9 +6,11 @@
 //! mode produces the same qualitative shapes in a fraction of the time)
 //! and prints CSV to stdout with a human-readable summary on stderr.
 
-use turnroute_core::RoutingAlgorithm;
-use turnroute_sim::{patterns::TrafficPattern, SimConfig, SweepSeries};
-use turnroute_topology::Topology;
+pub mod timing;
+
+use turnroute::experiment::ExperimentSpec;
+use turnroute_sim::report::write_csv;
+use turnroute_sim::{Executor, SimConfig, SweepSeries};
 
 /// Measurement scale for a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,33 +55,75 @@ pub const MESH_LOADS: &[f64] = &[
 /// bandwidth, so saturation sits higher).
 pub const CUBE_LOADS: &[f64] = &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55];
 
-/// Runs one figure: sweeps every `(name, algorithm)` pair under
-/// `pattern` and prints the combined CSV to stdout plus a summary table
-/// (max sustainable throughput per algorithm) to stderr.
-pub fn run_figure(
-    title: &str,
-    topo: &dyn Topology,
-    algorithms: &[(&str, &dyn RoutingAlgorithm)],
-    pattern: &dyn TrafficPattern,
-    loads: &[f64],
-    scale: Scale,
-) -> Vec<SweepSeries> {
-    let config = scale.config();
-    eprintln!("# {title} on {} ({:?} scale)", topo.label(), scale);
-    println!("algorithm,pattern,offered_load,throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,sustainable");
-    let mut all = Vec::new();
-    for &(name, algo) in algorithms {
-        let mut series = turnroute_sim::sweep(topo, algo, pattern, &config, loads);
-        series.algorithm = name.to_owned();
-        print!("{}", series.to_csv());
-        eprintln!(
-            "#   {:<16} max sustainable throughput {:>8.1} flits/usec",
-            name,
-            series.max_sustainable_throughput()
-        );
-        all.push(series);
+/// Common regenerator arguments: `--full` for paper-scale windows and
+/// `--threads N` for the parallel executor.
+#[derive(Debug, Clone, Copy)]
+pub struct RunArgs {
+    /// Measurement scale.
+    pub scale: Scale,
+    /// Worker threads for the experiment executor. Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+}
+
+impl RunArgs {
+    /// Parses process arguments (`--full`, `--threads N`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        RunArgs {
+            scale: Scale::from_args(),
+            threads,
+        }
     }
-    all
+}
+
+/// Runs several experiment specs through one parallel executor and
+/// prints their combined CSV (uniform schema, one header) to stdout
+/// plus a max-sustainable-throughput summary to stderr. Returns one
+/// group of series per spec, in spec order.
+///
+/// # Panics
+///
+/// Panics if a spec does not resolve — regenerator specs are static, so
+/// a bad name is a bug, not an input error.
+pub fn run_specs(title: &str, specs: &[ExperimentSpec], args: RunArgs) -> Vec<Vec<SweepSeries>> {
+    eprintln!(
+        "# {title} ({:?} scale, {} thread(s))",
+        args.scale, args.threads
+    );
+    let mut executor = Executor::new(args.threads);
+    let groups: Vec<Vec<SweepSeries>> = specs
+        .iter()
+        .map(|s| {
+            s.run_on(&mut executor)
+                .unwrap_or_else(|e| panic!("regenerator spec does not resolve: {e}"))
+        })
+        .collect();
+    let flat: Vec<SweepSeries> = groups.iter().flatten().cloned().collect();
+    let mut out = std::io::stdout().lock();
+    write_csv(&flat, &mut out).expect("writing CSV to stdout");
+    for s in &flat {
+        eprintln!(
+            "#   {:<22} / {:<20} max sustainable {:>8.1} flits/usec",
+            s.algorithm,
+            s.pattern,
+            s.max_sustainable_throughput()
+        );
+    }
+    groups
+}
+
+/// Runs one figure described as a spec: [`run_specs`] for the common
+/// single-spec case.
+pub fn run_spec(title: &str, spec: &ExperimentSpec, args: RunArgs) -> Vec<SweepSeries> {
+    run_specs(title, std::slice::from_ref(spec), args).remove(0)
 }
 
 /// Formats a ratio like the paper's "twice"/"four times" claims.

@@ -1,0 +1,154 @@
+//! A small `std`-only timing harness for the `benches/` targets.
+//!
+//! The build environment is fully offline, so the workspace cannot pull
+//! in criterion; this module supplies the subset the benches need:
+//! auto-calibrated iteration counts, repeated samples, and a median /
+//! mean / min report per benchmark, printed in a stable one-line format
+//! that downstream tooling (BENCH_sweep.json) can scrape.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The benchmark's name as printed.
+    pub name: String,
+    /// Median per-iteration time across samples.
+    pub median_ns: f64,
+    /// Mean per-iteration time across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample (auto-calibrated).
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Median time in seconds per iteration.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns / 1e9
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A registry of benchmarks, mirroring criterion's `bench_function`
+/// shape closely enough that the bench sources read the same.
+pub struct Harness {
+    samples: usize,
+    target_sample_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness with the default sample count (20).
+    pub fn new() -> Self {
+        Harness {
+            samples: 20,
+            target_sample_time: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0);
+        self.samples = samples;
+        self
+    }
+
+    /// Times `f`, printing a one-line report and recording the result.
+    ///
+    /// Iteration count per sample is calibrated so one sample lasts at
+    /// least the target sample time (very slow bodies run once per
+    /// sample; microsecond bodies run thousands of times).
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        // Calibrate: run once (also warms caches), then pick iters.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min_ns = per_iter_ns[0];
+        println!(
+            "bench {name:<48} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            format_ns(median_ns),
+            format_ns(mean_ns),
+            format_ns(min_ns),
+            self.samples,
+            iters,
+        );
+        self.results.push(BenchResult {
+            name: name.to_owned(),
+            median_ns,
+            mean_ns,
+            min_ns,
+            samples: self.samples,
+            iters_per_sample: iters,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far, in bench order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_times() {
+        let mut h = Harness::new().sample_size(3);
+        let r = h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

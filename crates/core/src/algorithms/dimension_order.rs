@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn conventional_names() {
-        assert_eq!(
-            DimensionOrder::conventional_name(&Mesh::new_2d(4, 4)),
-            "xy"
-        );
+        assert_eq!(DimensionOrder::conventional_name(&Mesh::new_2d(4, 4)), "xy");
         assert_eq!(
             DimensionOrder::conventional_name(&Hypercube::new(4)),
             "e-cube"

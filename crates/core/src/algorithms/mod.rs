@@ -51,7 +51,7 @@ use turnroute_topology::{DirSet, Direction, NodeId, Topology};
 /// let dirs = wf.route(&mesh, from, to, None);
 /// assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::WEST]);
 /// ```
-pub trait RoutingAlgorithm {
+pub trait RoutingAlgorithm: Send + Sync {
     /// A short name for tables and plots, e.g. `"west-first"`.
     fn name(&self) -> String;
 
@@ -78,6 +78,33 @@ pub trait RoutingAlgorithm {
     fn is_minimal(&self) -> bool;
 }
 
+/// Boxed algorithms route like the algorithm they hold, so dynamically
+/// chosen algorithms (e.g. parsed from a CLI name) compose with any
+/// wrapper that is generic over `RoutingAlgorithm`.
+impl<A: RoutingAlgorithm + ?Sized> RoutingAlgorithm for Box<A> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        (**self).route(topo, current, dest, arrived)
+    }
+
+    fn is_adaptive(&self) -> bool {
+        (**self).is_adaptive()
+    }
+
+    fn is_minimal(&self) -> bool {
+        (**self).is_minimal()
+    }
+}
+
 /// Follows `algorithm` from `source` to `dest`, always taking the first
 /// permitted direction in index order (the paper's "xy" output-selection
 /// policy), and returns the node sequence including both endpoints.
@@ -101,7 +128,10 @@ pub fn walk(
     let mut arrived = None;
     let hop_limit = 4 * (topo.num_nodes() + 1);
     while current != dest {
-        assert!(path.len() <= hop_limit, "walk exceeded hop limit: livelock?");
+        assert!(
+            path.len() <= hop_limit,
+            "walk exceeded hop limit: livelock?"
+        );
         let dirs = algorithm.route(topo, current, dest, arrived);
         let dir = dirs
             .first()
@@ -126,10 +156,7 @@ pub fn walk(
 /// # Panics
 ///
 /// Panics on the first contract violation.
-pub fn check_routing_contract(
-    algorithm: &dyn RoutingAlgorithm,
-    topo: &dyn Topology,
-) -> usize {
+pub fn check_routing_contract(algorithm: &dyn RoutingAlgorithm, topo: &dyn Topology) -> usize {
     let mut pairs = 0;
     for source in topo.nodes() {
         for dest in topo.nodes() {

@@ -82,7 +82,11 @@ impl RoutingAlgorithm for PCube {
             for i in 0..topo.num_dims() {
                 if r >> i & 1 == 1 {
                     // 1 -> 0 hops travel minus; 0 -> 1 hops travel plus.
-                    let sign = if c >> i & 1 == 1 { Sign::Minus } else { Sign::Plus };
+                    let sign = if c >> i & 1 == 1 {
+                        Sign::Minus
+                    } else {
+                        Sign::Plus
+                    };
                     set.insert(Direction::new(i, sign));
                 }
             }

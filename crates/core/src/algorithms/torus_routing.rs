@@ -51,7 +51,10 @@ impl<A: RoutingAlgorithm> FirstHopWraparound<A> {
     /// Wraps `base` (a mesh algorithm) for use on `torus`.
     pub fn new(torus: &Torus, base: A) -> Self {
         let dims = vec![torus.k(); torus.num_dims()];
-        FirstHopWraparound { base, mesh: Mesh::new(dims) }
+        FirstHopWraparound {
+            base,
+            mesh: Mesh::new(dims),
+        }
     }
 
     /// The base mesh algorithm.
@@ -194,7 +197,11 @@ impl NegativeFirstTorus {
                 neg_ok[x * k + d] = best;
             }
         }
-        NegativeFirstTorus { k, num_dims: torus.num_dims(), cost: [neg_ok, pos_only] }
+        NegativeFirstTorus {
+            k,
+            num_dims: torus.num_dims(),
+            cost: [neg_ok, pos_only],
+        }
     }
 
     fn cost_dim(&self, phase: Phase, x: usize, d: usize) -> u32 {
@@ -205,7 +212,13 @@ impl NegativeFirstTorus {
         table[x * self.k + d]
     }
 
-    fn total_cost(&self, topo: &dyn Topology, node: NodeId, dest: NodeId, phase: Phase) -> Option<u32> {
+    fn total_cost(
+        &self,
+        topo: &dyn Topology,
+        node: NodeId,
+        dest: NodeId,
+        phase: Phase,
+    ) -> Option<u32> {
         let (c, d) = (topo.coord_of(node), topo.coord_of(dest));
         let mut total = 0u32;
         for dim in 0..self.num_dims {
@@ -276,12 +289,10 @@ impl RoutingAlgorithm for NegativeFirstTorus {
             if phase == Phase::PosOnly && class == Phase::NegOk {
                 continue; // negative hops are spent
             }
-            let Some(next) = topo.neighbor(current, dir) else { continue };
-            let next_phase = match class {
-                Phase::NegOk => Phase::NegOk,
-                Phase::PosOnly => Phase::PosOnly,
+            let Some(next) = topo.neighbor(current, dir) else {
+                continue;
             };
-            if self.total_cost(topo, next, dest, next_phase) == Some(total - 1) {
+            if self.total_cost(topo, next, dest, class) == Some(total - 1) {
                 set.insert(dir);
             }
         }

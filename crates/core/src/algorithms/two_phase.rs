@@ -160,8 +160,7 @@ impl RoutingAlgorithm for TwoPhase {
                 let Some(next) = topo.neighbor(current, dir) else {
                     return false;
                 };
-                if self.phase2.contains(dir) && !self.phase2_can_finish(topo, next, dest)
-                {
+                if self.phase2.contains(dir) && !self.phase2_can_finish(topo, next, dest) {
                     return false;
                 }
                 if productive.contains(dir) {
@@ -441,14 +440,8 @@ mod tests {
         let (nl, ap) = (NorthLast::minimal(), Abopl::with_dims(2, true));
         for s in mesh.nodes() {
             for d in mesh.nodes() {
-                assert_eq!(
-                    wf.route(&mesh, s, d, None),
-                    ab.route(&mesh, s, d, None)
-                );
-                assert_eq!(
-                    nl.route(&mesh, s, d, None),
-                    ap.route(&mesh, s, d, None)
-                );
+                assert_eq!(wf.route(&mesh, s, d, None), ab.route(&mesh, s, d, None));
+                assert_eq!(nl.route(&mesh, s, d, None), ap.route(&mesh, s, d, None));
             }
         }
     }
@@ -473,8 +466,8 @@ mod tests {
         let wf = WestFirst::nonminimal();
         let from = mesh.node_at(&[4, 4].into());
         let to = mesh.node_at(&[2, 4].into()); // west of here
-        // At the source the packet may only go west: any other hop is a
-        // phase-two hop after which west is unreachable.
+                                               // At the source the packet may only go west: any other hop is a
+                                               // phase-two hop after which west is unreachable.
         let dirs = wf.route(&mesh, from, to, None);
         assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::WEST]);
     }

@@ -41,9 +41,7 @@ impl ChannelDependencyGraph {
     /// for every restriction (e.g. the minimal variants the paper
     /// simulates).
     pub fn from_turn_set(topo: &dyn Topology, turns: &TurnSet) -> Self {
-        Self::from_relation(topo, |c1, c2| {
-            turns.allows(Turn::new(c1.dir, c2.dir))
-        })
+        Self::from_relation(topo, |c1, c2| turns.allows(Turn::new(c1.dir, c2.dir)))
     }
 
     /// Builds a dependency graph directly from successor lists. Index
@@ -258,9 +256,7 @@ mod tests {
         let mesh = Mesh::new_2d(4, 4);
         let ok = TurnSet::one_turn_per_cycle_prohibitions(2)
             .iter()
-            .filter(|set| {
-                ChannelDependencyGraph::from_turn_set(&mesh, set).is_acyclic()
-            })
+            .filter(|set| ChannelDependencyGraph::from_turn_set(&mesh, set).is_acyclic())
             .count();
         assert_eq!(ok, 12);
     }
@@ -310,8 +306,7 @@ mod tests {
         // Without special wraparound treatment even negative-first
         // deadlocks on a torus: rings need no turns to cycle.
         let torus = Torus::new(4, 2);
-        let cdg =
-            ChannelDependencyGraph::from_turn_set(&torus, &TurnSet::negative_first(2));
+        let cdg = ChannelDependencyGraph::from_turn_set(&torus, &TurnSet::negative_first(2));
         assert!(!cdg.is_acyclic());
     }
 

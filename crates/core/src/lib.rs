@@ -62,9 +62,8 @@ mod turn;
 mod turn_set;
 
 pub use algorithms::{
-    check_routing_contract, walk, Abonf, Abopl, DimensionOrder, FirstHopWraparound,
-    NegativeFirst, NegativeFirstTorus, NorthLast, PCube, RoutingAlgorithm,
-    TurnSetRouting, TwoPhase, WestFirst,
+    check_routing_contract, walk, Abonf, Abopl, DimensionOrder, FirstHopWraparound, NegativeFirst,
+    NegativeFirstTorus, NorthLast, PCube, RoutingAlgorithm, TurnSetRouting, TwoPhase, WestFirst,
 };
 pub use cdg::ChannelDependencyGraph;
 pub use path_count::{count_paths, enumerate_paths};

@@ -53,10 +53,10 @@ pub fn west_first_numbering(mesh: &Mesh) -> Vec<u64> {
             let c = mesh.coord_of(ch.src);
             let (x, y) = (c.get(0) as u64, c.get(1) as u64);
             let (a, b) = match (ch.dir.dim(), ch.dir.sign()) {
-                (0, Sign::Minus) => (m - 1 + x, 0),     // west
-                (0, Sign::Plus) => (m - 1 - x, 0),      // east
+                (0, Sign::Minus) => (m - 1 + x, 0),        // west
+                (0, Sign::Plus) => (m - 1 - x, 0),         // east
                 (1, Sign::Plus) => (m - 1 - x, n - 1 - y), // north
-                (1, Sign::Minus) => (m - 1 - x, y),     // south
+                (1, Sign::Minus) => (m - 1 - x, y),        // south
                 _ => unreachable!("2D mesh"),
             };
             a * r + b
@@ -147,8 +147,7 @@ mod tests {
         // mesh sizes, including non-square ones.
         for (m, n) in [(4, 4), (8, 8), (3, 7), (7, 3), (2, 2), (16, 16)] {
             let mesh = Mesh::new_2d(m, n);
-            let cdg =
-                ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
             let numbers = west_first_numbering(&mesh);
             assert_eq!(
                 verify_monotone(&cdg, &numbers, Monotonic::Decreasing),
@@ -162,10 +161,7 @@ mod tests {
     fn theorem_5_negative_first_numbers_increase_2d() {
         for (m, n) in [(4, 4), (5, 9), (16, 16)] {
             let mesh = Mesh::new_2d(m, n);
-            let cdg = ChannelDependencyGraph::from_turn_set(
-                &mesh,
-                &TurnSet::negative_first(2),
-            );
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::negative_first(2));
             let numbers = negative_first_numbering(&mesh);
             assert_eq!(
                 verify_monotone(&cdg, &numbers, Monotonic::Increasing),
@@ -180,10 +176,7 @@ mod tests {
         for dims in [vec![3, 3, 3], vec![2, 4, 3], vec![2, 2, 2, 2]] {
             let n = dims.len();
             let mesh = Mesh::new(dims.clone());
-            let cdg = ChannelDependencyGraph::from_turn_set(
-                &mesh,
-                &TurnSet::negative_first(n),
-            );
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::negative_first(n));
             let numbers = negative_first_numbering(&mesh);
             assert_eq!(
                 verify_monotone(&cdg, &numbers, Monotonic::Increasing),
@@ -206,7 +199,10 @@ mod tests {
             .into_iter()
             .map(|v| v as u64)
             .collect();
-        assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing), Ok(()));
+        assert_eq!(
+            verify_monotone(&cdg, &numbers, Monotonic::Decreasing),
+            Ok(())
+        );
     }
 
     #[test]
@@ -214,10 +210,7 @@ mod tests {
         // The deadlocky set has a cycle, so no monotone numbering exists;
         // in particular ours must fail on it.
         let mesh = Mesh::new_2d(4, 4);
-        let cdg = ChannelDependencyGraph::from_turn_set(
-            &mesh,
-            &TurnSet::deadlocky_six_turns(),
-        );
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::deadlocky_six_turns());
         let numbers = west_first_numbering(&mesh);
         assert!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing).is_err());
     }

@@ -151,12 +151,18 @@ impl AbstractCycle {
     pub fn new(i: usize, j: usize, rotation: Rotation) -> Self {
         assert!(i < j, "plane must be given as (lower, higher)");
         let ring = match rotation {
-            Rotation::CounterClockwise => {
-                [Direction::plus(i), Direction::plus(j), Direction::minus(i), Direction::minus(j)]
-            }
-            Rotation::Clockwise => {
-                [Direction::plus(j), Direction::plus(i), Direction::minus(j), Direction::minus(i)]
-            }
+            Rotation::CounterClockwise => [
+                Direction::plus(i),
+                Direction::plus(j),
+                Direction::minus(i),
+                Direction::minus(j),
+            ],
+            Rotation::Clockwise => [
+                Direction::plus(j),
+                Direction::plus(i),
+                Direction::minus(j),
+                Direction::minus(i),
+            ],
         };
         let turns = [
             Turn::new(ring[0], ring[1]),
@@ -164,7 +170,11 @@ impl AbstractCycle {
             Turn::new(ring[2], ring[3]),
             Turn::new(ring[3], ring[0]),
         ];
-        AbstractCycle { plane: (i, j), rotation, turns }
+        AbstractCycle {
+            plane: (i, j),
+            rotation,
+            turns,
+        }
     }
 
     /// `true` if `turn` is one of this cycle's four turns.
@@ -201,9 +211,18 @@ mod tests {
 
     #[test]
     fn kind_classification() {
-        assert_eq!(Turn::new(Direction::NORTH, Direction::WEST).kind(), TurnKind::Ninety);
-        assert_eq!(Turn::new(Direction::NORTH, Direction::SOUTH).kind(), TurnKind::OneEighty);
-        assert_eq!(Turn::new(Direction::NORTH, Direction::NORTH).kind(), TurnKind::Zero);
+        assert_eq!(
+            Turn::new(Direction::NORTH, Direction::WEST).kind(),
+            TurnKind::Ninety
+        );
+        assert_eq!(
+            Turn::new(Direction::NORTH, Direction::SOUTH).kind(),
+            TurnKind::OneEighty
+        );
+        assert_eq!(
+            Turn::new(Direction::NORTH, Direction::NORTH).kind(),
+            TurnKind::Zero
+        );
     }
 
     #[test]
@@ -262,10 +281,7 @@ mod tests {
         // Each turn's departure direction is the next turn's arrival.
         for cycle in abstract_cycles(3) {
             for k in 0..4 {
-                assert_eq!(
-                    cycle.turns[k].to_dir(),
-                    cycle.turns[(k + 1) % 4].from_dir()
-                );
+                assert_eq!(cycle.turns[k].to_dir(), cycle.turns[(k + 1) % 4].from_dir());
             }
         }
     }

@@ -42,9 +42,12 @@ impl TurnSet {
     }
 
     fn empty(num_dims: usize) -> Self {
-        assert!(num_dims >= 1 && num_dims <= 16, "1..=16 dimensions supported");
+        assert!((1..=16).contains(&num_dims), "1..=16 dimensions supported");
         let n_bits = (2 * num_dims) * (2 * num_dims);
-        TurnSet { num_dims, bits: vec![0; n_bits.div_ceil(64)] }
+        TurnSet {
+            num_dims,
+            bits: vec![0; n_bits.div_ceil(64)],
+        }
     }
 
     /// A turn set allowing every 90- and 0-degree turn (and no
@@ -104,7 +107,11 @@ impl TurnSet {
             );
             seen = seen.union(*phase);
         }
-        assert_eq!(seen, DirSet::all(num_dims), "phases must cover all directions");
+        assert_eq!(
+            seen,
+            DirSet::all(num_dims),
+            "phases must cover all directions"
+        );
 
         let mut set = TurnSet::empty(num_dims);
         for dir in Direction::all(num_dims) {
@@ -159,7 +166,9 @@ impl TurnSet {
     /// but the last, phase two in the remaining directions. The 2D case
     /// is west-first.
     pub fn abonf(num_dims: usize) -> Self {
-        let phase1: DirSet = (0..num_dims.saturating_sub(1)).map(Direction::minus).collect();
+        let phase1: DirSet = (0..num_dims.saturating_sub(1))
+            .map(Direction::minus)
+            .collect();
         let phase2 = DirSet::all(num_dims).difference(phase1);
         TurnSet::from_phases(num_dims, &[phase1, phase2])
     }
@@ -306,8 +315,7 @@ impl TurnSet {
 
 impl fmt::Debug for TurnSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let prohibited: Vec<String> =
-            self.prohibited_ninety().map(|t| t.to_string()).collect();
+        let prohibited: Vec<String> = self.prohibited_ninety().map(|t| t.to_string()).collect();
         f.debug_struct("TurnSet")
             .field("num_dims", &self.num_dims)
             .field("prohibited_ninety", &prohibited)

@@ -1,59 +1,74 @@
-//! Property-based invariants of the turn model machinery.
+//! Randomized invariants of the turn model machinery.
+//!
+//! Formerly proptest properties; now seeded loops over the vendored
+//! RNG so the suite builds offline. Every 2D case draws a random turn
+//! set from all 256 eight-turn subsets.
 
-use proptest::prelude::*;
 use turnroute_core::{
-    abstract_cycles, walk, Abonf, Abopl, ChannelDependencyGraph, NegativeFirst,
-    RoutingAlgorithm, Turn, TurnSet,
+    abstract_cycles, walk, Abonf, Abopl, ChannelDependencyGraph, NegativeFirst, RoutingAlgorithm,
+    Turn, TurnSet,
 };
+use turnroute_rng::{Rng, StdRng};
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
+
+const CASES: usize = 64;
 
 /// A random 2D turn set: each of the eight 90-degree turns allowed with
 /// probability 1/2 (straight travel always allowed).
-fn arbitrary_turn_set_2d() -> impl Strategy<Value = TurnSet> {
-    proptest::bits::u8::ANY.prop_map(|bits| {
-        let mut set = TurnSet::fully_adaptive(2);
-        for (i, turn) in Turn::all_ninety(2).enumerate() {
-            if bits >> i & 1 == 0 {
-                set.prohibit(turn);
-            }
+fn turn_set_2d_from_bits(bits: u8) -> TurnSet {
+    let mut set = TurnSet::fully_adaptive(2);
+    for (i, turn) in Turn::all_ninety(2).enumerate() {
+        if bits >> i & 1 == 0 {
+            set.prohibit(turn);
         }
-        set
-    })
+    }
+    set
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arbitrary_turn_set_2d(rng: &mut StdRng) -> TurnSet {
+    turn_set_2d_from_bits(rng.random_range(0..256usize) as u8)
+}
 
-    /// Prohibiting more turns can only remove dependency edges, so it
-    /// preserves acyclicity.
-    #[test]
-    fn prohibition_is_monotone(set in arbitrary_turn_set_2d(), extra in 0usize..8) {
+/// Prohibiting more turns can only remove dependency edges, so it
+/// preserves acyclicity.
+#[test]
+fn prohibition_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let set = arbitrary_turn_set_2d(&mut rng);
+        let extra = rng.random_range(0..8usize);
         let mesh = Mesh::new_2d(4, 4);
         let acyclic = ChannelDependencyGraph::from_turn_set(&mesh, &set).is_acyclic();
         let mut stricter = set.clone();
         let turn = Turn::all_ninety(2).nth(extra).expect("eight turns");
         stricter.prohibit(turn);
-        let still =
-            ChannelDependencyGraph::from_turn_set(&mesh, &stricter).is_acyclic();
+        let still = ChannelDependencyGraph::from_turn_set(&mesh, &stricter).is_acyclic();
         if acyclic {
-            prop_assert!(still, "prohibiting {turn} broke acyclicity of {set}");
+            assert!(still, "prohibiting {turn} broke acyclicity of {set}");
         }
     }
+}
 
-    /// A monotone numbering exists exactly when the graph is acyclic
-    /// (the Dally–Seitz equivalence, both directions).
-    #[test]
-    fn numbering_exists_iff_acyclic(set in arbitrary_turn_set_2d()) {
-        let mesh = Mesh::new_2d(4, 4);
+/// A monotone numbering exists exactly when the graph is acyclic
+/// (the Dally–Seitz equivalence, both directions).
+#[test]
+fn numbering_exists_iff_acyclic() {
+    let mesh = Mesh::new_2d(4, 4);
+    // Small enough space to check exhaustively rather than sample.
+    for bits in 0..=255u8 {
+        let set = turn_set_2d_from_bits(bits);
         let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &set);
-        prop_assert_eq!(cdg.topological_numbering().is_some(), cdg.is_acyclic());
+        assert_eq!(cdg.topological_numbering().is_some(), cdg.is_acyclic());
     }
+}
 
-    /// The CDG verdict is invariant under the square's symmetries: a
-    /// relabeled turn set is deadlock free iff the original is.
-    #[test]
-    fn verdict_is_symmetry_invariant(set in arbitrary_turn_set_2d()) {
-        let mesh = Mesh::new_2d(4, 4);
+/// The CDG verdict is invariant under the square's symmetries: a
+/// relabeled turn set is deadlock free iff the original is.
+#[test]
+fn verdict_is_symmetry_invariant() {
+    let mesh = Mesh::new_2d(4, 4);
+    for bits in 0..=255u8 {
+        let set = turn_set_2d_from_bits(bits);
         let original = ChannelDependencyGraph::from_turn_set(&mesh, &set).is_acyclic();
         // Rotate by 90 degrees: +x -> +y -> -x -> -y.
         let rot = |d: Direction| -> Direction {
@@ -67,53 +82,63 @@ proptest! {
         };
         let rotated = set.relabel(rot);
         let verdict = ChannelDependencyGraph::from_turn_set(&mesh, &rotated).is_acyclic();
-        prop_assert_eq!(original, verdict);
+        assert_eq!(original, verdict);
     }
+}
 
-    /// Breaking all abstract cycles is necessary: any acyclic set breaks
-    /// them all.
-    #[test]
-    fn acyclic_implies_abstract_cycles_broken(set in arbitrary_turn_set_2d()) {
-        let mesh = Mesh::new_2d(4, 4);
+/// Breaking all abstract cycles is necessary: any acyclic set breaks
+/// them all.
+#[test]
+fn acyclic_implies_abstract_cycles_broken() {
+    let mesh = Mesh::new_2d(4, 4);
+    for bits in 0..=255u8 {
+        let set = turn_set_2d_from_bits(bits);
         if ChannelDependencyGraph::from_turn_set(&mesh, &set).is_acyclic() {
-            prop_assert!(set.breaks_all_abstract_cycles());
+            assert!(set.breaks_all_abstract_cycles());
         }
     }
+}
 
-    /// Verdicts are stable across mesh sizes (3x3 already contains every
-    /// cycle shape a turn set can drive).
-    #[test]
-    fn verdict_is_size_invariant(set in arbitrary_turn_set_2d()) {
-        let small = ChannelDependencyGraph::from_turn_set(&Mesh::new_2d(3, 3), &set)
-            .is_acyclic();
-        let large = ChannelDependencyGraph::from_turn_set(&Mesh::new_2d(7, 5), &set)
-            .is_acyclic();
-        prop_assert_eq!(small, large);
+/// Verdicts are stable across mesh sizes (3x3 already contains every
+/// cycle shape a turn set can drive).
+#[test]
+fn verdict_is_size_invariant() {
+    for bits in 0..=255u8 {
+        let set = turn_set_2d_from_bits(bits);
+        let small = ChannelDependencyGraph::from_turn_set(&Mesh::new_2d(3, 3), &set).is_acyclic();
+        let large = ChannelDependencyGraph::from_turn_set(&Mesh::new_2d(7, 5), &set).is_acyclic();
+        assert_eq!(small, large);
     }
+}
 
-    /// Every turn lies in exactly one abstract cycle, for any dimension.
-    #[test]
-    fn turn_cycle_partition(n in 2usize..7) {
+/// Every turn lies in exactly one abstract cycle, for any dimension.
+#[test]
+fn turn_cycle_partition() {
+    for n in 2..7usize {
         let cycles = abstract_cycles(n);
         for turn in Turn::all_ninety(n) {
             let count = cycles.iter().filter(|c| c.contains(turn)).count();
-            prop_assert_eq!(count, 1);
+            assert_eq!(count, 1);
         }
     }
+}
 
-    /// The n-dimensional two-phase algorithms route minimally on random
-    /// box shapes.
-    #[test]
-    fn nd_algorithms_walk_minimally(
-        dims in proptest::collection::vec(2usize..5, 2..5),
-        a in 0usize..256,
-        b in 0usize..256,
-        which in 0u8..3,
-    ) {
-        let n = dims.len();
+/// The n-dimensional two-phase algorithms route minimally on random
+/// box shapes.
+#[test]
+fn nd_algorithms_walk_minimally() {
+    let mut rng = StdRng::seed_from_u64(0xC002);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let n = rng.random_range(2..5usize);
+        let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..5usize)).collect();
         let mesh = Mesh::new(dims);
-        let (a, b) = (a % mesh.num_nodes(), b % mesh.num_nodes());
-        prop_assume!(a != b);
+        let a = rng.random_range(0..256usize) % mesh.num_nodes();
+        let b = rng.random_range(0..256usize) % mesh.num_nodes();
+        if a == b {
+            continue;
+        }
+        let which = rng.random_range(0..3usize);
         let algo: Box<dyn RoutingAlgorithm> = match which {
             0 => Box::new(NegativeFirst::with_dims(n, true)),
             1 => Box::new(Abonf::with_dims(n, true)),
@@ -121,21 +146,27 @@ proptest! {
         };
         let (s, d) = (NodeId::new(a), NodeId::new(b));
         let path = walk(algo.as_ref(), &mesh, s, d);
-        prop_assert_eq!(path.len() - 1, mesh.distance(s, d));
+        assert_eq!(path.len() - 1, mesh.distance(s, d));
+        checked += 1;
     }
+}
 
-    /// Turn sets round-trip through allow/prohibit.
-    #[test]
-    fn allow_prohibit_roundtrip(set in arbitrary_turn_set_2d(), pick in 0usize..8) {
+/// Turn sets round-trip through allow/prohibit.
+#[test]
+fn allow_prohibit_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let set = arbitrary_turn_set_2d(&mut rng);
+        let pick = rng.random_range(0..8usize);
         let mut modified = set.clone();
         let turn = Turn::all_ninety(2).nth(pick).expect("eight turns");
         let was = set.allows(turn);
         modified.prohibit(turn);
-        prop_assert!(!modified.allows(turn));
+        assert!(!modified.allows(turn));
         modified.allow(turn);
-        prop_assert!(modified.allows(turn));
+        assert!(modified.allows(turn));
         if was {
-            prop_assert_eq!(&modified, &set);
+            assert_eq!(&modified, &set);
         }
     }
 }

@@ -29,7 +29,10 @@ impl LengthDistribution {
     /// The paper's Section 6 distribution: 10 or 200 flits, equally
     /// likely.
     pub fn paper() -> Self {
-        LengthDistribution::Bimodal { short: 10, long: 200 }
+        LengthDistribution::Bimodal {
+            short: 10,
+            long: 200,
+        }
     }
 
     /// The mean length in flits.
@@ -183,8 +186,7 @@ impl SimConfig {
     /// Mean message inter-arrival time per node, in cycles; `None` at
     /// zero load.
     pub fn mean_interarrival_cycles(&self) -> Option<f64> {
-        (self.injection_rate_flits > 0.0)
-            .then(|| self.lengths.mean() / self.injection_rate_flits)
+        (self.injection_rate_flits > 0.0).then(|| self.lengths.mean() / self.injection_rate_flits)
     }
 }
 

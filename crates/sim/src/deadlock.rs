@@ -148,7 +148,9 @@ pub(crate) fn detect_deadlock(sim: &Simulation<'_>) -> DeadlockReport {
             if *next < succs.len() {
                 let (ch, owner) = succs[*next];
                 *next += 1;
-                let Some(&succ) = index_of.get(&owner) else { continue };
+                let Some(&succ) = index_of.get(&owner) else {
+                    continue;
+                };
                 match color[succ] {
                     Color::White => {
                         color[succ] = Color::Gray;
@@ -182,7 +184,11 @@ pub(crate) fn detect_deadlock(sim: &Simulation<'_>) -> DeadlockReport {
         for (node, ch) in chain {
             let id = ids[node];
             let p = &packets[id.index() as usize];
-            cycle.push(WaitEdge { packet: id, at_node: p.head_node(), wants: ch });
+            cycle.push(WaitEdge {
+                packet: id,
+                at_node: p.head_node(),
+                wants: ch,
+            });
         }
     }
 

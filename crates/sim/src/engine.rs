@@ -6,10 +6,9 @@ use crate::metrics::MetricsCollector;
 use crate::packet::{Packet, PacketId, PacketState};
 use crate::patterns::TrafficPattern;
 use crate::traffic::PoissonSource;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use turnroute_core::RoutingAlgorithm;
+use turnroute_rng::{Rng, StdRng};
 use turnroute_topology::{ChannelId, DirSet, Direction, NodeId, Topology};
 
 /// Why a simulation run ended.
@@ -198,7 +197,8 @@ impl<'a> Simulation<'a> {
     /// Panics if `src == dst` or `length == 0`.
     pub fn inject_message(&mut self, src: NodeId, dst: NodeId, length: u32) -> PacketId {
         let id = PacketId(self.packets.len() as u64);
-        self.packets.push(Packet::new(id, src, dst, length, self.cycle));
+        self.packets
+            .push(Packet::new(id, src, dst, length, self.cycle));
         self.queues[src.index()].push_back(id);
         self.total_generated += 1;
         if self.in_window() {
@@ -256,7 +256,10 @@ impl<'a> Simulation<'a> {
             return vec![0.0; self.channel_flits.len()];
         }
         let usec = crate::config::cycles_to_usec(cycles);
-        self.channel_flits.iter().map(|&f| f as f64 / usec).collect()
+        self.channel_flits
+            .iter()
+            .map(|&f| f as f64 / usec)
+            .collect()
     }
 
     fn in_window(&self) -> bool {
@@ -269,7 +272,7 @@ impl<'a> Simulation<'a> {
         self.generate();
         let grants = self.arbitrate();
         let progressed = self.advance(grants);
-        if self.in_window() && self.cycle % 256 == 0 {
+        if self.in_window() && self.cycle.is_multiple_of(256) {
             let queued = self.queued_messages();
             self.metrics.queue_samples.push(queued);
         }
@@ -408,8 +411,7 @@ impl<'a> Simulation<'a> {
         // policy at every contested channel.
         match self.config.input_selection {
             InputSelection::FirstComeFirstServed => {
-                requesters
-                    .sort_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
+                requesters.sort_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
             }
             InputSelection::FixedPriority => {
                 requesters.sort_by_key(|&id| {
@@ -443,9 +445,7 @@ impl<'a> Simulation<'a> {
                 }
                 continue;
             }
-            if let Some(&channel) =
-                candidates.iter().find(|c| !granted_this_cycle[c.index()])
-            {
+            if let Some(&channel) = candidates.iter().find(|c| !granted_this_cycle[c.index()]) {
                 granted_this_cycle[channel.index()] = true;
                 grants.push((id, channel));
             }
@@ -537,8 +537,8 @@ impl<'a> Simulation<'a> {
             self.total_delivered += 1;
             self.in_flight.retain(|&q| q != id);
             let p = &self.packets[id.0 as usize];
-            let record = p.created_at >= self.metrics.window_start
-                && p.created_at < self.metrics.window_end;
+            let record =
+                p.created_at >= self.metrics.window_start && p.created_at < self.metrics.window_end;
             if record {
                 let latency = self.cycle - p.created_at;
                 let net_latency = self.cycle - p.injected_at.expect("delivered => injected");
@@ -578,6 +578,7 @@ impl<'a> Simulation<'a> {
     }
 
     /// Internal accessors for deadlock analysis.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn deadlock_view(
         &self,
     ) -> (
@@ -779,13 +780,15 @@ mod tests {
     fn flit_conservation_invariant() {
         let mesh = Mesh::new_2d(4, 4);
         let algo = WestFirst::minimal();
-        let config = SimConfig::paper().injection_rate(0.1).warmup_cycles(0).measure_cycles(0);
+        let config = SimConfig::paper()
+            .injection_rate(0.1)
+            .warmup_cycles(0)
+            .measure_cycles(0);
         let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
         for _ in 0..2_000 {
             sim.step();
             for p in sim.packets() {
-                let total =
-                    p.flits_at_source + p.flits_in_network() + p.flits_consumed;
+                let total = p.flits_at_source + p.flits_in_network() + p.flits_consumed;
                 assert_eq!(total, p.length);
             }
             // Channel ownership is consistent with worms.
@@ -796,8 +799,9 @@ mod tests {
                     owned += 1;
                 }
             }
-            let owners =
-                (0..mesh.num_channels()).filter(|&c| sim.channel_owner(ChannelId::new(c)).is_some()).count();
+            let owners = (0..mesh.num_channels())
+                .filter(|&c| sim.channel_owner(ChannelId::new(c)).is_some())
+                .count();
             assert_eq!(owned, owners);
         }
     }

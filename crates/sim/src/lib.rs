@@ -43,18 +43,20 @@
 mod config;
 mod deadlock;
 mod engine;
+pub mod exec;
 mod metrics;
 mod packet;
 pub mod patterns;
+pub mod report;
 mod sweep;
 mod traffic;
 
 pub use config::{
-    cycles_to_usec, InputSelection, LengthDistribution, OutputSelection, SimConfig,
-    FLITS_PER_USEC,
+    cycles_to_usec, InputSelection, LengthDistribution, OutputSelection, SimConfig, FLITS_PER_USEC,
 };
 pub use deadlock::{DeadlockReport, WaitEdge};
 pub use engine::{RunOutcome, SimReport, Simulation};
+pub use exec::{CellCache, ExecStats, Executor, SeriesJob};
 pub use metrics::MetricsCollector;
 pub use packet::{Packet, PacketId, PacketState};
 pub use sweep::{sweep, SweepPoint, SweepSeries};

@@ -66,8 +66,10 @@ impl MetricsCollector {
         if self.hop_counts.is_empty() {
             None
         } else {
-            Some(self.hop_counts.iter().map(|&h| h as f64).sum::<f64>()
-                / self.hop_counts.len() as f64)
+            Some(
+                self.hop_counts.iter().map(|&h| h as f64).sum::<f64>()
+                    / self.hop_counts.len() as f64,
+            )
         }
     }
 
@@ -80,10 +82,15 @@ impl MetricsCollector {
         if n < 4 {
             return true;
         }
-        let early: f64 =
-            self.queue_samples[..n / 2].iter().map(|&q| q as f64).sum::<f64>()
-                / (n / 2) as f64;
-        let late: f64 = self.queue_samples[n / 2..].iter().map(|&q| q as f64).sum::<f64>()
+        let early: f64 = self.queue_samples[..n / 2]
+            .iter()
+            .map(|&q| q as f64)
+            .sum::<f64>()
+            / (n / 2) as f64;
+        let late: f64 = self.queue_samples[n / 2..]
+            .iter()
+            .map(|&q| q as f64)
+            .sum::<f64>()
             / (n - n / 2) as f64;
         late <= early * 1.5 + 8.0
     }

@@ -5,20 +5,19 @@
 //! module adds the other classic patterns (bit-complement, bit-reversal,
 //! shuffle, tornado, hotspot, nearest-neighbor) for wider studies.
 
-use rand::Rng;
+use turnroute_rng::{Rng, RngCore};
 use turnroute_topology::{NodeId, Topology};
 
 /// A traffic pattern: maps a source to a destination, possibly randomly.
 ///
 /// Returns `None` when the pattern maps the source to itself (such
 /// messages are consumed locally and never enter the network).
-pub trait TrafficPattern {
+pub trait TrafficPattern: Send + Sync {
     /// A short name for tables and plots.
     fn name(&self) -> String;
 
     /// Picks the destination for a message from `src`.
-    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn rand::RngCore)
-        -> Option<NodeId>;
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
 }
 
 /// Uniform traffic: every other node is equally likely (Section 6).
@@ -30,12 +29,7 @@ impl TrafficPattern for Uniform {
         "uniform".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_nodes();
         let mut pick = rng.random_range(0..n - 1);
         if pick >= src.index() {
@@ -65,14 +59,13 @@ impl TrafficPattern for Transpose {
         "matrix-transpose".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         assert_eq!(topo.num_dims(), 2, "transpose is a 2D-mesh pattern");
-        assert_eq!(topo.radix(0), topo.radix(1), "transpose needs a square mesh");
+        assert_eq!(
+            topo.radix(0),
+            topo.radix(1),
+            "transpose needs a square mesh"
+        );
         let k = topo.radix(0) as u16;
         let c = topo.coord_of(src);
         let (i, j) = (c.get(0), c.get(1));
@@ -96,14 +89,17 @@ impl TrafficPattern for DiagonalTranspose {
         "diagonal-transpose".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
-        assert_eq!(topo.num_dims(), 2, "diagonal transpose is a 2D-mesh pattern");
-        assert_eq!(topo.radix(0), topo.radix(1), "diagonal transpose needs a square mesh");
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        assert_eq!(
+            topo.num_dims(),
+            2,
+            "diagonal transpose is a 2D-mesh pattern"
+        );
+        assert_eq!(
+            topo.radix(0),
+            topo.radix(1),
+            "diagonal transpose needs a square mesh"
+        );
         let c = topo.coord_of(src);
         let (i, j) = (c.get(0), c.get(1));
         (i != j).then(|| topo.node_at(&[j, i].into()))
@@ -122,14 +118,12 @@ impl TrafficPattern for HypercubeTranspose {
         "matrix-transpose".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_dims();
-        assert!(n % 2 == 0, "hypercube transpose needs an even dimension count");
+        assert!(
+            n.is_multiple_of(2),
+            "hypercube transpose needs an even dimension count"
+        );
         assert!(
             (0..n).all(|d| topo.radix(d) == 2),
             "hypercube transpose is a hypercube pattern"
@@ -155,12 +149,7 @@ impl TrafficPattern for ReverseFlip {
         "reverse-flip".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_dims();
         assert!(
             (0..n).all(|d| topo.radix(d) == 2),
@@ -187,12 +176,7 @@ impl TrafficPattern for BitComplement {
         "bit-complement".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let c = topo.coord_of(src);
         let flipped: Vec<u16> = (0..topo.num_dims())
             .map(|i| (topo.radix(i) - 1) as u16 - c.get(i))
@@ -212,12 +196,7 @@ impl TrafficPattern for BitReversal {
         "bit-reversal".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_dims();
         assert!(
             (0..n).all(|d| topo.radix(d) == 2),
@@ -242,12 +221,7 @@ impl TrafficPattern for Shuffle {
         "shuffle".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_dims();
         assert!(
             (0..n).all(|d| topo.radix(d) == 2),
@@ -269,12 +243,7 @@ impl TrafficPattern for Tornado {
         "tornado".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        _rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let mut c = topo.coord_of(src);
         let k = topo.radix(0);
         let shift = (k - 1) / 2;
@@ -301,7 +270,10 @@ impl Hotspot {
     ///
     /// Panics unless `0.0 <= fraction <= 1.0`.
     pub fn new(hotspot: NodeId, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         Hotspot { hotspot, fraction }
     }
 }
@@ -311,12 +283,7 @@ impl TrafficPattern for Hotspot {
         format!("hotspot({}%)", (self.fraction * 100.0).round())
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         if rng.random_bool(self.fraction) {
             (self.hotspot != src).then_some(self.hotspot)
         } else {
@@ -334,12 +301,7 @@ impl TrafficPattern for NearestNeighbor {
         "nearest-neighbor".to_owned()
     }
 
-    fn dest(
-        &self,
-        topo: &dyn Topology,
-        src: NodeId,
-        rng: &mut dyn rand::RngCore,
-    ) -> Option<NodeId> {
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         let neighbors: Vec<NodeId> = turnroute_topology::Direction::all(topo.num_dims())
             .filter_map(|d| topo.neighbor(src, d))
             .collect();
@@ -351,8 +313,7 @@ impl TrafficPattern for NearestNeighbor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use turnroute_rng::StdRng;
     use turnroute_topology::{Hypercube, Mesh, Torus};
 
     fn rng() -> StdRng {

@@ -1,0 +1,160 @@
+//! Uniform emission of sweep results: one CSV schema and one JSON
+//! schema for every figure and table regenerator.
+//!
+//! Every regenerator used to hand-roll its own `println!` CSV; this
+//! module is the single source of truth for the output formats, so
+//! downstream plotting sees one schema regardless of which binary
+//! produced the file.
+
+use crate::sweep::{SweepPoint, SweepSeries};
+use std::io::{self, Write};
+
+/// The CSV header every regenerator emits.
+pub const CSV_HEADER: &str = "algorithm,pattern,offered_load,throughput_flits_per_usec,\
+avg_latency_usec,p95_latency_usec,avg_hops,sustainable,status";
+
+/// Formats one point as a CSV row (no trailing newline).
+pub fn csv_row(algorithm: &str, pattern: &str, p: &SweepPoint) -> String {
+    format!(
+        "{},{},{:.4},{:.3},{},{},{},{},{}",
+        algorithm,
+        pattern,
+        p.offered_load,
+        p.throughput,
+        p.avg_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
+        p.p95_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
+        p.avg_hops.map_or("".into(), |v| format!("{v:.2}")),
+        p.sustainable,
+        if p.skipped { "skipped" } else { "ok" },
+    )
+}
+
+/// Writes the header plus every series' rows.
+pub fn write_csv(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for s in series {
+        for p in &s.points {
+            writeln!(w, "{}", csv_row(&s.algorithm, &s.pattern, p))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the series as a machine-readable JSON document:
+/// `[{"algorithm": ..., "pattern": ..., "points": [{...}]}, ...]`.
+pub fn write_json(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "[")?;
+    for (i, s) in series.iter().enumerate() {
+        writeln!(w, "  {{")?;
+        writeln!(w, "    \"algorithm\": {},", json_string(&s.algorithm))?;
+        writeln!(w, "    \"pattern\": {},", json_string(&s.pattern))?;
+        writeln!(
+            w,
+            "    \"max_sustainable_throughput\": {},",
+            json_f64(s.max_sustainable_throughput())
+        )?;
+        writeln!(w, "    \"points\": [")?;
+        for (j, p) in s.points.iter().enumerate() {
+            write!(
+                w,
+                "      {{\"offered_load\": {}, \"throughput_flits_per_usec\": {}, \
+\"avg_latency_usec\": {}, \"p95_latency_usec\": {}, \"avg_hops\": {}, \
+\"sustainable\": {}, \"skipped\": {}}}",
+                json_f64(p.offered_load),
+                json_f64(p.throughput),
+                json_opt(p.avg_latency_usec),
+                json_opt(p.p95_latency_usec),
+                json_opt(p.avg_hops),
+                p.sustainable,
+                p.skipped,
+            )?;
+            writeln!(w, "{}", if j + 1 < s.points.len() { "," } else { "" })?;
+        }
+        writeln!(w, "    ]")?;
+        writeln!(w, "  }}{}", if i + 1 < series.len() { "," } else { "" })?;
+    }
+    writeln!(w, "]")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned() // JSON has no Infinity/NaN
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_owned(), json_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SweepSeries> {
+        vec![SweepSeries {
+            algorithm: "negative-first".into(),
+            pattern: "uniform".into(),
+            points: vec![
+                SweepPoint {
+                    offered_load: 0.05,
+                    throughput: 12.5,
+                    avg_latency_usec: Some(3.25),
+                    p95_latency_usec: Some(7.0),
+                    avg_hops: Some(4.5),
+                    sustainable: true,
+                    skipped: false,
+                },
+                SweepPoint::skipped_at(0.1),
+            ],
+        }]
+    }
+
+    #[test]
+    fn csv_has_header_and_status() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].ends_with(",true,ok"));
+        assert!(lines[2].ends_with(",false,skipped"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut buf = Vec::new();
+        write_json(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Balanced braces/brackets and the key fields present.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(text.contains("\"algorithm\": \"negative-first\""));
+        assert!(text.contains("\"skipped\": true"));
+        assert!(text.contains("\"avg_latency_usec\": null"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -2,7 +2,8 @@
 //! figure.
 
 use crate::config::SimConfig;
-use crate::engine::{RunOutcome, SimReport, Simulation};
+use crate::engine::SimReport;
+use crate::exec::{Executor, SeriesJob};
 use crate::patterns::TrafficPattern;
 use turnroute_core::RoutingAlgorithm;
 use turnroute_topology::Topology;
@@ -23,10 +24,15 @@ pub struct SweepPoint {
     /// `true` if the point is sustainable (bounded source queues, no
     /// deadlock).
     pub sustainable: bool,
+    /// `true` if the executor never simulated this point: a lower load
+    /// in the same series was already unsustainable, so this one is
+    /// monotonically unsustainable too.
+    pub skipped: bool,
 }
 
 impl SweepPoint {
-    fn from_report(report: &SimReport) -> Self {
+    /// The operating point a finished simulation measured.
+    pub fn from_report(report: &SimReport) -> Self {
         SweepPoint {
             offered_load: report.offered_load,
             throughput: report.metrics.throughput_flits_per_usec(),
@@ -34,6 +40,21 @@ impl SweepPoint {
             p95_latency_usec: report.metrics.latency_quantile_usec(0.95),
             avg_hops: report.metrics.avg_hops(),
             sustainable: report.sustainable(),
+            skipped: false,
+        }
+    }
+
+    /// The placeholder for a load the executor skipped as monotonically
+    /// unsustainable.
+    pub fn skipped_at(offered_load: f64) -> Self {
+        SweepPoint {
+            offered_load,
+            throughput: 0.0,
+            avg_latency_usec: None,
+            p95_latency_usec: None,
+            avg_hops: None,
+            sustainable: false,
+            skipped: true,
         }
     }
 }
@@ -60,22 +81,13 @@ impl SweepSeries {
             .fold(0.0, f64::max)
     }
 
-    /// Renders the series as CSV rows
-    /// (`algorithm,pattern,offered,throughput,latency,p95,hops,sustainable`).
+    /// Renders the series as CSV rows in the uniform schema
+    /// (see [`crate::report`] for the header and a JSON writer).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for p in &self.points {
-            out.push_str(&format!(
-                "{},{},{:.4},{:.3},{},{},{},{}\n",
-                self.algorithm,
-                self.pattern,
-                p.offered_load,
-                p.throughput,
-                p.avg_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
-                p.p95_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
-                p.avg_hops.map_or("".into(), |v| format!("{v:.2}")),
-                p.sustainable,
-            ));
+            out.push_str(&crate::report::csv_row(&self.algorithm, &self.pattern, p));
+            out.push('\n');
         }
         out
     }
@@ -84,10 +96,15 @@ impl SweepSeries {
 /// Runs `algorithm` under `pattern` at each offered load and collects
 /// the latency/throughput series.
 ///
-/// Each load runs a fresh, identically seeded simulation so that the
-/// series is comparable point to point. A deadlocked run (impossible for
-/// the paper's algorithms; possible for hand-built turn sets) yields an
-/// unsustainable point with zero throughput.
+/// Each load runs a fresh simulation whose seed derives from the cell's
+/// identity (see [`crate::exec::derive_cell_seed`]), so the series is
+/// reproducible cell by cell under any schedule. A deadlocked run
+/// (impossible for the paper's algorithms; possible for hand-built turn
+/// sets) yields an unsustainable point with zero throughput, and the
+/// executor skips every higher load in the series.
+///
+/// This is the single-threaded convenience form of
+/// [`crate::exec::Executor`]; pass more threads there to fan grids out.
 pub fn sweep(
     topo: &dyn Topology,
     algorithm: &dyn RoutingAlgorithm,
@@ -95,22 +112,8 @@ pub fn sweep(
     base: &SimConfig,
     offered_loads: &[f64],
 ) -> SweepSeries {
-    let mut points = Vec::with_capacity(offered_loads.len());
-    for &load in offered_loads {
-        let config = base.clone().injection_rate(load);
-        let mut sim = Simulation::new(topo, algorithm, pattern, config);
-        let report = sim.run();
-        let mut point = SweepPoint::from_report(&report);
-        if matches!(report.outcome, RunOutcome::Deadlocked(_)) {
-            point.sustainable = false;
-        }
-        points.push(point);
-    }
-    SweepSeries {
-        algorithm: algorithm.name(),
-        pattern: pattern.name(),
-        points,
-    }
+    let job = SeriesJob::simulation(topo, algorithm, pattern, base, offered_loads);
+    Executor::new(1).run(vec![job]).remove(0)
 }
 
 #[cfg(test)]
@@ -131,21 +134,19 @@ mod tests {
     fn throughput_tracks_offered_load_below_saturation() {
         let mesh = Mesh::new_2d(4, 4);
         let algo = DimensionOrder::new();
-        let series = sweep(
-            &mesh,
-            &algo,
-            &Uniform,
-            &small_config(),
-            &[0.01, 0.05],
-        );
+        let series = sweep(&mesh, &algo, &Uniform, &small_config(), &[0.01, 0.05]);
         assert_eq!(series.points.len(), 2);
         let (a, b) = (&series.points[0], &series.points[1]);
         assert!(a.sustainable && b.sustainable);
         assert!(b.throughput > a.throughput);
         // Delivered roughly equals offered: 16 nodes * load * 20.
         let offered_fpu = 16.0 * 0.05 * 20.0;
-        assert!((b.throughput - offered_fpu).abs() / offered_fpu < 0.25,
-            "delivered {} vs offered {}", b.throughput, offered_fpu);
+        assert!(
+            (b.throughput - offered_fpu).abs() / offered_fpu < 0.25,
+            "delivered {} vs offered {}",
+            b.throughput,
+            offered_fpu
+        );
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! lengths.
 
 use crate::config::LengthDistribution;
-use rand::Rng;
-use rand::RngCore;
+use turnroute_rng::{Rng, RngCore};
 
 /// Per-node Poisson message source: inter-arrival times are drawn from a
 /// negative exponential distribution (Section 6), message lengths from
@@ -32,7 +31,11 @@ impl PoissonSource {
             None => vec![f64::INFINITY; num_nodes],
             Some(mean) => (0..num_nodes).map(|_| exponential(rng, mean)).collect(),
         };
-        PoissonSource { mean_interarrival, lengths, next_arrival }
+        PoissonSource {
+            mean_interarrival,
+            lengths,
+            next_arrival,
+        }
     }
 
     /// Calls `emit(length)` once per message node `node` generates up to
@@ -44,7 +47,9 @@ impl PoissonSource {
         rng: &mut dyn RngCore,
         mut emit: impl FnMut(u32),
     ) {
-        let Some(mean) = self.mean_interarrival else { return };
+        let Some(mean) = self.mean_interarrival else {
+            return;
+        };
         while self.next_arrival[node] <= cycle as f64 {
             emit(self.sample_length(rng));
             self.next_arrival[node] += exponential(rng, mean);
@@ -75,14 +80,12 @@ fn exponential(rng: &mut dyn RngCore, mean: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use turnroute_rng::StdRng;
 
     #[test]
     fn rate_is_respected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut src =
-            PoissonSource::new(1, Some(50.0), LengthDistribution::Fixed(10), &mut rng);
+        let mut src = PoissonSource::new(1, Some(50.0), LengthDistribution::Fixed(10), &mut rng);
         let mut count = 0u32;
         for cycle in 0..100_000u64 {
             src.poll(0, cycle, &mut rng, |_| count += 1);
@@ -118,8 +121,7 @@ mod tests {
     #[test]
     fn exponential_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mean: f64 =
-            (0..20_000).map(|_| exponential(&mut rng, 7.0)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| exponential(&mut rng, 7.0)).sum::<f64>() / 20_000.0;
         assert!((mean - 7.0).abs() < 0.2, "got {mean}");
     }
 
@@ -128,8 +130,7 @@ mod tests {
         // With a tiny mean, one poll spanning many cycles emits several
         // messages.
         let mut rng = StdRng::seed_from_u64(4);
-        let mut src =
-            PoissonSource::new(1, Some(0.5), LengthDistribution::Fixed(1), &mut rng);
+        let mut src = PoissonSource::new(1, Some(0.5), LengthDistribution::Fixed(1), &mut rng);
         let mut count = 0;
         src.poll(0, 100, &mut rng, |_| count += 1);
         assert!(count > 50, "got {count}");

@@ -2,7 +2,7 @@
 //! nonminimal adaptive routing (Sections 1 and 7), exercised in the
 //! simulator rather than on paper.
 
-use turnroute_core::{DimensionOrder, RoutingAlgorithm, WestFirst};
+use turnroute_core::{DimensionOrder, WestFirst};
 use turnroute_sim::patterns::{TrafficPattern, Uniform};
 use turnroute_sim::{RunOutcome, SimConfig, Simulation};
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
@@ -36,15 +36,15 @@ impl TrafficPattern for CrossTraffic {
         &self,
         topo: &dyn Topology,
         src: NodeId,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn turnroute_rng::RngCore,
     ) -> Option<NodeId> {
-        use rand::Rng;
+        use turnroute_rng::Rng;
         let c = topo.coord_of(src);
         if c.get(0) > 2 || c.get(1) != 3 {
             return None; // west-side row-3 sources only
         }
         let x = rng.random_range(5..topo.radix(0)) as u16;
-        let y = rng.random_range(3..6) as u16;
+        let y = rng.random_range(3..6usize) as u16;
         Some(topo.node_at(&[x, y].into()))
     }
 }
@@ -92,7 +92,10 @@ fn minimal_xy_blocks_permanently_at_a_dead_link() {
             // Not a circular wait: a permanent roadblock at the failed
             // link.
             assert!(d.cycle.is_empty());
-            assert!(!d.stranded.is_empty(), "fault-blocked packets are roadblocks");
+            assert!(
+                !d.stranded.is_empty(),
+                "fault-blocked packets are roadblocks"
+            );
         }
         RunOutcome::Completed => {
             panic!("xy cannot route around a dead link on its only path")

@@ -27,7 +27,10 @@ impl Cartesian {
         assert!(!dims.is_empty(), "topology needs at least one dimension");
         assert!(dims.len() <= 16, "at most 16 dimensions are supported");
         assert_eq!(dims.len(), wrap.len());
-        assert!(dims.iter().all(|&k| k >= 2), "every radix must be at least 2");
+        assert!(
+            dims.iter().all(|&k| k >= 2),
+            "every radix must be at least 2"
+        );
         assert!(
             dims.iter().all(|&k| k <= u16::MAX as usize),
             "radix must fit in u16"
@@ -56,7 +59,12 @@ impl Cartesian {
             for dir in Direction::all(n) {
                 if let Some((dst, wraparound)) = grid.step(node, dir) {
                     let id = ChannelId::new(grid.channels.len());
-                    grid.channels.push(Channel { src: node, dst, dir, wraparound });
+                    grid.channels.push(Channel {
+                        src: node,
+                        dst,
+                        dir,
+                        wraparound,
+                    });
                     grid.channel_from[node.index() * 2 * n + dir.index()] = Some(id);
                 }
             }
@@ -172,7 +180,11 @@ impl Cartesian {
             }
             let k = self.dims[dim] as i64;
             if !self.wrap[dim] {
-                set.insert(if t > f { Direction::plus(dim) } else { Direction::minus(dim) });
+                set.insert(if t > f {
+                    Direction::plus(dim)
+                } else {
+                    Direction::minus(dim)
+                });
             } else {
                 // Positive hops needed going up modulo k, vs. going down.
                 let up = (t - f).rem_euclid(k);

@@ -88,7 +88,10 @@ mod tests {
             wraparound: false,
         };
         assert_eq!(ch.to_string(), "n0 -> n1 [+d0]");
-        let wrap = Channel { wraparound: true, ..ch };
+        let wrap = Channel {
+            wraparound: true,
+            ..ch
+        };
         assert_eq!(wrap.to_string(), "n0 -> n1 [+d0, wrap]");
     }
 }

@@ -69,13 +69,25 @@ pub struct Direction {
 
 impl Direction {
     /// West: `-x`, i.e. minus along dimension 0 (2D naming).
-    pub const WEST: Direction = Direction { dim: 0, sign: Sign::Minus };
+    pub const WEST: Direction = Direction {
+        dim: 0,
+        sign: Sign::Minus,
+    };
     /// East: `+x`, i.e. plus along dimension 0 (2D naming).
-    pub const EAST: Direction = Direction { dim: 0, sign: Sign::Plus };
+    pub const EAST: Direction = Direction {
+        dim: 0,
+        sign: Sign::Plus,
+    };
     /// South: `-y`, i.e. minus along dimension 1 (2D naming).
-    pub const SOUTH: Direction = Direction { dim: 1, sign: Sign::Minus };
+    pub const SOUTH: Direction = Direction {
+        dim: 1,
+        sign: Sign::Minus,
+    };
     /// North: `+y`, i.e. plus along dimension 1 (2D naming).
-    pub const NORTH: Direction = Direction { dim: 1, sign: Sign::Plus };
+    pub const NORTH: Direction = Direction {
+        dim: 1,
+        sign: Sign::Plus,
+    };
 
     /// Creates a direction.
     ///
@@ -85,7 +97,10 @@ impl Direction {
     /// 16 dimensions so that a [`DirSet`] fits in a `u32`.
     pub fn new(dim: usize, sign: Sign) -> Self {
         assert!(dim < 16, "at most 16 dimensions are supported");
-        Direction { dim: dim as u8, sign }
+        Direction {
+            dim: dim as u8,
+            sign,
+        }
     }
 
     /// The negative direction along `dim`.
@@ -110,7 +125,10 @@ impl Direction {
 
     /// The 180-degree opposite direction.
     pub fn opposite(self) -> Direction {
-        Direction { dim: self.dim, sign: self.sign.opposite() }
+        Direction {
+            dim: self.dim,
+            sign: self.sign.opposite(),
+        }
     }
 
     /// Dense index in `0..2n`: `2 * dim + (sign == Plus)`.
@@ -123,7 +141,11 @@ impl Direction {
 
     /// Inverse of [`Direction::index`].
     pub fn from_index(index: usize) -> Direction {
-        let sign = if index % 2 == 0 { Sign::Minus } else { Sign::Plus };
+        let sign = if index.is_multiple_of(2) {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         Direction::new(index / 2, sign)
     }
 
@@ -396,7 +418,10 @@ mod tests {
             .into_iter()
             .collect();
         let dirs: Vec<_> = set.iter().collect();
-        assert_eq!(dirs, vec![Direction::EAST, Direction::SOUTH, Direction::NORTH]);
+        assert_eq!(
+            dirs,
+            vec![Direction::EAST, Direction::SOUTH, Direction::NORTH]
+        );
         assert_eq!(set.first(), Some(Direction::EAST));
     }
 

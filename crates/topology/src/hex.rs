@@ -69,7 +69,12 @@ impl HexMesh {
             for dir in Direction::all(3) {
                 if let Some(dst) = hex.step(node, dir) {
                     let id = ChannelId::new(hex.channels.len());
-                    hex.channels.push(Channel { src: node, dst, dir, wraparound: false });
+                    hex.channels.push(Channel {
+                        src: node,
+                        dst,
+                        dir,
+                        wraparound: false,
+                    });
                     hex.channel_from[node.index() * 6 + dir.index()] = Some(id);
                 }
             }
@@ -259,7 +264,10 @@ mod tests {
         let dirs = hex.minimal_directions(a, b);
         assert!(dirs.contains(Direction::plus(2)), "C+ is productive");
         assert!(dirs.contains(Direction::plus(0)), "A+ is productive");
-        assert!(!dirs.contains(Direction::plus(1)), "B+ alone does not reduce");
+        assert!(
+            !dirs.contains(Direction::plus(1)),
+            "B+ alone does not reduce"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl Hypercube {
     ///
     /// Panics if `n == 0` or `n > 16`.
     pub fn new(n: usize) -> Self {
-        Hypercube { grid: Cartesian::new(vec![2; n], vec![false; n]), n }
+        Hypercube {
+            grid: Cartesian::new(vec![2; n], vec![false; n]),
+            n,
+        }
     }
 
     /// Bit `dim` of `node`'s address.
@@ -156,7 +159,10 @@ mod tests {
     fn neighbor_direction_depends_on_bit() {
         let cube = Hypercube::new(3);
         let zero = NodeId::new(0);
-        assert_eq!(cube.neighbor(zero, Direction::plus(0)), Some(NodeId::new(1)));
+        assert_eq!(
+            cube.neighbor(zero, Direction::plus(0)),
+            Some(NodeId::new(1))
+        );
         assert_eq!(cube.neighbor(zero, Direction::minus(0)), None);
         let one = NodeId::new(1);
         assert_eq!(cube.neighbor(one, Direction::minus(0)), Some(zero));
@@ -166,7 +172,7 @@ mod tests {
     #[test]
     fn distance_is_hamming() {
         let cube = Hypercube::new(10);
-        let s = NodeId::new(0b1011010100 >> 0);
+        let s = NodeId::new(0b1011010100);
         let d = NodeId::new(0b0010111001);
         // The Section 5 example: h = 6.
         assert_eq!(cube.distance(s, d), 6);

@@ -33,7 +33,9 @@ impl Mesh {
     /// radix is less than 2.
     pub fn new(dims: Vec<usize>) -> Self {
         let wrap = vec![false; dims.len()];
-        Mesh { grid: Cartesian::new(dims, wrap) }
+        Mesh {
+            grid: Cartesian::new(dims, wrap),
+        }
     }
 
     /// Creates the 2D `m x n` mesh of the paper's Section 3 (dimension 0

@@ -38,7 +38,10 @@ impl Torus {
     /// `n == 0`, or `n > 16`.
     pub fn new(k: usize, n: usize) -> Self {
         assert!(k >= 3, "use Hypercube for k = 2");
-        Torus { grid: Cartesian::new(vec![k; n], vec![true; n]), k }
+        Torus {
+            grid: Cartesian::new(vec![k; n], vec![true; n]),
+            k,
+        }
     }
 
     /// The radix `k` (identical in every dimension).

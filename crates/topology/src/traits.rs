@@ -19,7 +19,7 @@ use crate::{Channel, ChannelId, Coord, DirSet, Direction, NodeId};
 /// assert_eq!(cube.num_nodes(), 256);
 /// assert_eq!(cube.num_channels(), 8 * 256);
 /// ```
-pub trait Topology {
+pub trait Topology: Send + Sync {
     /// Number of dimensions `n`.
     fn num_dims(&self) -> usize;
 
@@ -86,7 +86,10 @@ pub trait Topology {
 
     /// Iterates over every node id.
     fn nodes(&self) -> NodeIds {
-        NodeIds { next: 0, end: self.num_nodes() }
+        NodeIds {
+            next: 0,
+            end: self.num_nodes(),
+        }
     }
 }
 

@@ -1,9 +1,16 @@
-//! Property-based invariants of the topology substrate.
+//! Randomized invariants of the topology substrate.
+//!
+//! These were proptest properties; the offline build vendors its own
+//! RNG instead, so each property is now a seeded loop over randomly
+//! drawn shapes. Failures print the drawn shape, which is reproducible
+//! from the fixed seed.
 
-use proptest::prelude::*;
+use turnroute_rng::{Rng, StdRng};
 use turnroute_topology::{
     bfs_distances, Direction, HexMesh, Hypercube, Mesh, NodeId, Topology, Torus,
 };
+
+const CASES: usize = 24;
 
 fn check_roundtrip(topo: &dyn Topology) {
     for node in topo.nodes() {
@@ -68,32 +75,50 @@ fn check_all(topo: &dyn Topology) {
     check_minimal_directions(topo);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn mesh_invariants(dims in proptest::collection::vec(2usize..6, 1..4)) {
-        check_all(&Mesh::new(dims));
+#[test]
+fn mesh_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let ndims = rng.random_range(1..4usize);
+        let dims: Vec<usize> = (0..ndims).map(|_| rng.random_range(2..6usize)).collect();
+        check_all(&Mesh::new(dims.clone()));
     }
+}
 
-    #[test]
-    fn torus_invariants(k in 3usize..7, n in 1usize..3) {
+#[test]
+fn torus_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let k = rng.random_range(3..7usize);
+        let n = rng.random_range(1..3usize);
         check_all(&Torus::new(k, n));
     }
+}
 
-    #[test]
-    fn hypercube_invariants(n in 1usize..7) {
+#[test]
+fn hypercube_invariants() {
+    for n in 1..7usize {
         check_all(&Hypercube::new(n));
     }
+}
 
-    #[test]
-    fn hex_invariants(m in 2usize..7, n in 2usize..7) {
+#[test]
+fn hex_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..7usize);
+        let n = rng.random_range(2..7usize);
         check_all(&HexMesh::new(m, n));
     }
+}
 
-    /// In every topology here, a channel exists iff its reverse does.
-    #[test]
-    fn channels_come_in_antiparallel_pairs(m in 2usize..6, n in 2usize..6) {
+/// In every topology here, a channel exists iff its reverse does.
+#[test]
+fn channels_come_in_antiparallel_pairs() {
+    let mut rng = StdRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..6usize);
+        let n = rng.random_range(2..6usize);
         for topo in [&Mesh::new_2d(m, n) as &dyn Topology, &HexMesh::new(m, n)] {
             for ch in topo.channels() {
                 assert!(
@@ -103,27 +128,38 @@ proptest! {
             }
         }
     }
+}
 
-    /// Hypercube distance is the Hamming distance of ids.
-    #[test]
-    fn hypercube_distance_is_hamming(n in 1usize..8, a in 0usize..256, b in 0usize..256) {
+/// Hypercube distance is the Hamming distance of ids.
+#[test]
+fn hypercube_distance_is_hamming() {
+    let mut rng = StdRng::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let n = rng.random_range(1..8usize);
         let cube = Hypercube::new(n);
-        let (a, b) = (a % cube.num_nodes(), b % cube.num_nodes());
-        prop_assert_eq!(
+        let a = rng.random_range(0..256usize) % cube.num_nodes();
+        let b = rng.random_range(0..256usize) % cube.num_nodes();
+        assert_eq!(
             cube.distance(NodeId::new(a), NodeId::new(b)),
             (a ^ b).count_ones() as usize
         );
     }
+}
 
-    /// Torus distance never exceeds mesh distance on the same coords.
-    #[test]
-    fn wraparound_never_hurts(k in 3usize..8, a in 0usize..64, b in 0usize..64) {
+/// Torus distance never exceeds mesh distance on the same coords.
+#[test]
+fn wraparound_never_hurts() {
+    let mut rng = StdRng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let k = rng.random_range(3..8usize);
         let torus = Torus::new(k, 2);
         let mesh = Mesh::new_2d(k, k);
-        let (a, b) = (a % (k * k), b % (k * k));
-        prop_assert!(
+        let a = rng.random_range(0..64usize) % (k * k);
+        let b = rng.random_range(0..64usize) % (k * k);
+        assert!(
             torus.distance(NodeId::new(a), NodeId::new(b))
-                <= mesh.distance(NodeId::new(a), NodeId::new(b))
+                <= mesh.distance(NodeId::new(a), NodeId::new(b)),
+            "k={k} a={a} b={b}"
         );
     }
 }

@@ -68,7 +68,9 @@ impl VcRoutingAlgorithm for DatelineDimensionOrder {
         let mut set = VDirSet::new();
         // Lowest unresolved dimension first.
         let productive = topo.minimal_directions(current, dest);
-        let Some(first) = productive.first() else { return set };
+        let Some(first) = productive.first() else {
+            return set;
+        };
         let dim = first.dim();
         for dir in productive.iter().filter(|d| d.dim() == dim) {
             // Lane 1 from the wraparound hop onward within a dimension.

@@ -12,9 +12,8 @@
 use crate::routing::VcRoutingAlgorithm;
 use crate::table::{VcTable, VirtualChannelId};
 use crate::vdir::VirtualDirection;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::VecDeque;
+use turnroute_rng::StdRng;
 use turnroute_sim::patterns::TrafficPattern;
 use turnroute_sim::{
     DeadlockReport, MetricsCollector, PoissonSource, RunOutcome, SimConfig, SimReport,
@@ -71,7 +70,11 @@ impl VcPacket {
 
     /// Flit conservation components: (at source, in network, consumed).
     pub fn flit_counts(&self) -> (u32, u32, u32) {
-        (self.flits_at_source, self.worm.len() as u32, self.flits_consumed)
+        (
+            self.flits_at_source,
+            self.worm.len() as u32,
+            self.flits_consumed,
+        )
     }
 }
 
@@ -268,11 +271,7 @@ impl<'a> VcSimulation<'a> {
         let mut grants: Vec<(VcPacketId, VirtualChannelId)> = Vec::new();
         let mut granted = vec![false; self.table.num_virtual_channels()];
         for id in requesters {
-            if let Some(&vc) = self
-                .candidates(id)
-                .iter()
-                .find(|vc| !granted[vc.index()])
-            {
+            if let Some(&vc) = self.candidates(id).iter().find(|vc| !granted[vc.index()]) {
                 granted[vc.index()] = true;
                 grants.push((id, vc));
             }
@@ -301,7 +300,7 @@ impl<'a> VcSimulation<'a> {
             }
         }
 
-        if self.in_window() && self.cycle % 256 == 0 {
+        if self.in_window() && self.cycle.is_multiple_of(256) {
             let queued = self.queues.iter().map(VecDeque::len).sum();
             self.metrics.queue_samples.push(queued);
         }
@@ -418,9 +417,7 @@ impl<'a> VcSimulation<'a> {
             self.total_delivered += 1;
             self.in_flight.retain(|&q| q != id);
             let p = &self.packets[id.0 as usize];
-            if p.created_at >= self.metrics.window_start
-                && p.created_at < self.metrics.window_end
-            {
+            if p.created_at >= self.metrics.window_start && p.created_at < self.metrics.window_end {
                 self.metrics.latencies.push(self.cycle - p.created_at);
                 self.metrics
                     .network_latencies
@@ -479,6 +476,37 @@ impl<'a> VcSimulation<'a> {
     }
 }
 
+/// A [`turnroute_sim::exec::SeriesJob`] running the virtual-channel
+/// engine, so VC sweeps schedule through the same parallel executor as
+/// plain ones.
+pub fn vc_series_job<'a>(
+    topo: &'a dyn Topology,
+    algorithm: &'a dyn VcRoutingAlgorithm,
+    pattern: &'a dyn TrafficPattern,
+    base: &SimConfig,
+    offered_loads: &[f64],
+) -> turnroute_sim::SeriesJob<'a> {
+    let config = base.clone();
+    let cache_key = turnroute_sim::exec::sim_cache_key(
+        format!("vc:{}", topo.label()),
+        &algorithm.name(),
+        &pattern.name(),
+        base,
+    );
+    turnroute_sim::SeriesJob::new(
+        algorithm.name(),
+        pattern.name(),
+        cache_key,
+        base.seed,
+        offered_loads,
+        move |load, seed| {
+            let cfg = config.clone().injection_rate(load).seed(seed);
+            let report = VcSimulation::new(topo, algorithm, pattern, cfg).run();
+            turnroute_sim::SweepPoint::from_report(&report)
+        },
+    )
+}
+
 /// Sweeps `algorithm` over the offered loads, mirroring
 /// [`turnroute_sim::sweep`] for the virtual-channel engine so that
 /// lane-based and channel-free algorithms can share one figure.
@@ -489,25 +517,8 @@ pub fn sweep_vc(
     base: &SimConfig,
     offered_loads: &[f64],
 ) -> turnroute_sim::SweepSeries {
-    let mut points = Vec::with_capacity(offered_loads.len());
-    for &load in offered_loads {
-        let config = base.clone().injection_rate(load);
-        let mut sim = VcSimulation::new(topo, algorithm, pattern, config);
-        let report = sim.run();
-        points.push(turnroute_sim::SweepPoint {
-            offered_load: load,
-            throughput: report.metrics.throughput_flits_per_usec(),
-            avg_latency_usec: report.metrics.avg_latency_usec(),
-            p95_latency_usec: report.metrics.latency_quantile_usec(0.95),
-            avg_hops: report.metrics.avg_hops(),
-            sustainable: report.sustainable(),
-        });
-    }
-    turnroute_sim::SweepSeries {
-        algorithm: algorithm.name(),
-        pattern: pattern.name(),
-        points,
-    }
+    let job = vc_series_job(topo, algorithm, pattern, base, offered_loads);
+    turnroute_sim::Executor::new(1).run(vec![job]).remove(0)
 }
 
 #[cfg(test)]
@@ -547,7 +558,9 @@ mod tests {
         }
         assert_eq!(
             base.packet(base_id).latency_cycles().unwrap(),
-            vcsim.packets()[vc_id.index() as usize].delivered_at.unwrap(),
+            vcsim.packets()[vc_id.index() as usize]
+                .delivered_at
+                .unwrap(),
         );
     }
 
@@ -626,8 +639,7 @@ mod tests {
             .measure_cycles(10_000)
             .seed(31);
         let mady = MadY::new();
-        let mady_report =
-            VcSimulation::new(&mesh, &mady, &Transpose, config.clone()).run();
+        let mady_report = VcSimulation::new(&mesh, &mady, &Transpose, config.clone()).run();
         let nf = SingleClass::new(NegativeFirst::minimal());
         let nf_report = VcSimulation::new(&mesh, &nf, &Transpose, config).run();
         let (m, n) = (

@@ -52,7 +52,7 @@ mod vdir;
 mod verify;
 
 pub use dateline::{dateline_may_follow, DatelineDimensionOrder};
-pub use engine::{sweep_vc, VcPacket, VcPacketId, VcSimulation};
+pub use engine::{sweep_vc, vc_series_job, VcPacket, VcPacketId, VcSimulation};
 pub use mady::{mady_may_follow, MadY};
 pub use routing::{check_vc_routing_contract, walk_vc, SingleClass, VcRoutingAlgorithm};
 pub use table::{VcTable, VirtualChannelId};

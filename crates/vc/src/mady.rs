@@ -71,7 +71,10 @@ impl VcRoutingAlgorithm for MadY {
 
     fn provisioning(&self, topo: &dyn Topology) -> Vec<u8> {
         assert_eq!(topo.num_dims(), 2, "mad-y is a 2D-mesh algorithm");
-        assert!(!topo.wraps(0) && !topo.wraps(1), "mad-y is a mesh algorithm");
+        assert!(
+            !topo.wraps(0) && !topo.wraps(1),
+            "mad-y is a mesh algorithm"
+        );
         vec![1, 2]
     }
 

@@ -8,7 +8,7 @@ use turnroute_topology::{NodeId, Topology};
 /// A routing algorithm over virtual channels: like
 /// [`RoutingAlgorithm`], but the answer names virtual directions
 /// (physical direction + lane class).
-pub trait VcRoutingAlgorithm {
+pub trait VcRoutingAlgorithm: Send + Sync {
     /// A short name for tables and plots.
     fn name(&self) -> String;
 
@@ -94,7 +94,10 @@ pub fn walk_vc(
     let mut arrived = None;
     let hop_limit = 4 * (topo.num_nodes() + 1);
     while current != dest {
-        assert!(path.len() <= hop_limit, "walk exceeded hop limit: livelock?");
+        assert!(
+            path.len() <= hop_limit,
+            "walk exceeded hop limit: livelock?"
+        );
         let vdirs = algorithm.route_vc(topo, table, current, dest, arrived);
         let v = vdirs
             .iter()
@@ -104,7 +107,9 @@ pub fn walk_vc(
             table.vc_from(topo, current, v).is_some(),
             "vc routing algorithm returned an unprovisioned lane"
         );
-        current = topo.neighbor(current, v.dir()).expect("lane implies channel");
+        current = topo
+            .neighbor(current, v.dir())
+            .expect("lane implies channel");
         arrived = Some(v);
         path.push(current);
     }

@@ -47,9 +47,13 @@ impl VcTable {
     /// Panics if `classes` has the wrong length, or any entry is 0 or
     /// exceeds [`MAX_CLASSES`].
     pub fn new(topo: &dyn Topology, classes: &[u8]) -> Self {
-        assert_eq!(classes.len(), topo.num_dims(), "one class count per dimension");
+        assert_eq!(
+            classes.len(),
+            topo.num_dims(),
+            "one class count per dimension"
+        );
         assert!(
-            classes.iter().all(|&c| c >= 1 && c <= MAX_CLASSES),
+            classes.iter().all(|&c| (1..=MAX_CLASSES).contains(&c)),
             "class counts must be in 1..={MAX_CLASSES}"
         );
         let mut offsets = Vec::with_capacity(topo.num_channels());
@@ -58,7 +62,11 @@ impl VcTable {
             offsets.push(total);
             total += classes[ch.dir.dim()] as u32;
         }
-        VcTable { classes: classes.to_vec(), offsets, total }
+        VcTable {
+            classes: classes.to_vec(),
+            offsets,
+            total,
+        }
     }
 
     /// Total number of virtual channels.
@@ -78,7 +86,10 @@ impl VcTable {
     /// Panics if the class exceeds the channel's lane count.
     pub fn vc(&self, topo: &dyn Topology, channel: ChannelId, class: u8) -> VirtualChannelId {
         let dim = topo.channel(channel).dir.dim();
-        assert!(class < self.classes[dim], "class out of range for dimension {dim}");
+        assert!(
+            class < self.classes[dim],
+            "class out of range for dimension {dim}"
+        );
         VirtualChannelId(self.offsets[channel.index()] + class as u32)
     }
 
@@ -94,7 +105,9 @@ impl VcTable {
             return None;
         }
         let ch = topo.channel_from(node, v.dir())?;
-        Some(VirtualChannelId(self.offsets[ch.index()] + v.class() as u32))
+        Some(VirtualChannelId(
+            self.offsets[ch.index()] + v.class() as u32,
+        ))
     }
 
     /// Decomposes a virtual channel into its physical channel and class.

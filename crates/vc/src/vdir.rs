@@ -42,7 +42,10 @@ impl VirtualDirection {
     ///
     /// Panics if `class >= MAX_CLASSES`.
     pub fn new(dir: Direction, class: u8) -> Self {
-        assert!(class < MAX_CLASSES, "at most {MAX_CLASSES} classes per direction");
+        assert!(
+            class < MAX_CLASSES,
+            "at most {MAX_CLASSES} classes per direction"
+        );
         VirtualDirection { dir, class }
     }
 

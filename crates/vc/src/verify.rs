@@ -139,9 +139,8 @@ mod tests {
         for (m, n) in [(4, 4), (6, 3), (3, 6), (8, 8)] {
             let mesh = Mesh::new_2d(m, n);
             let table = VcTable::new(&mesh, &[1, 2]);
-            let cdg = vc_dependency_graph(&mesh, &table, |_, from, to| {
-                mady_may_follow(from.1, to.1)
-            });
+            let cdg =
+                vc_dependency_graph(&mesh, &table, |_, from, to| mady_may_follow(from.1, to.1));
             assert!(cdg.is_acyclic(), "{m}x{n}");
         }
     }

@@ -1,78 +1,101 @@
-//! Property-based invariants of the virtual-channel layer.
+//! Randomized invariants of the virtual-channel layer.
+//!
+//! Formerly proptest properties; now seeded loops over the vendored
+//! RNG so the suite builds offline.
 
-use proptest::prelude::*;
 use turnroute_core::adaptiveness::fully_adaptive_shortest_paths;
-use turnroute_core::{DimensionOrder, NegativeFirst, RoutingAlgorithm, WestFirst};
+use turnroute_core::{DimensionOrder, NegativeFirst, WestFirst};
+use turnroute_rng::{Rng, StdRng};
 use turnroute_sim::patterns::Uniform;
 use turnroute_sim::{SimConfig, Simulation};
 use turnroute_topology::{Mesh, NodeId, Topology, Torus};
 use turnroute_vc::{
-    count_physical_paths, mady_may_follow, vc_dependency_graph, walk_vc,
-    DatelineDimensionOrder, MadY, SingleClass, VcRoutingAlgorithm, VcSimulation, VcTable,
-    VirtualDirection,
+    count_physical_paths, mady_may_follow, vc_dependency_graph, walk_vc, DatelineDimensionOrder,
+    MadY, SingleClass, VcRoutingAlgorithm, VcSimulation, VcTable, VirtualDirection,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Mad-y is fully adaptive on every mesh shape and pair.
-    #[test]
-    fn mady_full_adaptivity(
-        m in 2usize..8,
-        n in 2usize..8,
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
+/// Draws a distinct `(a, b)` node pair in `0..n`.
+fn distinct_pair(rng: &mut StdRng, n: usize) -> (NodeId, NodeId) {
+    let a = rng.random_range(0..n);
+    let mut b = rng.random_range(0..n);
+    while b == a {
+        b = rng.random_range(0..n);
+    }
+    (NodeId::new(a), NodeId::new(b))
+}
+
+/// Mad-y is fully adaptive on every mesh shape and pair.
+#[test]
+fn mady_full_adaptivity() {
+    let mut rng = StdRng::seed_from_u64(0xE001);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..8usize);
+        let n = rng.random_range(2..8usize);
         let mesh = Mesh::new_2d(m, n);
-        let (a, b) = (a % (m * n), b % (m * n));
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, m * n);
         let mady = MadY::new();
         let table = VcTable::new(&mesh, &mady.provisioning(&mesh));
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
-        prop_assert_eq!(
+        assert_eq!(
             count_physical_paths(&mady, &mesh, &table, s, d),
-            fully_adaptive_shortest_paths(&mesh, s, d)
+            fully_adaptive_shortest_paths(&mesh, s, d),
+            "{m}x{n} {s}->{d}"
         );
     }
+}
 
-    /// The mad-y lane relation stays acyclic on random mesh shapes.
-    #[test]
-    fn mady_cdg_acyclic(m in 2usize..9, n in 2usize..9) {
+/// The mad-y lane relation stays acyclic on random mesh shapes.
+#[test]
+fn mady_cdg_acyclic() {
+    let mut rng = StdRng::seed_from_u64(0xE002);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..9usize);
+        let n = rng.random_range(2..9usize);
         let mesh = Mesh::new_2d(m, n);
         let table = VcTable::new(&mesh, &[1, 2]);
-        let cdg = vc_dependency_graph(&mesh, &table, |_, from, to| {
-            mady_may_follow(from.1, to.1)
-        });
-        prop_assert!(cdg.is_acyclic());
+        let cdg = vc_dependency_graph(&mesh, &table, |_, from, to| mady_may_follow(from.1, to.1));
+        assert!(cdg.is_acyclic(), "{m}x{n}");
     }
+}
 
-    /// Mad-y walks are minimal.
-    #[test]
-    fn mady_walks_minimal(m in 3usize..8, a in 0usize..64, b in 0usize..64) {
+/// Mad-y walks are minimal.
+#[test]
+fn mady_walks_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xE003);
+    for _ in 0..CASES {
+        let m = rng.random_range(3..8usize);
         let mesh = Mesh::new_2d(m, m);
-        let (a, b) = (a % (m * m), b % (m * m));
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, m * m);
         let mady = MadY::new();
         let table = VcTable::new(&mesh, &mady.provisioning(&mesh));
-        let path = walk_vc(&mady, &mesh, &table, NodeId::new(a), NodeId::new(b));
-        prop_assert_eq!(path.len() - 1, mesh.distance(NodeId::new(a), NodeId::new(b)));
+        let path = walk_vc(&mady, &mesh, &table, s, d);
+        assert_eq!(path.len() - 1, mesh.distance(s, d));
     }
+}
 
-    /// Dateline routing is minimal on random tori.
-    #[test]
-    fn dateline_walks_minimal(k in 3usize..8, a in 0usize..64, b in 0usize..64) {
+/// Dateline routing is minimal on random tori.
+#[test]
+fn dateline_walks_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xE004);
+    for _ in 0..CASES {
+        let k = rng.random_range(3..8usize);
         let torus = Torus::new(k, 2);
-        let (a, b) = (a % torus.num_nodes(), b % torus.num_nodes());
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, torus.num_nodes());
         let algo = DatelineDimensionOrder::new();
         let table = VcTable::new(&torus, &algo.provisioning(&torus));
-        let path = walk_vc(&algo, &torus, &table, NodeId::new(a), NodeId::new(b));
-        prop_assert_eq!(path.len() - 1, torus.distance(NodeId::new(a), NodeId::new(b)));
+        let path = walk_vc(&algo, &torus, &table, s, d);
+        assert_eq!(path.len() - 1, torus.distance(s, d));
     }
+}
 
-    /// The VC engine conserves flits and ownership under random loads.
-    #[test]
-    fn vc_engine_conserves_flits(seed in 0u64..500, load in 0.02f64..0.3) {
+/// The VC engine conserves flits and ownership under random loads.
+#[test]
+fn vc_engine_conserves_flits() {
+    let mut rng = StdRng::seed_from_u64(0xE005);
+    for _ in 0..CASES {
+        let seed = rng.random_range(0..500u64);
+        let load = rng.random_range(0.02f64..0.3);
         let mesh = Mesh::new_2d(4, 4);
         let mady = MadY::new();
         let config = SimConfig::paper()
@@ -86,18 +109,22 @@ proptest! {
         }
         for p in sim.packets() {
             let (a, b, c) = p.flit_counts();
-            prop_assert_eq!(a + b + c, p.length);
+            assert_eq!(a + b + c, p.length);
             for &vc in p.worm() {
-                prop_assert_eq!(sim.vc_owner(vc), Some(p.id));
+                assert_eq!(sim.vc_owner(vc), Some(p.id));
             }
         }
     }
+}
 
-    /// SingleClass in the VC engine delivers the same message count as
-    /// the plain engine for identical seeds and loads (one lane, same
-    /// semantics).
-    #[test]
-    fn single_class_engines_agree(seed in 0u64..200) {
+/// SingleClass in the VC engine delivers the same message count as
+/// the plain engine for identical seeds and loads (one lane, same
+/// semantics).
+#[test]
+fn single_class_engines_agree() {
+    let mut rng = StdRng::seed_from_u64(0xE006);
+    for _ in 0..8 {
+        let seed = rng.random_range(0..200u64);
         let mesh = Mesh::new_2d(4, 4);
         let config = SimConfig::paper()
             .injection_rate(0.06)
@@ -108,38 +135,39 @@ proptest! {
         let plain = Simulation::new(&mesh, &plain_algo, &Uniform, config.clone()).run();
         let vc_algo = SingleClass::new(WestFirst::minimal());
         let vc = VcSimulation::new(&mesh, &vc_algo, &Uniform, config).run();
-        prop_assert_eq!(plain.total_generated, vc.total_generated);
-        prop_assert_eq!(plain.total_delivered, vc.total_delivered);
-        prop_assert_eq!(plain.metrics.latencies, vc.metrics.latencies);
+        assert_eq!(plain.total_generated, vc.total_generated);
+        assert_eq!(plain.total_delivered, vc.total_delivered);
+        assert_eq!(plain.metrics.latencies, vc.metrics.latencies);
     }
+}
 
-    /// Lane candidates never include an unprovisioned class.
-    #[test]
-    fn route_vc_respects_provisioning(
-        which in 0u8..3,
-        a in 0usize..36,
-        b in 0usize..36,
-    ) {
+/// Lane candidates never include an unprovisioned class.
+#[test]
+fn route_vc_respects_provisioning() {
+    let mut rng = StdRng::seed_from_u64(0xE007);
+    for _ in 0..CASES {
+        let which = rng.random_range(0..3usize);
         let mesh = Mesh::new_2d(6, 6);
-        let (a, b) = (a % 36, b % 36);
-        prop_assume!(a != b);
+        let (a, b) = distinct_pair(&mut rng, 36);
         let algo: Box<dyn VcRoutingAlgorithm> = match which {
             0 => Box::new(MadY::new()),
             1 => Box::new(SingleClass::new(DimensionOrder::new())),
             _ => Box::new(SingleClass::new(NegativeFirst::minimal())),
         };
         let table = VcTable::new(&mesh, &algo.provisioning(&mesh));
-        let vdirs = algo.route_vc(&mesh, &table, NodeId::new(a), NodeId::new(b), None);
+        let vdirs = algo.route_vc(&mesh, &table, a, b, None);
         for v in vdirs.iter() {
-            prop_assert!(table.vc_from(&mesh, NodeId::new(a), v).is_some(), "{v}");
+            assert!(table.vc_from(&mesh, a, v).is_some(), "{v}");
         }
     }
+}
 
-    /// Virtual-direction indices round trip for every dim/class combo.
-    #[test]
-    fn vdir_index_roundtrip(index in 0usize..128) {
+/// Virtual-direction indices round trip for every dim/class combo.
+#[test]
+fn vdir_index_roundtrip() {
+    for index in 0..128usize {
         let v = VirtualDirection::from_index(index);
-        prop_assert_eq!(v.index(), index);
+        assert_eq!(v.index(), index);
     }
 }
 

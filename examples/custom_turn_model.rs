@@ -7,9 +7,7 @@
 //! cargo run --example custom_turn_model
 //! ```
 
-use turnroute::core::{
-    walk, ChannelDependencyGraph, Turn, TurnSet, TurnSetRouting, TwoPhase,
-};
+use turnroute::core::{walk, ChannelDependencyGraph, Turn, TurnSet, TurnSetRouting, TwoPhase};
 use turnroute::topology::{DirSet, Direction, Mesh, Topology};
 
 fn main() {
@@ -21,7 +19,10 @@ fn main() {
     naive.prohibit(Turn::new(Direction::NORTH, Direction::EAST));
     naive.prohibit(Turn::new(Direction::EAST, Direction::NORTH));
     println!("attempt 1: {naive}");
-    println!("  breaks abstract cycles: {}", naive.breaks_all_abstract_cycles());
+    println!(
+        "  breaks abstract cycles: {}",
+        naive.breaks_all_abstract_cycles()
+    );
     let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &naive);
     match cdg.find_cycle() {
         Some(cycle) => println!(
@@ -37,7 +38,10 @@ fn main() {
     let south_first = TwoPhase::new("south-first", 2, phase1, true);
     let turns = south_first.turn_set();
     println!("\nattempt 2: {turns}");
-    println!("  breaks abstract cycles: {}", turns.breaks_all_abstract_cycles());
+    println!(
+        "  breaks abstract cycles: {}",
+        turns.breaks_all_abstract_cycles()
+    );
     let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &turns);
     println!("  deadlock free: {}", cdg.is_acyclic());
 

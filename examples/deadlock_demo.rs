@@ -31,7 +31,10 @@ fn main() {
     // turns allowed, both abstract cycles intact.
     let unrestricted = TurnSetRouting::new(TurnSet::fully_adaptive(2));
     let mut sim = Simulation::new(&mesh, &unrestricted, &Uniform, config());
-    println!("unrestricted turns on a {} under saturating load...", mesh.label());
+    println!(
+        "unrestricted turns on a {} under saturating load...",
+        mesh.label()
+    );
     let mut cycles = 0u64;
     loop {
         cycles += 1;
@@ -41,11 +44,7 @@ fn main() {
                 let holder = sim
                     .channel_owner(edge.wants)
                     .expect("cycle channels are held");
-                println!(
-                    "  -> {} is held by packet {}",
-                    edge.wants,
-                    holder.index()
-                );
+                println!("  -> {} is held by packet {}", edge.wants, holder.index());
             }
             break;
         }

@@ -44,7 +44,9 @@ fn walk_avoiding(
             .iter()
             .find(healthy)
             .or_else(|| permitted.iter().find(healthy))?;
-        current = mesh.neighbor(current, choice).expect("permitted => channel");
+        current = mesh
+            .neighbor(current, choice)
+            .expect("permitted => channel");
         arrived = Some(choice);
         path.push(current);
     }
@@ -69,8 +71,8 @@ fn main() {
         faulty.len()
     );
 
-    let healthy_path = walk_avoiding(&algo, &mesh, &HashSet::new(), src, dst)
-        .expect("no faults: must route");
+    let healthy_path =
+        walk_avoiding(&algo, &mesh, &HashSet::new(), src, dst).expect("no faults: must route");
     println!(
         "\nwithout faults: {} hops (minimal distance {})",
         healthy_path.len() - 1,
@@ -85,7 +87,10 @@ fn main() {
         path.len() - 1,
         coords.join(" ")
     );
-    assert!(path.len() - 1 > mesh.distance(src, dst), "detour is nonminimal");
+    assert!(
+        path.len() - 1 > mesh.distance(src, dst),
+        "detour is nonminimal"
+    );
 
     // The minimal variant cannot help itself: every permitted direction
     // crosses the wall.

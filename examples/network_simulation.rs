@@ -24,7 +24,10 @@ fn main() {
     ];
     let patterns: Vec<&dyn TrafficPattern> = vec![&Uniform, &Transpose];
 
-    println!("{} | paper setup: 20 flits/usec channels, 1-flit buffers, 10/200-flit messages", mesh.label());
+    println!(
+        "{} | paper setup: 20 flits/usec channels, 1-flit buffers, 10/200-flit messages",
+        mesh.label()
+    );
     println!();
     println!(
         "{:<16} {:<18} {:>10} {:>12} {:>12} {:>12}",

@@ -14,14 +14,21 @@ use turnroute::topology::{Mesh, Topology};
 fn main() {
     // 1. The topology: the paper's 16x16 mesh.
     let mesh = Mesh::new_2d(16, 16);
-    println!("topology: {} ({} channels)", mesh.label(), mesh.num_channels());
+    println!(
+        "topology: {} ({} channels)",
+        mesh.label(),
+        mesh.num_channels()
+    );
 
     // 2. The turn model: west-first prohibits the two turns to the west
     //    (Fig. 5a). Both abstract cycles are broken, and — the real
     //    check — the channel dependency graph is acyclic.
     let turns = TurnSet::west_first();
     println!("turn set: {turns}");
-    println!("breaks abstract cycles: {}", turns.breaks_all_abstract_cycles());
+    println!(
+        "breaks abstract cycles: {}",
+        turns.breaks_all_abstract_cycles()
+    );
     let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &turns);
     println!("deadlock free (CDG acyclic): {}", cdg.is_acyclic());
 

@@ -38,7 +38,10 @@ fn main() {
         .warmup_cycles(3_000)
         .measure_cycles(12_000);
     let nf = SingleClass::new(NegativeFirst::minimal());
-    for (name, algo) in [("negative-first", &nf as &dyn VcRoutingAlgorithm), ("mad-y", &mady)] {
+    for (name, algo) in [
+        ("negative-first", &nf as &dyn VcRoutingAlgorithm),
+        ("mad-y", &mady),
+    ] {
         let report = VcSimulation::new(&mesh, algo, &Transpose, config.clone()).run();
         println!(
             "  {name:<16} transpose @0.12: {:.0} flits/usec, {:.1} usec latency, sustainable {}",
@@ -75,7 +78,9 @@ fn main() {
         &torus2,
         &dl,
         &turnroute::sim::patterns::Uniform,
-        &SimConfig::paper().warmup_cycles(2_000).measure_cycles(8_000),
+        &SimConfig::paper()
+            .warmup_cycles(2_000)
+            .measure_cycles(8_000),
         &[0.05, 0.15],
     );
     println!(

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge gate (see ROADMAP.md): formatting, lints, and the test
+# suite. Everything must pass before a PR merges.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -6,14 +6,15 @@
 
 use std::fmt;
 use turnroute_core::{
-    Abonf, Abopl, DimensionOrder, FirstHopWraparound, NegativeFirst, NegativeFirstTorus,
-    NorthLast, PCube, RoutingAlgorithm, WestFirst,
+    Abonf, Abopl, DimensionOrder, FirstHopWraparound, NegativeFirst, NegativeFirstTorus, NorthLast,
+    PCube, RoutingAlgorithm, WestFirst,
 };
 use turnroute_sim::patterns::{
-    BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose,
-    NearestNeighbor, ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
+    BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose, NearestNeighbor,
+    ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
 };
 use turnroute_topology::{HexMesh, Hypercube, Mesh, NodeId, Topology, Torus};
+use turnroute_vc::{DatelineDimensionOrder, MadY, SingleClass, VcRoutingAlgorithm};
 
 /// A parse failure, with a human-oriented message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,12 +67,16 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, ParseSpecError> {
             let k: usize = k.parse().map_err(|_| err(format!("bad radix '{k}'")))?;
             let n: usize = n.parse().map_err(|_| err(format!("bad dimension '{n}'")))?;
             if k < 3 {
-                return Err(err("torus radix must be at least 3 (use hypercube for k = 2)"));
+                return Err(err(
+                    "torus radix must be at least 3 (use hypercube for k = 2)",
+                ));
             }
             Ok(Box::new(Torus::new(k, n)))
         }
         "hypercube" => {
-            let n: usize = rest.parse().map_err(|_| err(format!("bad dimension '{rest}'")))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| err(format!("bad dimension '{rest}'")))?;
             if n == 0 || n > 16 {
                 return Err(err("hypercube dimension must be 1..=16"));
             }
@@ -149,6 +154,31 @@ pub fn parse_algorithm(
     })
 }
 
+/// The extra algorithm names the virtual-channel engine accepts on top
+/// of [`ALGORITHM_NAMES`] (plain algorithms run on class-0 lanes).
+pub const VC_ALGORITHM_NAMES: &str = "\
+  mad-y                           fully adaptive 2D mesh, 2 y-lanes [18]
+  dateline                        minimal torus, 2 lanes per dimension";
+
+/// Parses an algorithm name for the virtual-channel engine: the
+/// lane-based constructions (`mad-y`, `dateline`) by name, and any name
+/// accepted by [`parse_algorithm`] wrapped to run on class-0 lanes via
+/// [`SingleClass`].
+///
+/// # Errors
+///
+/// Returns a message listing the accepted names on any mismatch.
+pub fn parse_vc_algorithm(
+    name: &str,
+    topo: &dyn Topology,
+) -> Result<Box<dyn VcRoutingAlgorithm>, ParseSpecError> {
+    Ok(match name {
+        "mad-y" | "mady" => Box::new(MadY::new()),
+        "dateline" => Box::new(DatelineDimensionOrder::new()),
+        other => Box::new(SingleClass::new(parse_algorithm(other, topo)?)),
+    })
+}
+
 /// The pattern names the CLI accepts.
 pub const PATTERN_NAMES: &str = "\
   uniform | transpose | diagonal-transpose | hypercube-transpose
@@ -165,8 +195,12 @@ pub fn parse_pattern(name: &str) -> Result<Box<dyn TrafficPattern>, ParseSpecErr
         let (node, pct) = rest
             .split_once(',')
             .ok_or_else(|| err("hotspot spec is hotspot:<node>,<percent>"))?;
-        let node: usize = node.parse().map_err(|_| err(format!("bad node '{node}'")))?;
-        let pct: f64 = pct.parse().map_err(|_| err(format!("bad percent '{pct}'")))?;
+        let node: usize = node
+            .parse()
+            .map_err(|_| err(format!("bad node '{node}'")))?;
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| err(format!("bad percent '{pct}'")))?;
         if !(0.0..=100.0).contains(&pct) {
             return Err(err("hotspot percent must be within 0..=100"));
         }
@@ -212,14 +246,22 @@ pub fn parse_node(spec: &str, topo: &dyn Topology) -> Result<NodeId, ParseSpecEr
             )));
         }
         for (dim, c) in coord.iter() {
-            let bound = if dim < topo.num_dims() { topo.radix(dim) } else { usize::MAX };
+            let bound = if dim < topo.num_dims() {
+                topo.radix(dim)
+            } else {
+                usize::MAX
+            };
             if (c as usize) >= bound {
-                return Err(err(format!("coordinate {c} out of range in dimension {dim}")));
+                return Err(err(format!(
+                    "coordinate {c} out of range in dimension {dim}"
+                )));
             }
         }
         Ok(topo.node_at(&coord))
     } else {
-        let id: usize = spec.parse().map_err(|_| err(format!("bad node id '{spec}'")))?;
+        let id: usize = spec
+            .parse()
+            .map_err(|_| err(format!("bad node id '{spec}'")))?;
         if id >= topo.num_nodes() {
             return Err(err(format!(
                 "node {id} out of range (topology has {} nodes)",
@@ -245,7 +287,14 @@ mod tests {
 
     #[test]
     fn bad_topologies_are_rejected_with_messages() {
-        for bad in ["mesh", "mesh:1x4", "torus:2,2", "hypercube:0", "hex:6", "ring:8"] {
+        for bad in [
+            "mesh",
+            "mesh:1x4",
+            "torus:2,2",
+            "hypercube:0",
+            "hex:6",
+            "ring:8",
+        ] {
             match parse_topology(bad) {
                 Err(e) => assert!(!e.to_string().is_empty(), "{bad}"),
                 Ok(_) => panic!("'{bad}' should not parse"),
@@ -273,6 +322,21 @@ mod tests {
         // Torus-only algorithms rejected on meshes.
         assert!(parse_algorithm("negative-first-torus", mesh.as_ref()).is_err());
         assert!(parse_algorithm("frobnicate", mesh.as_ref()).is_err());
+    }
+
+    #[test]
+    fn vc_algorithms_parse() {
+        let mesh = parse_topology("mesh:8x8").unwrap();
+        let torus = parse_topology("torus:8,2").unwrap();
+        assert_eq!(
+            parse_vc_algorithm("mad-y", mesh.as_ref()).unwrap().name(),
+            "mad-y"
+        );
+        assert!(parse_vc_algorithm("dateline", torus.as_ref()).is_ok());
+        // Plain names wrap transparently: same name, class-0 lanes.
+        let wrapped = parse_vc_algorithm("west-first", mesh.as_ref()).unwrap();
+        assert_eq!(wrapped.name(), "west-first");
+        assert!(parse_vc_algorithm("frobnicate", mesh.as_ref()).is_err());
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Declarative experiments: describe a (topology × algorithms × pattern
+//! × load grid) sweep as data, then run it on any number of threads.
+//!
+//! Every figure and table regenerator used to hand-roll the same loop —
+//! build a topology, build each algorithm, sweep the loads, relabel,
+//! print. [`ExperimentSpec`] collapses that loop to a value: the
+//! topology, pattern and algorithms are *names* (resolved through the
+//! same parsers as the `turnroute` CLI, so specs read exactly like
+//! command lines), and [`Experiment::run`] fans the whole grid out
+//! through the deterministic parallel [`Executor`]. Results are
+//! bit-identical for every thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute::experiment::ExperimentSpec;
+//! use turnroute::sim::SimConfig;
+//!
+//! let spec = ExperimentSpec::new("mesh:8x8", "transpose")
+//!     .algorithm("xy")
+//!     .algorithm("west-first")
+//!     .loads(&[0.01, 0.05])
+//!     .config(SimConfig::paper().warmup_cycles(500).measure_cycles(2_000));
+//! let series = spec.run(2).unwrap();
+//! assert_eq!(series.len(), 2);
+//! assert_eq!(series[0].algorithm, "dimension-order");
+//! ```
+
+use crate::cli::{
+    parse_algorithm, parse_pattern, parse_topology, parse_vc_algorithm, ParseSpecError,
+};
+use turnroute_core::RoutingAlgorithm;
+use turnroute_sim::{Executor, SeriesJob, SimConfig, SweepSeries};
+use turnroute_vc::{vc_series_job, VcRoutingAlgorithm};
+
+/// Which simulation engine runs the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-flit-buffer wormhole engine of the paper's Section 6.
+    #[default]
+    Wormhole,
+    /// The lane-aware engine (reference \[18\]); plain algorithms run on
+    /// class-0 lanes, and `mad-y` / `dateline` become available.
+    VirtualChannel,
+}
+
+/// One algorithm of an experiment: the parse name plus an optional
+/// display label for the emitted series (figures relabel, e.g., `p-cube`
+/// as `negative-first` to match the paper's terminology).
+///
+/// The *parse name* is the series' identity: per-cell seeds and cache
+/// keys derive from the resolved algorithm, so relabelling never changes
+/// the simulated numbers.
+#[derive(Debug, Clone)]
+pub struct AlgorithmSpec {
+    /// A name accepted by [`parse_algorithm`] (or, under
+    /// [`Engine::VirtualChannel`], by [`parse_vc_algorithm`]).
+    pub name: String,
+    /// The label for the emitted [`SweepSeries`]; defaults to the
+    /// resolved algorithm's own name.
+    pub label: Option<String>,
+}
+
+/// A declarative description of one sweep experiment.
+///
+/// Build with [`ExperimentSpec::new`] and the chainable setters; run
+/// with [`ExperimentSpec::run`] (or [`Experiment::run`], the same call
+/// spelled entry-point-first). Warmup/measure windows and the base seed
+/// travel in [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Topology specification, e.g. `mesh:16x16` (see
+    /// [`parse_topology`]).
+    pub topology: String,
+    /// The algorithms to sweep, one series each.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Traffic pattern name, e.g. `transpose` (see [`parse_pattern`]).
+    pub pattern: String,
+    /// Offered loads (flits/cycle/node), ascending.
+    pub loads: Vec<f64>,
+    /// Base simulation configuration: warmup/measure windows, seed,
+    /// selection policies. The injection rate is overridden per cell.
+    pub config: SimConfig,
+    /// Which engine runs the cells.
+    pub engine: Engine,
+}
+
+impl ExperimentSpec {
+    /// A new spec on `topology` under `pattern`, with no algorithms or
+    /// loads yet and the paper's default [`SimConfig`].
+    pub fn new(topology: impl Into<String>, pattern: impl Into<String>) -> Self {
+        ExperimentSpec {
+            topology: topology.into(),
+            algorithms: Vec::new(),
+            pattern: pattern.into(),
+            loads: Vec::new(),
+            config: SimConfig::paper(),
+            engine: Engine::Wormhole,
+        }
+    }
+
+    /// Adds an algorithm by parse name.
+    pub fn algorithm(mut self, name: impl Into<String>) -> Self {
+        self.algorithms.push(AlgorithmSpec {
+            name: name.into(),
+            label: None,
+        });
+        self
+    }
+
+    /// Adds an algorithm by parse name, relabelled as `label` in the
+    /// emitted series.
+    pub fn algorithm_as(mut self, label: impl Into<String>, name: impl Into<String>) -> Self {
+        self.algorithms.push(AlgorithmSpec {
+            name: name.into(),
+            label: Some(label.into()),
+        });
+        self
+    }
+
+    /// Sets the offered-load grid.
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        self.loads = loads.to_vec();
+        self
+    }
+
+    /// Sets the base simulation configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Runs the experiment on `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if any name in the spec does not resolve.
+    pub fn run(&self, threads: usize) -> Result<Vec<SweepSeries>, ParseSpecError> {
+        Experiment::run(self, threads)
+    }
+
+    /// Runs the experiment on an existing executor (to share a cell
+    /// cache or collect statistics across several specs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if any name in the spec does not resolve.
+    pub fn run_on(&self, executor: &mut Executor) -> Result<Vec<SweepSeries>, ParseSpecError> {
+        Experiment::run_on(self, executor)
+    }
+}
+
+/// The entry point that resolves an [`ExperimentSpec`] and executes it.
+#[derive(Debug)]
+pub struct Experiment;
+
+impl Experiment {
+    /// Resolves `spec` through the CLI parsers and runs the full
+    /// (algorithm × load) grid on `threads` workers, returning one
+    /// series per algorithm in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if any name in the spec does not resolve.
+    pub fn run(spec: &ExperimentSpec, threads: usize) -> Result<Vec<SweepSeries>, ParseSpecError> {
+        Self::run_on(spec, &mut Executor::new(threads))
+    }
+
+    /// Like [`Experiment::run`], but on a caller-supplied executor so
+    /// several experiments can share one [`turnroute_sim::CellCache`]
+    /// and one set of [`turnroute_sim::ExecStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if any name in the spec does not resolve.
+    pub fn run_on(
+        spec: &ExperimentSpec,
+        executor: &mut Executor,
+    ) -> Result<Vec<SweepSeries>, ParseSpecError> {
+        let topo = parse_topology(&spec.topology)?;
+        let pattern = parse_pattern(&spec.pattern)?;
+        let mut series = match spec.engine {
+            Engine::Wormhole => {
+                let algos: Vec<Box<dyn RoutingAlgorithm>> = spec
+                    .algorithms
+                    .iter()
+                    .map(|a| parse_algorithm(&a.name, topo.as_ref()))
+                    .collect::<Result<_, _>>()?;
+                let jobs: Vec<SeriesJob<'_>> = algos
+                    .iter()
+                    .map(|a| {
+                        SeriesJob::simulation(
+                            topo.as_ref(),
+                            a.as_ref(),
+                            pattern.as_ref(),
+                            &spec.config,
+                            &spec.loads,
+                        )
+                    })
+                    .collect();
+                executor.run(jobs)
+            }
+            Engine::VirtualChannel => {
+                let algos: Vec<Box<dyn VcRoutingAlgorithm>> = spec
+                    .algorithms
+                    .iter()
+                    .map(|a| parse_vc_algorithm(&a.name, topo.as_ref()))
+                    .collect::<Result<_, _>>()?;
+                let jobs: Vec<SeriesJob<'_>> = algos
+                    .iter()
+                    .map(|a| {
+                        vc_series_job(
+                            topo.as_ref(),
+                            a.as_ref(),
+                            pattern.as_ref(),
+                            &spec.config,
+                            &spec.loads,
+                        )
+                    })
+                    .collect();
+                executor.run(jobs)
+            }
+        };
+        for (s, a) in series.iter_mut().zip(&spec.algorithms) {
+            if let Some(label) = &a.label {
+                s.algorithm = label.clone();
+            }
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_sim::report::write_csv;
+
+    fn quick() -> SimConfig {
+        SimConfig::paper()
+            .warmup_cycles(500)
+            .measure_cycles(2_000)
+            .seed(11)
+    }
+
+    fn mesh_spec() -> ExperimentSpec {
+        ExperimentSpec::new("mesh:6x6", "transpose")
+            .algorithm("xy")
+            .algorithm_as("wf", "west-first")
+            .loads(&[0.01, 0.03])
+            .config(quick())
+    }
+
+    #[test]
+    fn resolves_and_labels_series_in_spec_order() {
+        let series = mesh_spec().run(1).unwrap();
+        assert_eq!(series.len(), 2);
+        // Unlabelled series carry the resolved algorithm's own name.
+        assert_eq!(series[0].algorithm, "dimension-order");
+        assert_eq!(series[1].algorithm, "wf");
+        assert!(series.iter().all(|s| s.points.len() == 2));
+        assert!(series.iter().all(|s| s.pattern == "matrix-transpose"));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bytes() {
+        let spec = mesh_spec();
+        let mut csv1 = Vec::new();
+        let mut csv4 = Vec::new();
+        write_csv(&spec.run(1).unwrap(), &mut csv1).unwrap();
+        write_csv(&spec.run(4).unwrap(), &mut csv4).unwrap();
+        assert_eq!(csv1, csv4);
+    }
+
+    #[test]
+    fn relabelling_does_not_change_the_numbers() {
+        let plain = ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("negative-first")
+            .loads(&[0.02])
+            .config(quick());
+        let labelled = ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm_as("nf (paper)", "negative-first")
+            .loads(&[0.02])
+            .config(quick());
+        let a = plain.run(1).unwrap().remove(0);
+        let b = labelled.run(1).unwrap().remove(0);
+        assert_eq!(b.algorithm, "nf (paper)");
+        assert_eq!(a.points[0].throughput, b.points[0].throughput);
+        assert_eq!(a.points[0].avg_latency_usec, b.points[0].avg_latency_usec);
+    }
+
+    #[test]
+    fn vc_engine_accepts_lane_algorithms_and_plain_names() {
+        let series = ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("mad-y")
+            .algorithm("xy")
+            .loads(&[0.02])
+            .config(quick())
+            .engine(Engine::VirtualChannel)
+            .run(2)
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| s.points[0].sustainable));
+    }
+
+    #[test]
+    fn bad_names_surface_as_parse_errors() {
+        assert!(ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("frobnicate")
+            .loads(&[0.02])
+            .run(1)
+            .is_err());
+        assert!(ExperimentSpec::new("ring:9", "uniform")
+            .algorithm("xy")
+            .run(1)
+            .is_err());
+        assert!(ExperimentSpec::new("mesh:6x6", "noise")
+            .algorithm("xy")
+            .run(1)
+            .is_err());
+        // Lane algorithms only exist in the VC engine.
+        assert!(ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("mad-y")
+            .loads(&[0.02])
+            .run(1)
+            .is_err());
+    }
+}

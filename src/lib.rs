@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod experiment;
 
 pub use turnroute_analysis as analysis;
 pub use turnroute_core as core;

@@ -11,13 +11,13 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use turnroute::cli::{
-    parse_algorithm, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES,
-    PATTERN_NAMES, TOPOLOGY_SPECS,
+    parse_algorithm, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES, PATTERN_NAMES,
+    TOPOLOGY_SPECS, VC_ALGORITHM_NAMES,
 };
-use turnroute::core::{
-    count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet,
-};
-use turnroute::sim::{RunOutcome, SimConfig, Simulation};
+use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
+use turnroute::experiment::{Engine, ExperimentSpec};
+use turnroute::sim::report::{write_csv, write_json};
+use turnroute::sim::{CellCache, Executor, RunOutcome, SimConfig, Simulation};
 use turnroute::topology::Topology;
 
 const USAGE: &str = "\
@@ -29,9 +29,16 @@ commands:
             algorithm's turn discipline on the topology
   route     --topology T --algorithm A --from NODE --to NODE
             walk one route and count the allowed shortest paths
-  simulate  --topology T --algorithm A --pattern P --load F
+  simulate  --topology T --algorithm A --pattern P --load F[,F...]
+            [--threads N] [--cycles N] [--warmup N] [--seed N]
+            run the Section 6 wormhole simulation; one load reports in
+            detail, several loads sweep in parallel and print CSV
+  sweep     --topology T --algorithms A[,B...] --pattern P
+            --loads F[,F...] [--threads N] [--engine wormhole|vc]
+            [--format csv|json] [--cache FILE]
             [--cycles N] [--warmup N] [--seed N]
-            run the Section 6 wormhole simulation and report
+            fan the (algorithm x load) grid across worker threads;
+            deterministic for any thread count
   list      print the accepted topologies, algorithms and patterns
 
 nodes are dense ids (137) or coordinates (9,4).";
@@ -76,23 +83,21 @@ fn run(args: &[String]) -> Result<(), String> {
         "list" => {
             println!("topologies:\n{TOPOLOGY_SPECS}\n");
             println!("algorithms:\n{ALGORITHM_NAMES}\n");
+            println!("algorithms (--engine vc only):\n{VC_ALGORITHM_NAMES}\n");
             println!("patterns:\n{PATTERN_NAMES}");
             Ok(())
         }
         "verify" => {
             let opts = options(rest)?;
-            let topo = parse_topology(required(&opts, "topology")?)
-                .map_err(|e| e.to_string())?;
+            let topo = parse_topology(required(&opts, "topology")?).map_err(|e| e.to_string())?;
             let name = required(&opts, "algorithm")?;
-            let algo =
-                parse_algorithm(name, topo.as_ref()).map_err(|e| e.to_string())?;
+            let algo = parse_algorithm(name, topo.as_ref()).map_err(|e| e.to_string())?;
             verify(topo.as_ref(), algo.as_ref(), name);
             Ok(())
         }
         "route" => {
             let opts = options(rest)?;
-            let topo = parse_topology(required(&opts, "topology")?)
-                .map_err(|e| e.to_string())?;
+            let topo = parse_topology(required(&opts, "topology")?).map_err(|e| e.to_string())?;
             let algo = parse_algorithm(required(&opts, "algorithm")?, topo.as_ref())
                 .map_err(|e| e.to_string())?;
             let from =
@@ -103,8 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("--from and --to are the same node".into());
             }
             let path = walk(algo.as_ref(), topo.as_ref(), from, to);
-            let coords: Vec<String> =
-                path.iter().map(|&n| topo.coord_of(n).to_string()).collect();
+            let coords: Vec<String> = path.iter().map(|&n| topo.coord_of(n).to_string()).collect();
             println!(
                 "{} on {}: {} hops (distance {})",
                 algo.name(),
@@ -123,35 +127,27 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "simulate" => {
             let opts = options(rest)?;
-            let topo = parse_topology(required(&opts, "topology")?)
-                .map_err(|e| e.to_string())?;
-            let algo = parse_algorithm(required(&opts, "algorithm")?, topo.as_ref())
-                .map_err(|e| e.to_string())?;
-            let pattern =
-                parse_pattern(required(&opts, "pattern")?).map_err(|e| e.to_string())?;
-            let load: f64 = required(&opts, "load")?
-                .parse()
-                .map_err(|_| "bad --load value".to_string())?;
-            let cycles: u64 = opts
-                .get("cycles")
-                .map(|v| v.parse().map_err(|_| "bad --cycles value".to_string()))
-                .transpose()?
-                .unwrap_or(20_000);
-            let warmup: u64 = opts
-                .get("warmup")
-                .map(|v| v.parse().map_err(|_| "bad --warmup value".to_string()))
-                .transpose()?
-                .unwrap_or(cycles / 4);
-            let seed: u64 = opts
-                .get("seed")
-                .map(|v| v.parse().map_err(|_| "bad --seed value".to_string()))
-                .transpose()?
-                .unwrap_or(0x7453_1DE5);
-            let config = SimConfig::paper()
-                .injection_rate(load)
-                .warmup_cycles(warmup)
-                .measure_cycles(cycles)
-                .seed(seed);
+            let name = required(&opts, "algorithm")?.to_owned();
+            let pattern_name = required(&opts, "pattern")?.to_owned();
+            let loads = parse_loads(required(&opts, "load")?)?;
+            let config = sim_config(&opts)?;
+            if loads.len() > 1 {
+                // Several loads: a sweep of one algorithm, in parallel.
+                let series = ExperimentSpec::new(required(&opts, "topology")?, &pattern_name)
+                    .algorithm(&name)
+                    .loads(&loads)
+                    .config(config)
+                    .run(threads_option(&opts)?)
+                    .map_err(|e| e.to_string())?;
+                let mut out = std::io::stdout().lock();
+                write_csv(&series, &mut out).map_err(|e| e.to_string())?;
+                return Ok(());
+            }
+            let topo = parse_topology(required(&opts, "topology")?).map_err(|e| e.to_string())?;
+            let algo = parse_algorithm(&name, topo.as_ref()).map_err(|e| e.to_string())?;
+            let pattern = parse_pattern(&pattern_name).map_err(|e| e.to_string())?;
+            let load = loads[0];
+            let config = config.injection_rate(load);
             let mut sim = Simulation::new(topo.as_ref(), algo.as_ref(), pattern.as_ref(), config);
             let report = sim.run();
             println!(
@@ -171,7 +167,10 @@ fn run(args: &[String]) -> Result<(), String> {
                         println!(
                             "  latency    {:>10.2} usec avg, {:.2} usec p95",
                             lat,
-                            report.metrics.latency_quantile_usec(0.95).unwrap_or(f64::NAN)
+                            report
+                                .metrics
+                                .latency_quantile_usec(0.95)
+                                .unwrap_or(f64::NAN)
                         );
                     }
                     if let Some(hops) = report.metrics.avg_hops() {
@@ -186,8 +185,108 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "sweep" => {
+            let opts = options(rest)?;
+            let loads = parse_loads(required(&opts, "loads")?)?;
+            let engine = match opts.get("engine").map(String::as_str) {
+                None | Some("wormhole") => Engine::Wormhole,
+                Some("vc") | Some("virtual-channel") => Engine::VirtualChannel,
+                Some(other) => return Err(format!("unknown engine '{other}' (wormhole | vc)")),
+            };
+            let mut spec =
+                ExperimentSpec::new(required(&opts, "topology")?, required(&opts, "pattern")?)
+                    .loads(&loads)
+                    .config(sim_config(&opts)?)
+                    .engine(engine);
+            for name in required(&opts, "algorithms")?.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err("empty algorithm name in --algorithms".into());
+                }
+                spec = spec.algorithm(name);
+            }
+            if spec.algorithms.is_empty() {
+                return Err("--algorithms needs at least one name".into());
+            }
+            let mut executor = Executor::new(threads_option(&opts)?);
+            if let Some(path) = opts.get("cache") {
+                let cache = CellCache::at_path(path)
+                    .map_err(|e| format!("cannot open --cache {path}: {e}"))?;
+                executor = executor.with_cache(cache);
+            }
+            let series = spec.run_on(&mut executor).map_err(|e| e.to_string())?;
+            let mut out = std::io::stdout().lock();
+            match opts.get("format").map(String::as_str) {
+                None | Some("csv") => write_csv(&series, &mut out),
+                Some("json") => write_json(&series, &mut out),
+                Some(other) => return Err(format!("unknown format '{other}' (csv | json)")),
+            }
+            .map_err(|e| e.to_string())?;
+            let stats = executor.stats();
+            eprintln!(
+                "# {} simulated, {} from cache, {} skipped as saturated",
+                stats.simulated, stats.cache_hits, stats.skipped
+            );
+            if opts.contains_key("cache") {
+                executor.cache().flush().map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// Parses a comma-separated load list like `0.01,0.05,0.1`.
+fn parse_loads(spec: &str) -> Result<Vec<f64>, String> {
+    let loads: Vec<f64> = spec
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("bad load value '{p}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    if loads.is_empty() || loads.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+        return Err("loads must be positive numbers".into());
+    }
+    Ok(loads)
+}
+
+/// Parses `--threads N` (default 1).
+fn threads_option(opts: &HashMap<String, String>) -> Result<usize, String> {
+    let threads = opts
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| "bad --threads value".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
+}
+
+/// Builds the base [`SimConfig`] from `--cycles`, `--warmup` and
+/// `--seed` (shared by `simulate` and `sweep`).
+fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
+    let cycles: u64 = opts
+        .get("cycles")
+        .map(|v| v.parse().map_err(|_| "bad --cycles value".to_string()))
+        .transpose()?
+        .unwrap_or(20_000);
+    let warmup: u64 = opts
+        .get("warmup")
+        .map(|v| v.parse().map_err(|_| "bad --warmup value".to_string()))
+        .transpose()?
+        .unwrap_or(cycles / 4);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed value".to_string()))
+        .transpose()?
+        .unwrap_or(0x7453_1DE5);
+    Ok(SimConfig::paper()
+        .warmup_cycles(warmup)
+        .measure_cycles(cycles)
+        .seed(seed))
 }
 
 fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {
@@ -199,7 +298,10 @@ fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {
         "xy" | "dimension-order" | "e-cube" => Some(TurnSet::dimension_order(n)),
         "west-first" | "west-first-nonminimal" => Some(TurnSet::west_first()),
         "north-last" | "north-last-nonminimal" => Some(TurnSet::north_last()),
-        "negative-first" | "negative-first-nonminimal" | "p-cube" | "pcube"
+        "negative-first"
+        | "negative-first-nonminimal"
+        | "p-cube"
+        | "pcube"
         | "p-cube-nonminimal" => Some(TurnSet::negative_first(n)),
         "abonf" => Some(TurnSet::abonf(n)),
         "abopl" => Some(TurnSet::abopl(n)),
@@ -213,7 +315,10 @@ fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {
                 set.prohibited_ninety().count(),
                 4 * n * (n - 1)
             );
-            println!("  breaks all abstract cycles: {}", set.breaks_all_abstract_cycles());
+            println!(
+                "  breaks all abstract cycles: {}",
+                set.breaks_all_abstract_cycles()
+            );
             let cdg = ChannelDependencyGraph::from_turn_set(topo, &set);
             println!(
                 "  channel dependency graph: {} channels, {} dependencies",
@@ -223,12 +328,17 @@ fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {
             match cdg.find_cycle() {
                 None => println!("  verdict: DEADLOCK FREE (acyclic; monotone numbering exists)"),
                 Some(cycle) => {
-                    println!("  verdict: NOT deadlock free; {}-channel cycle found", cycle.len())
+                    println!(
+                        "  verdict: NOT deadlock free; {}-channel cycle found",
+                        cycle.len()
+                    )
                 }
             }
         }
         None => {
-            println!("  (torus discipline: verified by the relation-specific checks in the test suite)");
+            println!(
+                "  (torus discipline: verified by the relation-specific checks in the test suite)"
+            );
         }
     }
 }

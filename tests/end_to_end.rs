@@ -3,8 +3,7 @@
 //! delivered, accounted.
 
 use turnroute::core::{
-    Abonf, Abopl, DimensionOrder, NegativeFirst, NorthLast, PCube, RoutingAlgorithm,
-    WestFirst,
+    Abonf, Abopl, DimensionOrder, NegativeFirst, NorthLast, PCube, RoutingAlgorithm, WestFirst,
 };
 use turnroute::sim::patterns::{
     BitComplement, HypercubeTranspose, ReverseFlip, TrafficPattern, Transpose, Uniform,
@@ -30,8 +29,15 @@ fn check(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, pattern: &dyn Traffic
         "{label}: deadlocked"
     );
     assert_eq!(report.stranded_packets, 0, "{label}: stranded packets");
-    assert!(report.total_delivered > 50, "{label}: only {} delivered", report.total_delivered);
-    assert!(report.sustainable(), "{label}: not sustainable at light load");
+    assert!(
+        report.total_delivered > 50,
+        "{label}: only {} delivered",
+        report.total_delivered
+    );
+    assert!(
+        report.sustainable(),
+        "{label}: not sustainable at light load"
+    );
 
     // Per-packet sanity on everything that was delivered.
     for p in sim.packets() {
@@ -117,7 +123,11 @@ fn nonminimal_variants_also_deliver() {
     for algo in &algos {
         let mut sim = Simulation::new(&mesh, algo.as_ref(), &Uniform, config());
         let report = sim.run();
-        assert!(matches!(report.outcome, RunOutcome::Completed), "{}", algo.name());
+        assert!(
+            matches!(report.outcome, RunOutcome::Completed),
+            "{}",
+            algo.name()
+        );
         assert!(report.total_delivered > 50, "{}", algo.name());
         assert_eq!(report.stranded_packets, 0, "{}", algo.name());
     }

@@ -5,8 +5,8 @@
 
 use turnroute::analysis::{hex_deadlock_free, hex_negative_first};
 use turnroute::core::{
-    check_routing_contract, walk, DimensionOrder, NegativeFirst, RoutingAlgorithm,
-    TurnSet, TurnSetRouting,
+    check_routing_contract, walk, DimensionOrder, NegativeFirst, RoutingAlgorithm, TurnSet,
+    TurnSetRouting,
 };
 use turnroute::sim::patterns::Uniform;
 use turnroute::sim::{LengthDistribution, RunOutcome, SimConfig, Simulation};
@@ -110,7 +110,7 @@ fn hex_negative_first_survives_stress_where_fully_adaptive_deadlocks() {
         .warmup_cycles(0)
         .measure_cycles(12_000)
         .deadlock_threshold(1_500)
-        .seed(23);
+        .seed(5);
 
     // Unrestricted turns: the triangles alone suffice to deadlock.
     assert!(!hex_deadlock_free(&hex, &TurnSet::fully_adaptive(3)));

@@ -1,20 +1,21 @@
-//! Property-based tests over the whole stack: random topologies,
-//! endpoints, turn sets and loads.
+//! Randomized tests over the whole stack: random topologies, endpoints,
+//! turn sets and loads. Formerly proptest properties; now seeded loops
+//! over the vendored RNG so the suite builds offline.
 
-use proptest::prelude::*;
-use turnroute::core::{
-    count_paths, walk, Abonf, Abopl, ChannelDependencyGraph, DimensionOrder,
-    NegativeFirst, NorthLast, PCube, RoutingAlgorithm, TurnSet, TwoPhase, WestFirst,
-};
-use turnroute::core::adaptiveness::{
-    fully_adaptive_shortest_paths, negative_first_shortest_paths,
-};
+use turnroute::core::adaptiveness::{fully_adaptive_shortest_paths, negative_first_shortest_paths};
 use turnroute::core::numbering::{
     negative_first_numbering, verify_monotone, west_first_numbering, Monotonic,
+};
+use turnroute::core::{
+    count_paths, walk, Abonf, Abopl, ChannelDependencyGraph, DimensionOrder, NegativeFirst,
+    NorthLast, PCube, RoutingAlgorithm, TurnSet, TwoPhase, WestFirst,
 };
 use turnroute::sim::patterns::Uniform;
 use turnroute::sim::{SimConfig, Simulation};
 use turnroute::topology::{DirSet, Direction, Hypercube, Mesh, NodeId, Topology};
+use turnroute_rng::{Rng, StdRng};
+
+const CASES: usize = 64;
 
 fn algo_2d(which: u8, minimal: bool) -> Box<dyn RoutingAlgorithm> {
     match which % 4 {
@@ -25,142 +26,164 @@ fn algo_2d(which: u8, minimal: bool) -> Box<dyn RoutingAlgorithm> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws a distinct `(a, b)` node pair in `0..n`.
+fn distinct_pair(rng: &mut StdRng, n: usize) -> (NodeId, NodeId) {
+    let a = rng.random_range(0..n);
+    let mut b = rng.random_range(0..n);
+    while b == a {
+        b = rng.random_range(0..n);
+    }
+    (NodeId::new(a), NodeId::new(b))
+}
 
-    /// Minimal algorithms produce shortest walks between arbitrary pairs
-    /// in arbitrary mesh shapes.
-    #[test]
-    fn minimal_walks_are_shortest(
-        m in 2usize..9,
-        n in 2usize..9,
-        which in 0u8..4,
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
+/// Minimal algorithms produce shortest walks between arbitrary pairs
+/// in arbitrary mesh shapes.
+#[test]
+fn minimal_walks_are_shortest() {
+    let mut rng = StdRng::seed_from_u64(0xF001);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..9usize);
+        let n = rng.random_range(2..9usize);
         let mesh = Mesh::new_2d(m, n);
-        let (a, b) = (a % (m * n), b % (m * n));
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, m * n);
+        let which = rng.random_range(0..4usize) as u8;
         let algo = algo_2d(which, true);
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
         let path = walk(algo.as_ref(), &mesh, s, d);
-        prop_assert_eq!(path.len() - 1, mesh.distance(s, d));
+        assert_eq!(path.len() - 1, mesh.distance(s, d), "{m}x{n} algo {which}");
     }
+}
 
-    /// Nonminimal two-phase walks still terminate at the destination.
-    #[test]
-    fn nonminimal_walks_terminate(
-        m in 2usize..7,
-        n in 2usize..7,
-        which in 1u8..4,
-        a in 0usize..49,
-        b in 0usize..49,
-    ) {
+/// Nonminimal two-phase walks still terminate at the destination.
+#[test]
+fn nonminimal_walks_terminate() {
+    let mut rng = StdRng::seed_from_u64(0xF002);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..7usize);
+        let n = rng.random_range(2..7usize);
         let mesh = Mesh::new_2d(m, n);
-        let (a, b) = (a % (m * n), b % (m * n));
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, m * n);
+        let which = rng.random_range(1..4usize) as u8;
         let algo = algo_2d(which, false);
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
         let path = walk(algo.as_ref(), &mesh, s, d);
-        prop_assert_eq!(*path.last().unwrap(), d);
+        assert_eq!(*path.last().unwrap(), d);
     }
+}
 
-    /// Theorem 2 numbering is monotone for every mesh shape, not just
-    /// the tested sizes.
-    #[test]
-    fn west_first_numbering_monotone(m in 2usize..11, n in 2usize..11) {
-        let mesh = Mesh::new_2d(m, n);
-        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
-        let numbers = west_first_numbering(&mesh);
-        prop_assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Decreasing), Ok(()));
+/// Theorem 2 numbering is monotone for every mesh shape, not just
+/// the tested sizes.
+#[test]
+fn west_first_numbering_monotone() {
+    for m in 2..11usize {
+        for n in 2..11usize {
+            let mesh = Mesh::new_2d(m, n);
+            let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::west_first());
+            let numbers = west_first_numbering(&mesh);
+            assert_eq!(
+                verify_monotone(&cdg, &numbers, Monotonic::Decreasing),
+                Ok(()),
+                "{m}x{n}"
+            );
+        }
     }
+}
 
-    /// Theorem 5 numbering is monotone for random n-dimensional shapes.
-    #[test]
-    fn negative_first_numbering_monotone(dims in proptest::collection::vec(2usize..5, 1..4)) {
-        let n = dims.len();
-        let mesh = Mesh::new(dims);
-        let cdg =
-            ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::negative_first(n));
+/// Theorem 5 numbering is monotone for random n-dimensional shapes.
+#[test]
+fn negative_first_numbering_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xF003);
+    for _ in 0..CASES {
+        let n = rng.random_range(1..4usize);
+        let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..5usize)).collect();
+        let mesh = Mesh::new(dims.clone());
+        let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &TurnSet::negative_first(n));
         let numbers = negative_first_numbering(&mesh);
-        prop_assert_eq!(verify_monotone(&cdg, &numbers, Monotonic::Increasing), Ok(()));
+        assert_eq!(
+            verify_monotone(&cdg, &numbers, Monotonic::Increasing),
+            Ok(()),
+            "{dims:?}"
+        );
     }
+}
 
-    /// Every two-phase split of the 2D directions yields a deadlock-free
-    /// turn set: phase ordering is inherently acyclic.
-    #[test]
-    fn all_two_phase_splits_are_deadlock_free(bits in 0u32..16) {
+/// Every two-phase split of the 2D directions yields a deadlock-free
+/// turn set: phase ordering is inherently acyclic.
+#[test]
+fn all_two_phase_splits_are_deadlock_free() {
+    for bits in 0u32..16 {
         let phase1: DirSet = Direction::all(2)
             .filter(|d| bits >> d.index() & 1 == 1)
             .collect();
         // A degenerate split with every direction in one phase is fully
         // adaptive (all turns allowed within the phase) and cyclic.
-        prop_assume!(!phase1.is_empty() && phase1.len() < 4);
+        if phase1.is_empty() || phase1.len() == 4 {
+            continue;
+        }
         let algo = TwoPhase::new("split", 2, phase1, true);
         let mesh = Mesh::new_2d(4, 4);
         let cdg = ChannelDependencyGraph::from_turn_set(&mesh, &algo.turn_set());
-        prop_assert!(cdg.is_acyclic());
+        assert!(cdg.is_acyclic(), "bits={bits:04b}");
     }
+}
 
-    /// The negative-first closed form equals the DP oracle on random
-    /// 3D boxes and pairs.
-    #[test]
-    fn negative_first_formula_matches_oracle_3d(
-        dims in proptest::collection::vec(2usize..5, 3..4),
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
-        let mesh = Mesh::new(dims);
-        let (a, b) = (a % mesh.num_nodes(), b % mesh.num_nodes());
-        prop_assume!(a != b);
+/// The negative-first closed form equals the DP oracle on random
+/// 3D boxes and pairs.
+#[test]
+fn negative_first_formula_matches_oracle_3d() {
+    let mut rng = StdRng::seed_from_u64(0xF004);
+    for _ in 0..CASES {
+        let dims: Vec<usize> = (0..3).map(|_| rng.random_range(2..5usize)).collect();
+        let mesh = Mesh::new(dims.clone());
+        let (s, d) = distinct_pair(&mut rng, mesh.num_nodes());
         let nf = NegativeFirst::with_dims(3, true);
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
-        prop_assert_eq!(
+        assert_eq!(
             count_paths(&nf, &mesh, s, d),
-            negative_first_shortest_paths(&mesh, s, d)
+            negative_first_shortest_paths(&mesh, s, d),
+            "{dims:?} {s}->{d}"
         );
     }
+}
 
-    /// Partial adaptiveness never exceeds full adaptiveness.
-    #[test]
-    fn sp_at_most_sf(
-        m in 2usize..8,
-        n in 2usize..8,
-        which in 0u8..4,
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
+/// Partial adaptiveness never exceeds full adaptiveness.
+#[test]
+fn sp_at_most_sf() {
+    let mut rng = StdRng::seed_from_u64(0xF005);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..8usize);
+        let n = rng.random_range(2..8usize);
         let mesh = Mesh::new_2d(m, n);
-        let (a, b) = (a % (m * n), b % (m * n));
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, m * n);
+        let which = rng.random_range(0..4usize) as u8;
         let algo = algo_2d(which, true);
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
         let sp = count_paths(algo.as_ref(), &mesh, s, d);
-        prop_assert!(sp >= 1);
-        prop_assert!(sp <= fully_adaptive_shortest_paths(&mesh, s, d));
+        assert!(sp >= 1);
+        assert!(sp <= fully_adaptive_shortest_paths(&mesh, s, d));
     }
+}
 
-    /// p-cube in random hypercubes: minimal, and offers at most the
-    /// fully adaptive choice count at each step.
-    #[test]
-    fn pcube_walks_random_cubes(n in 2usize..8, a in 0usize..256, b in 0usize..256) {
+/// p-cube in random hypercubes: minimal, and offers at most the
+/// fully adaptive choice count at each step.
+#[test]
+fn pcube_walks_random_cubes() {
+    let mut rng = StdRng::seed_from_u64(0xF006);
+    for _ in 0..CASES {
+        let n = rng.random_range(2..8usize);
         let cube = Hypercube::new(n);
-        let (a, b) = (a % cube.num_nodes(), b % cube.num_nodes());
-        prop_assume!(a != b);
+        let (s, d) = distinct_pair(&mut rng, cube.num_nodes());
         let pcube = PCube::minimal();
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
         let path = walk(&pcube, &cube, s, d);
-        prop_assert_eq!(path.len() - 1, cube.distance(s, d));
+        assert_eq!(path.len() - 1, cube.distance(s, d));
     }
+}
 
-    /// Simulator flit conservation holds under random light loads and
-    /// seeds, for a random algorithm.
-    #[test]
-    fn simulator_conserves_flits(
-        seed in 0u64..1000,
-        which in 0u8..4,
-        load in 0.01f64..0.2,
-    ) {
+/// Simulator flit conservation holds under random light loads and
+/// seeds, for a random algorithm.
+#[test]
+fn simulator_conserves_flits() {
+    let mut rng = StdRng::seed_from_u64(0xF007);
+    for _ in 0..CASES {
+        let seed = rng.random_range(0..1000u64);
+        let which = rng.random_range(0..4usize) as u8;
+        let load = rng.random_range(0.01f64..0.2);
         let mesh = Mesh::new_2d(4, 4);
         let algo = algo_2d(which, true);
         let config = SimConfig::paper()
@@ -173,26 +196,28 @@ proptest! {
             sim.step();
         }
         for p in sim.packets() {
-            prop_assert_eq!(
+            assert_eq!(
                 p.flits_at_source() + p.flits_in_network() + p.flits_consumed(),
                 p.length
             );
         }
     }
+}
 
-    /// n-dimensional analogs agree with the 2D originals on 2D meshes,
-    /// for random pairs.
-    #[test]
-    fn analogs_reduce_to_2d(m in 2usize..8, a in 0usize..64, b in 0usize..64) {
+/// n-dimensional analogs agree with the 2D originals on 2D meshes,
+/// for random pairs.
+#[test]
+fn analogs_reduce_to_2d() {
+    let mut rng = StdRng::seed_from_u64(0xF008);
+    for _ in 0..CASES {
+        let m = rng.random_range(2..8usize);
         let mesh = Mesh::new_2d(m, m);
-        let (a, b) = (a % (m * m), b % (m * m));
-        prop_assume!(a != b);
-        let (s, d) = (NodeId::new(a), NodeId::new(b));
+        let (s, d) = distinct_pair(&mut rng, m * m);
         let wf = WestFirst::minimal();
         let abonf = Abonf::with_dims(2, true);
-        prop_assert_eq!(wf.route(&mesh, s, d, None), abonf.route(&mesh, s, d, None));
+        assert_eq!(wf.route(&mesh, s, d, None), abonf.route(&mesh, s, d, None));
         let nl = NorthLast::minimal();
         let abopl = Abopl::with_dims(2, true);
-        prop_assert_eq!(nl.route(&mesh, s, d, None), abopl.route(&mesh, s, d, None));
+        assert_eq!(nl.route(&mesh, s, d, None), abopl.route(&mesh, s, d, None));
     }
 }

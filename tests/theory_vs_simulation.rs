@@ -76,7 +76,12 @@ fn named_algorithms_never_stall_under_stress() {
             "{} stalled",
             algo.name()
         );
-        assert_eq!(report.stranded_packets, 0, "{} stranded packets", algo.name());
+        assert_eq!(
+            report.stranded_packets,
+            0,
+            "{} stranded packets",
+            algo.name()
+        );
     }
 }
 
@@ -101,7 +106,9 @@ fn adaptive_beats_nonadaptive_on_transpose_not_uniform() {
     let xy = DimensionOrder::new();
     let nf = NegativeFirst::minimal();
 
-    let run = |algo: &dyn RoutingAlgorithm, pattern: &dyn turnroute::sim::patterns::TrafficPattern, load: f64| {
+    let run = |algo: &dyn RoutingAlgorithm,
+               pattern: &dyn turnroute::sim::patterns::TrafficPattern,
+               load: f64| {
         let config = SimConfig::paper()
             .injection_rate(load)
             .warmup_cycles(3_000)

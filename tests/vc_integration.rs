@@ -38,8 +38,7 @@ fn mady_outlasts_negative_first_on_diagonal_transpose() {
         .measure_cycles(8_000)
         .seed(5);
     let mady = MadY::new();
-    let mady_report =
-        VcSimulation::new(&mesh, &mady, &DiagonalTranspose, config.clone()).run();
+    let mady_report = VcSimulation::new(&mesh, &mady, &DiagonalTranspose, config.clone()).run();
     let nf = SingleClass::new(NegativeFirst::minimal());
     let nf_report = VcSimulation::new(&mesh, &nf, &DiagonalTranspose, config).run();
 
@@ -52,5 +51,8 @@ fn mady_outlasts_negative_first_on_diagonal_transpose() {
         mady_report.metrics.avg_latency_usec().unwrap(),
         nf_report.metrics.avg_latency_usec().unwrap(),
     );
-    assert!(ml < nl * 0.5, "mad-y {ml:.1} usec vs negative-first {nl:.1} usec");
+    assert!(
+        ml < nl * 0.5,
+        "mad-y {ml:.1} usec vs negative-first {nl:.1} usec"
+    );
 }
