@@ -1,0 +1,110 @@
+//! Observer-layer overhead: the same Section 6 simulation run with no
+//! observer, with counting observers, and with full trace capture,
+//! recorded to `BENCH_obs.json` at the repo root.
+//!
+//! The no-op run IS the seed configuration: `Simulation::new` defaults
+//! to `NoopObserver`, whose hooks monomorphize to nothing, so any gap
+//! between "noop" here and the seed's simulator bench is noise. The
+//! interesting deltas are the counting stack (turn matrix + channel
+//! activity — a few array writes per event) and full trace capture
+//! (string formatting and event buffering per flit movement).
+
+use turnroute_bench::timing::Harness;
+use turnroute_core::{TurnSet, WestFirst};
+use turnroute_sim::patterns::Transpose;
+use turnroute_sim::{
+    ChannelActivityObserver, FlitTraceObserver, SimConfig, SimReport, Simulation, TurnUsageObserver,
+};
+use turnroute_topology::Mesh;
+
+fn config() -> SimConfig {
+    SimConfig::paper()
+        .injection_rate(0.08)
+        .warmup_cycles(1_000)
+        .measure_cycles(4_000)
+        .seed(9)
+}
+
+fn run_noop(mesh: &Mesh, algo: &WestFirst) -> SimReport {
+    Simulation::new(mesh, algo, &Transpose, config()).run()
+}
+
+fn run_counting(mesh: &Mesh, algo: &WestFirst) -> SimReport {
+    let obs = (
+        TurnUsageObserver::new(TurnSet::west_first()),
+        ChannelActivityObserver::new(),
+    );
+    Simulation::with_observer(mesh, algo, &Transpose, config(), obs).run()
+}
+
+fn run_tracing(mesh: &Mesh, algo: &WestFirst) -> (SimReport, usize) {
+    let obs = FlitTraceObserver::new();
+    let mut sim = Simulation::with_observer(mesh, algo, &Transpose, config(), obs);
+    let report = sim.run();
+    let events = sim.observer().len();
+    (report, events)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mesh = Mesh::new_2d(16, 16);
+    let algo = WestFirst::minimal();
+
+    // Non-perturbation first: all three configurations must produce the
+    // identical result (observers are read-only and RNG-free).
+    let baseline = run_noop(&mesh, &algo);
+    assert_eq!(
+        baseline.metrics.latencies,
+        run_counting(&mesh, &algo).metrics.latencies,
+        "counting observers changed the simulation"
+    );
+    let (traced, trace_events) = run_tracing(&mesh, &algo);
+    assert_eq!(
+        baseline.metrics.latencies, traced.metrics.latencies,
+        "trace capture changed the simulation"
+    );
+
+    let mut h = Harness::new().sample_size(5);
+    let noop = h
+        .bench("obs/mesh16_west_first/noop", || run_noop(&mesh, &algo))
+        .median_secs();
+    let counting = h
+        .bench("obs/mesh16_west_first/counting", || {
+            run_counting(&mesh, &algo)
+        })
+        .median_secs();
+    let tracing = h
+        .bench("obs/mesh16_west_first/full_trace", || {
+            run_tracing(&mesh, &algo)
+        })
+        .median_secs();
+
+    println!(
+        "counting overhead: {:+.1}%, full trace overhead: {:+.1}% ({} events)",
+        (counting / noop - 1.0) * 100.0,
+        (tracing / noop - 1.0) * 100.0,
+        trace_events
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "observer_overhead",
+  "workload": "mesh:16x16, west-first, transpose at 0.08 flits/cycle/node, 1k warmup + 4k measured cycles",
+  "host_cores": {cores},
+  "noop_secs": {noop:.4},
+  "counting_secs": {counting:.4},
+  "full_trace_secs": {tracing:.4},
+  "counting_overhead_pct": {:.1},
+  "full_trace_overhead_pct": {:.1},
+  "trace_events_captured": {trace_events},
+  "results_identical_across_observers": true,
+  "note": "noop is the seed configuration (Simulation::new defaults to NoopObserver, monomorphized away); counting = turn-usage matrix + channel activity; full trace buffers one formatted event per header move, turn, block and delivery with no window filter."
+}}
+"#,
+        (counting / noop - 1.0) * 100.0,
+        (tracing / noop - 1.0) * 100.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, &json).expect("writing BENCH_obs.json");
+    println!("wrote {path}");
+}

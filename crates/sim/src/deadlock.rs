@@ -85,7 +85,9 @@ impl std::fmt::Display for DeadlockReport {
 /// occupied, or it would not be blocked). Any cycle among those edges is
 /// a true deadlock under wormhole routing, because a packet holds its
 /// channels until it can advance.
-pub(crate) fn detect_deadlock(sim: &Simulation<'_>) -> DeadlockReport {
+pub(crate) fn detect_deadlock<O: crate::obs::SimObserver>(
+    sim: &Simulation<'_, O>,
+) -> DeadlockReport {
     let (topo, algo, packets, channel_owner, in_flight, faulty) = sim.deadlock_view();
 
     // wait[p] = (wanted channel, owner) pairs.
@@ -243,6 +245,52 @@ mod tests {
         }
         let text = report.to_string();
         assert!(text.contains("circular wait"));
+    }
+
+    #[test]
+    fn display_circular_wait_lists_every_edge() {
+        let report = DeadlockReport {
+            cycle: vec![
+                WaitEdge {
+                    packet: PacketId(3),
+                    at_node: turnroute_topology::NodeId::new(5),
+                    wants: ChannelId::new(9),
+                },
+                WaitEdge {
+                    packet: PacketId(8),
+                    at_node: turnroute_topology::NodeId::new(6),
+                    wants: ChannelId::new(2),
+                },
+            ],
+            stranded: vec![],
+            detected_at: 1_234,
+            blocked_packets: 7,
+        };
+        let text = report.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header plus one line per edge: {text}");
+        assert_eq!(
+            lines[0],
+            "deadlock at cycle 1234: 7 packets blocked, circular wait of 2:"
+        );
+        assert!(lines[1].starts_with("  packet 3 at "), "{text}");
+        assert!(lines[1].contains(" waits for "), "{text}");
+        assert!(lines[2].starts_with("  packet 8 at "), "{text}");
+    }
+
+    #[test]
+    fn display_stranded_variant_names_the_roadblocks() {
+        let report = DeadlockReport {
+            cycle: vec![],
+            stranded: vec![PacketId(1), PacketId(4)],
+            detected_at: 50,
+            blocked_packets: 9,
+        };
+        assert_eq!(
+            report.to_string(),
+            "permanent blockage at cycle 50: 9 packets blocked behind \
+             2 stranded packet(s) [1, 4]\n"
+        );
     }
 
     #[test]

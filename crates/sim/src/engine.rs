@@ -3,6 +3,7 @@
 use crate::config::{InputSelection, OutputSelection, SimConfig};
 use crate::deadlock::{detect_deadlock, DeadlockReport};
 use crate::metrics::MetricsCollector;
+use crate::obs::{NoopObserver, SimObserver};
 use crate::packet::{Packet, PacketId, PacketState};
 use crate::patterns::TrafficPattern;
 use crate::traffic::PoissonSource;
@@ -64,6 +65,12 @@ impl SimReport {
 /// Use [`Simulation::run`] for a full warmup + measurement run, or
 /// [`Simulation::step`] to single-step in tests.
 ///
+/// The simulation is generic over a [`SimObserver`] receiving
+/// fine-grained event callbacks (see [`crate::obs`]); the default
+/// [`NoopObserver`] monomorphizes every hook away, so [`Simulation::new`]
+/// builds exactly the uninstrumented engine. Attach probes with
+/// [`Simulation::with_observer`].
+///
 /// # Example
 ///
 /// ```
@@ -81,7 +88,8 @@ impl SimReport {
 /// let report = sim.run();
 /// assert!(report.sustainable());
 /// ```
-pub struct Simulation<'a> {
+pub struct Simulation<'a, O: SimObserver = NoopObserver> {
+    obs: O,
     topo: &'a dyn Topology,
     algo: &'a dyn RoutingAlgorithm,
     pattern: &'a dyn TrafficPattern,
@@ -116,12 +124,28 @@ pub struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
-    /// Builds a simulation over `topo` routed by `algo` under `pattern`.
+    /// Builds a simulation over `topo` routed by `algo` under `pattern`,
+    /// with no observer attached.
     pub fn new(
         topo: &'a dyn Topology,
         algo: &'a dyn RoutingAlgorithm,
         pattern: &'a dyn TrafficPattern,
         config: SimConfig,
+    ) -> Self {
+        Simulation::with_observer(topo, algo, pattern, config, NoopObserver)
+    }
+}
+
+impl<'a, O: SimObserver> Simulation<'a, O> {
+    /// Builds a simulation with `observer` attached: it receives every
+    /// engine event (see [`SimObserver`]). Observers are read-only and
+    /// RNG-free, so results are identical to an unobserved run.
+    pub fn with_observer(
+        topo: &'a dyn Topology,
+        algo: &'a dyn RoutingAlgorithm,
+        pattern: &'a dyn TrafficPattern,
+        config: SimConfig,
+        observer: O,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let source = PoissonSource::new(
@@ -131,6 +155,7 @@ impl<'a> Simulation<'a> {
             &mut rng,
         );
         Simulation {
+            obs: observer,
             topo,
             algo,
             pattern,
@@ -158,6 +183,23 @@ impl<'a> Simulation<'a> {
     /// The current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably (e.g. to reset a collector
+    /// between phases).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the simulation and returns the observer with everything
+    /// it collected.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The packet with the given id.
@@ -283,7 +325,9 @@ impl<'a> Simulation<'a> {
         if !self.in_flight.is_empty()
             && self.cycle - self.last_progress >= self.config.deadlock_threshold
         {
-            return Some(detect_deadlock(self));
+            let report = detect_deadlock(self);
+            self.obs.watchdog_fired(self.cycle, &report);
+            return Some(report);
         }
         None
     }
@@ -435,19 +479,39 @@ impl<'a> Simulation<'a> {
             if candidates.is_empty() {
                 // Either every permitted channel is busy (normal
                 // blocking) or the relation offers nothing (stranded).
-                let p = &self.packets[id.0 as usize];
-                let permitted = self.algo.route(self.topo, p.head_node, p.dst, p.arrived);
-                if permitted.is_empty()
-                    && p.state() == PacketState::InFlight
-                    && !self.stranded.contains(&id)
-                {
-                    self.stranded.push(id);
+                let (head, dst, arrived, state) = {
+                    let p = &self.packets[id.0 as usize];
+                    (p.head_node, p.dst, p.arrived, p.state())
+                };
+                let permitted = self.algo.route(self.topo, head, dst, arrived);
+                if permitted.is_empty() {
+                    if state == PacketState::InFlight && !self.stranded.contains(&id) {
+                        self.stranded.push(id);
+                    }
+                } else if O::ENABLED {
+                    // Name the channel the header would have preferred.
+                    // This recomputation runs topology queries off the
+                    // hot path, so it is compile-time gated on an
+                    // observer actually listening. Direction preference
+                    // order (not the RNG-consuming output-selection
+                    // ordering) keeps observed runs bit-identical.
+                    if let Some(wanted) = permitted
+                        .iter()
+                        .find_map(|dir| self.topo.channel_from(head, dir))
+                    {
+                        self.obs.packet_blocked(self.cycle, id, head, wanted);
+                    }
                 }
                 continue;
             }
             if let Some(&channel) = candidates.iter().find(|c| !granted_this_cycle[c.index()]) {
                 granted_this_cycle[channel.index()] = true;
                 grants.push((id, channel));
+            } else if O::ENABLED {
+                // Every free candidate went to a higher-priority header
+                // this cycle.
+                let head = self.packets[id.0 as usize].head_node;
+                self.obs.packet_blocked(self.cycle, id, head, candidates[0]);
             }
         }
         grants
@@ -504,6 +568,11 @@ impl<'a> Simulation<'a> {
             self.injecting[node] = Some(id);
             self.packets[id.0 as usize].injected_at = Some(self.cycle);
             self.in_flight.push(id);
+            let (src, dst, length) = {
+                let p = &self.packets[id.0 as usize];
+                (p.src, p.dst, p.length)
+            };
+            self.obs.packet_injected(self.cycle, id, src, dst, length);
         }
         self.channel_owner[channel.index()] = Some(id);
         if self.in_window() {
@@ -512,11 +581,18 @@ impl<'a> Simulation<'a> {
         }
         let cycle = self.cycle;
         let p = &mut self.packets[id.0 as usize];
+        let from_dir = p.arrived;
         p.worm.push(channel);
         p.head_node = ch.dst;
         p.arrived = Some(ch.dir);
         p.head_arrival = cycle + 1;
         p.hops += 1;
+        if let Some(from) = from_dir {
+            // The turn happened at the channel's source router.
+            self.obs.turn_taken(cycle, id, ch.src, from, ch.dir);
+        }
+        self.obs.channel_acquired(cycle, id, channel);
+        self.obs.header_advanced(cycle, id, ch.dst, channel);
         self.shift_tail(id);
     }
 
@@ -525,6 +601,7 @@ impl<'a> Simulation<'a> {
         let p = &mut self.packets[id.0 as usize];
         p.flits_consumed += 1;
         let done = p.flits_consumed == p.length;
+        self.obs.flit_delivered(self.cycle, id, done);
         self.shift_tail(id);
         if done {
             let p = &mut self.packets[id.0 as usize];
@@ -543,8 +620,8 @@ impl<'a> Simulation<'a> {
                 let latency = self.cycle - p.created_at;
                 let net_latency = self.cycle - p.injected_at.expect("delivered => injected");
                 let hops = p.hops;
-                self.metrics.latencies.push(latency);
-                self.metrics.network_latencies.push(net_latency);
+                self.metrics.latencies.record(latency);
+                self.metrics.network_latencies.record(net_latency);
                 self.metrics.hop_counts.push(hops);
             }
         }
@@ -567,6 +644,7 @@ impl<'a> Simulation<'a> {
         } else if !self.packets[idx].worm.is_empty() {
             let tail = self.packets[idx].worm.remove(0);
             self.channel_owner[tail.index()] = None;
+            self.obs.channel_released(self.cycle, id, tail);
         }
     }
 

@@ -27,9 +27,11 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::config::SimConfig;
-use crate::engine::Simulation;
+use crate::engine::{SimReport, Simulation};
+use crate::hist::LatencyHistogram;
 use crate::patterns::TrafficPattern;
 use crate::sweep::{SweepPoint, SweepSeries};
 use turnroute_core::RoutingAlgorithm;
@@ -60,6 +62,41 @@ pub fn derive_cell_seed(base: u64, algorithm: &str, pattern: &str, load: f64) ->
     split_mix_64(&mut state)
 }
 
+/// What one sweep cell produces: the summary [`SweepPoint`] plus the
+/// full latency histogram, kept so the executor can merge per-cell
+/// distributions into cheap cross-run p50/p95/p99 telemetry.
+///
+/// Runners that only have a point (tests, cache replay) convert via
+/// `From<SweepPoint>`, attaching an empty histogram.
+#[derive(Debug, Clone)]
+pub struct CellOutput {
+    /// The cell's summary operating point.
+    pub point: SweepPoint,
+    /// The full message-latency distribution behind the point, in
+    /// cycles. Empty for cache hits (the cache stores summaries only).
+    pub latencies: LatencyHistogram,
+}
+
+impl CellOutput {
+    /// The output of a finished engine run: summary point plus the
+    /// measured latency histogram.
+    pub fn from_report(report: &SimReport) -> Self {
+        CellOutput {
+            point: SweepPoint::from_report(report),
+            latencies: report.metrics.latencies.clone(),
+        }
+    }
+}
+
+impl From<SweepPoint> for CellOutput {
+    fn from(point: SweepPoint) -> Self {
+        CellOutput {
+            point,
+            latencies: LatencyHistogram::default(),
+        }
+    }
+}
+
 /// One series of an experiment: a single (algorithm, pattern) pairing
 /// swept over ascending offered loads by a runner closure.
 pub struct SeriesJob<'a> {
@@ -76,25 +113,27 @@ pub struct SeriesJob<'a> {
     /// Offered loads, strictly ascending (required by the monotone
     /// saturation skip).
     pub loads: Vec<f64>,
-    /// Simulates one cell: `(offered_load, derived_seed) -> point`.
-    pub runner: Box<dyn Fn(f64, u64) -> SweepPoint + Sync + 'a>,
+    /// Simulates one cell: `(offered_load, derived_seed) -> output`.
+    pub runner: Box<dyn Fn(f64, u64) -> CellOutput + Sync + 'a>,
 }
 
 impl<'a> SeriesJob<'a> {
     /// A series job with a custom runner (used by the virtual-channel
-    /// engine and by tests).
+    /// engine and by tests). The runner may return anything convertible
+    /// to a [`CellOutput`] — a bare [`SweepPoint`] works and attaches
+    /// an empty latency histogram.
     ///
     /// # Panics
     ///
     /// Panics if `loads` is not strictly ascending or `cache_key`
     /// contains a tab or newline.
-    pub fn new(
+    pub fn new<R: Into<CellOutput>>(
         algorithm: impl Into<String>,
         pattern: impl Into<String>,
         cache_key: impl Into<String>,
         base_seed: u64,
         loads: &[f64],
-        runner: impl Fn(f64, u64) -> SweepPoint + Sync + 'a,
+        runner: impl Fn(f64, u64) -> R + Sync + 'a,
     ) -> Self {
         let cache_key = cache_key.into();
         assert!(
@@ -111,7 +150,7 @@ impl<'a> SeriesJob<'a> {
             cache_key,
             base_seed,
             loads: loads.to_vec(),
-            runner: Box::new(runner),
+            runner: Box::new(move |load, seed| runner(load, seed).into()),
         }
     }
 
@@ -137,7 +176,7 @@ impl<'a> SeriesJob<'a> {
             move |load, seed| {
                 let cfg = config.clone().injection_rate(load).seed(seed);
                 let report = Simulation::new(topo, algorithm, pattern, cfg).run();
-                SweepPoint::from_report(&report)
+                CellOutput::from_report(&report)
             },
         )
     }
@@ -300,14 +339,65 @@ fn parse_cache_line(line: &str) -> Option<(String, SweepPoint)> {
 }
 
 /// Counters describing what one [`Executor::run`] actually did.
+///
+/// `cache_hits`, `skipped`, and the `emitted_*` counters depend only on
+/// the jobs and the cache contents, so they are safe to put in
+/// deterministic output. `simulated` additionally counts speculative
+/// cells workers computed past a cutoff before it was known, which can
+/// vary with thread count — report it to humans (stderr), never into
+/// byte-compared files.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Cells simulated by a runner this run.
+    /// Cells simulated by a runner this run, speculation included.
+    /// Thread-count-dependent; see the type docs.
     pub simulated: usize,
     /// Cells satisfied from the cache.
     pub cache_hits: usize,
     /// Cells reported as skipped by the saturation rule.
     pub skipped: usize,
+    /// Emitted (non-skipped) points that came from the cache.
+    /// Deterministic.
+    pub emitted_from_cache: usize,
+    /// Emitted (non-skipped) points simulated this run. Deterministic.
+    pub emitted_simulated: usize,
+}
+
+/// Wall-time accounting for one emitted sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// The series' algorithm name.
+    pub algorithm: String,
+    /// The series' pattern name.
+    pub pattern: String,
+    /// The cell's offered load.
+    pub offered_load: f64,
+    /// Wall-clock seconds the runner spent on this cell (0 for cache
+    /// hits).
+    pub wall_secs: f64,
+    /// `true` if the cell was satisfied from the cache.
+    pub from_cache: bool,
+}
+
+/// Telemetry from the most recent [`Executor::run`]: per-cell wall
+/// times plus the merged latency histogram of every emitted cell.
+///
+/// Cells appear in deterministic (series, load) order; the wall-time
+/// *values* are measurements and naturally vary run to run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTelemetry {
+    /// One entry per emitted (non-skipped) cell, in output order.
+    pub cells: Vec<CellTiming>,
+    /// Message-latency histograms of every emitted cell, merged.
+    /// Cache hits contribute nothing (the cache stores summaries only).
+    pub latencies: LatencyHistogram,
+}
+
+impl ExecTelemetry {
+    /// Total runner wall-clock seconds across all emitted cells (the
+    /// serial cost the thread pool amortized).
+    pub fn total_wall_secs(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_secs).sum()
+    }
 }
 
 /// Per-series scheduling state shared by the workers.
@@ -318,7 +408,11 @@ struct SeriesState {
     /// Claims stop above it; monotone saturation makes higher loads
     /// redundant.
     cutoff: usize,
-    results: Vec<Option<SweepPoint>>,
+    results: Vec<Option<CellOutput>>,
+    /// Which results were prefilled from the cache.
+    cached: Vec<bool>,
+    /// Runner wall-clock seconds per simulated cell.
+    wall: Vec<f64>,
 }
 
 struct Shared {
@@ -372,6 +466,7 @@ pub struct Executor {
     threads: usize,
     cache: CellCache,
     stats: ExecStats,
+    telemetry: ExecTelemetry,
 }
 
 impl Executor {
@@ -381,6 +476,7 @@ impl Executor {
             threads: threads.max(1),
             cache: CellCache::in_memory(),
             stats: ExecStats::default(),
+            telemetry: ExecTelemetry::default(),
         }
     }
 
@@ -393,6 +489,12 @@ impl Executor {
     /// What the most recent [`Executor::run`] did.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Telemetry from the most recent [`Executor::run`]: per-cell wall
+    /// times and the merged latency histogram of all emitted cells.
+    pub fn telemetry(&self) -> &ExecTelemetry {
+        &self.telemetry
     }
 
     /// The cell cache (e.g. to [`CellCache::flush`] after a run).
@@ -414,6 +516,7 @@ impl Executor {
     /// already computed it speculatively.
     pub fn run(&mut self, jobs: Vec<SeriesJob<'_>>) -> Vec<SweepSeries> {
         self.stats = ExecStats::default();
+        self.telemetry = ExecTelemetry::default();
 
         // Prefill from the cache; a cached unsustainable point bounds
         // the series immediately.
@@ -423,13 +526,16 @@ impl Executor {
                 next: 0,
                 cutoff: usize::MAX,
                 results: vec![None; job.loads.len()],
+                cached: vec![false; job.loads.len()],
+                wall: vec![0.0; job.loads.len()],
             };
             for (i, &load) in job.loads.iter().enumerate() {
                 if let Some(point) = self.cache.get(&cell_key(&job.cache_key, load)) {
                     if !point.sustainable {
                         st.cutoff = st.cutoff.min(i);
                     }
-                    st.results[i] = Some(point);
+                    st.results[i] = Some(point.into());
+                    st.cached[i] = true;
                     self.stats.cache_hits += 1;
                 }
             }
@@ -448,17 +554,20 @@ impl Executor {
             let job = &jobs[j];
             let load = job.loads[i];
             let seed = derive_cell_seed(job.base_seed, &job.algorithm, &job.pattern, load);
-            let point = (job.runner)(load, seed);
+            let started = Instant::now();
+            let output = (job.runner)(load, seed);
+            let wall_secs = started.elapsed().as_secs_f64();
             let mut guard = shared.lock().expect("executor poisoned");
             guard
                 .cache
-                .insert(cell_key(&job.cache_key, load), point.clone());
+                .insert(cell_key(&job.cache_key, load), output.point.clone());
             guard.simulated += 1;
             let st = &mut guard.states[j];
-            if !point.sustainable {
+            if !output.point.sustainable {
                 st.cutoff = st.cutoff.min(i);
             }
-            st.results[i] = Some(point);
+            st.results[i] = Some(output);
+            st.wall[i] = wall_secs;
         };
 
         if self.threads == 1 {
@@ -476,16 +585,31 @@ impl Executor {
         self.cache = std::mem::take(&mut shared.cache);
 
         // Assemble: everything past a series' first unsustainable load
-        // is a skipped placeholder, computed or not.
+        // is a skipped placeholder, computed or not. Telemetry is built
+        // here, from emitted cells only, so its cell order — and which
+        // histograms merge — never depends on worker scheduling.
         let mut out = Vec::with_capacity(jobs.len());
         for (job, st) in jobs.iter().zip(shared.states.iter_mut()) {
             let mut points = Vec::with_capacity(job.loads.len());
             for (i, &load) in job.loads.iter().enumerate() {
                 if i <= st.cutoff {
-                    let point = st.results[i]
+                    let output = st.results[i]
                         .take()
                         .expect("cells at or below the cutoff are always computed");
-                    points.push(point);
+                    if st.cached[i] {
+                        self.stats.emitted_from_cache += 1;
+                    } else {
+                        self.stats.emitted_simulated += 1;
+                    }
+                    self.telemetry.latencies.merge(&output.latencies);
+                    self.telemetry.cells.push(CellTiming {
+                        algorithm: job.algorithm.clone(),
+                        pattern: job.pattern.clone(),
+                        offered_load: load,
+                        wall_secs: st.wall[i],
+                        from_cache: st.cached[i],
+                    });
+                    points.push(output.point);
                 } else {
                     self.stats.skipped += 1;
                     points.push(SweepPoint::skipped_at(load));
@@ -663,10 +787,73 @@ mod tests {
         assert!(series.points[2].skipped);
     }
 
+    /// A fake runner whose cells carry a one-value latency histogram
+    /// (`load * 1000` cycles), so merge behaviour is observable.
+    fn hist_job<'a>(loads: &'a [f64], sat: f64) -> SeriesJob<'a> {
+        SeriesJob::new("h", "fake", "test|h", 7, loads, move |load, _seed| {
+            CellOutput {
+                point: SweepPoint {
+                    offered_load: load,
+                    throughput: load * 100.0,
+                    avg_latency_usec: Some(load),
+                    p95_latency_usec: None,
+                    avg_hops: None,
+                    sustainable: load < sat,
+                    skipped: false,
+                },
+                latencies: LatencyHistogram::from_values(&[(load * 1000.0) as u64]),
+            }
+        })
+    }
+
+    #[test]
+    fn telemetry_lists_emitted_cells_in_output_order() {
+        let calls = AtomicUsize::new(0);
+        let mut ex = Executor::new(2);
+        ex.run(vec![fake_job("algo", &[0.1, 0.2], 1.0, &calls)]);
+        let cache = ex.into_cache();
+
+        // Extended grid over a warm cache: two cache hits, one fresh.
+        let mut ex = Executor::new(2).with_cache(cache);
+        ex.run(vec![fake_job("algo", &[0.1, 0.2, 0.3], 1.0, &calls)]);
+        let stats = ex.stats();
+        assert_eq!(stats.emitted_from_cache, 2);
+        assert_eq!(stats.emitted_simulated, 1);
+
+        let cells = &ex.telemetry().cells;
+        assert_eq!(cells.len(), 3);
+        let loads: Vec<f64> = cells.iter().map(|c| c.offered_load).collect();
+        assert_eq!(loads, vec![0.1, 0.2, 0.3]);
+        assert!(cells[0].from_cache && cells[1].from_cache);
+        assert!(!cells[2].from_cache);
+        // Cache hits cost no runner time; fresh cells are timed.
+        assert_eq!(cells[0].wall_secs, 0.0);
+        assert_eq!(cells[1].wall_secs, 0.0);
+        assert!(cells[2].wall_secs >= 0.0);
+        assert_eq!(ex.telemetry().total_wall_secs(), cells[2].wall_secs);
+    }
+
+    #[test]
+    fn telemetry_merges_histograms_of_emitted_cells_only() {
+        for threads in [1, 4] {
+            let mut ex = Executor::new(threads);
+            ex.run(vec![hist_job(&[0.1, 0.2, 0.3], 0.15)]);
+            // 0.1 is sustainable, 0.2 is the first unsustainable (still
+            // emitted), 0.3 is past the cutoff: even if a worker
+            // speculatively computed it, its histogram must not merge.
+            let h = &ex.telemetry().latencies;
+            assert_eq!(h.len(), 2, "threads={threads}");
+            assert_eq!(h.min(), Some(100));
+            assert_eq!(h.max(), Some(200));
+        }
+    }
+
     #[test]
     fn ascending_loads_are_enforced() {
         let result = std::panic::catch_unwind(|| {
-            SeriesJob::new("a", "p", "k", 1, &[0.2, 0.1], |_, _| unreachable!())
+            SeriesJob::new("a", "p", "k", 1, &[0.2, 0.1], |_, _| -> SweepPoint {
+                unreachable!()
+            })
         });
         assert!(result.is_err());
     }

@@ -1,0 +1,342 @@
+//! A log-bucketed, mergeable latency histogram.
+//!
+//! The engines used to accumulate every measured latency in a `Vec<u64>`
+//! and clone + sort the whole vector on every quantile query. This
+//! module replaces that with a fixed-layout histogram in the spirit of
+//! HDR histograms: values below [`LINEAR_LIMIT`] land in exact unit-wide
+//! buckets; above it, each power-of-two octave is split into
+//! [`SUB_BUCKETS`] equal sub-buckets, bounding the relative bucket width
+//! at `1 / SUB_BUCKETS`. Recording is O(1), quantiles are one O(buckets)
+//! scan, and two histograms merge by element-wise addition — which is
+//! what lets the parallel [`Executor`](crate::exec::Executor) cheaply
+//! aggregate p50/p95/p99 across worker threads.
+//!
+//! The count and sum are tracked exactly, so means are exact; only
+//! quantiles are approximated, and every quantile query returns the
+//! upper bound of the bucket holding the requested rank, i.e. within one
+//! bucket width of the exact order statistic.
+
+/// Values strictly below this limit are recorded exactly (one bucket per
+/// value).
+pub const LINEAR_LIMIT: u64 = 64;
+
+/// Sub-buckets per power-of-two octave above the linear range. The
+/// relative error of a quantile is at most `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: usize = 32;
+
+/// log2 of [`LINEAR_LIMIT`].
+const LINEAR_BITS: u32 = LINEAR_LIMIT.trailing_zeros();
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Octaves `[2^k, 2^(k+1))` for `k` in `LINEAR_BITS..64`.
+const NUM_OCTAVES: usize = 64 - LINEAR_BITS as usize;
+
+/// Total number of buckets in the fixed layout.
+const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + NUM_OCTAVES * SUB_BUCKETS;
+
+/// The bucket index of `value`.
+fn bucket_of(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    LINEAR_LIMIT as usize + (msb - LINEAR_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// The inclusive `(low, high)` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_LIMIT as usize {
+        return (index as u64, index as u64);
+    }
+    let rest = index - LINEAR_LIMIT as usize;
+    let msb = LINEAR_BITS + (rest / SUB_BUCKETS) as u32;
+    let sub = (rest % SUB_BUCKETS) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let low = (1u64 << msb) + sub * width;
+    (low, low + (width - 1))
+}
+
+/// A mergeable histogram of `u64` samples (latencies in cycles).
+///
+/// Count, sum, min and max are exact; quantiles are exact below
+/// [`LINEAR_LIMIT`] and within one log bucket (relative width
+/// `1 / SUB_BUCKETS`) above it.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_sim::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for v in [10, 20, 30, 40] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.mean(), Some(25.0));
+/// assert_eq!(h.quantile(0.0), Some(10));
+/// assert_eq!(h.quantile(1.0), Some(40));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (same as `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A histogram with every value of `values` recorded — the
+    /// replacement for building a latency `Vec` by hand in tests.
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut h = Self::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one sample. O(1).
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is exact for
+    /// counts, sums and extrema, and bucket-exact for quantiles, so
+    /// per-thread histograms aggregate without loss of resolution.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of the recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0..=1`) of the recorded samples.
+    ///
+    /// Ranks match the classic sorted-vector rule
+    /// `sorted[round((n - 1) * q)]`; the returned value is the upper
+    /// bound of the bucket holding that rank, clamped to the observed
+    /// maximum — exact below [`LINEAR_LIMIT`], within one bucket width
+    /// above it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let (low, high) = bucket_bounds(i);
+                return Some(high.min(self.max).max(low.min(self.max)));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The inclusive `(low, high)` bounds of the bucket `value` falls
+    /// into — the resolution guarantee quantile queries are accurate to.
+    pub fn bucket_bounds_of(value: u64) -> (u64, u64) {
+        bucket_bounds(bucket_of(value))
+    }
+
+    /// The occupied buckets as `(low, high, count)` triples, in
+    /// ascending value order (for compact reporting).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (low, high) = bucket_bounds(i);
+                (low, high, c)
+            })
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    /// Compact rendering: the full bucket array is almost entirely
+    /// zeros, so only summary statistics and occupied buckets print.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("occupied_buckets", &self.nonzero_buckets().count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::from_values(&[0, 1, 5, 63, 63]);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(63));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+    }
+
+    #[test]
+    fn mean_is_exact_for_any_magnitude() {
+        let h = LatencyHistogram::from_values(&[1_000_000, 3_000_000]);
+        assert_eq!(h.mean(), Some(2_000_000.0));
+        assert_eq!(h.sum(), 4_000_000);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in (0..1_000_000u64).step_by(997) {
+            let (low, high) = LatencyHistogram::bucket_bounds_of(v);
+            assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+            if v >= LINEAR_LIMIT {
+                // Bounded relative width.
+                assert!(
+                    (high - low + 1) as f64 / v as f64 <= 1.0 / SUB_BUCKETS as f64 + f64::EPSILON,
+                    "bucket [{low}, {high}] too wide for {v}"
+                );
+            } else {
+                assert_eq!(low, high);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_one_bucket() {
+        // A deterministic pseudo-random sample over several octaves.
+        let mut state = 0x1234_5678u64;
+        let mut values: Vec<u64> = (0..5_000)
+            .map(|_| {
+                turnroute_rng::split_mix_64(&mut state);
+                state % 300_000
+            })
+            .collect();
+        let h = LatencyHistogram::from_values(&values);
+        values.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = values[((values.len() - 1) as f64 * q).round() as usize];
+            let approx = h.quantile(q).unwrap();
+            let (low, high) = LatencyHistogram::bucket_bounds_of(exact);
+            assert!(
+                approx >= low && approx <= high,
+                "q={q}: approx {approx} outside exact bucket [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let a_vals: Vec<u64> = (0..500).map(|i| i * 7 % 10_000).collect();
+        let b_vals: Vec<u64> = (0..700).map(|i| i * 13 % 90_000).collect();
+        let a = LatencyHistogram::from_values(&a_vals);
+        let b = LatencyHistogram::from_values(&b_vals);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut all = a_vals;
+        all.extend(b_vals);
+        let direct = LatencyHistogram::from_values(&all);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.len(), 1_200);
+    }
+
+    #[test]
+    fn equality_tracks_recorded_values() {
+        let a = LatencyHistogram::from_values(&[1, 2, 3]);
+        let b = LatencyHistogram::from_values(&[1, 2, 3]);
+        let c = LatencyHistogram::from_values(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyHistogram::from_values(&[1]).quantile(1.5);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let h = LatencyHistogram::from_values(&[5, 500, 50_000]);
+        let text = format!("{h:?}");
+        assert!(text.contains("count: 3"));
+        assert!(text.len() < 200, "debug should not dump the bucket array");
+    }
+}

@@ -44,7 +44,9 @@ mod config;
 mod deadlock;
 mod engine;
 pub mod exec;
+pub mod hist;
 mod metrics;
+pub mod obs;
 mod packet;
 pub mod patterns;
 pub mod report;
@@ -56,8 +58,12 @@ pub use config::{
 };
 pub use deadlock::{DeadlockReport, WaitEdge};
 pub use engine::{RunOutcome, SimReport, Simulation};
-pub use exec::{CellCache, ExecStats, Executor, SeriesJob};
+pub use exec::{CellCache, CellOutput, CellTiming, ExecStats, ExecTelemetry, Executor, SeriesJob};
+pub use hist::LatencyHistogram;
 pub use metrics::MetricsCollector;
+pub use obs::{
+    ChannelActivityObserver, FlitTraceObserver, NoopObserver, SimObserver, TurnUsageObserver,
+};
 pub use packet::{Packet, PacketId, PacketState};
 pub use sweep::{sweep, SweepPoint, SweepSeries};
 pub use traffic::PoissonSource;

@@ -1,0 +1,172 @@
+//! The channel time-series observer.
+
+use crate::obs::SimObserver;
+use crate::packet::PacketId;
+use turnroute_topology::{ChannelId, NodeId};
+
+/// Collects per-channel activity over a run: how long each channel was
+/// held by a worm (occupancy) and how many header-cycles were spent
+/// blocked wanting it (contention).
+///
+/// Together with [`Simulation::channel_utilization`] this gives the
+/// heatmaps behind the paper's funnel argument: dimension-order routing
+/// concentrates transpose traffic — and therefore blocking — on a few
+/// corner channels, while adaptive turn sets spread both.
+///
+/// The observer sizes its vectors lazily from the largest channel index
+/// it sees, so it needs no topology handle at construction.
+///
+/// [`Simulation::channel_utilization`]: crate::Simulation::channel_utilization
+#[derive(Debug, Clone, Default)]
+pub struct ChannelActivityObserver {
+    /// Cycle each currently-held channel was acquired at.
+    acquired_at: Vec<Option<u64>>,
+    /// Closed-interval busy cycles per channel.
+    busy: Vec<u64>,
+    /// Number of acquisitions per channel.
+    acquisitions: Vec<u64>,
+    /// Header-cycles spent blocked wanting each channel.
+    blocked: Vec<u64>,
+    /// Last cycle any event was seen at (closes open intervals in
+    /// queries).
+    last_cycle: u64,
+}
+
+impl ChannelActivityObserver {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grow(&mut self, channel: ChannelId) {
+        let need = channel.index() + 1;
+        if self.busy.len() < need {
+            self.acquired_at.resize(need, None);
+            self.busy.resize(need, 0);
+            self.acquisitions.resize(need, 0);
+            self.blocked.resize(need, 0);
+        }
+    }
+
+    /// Number of channels observed so far (highest seen index + 1).
+    pub fn num_channels(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Cycles `channel` was occupied by a worm, counting a still-open
+    /// hold up to the last observed event.
+    pub fn busy_cycles(&self, channel: ChannelId) -> u64 {
+        let i = channel.index();
+        if i >= self.busy.len() {
+            return 0;
+        }
+        let open = self.acquired_at[i].map_or(0, |a| self.last_cycle.saturating_sub(a));
+        self.busy[i] + open
+    }
+
+    /// How many times `channel` was acquired.
+    pub fn acquisitions(&self, channel: ChannelId) -> u64 {
+        self.acquisitions.get(channel.index()).copied().unwrap_or(0)
+    }
+
+    /// Header-cycles spent blocked wanting `channel`: each cycle a
+    /// header requested a move and named this channel as its preferred
+    /// choice without getting it adds one.
+    pub fn blocked_cycles(&self, channel: ChannelId) -> u64 {
+        self.blocked.get(channel.index()).copied().unwrap_or(0)
+    }
+
+    /// The occupancy heatmap: per-channel busy fraction of the observed
+    /// span (`0.0..=1.0` per channel). Index by `ChannelId::index`.
+    pub fn occupancy(&self) -> Vec<f64> {
+        if self.last_cycle == 0 {
+            return vec![0.0; self.busy.len()];
+        }
+        (0..self.busy.len())
+            .map(|i| self.busy_cycles(ChannelId::new(i)) as f64 / self.last_cycle as f64)
+            .collect()
+    }
+
+    /// The contention heatmap: per-channel blocked header-cycles. Index
+    /// by `ChannelId::index`.
+    pub fn blocked_heatmap(&self) -> Vec<u64> {
+        self.blocked.clone()
+    }
+
+    /// Total blocked header-cycles across all channels.
+    pub fn total_blocked_cycles(&self) -> u64 {
+        self.blocked.iter().sum()
+    }
+}
+
+impl SimObserver for ChannelActivityObserver {
+    fn channel_acquired(&mut self, cycle: u64, _packet: PacketId, channel: ChannelId) {
+        self.grow(channel);
+        self.last_cycle = self.last_cycle.max(cycle);
+        let i = channel.index();
+        self.acquired_at[i] = Some(cycle);
+        self.acquisitions[i] += 1;
+    }
+
+    fn channel_released(&mut self, cycle: u64, _packet: PacketId, channel: ChannelId) {
+        self.grow(channel);
+        self.last_cycle = self.last_cycle.max(cycle);
+        let i = channel.index();
+        if let Some(at) = self.acquired_at[i].take() {
+            self.busy[i] += cycle.saturating_sub(at);
+        }
+    }
+
+    fn packet_blocked(&mut self, cycle: u64, _packet: PacketId, _at: NodeId, wanted: ChannelId) {
+        self.grow(wanted);
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.blocked[wanted.index()] += 1;
+    }
+
+    fn flit_delivered(&mut self, cycle: u64, _packet: PacketId, _done: bool) {
+        self.last_cycle = self.last_cycle.max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_accounts_open_and_closed_holds() {
+        let mut obs = ChannelActivityObserver::new();
+        let c0 = ChannelId::new(0);
+        let c1 = ChannelId::new(1);
+        obs.channel_acquired(10, PacketId(0), c0);
+        obs.channel_released(30, PacketId(0), c0);
+        obs.channel_acquired(20, PacketId(1), c1);
+        obs.flit_delivered(40, PacketId(0), true); // advances last_cycle
+        assert_eq!(obs.busy_cycles(c0), 20);
+        assert_eq!(obs.busy_cycles(c1), 20); // open hold counted to 40
+        assert_eq!(obs.acquisitions(c0), 1);
+        let occ = obs.occupancy();
+        assert_eq!(occ[0], 0.5);
+        assert_eq!(occ[1], 0.5);
+    }
+
+    #[test]
+    fn blocked_cycles_accumulate_per_wanted_channel() {
+        let mut obs = ChannelActivityObserver::new();
+        let want = ChannelId::new(7);
+        for cycle in 100..110 {
+            obs.packet_blocked(cycle, PacketId(3), NodeId::new(2), want);
+        }
+        assert_eq!(obs.blocked_cycles(want), 10);
+        assert_eq!(obs.total_blocked_cycles(), 10);
+        assert_eq!(obs.blocked_heatmap()[7], 10);
+        assert_eq!(obs.blocked_cycles(ChannelId::new(0)), 0);
+    }
+
+    #[test]
+    fn unseen_channels_read_as_idle() {
+        let obs = ChannelActivityObserver::new();
+        assert_eq!(obs.busy_cycles(ChannelId::new(5)), 0);
+        assert_eq!(obs.acquisitions(ChannelId::new(5)), 0);
+        assert_eq!(obs.num_channels(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The turn-usage matrix observer.
+
+use crate::obs::SimObserver;
+use crate::packet::PacketId;
+use turnroute_core::{Turn, TurnSet};
+use turnroute_topology::{Direction, NodeId};
+
+/// Counts every turn packets actually take, split by ordered direction
+/// pair, and checks each against an expected [`TurnSet`].
+///
+/// The turn model's safety argument is that prohibited turns are never
+/// taken — not merely that the routing function never *offers* them.
+/// This observer turns that claim into a runtime invariant: a turn the
+/// expected set prohibits is a **hard assertion failure**, naming the
+/// packet, router and direction pair.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{TurnSet, WestFirst};
+/// use turnroute_sim::{patterns::Transpose, SimConfig, Simulation, TurnUsageObserver};
+/// use turnroute_topology::Mesh;
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let algo = WestFirst::minimal();
+/// let config = SimConfig::paper()
+///     .injection_rate(0.05)
+///     .warmup_cycles(200)
+///     .measure_cycles(1_000);
+/// let obs = TurnUsageObserver::new(TurnSet::west_first());
+/// let mut sim = Simulation::with_observer(&mesh, &algo, &Transpose, config, obs);
+/// sim.run(); // panics if any packet ever turned to the west
+/// assert!(sim.observer().total_turns() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TurnUsageObserver {
+    expected: TurnSet,
+    /// `counts[from.index() * 2n + to.index()]`.
+    counts: Vec<u64>,
+}
+
+impl TurnUsageObserver {
+    /// An observer checking turns against `expected`.
+    pub fn new(expected: TurnSet) -> Self {
+        let n = 2 * expected.num_dims();
+        TurnUsageObserver {
+            expected,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// The turn set turns are checked against.
+    pub fn expected(&self) -> &TurnSet {
+        &self.expected
+    }
+
+    /// How many times packets turned from `from` to `to` (`from == to`
+    /// counts straight travel).
+    pub fn count(&self, from: Direction, to: Direction) -> u64 {
+        self.counts[from.index() * 2 * self.expected.num_dims() + to.index()]
+    }
+
+    /// Total observed turns, straight travel included.
+    pub fn total_turns(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total observed 90-degree (or wider) turns — direction changes
+    /// only.
+    pub fn total_direction_changes(&self) -> u64 {
+        let n = 2 * self.expected.num_dims();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i / n != i % n)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Every `(from, to, count)` with a nonzero count, in direction
+    /// index order — the turn-usage matrix in sparse form.
+    pub fn matrix(&self) -> impl Iterator<Item = (Direction, Direction, u64)> + '_ {
+        let dirs: Vec<Direction> = Direction::all(self.expected.num_dims()).collect();
+        let n = dirs.len();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (dirs[i / n], dirs[i % n], c))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl SimObserver for TurnUsageObserver {
+    fn turn_taken(
+        &mut self,
+        cycle: u64,
+        packet: PacketId,
+        at: NodeId,
+        from_dir: Direction,
+        to_dir: Direction,
+    ) {
+        assert!(
+            self.expected.allows(Turn::new(from_dir, to_dir)),
+            "prohibited turn taken: packet {} turned {from_dir} -> {to_dir} at node {at} \
+             on cycle {cycle}, but the active {} prohibits it",
+            packet.index(),
+            self.expected,
+        );
+        self.counts[from_dir.index() * 2 * self.expected.num_dims() + to_dir.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_allowed_turns() {
+        let mut obs = TurnUsageObserver::new(TurnSet::west_first());
+        obs.turn_taken(
+            5,
+            PacketId(0),
+            NodeId::new(3),
+            Direction::WEST,
+            Direction::NORTH,
+        );
+        obs.turn_taken(
+            6,
+            PacketId(1),
+            NodeId::new(4),
+            Direction::WEST,
+            Direction::NORTH,
+        );
+        obs.turn_taken(
+            7,
+            PacketId(1),
+            NodeId::new(4),
+            Direction::NORTH,
+            Direction::NORTH,
+        );
+        assert_eq!(obs.count(Direction::WEST, Direction::NORTH), 2);
+        assert_eq!(obs.count(Direction::NORTH, Direction::NORTH), 1);
+        assert_eq!(obs.count(Direction::EAST, Direction::NORTH), 0);
+        assert_eq!(obs.total_turns(), 3);
+        assert_eq!(obs.total_direction_changes(), 2);
+        assert_eq!(obs.matrix().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "prohibited turn taken")]
+    fn prohibited_turn_is_a_hard_failure() {
+        let mut obs = TurnUsageObserver::new(TurnSet::west_first());
+        obs.turn_taken(
+            9,
+            PacketId(2),
+            NodeId::new(0),
+            Direction::NORTH,
+            Direction::WEST,
+        );
+    }
+}

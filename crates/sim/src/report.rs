@@ -6,6 +6,8 @@
 //! downstream plotting sees one schema regardless of which binary
 //! produced the file.
 
+use crate::config::cycles_to_usec;
+use crate::exec::{ExecStats, ExecTelemetry};
 use crate::sweep::{SweepPoint, SweepSeries};
 use std::io::{self, Write};
 
@@ -43,21 +45,124 @@ pub fn write_csv(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> {
 /// Writes the series as a machine-readable JSON document:
 /// `[{"algorithm": ..., "pattern": ..., "points": [{...}]}, ...]`.
 pub fn write_json(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> {
-    writeln!(w, "[")?;
-    for (i, s) in series.iter().enumerate() {
-        writeln!(w, "  {{")?;
-        writeln!(w, "    \"algorithm\": {},", json_string(&s.algorithm))?;
-        writeln!(w, "    \"pattern\": {},", json_string(&s.pattern))?;
+    write_json_array(series, w, "")?;
+    writeln!(w)
+}
+
+/// Writes the series array plus the executor's deterministic counters
+/// as one JSON document:
+/// `{"series": [...], "executor": {"cache_hits": ..., ...}}`.
+///
+/// Only schedule-invariant counters are included (`cache_hits`,
+/// `skipped`, and the emitted splits), never [`ExecStats::simulated`],
+/// which counts speculative work and varies with thread count — the
+/// document stays byte-identical for any `--threads`.
+pub fn write_json_with_stats(
+    series: &[SweepSeries],
+    stats: &ExecStats,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    writeln!(w, "{{")?;
+    write!(w, "  \"series\": ")?;
+    write_json_array(series, w, "  ")?;
+    writeln!(w, ",")?;
+    writeln!(w, "  \"executor\": {{")?;
+    writeln!(w, "    \"cache_hits\": {},", stats.cache_hits)?;
+    writeln!(
+        w,
+        "    \"emitted_from_cache\": {},",
+        stats.emitted_from_cache
+    )?;
+    writeln!(w, "    \"emitted_simulated\": {},", stats.emitted_simulated)?;
+    writeln!(w, "    \"skipped\": {}", stats.skipped)?;
+    writeln!(w, "  }}")?;
+    writeln!(w, "}}")
+}
+
+/// Writes executor telemetry — per-cell wall times and the merged
+/// latency histogram's quantiles — as a JSON document.
+///
+/// Wall times are measurements: this output is for profiling, not for
+/// byte comparison.
+pub fn write_telemetry_json(telemetry: &ExecTelemetry, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "{{")?;
+    writeln!(
+        w,
+        "  \"total_wall_secs\": {},",
+        json_f64(telemetry.total_wall_secs())
+    )?;
+    let h = &telemetry.latencies;
+    let q = |q: f64| json_opt(h.quantile(q).map(cycles_to_usec));
+    writeln!(w, "  \"latency_histogram\": {{")?;
+    writeln!(w, "    \"messages\": {},", h.len())?;
+    writeln!(
+        w,
+        "    \"mean_usec\": {},",
+        json_opt(h.mean().map(cycles_to_usec_f))
+    )?;
+    writeln!(w, "    \"p50_usec\": {},", q(0.50))?;
+    writeln!(w, "    \"p95_usec\": {},", q(0.95))?;
+    writeln!(w, "    \"p99_usec\": {},", q(0.99))?;
+    writeln!(
+        w,
+        "    \"max_usec\": {}",
+        json_opt(h.max().map(cycles_to_usec))
+    )?;
+    writeln!(w, "  }},")?;
+    writeln!(w, "  \"cells\": [")?;
+    for (i, c) in telemetry.cells.iter().enumerate() {
+        write!(
+            w,
+            "    {{\"algorithm\": {}, \"pattern\": {}, \"offered_load\": {}, \
+\"wall_secs\": {}, \"from_cache\": {}}}",
+            json_string(&c.algorithm),
+            json_string(&c.pattern),
+            json_f64(c.offered_load),
+            json_f64(c.wall_secs),
+            c.from_cache,
+        )?;
         writeln!(
             w,
-            "    \"max_sustainable_throughput\": {},",
+            "{}",
+            if i + 1 < telemetry.cells.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(w, "  ]")?;
+    writeln!(w, "}}")
+}
+
+/// Mean latencies arrive as fractional cycles; convert like
+/// [`cycles_to_usec`] but without rounding through `u64`.
+fn cycles_to_usec_f(cycles: f64) -> f64 {
+    cycles / crate::config::FLITS_PER_USEC
+}
+
+/// `write_json` body with a configurable indent, shared by the plain
+/// and stats-wrapped forms.
+fn write_json_array(series: &[SweepSeries], w: &mut impl Write, extra: &str) -> io::Result<()> {
+    writeln!(w, "[")?;
+    for (i, s) in series.iter().enumerate() {
+        writeln!(w, "{extra}  {{")?;
+        writeln!(
+            w,
+            "{extra}    \"algorithm\": {},",
+            json_string(&s.algorithm)
+        )?;
+        writeln!(w, "{extra}    \"pattern\": {},", json_string(&s.pattern))?;
+        writeln!(
+            w,
+            "{extra}    \"max_sustainable_throughput\": {},",
             json_f64(s.max_sustainable_throughput())
         )?;
-        writeln!(w, "    \"points\": [")?;
+        writeln!(w, "{extra}    \"points\": [")?;
         for (j, p) in s.points.iter().enumerate() {
             write!(
                 w,
-                "      {{\"offered_load\": {}, \"throughput_flits_per_usec\": {}, \
+                "{extra}      {{\"offered_load\": {}, \"throughput_flits_per_usec\": {}, \
 \"avg_latency_usec\": {}, \"p95_latency_usec\": {}, \"avg_hops\": {}, \
 \"sustainable\": {}, \"skipped\": {}}}",
                 json_f64(p.offered_load),
@@ -70,10 +175,18 @@ pub fn write_json(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> 
             )?;
             writeln!(w, "{}", if j + 1 < s.points.len() { "," } else { "" })?;
         }
-        writeln!(w, "    ]")?;
-        writeln!(w, "  }}{}", if i + 1 < series.len() { "," } else { "" })?;
+        writeln!(w, "{extra}    ]")?;
+        write!(
+            w,
+            "{extra}  }}{}",
+            if i + 1 < series.len() { "," } else { "" }
+        )?;
+        if i + 1 < series.len() {
+            writeln!(w)?;
+        }
     }
-    writeln!(w, "]")
+    writeln!(w)?;
+    write!(w, "{extra}]")
 }
 
 fn json_string(s: &str) -> String {

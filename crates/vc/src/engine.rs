@@ -418,10 +418,10 @@ impl<'a> VcSimulation<'a> {
             self.in_flight.retain(|&q| q != id);
             let p = &self.packets[id.0 as usize];
             if p.created_at >= self.metrics.window_start && p.created_at < self.metrics.window_end {
-                self.metrics.latencies.push(self.cycle - p.created_at);
+                self.metrics.latencies.record(self.cycle - p.created_at);
                 self.metrics
                     .network_latencies
-                    .push(self.cycle - p.injected_at.expect("delivered => injected"));
+                    .record(self.cycle - p.injected_at.expect("delivered => injected"));
                 self.metrics.hop_counts.push(p.hops);
             }
         }
@@ -502,7 +502,7 @@ pub fn vc_series_job<'a>(
         move |load, seed| {
             let cfg = config.clone().injection_rate(load).seed(seed);
             let report = VcSimulation::new(topo, algorithm, pattern, cfg).run();
-            turnroute_sim::SweepPoint::from_report(&report)
+            turnroute_sim::CellOutput::from_report(&report)
         },
     )
 }

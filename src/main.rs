@@ -9,6 +9,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 use turnroute::cli::{
     parse_algorithm, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES, PATTERN_NAMES,
@@ -16,9 +17,9 @@ use turnroute::cli::{
 };
 use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
 use turnroute::experiment::{Engine, ExperimentSpec};
-use turnroute::sim::report::{write_csv, write_json};
-use turnroute::sim::{CellCache, Executor, RunOutcome, SimConfig, Simulation};
-use turnroute::topology::Topology;
+use turnroute::sim::report::{write_csv, write_json_with_stats, write_telemetry_json};
+use turnroute::sim::{CellCache, Executor, FlitTraceObserver, RunOutcome, SimConfig, Simulation};
+use turnroute::topology::{ChannelId, Topology};
 
 const USAGE: &str = "\
 usage: turnroute <command> [--option value ...]
@@ -31,14 +32,19 @@ commands:
             walk one route and count the allowed shortest paths
   simulate  --topology T --algorithm A --pattern P --load F[,F...]
             [--threads N] [--cycles N] [--warmup N] [--seed N]
+            [--trace FILE [--trace-window START:END]]
             run the Section 6 wormhole simulation; one load reports in
-            detail, several loads sweep in parallel and print CSV
+            detail, several loads sweep in parallel and print CSV.
+            --trace writes a flit-level Chrome trace-event JSON file
+            (open in Perfetto), optionally restricted to a cycle window
   sweep     --topology T --algorithms A[,B...] --pattern P
             --loads F[,F...] [--threads N] [--engine wormhole|vc]
-            [--format csv|json] [--cache FILE]
+            [--format csv|json] [--cache FILE] [--telemetry [FILE]]
             [--cycles N] [--warmup N] [--seed N]
             fan the (algorithm x load) grid across worker threads;
-            deterministic for any thread count
+            deterministic for any thread count. --telemetry reports
+            per-cell wall times and merged latency quantiles (to FILE
+            as JSON, or to stderr without one)
   list      print the accepted topologies, algorithms and patterns
 
 nodes are dense ids (137) or coordinates (9,4).";
@@ -58,13 +64,22 @@ fn main() -> ExitCode {
 
 fn options(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(key) = it.next() {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an --option, got '{key}'"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        map.insert(key.to_owned(), value.clone());
+        // `--telemetry` may stand alone (report to stderr) or take a
+        // file path; every other option requires a value.
+        let standalone = key == "telemetry" && it.peek().is_none_or(|next| next.starts_with("--"));
+        let value = if standalone {
+            String::new()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone()
+        };
+        map.insert(key.to_owned(), value);
     }
     Ok(map)
 }
@@ -148,8 +163,35 @@ fn run(args: &[String]) -> Result<(), String> {
             let pattern = parse_pattern(&pattern_name).map_err(|e| e.to_string())?;
             let load = loads[0];
             let config = config.injection_rate(load);
-            let mut sim = Simulation::new(topo.as_ref(), algo.as_ref(), pattern.as_ref(), config);
-            let report = sim.run();
+            let report = match opts.get("trace") {
+                Some(trace_path) => {
+                    let mut obs = FlitTraceObserver::new();
+                    if let Some(window) = opts.get("trace-window") {
+                        let (start, end) = parse_trace_window(window)?;
+                        obs = obs.window(start, end);
+                    }
+                    let mut sim = Simulation::with_observer(
+                        topo.as_ref(),
+                        algo.as_ref(),
+                        pattern.as_ref(),
+                        config,
+                        obs,
+                    );
+                    let report = sim.run();
+                    let obs = sim.into_observer();
+                    let file = std::fs::File::create(trace_path)
+                        .map_err(|e| format!("cannot create --trace {trace_path}: {e}"))?;
+                    let mut out = std::io::BufWriter::new(file);
+                    obs.write_chrome_trace(&mut out, &channel_names(topo.as_ref()))
+                        .and_then(|()| out.flush())
+                        .map_err(|e| format!("cannot write --trace {trace_path}: {e}"))?;
+                    eprintln!("# wrote {} trace events to {trace_path}", obs.len());
+                    report
+                }
+                None => {
+                    Simulation::new(topo.as_ref(), algo.as_ref(), pattern.as_ref(), config).run()
+                }
+            };
             println!(
                 "{} / {} / {} at {load} flits/cycle/node:",
                 topo.label(),
@@ -218,7 +260,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut out = std::io::stdout().lock();
             match opts.get("format").map(String::as_str) {
                 None | Some("csv") => write_csv(&series, &mut out),
-                Some("json") => write_json(&series, &mut out),
+                Some("json") => write_json_with_stats(&series, &executor.stats(), &mut out),
                 Some(other) => return Err(format!("unknown format '{other}' (csv | json)")),
             }
             .map_err(|e| e.to_string())?;
@@ -227,6 +269,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 "# {} simulated, {} from cache, {} skipped as saturated",
                 stats.simulated, stats.cache_hits, stats.skipped
             );
+            if let Some(dest) = opts.get("telemetry") {
+                if dest.is_empty() {
+                    let mut err = std::io::stderr().lock();
+                    write_telemetry_json(executor.telemetry(), &mut err)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    let file = std::fs::File::create(dest)
+                        .map_err(|e| format!("cannot create --telemetry {dest}: {e}"))?;
+                    let mut tw = std::io::BufWriter::new(file);
+                    write_telemetry_json(executor.telemetry(), &mut tw)
+                        .and_then(|()| tw.flush())
+                        .map_err(|e| format!("cannot write --telemetry {dest}: {e}"))?;
+                }
+            }
             if opts.contains_key("cache") {
                 executor.cache().flush().map_err(|e| e.to_string())?;
             }
@@ -234,6 +290,36 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// Parses `--trace-window START:END` (cycle bounds, half-open).
+fn parse_trace_window(spec: &str) -> Result<(u64, u64), String> {
+    let bad = || format!("bad --trace-window '{spec}' (expected START:END in cycles)");
+    let (start, end) = spec.split_once(':').ok_or_else(bad)?;
+    let start: u64 = start.trim().parse().map_err(|_| bad())?;
+    let end: u64 = end.trim().parse().map_err(|_| bad())?;
+    if start >= end {
+        return Err(format!(
+            "--trace-window start {start} must be below end {end}"
+        ));
+    }
+    Ok((start, end))
+}
+
+/// Human-readable lane names for the trace viewer, one per channel:
+/// `"ch12 (3,0)->(2,0) -x"`.
+fn channel_names(topo: &dyn Topology) -> Vec<String> {
+    (0..topo.num_channels())
+        .map(|c| {
+            let ch = topo.channel(ChannelId::new(c));
+            format!(
+                "ch{c} {}->{} {}",
+                topo.coord_of(ch.src),
+                topo.coord_of(ch.dst),
+                ch.dir
+            )
+        })
+        .collect()
 }
 
 /// Parses a comma-separated load list like `0.01,0.05,0.1`.
