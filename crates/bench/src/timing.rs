@@ -125,6 +125,81 @@ impl Harness {
     }
 }
 
+/// A flat JSON object builder for the repo-root `BENCH_*.json`
+/// artifacts, so every bench emits the same hand-readable shape
+/// (insertion-ordered keys, one per line) without a serde dependency.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Adds a string field (escapes quotes and backslashes).
+    pub fn field_str(mut self, key: &str, value: &str) -> Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields.push((key.to_owned(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a numeric field, rendered with up to 4 decimal places
+    /// (trailing zeros trimmed, integers stay integers).
+    pub fn field_num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value == value.trunc() && value.abs() < 1e15 {
+            format!("{value:.0}")
+        } else {
+            let mut s = format!("{value:.4}");
+            while s.ends_with('0') {
+                s.pop();
+            }
+            if s.ends_with('.') {
+                s.push('0');
+            }
+            s
+        };
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds `<prefix>_median_secs` and `<prefix>_mean_secs` from a
+    /// recorded [`BenchResult`].
+    pub fn result(self, prefix: &str, r: &BenchResult) -> Self {
+        self.field_num(&format!("{prefix}_median_secs"), r.median_ns / 1e9)
+            .field_num(&format!("{prefix}_mean_secs"), r.mean_ns / 1e9)
+    }
+
+    /// The report as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — benches have no caller to
+    /// hand an error to.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +217,22 @@ mod tests {
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
         assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn json_report_renders_flat_ordered_object() {
+        let text = JsonReport::new()
+            .field_str("bench", "engine \"hot\" path")
+            .field_num("speedup", 1.50)
+            .field_num("cycles", 8398.0)
+            .field_num("tiny", 0.00004)
+            .field_bool("identical", true)
+            .render();
+        assert_eq!(
+            text,
+            "{\n  \"bench\": \"engine \\\"hot\\\" path\",\n  \"speedup\": 1.5,\n  \
+             \"cycles\": 8398,\n  \"tiny\": 0.0,\n  \"identical\": true\n}\n"
+        );
     }
 
     #[test]

@@ -76,6 +76,17 @@ pub trait RoutingAlgorithm: Send + Sync {
 
     /// `true` if the algorithm only uses shortest paths.
     fn is_minimal(&self) -> bool;
+
+    /// `true` if [`RoutingAlgorithm::route`] is a pure function of
+    /// `(current, dest, arrived)` for a fixed topology, so its results
+    /// may be precomputed into a dense lookup table and replayed in any
+    /// order. Every algorithm in this crate is; an implementation that
+    /// consults mutable state (adaptive congestion estimates, fault
+    /// epochs) must override this to `false` to keep table-driven
+    /// simulators honest.
+    fn is_tabulable(&self) -> bool {
+        true
+    }
 }
 
 /// Boxed algorithms route like the algorithm they hold, so dynamically
@@ -102,6 +113,10 @@ impl<A: RoutingAlgorithm + ?Sized> RoutingAlgorithm for Box<A> {
 
     fn is_minimal(&self) -> bool {
         (**self).is_minimal()
+    }
+
+    fn is_tabulable(&self) -> bool {
+        (**self).is_tabulable()
     }
 }
 

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::lut::{RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
+
 /// Channel bandwidth used throughout the paper's Section 6: 20 flits/µs,
 /// i.e. one flit crosses one channel per 0.05 µs cycle.
 pub const FLITS_PER_USEC: f64 = 20.0;
@@ -116,6 +118,14 @@ pub struct SimConfig {
     pub measure_cycles: u64,
     /// Cycles of no in-flight progress after which deadlock is declared.
     pub deadlock_threshold: u64,
+    /// Whether routing decisions come from a precomputed
+    /// [`RouteTable`](crate::RouteTable) instead of live `route()`
+    /// calls. Purely a speed knob: reports and RNG streams are
+    /// bit-identical either way.
+    pub route_table: RouteTableMode,
+    /// Memory cap, in bytes, above which [`RouteTableMode::Auto`] falls
+    /// back to direct routing.
+    pub route_table_budget: usize,
 }
 
 impl SimConfig {
@@ -131,6 +141,8 @@ impl SimConfig {
             warmup_cycles: 20_000,
             measure_cycles: 60_000,
             deadlock_threshold: 50_000,
+            route_table: RouteTableMode::Auto,
+            route_table_budget: DEFAULT_ROUTE_TABLE_BUDGET,
         }
     }
 
@@ -180,6 +192,18 @@ impl SimConfig {
     /// Sets the deadlock watchdog threshold in cycles.
     pub fn deadlock_threshold(mut self, cycles: u64) -> Self {
         self.deadlock_threshold = cycles;
+        self
+    }
+
+    /// Sets the route-table policy.
+    pub fn route_table(mut self, mode: RouteTableMode) -> Self {
+        self.route_table = mode;
+        self
+    }
+
+    /// Sets the [`RouteTableMode::Auto`] memory cap in bytes.
+    pub fn route_table_budget(mut self, bytes: usize) -> Self {
+        self.route_table_budget = bytes;
         self
     }
 

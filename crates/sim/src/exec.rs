@@ -26,12 +26,14 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::config::SimConfig;
 use crate::engine::{SimReport, Simulation};
 use crate::hist::LatencyHistogram;
+use crate::lut::{RouteTable, RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
+use crate::obs::NoopObserver;
 use crate::patterns::TrafficPattern;
 use crate::sweep::{SweepPoint, SweepSeries};
 use turnroute_core::RoutingAlgorithm;
@@ -167,6 +169,10 @@ impl<'a> SeriesJob<'a> {
     ) -> Self {
         let config = base.clone();
         let cache_key = sim_cache_key(topo.label(), &algorithm.name(), &pattern.name(), base);
+        // One route table per series, built lazily by whichever worker
+        // reaches the first uncached cell (a fully cached series never
+        // pays for it) and shared across all the series' cells.
+        let table: OnceLock<Option<Arc<RouteTable>>> = OnceLock::new();
         SeriesJob::new(
             algorithm.name(),
             pattern.name(),
@@ -174,8 +180,19 @@ impl<'a> SeriesJob<'a> {
             base.seed,
             loads,
             move |load, seed| {
+                let table = table
+                    .get_or_init(|| RouteTable::for_config(topo, algorithm, &config))
+                    .clone();
                 let cfg = config.clone().injection_rate(load).seed(seed);
-                let report = Simulation::new(topo, algorithm, pattern, cfg).run();
+                let report = Simulation::with_observer_and_table(
+                    topo,
+                    algorithm,
+                    pattern,
+                    cfg,
+                    NoopObserver,
+                    table,
+                )
+                .run();
                 CellOutput::from_report(&report)
             },
         )
@@ -191,8 +208,18 @@ pub fn sim_cache_key(
     base: &SimConfig,
 ) -> String {
     // The Debug rendering covers every field; zero the per-cell ones so
-    // the fingerprint identifies the shared configuration only.
-    let canonical = format!("{:?}", base.clone().injection_rate(0.0).seed(0));
+    // the fingerprint identifies the shared configuration only. The
+    // route-table policy is canonicalized away too: table-driven and
+    // direct routing produce bit-identical points, so cells cached
+    // under one mode are valid under every other.
+    let canonical = format!(
+        "{:?}",
+        base.clone()
+            .injection_rate(0.0)
+            .seed(0)
+            .route_table(RouteTableMode::Auto)
+            .route_table_budget(DEFAULT_ROUTE_TABLE_BUDGET)
+    );
     let mut fp = 0x5EED_CE11u64;
     for chunk in canonical.as_bytes().chunks(8) {
         let mut word = [0u8; 8];

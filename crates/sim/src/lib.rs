@@ -45,6 +45,7 @@ mod deadlock;
 mod engine;
 pub mod exec;
 pub mod hist;
+pub mod lut;
 mod metrics;
 pub mod obs;
 mod packet;
@@ -60,6 +61,7 @@ pub use deadlock::{DeadlockReport, WaitEdge};
 pub use engine::{RunOutcome, SimReport, Simulation};
 pub use exec::{CellCache, CellOutput, CellTiming, ExecStats, ExecTelemetry, Executor, SeriesJob};
 pub use hist::LatencyHistogram;
+pub use lut::{RouteTable, RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
 pub use metrics::MetricsCollector;
 pub use obs::{
     ChannelActivityObserver, FlitTraceObserver, NoopObserver, SimObserver, TurnUsageObserver,

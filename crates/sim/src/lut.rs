@@ -1,0 +1,358 @@
+//! Precomputed route lookup tables for the wormhole engine's hot path.
+//!
+//! The turn-model routing relations are pure functions of
+//! `(node, dst, arrived)` (see
+//! [`RoutingAlgorithm::is_tabulable`]), yet the engine re-derives them
+//! through a dyn-dispatched `route()` call for every requesting header
+//! on every cycle. A [`RouteTable`] precomputes the permitted
+//! [`DirSet`] for every triple of a `(topology, algorithm)` pair into a
+//! flat dense array — one byte per entry, since every table-eligible
+//! topology has at most 8 directions — built once and shared across
+//! sweep cells via [`Arc`].
+//!
+//! # Indexing
+//!
+//! With `N = num_nodes` and `S = 2 * num_dims + 1` arrival slots (slot
+//! 0 is "at source", slot `d + 1` is arrival over direction index `d`):
+//!
+//! ```text
+//! entry(node, dst, arrived) = (node * N + dst) * S + slot(arrived)
+//! ```
+//!
+//! so one lookup is a multiply-add and a byte load. The memory cost is
+//! exactly `N² * S` bytes (`16x16` mesh: 256² × 5 = 320 KiB).
+//!
+//! # Size cap and fallback
+//!
+//! Tables are only built when they are sound and affordable:
+//!
+//! * topologies with more than 4 dimensions (> 8 directions) cannot
+//!   pack a [`DirSet`] into one byte — never tabled;
+//! * algorithms reporting [`RoutingAlgorithm::is_tabulable`] `false`
+//!   are never tabled;
+//! * under [`RouteTableMode::Auto`] the table must also fit the
+//!   configured memory budget
+//!   ([`SimConfig::route_table_budget`](crate::SimConfig), default
+//!   [`DEFAULT_ROUTE_TABLE_BUDGET`]); [`RouteTableMode::On`] ignores
+//!   the budget but still refuses unsound tables.
+//!
+//! When no table is built the engine simply calls `algo.route()`
+//! directly; results are bit-identical either way (enforced by unit and
+//! integration tests).
+
+use std::sync::Arc;
+
+use crate::config::SimConfig;
+use turnroute_core::RoutingAlgorithm;
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// Whether the engine precomputes a [`RouteTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteTableMode {
+    /// Build a table when it is sound and fits the memory budget — the
+    /// default.
+    #[default]
+    Auto,
+    /// Build a table whenever it is sound, ignoring the budget.
+    On,
+    /// Never build a table; always call the algorithm directly.
+    Off,
+}
+
+/// Default memory budget for [`RouteTableMode::Auto`]: 64 MiB, which
+/// admits every topology the figures use (a 64×64 mesh costs 80 MiB
+/// and falls back).
+pub const DEFAULT_ROUTE_TABLE_BUDGET: usize = 64 << 20;
+
+/// Directions an entry byte can hold: 4 dimensions × 2 signs.
+const MAX_TABLE_DIRS: usize = 8;
+
+/// A dense `(node, dst, arrived) -> DirSet` lookup table for one
+/// `(topology, algorithm)` pair. See the [module docs](self) for the
+/// layout and build policy.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_core::{RoutingAlgorithm, WestFirst};
+/// use turnroute_sim::lut::RouteTable;
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let wf = WestFirst::minimal();
+/// let table = RouteTable::build(&mesh, &wf).expect("2D mesh is tabulable");
+/// let from = mesh.node_at(&[4, 4].into());
+/// let to = mesh.node_at(&[1, 6].into());
+/// assert_eq!(table.lookup(from, to, None), wf.route(&mesh, from, to, None));
+/// ```
+pub struct RouteTable {
+    /// `DirSet::bits()` truncated to a byte, `(node * N + dst) * S +
+    /// slot` indexed.
+    entries: Vec<u8>,
+    num_nodes: usize,
+    /// Arrival slots per (node, dst) pair: `2 * num_dims + 1`.
+    slots: usize,
+}
+
+impl RouteTable {
+    /// The exact memory the table for `topo` would occupy, in bytes:
+    /// `num_nodes² × (2 × num_dims + 1)`.
+    pub fn required_bytes(topo: &dyn Topology) -> usize {
+        topo.num_nodes() * topo.num_nodes() * (2 * topo.num_dims() + 1)
+    }
+
+    /// `true` if a table for this pair would be sound: at most 4
+    /// dimensions (so a [`DirSet`] fits the one-byte entries) and a
+    /// tabulable algorithm. Says nothing about the memory budget.
+    pub fn supports(topo: &dyn Topology, algo: &dyn RoutingAlgorithm) -> bool {
+        2 * topo.num_dims() <= MAX_TABLE_DIRS && algo.is_tabulable()
+    }
+
+    /// Builds the table, or `None` if the pair is unsound for tabling
+    /// (see [`RouteTable::supports`]). Applies no memory cap; use
+    /// [`RouteTable::for_config`] for the policy-driven entry point.
+    pub fn build(topo: &dyn Topology, algo: &dyn RoutingAlgorithm) -> Option<RouteTable> {
+        if !RouteTable::supports(topo, algo) {
+            return None;
+        }
+        let n = topo.num_nodes();
+        let slots = 2 * topo.num_dims() + 1;
+
+        // A routing relation only promises answers on states it can
+        // itself produce (some panic outside them — e.g. the torus
+        // algorithms once their wraparound credit is spent). So walk
+        // the relation per destination from every source instead of
+        // querying every physically possible arrival; unreachable
+        // `(node, arrived)` slots keep the empty set, and the engine
+        // never reads them because packets only occupy relation-made
+        // states.
+        let mut entries = vec![0u8; n * n * slots];
+        let mut visited = vec![false; n * slots];
+        let mut stack: Vec<(NodeId, Option<Direction>)> = Vec::new();
+        for dst in topo.nodes() {
+            visited.iter_mut().for_each(|v| *v = false);
+            stack.extend(topo.nodes().filter(|&s| s != dst).map(|s| (s, None)));
+            while let Some((node, arrived)) = stack.pop() {
+                let slot = arrived.map_or(0, |d| 1 + d.index());
+                if std::mem::replace(&mut visited[node.index() * slots + slot], true) {
+                    continue;
+                }
+                let dirs = algo.route(topo, node, dst, arrived);
+                entries[(node.index() * n + dst.index()) * slots + slot] = pack(dirs);
+                for dir in dirs {
+                    match topo.neighbor(node, dir) {
+                        Some(next) if next != dst => stack.push((next, Some(dir))),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Some(RouteTable {
+            entries,
+            num_nodes: n,
+            slots,
+        })
+    }
+
+    /// Builds the table `config` asks for — the engine's entry point.
+    /// Returns `None` (direct `route()` calls) under
+    /// [`RouteTableMode::Off`], for unsound pairs, and under
+    /// [`RouteTableMode::Auto`] when [`RouteTable::required_bytes`]
+    /// exceeds the configured budget.
+    pub fn for_config(
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        config: &SimConfig,
+    ) -> Option<Arc<RouteTable>> {
+        let over_budget = RouteTable::required_bytes(topo) > config.route_table_budget;
+        match config.route_table {
+            RouteTableMode::Off => None,
+            RouteTableMode::Auto if over_budget => None,
+            RouteTableMode::Auto | RouteTableMode::On => {
+                RouteTable::build(topo, algo).map(Arc::new)
+            }
+        }
+    }
+
+    /// The permitted directions for a header at `node` bound for `dst`
+    /// that arrived over `arrived` (`None` at its source) — exactly
+    /// what `algo.route()` returned at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (by slice bounds) if `node`, `dst` or `arrived` is out of
+    /// range for the tabled topology.
+    #[inline]
+    pub fn lookup(&self, node: NodeId, dst: NodeId, arrived: Option<Direction>) -> DirSet {
+        let slot = match arrived {
+            None => 0,
+            Some(dir) => 1 + dir.index(),
+        };
+        let i = (node.index() * self.num_nodes + dst.index()) * self.slots + slot;
+        DirSet::from_bits(self.entries[i] as u32)
+    }
+
+    /// The table's memory footprint in bytes (== entry count).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl std::fmt::Debug for RouteTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteTable")
+            .field("num_nodes", &self.num_nodes)
+            .field("slots", &self.slots)
+            .field("size_bytes", &self.entries.len())
+            .finish()
+    }
+}
+
+fn pack(dirs: DirSet) -> u8 {
+    debug_assert!(dirs.bits() <= u8::MAX as u32, "DirSet exceeds one byte");
+    dirs.bits() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_core::{DimensionOrder, NegativeFirst, NegativeFirstTorus, PCube, WestFirst};
+    use turnroute_topology::{Hypercube, Mesh, Torus};
+
+    /// Checks every relation-reachable `(node, dst, arrived)` state
+    /// agrees with the live relation, via an independent traversal.
+    fn assert_table_matches(topo: &dyn Topology, algo: &dyn RoutingAlgorithm) {
+        let table = RouteTable::build(topo, algo).expect("pair must be tabulable");
+        let mut states = 0usize;
+        for dst in topo.nodes() {
+            assert!(table.lookup(dst, dst, None).is_empty());
+            let mut seen = std::collections::HashSet::new();
+            let mut stack: Vec<(NodeId, Option<Direction>)> = topo
+                .nodes()
+                .filter(|&s| s != dst)
+                .map(|s| (s, None))
+                .collect();
+            while let Some((node, arrived)) = stack.pop() {
+                if !seen.insert((node, arrived)) {
+                    continue;
+                }
+                states += 1;
+                let dirs = algo.route(topo, node, dst, arrived);
+                assert_eq!(
+                    table.lookup(node, dst, arrived),
+                    dirs,
+                    "{} {node:?}->{dst:?} arrived {arrived:?}",
+                    algo.name()
+                );
+                for dir in dirs {
+                    match topo.neighbor(node, dir) {
+                        Some(next) if next != dst => stack.push((next, Some(dir))),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Sanity: at minimum every at-source state was visited.
+        assert!(states >= topo.num_nodes() * (topo.num_nodes() - 1));
+    }
+
+    #[test]
+    fn table_matches_relation_on_mesh() {
+        let mesh = Mesh::new_2d(5, 4);
+        assert_table_matches(&mesh, &WestFirst::minimal());
+        assert_table_matches(&mesh, &DimensionOrder::new());
+        assert_table_matches(&mesh, &NegativeFirst::minimal());
+    }
+
+    #[test]
+    fn table_matches_relation_on_torus() {
+        let torus = Torus::new(4, 2);
+        assert_table_matches(&torus, &NegativeFirstTorus::new(&torus));
+        assert_table_matches(&torus, &DimensionOrder::new());
+    }
+
+    #[test]
+    fn table_matches_relation_on_small_hypercube() {
+        // 3-cube: 6 directions, still one byte per entry.
+        let cube = Hypercube::new(3);
+        assert_table_matches(&cube, &PCube::minimal());
+        assert_table_matches(&cube, &NegativeFirst::with_dims(3, true));
+    }
+
+    #[test]
+    fn memory_formula_is_exact() {
+        let mesh = Mesh::new_2d(16, 16);
+        let table = RouteTable::build(&mesh, &WestFirst::minimal()).unwrap();
+        assert_eq!(RouteTable::required_bytes(&mesh), 256 * 256 * 5);
+        assert_eq!(table.size_bytes(), RouteTable::required_bytes(&mesh));
+    }
+
+    #[test]
+    fn high_dimensional_topologies_are_never_tabled() {
+        // An 8-cube has 16 directions: a DirSet no longer fits a byte.
+        let cube = Hypercube::new(8);
+        let pcube = PCube::minimal();
+        assert!(!RouteTable::supports(&cube, &pcube));
+        assert!(RouteTable::build(&cube, &pcube).is_none());
+        // Even `On` refuses the unsound table.
+        let config = SimConfig::paper().route_table(RouteTableMode::On);
+        assert!(RouteTable::for_config(&cube, &pcube, &config).is_none());
+    }
+
+    #[test]
+    fn size_cap_fallback_engages_on_an_oversized_topology() {
+        let mesh = Mesh::new_2d(16, 16);
+        let wf = WestFirst::minimal();
+        // 320 KiB required; a 64 KiB budget must force the fallback...
+        let capped = SimConfig::paper().route_table_budget(64 << 10);
+        assert!(RouteTable::for_config(&mesh, &wf, &capped).is_none());
+        // ...while `On` ignores the budget and `Auto` under the default
+        // budget builds.
+        let forced = capped.clone().route_table(RouteTableMode::On);
+        assert!(RouteTable::for_config(&mesh, &wf, &forced).is_some());
+        assert!(RouteTable::for_config(&mesh, &wf, &SimConfig::paper()).is_some());
+        // `Off` never builds, budget or not.
+        let off = SimConfig::paper().route_table(RouteTableMode::Off);
+        assert!(RouteTable::for_config(&mesh, &wf, &off).is_none());
+    }
+
+    #[test]
+    fn non_tabulable_algorithms_opt_out() {
+        struct Stateful;
+        impl RoutingAlgorithm for Stateful {
+            fn name(&self) -> String {
+                "stateful".into()
+            }
+            fn route(
+                &self,
+                topo: &dyn Topology,
+                current: NodeId,
+                dest: NodeId,
+                _arrived: Option<Direction>,
+            ) -> DirSet {
+                topo.minimal_directions(current, dest)
+            }
+            fn is_adaptive(&self) -> bool {
+                true
+            }
+            fn is_minimal(&self) -> bool {
+                true
+            }
+            fn is_tabulable(&self) -> bool {
+                false
+            }
+        }
+        let mesh = Mesh::new_2d(4, 4);
+        assert!(!RouteTable::supports(&mesh, &Stateful));
+        assert!(RouteTable::build(&mesh, &Stateful).is_none());
+    }
+
+    #[test]
+    fn debug_is_a_summary_not_a_dump() {
+        let mesh = Mesh::new_2d(4, 4);
+        let table = RouteTable::build(&mesh, &DimensionOrder::new()).unwrap();
+        let text = format!("{table:?}");
+        assert!(text.contains("size_bytes"), "{text}");
+        assert!(text.len() < 200, "{text}");
+    }
+}

@@ -49,9 +49,18 @@ pub struct Packet {
     pub injected_at: Option<u64>,
     /// Cycle the tail flit was consumed, if delivered.
     pub delivered_at: Option<u64>,
-    /// Channels currently occupied, tail first, head last. Each holds
-    /// exactly one flit of this packet.
+    /// Channels the header has taken, in order. The occupied chain is
+    /// `worm[worm_head..]` (tail first, head last), each holding exactly
+    /// one flit; drained channels stay in the prefix so releasing the
+    /// tail is a cursor bump, not a `Vec::remove(0)` shift.
     pub(crate) worm: Vec<ChannelId>,
+    /// Index of the tail flit's channel within `worm`.
+    pub(crate) worm_head: usize,
+    /// `true` once the routing relation offered the in-flight header no
+    /// direction (only possible with hand-built turn sets). Stranded
+    /// packets stop requesting channels; the flag is never cleared
+    /// because the relation is a pure function of the header position.
+    pub(crate) is_stranded: bool,
     /// Flits not yet entered into the network.
     pub(crate) flits_at_source: u32,
     /// Flits consumed at the destination.
@@ -87,6 +96,8 @@ impl Packet {
             injected_at: None,
             delivered_at: None,
             worm: Vec::new(),
+            worm_head: 0,
+            is_stranded: false,
             flits_at_source: length,
             flits_consumed: 0,
             head_node: src,
@@ -119,12 +130,19 @@ impl Packet {
 
     /// The occupied channel chain, tail first.
     pub fn worm(&self) -> &[ChannelId] {
-        &self.worm
+        &self.worm[self.worm_head..]
     }
 
     /// Flits currently inside the network (== occupied channels).
     pub fn flits_in_network(&self) -> u32 {
-        self.worm.len() as u32
+        (self.worm.len() - self.worm_head) as u32
+    }
+
+    /// `true` if the routing relation stranded this packet: its
+    /// in-flight header was offered no direction, so it will never
+    /// move again (only possible with hand-built turn sets).
+    pub fn is_stranded(&self) -> bool {
+        self.is_stranded
     }
 
     /// Flits not yet entered into the network.

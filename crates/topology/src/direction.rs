@@ -263,6 +263,17 @@ impl DirSet {
             Some(Direction::from_index(self.0.trailing_zeros() as usize))
         }
     }
+
+    /// The raw bitset, one bit per [`Direction::index`]. Stable across
+    /// runs, so dense route tables may store it directly.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a set from [`DirSet::bits`].
+    pub fn from_bits(bits: u32) -> DirSet {
+        DirSet(bits)
+    }
 }
 
 impl FromIterator<Direction> for DirSet {

@@ -16,4 +16,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (bench targets must compile)"
+cargo bench --workspace --no-run --quiet
+
 echo "All checks passed."

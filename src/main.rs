@@ -18,7 +18,9 @@ use turnroute::cli::{
 use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
 use turnroute::experiment::{Engine, ExperimentSpec};
 use turnroute::sim::report::{write_csv, write_json_with_stats, write_telemetry_json};
-use turnroute::sim::{CellCache, Executor, FlitTraceObserver, RunOutcome, SimConfig, Simulation};
+use turnroute::sim::{
+    CellCache, Executor, FlitTraceObserver, RouteTableMode, RunOutcome, SimConfig, Simulation,
+};
 use turnroute::topology::{ChannelId, Topology};
 
 const USAGE: &str = "\
@@ -32,15 +34,20 @@ commands:
             walk one route and count the allowed shortest paths
   simulate  --topology T --algorithm A --pattern P --load F[,F...]
             [--threads N] [--cycles N] [--warmup N] [--seed N]
+            [--route-table auto|on|off]
             [--trace FILE [--trace-window START:END]]
             run the Section 6 wormhole simulation; one load reports in
             detail, several loads sweep in parallel and print CSV.
+            --route-table precomputes routing decisions into a dense
+            lookup table (auto: when it fits 64 MiB; results are
+            bit-identical either way).
             --trace writes a flit-level Chrome trace-event JSON file
             (open in Perfetto), optionally restricted to a cycle window
   sweep     --topology T --algorithms A[,B...] --pattern P
             --loads F[,F...] [--threads N] [--engine wormhole|vc]
             [--format csv|json] [--cache FILE] [--telemetry [FILE]]
             [--cycles N] [--warmup N] [--seed N]
+            [--route-table auto|on|off]
             fan the (algorithm x load) grid across worker threads;
             deterministic for any thread count. --telemetry reports
             per-cell wall times and merged latency quantiles (to FILE
@@ -369,10 +376,21 @@ fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
         .map(|v| v.parse().map_err(|_| "bad --seed value".to_string()))
         .transpose()?
         .unwrap_or(0x7453_1DE5);
+    let route_table = match opts.get("route-table").map(String::as_str) {
+        None | Some("auto") => RouteTableMode::Auto,
+        Some("on") => RouteTableMode::On,
+        Some("off") => RouteTableMode::Off,
+        Some(other) => {
+            return Err(format!(
+                "bad --route-table value '{other}' (expected auto, on or off)"
+            ))
+        }
+    };
     Ok(SimConfig::paper()
         .warmup_cycles(warmup)
         .measure_cycles(cycles)
-        .seed(seed))
+        .seed(seed)
+        .route_table(route_table))
 }
 
 fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {

@@ -1,0 +1,104 @@
+//! Route tables are a pure speed optimisation: sweeping with
+//! `--route-table on` must produce byte-for-byte the CSV of
+//! `--route-table off`, for every algorithm in the CLI registry on
+//! every topology family, at any thread count — and the size-cap
+//! fallback must be equally invisible.
+
+use turnroute::experiment::ExperimentSpec;
+use turnroute::sim::report::write_csv;
+use turnroute::sim::{RouteTableMode, SimConfig};
+
+fn quick() -> SimConfig {
+    SimConfig::paper()
+        .warmup_cycles(200)
+        .measure_cycles(1_000)
+        .seed(42)
+}
+
+/// CSV bytes of the spec swept with the given route-table mode.
+fn csv(
+    topology: &str,
+    pattern: &str,
+    algos: &[&str],
+    mode: RouteTableMode,
+    threads: usize,
+) -> Vec<u8> {
+    let mut spec = ExperimentSpec::new(topology, pattern)
+        .loads(&[0.02, 0.05])
+        .config(quick().route_table(mode));
+    for a in algos {
+        spec = spec.algorithm(*a);
+    }
+    let mut buf = Vec::new();
+    write_csv(&spec.run(threads).expect("spec resolves"), &mut buf).expect("in-memory CSV");
+    buf
+}
+
+/// Every CLI-registered algorithm that runs on the topology, swept with
+/// tables on and off, 1 and 8 threads: all four byte streams equal.
+fn assert_mode_invisible(topology: &str, pattern: &str, algos: &[&str]) {
+    let off = csv(topology, pattern, algos, RouteTableMode::Off, 1);
+    for threads in [1, 8] {
+        let on = csv(topology, pattern, algos, RouteTableMode::On, threads);
+        assert_eq!(
+            off, on,
+            "{topology}: route table changed sweep bytes ({threads} threads)"
+        );
+    }
+    assert_eq!(
+        off,
+        csv(topology, pattern, algos, RouteTableMode::Off, 8),
+        "{topology}: thread count changed direct-routed bytes"
+    );
+}
+
+#[test]
+fn mesh_sweeps_are_identical_with_and_without_tables() {
+    assert_mode_invisible(
+        "mesh:6x6",
+        "transpose",
+        &[
+            "xy",
+            "west-first",
+            "north-last",
+            "negative-first",
+            "abonf",
+            "abopl",
+        ],
+    );
+}
+
+#[test]
+fn torus_sweeps_are_identical_with_and_without_tables() {
+    assert_mode_invisible(
+        "torus:5,2",
+        "uniform",
+        &["xy", "negative-first-torus", "first-hop-wrap"],
+    );
+}
+
+#[test]
+fn hypercube_sweeps_are_identical_with_and_without_tables() {
+    assert_mode_invisible(
+        "hypercube:4",
+        "hypercube-transpose",
+        &["xy", "p-cube", "negative-first"],
+    );
+}
+
+#[test]
+fn budget_fallback_is_equally_invisible() {
+    // A 1-byte budget forces Auto onto the direct path; the bytes must
+    // not notice.
+    let algos = ["west-first", "xy"];
+    let base = csv("mesh:6x6", "transpose", &algos, RouteTableMode::On, 1);
+    let mut spec = ExperimentSpec::new("mesh:6x6", "transpose")
+        .loads(&[0.02, 0.05])
+        .config(quick().route_table_budget(1));
+    for a in &algos {
+        spec = spec.algorithm(*a);
+    }
+    let mut capped = Vec::new();
+    write_csv(&spec.run(1).expect("spec resolves"), &mut capped).expect("in-memory CSV");
+    assert_eq!(base, capped, "budget fallback changed sweep bytes");
+}
