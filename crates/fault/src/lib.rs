@@ -1,0 +1,63 @@
+//! Fault injection for wormhole-routed networks.
+//!
+//! The turn model's deadlock-freedom guarantee is proven for a healthy
+//! network; this crate asks what remains of it when links and routers
+//! fail. It provides three layers:
+//!
+//! * [`FaultPlan`] — a deterministic, declarative schedule of channel,
+//!   node, and rectangular *region* faults (the classic block-fault
+//!   model), each with an injection cycle and an optional repair cycle.
+//!   Plans compile against a concrete [`Topology`] into a
+//!   [`FaultSchedule`]: a flat, merged, cycle-ordered event list the
+//!   simulator replays verbatim.
+//! * [`FaultedRelation`] — wraps any [`RoutingAlgorithm`] and prunes
+//!   directions whose output channel is failed, turning a healthy
+//!   routing relation into the relation a fault-aware router actually
+//!   follows.
+//! * [`verify`] — checks the pruned relation the way the workspace
+//!   checks healthy ones: the channel-dependence graph restricted to
+//!   reachable states must stay acyclic (deadlock freedom survives the
+//!   fault set), and every (src, dst) pair must remain deliverable
+//!   (no adaptive choice can strand a packet on an empty direction
+//!   set). Disconnected pairs are reported, not silently stranded.
+//!
+//! Everything is seed-addressed and allocation-predictable: the same
+//! plan compiles to the same schedule on every host, so faulted
+//! experiments stay bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_fault::{verify, FaultPlan, FaultedRelation};
+//! use turnroute_core::WestFirst;
+//! use turnroute_topology::Mesh;
+//!
+//! let mesh = Mesh::new_2d(8, 8);
+//! // Two random permanent link faults, derived from seed 7.
+//! let schedule = FaultPlan::new()
+//!     .random_channels(2, 7)
+//!     .compile(&mesh)
+//!     .unwrap();
+//! let wf = WestFirst::minimal();
+//! let report = verify(&mesh, &wf, &schedule.failed_at_start());
+//! // West-first cannot route around every fault: the verifier tells
+//! // us exactly which pairs are lost instead of stranding packets.
+//! println!("{report}");
+//! # let _ = FaultedRelation::from_schedule(&wf, &mesh, &schedule);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod relation;
+mod verify;
+
+pub use plan::{Fault, FaultEvent, FaultPlan, FaultPlanError, FaultSchedule, FaultTarget};
+pub use relation::FaultedRelation;
+pub use verify::{verify, VerifyReport};
+
+// Re-exported so downstream code can name the trait objects in this
+// crate's API without importing the underlying crates directly.
+pub use turnroute_core::RoutingAlgorithm;
+pub use turnroute_topology::Topology;

@@ -1,0 +1,815 @@
+//! Declarative fault plans and their compiled schedules.
+//!
+//! A [`FaultPlan`] names *what* fails and *when*, in topology-agnostic
+//! terms (channel ids, node ids or coordinates, coordinate boxes, or a
+//! seed-derived random draw). [`FaultPlan::compile`] resolves it against
+//! a concrete topology into a [`FaultSchedule`]: a merged, cycle-ordered
+//! list of per-channel fail/repair events that a simulator replays with
+//! a single cursor.
+
+use std::fmt;
+
+use turnroute_rng::{Rng, StdRng};
+use turnroute_topology::{ChannelId, Coord, NodeId, Topology};
+
+/// What a single [`Fault`] takes down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// One unidirectional channel.
+    Channel(ChannelId),
+    /// A router given by dense id: every channel entering or leaving it.
+    Node(NodeId),
+    /// A router given by coordinate: every channel entering or leaving it.
+    NodeAt(Coord),
+    /// A rectangular block of routers (inclusive corner coordinates):
+    /// every channel with an endpoint inside the block. This is the
+    /// classic *block-fault* model of the fault-tolerant routing
+    /// literature.
+    Region {
+        /// Componentwise lower corner (inclusive).
+        min: Coord,
+        /// Componentwise upper corner (inclusive).
+        max: Coord,
+    },
+    /// `count` distinct channels drawn by a seeded Fisher–Yates shuffle
+    /// of all channel ids. The draw is *prefix-nested*: for a fixed
+    /// seed, the channels failed at `count = k` are a subset of those
+    /// failed at `count = k + 1`, so degradation sweeps add faults
+    /// monotonically.
+    Random {
+        /// Number of channels to fail.
+        count: usize,
+        /// Seed of the shuffle.
+        seed: u64,
+    },
+}
+
+/// One scheduled fault: a target, the cycle it goes down, and the cycle
+/// it comes back (or `None` for a permanent fault).
+///
+/// Injection at cycle `c` means the target is unusable from the start of
+/// cycle `c`; repair at cycle `r` means it is usable again from the
+/// start of cycle `r` (so the outage spans the half-open interval
+/// `[c, r)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What fails.
+    pub target: FaultTarget,
+    /// First cycle of the outage.
+    pub inject_at: u64,
+    /// First cycle after the outage, `None` if permanent.
+    pub repair_at: Option<u64>,
+}
+
+/// An error from parsing or compiling a fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    message: String,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, FaultPlanError> {
+    Err(FaultPlanError {
+        message: message.into(),
+    })
+}
+
+/// A deterministic, declarative schedule of faults.
+///
+/// Build one with the chainable constructors, or parse the CLI spec
+/// grammar with [`FaultPlan::parse`]; then [`compile`](FaultPlan::compile)
+/// it against a topology to obtain the [`FaultSchedule`] a simulator
+/// replays.
+///
+/// # Spec grammar
+///
+/// Faults are joined with `+`; each is a target, optionally followed by
+/// `@<inject>` (default `@0`) or `@<inject>..<repair>`:
+///
+/// ```text
+/// chan:17              channel 17, permanently failed from cycle 0
+/// node:3,4@100         all channels touching router (3,4), from cycle 100
+/// node:12@100..5000    router with dense id 12, down for cycles [100, 5000)
+/// region:2,2-4,3       block fault over routers (2..=4, 2..=3)
+/// random:6:99          6 seed-99 random channels, permanent
+/// chan:1+chan:2@10     two faults in one plan
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use turnroute_fault::FaultPlan;
+/// use turnroute_topology::Mesh;
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let plan = FaultPlan::parse("node:1,1@0..500+random:2:7").unwrap();
+/// let schedule = plan.compile(&mesh).unwrap();
+/// assert!(schedule.has_repairs());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The faults in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Permanently fails one channel from `inject_at`.
+    pub fn channel(self, channel: ChannelId, inject_at: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Channel(channel),
+            inject_at,
+            repair_at: None,
+        })
+    }
+
+    /// Fails one channel for the cycles `[inject_at, repair_at)`.
+    pub fn channel_transient(self, channel: ChannelId, inject_at: u64, repair_at: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Channel(channel),
+            inject_at,
+            repair_at: Some(repair_at),
+        })
+    }
+
+    /// Permanently fails every channel touching `node` from `inject_at`.
+    pub fn node(self, node: NodeId, inject_at: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Node(node),
+            inject_at,
+            repair_at: None,
+        })
+    }
+
+    /// Fails every channel touching `node` for `[inject_at, repair_at)`.
+    pub fn node_transient(self, node: NodeId, inject_at: u64, repair_at: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Node(node),
+            inject_at,
+            repair_at: Some(repair_at),
+        })
+    }
+
+    /// Permanently fails a rectangular block of routers (inclusive
+    /// corners) from `inject_at`.
+    pub fn region(self, min: Coord, max: Coord, inject_at: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Region { min, max },
+            inject_at,
+            repair_at: None,
+        })
+    }
+
+    /// Permanently fails `count` seed-derived random channels from
+    /// cycle 0. See [`FaultTarget::Random`] for the nesting guarantee.
+    pub fn random_channels(self, count: usize, seed: u64) -> Self {
+        self.with(Fault {
+            target: FaultTarget::Random { count, seed },
+            inject_at: 0,
+            repair_at: None,
+        })
+    }
+
+    /// Parses the spec grammar documented on [`FaultPlan`].
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split('+') {
+            let part = part.trim();
+            if part.is_empty() {
+                return err(format!("empty fault in spec '{spec}'"));
+            }
+            plan.faults.push(parse_fault(part)?);
+        }
+        Ok(plan)
+    }
+
+    /// Resolves the plan against `topo` into a replayable event
+    /// schedule. Overlapping outages of the same channel are merged, so
+    /// the schedule never fails an already-failed channel or repairs a
+    /// channel another fault still holds down.
+    ///
+    /// Fails if a target does not exist on `topo`, a region is empty or
+    /// out of range, a repair does not come after its injection, or a
+    /// random draw asks for more channels than the topology has.
+    pub fn compile(&self, topo: &dyn Topology) -> Result<FaultSchedule, FaultPlanError> {
+        let num_channels = topo.num_channels();
+        // Expand every fault into per-channel outage intervals
+        // [inject, repair) with u64::MAX standing in for "never".
+        let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_channels];
+        for fault in &self.faults {
+            let end = match fault.repair_at {
+                Some(r) if r <= fault.inject_at => {
+                    return err(format!(
+                        "repair cycle {r} does not follow injection cycle {}",
+                        fault.inject_at
+                    ));
+                }
+                Some(r) => r,
+                None => u64::MAX,
+            };
+            for channel in expand_target(&fault.target, topo)? {
+                intervals[channel.index()].push((fault.inject_at, end));
+            }
+        }
+        let mut events = Vec::new();
+        for (index, spans) in intervals.iter_mut().enumerate() {
+            spans.sort_unstable();
+            let channel = ChannelId::new(index);
+            let mut merged: Option<(u64, u64)> = None;
+            for &(start, end) in spans.iter() {
+                match merged {
+                    Some((s, e)) if start <= e => merged = Some((s, e.max(end))),
+                    Some((s, e)) => {
+                        push_outage(&mut events, channel, s, e);
+                        merged = Some((start, end));
+                    }
+                    None => merged = Some((start, end)),
+                }
+            }
+            if let Some((s, e)) = merged {
+                push_outage(&mut events, channel, s, e);
+            }
+        }
+        // Cycle-major order with a deterministic tiebreak: repairs
+        // before failures within a cycle (a channel that comes back the
+        // same cycle another goes down frees capacity first), then
+        // channel id.
+        events.sort_unstable_by_key(|e: &FaultEvent| (e.cycle, e.fail, e.channel));
+        Ok(FaultSchedule {
+            events,
+            num_channels,
+        })
+    }
+}
+
+fn push_outage(events: &mut Vec<FaultEvent>, channel: ChannelId, start: u64, end: u64) {
+    events.push(FaultEvent {
+        cycle: start,
+        channel,
+        fail: true,
+    });
+    if end != u64::MAX {
+        events.push(FaultEvent {
+            cycle: end,
+            channel,
+            fail: false,
+        });
+    }
+}
+
+/// The channels a target resolves to, in ascending id order.
+fn expand_target(
+    target: &FaultTarget,
+    topo: &dyn Topology,
+) -> Result<Vec<ChannelId>, FaultPlanError> {
+    match target {
+        FaultTarget::Channel(c) => {
+            if c.index() >= topo.num_channels() {
+                return err(format!(
+                    "channel {} out of range ({} has {} channels)",
+                    c.index(),
+                    topo.label(),
+                    topo.num_channels()
+                ));
+            }
+            Ok(vec![*c])
+        }
+        FaultTarget::Node(n) => {
+            if n.index() >= topo.num_nodes() {
+                return err(format!(
+                    "node {} out of range ({} has {} nodes)",
+                    n.index(),
+                    topo.label(),
+                    topo.num_nodes()
+                ));
+            }
+            Ok(incident_channels(topo, |node| node == *n))
+        }
+        FaultTarget::NodeAt(coord) => {
+            validate_coord(coord, topo)?;
+            let n = topo.node_at(coord);
+            Ok(incident_channels(topo, |node| node == n))
+        }
+        FaultTarget::Region { min, max } => {
+            validate_coord(min, topo)?;
+            validate_coord(max, topo)?;
+            for dim in 0..topo.num_dims() {
+                if min.get(dim) > max.get(dim) {
+                    return err(format!(
+                        "empty fault region: min {:?} exceeds max {:?} in dimension {dim}",
+                        min.components(),
+                        max.components()
+                    ));
+                }
+            }
+            let inside = |node: NodeId| {
+                let c = topo.coord_of(node);
+                (0..topo.num_dims()).all(|d| min.get(d) <= c.get(d) && c.get(d) <= max.get(d))
+            };
+            Ok(incident_channels(topo, inside))
+        }
+        FaultTarget::Random { count, seed } => {
+            let total = topo.num_channels();
+            if *count > total {
+                return err(format!(
+                    "cannot fail {count} random channels: {} has only {total}",
+                    topo.label()
+                ));
+            }
+            let mut ids: Vec<usize> = (0..total).collect();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            // Full Fisher–Yates shuffle regardless of `count`, then a
+            // fixed slice of it: because the shuffle itself does not
+            // depend on `count`, growing the slice only ever adds
+            // channels — the prefix-nesting property.
+            for i in (1..total).rev() {
+                let j = rng.random_range(0..=i);
+                ids.swap(i, j);
+            }
+            let mut picked: Vec<ChannelId> = ids[total - count..]
+                .iter()
+                .map(|&i| ChannelId::new(i))
+                .collect();
+            picked.sort_unstable();
+            Ok(picked)
+        }
+    }
+}
+
+fn incident_channels(topo: &dyn Topology, mut hit: impl FnMut(NodeId) -> bool) -> Vec<ChannelId> {
+    topo.channels()
+        .iter()
+        .enumerate()
+        .filter(|(_, ch)| hit(ch.src) || hit(ch.dst))
+        .map(|(i, _)| ChannelId::new(i))
+        .collect()
+}
+
+fn validate_coord(coord: &Coord, topo: &dyn Topology) -> Result<(), FaultPlanError> {
+    if coord.num_dims() != topo.num_dims() {
+        return err(format!(
+            "coordinate {:?} has {} dimensions, {} has {}",
+            coord.components(),
+            coord.num_dims(),
+            topo.label(),
+            topo.num_dims()
+        ));
+    }
+    for dim in 0..topo.num_dims() {
+        if usize::from(coord.get(dim)) >= topo.radix(dim) {
+            return err(format!(
+                "coordinate {:?} out of range in dimension {dim} (radix {})",
+                coord.components(),
+                topo.radix(dim)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_fault(part: &str) -> Result<Fault, FaultPlanError> {
+    let (target_spec, when) = match part.split_once('@') {
+        Some((t, w)) => (t, Some(w)),
+        None => (part, None),
+    };
+    let (inject_at, repair_at) = match when {
+        None => (0, None),
+        Some(w) => match w.split_once("..") {
+            None => (parse_cycle(w)?, None),
+            Some((i, r)) => (parse_cycle(i)?, Some(parse_cycle(r)?)),
+        },
+    };
+    let target = match target_spec.split_once(':') {
+        Some(("chan", id)) => FaultTarget::Channel(ChannelId::new(parse_index(id)?)),
+        Some(("node", node)) => {
+            if node.contains(',') {
+                FaultTarget::NodeAt(parse_coord(node)?)
+            } else {
+                FaultTarget::Node(NodeId::new(parse_index(node)?))
+            }
+        }
+        Some(("region", corners)) => match corners.split_once('-') {
+            Some((min, max)) => FaultTarget::Region {
+                min: parse_coord(min)?,
+                max: parse_coord(max)?,
+            },
+            None => return err(format!("region '{corners}' needs '<min>-<max>' corners")),
+        },
+        Some(("random", draw)) => match draw.split_once(':') {
+            Some((count, seed)) => FaultTarget::Random {
+                count: parse_index(count)?,
+                seed: parse_cycle(seed)?,
+            },
+            None => FaultTarget::Random {
+                count: parse_index(draw)?,
+                seed: 0,
+            },
+        },
+        _ => {
+            return err(format!(
+                "unknown fault '{part}': expected chan:/node:/region:/random:"
+            ));
+        }
+    };
+    Ok(Fault {
+        target,
+        inject_at,
+        repair_at,
+    })
+}
+
+fn parse_index(s: &str) -> Result<usize, FaultPlanError> {
+    match s.trim().parse() {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("'{s}' is not a non-negative integer")),
+    }
+}
+
+fn parse_cycle(s: &str) -> Result<u64, FaultPlanError> {
+    match s.trim().parse() {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("'{s}' is not a cycle number")),
+    }
+}
+
+fn parse_coord(s: &str) -> Result<Coord, FaultPlanError> {
+    let mut components = Vec::new();
+    for c in s.split(',') {
+        match c.trim().parse() {
+            Ok(v) => components.push(v),
+            Err(_) => return err(format!("'{s}' is not a comma-separated coordinate")),
+        }
+    }
+    Ok(Coord::new(components))
+}
+
+/// One compiled fault event: at the start of `cycle`, `channel` fails
+/// (`fail == true`) or is repaired (`fail == false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// The cycle the event takes effect, before that cycle's routing.
+    pub cycle: u64,
+    /// The affected channel.
+    pub channel: ChannelId,
+    /// `true` to fail the channel, `false` to repair it.
+    pub fail: bool,
+}
+
+/// A fault plan compiled against a topology: a merged, cycle-ordered
+/// event list plus the channel count it was compiled for.
+///
+/// The `Debug` rendering is a compact content fingerprint rather than
+/// the full event list, so a schedule embedded in a `Debug`-derived
+/// configuration string stays short while still uniquely identifying
+/// the fault set — experiment cache keys depend on this.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    num_channels: usize,
+}
+
+impl FaultSchedule {
+    /// A schedule with no events for a `num_channels`-channel topology.
+    pub fn empty(num_channels: usize) -> Self {
+        FaultSchedule {
+            events: Vec::new(),
+            num_channels,
+        }
+    }
+
+    /// The events in replay order (ascending cycle; within a cycle,
+    /// repairs before failures, then ascending channel id).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Channel count of the topology this schedule was compiled for.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` if any channel ever comes back.
+    pub fn has_repairs(&self) -> bool {
+        self.events.iter().any(|e| !e.fail)
+    }
+
+    /// `true` if the fault set never changes after cycle 0: every event
+    /// is a failure injected at cycle 0. Static schedules are the ones
+    /// a precomputed route table can honestly serve — the pruned
+    /// relation is constant for the whole run.
+    pub fn is_static(&self) -> bool {
+        self.events.iter().all(|e| e.fail && e.cycle == 0)
+    }
+
+    /// Per-channel failed flags after applying every event with
+    /// `event.cycle <= cycle`.
+    pub fn failed_at(&self, cycle: u64) -> Vec<bool> {
+        let mut failed = vec![false; self.num_channels];
+        for e in &self.events {
+            if e.cycle > cycle {
+                break;
+            }
+            failed[e.channel.index()] = e.fail;
+        }
+        failed
+    }
+
+    /// Per-channel failed flags at cycle 0.
+    pub fn failed_at_start(&self) -> Vec<bool> {
+        self.failed_at(0)
+    }
+
+    /// Number of channels failed at cycle 0.
+    pub fn failed_count_at_start(&self) -> usize {
+        self.failed_at_start().iter().filter(|&&f| f).count()
+    }
+
+    /// A 64-bit content fingerprint: stable across runs and hosts,
+    /// distinct (with overwhelming probability) for distinct schedules.
+    pub fn fingerprint(&self) -> u64 {
+        let mut state = 0xFA17_0000u64 ^ self.num_channels as u64;
+        let mut digest = turnroute_rng::split_mix_64(&mut state);
+        for e in &self.events {
+            state ^= e.cycle;
+            digest ^= turnroute_rng::split_mix_64(&mut state);
+            state ^= (e.channel.index() as u64) << 1 | u64::from(e.fail);
+            digest ^= turnroute_rng::split_mix_64(&mut state);
+        }
+        digest
+    }
+}
+
+impl fmt::Debug for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultSchedule")
+            .field("events", &self.events.len())
+            .field("channels", &self.num_channels)
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Direction, Mesh};
+
+    #[test]
+    fn parse_round_trips_every_target_kind() {
+        let plan = FaultPlan::parse("chan:17@5..9+node:3+node:1,2@100+region:0,0-1,1+random:4:99")
+            .unwrap();
+        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(
+            plan.faults()[0],
+            Fault {
+                target: FaultTarget::Channel(ChannelId::new(17)),
+                inject_at: 5,
+                repair_at: Some(9),
+            }
+        );
+        assert_eq!(plan.faults()[1].target, FaultTarget::Node(NodeId::new(3)));
+        assert_eq!(plan.faults()[1].inject_at, 0);
+        assert_eq!(
+            plan.faults()[2].target,
+            FaultTarget::NodeAt(Coord::from([1, 2]))
+        );
+        assert_eq!(plan.faults()[2].inject_at, 100);
+        assert_eq!(
+            plan.faults()[3].target,
+            FaultTarget::Region {
+                min: Coord::from([0, 0]),
+                max: Coord::from([1, 1]),
+            }
+        );
+        assert_eq!(
+            plan.faults()[4].target,
+            FaultTarget::Random { count: 4, seed: 99 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "chan:17+",
+            "link:3",
+            "chan:x",
+            "node:1,2,z",
+            "region:0,0",
+            "chan:1@a",
+            "chan:1@5..b",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn compile_validates_targets() {
+        let mesh = Mesh::new_2d(4, 4);
+        let cases = [
+            FaultPlan::new().channel(ChannelId::new(10_000), 0),
+            FaultPlan::new().node(NodeId::new(99), 0),
+            FaultPlan::parse("node:9,9").unwrap(),
+            FaultPlan::parse("node:1,1,1").unwrap(),
+            FaultPlan::parse("region:2,2-1,1").unwrap(),
+            FaultPlan::parse("random:10000").unwrap(),
+            FaultPlan::new().channel_transient(ChannelId::new(0), 5, 5),
+        ];
+        for plan in cases {
+            assert!(plan.compile(&mesh).is_err(), "accepted {plan:?}");
+        }
+    }
+
+    #[test]
+    fn node_fault_takes_every_incident_channel() {
+        let mesh = Mesh::new_2d(4, 4);
+        let node = mesh.node_at(&[1, 1].into());
+        let schedule = FaultPlan::new().node(node, 0).compile(&mesh).unwrap();
+        // An interior router of a 2D mesh has 4 outgoing + 4 incoming.
+        assert_eq!(schedule.events().len(), 8);
+        let failed = schedule.failed_at_start();
+        for (i, ch) in mesh.channels().iter().enumerate() {
+            assert_eq!(failed[i], ch.src == node || ch.dst == node, "channel {i}");
+        }
+    }
+
+    #[test]
+    fn region_fault_implements_the_block_model() {
+        let mesh = Mesh::new_2d(4, 4);
+        let schedule = FaultPlan::parse("region:1,1-2,2")
+            .unwrap()
+            .compile(&mesh)
+            .unwrap();
+        let failed = schedule.failed_at_start();
+        let inside = |n: NodeId| {
+            let c = mesh.coord_of(n);
+            (1..=2).contains(&c.get(0)) && (1..=2).contains(&c.get(1))
+        };
+        for (i, ch) in mesh.channels().iter().enumerate() {
+            assert_eq!(failed[i], inside(ch.src) || inside(ch.dst), "channel {i}");
+        }
+        assert!(schedule.is_static());
+    }
+
+    #[test]
+    fn overlapping_outages_merge_into_one() {
+        let mesh = Mesh::new_2d(4, 4);
+        let c = ChannelId::new(3);
+        let schedule = FaultPlan::new()
+            .channel_transient(c, 10, 30)
+            .channel_transient(c, 20, 50)
+            .channel_transient(c, 50, 60) // adjacent: still one outage
+            .compile(&mesh)
+            .unwrap();
+        assert_eq!(
+            schedule.events(),
+            &[
+                FaultEvent {
+                    cycle: 10,
+                    channel: c,
+                    fail: true
+                },
+                FaultEvent {
+                    cycle: 60,
+                    channel: c,
+                    fail: false
+                },
+            ]
+        );
+        assert!(schedule.failed_at(10)[c.index()]);
+        assert!(schedule.failed_at(59)[c.index()]);
+        assert!(!schedule.failed_at(60)[c.index()]);
+        assert!(!schedule.failed_at(9)[c.index()]);
+        assert!(!schedule.is_static());
+        assert!(schedule.has_repairs());
+    }
+
+    #[test]
+    fn permanent_overlap_swallows_repairs() {
+        let mesh = Mesh::new_2d(4, 4);
+        let c = ChannelId::new(0);
+        let schedule = FaultPlan::new()
+            .channel_transient(c, 5, 10)
+            .channel(c, 7)
+            .compile(&mesh)
+            .unwrap();
+        assert_eq!(schedule.events().len(), 1);
+        assert!(!schedule.has_repairs());
+        assert!(schedule.failed_at(1_000_000)[c.index()]);
+    }
+
+    #[test]
+    fn random_draw_is_deterministic_and_prefix_nested() {
+        let mesh = Mesh::new_2d(8, 8);
+        let draw = |count| {
+            let s = FaultPlan::new()
+                .random_channels(count, 42)
+                .compile(&mesh)
+                .unwrap();
+            s.failed_at_start()
+        };
+        assert_eq!(draw(5), draw(5));
+        let four = draw(4);
+        let five = draw(5);
+        assert_eq!(four.iter().filter(|&&f| f).count(), 4);
+        assert_eq!(five.iter().filter(|&&f| f).count(), 5);
+        for i in 0..four.len() {
+            assert!(!four[i] || five[i], "draw(5) lost channel {i} of draw(4)");
+        }
+        // A different seed gives a different draw.
+        let other = FaultPlan::new()
+            .random_channels(5, 43)
+            .compile(&mesh)
+            .unwrap()
+            .failed_at_start();
+        assert_ne!(five, other);
+    }
+
+    #[test]
+    fn events_replay_in_cycle_order_with_repairs_first() {
+        let mesh = Mesh::new_2d(4, 4);
+        let schedule = FaultPlan::new()
+            .channel_transient(ChannelId::new(5), 0, 20)
+            .channel(ChannelId::new(2), 20)
+            .compile(&mesh)
+            .unwrap();
+        let cycles: Vec<(u64, bool)> = schedule
+            .events()
+            .iter()
+            .map(|e| (e.cycle, e.fail))
+            .collect();
+        assert_eq!(cycles, vec![(0, true), (20, false), (20, true)]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_schedules_and_debug_is_compact() {
+        let mesh = Mesh::new_2d(4, 4);
+        let a = FaultPlan::new()
+            .channel(ChannelId::new(1), 0)
+            .compile(&mesh)
+            .unwrap();
+        let b = FaultPlan::new()
+            .channel(ChannelId::new(2), 0)
+            .compile(&mesh)
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+        assert!(format!("{a:?}").len() < 120, "{a:?}");
+        // Same content, same fingerprint, regardless of how it was built.
+        let a2 = FaultPlan::parse("chan:1").unwrap().compile(&mesh).unwrap();
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_schedule() {
+        let mesh = Mesh::new_2d(4, 4);
+        let schedule = FaultPlan::new().compile(&mesh).unwrap();
+        assert!(schedule.is_empty());
+        assert!(schedule.is_static());
+        assert_eq!(schedule.failed_count_at_start(), 0);
+        assert_eq!(schedule, FaultSchedule::empty(mesh.num_channels()));
+    }
+
+    #[test]
+    fn channel_fault_matches_direction_lookup() {
+        // Sanity-check the id-based API against a geometric lookup.
+        let mesh = Mesh::new_2d(4, 4);
+        let node = mesh.node_at(&[2, 2].into());
+        let east = mesh.channel_from(node, Direction::EAST).unwrap();
+        let schedule = FaultPlan::new().channel(east, 0).compile(&mesh).unwrap();
+        assert_eq!(schedule.failed_count_at_start(), 1);
+        assert!(schedule.failed_at_start()[east.index()]);
+    }
+}

@@ -1,0 +1,177 @@
+//! A routing relation with failed channels pruned out.
+
+use crate::FaultSchedule;
+use turnroute_core::RoutingAlgorithm;
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// Wraps any [`RoutingAlgorithm`] and removes directions whose output
+/// channel is failed — the relation a fault-aware router actually
+/// follows under a *fixed* fault set.
+///
+/// Unlike a healthy relation, the pruned one may legitimately return an
+/// empty set away from the destination: that is a stranded state, and
+/// [`verify`](crate::verify) exists to find every (src, dst) pair that
+/// can reach one. The wrapper stays
+/// [`is_tabulable`](RoutingAlgorithm::is_tabulable) whenever the inner
+/// algorithm is, because the fault set it holds is immutable — a route
+/// table built from it is valid for as long as that fault set is.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_fault::FaultedRelation;
+/// use turnroute_core::{RoutingAlgorithm, WestFirst};
+/// use turnroute_topology::{Direction, Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let wf = WestFirst::minimal();
+/// let src = mesh.node_at(&[2, 2].into());
+/// let dst = mesh.node_at(&[0, 2].into());
+/// let west = mesh.channel_from(src, Direction::WEST).unwrap();
+///
+/// let mut failed = vec![false; mesh.num_channels()];
+/// failed[west.index()] = true;
+/// let pruned = FaultedRelation::new(&wf, &mesh, failed);
+/// // West-first must go west here, but the west link is dead:
+/// assert!(pruned.route(&mesh, src, dst, None).is_empty());
+/// ```
+pub struct FaultedRelation<'a> {
+    inner: &'a dyn RoutingAlgorithm,
+    failed: Vec<bool>,
+}
+
+impl<'a> FaultedRelation<'a> {
+    /// Prunes `inner` by the given per-channel failed flags, which must
+    /// be indexed by the channel ids of `topo` (the topology later
+    /// passed to [`route`](RoutingAlgorithm::route)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed.len() != topo.num_channels()`.
+    pub fn new(inner: &'a dyn RoutingAlgorithm, topo: &dyn Topology, failed: Vec<bool>) -> Self {
+        assert_eq!(
+            failed.len(),
+            topo.num_channels(),
+            "failed-flag vector does not match the topology's channel count"
+        );
+        FaultedRelation { inner, failed }
+    }
+
+    /// Prunes `inner` by a schedule's cycle-0 fault set. Appropriate
+    /// for [static](FaultSchedule::is_static) schedules, where that set
+    /// never changes.
+    pub fn from_schedule(
+        inner: &'a dyn RoutingAlgorithm,
+        topo: &dyn Topology,
+        schedule: &FaultSchedule,
+    ) -> Self {
+        Self::new(inner, topo, schedule.failed_at_start())
+    }
+
+    /// The per-channel failed flags this relation prunes by.
+    pub fn failed(&self) -> &[bool] {
+        &self.failed
+    }
+}
+
+impl RoutingAlgorithm for FaultedRelation<'_> {
+    fn name(&self) -> String {
+        format!("{}+faults", self.inner.name())
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        let mut dirs = self.inner.route(topo, current, dest, arrived);
+        for dir in dirs {
+            match topo.channel_from(current, dir) {
+                Some(c) if !self.failed[c.index()] => {}
+                _ => dirs.remove(dir),
+            }
+        }
+        dirs
+    }
+
+    fn is_adaptive(&self) -> bool {
+        self.inner.is_adaptive()
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.inner.is_minimal()
+    }
+
+    fn is_tabulable(&self) -> bool {
+        self.inner.is_tabulable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use turnroute_core::{NegativeFirst, WestFirst};
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn prunes_exactly_the_failed_channels() {
+        let mesh = Mesh::new_2d(4, 4);
+        let nf = NegativeFirst::minimal();
+        let src = mesh.node_at(&[2, 2].into());
+        let dst = mesh.node_at(&[0, 0].into());
+        // Negative-first offers both west and south here.
+        let healthy = nf.route(&mesh, src, dst, None);
+        assert_eq!(healthy.len(), 2);
+        let west = mesh.channel_from(src, Direction::WEST).unwrap();
+
+        let mut failed = vec![false; mesh.num_channels()];
+        failed[west.index()] = true;
+        let pruned = FaultedRelation::new(&nf, &mesh, failed);
+        let dirs = pruned.route(&mesh, src, dst, None);
+        assert_eq!(dirs.iter().collect::<Vec<_>>(), vec![Direction::SOUTH]);
+        // Channels elsewhere are untouched.
+        let other = mesh.node_at(&[3, 3].into());
+        assert_eq!(
+            pruned.route(&mesh, other, dst, None),
+            nf.route(&mesh, other, dst, None)
+        );
+    }
+
+    #[test]
+    fn no_faults_is_the_identity() {
+        let mesh = Mesh::new_2d(4, 4);
+        let wf = WestFirst::minimal();
+        let pruned = FaultedRelation::new(&wf, &mesh, vec![false; mesh.num_channels()]);
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                assert_eq!(
+                    pruned.route(&mesh, src, dst, None),
+                    wf.route(&mesh, src, dst, None)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forwards_algorithm_properties() {
+        let mesh = Mesh::new_2d(4, 4);
+        let wf = WestFirst::minimal();
+        let schedule = FaultPlan::new().compile(&mesh).unwrap();
+        let pruned = FaultedRelation::from_schedule(&wf, &mesh, &schedule);
+        assert_eq!(pruned.name(), "west-first+faults");
+        assert_eq!(pruned.is_adaptive(), wf.is_adaptive());
+        assert_eq!(pruned.is_minimal(), wf.is_minimal());
+        assert!(pruned.is_tabulable());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn rejects_mismatched_flag_vector() {
+        let mesh = Mesh::new_2d(4, 4);
+        let wf = WestFirst::minimal();
+        let _ = FaultedRelation::new(&wf, &mesh, vec![false; 3]);
+    }
+}

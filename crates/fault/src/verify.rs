@@ -1,0 +1,357 @@
+//! Deadlock-freedom and reachability verification for faulted relations.
+//!
+//! A fault set changes a routing relation in two ways that matter: it
+//! can *disconnect* pairs (some reachable routing state offers no
+//! healthy direction, so an adaptive router can strand a packet), and —
+//! although pruning only ever removes channel dependences — the
+//! workspace's deadlock check should be re-run on exactly the relation
+//! the faulted network follows. [`verify`] does both with one walk per
+//! destination over the pruned relation's reachable states, the same
+//! walk the route-table builder uses.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use turnroute_core::{ChannelDependencyGraph, RoutingAlgorithm};
+use turnroute_topology::{ChannelId, Direction, NodeId, Topology};
+
+/// The result of [`verify`]: whether the pruned relation keeps the turn
+/// model's guarantees, with witnesses when it does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// `true` if the pruned channel-dependence graph (restricted to
+    /// reachable states) is acyclic.
+    pub acyclic: bool,
+    /// A dependence cycle witness (channel sequence), empty if acyclic.
+    pub cycle: Vec<ChannelId>,
+    /// Pairs `(src, dst)` for which some reachable routing state offers
+    /// no healthy direction — an adaptive router may strand a packet of
+    /// this pair, and for deterministic routers it certainly will.
+    pub disconnected: Vec<(NodeId, NodeId)>,
+    /// Nodes with no healthy outgoing or no healthy incoming channel:
+    /// they cannot source or sink traffic at all. Every pair touching
+    /// one also appears in `disconnected`.
+    pub dead_nodes: Vec<NodeId>,
+    /// Number of ordered `(src, dst)` pairs examined.
+    pub checked_pairs: usize,
+}
+
+impl VerifyReport {
+    /// `true` if the faulted relation is still deadlock free and every
+    /// pair remains deliverable.
+    pub fn is_ok(&self) -> bool {
+        self.acyclic && self.disconnected.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(
+                f,
+                "fault-tolerant: deadlock free, all {} pairs deliverable",
+                self.checked_pairs
+            );
+        }
+        if self.acyclic {
+            write!(f, "deadlock free")?;
+        } else {
+            write!(f, "DEADLOCK: {}-channel dependence cycle", self.cycle.len())?;
+        }
+        write!(
+            f,
+            ", {} of {} pairs disconnected",
+            self.disconnected.len(),
+            self.checked_pairs
+        )?;
+        if let Some((src, dst)) = self.disconnected.first() {
+            write!(f, " (first: {src} -> {dst})")?;
+        }
+        if !self.dead_nodes.is_empty() {
+            write!(f, ", {} dead node(s)", self.dead_nodes.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks `algorithm` pruned by the `failed` channel flags on `topo`.
+///
+/// For every destination the verifier walks the states the pruned
+/// relation can produce — a state is either a packet still at its
+/// source or a packet occupying a channel — and collects (1) every
+/// channel-to-channel dependence the walk exercises and (2) every state
+/// whose pruned direction set is empty. The relation passes if the
+/// dependence graph is acyclic (Dally–Seitz, on exactly the reachable
+/// dependences) *and* no source can reach an empty-set state, i.e.
+/// delivery is guaranteed no matter which permitted direction an
+/// adaptive router picks. This is the conservative criterion: a pair is
+/// reported disconnected as soon as stranding is *possible*, which for
+/// deterministic relations coincides with it being certain.
+///
+/// # Panics
+///
+/// Panics if `failed.len() != topo.num_channels()`.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_fault::verify;
+/// use turnroute_core::WestFirst;
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let wf = WestFirst::minimal();
+/// let healthy = verify(&mesh, &wf, &vec![false; mesh.num_channels()]);
+/// assert!(healthy.is_ok());
+/// assert_eq!(healthy.checked_pairs, 16 * 15);
+/// ```
+pub fn verify(
+    topo: &dyn Topology,
+    algorithm: &dyn RoutingAlgorithm,
+    failed: &[bool],
+) -> VerifyReport {
+    let num_channels = topo.num_channels();
+    let num_nodes = topo.num_nodes();
+    assert_eq!(
+        failed.len(),
+        num_channels,
+        "failed-flag vector does not match the topology's channel count"
+    );
+    let channels = topo.channels();
+
+    let dead_nodes: Vec<NodeId> = topo
+        .nodes()
+        .filter(|&n| {
+            let mut healthy_out = false;
+            let mut healthy_in = false;
+            for (i, ch) in channels.iter().enumerate() {
+                if failed[i] {
+                    continue;
+                }
+                healthy_out |= ch.src == n;
+                healthy_in |= ch.dst == n;
+            }
+            !(healthy_out && healthy_in)
+        })
+        .collect();
+
+    // States, per destination: 0..C is "header occupies channel c",
+    // C..C+N is "packet still queued at source node s".
+    let num_states = num_channels + num_nodes;
+    let source_state = |n: NodeId| num_channels + n.index();
+
+    // Channel-dependence successors, unioned over destinations.
+    let mut cdg: Vec<BTreeSet<ChannelId>> = vec![BTreeSet::new(); num_channels];
+    let mut disconnected = Vec::new();
+    let mut checked_pairs = 0;
+
+    // Walk buffers, reused across destinations.
+    let mut visited = vec![false; num_states];
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); num_states];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut stuck: Vec<usize> = Vec::new();
+
+    for dest in topo.nodes() {
+        for buf in &mut rev {
+            buf.clear();
+        }
+        visited.fill(false);
+        stuck.clear();
+        for src in topo.nodes() {
+            if src != dest {
+                checked_pairs += 1;
+                let s = source_state(src);
+                visited[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(state) = stack.pop() {
+            let (node, arrived, via): (NodeId, Option<Direction>, Option<ChannelId>) =
+                if state < num_channels {
+                    let ch = channels[state];
+                    (ch.dst, Some(ch.dir), Some(ChannelId::new(state)))
+                } else {
+                    (NodeId::new(state - num_channels), None, None)
+                };
+            if node == dest {
+                continue; // delivered
+            }
+            let mut dirs = algorithm.route(topo, node, dest, arrived);
+            for dir in dirs {
+                match topo.channel_from(node, dir) {
+                    Some(c) if !failed[c.index()] => {}
+                    _ => dirs.remove(dir),
+                }
+            }
+            if dirs.is_empty() {
+                stuck.push(state);
+                continue;
+            }
+            for dir in dirs {
+                let next = topo
+                    .channel_from(node, dir)
+                    .expect("pruned set only contains existing channels");
+                if let Some(holding) = via {
+                    cdg[holding.index()].insert(next);
+                }
+                rev[next.index()].push(state as u32);
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push(next.index());
+                }
+            }
+        }
+        // A source is disconnected from `dest` iff it can reach a stuck
+        // state: reverse reachability from the stuck set.
+        if stuck.is_empty() {
+            continue;
+        }
+        let mut can_strand = vec![false; num_states];
+        let mut queue = std::mem::take(&mut stuck);
+        for &s in &queue {
+            can_strand[s] = true;
+        }
+        while let Some(state) = queue.pop() {
+            for &pred in &rev[state] {
+                if !can_strand[pred as usize] {
+                    can_strand[pred as usize] = true;
+                    queue.push(pred as usize);
+                }
+            }
+        }
+        stuck = queue; // give the (now empty) buffer back
+        for src in topo.nodes() {
+            if src != dest && can_strand[source_state(src)] {
+                disconnected.push((src, dest));
+            }
+        }
+    }
+
+    let graph = ChannelDependencyGraph::from_successors(
+        cdg.into_iter()
+            .map(|set| set.into_iter().collect())
+            .collect(),
+    );
+    let cycle = graph.find_cycle().unwrap_or_default();
+    VerifyReport {
+        acyclic: cycle.is_empty(),
+        cycle,
+        disconnected,
+        dead_nodes,
+        checked_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use turnroute_core::TurnSet;
+    use turnroute_core::{DimensionOrder, NegativeFirst, TurnSetRouting, WestFirst};
+    use turnroute_topology::Mesh;
+
+    fn no_faults(topo: &dyn Topology) -> Vec<bool> {
+        vec![false; topo.num_channels()]
+    }
+
+    #[test]
+    fn healthy_relations_pass() {
+        let mesh = Mesh::new_2d(6, 6);
+        for algo in [
+            Box::new(DimensionOrder::new()) as Box<dyn RoutingAlgorithm>,
+            Box::new(WestFirst::minimal()),
+            Box::new(NegativeFirst::minimal()),
+        ] {
+            let report = verify(&mesh, &algo, &no_faults(&mesh));
+            assert!(report.is_ok(), "{}: {report}", algo.name());
+            assert_eq!(report.checked_pairs, 36 * 35);
+            assert!(report.dead_nodes.is_empty());
+        }
+    }
+
+    #[test]
+    fn unrestricted_turns_fail_the_cycle_check_even_unfaulted() {
+        let mesh = Mesh::new_2d(4, 4);
+        let fully = TurnSetRouting::new(TurnSet::fully_adaptive(2));
+        let report = verify(&mesh, &fully, &no_faults(&mesh));
+        assert!(!report.acyclic);
+        assert!(!report.cycle.is_empty());
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn rejects_a_fault_set_that_disconnects_the_mesh() {
+        // Fail every channel touching a corner node: nothing can reach
+        // it or leave it. The verifier must reject this for any
+        // algorithm rather than letting the simulator strand packets.
+        let mesh = Mesh::new_2d(4, 4);
+        let corner = mesh.node_at(&[0, 0].into());
+        let schedule = FaultPlan::new().node(corner, 0).compile(&mesh).unwrap();
+        let failed = schedule.failed_at_start();
+        for algo in [
+            Box::new(DimensionOrder::new()) as Box<dyn RoutingAlgorithm>,
+            Box::new(WestFirst::minimal()),
+            Box::new(NegativeFirst::minimal()),
+        ] {
+            let report = verify(&mesh, &algo, &failed);
+            assert!(!report.is_ok(), "{} accepted a cut-off node", algo.name());
+            assert_eq!(report.dead_nodes, vec![corner]);
+            // All 15 pairs into the corner and all 15 out of it are lost.
+            assert!(report.disconnected.len() >= 30, "{report}");
+            assert!(report.acyclic, "pruning cannot create cycles");
+        }
+    }
+
+    #[test]
+    fn single_link_fault_disconnects_exactly_the_crossing_pairs_for_xy() {
+        let mesh = Mesh::new_2d(4, 4);
+        // Fail the eastward link (1,1) -> (2,1).
+        let node = mesh.node_at(&[1, 1].into());
+        let east = mesh.channel_from(node, Direction::EAST).unwrap();
+        let mut failed = no_faults(&mesh);
+        failed[east.index()] = true;
+
+        // xy is deterministic (x before y), so a pair is lost iff its
+        // one path crosses the dead link: src in row 1 with x <= 1,
+        // dst with x >= 2 — 2 sources x 8 destinations.
+        let xy = DimensionOrder::new();
+        let report = verify(&mesh, &xy, &failed);
+        assert!(!report.is_ok());
+        assert!(report.dead_nodes.is_empty());
+        assert!(report.acyclic);
+        assert_eq!(report.disconnected.len(), 16, "{report}");
+        assert!(report
+            .disconnected
+            .contains(&(node, mesh.node_at(&[2, 1].into()))));
+
+        // West-first is adaptive, and the criterion is conservative: a
+        // pair counts as disconnected as soon as *some* adaptive choice
+        // strands. The forced pair is still certainly lost, while pairs
+        // that never approach the link are untouched.
+        let wf = WestFirst::minimal();
+        let wf_report = verify(&mesh, &wf, &failed);
+        assert!(wf_report
+            .disconnected
+            .contains(&(node, mesh.node_at(&[2, 1].into()))));
+        assert!(!wf_report
+            .disconnected
+            .contains(&(mesh.node_at(&[3, 3].into()), mesh.node_at(&[0, 0].into()))));
+    }
+
+    #[test]
+    fn display_formats_both_verdicts() {
+        let mesh = Mesh::new_2d(3, 3);
+        let xy = DimensionOrder::new();
+        let ok = verify(&mesh, &xy, &no_faults(&mesh));
+        assert_eq!(
+            ok.to_string(),
+            "fault-tolerant: deadlock free, all 72 pairs deliverable"
+        );
+        let corner = mesh.node_at(&[2, 2].into());
+        let schedule = FaultPlan::new().node(corner, 0).compile(&mesh).unwrap();
+        let bad = verify(&mesh, &xy, &schedule.failed_at_start());
+        let text = bad.to_string();
+        assert!(text.contains("disconnected"), "{text}");
+        assert!(text.contains("dead node"), "{text}");
+    }
+}

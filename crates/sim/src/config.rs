@@ -1,6 +1,9 @@
 //! Simulation configuration.
 
+use std::sync::Arc;
+
 use crate::lut::{RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
+use turnroute_fault::FaultSchedule;
 
 /// Channel bandwidth used throughout the paper's Section 6: 20 flits/µs,
 /// i.e. one flit crosses one channel per 0.05 µs cycle.
@@ -126,6 +129,12 @@ pub struct SimConfig {
     /// Memory cap, in bytes, above which [`RouteTableMode::Auto`] falls
     /// back to direct routing.
     pub route_table_budget: usize,
+    /// Compiled fault schedule to replay during the run, `None` for a
+    /// healthy network. The engine applies each event at the start of
+    /// its cycle and prunes failed channels out of the offered
+    /// direction set. A schedule participates in experiment cache
+    /// identity through its content fingerprint.
+    pub faults: Option<Arc<FaultSchedule>>,
 }
 
 impl SimConfig {
@@ -143,6 +152,7 @@ impl SimConfig {
             deadlock_threshold: 50_000,
             route_table: RouteTableMode::Auto,
             route_table_budget: DEFAULT_ROUTE_TABLE_BUDGET,
+            faults: None,
         }
     }
 
@@ -204,6 +214,19 @@ impl SimConfig {
     /// Sets the [`RouteTableMode::Auto`] memory cap in bytes.
     pub fn route_table_budget(mut self, bytes: usize) -> Self {
         self.route_table_budget = bytes;
+        self
+    }
+
+    /// Attaches a compiled fault schedule; an empty schedule is
+    /// equivalent to `None`.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = (!schedule.is_empty()).then(|| Arc::new(schedule));
+        self
+    }
+
+    /// Attaches an already-shared fault schedule (or clears it).
+    pub fn fault_schedule(mut self, schedule: Option<Arc<FaultSchedule>>) -> Self {
+        self.faults = schedule.filter(|s| !s.is_empty());
         self
     }
 

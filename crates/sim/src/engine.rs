@@ -11,6 +11,7 @@ use crate::traffic::PoissonSource;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use turnroute_core::RoutingAlgorithm;
+use turnroute_fault::FaultEvent;
 use turnroute_rng::{Rng, StdRng};
 use turnroute_topology::{ChannelId, DirSet, Direction, NodeId, Topology};
 
@@ -135,6 +136,21 @@ pub struct Simulation<'a, O: SimObserver = NoopObserver> {
     channel_owner: Vec<Option<PacketId>>,
     /// Channels taken out of service by fault injection.
     faulty: Vec<bool>,
+    /// The configured fault schedule's events, replayed in order.
+    fault_events: Vec<FaultEvent>,
+    /// Next unapplied entry in `fault_events`.
+    fault_cursor: usize,
+    /// Whether the live routing query must prune failed channels out of
+    /// the permitted set *before* output selection. True exactly when a
+    /// fault plan is active and no (already-pruned) route table is in
+    /// use, so table-on and table-off runs stay bit-identical under
+    /// RNG-consuming output selection.
+    prune_faulty: bool,
+    /// Whether the schedule contains repair events: an empty pruned set
+    /// then blocks (the link may come back) instead of stranding.
+    fault_repairs: bool,
+    /// Why the configured route table was disabled, if it was.
+    table_fallback: Option<&'static str>,
     /// Flits routed over each channel during the measurement window
     /// (credited when a header acquires the channel).
     channel_flits: Vec<u64>,
@@ -180,8 +196,11 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         config: SimConfig,
         observer: O,
     ) -> Self {
-        let table = RouteTable::for_config(topo, algo, &config);
-        Simulation::with_observer_and_table(topo, algo, pattern, config, observer, table)
+        let (table, fallback) = RouteTable::for_config_with_faults(topo, algo, &config);
+        let mut sim =
+            Simulation::with_observer_and_table(topo, algo, pattern, config, observer, table);
+        sim.table_fallback = fallback;
+        sim
     }
 
     /// Builds a simulation with `observer` attached and a caller-owned
@@ -197,6 +216,22 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         observer: O,
         table: Option<Arc<RouteTable>>,
     ) -> Self {
+        let (fault_events, fault_repairs) = match config.faults.as_deref() {
+            Some(schedule) => {
+                assert_eq!(
+                    schedule.num_channels(),
+                    topo.num_channels(),
+                    "fault schedule compiled for a different topology"
+                );
+                assert!(
+                    schedule.is_static() || table.is_none(),
+                    "dynamic fault schedules cannot use a precomputed route table"
+                );
+                (schedule.events().to_vec(), schedule.has_repairs())
+            }
+            None => (Vec::new(), false),
+        };
+        let prune_faulty = !fault_events.is_empty() && table.is_none();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let source = PoissonSource::new(
             topo.num_nodes(),
@@ -219,6 +254,11 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             ejecting: vec![None; topo.num_nodes()],
             channel_owner: vec![None; topo.num_channels()],
             faulty: vec![false; topo.num_channels()],
+            fault_events,
+            fault_cursor: 0,
+            prune_faulty,
+            fault_repairs,
+            table_fallback: None,
             channel_flits: vec![0; topo.num_channels()],
             in_flight: Vec::new(),
             stranded_count: 0,
@@ -248,6 +288,14 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
     /// distinction: results are bit-identical either way.
     pub fn uses_route_table(&self) -> bool {
         self.table.is_some()
+    }
+
+    /// Why the configured route table was disabled, if it was: set when
+    /// a requested table was refused because the fault plan schedules
+    /// events after cycle 0 (the table cannot track a changing channel
+    /// set). `None` for caller-owned tables.
+    pub fn route_table_fallback_reason(&self) -> Option<&'static str> {
+        self.table_fallback
     }
 
     /// The attached observer.
@@ -380,9 +428,28 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         self.cycle >= self.metrics.window_start && self.cycle < self.metrics.window_end
     }
 
+    /// Applies every scheduled fault event due at the current cycle:
+    /// flips the channel's service bit and notifies the observer. Events
+    /// take effect before this cycle's routing and arbitration.
+    fn apply_due_faults(&mut self) {
+        while let Some(&ev) = self.fault_events.get(self.fault_cursor) {
+            if ev.cycle > self.cycle {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.faulty[ev.channel.index()] = ev.fail;
+            if ev.fail {
+                self.obs.channel_failed(self.cycle, ev.channel);
+            } else {
+                self.obs.channel_repaired(self.cycle, ev.channel);
+            }
+        }
+    }
+
     /// Advances the simulation one cycle. Returns a deadlock report if
     /// the watchdog fired this cycle.
     pub fn step(&mut self) -> Option<DeadlockReport> {
+        self.apply_due_faults();
         self.generate();
         self.arbitrate();
         let progressed = self.advance();
@@ -484,7 +551,19 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             let p = &self.packets[id.0 as usize];
             (p.head_node, p.dst, p.arrived)
         };
-        let permitted = self.permitted(head, dst, arrived);
+        let mut permitted = self.permitted(head, dst, arrived);
+        if self.prune_faulty {
+            // Mirror the pruned route table exactly: drop failed (and
+            // edge-of-mesh) directions before output selection, so the
+            // RNG-consuming Random policy draws over the same set with
+            // the table on or off.
+            for dir in permitted {
+                match self.topo.channel_from(head, dir) {
+                    Some(c) if !self.faulty[c.index()] => {}
+                    _ => permitted.remove(dir),
+                }
+            }
+        }
         let mut dirs = [Direction::WEST; MAX_DIRS];
         let ordered = self.order_directions(permitted, arrived, &mut dirs);
         let mut count = 0;
@@ -595,10 +674,23 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
                 // Either every permitted channel is busy (normal
                 // blocking) or the relation offers nothing (stranded).
                 if permitted.is_empty() {
-                    let p = &mut self.packets[id.0 as usize];
-                    if p.state() == PacketState::InFlight && !p.is_stranded {
-                        p.is_stranded = true;
-                        self.stranded_count += 1;
+                    // Under a fault plan with repairs, an empty *pruned*
+                    // set can heal when a link comes back; strand only
+                    // if the relation itself offers nothing. (Repairs
+                    // imply a dynamic schedule, so no table is in use
+                    // and `route` is the raw, unpruned relation.)
+                    let permanent = !(self.prune_faulty && self.fault_repairs) || {
+                        let p = &self.packets[id.0 as usize];
+                        self.algo
+                            .route(self.topo, p.head_node, p.dst, p.arrived)
+                            .is_empty()
+                    };
+                    if permanent {
+                        let p = &mut self.packets[id.0 as usize];
+                        if p.state() == PacketState::InFlight && !p.is_stranded {
+                            p.is_stranded = true;
+                            self.stranded_count += 1;
+                        }
                     }
                 } else if O::ENABLED {
                     // Name the channel the header would have preferred.

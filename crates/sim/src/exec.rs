@@ -115,6 +115,13 @@ pub struct SeriesJob<'a> {
     /// Offered loads, strictly ascending (required by the monotone
     /// saturation skip).
     pub loads: Vec<f64>,
+    /// Channels failed at cycle 0 by this series' fault plan (0 for a
+    /// healthy network); copied verbatim onto the output series.
+    pub faults: u64,
+    /// (src, dst) pairs `turnroute_fault::verify` found unroutable
+    /// under this series' fault set; copied verbatim onto the output
+    /// series.
+    pub disconnected: u64,
     /// Simulates one cell: `(offered_load, derived_seed) -> output`.
     pub runner: Box<dyn Fn(f64, u64) -> CellOutput + Sync + 'a>,
 }
@@ -152,8 +159,19 @@ impl<'a> SeriesJob<'a> {
             cache_key,
             base_seed,
             loads: loads.to_vec(),
+            faults: 0,
+            disconnected: 0,
             runner: Box::new(move |load, seed| runner(load, seed).into()),
         }
+    }
+
+    /// Labels this series with its fault-sweep coordinates: how many
+    /// channels its plan fails at cycle 0 and how many (src, dst) pairs
+    /// the verifier found unroutable. Both default to 0 (healthy).
+    pub fn with_fault_info(mut self, faults: u64, disconnected: u64) -> Self {
+        self.faults = faults;
+        self.disconnected = disconnected;
+        self
     }
 
     /// A series job running the plain wormhole engine.
@@ -181,7 +199,7 @@ impl<'a> SeriesJob<'a> {
             loads,
             move |load, seed| {
                 let table = table
-                    .get_or_init(|| RouteTable::for_config(topo, algorithm, &config))
+                    .get_or_init(|| RouteTable::for_config_with_faults(topo, algorithm, &config).0)
                     .clone();
                 let cfg = config.clone().injection_rate(load).seed(seed);
                 let report = Simulation::with_observer_and_table(
@@ -317,12 +335,14 @@ fn cell_key(cache_key: &str, load: f64) -> String {
 fn render_cache_line(key: &str, p: &SweepPoint) -> String {
     let opt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{:016x}", x.to_bits()));
     format!(
-        "{key}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
+        "{key}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}",
         p.offered_load.to_bits(),
         p.throughput.to_bits(),
         opt(p.avg_latency_usec),
         opt(p.p95_latency_usec),
         opt(p.avg_hops),
+        p.delivered,
+        p.stranded,
         p.sustainable,
     )
 }
@@ -343,6 +363,10 @@ fn parse_cache_line(line: &str) -> Option<(String, SweepPoint)> {
     let avg_latency_usec = opt_field(fields.next()?)?;
     let p95_latency_usec = opt_field(fields.next()?)?;
     let avg_hops = opt_field(fields.next()?)?;
+    // Pre-fault-sweep cache files lack the delivered/stranded columns;
+    // their lines fail to parse here and the cells re-simulate.
+    let delivered = fields.next()?.parse::<u64>().ok()?;
+    let stranded = fields.next()?.parse::<u64>().ok()?;
     let sustainable = match fields.next()? {
         "true" => true,
         "false" => false,
@@ -359,6 +383,8 @@ fn parse_cache_line(line: &str) -> Option<(String, SweepPoint)> {
             avg_latency_usec,
             p95_latency_usec,
             avg_hops,
+            delivered,
+            stranded,
             sustainable,
             skipped: false,
         },
@@ -645,6 +671,8 @@ impl Executor {
             out.push(SweepSeries {
                 algorithm: job.algorithm.clone(),
                 pattern: job.pattern.clone(),
+                faults: job.faults,
+                disconnected: job.disconnected,
                 points,
             });
         }
@@ -678,6 +706,8 @@ mod tests {
                     avg_latency_usec: Some(load * 2.0),
                     p95_latency_usec: None,
                     avg_hops: Some(3.0),
+                    delivered: (load * 1000.0) as u64,
+                    stranded: 0,
                     sustainable: load < sat,
                     skipped: false,
                 }
@@ -825,6 +855,8 @@ mod tests {
                     avg_latency_usec: Some(load),
                     p95_latency_usec: None,
                     avg_hops: None,
+                    delivered: 0,
+                    stranded: 0,
                     sustainable: load < sat,
                     skipped: false,
                 },

@@ -64,7 +64,8 @@ pub use hist::LatencyHistogram;
 pub use lut::{RouteTable, RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
 pub use metrics::MetricsCollector;
 pub use obs::{
-    ChannelActivityObserver, FlitTraceObserver, NoopObserver, SimObserver, TurnUsageObserver,
+    ChannelActivityObserver, FaultObserver, FlitTraceObserver, NoopObserver, SimObserver,
+    TurnUsageObserver,
 };
 pub use packet::{Packet, PacketId, PacketState};
 pub use sweep::{sweep, SweepPoint, SweepSeries};

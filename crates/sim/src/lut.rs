@@ -44,6 +44,7 @@ use std::sync::Arc;
 
 use crate::config::SimConfig;
 use turnroute_core::RoutingAlgorithm;
+use turnroute_fault::FaultedRelation;
 use turnroute_topology::{DirSet, Direction, NodeId, Topology};
 
 /// Whether the engine precomputes a [`RouteTable`].
@@ -172,6 +173,41 @@ impl RouteTable {
                 RouteTable::build(topo, algo).map(Arc::new)
             }
         }
+    }
+
+    /// [`RouteTable::for_config`], but honest about fault plans: a
+    /// table built from the healthy relation would happily route into a
+    /// dead link, so with an active
+    /// [`FaultSchedule`](turnroute_fault::FaultSchedule) the table must be
+    /// built against the *pruned* relation — possible only when the
+    /// fault set never changes
+    /// ([`is_static`](turnroute_fault::FaultSchedule::is_static)). For
+    /// a dynamic plan no table is built; the second element then names
+    /// the reason (surfaced by the CLI), mirroring the Auto-budget
+    /// fallback.
+    pub fn for_config_with_faults(
+        topo: &dyn Topology,
+        algo: &dyn RoutingAlgorithm,
+        config: &SimConfig,
+    ) -> (Option<Arc<RouteTable>>, Option<&'static str>) {
+        let Some(schedule) = config.faults.as_deref() else {
+            return (RouteTable::for_config(topo, algo, config), None);
+        };
+        if !schedule.is_static() {
+            let reason = (config.route_table != RouteTableMode::Off)
+                .then_some("fault plan schedules events after cycle 0; route table disabled");
+            return (None, reason);
+        }
+        let over_budget = RouteTable::required_bytes(topo) > config.route_table_budget;
+        let table = match config.route_table {
+            RouteTableMode::Off => None,
+            RouteTableMode::Auto if over_budget => None,
+            RouteTableMode::Auto | RouteTableMode::On => {
+                let pruned = FaultedRelation::from_schedule(algo, topo, schedule);
+                RouteTable::build(topo, &pruned).map(Arc::new)
+            }
+        };
+        (table, None)
     }
 
     /// The permitted directions for a header at `node` bound for `dst`

@@ -1,0 +1,174 @@
+//! The fault-event observer.
+
+use crate::obs::SimObserver;
+use turnroute_topology::ChannelId;
+
+/// Records every scheduled fault event the engine applies: which
+/// channels went down and came back, when, and how much cumulative
+/// channel downtime the run accrued.
+///
+/// Pairs with [`FaultSchedule`](turnroute_fault::FaultSchedule): the
+/// schedule says what *should* happen, this observer says what the
+/// engine actually did (useful both in tests and when correlating a
+/// degradation curve with its injected outages). Downtime is integrated
+/// per channel from the failure cycle to the repair cycle, with still-
+/// open outages counted up to the last event seen.
+#[derive(Debug, Clone, Default)]
+pub struct FaultObserver {
+    /// Every applied event as `(cycle, channel, failed)` in application
+    /// order.
+    events: Vec<(u64, ChannelId, bool)>,
+    /// Cycle each currently-down channel failed at.
+    down_since: Vec<Option<u64>>,
+    /// Closed-outage downtime per channel, in cycles.
+    downtime: Vec<u64>,
+    /// Number of channels currently out of service.
+    currently_failed: usize,
+    /// Largest number of channels simultaneously out of service.
+    peak_failed: usize,
+    /// Total failure events applied.
+    failures: u64,
+    /// Total repair events applied.
+    repairs: u64,
+    /// Last cycle any fault event was seen at.
+    last_cycle: u64,
+}
+
+impl FaultObserver {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grow(&mut self, channel: ChannelId) {
+        let need = channel.index() + 1;
+        if self.downtime.len() < need {
+            self.down_since.resize(need, None);
+            self.downtime.resize(need, 0);
+        }
+    }
+
+    /// Every applied event as `(cycle, channel, failed)`, in the order
+    /// the engine applied them.
+    pub fn events(&self) -> &[(u64, ChannelId, bool)] {
+        &self.events
+    }
+
+    /// Total failure events applied so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Total repair events applied so far.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Channels currently out of service.
+    pub fn currently_failed(&self) -> usize {
+        self.currently_failed
+    }
+
+    /// Largest number of channels simultaneously out of service.
+    pub fn peak_failed(&self) -> usize {
+        self.peak_failed
+    }
+
+    /// Whether `channel` is out of service as of the last event seen.
+    pub fn is_down(&self, channel: ChannelId) -> bool {
+        self.down_since
+            .get(channel.index())
+            .is_some_and(|d| d.is_some())
+    }
+
+    /// Cycles `channel` has spent out of service, counting a still-open
+    /// outage up to the last observed event.
+    pub fn downtime_cycles(&self, channel: ChannelId) -> u64 {
+        let i = channel.index();
+        if i >= self.downtime.len() {
+            return 0;
+        }
+        let open = self.down_since[i].map_or(0, |at| self.last_cycle.saturating_sub(at));
+        self.downtime[i] + open
+    }
+
+    /// Total channel-cycles of downtime across all channels.
+    pub fn total_downtime_cycles(&self) -> u64 {
+        (0..self.downtime.len())
+            .map(|i| self.downtime_cycles(ChannelId::new(i)))
+            .sum()
+    }
+}
+
+impl SimObserver for FaultObserver {
+    fn channel_failed(&mut self, cycle: u64, channel: ChannelId) {
+        self.grow(channel);
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.events.push((cycle, channel, true));
+        self.failures += 1;
+        let i = channel.index();
+        if self.down_since[i].is_none() {
+            self.down_since[i] = Some(cycle);
+            self.currently_failed += 1;
+            self.peak_failed = self.peak_failed.max(self.currently_failed);
+        }
+    }
+
+    fn channel_repaired(&mut self, cycle: u64, channel: ChannelId) {
+        self.grow(channel);
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.events.push((cycle, channel, false));
+        self.repairs += 1;
+        let i = channel.index();
+        if let Some(at) = self.down_since[i].take() {
+            self.downtime[i] += cycle.saturating_sub(at);
+            self.currently_failed -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_integrates_closed_and_open_outages() {
+        let mut obs = FaultObserver::new();
+        let c0 = ChannelId::new(0);
+        let c1 = ChannelId::new(3);
+        obs.channel_failed(10, c0);
+        obs.channel_failed(20, c1);
+        obs.channel_repaired(40, c0);
+        assert_eq!(obs.downtime_cycles(c0), 30);
+        assert_eq!(obs.downtime_cycles(c1), 20); // open outage counted to 40
+        assert_eq!(obs.total_downtime_cycles(), 50);
+        assert!(!obs.is_down(c0));
+        assert!(obs.is_down(c1));
+        assert_eq!(obs.failures(), 2);
+        assert_eq!(obs.repairs(), 1);
+        assert_eq!(obs.currently_failed(), 1);
+        assert_eq!(obs.peak_failed(), 2);
+        assert_eq!(obs.events().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_failures_do_not_double_count_concurrency() {
+        let mut obs = FaultObserver::new();
+        let c = ChannelId::new(1);
+        obs.channel_failed(5, c);
+        obs.channel_failed(6, c); // merged intervals never emit this, but stay safe
+        assert_eq!(obs.currently_failed(), 1);
+        assert_eq!(obs.peak_failed(), 1);
+        obs.channel_repaired(9, c);
+        assert_eq!(obs.downtime_cycles(c), 4);
+        assert_eq!(obs.currently_failed(), 0);
+    }
+
+    #[test]
+    fn unseen_channels_read_as_healthy() {
+        let obs = FaultObserver::new();
+        assert!(!obs.is_down(ChannelId::new(9)));
+        assert_eq!(obs.downtime_cycles(ChannelId::new(9)), 0);
+        assert_eq!(obs.total_downtime_cycles(), 0);
+    }
+}

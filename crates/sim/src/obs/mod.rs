@@ -35,10 +35,12 @@
 //! implements [`SimObserver`] and forwards every hook to both.
 
 mod channels;
+mod faults;
 mod trace;
 mod turns;
 
 pub use channels::ChannelActivityObserver;
+pub use faults::FaultObserver;
 pub use trace::FlitTraceObserver;
 pub use turns::TurnUsageObserver;
 
@@ -117,6 +119,15 @@ pub trait SimObserver {
 
     /// The deadlock watchdog fired and produced `report`.
     fn watchdog_fired(&mut self, _cycle: u64, _report: &DeadlockReport) {}
+
+    /// A scheduled fault took `channel` out of service at the start of
+    /// `cycle`. Fired only for fault-plan events, not for manual
+    /// [`fail_channel`](crate::Simulation::fail_channel) calls.
+    fn channel_failed(&mut self, _cycle: u64, _channel: ChannelId) {}
+
+    /// A scheduled repair returned `channel` to service at the start of
+    /// `cycle`.
+    fn channel_repaired(&mut self, _cycle: u64, _channel: ChannelId) {}
 }
 
 /// The default observer: observes nothing. Every hook is an empty
@@ -166,6 +177,12 @@ impl<O: SimObserver> SimObserver for &mut O {
     fn watchdog_fired(&mut self, cycle: u64, report: &DeadlockReport) {
         (**self).watchdog_fired(cycle, report);
     }
+    fn channel_failed(&mut self, cycle: u64, channel: ChannelId) {
+        (**self).channel_failed(cycle, channel);
+    }
+    fn channel_repaired(&mut self, cycle: u64, channel: ChannelId) {
+        (**self).channel_repaired(cycle, channel);
+    }
 }
 
 /// Pairwise composition: `(A, B)` forwards every hook to `A` then `B`.
@@ -211,5 +228,13 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn watchdog_fired(&mut self, cycle: u64, report: &DeadlockReport) {
         self.0.watchdog_fired(cycle, report);
         self.1.watchdog_fired(cycle, report);
+    }
+    fn channel_failed(&mut self, cycle: u64, channel: ChannelId) {
+        self.0.channel_failed(cycle, channel);
+        self.1.channel_failed(cycle, channel);
+    }
+    fn channel_repaired(&mut self, cycle: u64, channel: ChannelId) {
+        self.0.channel_repaired(cycle, channel);
+        self.1.channel_repaired(cycle, channel);
     }
 }

@@ -12,20 +12,33 @@ use crate::sweep::{SweepPoint, SweepSeries};
 use std::io::{self, Write};
 
 /// The CSV header every regenerator emits.
-pub const CSV_HEADER: &str = "algorithm,pattern,offered_load,throughput_flits_per_usec,\
-avg_latency_usec,p95_latency_usec,avg_hops,sustainable,status";
+pub const CSV_HEADER: &str = "algorithm,pattern,faults,offered_load,\
+throughput_flits_per_usec,avg_latency_usec,p95_latency_usec,avg_hops,\
+delivered,stranded,disconnected,sustainable,status";
 
-/// Formats one point as a CSV row (no trailing newline).
-pub fn csv_row(algorithm: &str, pattern: &str, p: &SweepPoint) -> String {
+/// Formats one point as a CSV row (no trailing newline). `faults` and
+/// `disconnected` are series-level fault columns (both 0 for a healthy
+/// network).
+pub fn csv_row(
+    algorithm: &str,
+    pattern: &str,
+    faults: u64,
+    disconnected: u64,
+    p: &SweepPoint,
+) -> String {
     format!(
-        "{},{},{:.4},{:.3},{},{},{},{},{}",
+        "{},{},{},{:.4},{:.3},{},{},{},{},{},{},{},{}",
         algorithm,
         pattern,
+        faults,
         p.offered_load,
         p.throughput,
         p.avg_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
         p.p95_latency_usec.map_or("".into(), |v| format!("{v:.3}")),
         p.avg_hops.map_or("".into(), |v| format!("{v:.2}")),
+        p.delivered,
+        p.stranded,
+        disconnected,
         p.sustainable,
         if p.skipped { "skipped" } else { "ok" },
     )
@@ -36,7 +49,11 @@ pub fn write_csv(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> {
     writeln!(w, "{CSV_HEADER}")?;
     for s in series {
         for p in &s.points {
-            writeln!(w, "{}", csv_row(&s.algorithm, &s.pattern, p))?;
+            writeln!(
+                w,
+                "{}",
+                csv_row(&s.algorithm, &s.pattern, s.faults, s.disconnected, p)
+            )?;
         }
     }
     Ok(())
@@ -153,6 +170,8 @@ fn write_json_array(series: &[SweepSeries], w: &mut impl Write, extra: &str) -> 
             json_string(&s.algorithm)
         )?;
         writeln!(w, "{extra}    \"pattern\": {},", json_string(&s.pattern))?;
+        writeln!(w, "{extra}    \"faults\": {},", s.faults)?;
+        writeln!(w, "{extra}    \"disconnected\": {},", s.disconnected)?;
         writeln!(
             w,
             "{extra}    \"max_sustainable_throughput\": {},",
@@ -164,12 +183,14 @@ fn write_json_array(series: &[SweepSeries], w: &mut impl Write, extra: &str) -> 
                 w,
                 "{extra}      {{\"offered_load\": {}, \"throughput_flits_per_usec\": {}, \
 \"avg_latency_usec\": {}, \"p95_latency_usec\": {}, \"avg_hops\": {}, \
-\"sustainable\": {}, \"skipped\": {}}}",
+\"delivered\": {}, \"stranded\": {}, \"sustainable\": {}, \"skipped\": {}}}",
                 json_f64(p.offered_load),
                 json_f64(p.throughput),
                 json_opt(p.avg_latency_usec),
                 json_opt(p.p95_latency_usec),
                 json_opt(p.avg_hops),
+                p.delivered,
+                p.stranded,
                 p.sustainable,
                 p.skipped,
             )?;
@@ -226,6 +247,8 @@ mod tests {
         vec![SweepSeries {
             algorithm: "negative-first".into(),
             pattern: "uniform".into(),
+            faults: 2,
+            disconnected: 0,
             points: vec![
                 SweepPoint {
                     offered_load: 0.05,
@@ -233,6 +256,8 @@ mod tests {
                     avg_latency_usec: Some(3.25),
                     p95_latency_usec: Some(7.0),
                     avg_hops: Some(4.5),
+                    delivered: 480,
+                    stranded: 3,
                     sustainable: true,
                     skipped: false,
                 },

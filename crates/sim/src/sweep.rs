@@ -21,6 +21,12 @@ pub struct SweepPoint {
     pub p95_latency_usec: Option<f64>,
     /// Mean header hops of measured messages.
     pub avg_hops: Option<f64>,
+    /// Messages delivered over the whole run (warmup and drain
+    /// included) — the degradation-sweep numerator.
+    pub delivered: u64,
+    /// Messages stranded by the routing relation (no permitted
+    /// direction left, e.g. every offered channel permanently failed).
+    pub stranded: u64,
     /// `true` if the point is sustainable (bounded source queues, no
     /// deadlock).
     pub sustainable: bool,
@@ -39,6 +45,8 @@ impl SweepPoint {
             avg_latency_usec: report.metrics.avg_latency_usec(),
             p95_latency_usec: report.metrics.latency_quantile_usec(0.95),
             avg_hops: report.metrics.avg_hops(),
+            delivered: report.total_delivered,
+            stranded: report.stranded_packets,
             sustainable: report.sustainable(),
             skipped: false,
         }
@@ -53,6 +61,8 @@ impl SweepPoint {
             avg_latency_usec: None,
             p95_latency_usec: None,
             avg_hops: None,
+            delivered: 0,
+            stranded: 0,
             sustainable: false,
             skipped: true,
         }
@@ -66,6 +76,12 @@ pub struct SweepSeries {
     pub algorithm: String,
     /// The traffic pattern's name.
     pub pattern: String,
+    /// Channels failed at cycle 0 by the series' fault plan (0 for a
+    /// healthy network) — the degradation-sweep x-axis.
+    pub faults: u64,
+    /// (src, dst) pairs [`turnroute_fault::verify`] found unroutable
+    /// under the series' fault set (0 for a healthy network).
+    pub disconnected: u64,
     /// One point per offered load, in sweep order.
     pub points: Vec<SweepPoint>,
 }
@@ -86,7 +102,13 @@ impl SweepSeries {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for p in &self.points {
-            out.push_str(&crate::report::csv_row(&self.algorithm, &self.pattern, p));
+            out.push_str(&crate::report::csv_row(
+                &self.algorithm,
+                &self.pattern,
+                self.faults,
+                self.disconnected,
+                p,
+            ));
             out.push('\n');
         }
         out

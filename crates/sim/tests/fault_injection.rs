@@ -3,8 +3,12 @@
 //! simulator rather than on paper.
 
 use turnroute_core::{DimensionOrder, WestFirst};
+use turnroute_fault::FaultPlan;
 use turnroute_sim::patterns::{TrafficPattern, Uniform};
-use turnroute_sim::{RunOutcome, SimConfig, Simulation};
+use turnroute_sim::{
+    FaultObserver, InputSelection, OutputSelection, RouteTableMode, RunOutcome, SimConfig,
+    Simulation,
+};
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 
 fn config() -> SimConfig {
@@ -133,6 +137,138 @@ fn repair_restores_service() {
         .filter(|p| p.delivered_at.is_some())
         .count();
     assert!(delivered > 50, "{delivered}");
+}
+
+#[test]
+fn scheduled_faults_apply_on_cycle_and_feed_the_observer() {
+    let mesh = Mesh::new_2d(6, 6);
+    let algo = WestFirst::nonminimal();
+    let ch = mesh
+        .channel_from(mesh.node_at(&[2, 2].into()), Direction::EAST)
+        .unwrap();
+    let schedule = FaultPlan::new()
+        .channel_transient(ch, 100, 400)
+        .compile(&mesh)
+        .unwrap();
+    let mut sim = Simulation::with_observer(
+        &mesh,
+        &algo,
+        &Uniform,
+        config().faults(schedule),
+        FaultObserver::new(),
+    );
+    // A schedule with events after cycle 0 disables the route table.
+    assert!(sim.route_table_fallback_reason().is_some());
+    while sim.cycle() < 100 {
+        sim.step();
+    }
+    assert!(!sim.is_faulty(ch), "fault applied early");
+    sim.step();
+    assert!(sim.is_faulty(ch), "fault not applied on its cycle");
+    while sim.cycle() < 400 {
+        sim.step();
+    }
+    sim.step();
+    assert!(!sim.is_faulty(ch), "repair not applied on its cycle");
+    let obs = sim.into_observer();
+    assert_eq!(obs.events(), &[(100, ch, true), (400, ch, false)]);
+    assert_eq!(obs.failures(), 1);
+    assert_eq!(obs.repairs(), 1);
+    assert_eq!(obs.downtime_cycles(ch), 300);
+    assert_eq!(obs.currently_failed(), 0);
+    assert_eq!(obs.peak_failed(), 1);
+}
+
+#[test]
+fn static_plan_reports_match_with_and_without_route_table() {
+    // Satellite regression: a cycle-0 fault plan must not change the
+    // numbers depending on whether routing goes through the (pruned)
+    // precomputed table or live pruned `route()` calls — even under the
+    // RNG-consuming Random selection policies, whose draws depend on
+    // the permitted-set size.
+    let mesh = Mesh::new_2d(6, 6);
+    let algo = WestFirst::nonminimal();
+    let run = |mode: RouteTableMode| {
+        let cfg = config()
+            .injection_rate(0.05)
+            .input_selection(InputSelection::Random)
+            .output_selection(OutputSelection::Random)
+            .route_table(mode)
+            .faults(
+                FaultPlan::new()
+                    .random_channels(3, 99)
+                    .compile(&mesh)
+                    .unwrap(),
+            );
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, cfg);
+        (
+            sim.route_table_fallback_reason(),
+            format!("{:?}", sim.run()),
+        )
+    };
+    let (on_reason, on) = run(RouteTableMode::On);
+    let (off_reason, off) = run(RouteTableMode::Off);
+    // Static plans keep the table: it is rebuilt against the pruned
+    // relation, not disabled.
+    assert_eq!(on_reason, None);
+    assert_eq!(off_reason, None);
+    assert_eq!(on, off, "route table changed a faulted run's report");
+}
+
+#[test]
+fn isolating_a_node_strands_and_repairing_drains() {
+    // Fail every outgoing channel of the node all cross-traffic must
+    // transit: the watchdog must report a permanent roadblock (stranded
+    // packets, no circular wait), and repairing the channels must let
+    // the run drain the blocked packets.
+    let mesh = Mesh::new_2d(8, 8);
+    let algo = DimensionOrder::new();
+    let mut sim = Simulation::new(
+        &mesh,
+        &algo,
+        &CrossTraffic,
+        config().injection_rate(0.15).deadlock_threshold(1_500),
+    );
+    let center = mesh.node_at(&[3, 3].into());
+    let out: Vec<_> = [
+        Direction::EAST,
+        Direction::WEST,
+        Direction::NORTH,
+        Direction::SOUTH,
+    ]
+    .iter()
+    .filter_map(|&d| mesh.channel_from(center, d))
+    .collect();
+    assert_eq!(out.len(), 4, "center node must be interior");
+    for _ in 0..1_000 {
+        assert!(sim.step().is_none(), "healthy warmup deadlocked");
+    }
+    for &c in &out {
+        sim.fail_channel(c);
+    }
+    let report = loop {
+        if let Some(d) = sim.step() {
+            break d;
+        }
+        assert!(sim.cycle() < 60_000, "watchdog never fired");
+    };
+    assert!(report.cycle.is_empty(), "a roadblock, not a circular wait");
+    assert!(!report.stranded.is_empty(), "no stranded packets reported");
+    let text = report.to_string();
+    assert!(text.contains("permanent blockage"), "{text}");
+    for &c in &out {
+        sim.repair_channel(c);
+    }
+    for _ in 0..30_000 {
+        sim.step();
+    }
+    for id in &report.stranded {
+        assert!(
+            sim.packets()[id.index() as usize].delivered_at.is_some(),
+            "packet {} still undelivered after repair",
+            id.index()
+        );
+    }
 }
 
 #[test]

@@ -9,6 +9,7 @@ use turnroute_core::{
     Abonf, Abopl, DimensionOrder, FirstHopWraparound, NegativeFirst, NegativeFirstTorus, NorthLast,
     PCube, RoutingAlgorithm, WestFirst,
 };
+use turnroute_fault::{FaultPlan, FaultSchedule};
 use turnroute_sim::patterns::{
     BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose, NearestNeighbor,
     ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
@@ -23,6 +24,14 @@ pub struct ParseSpecError(String);
 impl fmt::Display for ParseSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+impl ParseSpecError {
+    /// A parse error carrying `msg` (for callers layered on the CLI
+    /// parsers, e.g. experiment-spec validation).
+    pub fn new(msg: impl Into<String>) -> Self {
+        ParseSpecError(msg.into())
     }
 }
 
@@ -225,6 +234,32 @@ pub fn parse_pattern(name: &str) -> Result<Box<dyn TrafficPattern>, ParseSpecErr
     })
 }
 
+/// The fault-plan specification forms the CLI accepts (joined with `+`
+/// for compound plans).
+pub const FAULT_SPECS: &str = "\
+  chan:<id>[@<inject>[..<repair>]]   one channel, e.g. chan:17@5..9
+  node:<id|x,y>[@...]                every channel at a node
+  region:<x,y>-<x,y>[@...]           channels inside a coordinate box
+  random:<count>:<seed>              seed-derived random channels
+  (omitting @ means a permanent fault from cycle 0)";
+
+/// Parses a fault-plan specification like `chan:17+random:4:99` and
+/// compiles it against `topo` into a replayable schedule.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted forms on any mismatch, or the
+/// compile error if a target is out of range for `topo`.
+pub fn parse_faults(spec: &str, topo: &dyn Topology) -> Result<FaultSchedule, ParseSpecError> {
+    let plan = FaultPlan::parse(spec).map_err(|e| {
+        err(format!(
+            "bad fault spec: {e}; accepted forms:\n{FAULT_SPECS}"
+        ))
+    })?;
+    plan.compile(topo)
+        .map_err(|e| err(format!("bad fault spec: {e}")))
+}
+
 /// Parses a node given either as a dense id (`137`) or a coordinate
 /// tuple (`9,4`).
 ///
@@ -356,6 +391,20 @@ mod tests {
         assert!(parse_pattern("hotspot:12").is_err());
         assert!(parse_pattern("hotspot:12,200").is_err());
         assert!(parse_pattern("noise").is_err());
+    }
+
+    #[test]
+    fn fault_specs_parse_and_compile() {
+        let mesh = parse_topology("mesh:8x8").unwrap();
+        let schedule = parse_faults("chan:17+random:4:99", mesh.as_ref()).unwrap();
+        assert!(schedule.failed_count_at_start() >= 4);
+        assert!(schedule.is_static());
+        let transient = parse_faults("chan:3@100..200", mesh.as_ref()).unwrap();
+        assert!(!transient.is_static());
+        assert!(transient.has_repairs());
+        assert!(parse_faults("laser:3", mesh.as_ref()).is_err());
+        // Out-of-range targets fail at compile time.
+        assert!(parse_faults("chan:99999", mesh.as_ref()).is_err());
     }
 
     #[test]

@@ -26,12 +26,20 @@
 //! assert_eq!(series[0].algorithm, "dimension-order");
 //! ```
 
+use std::sync::Arc;
+
 use crate::cli::{
-    parse_algorithm, parse_pattern, parse_topology, parse_vc_algorithm, ParseSpecError,
+    parse_algorithm, parse_faults, parse_pattern, parse_topology, parse_vc_algorithm,
+    ParseSpecError,
 };
 use turnroute_core::RoutingAlgorithm;
+use turnroute_fault::{verify, FaultPlan, FaultSchedule};
 use turnroute_sim::{Executor, SeriesJob, SimConfig, SweepSeries};
 use turnroute_vc::{vc_series_job, VcRoutingAlgorithm};
+
+/// Default seed for [`ExperimentSpec::fault_axis`] random draws, chosen
+/// once so every degradation figure fails the same channels.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17_5EED;
 
 /// Which simulation engine runs the sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +91,18 @@ pub struct ExperimentSpec {
     pub config: SimConfig,
     /// Which engine runs the cells.
     pub engine: Engine,
+    /// Degradation-sweep axis: numbers of seed-derived random channel
+    /// faults. Each count becomes one series per algorithm, with the
+    /// fault sets nested (the channels failed at count `k` are a subset
+    /// of those at `k + 1`) and identical across algorithms. Empty
+    /// means healthy-network only. [`Engine::Wormhole`] only.
+    pub fault_axis: Vec<u64>,
+    /// Seed for the [`fault_axis`](Self::fault_axis) random draws.
+    pub fault_seed: u64,
+    /// An explicit fault plan (see [`crate::cli::parse_faults`])
+    /// applied to every series. Mutually exclusive with
+    /// [`fault_axis`](Self::fault_axis). [`Engine::Wormhole`] only.
+    pub faults_spec: Option<String>,
 }
 
 impl ExperimentSpec {
@@ -96,6 +116,9 @@ impl ExperimentSpec {
             loads: Vec::new(),
             config: SimConfig::paper(),
             engine: Engine::Wormhole,
+            fault_axis: Vec::new(),
+            fault_seed: DEFAULT_FAULT_SEED,
+            faults_spec: None,
         }
     }
 
@@ -133,6 +156,26 @@ impl ExperimentSpec {
     /// Selects the engine.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the degradation-sweep axis: one series per algorithm per
+    /// fault count, failing that many seed-derived random channels.
+    pub fn fault_axis(mut self, counts: &[u64]) -> Self {
+        self.fault_axis = counts.to_vec();
+        self
+    }
+
+    /// Sets the seed for [`fault_axis`](Self::fault_axis) draws.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Applies an explicit fault plan to every series (mutually
+    /// exclusive with [`fault_axis`](Self::fault_axis)).
+    pub fn faults(mut self, spec: impl Into<String>) -> Self {
+        self.faults_spec = Some(spec.into());
         self
     }
 
@@ -185,6 +228,40 @@ impl Experiment {
     ) -> Result<Vec<SweepSeries>, ParseSpecError> {
         let topo = parse_topology(&spec.topology)?;
         let pattern = parse_pattern(&spec.pattern)?;
+        let has_faults = spec.faults_spec.is_some() || !spec.fault_axis.is_empty();
+        if has_faults && spec.engine == Engine::VirtualChannel {
+            return Err(ParseSpecError::new(
+                "fault plans are not supported by the virtual-channel engine",
+            ));
+        }
+        if spec.faults_spec.is_some() && !spec.fault_axis.is_empty() {
+            return Err(ParseSpecError::new(
+                "an explicit fault plan and a fault axis are mutually exclusive",
+            ));
+        }
+        // The fault settings every algorithm is swept under: one entry
+        // per series within each algorithm. Fault-axis draws use one
+        // seed for every count, so the failed sets nest (count k is a
+        // subset of count k + 1) and are identical across algorithms.
+        let schedules: Vec<Option<Arc<FaultSchedule>>> = if let Some(fs) = &spec.faults_spec {
+            vec![Some(Arc::new(parse_faults(fs, topo.as_ref())?))]
+        } else if !spec.fault_axis.is_empty() {
+            spec.fault_axis
+                .iter()
+                .map(|&count| {
+                    if count == 0 {
+                        return Ok(None);
+                    }
+                    FaultPlan::new()
+                        .random_channels(count as usize, spec.fault_seed)
+                        .compile(topo.as_ref())
+                        .map(|s| Some(Arc::new(s)))
+                        .map_err(|e| ParseSpecError::new(format!("fault axis: {e}")))
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            vec![None]
+        };
         let mut series = match spec.engine {
             Engine::Wormhole => {
                 let algos: Vec<Box<dyn RoutingAlgorithm>> = spec
@@ -192,18 +269,36 @@ impl Experiment {
                     .iter()
                     .map(|a| parse_algorithm(&a.name, topo.as_ref()))
                     .collect::<Result<_, _>>()?;
-                let jobs: Vec<SeriesJob<'_>> = algos
-                    .iter()
-                    .map(|a| {
-                        SeriesJob::simulation(
-                            topo.as_ref(),
-                            a.as_ref(),
-                            pattern.as_ref(),
-                            &spec.config,
-                            &spec.loads,
-                        )
-                    })
-                    .collect();
+                let mut jobs: Vec<SeriesJob<'_>> = Vec::new();
+                for a in &algos {
+                    for schedule in &schedules {
+                        let cfg = spec.config.clone().fault_schedule(schedule.clone());
+                        // Series-level fault columns: the cycle-0 fault
+                        // count and how many (src, dst) pairs the
+                        // verifier proves unroutable under it.
+                        let (faults, disconnected) = match schedule.as_deref() {
+                            Some(s) => {
+                                let report =
+                                    verify(topo.as_ref(), a.as_ref(), &s.failed_at_start());
+                                (
+                                    s.failed_count_at_start() as u64,
+                                    report.disconnected.len() as u64,
+                                )
+                            }
+                            None => (0, 0),
+                        };
+                        jobs.push(
+                            SeriesJob::simulation(
+                                topo.as_ref(),
+                                a.as_ref(),
+                                pattern.as_ref(),
+                                &cfg,
+                                &spec.loads,
+                            )
+                            .with_fault_info(faults, disconnected),
+                        );
+                    }
+                }
                 executor.run(jobs)
             }
             Engine::VirtualChannel => {
@@ -227,8 +322,11 @@ impl Experiment {
                 executor.run(jobs)
             }
         };
-        for (s, a) in series.iter_mut().zip(&spec.algorithms) {
-            if let Some(label) = &a.label {
+        // One algorithm spawns one series per fault setting; relabel
+        // each whole block.
+        let per_algo = series.len() / spec.algorithms.len().max(1);
+        for (i, s) in series.iter_mut().enumerate() {
+            if let Some(label) = &spec.algorithms[i / per_algo.max(1)].label {
                 s.algorithm = label.clone();
             }
         }
@@ -306,6 +404,88 @@ mod tests {
             .unwrap();
         assert_eq!(series.len(), 2);
         assert!(series.iter().all(|s| s.points[0].sustainable));
+    }
+
+    #[test]
+    fn fault_axis_multiplies_series_and_labels_blocks() {
+        let series = ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("xy")
+            .algorithm_as("wf", "west-first")
+            .loads(&[0.02])
+            .config(quick())
+            .fault_axis(&[0, 2, 4])
+            .run(2)
+            .unwrap();
+        // One series per (algorithm, fault count): algorithms outer,
+        // counts inner, relabelling applied per block.
+        assert_eq!(series.len(), 6);
+        let names: Vec<&str> = series.iter().map(|s| s.algorithm.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dimension-order",
+                "dimension-order",
+                "dimension-order",
+                "wf",
+                "wf",
+                "wf"
+            ]
+        );
+        let faults: Vec<u64> = series.iter().map(|s| s.faults).collect();
+        assert_eq!(faults, [0, 2, 4, 0, 2, 4]);
+        // Deterministic xy loses pairs for any failed channel, and the
+        // nested fault sets lose monotonically more.
+        assert_eq!(series[0].disconnected, 0);
+        assert!(series[1].disconnected > 0);
+        assert!(series[2].disconnected >= series[1].disconnected);
+        // One fault seed for the whole axis: the same channels fail
+        // under every algorithm.
+        assert_eq!(series[1].faults, series[4].faults);
+        assert!(series[0].points[0].delivered > 0);
+    }
+
+    #[test]
+    fn explicit_fault_plan_applies_to_every_series() {
+        let series = ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("xy")
+            .algorithm("west-first")
+            .loads(&[0.02])
+            .config(quick())
+            .faults("random:3:7")
+            .run(1)
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| s.faults == 3));
+    }
+
+    #[test]
+    fn fault_plan_conflicts_are_rejected() {
+        // The VC engine has no fault support.
+        assert!(ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("mad-y")
+            .loads(&[0.02])
+            .config(quick())
+            .engine(Engine::VirtualChannel)
+            .fault_axis(&[2])
+            .run(1)
+            .is_err());
+        // An explicit plan and a fault axis are mutually exclusive.
+        assert!(ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("xy")
+            .loads(&[0.02])
+            .config(quick())
+            .faults("chan:3")
+            .fault_axis(&[2])
+            .run(1)
+            .is_err());
+        // A malformed plan surfaces as a parse error.
+        assert!(ExperimentSpec::new("mesh:6x6", "uniform")
+            .algorithm("xy")
+            .loads(&[0.02])
+            .config(quick())
+            .faults("laser:3")
+            .run(1)
+            .is_err());
     }
 
     #[test]

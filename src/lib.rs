@@ -13,7 +13,9 @@
 //! * [`analysis`] — the paper's theorems and analytic tables, executable;
 //! * [`vc`] — virtual channels: the companion results of reference \[18\]
 //!   (fully adaptive mad-y for meshes, dateline routing for tori) and a
-//!   lane-aware simulator.
+//!   lane-aware simulator;
+//! * [`fault`] — deterministic fault plans, fault-aware routing
+//!   relations, and the faulted deadlock/reachability verifier.
 //!
 //! This facade crate re-exports the individual crates under short module
 //! names and hosts the runnable examples (`examples/`) and cross-crate
@@ -47,6 +49,7 @@ pub mod experiment;
 
 pub use turnroute_analysis as analysis;
 pub use turnroute_core as core;
+pub use turnroute_fault as fault;
 pub use turnroute_sim as sim;
 pub use turnroute_topology as topology;
 pub use turnroute_vc as vc;

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use turnroute::cli::{
-    parse_algorithm, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES, PATTERN_NAMES,
-    TOPOLOGY_SPECS, VC_ALGORITHM_NAMES,
+    parse_algorithm, parse_faults, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES,
+    FAULT_SPECS, PATTERN_NAMES, TOPOLOGY_SPECS, VC_ALGORITHM_NAMES,
 };
 use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
 use turnroute::experiment::{Engine, ExperimentSpec};
@@ -27,20 +27,23 @@ const USAGE: &str = "\
 usage: turnroute <command> [--option value ...]
 
 commands:
-  verify    --topology T --algorithm A
+  verify    --topology T --algorithm A [--faults SPEC]
             check deadlock freedom (channel dependency graph) for the
-            algorithm's turn discipline on the topology
+            algorithm's turn discipline on the topology; with --faults,
+            check the pruned relation instead: the faulted dependence
+            graph must stay acyclic and every (src, dst) pair reachable
   route     --topology T --algorithm A --from NODE --to NODE
             walk one route and count the allowed shortest paths
   simulate  --topology T --algorithm A --pattern P --load F[,F...]
             [--threads N] [--cycles N] [--warmup N] [--seed N]
-            [--route-table auto|on|off]
+            [--route-table auto|on|off] [--faults SPEC]
             [--trace FILE [--trace-window START:END]]
             run the Section 6 wormhole simulation; one load reports in
             detail, several loads sweep in parallel and print CSV.
             --route-table precomputes routing decisions into a dense
             lookup table (auto: when it fits 64 MiB; results are
             bit-identical either way).
+            --faults injects a deterministic fault plan (see `list`)
             --trace writes a flit-level Chrome trace-event JSON file
             (open in Perfetto), optionally restricted to a cycle window
   sweep     --topology T --algorithms A[,B...] --pattern P
@@ -48,11 +51,17 @@ commands:
             [--format csv|json] [--cache FILE] [--telemetry [FILE]]
             [--cycles N] [--warmup N] [--seed N]
             [--route-table auto|on|off]
+            [--faults SPEC | --fault-axis N[,N...] [--fault-seed S]]
             fan the (algorithm x load) grid across worker threads;
             deterministic for any thread count. --telemetry reports
             per-cell wall times and merged latency quantiles (to FILE
-            as JSON, or to stderr without one)
-  list      print the accepted topologies, algorithms and patterns
+            as JSON, or to stderr without one).
+            --fault-axis sweeps each algorithm under 0, N, ... random
+            permanent channel faults (one seed-derived nested fault set
+            per count) for degradation curves; --faults injects one
+            explicit plan into every cell instead
+  list      print the accepted topologies, algorithms, patterns and
+            fault spec forms
 
 nodes are dense ids (137) or coordinates (9,4).";
 
@@ -106,7 +115,8 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("topologies:\n{TOPOLOGY_SPECS}\n");
             println!("algorithms:\n{ALGORITHM_NAMES}\n");
             println!("algorithms (--engine vc only):\n{VC_ALGORITHM_NAMES}\n");
-            println!("patterns:\n{PATTERN_NAMES}");
+            println!("patterns:\n{PATTERN_NAMES}\n");
+            println!("fault specs (--faults, +-separated):\n{FAULT_SPECS}");
             Ok(())
         }
         "verify" => {
@@ -114,6 +124,26 @@ fn run(args: &[String]) -> Result<(), String> {
             let topo = parse_topology(required(&opts, "topology")?).map_err(|e| e.to_string())?;
             let name = required(&opts, "algorithm")?;
             let algo = parse_algorithm(name, topo.as_ref()).map_err(|e| e.to_string())?;
+            if let Some(fspec) = opts.get("faults") {
+                let schedule = parse_faults(fspec, topo.as_ref()).map_err(|e| e.to_string())?;
+                let report = turnroute::fault::verify(
+                    topo.as_ref(),
+                    algo.as_ref(),
+                    &schedule.failed_at_start(),
+                );
+                println!(
+                    "{} on {} under faults '{fspec}':",
+                    algo.name(),
+                    topo.label()
+                );
+                println!(
+                    "  {} of {} channels failed at cycle 0",
+                    schedule.failed_count_at_start(),
+                    topo.num_channels()
+                );
+                println!("  verdict: {report}");
+                return Ok(());
+            }
             verify(topo.as_ref(), algo.as_ref(), name);
             Ok(())
         }
@@ -155,10 +185,14 @@ fn run(args: &[String]) -> Result<(), String> {
             let config = sim_config(&opts)?;
             if loads.len() > 1 {
                 // Several loads: a sweep of one algorithm, in parallel.
-                let series = ExperimentSpec::new(required(&opts, "topology")?, &pattern_name)
+                let mut spec = ExperimentSpec::new(required(&opts, "topology")?, &pattern_name)
                     .algorithm(&name)
                     .loads(&loads)
-                    .config(config)
+                    .config(config);
+                if let Some(fspec) = opts.get("faults") {
+                    spec = spec.faults(fspec);
+                }
+                let series = spec
                     .run(threads_option(&opts)?)
                     .map_err(|e| e.to_string())?;
                 let mut out = std::io::stdout().lock();
@@ -169,7 +203,21 @@ fn run(args: &[String]) -> Result<(), String> {
             let algo = parse_algorithm(&name, topo.as_ref()).map_err(|e| e.to_string())?;
             let pattern = parse_pattern(&pattern_name).map_err(|e| e.to_string())?;
             let load = loads[0];
-            let config = config.injection_rate(load);
+            let mut config = config.injection_rate(load);
+            if let Some(fspec) = opts.get("faults") {
+                let schedule = parse_faults(fspec, topo.as_ref()).map_err(|e| e.to_string())?;
+                let check = turnroute::fault::verify(
+                    topo.as_ref(),
+                    algo.as_ref(),
+                    &schedule.failed_at_start(),
+                );
+                eprintln!(
+                    "# faults: {} of {} channels failed at cycle 0; {check}",
+                    schedule.failed_count_at_start(),
+                    topo.num_channels()
+                );
+                config = config.faults(schedule);
+            }
             let report = match opts.get("trace") {
                 Some(trace_path) => {
                     let mut obs = FlitTraceObserver::new();
@@ -184,6 +232,9 @@ fn run(args: &[String]) -> Result<(), String> {
                         config,
                         obs,
                     );
+                    if let Some(reason) = sim.route_table_fallback_reason() {
+                        eprintln!("# route table off: {reason}");
+                    }
                     let report = sim.run();
                     let obs = sim.into_observer();
                     let file = std::fs::File::create(trace_path)
@@ -196,7 +247,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     report
                 }
                 None => {
-                    Simulation::new(topo.as_ref(), algo.as_ref(), pattern.as_ref(), config).run()
+                    let mut sim =
+                        Simulation::new(topo.as_ref(), algo.as_ref(), pattern.as_ref(), config);
+                    if let Some(reason) = sim.route_table_fallback_reason() {
+                        eprintln!("# route table off: {reason}");
+                    }
+                    sim.run()
                 }
             };
             println!(
@@ -224,6 +280,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     if let Some(hops) = report.metrics.avg_hops() {
                         println!("  hops       {hops:>10.2} avg");
+                    }
+                    if report.stranded_packets > 0 {
+                        println!(
+                            "  stranded   {:>10} messages (no healthy route left)",
+                            report.stranded_packets
+                        );
                     }
                     println!("  sustainable: {}", report.sustainable());
                 }
@@ -256,6 +318,18 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if spec.algorithms.is_empty() {
                 return Err("--algorithms needs at least one name".into());
+            }
+            if let Some(fspec) = opts.get("faults") {
+                spec = spec.faults(fspec);
+            }
+            if let Some(axis) = opts.get("fault-axis") {
+                spec = spec.fault_axis(&parse_fault_axis(axis)?);
+            }
+            if let Some(seed) = opts.get("fault-seed") {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| "bad --fault-seed value".to_string())?;
+                spec = spec.fault_seed(seed);
             }
             let mut executor = Executor::new(threads_option(&opts)?);
             if let Some(path) = opts.get("cache") {
@@ -327,6 +401,24 @@ fn channel_names(topo: &dyn Topology) -> Vec<String> {
             )
         })
         .collect()
+}
+
+/// Parses the `--fault-axis` list: comma-separated fault counts like
+/// `0,2,4,8` (each sweeps every algorithm under that many random
+/// permanent channel faults).
+fn parse_fault_axis(spec: &str) -> Result<Vec<u64>, String> {
+    let counts: Vec<u64> = spec
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("bad --fault-axis count '{p}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() {
+        return Err("--fault-axis needs at least one count".into());
+    }
+    Ok(counts)
 }
 
 /// Parses a comma-separated load list like `0.01,0.05,0.1`.

@@ -1,0 +1,112 @@
+//! Degradation sweeps end to end: one `fault_axis` experiment must
+//! produce a deterministic degradation curve — bit-identical JSON for
+//! any thread count — for the paper's algorithms on a 2D mesh, with
+//! per-cell delivered/stranded counts and per-series fault/disconnected
+//! counts, and a disconnecting fault plan must surface in the verifier
+//! columns rather than silently stranding packets.
+
+use turnroute::experiment::ExperimentSpec;
+use turnroute::sim::report::{write_csv, write_json, CSV_HEADER};
+use turnroute::sim::SimConfig;
+
+fn quick() -> SimConfig {
+    SimConfig::paper()
+        .warmup_cycles(300)
+        .measure_cycles(1_500)
+        .seed(9)
+}
+
+/// The acceptance sweep: three turn-model algorithms, three fault
+/// levels, two loads.
+fn degradation_spec() -> ExperimentSpec {
+    ExperimentSpec::new("mesh:8x8", "uniform")
+        .algorithm("xy")
+        .algorithm("west-first")
+        .algorithm("negative-first")
+        .loads(&[0.02, 0.05])
+        .config(quick())
+        .fault_axis(&[0, 2, 6])
+}
+
+#[test]
+fn degradation_sweep_json_is_bit_identical_across_thread_counts() {
+    let spec = degradation_spec();
+    let mut one = Vec::new();
+    write_json(&spec.run(1).unwrap(), &mut one).unwrap();
+    let mut eight = Vec::new();
+    write_json(&spec.run(8).unwrap(), &mut eight).unwrap();
+    assert_eq!(one, eight, "thread count changed degradation JSON bytes");
+    let text = String::from_utf8(one).unwrap();
+    assert!(text.contains("\"faults\": 6"), "fault axis missing");
+    assert!(text.contains("\"delivered\": "), "delivered count missing");
+    assert!(text.contains("\"stranded\": "), "stranded count missing");
+    assert!(
+        text.contains("\"disconnected\": "),
+        "verifier column missing"
+    );
+}
+
+#[test]
+fn degradation_grid_is_complete_and_ordered() {
+    let series = degradation_spec().run(4).unwrap();
+    // algorithms outer, fault counts inner: 3 x 3 series of 2 points.
+    assert_eq!(series.len(), 9);
+    for (i, algo) in ["dimension-order", "west-first", "negative-first"]
+        .iter()
+        .enumerate()
+    {
+        for (j, &count) in [0u64, 2, 6].iter().enumerate() {
+            let s = &series[i * 3 + j];
+            assert_eq!(s.algorithm, *algo, "series {} out of order", i * 3 + j);
+            assert_eq!(s.faults, count);
+            assert_eq!(s.points.len(), 2);
+        }
+    }
+    // Healthy series verify clean; deterministic xy loses pairs for any
+    // failed channel, monotonically more under the nested fault sets.
+    assert_eq!(series[0].disconnected, 0);
+    assert!(series[1].disconnected > 0);
+    assert!(series[2].disconnected >= series[1].disconnected);
+    // One fault seed for the whole sweep: every algorithm sees the same
+    // failed channels, so the fault column agrees across blocks.
+    assert_eq!(series[1].faults, series[4].faults);
+    assert_eq!(series[4].faults, series[7].faults);
+    // Healthy cells deliver.
+    assert!(series[0].points.iter().all(|p| p.delivered > 0));
+}
+
+#[test]
+fn degradation_csv_carries_the_fault_columns() {
+    let mut buf = Vec::new();
+    write_csv(&degradation_spec().run(2).unwrap(), &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some(CSV_HEADER));
+    assert_eq!(lines.count(), 18, "9 series x 2 loads");
+    // Each row's third column is the series' fault count.
+    let with_six = text
+        .lines()
+        .skip(1)
+        .filter(|l| l.split(',').nth(2) == Some("6"))
+        .count();
+    assert_eq!(with_six, 6, "two rows per algorithm at 6 faults");
+}
+
+#[test]
+fn a_disconnecting_plan_surfaces_in_the_verifier_column() {
+    // Cutting off the corner node disconnects all 70 pairs touching it;
+    // the sweep must report that instead of hiding it in the numbers.
+    let series = ExperimentSpec::new("mesh:6x6", "uniform")
+        .algorithm("west-first")
+        .loads(&[0.02])
+        .config(quick())
+        .faults("node:0,0")
+        .run(1)
+        .unwrap();
+    assert_eq!(series.len(), 1);
+    assert!(
+        series[0].disconnected >= 70,
+        "corner cutoff reported only {} disconnected pairs",
+        series[0].disconnected
+    );
+}
