@@ -1,0 +1,150 @@
+//! The conformance soak binary.
+//!
+//! Replays the committed regression file, then hammers the invariant
+//! battery with generated cases:
+//!
+//! ```text
+//! conformance [--cases N] [--seed S] [--json PATH] [--regressions PATH]
+//!             [--persist]
+//! ```
+//!
+//! Exits 0 when every case passes, 1 on the first (shrunk) failure,
+//! 2 on usage errors. `--json` writes a machine-readable report either
+//! way. `--persist` appends the shrunk counterexample to the regression
+//! file so it replays forever.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use turnroute_check::runner::{self, RunConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: conformance [--cases N] [--seed S] [--json PATH] [--regressions PATH] [--persist]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = RunConfig::default();
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.cases = v;
+            }
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.seed = v;
+            }
+            "--json" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                json_path = Some(PathBuf::from(v));
+            }
+            "--regressions" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                config.regressions = Some(PathBuf::from(v));
+            }
+            "--persist" => config.persist = true,
+            _ => return usage(),
+        }
+    }
+
+    let started = Instant::now();
+    let summary = runner::run(&config);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if let Some(path) = &json_path {
+        let report = json_report(&config, &summary, elapsed);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("conformance: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match &summary.failure {
+        None => {
+            println!(
+                "conformance: {} replayed + {} generated cases passed in {elapsed:.1}s \
+                 (seed {})",
+                summary.replayed, summary.executed, config.seed
+            );
+            ExitCode::SUCCESS
+        }
+        Some(failure) => {
+            eprintln!(
+                "conformance: FAILED after {} generated cases",
+                summary.executed
+            );
+            eprintln!("  violation: {}", failure.message);
+            eprintln!("  case:      {}", failure.case);
+            if let Some(original) = &failure.shrunk_from {
+                eprintln!("  shrunk from: {original}");
+            }
+            eprintln!("  replay:    add the case line to crates/check/regressions/conformance.txt");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders the run as JSON (hand-rolled; the build is offline and the
+/// schema is four fields deep).
+fn json_report(config: &RunConfig, summary: &runner::RunSummary, elapsed: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"cases\": {},\n", config.cases));
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!("  \"replayed\": {},\n", summary.replayed));
+    out.push_str(&format!("  \"executed\": {},\n", summary.executed));
+    out.push_str(&format!("  \"elapsed_secs\": {elapsed:.3},\n"));
+    out.push_str(&format!("  \"passed\": {},\n", summary.passed()));
+    match &summary.failure {
+        None => out.push_str("  \"failure\": null\n"),
+        Some(f) => {
+            out.push_str("  \"failure\": {\n");
+            out.push_str(&format!(
+                "    \"case\": \"{}\",\n",
+                escape(&f.case.to_string())
+            ));
+            out.push_str(&format!("    \"message\": \"{}\",\n", escape(&f.message)));
+            match &f.shrunk_from {
+                None => out.push_str("    \"shrunk_from\": null\n"),
+                Some(orig) => out.push_str(&format!(
+                    "    \"shrunk_from\": \"{}\"\n",
+                    escape(&orig.to_string())
+                )),
+            }
+            out.push_str("  }\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

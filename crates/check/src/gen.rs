@@ -1,0 +1,210 @@
+//! Random case generation.
+//!
+//! The suite was designed for `proptest`-style strategies, but the
+//! offline build vendors its own RNG instead (`turnroute-rng`), so
+//! generation is a plain seeded draw from bounded choice lists. The
+//! bounds (topology sizes, windows, loads) keep a single case cheap
+//! enough that CI can afford hundreds of them; see
+//! [`ConformanceCase::validate`] for the exact envelope.
+
+use crate::case::{AlgoSpec, ConformanceCase, LengthSpec, PatternSpec, TopoSpec};
+use turnroute_rng::{Rng, RngCore, StdRng};
+use turnroute_sim::{InputSelection, OutputSelection};
+
+fn choose<T: Copy>(rng: &mut StdRng, items: &[T]) -> T {
+    items[rng.random_range(0..items.len())]
+}
+
+fn gen_topo(rng: &mut StdRng) -> TopoSpec {
+    match rng.random_range(0..4u32) {
+        // 2D meshes get double weight: most algorithms and patterns
+        // live there.
+        0 | 1 => {
+            let dims = if rng.random_bool(0.25) {
+                vec![
+                    rng.random_range(2..=3usize),
+                    rng.random_range(2..=3usize),
+                    rng.random_range(2..=3usize),
+                ]
+            } else {
+                let a = rng.random_range(2..=6usize);
+                // Square half the time so transpose patterns apply.
+                let b = if rng.random_bool(0.5) {
+                    a
+                } else {
+                    rng.random_range(2..=6usize)
+                };
+                vec![a, b]
+            };
+            TopoSpec::Mesh(dims)
+        }
+        2 => TopoSpec::Torus {
+            k: rng.random_range(3..=5usize),
+            n: rng.random_range(1..=2usize),
+        },
+        _ => TopoSpec::Hypercube(rng.random_range(2..=4usize)),
+    }
+}
+
+const ALGOS: &[AlgoSpec] = &[
+    AlgoSpec::DimensionOrder,
+    AlgoSpec::WestFirst(true),
+    AlgoSpec::WestFirst(false),
+    AlgoSpec::NorthLast(true),
+    AlgoSpec::NorthLast(false),
+    AlgoSpec::NegativeFirst(true),
+    AlgoSpec::NegativeFirst(false),
+    AlgoSpec::Abonf(true),
+    AlgoSpec::Abonf(false),
+    AlgoSpec::Abopl(true),
+    AlgoSpec::Abopl(false),
+    AlgoSpec::PCube(true),
+    AlgoSpec::PCube(false),
+    AlgoSpec::NegativeFirstTorus,
+    AlgoSpec::FirstHopWrap,
+];
+
+const PATTERNS: &[PatternSpec] = &[
+    PatternSpec::Uniform,
+    PatternSpec::Transpose,
+    PatternSpec::DiagonalTranspose,
+    PatternSpec::BitComplement,
+    PatternSpec::Tornado,
+    PatternSpec::NearestNeighbor,
+    PatternSpec::Hotspot,
+    PatternSpec::ReverseFlip,
+    PatternSpec::BitReversal,
+    PatternSpec::Shuffle,
+];
+
+/// Draws one case from `rng`. Always returns a case that passes
+/// [`ConformanceCase::validate`].
+pub fn generate_case(rng: &mut StdRng) -> ConformanceCase {
+    let topo = gen_topo(rng);
+    let algos: Vec<AlgoSpec> = ALGOS
+        .iter()
+        .copied()
+        .filter(|a| a.supports(&topo))
+        .collect();
+    let patterns: Vec<PatternSpec> = PATTERNS
+        .iter()
+        .copied()
+        .filter(|p| p.supports(&topo))
+        .collect();
+    let algo = choose(rng, &algos);
+    let pattern = choose(rng, &patterns);
+    let load = choose(rng, &[0.01, 0.02, 0.05, 0.08, 0.12]);
+    let lengths = choose(
+        rng,
+        &[
+            LengthSpec::Fixed(4),
+            LengthSpec::Fixed(16),
+            LengthSpec::Bimodal(2, 16),
+            LengthSpec::Bimodal(10, 200),
+        ],
+    );
+    let input = choose(
+        rng,
+        &[
+            InputSelection::FirstComeFirstServed,
+            InputSelection::FixedPriority,
+            InputSelection::Random,
+        ],
+    );
+    let output = choose(
+        rng,
+        &[
+            OutputSelection::LowestDimension,
+            OutputSelection::HighestDimension,
+            OutputSelection::StraightFirst,
+            OutputSelection::Random,
+        ],
+    );
+    let seed = rng.next_u64();
+    let warmup = choose(rng, &[0u64, 128, 512]);
+    let measure = choose(rng, &[256u64, 512, 1024, 2048]);
+    let threads = choose(rng, &[1usize, 2, 4]);
+    // A quarter of the cases run under a small static fault plan.
+    let mut faults = Vec::new();
+    if rng.random_bool(0.25) {
+        let channels = topo.build().num_channels();
+        if channels > 0 {
+            let want = rng.random_range(1..=3usize);
+            for _ in 0..want {
+                let c = rng.random_range(0..channels);
+                if !faults.contains(&c) {
+                    faults.push(c);
+                }
+            }
+        }
+    }
+    let case = ConformanceCase {
+        topo,
+        algo,
+        pattern,
+        load,
+        lengths,
+        input,
+        output,
+        seed,
+        warmup,
+        measure,
+        threads,
+        faults,
+    };
+    debug_assert!(case.validate().is_ok(), "{:?}", case.validate());
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_validate_and_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let case = generate_case(&mut rng);
+            case.validate().unwrap_or_else(|e| panic!("{case}: {e}"));
+            let back = ConformanceCase::parse(&case.to_string()).unwrap();
+            assert_eq!(case, back);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50)
+                .map(|_| generate_case(&mut rng).to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..50)
+                .map(|_| generate_case(&mut rng).to_string())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn the_matrix_is_covered() {
+        // Over a few hundred draws every topology family, every
+        // route-table-relevant algorithm class and faults all appear.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut mesh, mut torus, mut cube, mut faulted) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let case = generate_case(&mut rng);
+            match case.topo {
+                TopoSpec::Mesh(_) => mesh += 1,
+                TopoSpec::Torus { .. } => torus += 1,
+                TopoSpec::Hypercube(_) => cube += 1,
+            }
+            if !case.faults.is_empty() {
+                faulted += 1;
+            }
+        }
+        assert!(mesh > 50 && torus > 30 && cube > 30 && faulted > 30);
+    }
+}

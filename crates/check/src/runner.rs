@@ -1,0 +1,241 @@
+//! The conformance runner: regression replay, random generation,
+//! greedy shrinking, and counterexample persistence.
+//!
+//! This is the vendored stand-in for a `proptest` runner. A run first
+//! replays every case in the committed regression file (shrunk
+//! counterexamples live forever, like `proptest-regressions/`), then
+//! draws fresh cases from the configured seed. The first failure is
+//! shrunk by greedy first-improvement descent over a fixed candidate
+//! order and, when persistence is enabled, appended to the regression
+//! file.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::case::ConformanceCase;
+use crate::gen::generate_case;
+use crate::invariants::check_case;
+use crate::shrink::shrink_candidates;
+use turnroute_rng::StdRng;
+
+/// The committed regression file, resolved relative to this crate so
+/// the suite finds it from any working directory.
+pub fn default_regression_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions/conformance.txt")
+}
+
+/// Configuration of one conformance run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Fresh cases to generate after the regression replay.
+    pub cases: u64,
+    /// Seed for case generation.
+    pub seed: u64,
+    /// Regression file to replay first (skipped if the file is absent).
+    pub regressions: Option<PathBuf>,
+    /// Append the shrunk counterexample to the regression file on
+    /// failure.
+    pub persist: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cases: 256,
+            seed: 0xCAFE_F00D,
+            regressions: Some(default_regression_path()),
+            persist: false,
+        }
+    }
+}
+
+/// A failing case, shrunk.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The minimal failing case found.
+    pub case: ConformanceCase,
+    /// The invariant violation (or panic message) of the shrunk case.
+    pub message: String,
+    /// The originally generated case, when shrinking changed it.
+    pub shrunk_from: Option<ConformanceCase>,
+}
+
+/// What a conformance run did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Regression-file cases replayed.
+    pub replayed: u64,
+    /// Fresh cases executed (including the failing one, if any).
+    pub executed: u64,
+    /// The first failure, if the run is red. The run stops at the first
+    /// failure, proptest-style.
+    pub failure: Option<Failure>,
+}
+
+impl RunSummary {
+    /// `true` if every case passed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs `check_case` with panics (engine asserts, the prohibited-turn
+/// observer) converted into `Err` so they shrink like ordinary
+/// violations.
+pub fn run_case(case: &ConformanceCase) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| check_case(case))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Greedy first-improvement shrink: repeatedly replace the failing case
+/// with its first smaller variant that still fails, until none does.
+/// Bounded, deterministic, and tolerant of candidates that panic.
+pub fn shrink(case: &ConformanceCase, budget: u64) -> (ConformanceCase, String) {
+    let mut current = case.clone();
+    let mut message = run_case(&current).expect_err("shrink starts from a failing case");
+    let mut spent = 0u64;
+    'outer: loop {
+        for candidate in shrink_candidates(&current) {
+            if spent >= budget {
+                break 'outer;
+            }
+            if candidate.validate().is_err() {
+                continue;
+            }
+            spent += 1;
+            if let Err(msg) = run_case(&candidate) {
+                current = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, message)
+}
+
+/// Parses a regression file: one case per line, `#` comments and blank
+/// lines ignored.
+pub fn parse_regression_file(text: &str) -> Result<Vec<ConformanceCase>, String> {
+    let mut cases = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let case =
+            ConformanceCase::parse(line).map_err(|e| format!("regression line {}: {e}", i + 1))?;
+        cases.push(case);
+    }
+    Ok(cases)
+}
+
+/// Runs the suite: regression replay, then `cases` fresh draws.
+pub fn run(config: &RunConfig) -> RunSummary {
+    let mut replayed = 0u64;
+    if let Some(path) = &config.regressions {
+        if let Ok(text) = fs::read_to_string(path) {
+            let cases = parse_regression_file(&text)
+                .unwrap_or_else(|e| panic!("unparseable regression file {}: {e}", path.display()));
+            for case in cases {
+                replayed += 1;
+                if let Err(message) = run_case(&case) {
+                    // Regression entries are already shrunk; report
+                    // directly.
+                    return RunSummary {
+                        replayed,
+                        executed: 0,
+                        failure: Some(Failure {
+                            case,
+                            message,
+                            shrunk_from: None,
+                        }),
+                    };
+                }
+            }
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut executed = 0u64;
+    for _ in 0..config.cases {
+        let case = generate_case(&mut rng);
+        executed += 1;
+        if run_case(&case).is_err() {
+            let (shrunk, message) = shrink(&case, 300);
+            let shrunk_from = (shrunk != case).then(|| case.clone());
+            if config.persist {
+                if let Some(path) = &config.regressions {
+                    persist_failure(path, &shrunk, &message);
+                }
+            }
+            return RunSummary {
+                replayed,
+                executed,
+                failure: Some(Failure {
+                    case: shrunk,
+                    message,
+                    shrunk_from,
+                }),
+            };
+        }
+    }
+    RunSummary {
+        replayed,
+        executed,
+        failure: None,
+    }
+}
+
+/// Appends the shrunk counterexample (with its violation as a comment)
+/// to the regression file, creating it if needed.
+fn persist_failure(path: &Path, case: &ConformanceCase, message: &str) {
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    let comment = message.replace('\n', " / ");
+    let entry = format!("# {comment}\n{case}\n");
+    if !existing.contains(&case.to_string()) {
+        let _ = fs::write(path, existing + &entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_committed_regression_file_parses() {
+        let path = default_regression_path();
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let cases = parse_regression_file(&text).unwrap();
+        assert!(!cases.is_empty(), "regression file should seed the replay");
+        for case in &cases {
+            case.validate().unwrap_or_else(|e| panic!("{case}: {e}"));
+        }
+    }
+
+    #[test]
+    fn a_tiny_run_is_green() {
+        let summary = run(&RunConfig {
+            cases: 2,
+            seed: 1,
+            regressions: None,
+            persist: false,
+        });
+        assert!(summary.passed(), "{:?}", summary.failure);
+        assert_eq!(summary.executed, 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shrink-candidate enumeration for failing cases.
+//!
+//! Candidates are ordered most-aggressive-first so greedy descent
+//! removes whole axes (faults, threads, RNG-consuming policies) before
+//! nibbling at sizes. The algorithm is deliberately never shrunk: it is
+//! the subject under test, and a counterexample that silently switched
+//! algorithms would mislead whoever debugs it.
+
+use crate::case::{ConformanceCase, LengthSpec, PatternSpec, TopoSpec};
+use turnroute_sim::{InputSelection, OutputSelection};
+
+/// Smaller variants of `case`, most aggressive first. Candidates may be
+/// invalid (the caller filters through
+/// [`validate`](ConformanceCase::validate)) and are all distinct from
+/// `case`.
+pub fn shrink_candidates(case: &ConformanceCase) -> Vec<ConformanceCase> {
+    let mut out = Vec::new();
+    let mut push = |c: ConformanceCase| {
+        if c != *case {
+            out.push(c);
+        }
+    };
+
+    // Drop faults entirely, then one at a time.
+    if !case.faults.is_empty() {
+        let mut c = case.clone();
+        c.faults.clear();
+        push(c);
+        for i in 0..case.faults.len() {
+            let mut c = case.clone();
+            c.faults.remove(i);
+            push(c);
+        }
+    }
+
+    // Collapse the executor to one worker.
+    if case.threads > 1 {
+        let mut c = case.clone();
+        c.threads = 1;
+        push(c);
+    }
+
+    // Replace RNG-consuming policies with deterministic ones.
+    if case.output != OutputSelection::LowestDimension {
+        let mut c = case.clone();
+        c.output = OutputSelection::LowestDimension;
+        push(c);
+    }
+    if case.input != InputSelection::FirstComeFirstServed {
+        let mut c = case.clone();
+        c.input = InputSelection::FirstComeFirstServed;
+        push(c);
+    }
+
+    // Simplify the traffic pattern.
+    if case.pattern != PatternSpec::Uniform {
+        let mut c = case.clone();
+        c.pattern = PatternSpec::Uniform;
+        push(c);
+    }
+
+    // Shorten the run.
+    if case.warmup > 0 {
+        let mut c = case.clone();
+        c.warmup = 0;
+        push(c);
+    }
+    if case.measure > 128 {
+        let mut c = case.clone();
+        c.measure = (case.measure / 2).max(128);
+        push(c);
+    }
+
+    // Lighten the traffic.
+    if case.load > 0.01 {
+        let mut c = case.clone();
+        c.load = (case.load / 2.0).max(0.01);
+        push(c);
+    }
+    match case.lengths {
+        LengthSpec::Fixed(l) if l > 1 => {
+            let mut c = case.clone();
+            c.lengths = LengthSpec::Fixed((l / 2).max(1));
+            push(c);
+        }
+        LengthSpec::Bimodal(_, _) => {
+            let mut c = case.clone();
+            c.lengths = LengthSpec::Fixed(4);
+            push(c);
+        }
+        _ => {}
+    }
+
+    // Shrink the topology (fault indices may go out of range; the
+    // validity filter drops those candidates).
+    match &case.topo {
+        TopoSpec::Mesh(dims) => {
+            for i in 0..dims.len() {
+                if dims[i] > 2 {
+                    let mut c = case.clone();
+                    let TopoSpec::Mesh(d) = &mut c.topo else {
+                        unreachable!()
+                    };
+                    d[i] -= 1;
+                    push(c);
+                }
+            }
+            if dims.len() > 1 {
+                let mut c = case.clone();
+                let TopoSpec::Mesh(d) = &mut c.topo else {
+                    unreachable!()
+                };
+                d.pop();
+                push(c);
+            }
+        }
+        TopoSpec::Torus { k, n } => {
+            if *k > 3 {
+                let mut c = case.clone();
+                c.topo = TopoSpec::Torus { k: k - 1, n: *n };
+                push(c);
+            }
+            if *n > 1 {
+                let mut c = case.clone();
+                c.topo = TopoSpec::Torus { k: *k, n: n - 1 };
+                push(c);
+            }
+        }
+        TopoSpec::Hypercube(n) => {
+            if *n > 1 {
+                let mut c = case.clone();
+                c.topo = TopoSpec::Hypercube(n - 1);
+                push(c);
+            }
+        }
+    }
+
+    // Canonicalize the seed last: many failures are seed-independent,
+    // and seed 0 makes the counterexample easier to talk about.
+    if case.seed != 0 {
+        let mut c = case.clone();
+        c.seed = 0;
+        push(c);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::AlgoSpec;
+    use turnroute_sim::{InputSelection, OutputSelection};
+
+    fn big_case() -> ConformanceCase {
+        ConformanceCase {
+            topo: TopoSpec::Mesh(vec![6, 6]),
+            algo: AlgoSpec::NegativeFirst(false),
+            pattern: PatternSpec::Transpose,
+            load: 0.08,
+            lengths: LengthSpec::Bimodal(10, 200),
+            input: InputSelection::Random,
+            output: OutputSelection::Random,
+            seed: 99,
+            warmup: 512,
+            measure: 2048,
+            threads: 4,
+            faults: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn candidates_are_distinct_and_smaller_on_some_axis() {
+        let case = big_case();
+        let candidates = shrink_candidates(&case);
+        assert!(candidates.len() > 10);
+        for c in &candidates {
+            assert_ne!(c, &case);
+        }
+    }
+
+    #[test]
+    fn algorithm_is_never_shrunk() {
+        for c in shrink_candidates(&big_case()) {
+            assert_eq!(c.algo, AlgoSpec::NegativeFirst(false));
+        }
+    }
+
+    #[test]
+    fn a_minimal_case_offers_few_or_no_candidates() {
+        let case = ConformanceCase {
+            topo: TopoSpec::Mesh(vec![2, 2]),
+            algo: AlgoSpec::DimensionOrder,
+            pattern: PatternSpec::Uniform,
+            load: 0.01,
+            lengths: LengthSpec::Fixed(1),
+            input: InputSelection::FirstComeFirstServed,
+            output: OutputSelection::LowestDimension,
+            seed: 0,
+            warmup: 0,
+            measure: 128,
+            threads: 1,
+            faults: vec![],
+        };
+        let candidates = shrink_candidates(&case);
+        // Only the mesh-to-1D collapse remains ([2] is a valid 1D mesh).
+        assert!(candidates.len() <= 1, "{candidates:?}");
+    }
+}

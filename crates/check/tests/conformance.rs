@@ -1,0 +1,45 @@
+//! The debug-profile conformance smoke: replays the committed
+//! regression corpus and a bounded batch of generated cases. The
+//! release soak (`cargo run --release -p turnroute-check --bin
+//! conformance`) covers the full 256-case budget; this keeps `cargo
+//! test` fast while still exercising every invariant end to end.
+
+use turnroute_check::runner::{run, RunConfig};
+
+/// Case budget for the debug smoke, overridable via `CONFORMANCE_CASES`.
+fn case_budget() -> u64 {
+    std::env::var("CONFORMANCE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+#[test]
+fn regression_corpus_and_generated_cases_pass() {
+    let config = RunConfig {
+        cases: case_budget(),
+        seed: 0xCAFE_F00D,
+        ..RunConfig::default()
+    };
+    let summary = run(&config);
+    if let Some(failure) = &summary.failure {
+        panic!(
+            "conformance failure after {} replayed + {} generated cases\n  violation: {}\n  \
+             case: {}\n  shrunk from: {}",
+            summary.replayed,
+            summary.executed,
+            failure.message,
+            failure.case,
+            failure
+                .shrunk_from
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "(already minimal)".into()),
+        );
+    }
+    assert_eq!(summary.executed, config.cases);
+    assert!(
+        summary.replayed >= 8,
+        "regression corpus should be replayed"
+    );
+}

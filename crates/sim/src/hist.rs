@@ -318,6 +318,76 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = LatencyHistogram::from_values(&[1, 64, 4_096]);
+        let b = LatencyHistogram::from_values(&[2, 128, 1_000_000]);
+        let c = LatencyHistogram::from_values(&[0, 63, 65_537]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut state = 0xFEED_FACEu64;
+        let values: Vec<u64> = (0..2_000)
+            .map(|_| {
+                turnroute_rng::split_mix_64(&mut state);
+                state % 1_000_000
+            })
+            .collect();
+        let h = LatencyHistogram::from_values(&values);
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(
+                v >= prev,
+                "quantile({q}) = {v} < quantile of smaller q = {prev}"
+            );
+            prev = v;
+        }
+        // The extremes are exact to within their buckets: q = 1 clamps
+        // to the observed max, q = 0 returns the min's bucket bound.
+        assert_eq!(h.quantile(1.0), h.max());
+        let (low, high) = LatencyHistogram::bucket_bounds_of(h.min().unwrap());
+        let q0 = h.quantile(0.0).unwrap();
+        assert!(q0 >= low && q0 <= high, "q0 {q0} outside [{low}, {high}]");
+    }
+
+    #[test]
+    fn merged_quantiles_match_concatenated_within_bucket_error() {
+        let a_vals: Vec<u64> = (0..800).map(|i| i * 31 % 200_000).collect();
+        let b_vals: Vec<u64> = (0..600).map(|i| i * 17 % 5_000).collect();
+        let mut merged = LatencyHistogram::from_values(&a_vals);
+        merged.merge(&LatencyHistogram::from_values(&b_vals));
+
+        let mut all = a_vals;
+        all.extend(b_vals);
+        all.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let exact = all[((all.len() - 1) as f64 * q).round() as usize];
+            let approx = merged.quantile(q).unwrap();
+            let (low, high) = LatencyHistogram::bucket_bounds_of(exact);
+            assert!(
+                approx >= low && approx <= high,
+                "q={q}: merged quantile {approx} outside exact bucket [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
     fn equality_tracks_recorded_values() {
         let a = LatencyHistogram::from_values(&[1, 2, 3]);
         let b = LatencyHistogram::from_values(&[1, 2, 3]);

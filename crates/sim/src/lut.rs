@@ -316,6 +316,69 @@ mod tests {
     }
 
     #[test]
+    fn boundary_nodes_index_correctly() {
+        // Corner-to-corner lookups exercise both extremes of the
+        // `(node * N + dst) * S + slot` arithmetic: node 0 with dst 0
+        // hits entry 0, and the last node to the last destination with
+        // the highest arrival slot hits the final entry.
+        let mesh = Mesh::new_2d(5, 4);
+        let algo = NegativeFirst::minimal();
+        let table = RouteTable::build(&mesh, &algo).unwrap();
+        let n = mesh.num_nodes();
+        let corners = [
+            NodeId::new(0),     // (0, 0)
+            NodeId::new(4),     // (4, 0)
+            NodeId::new(15),    // (0, 3)
+            NodeId::new(n - 1), // (4, 3)
+        ];
+        for &src in &corners {
+            for &dst in &corners {
+                if src == dst {
+                    assert!(table.lookup(src, dst, None).is_empty());
+                    continue;
+                }
+                assert_eq!(
+                    table.lookup(src, dst, None),
+                    algo.route(&mesh, src, dst, None),
+                    "corner {src:?} -> corner {dst:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_entry_of_the_table_is_reachable_and_correct() {
+        // On a 1D mesh the highest-index state — last node, last
+        // destination, arrived over the highest direction index — is
+        // relation-reachable: node k-2 -> k-1 arriving over +d0.
+        let mesh = Mesh::new(vec![6]);
+        let algo = DimensionOrder::new();
+        let table = RouteTable::build(&mesh, &algo).unwrap();
+        let node = NodeId::new(4);
+        let dst = NodeId::new(5);
+        let arrived = Some(Direction::plus(0)); // index 1 = 2n - 1 for n = 1
+        assert_eq!(
+            table.lookup(node, dst, arrived),
+            algo.route(&mesh, node, dst, arrived)
+        );
+        // And the max-arrival slot at the max node pair on a 2D mesh:
+        // node 14 = (4, 2) forwarding north to dst 19 = (4, 3).
+        let mesh = Mesh::new_2d(5, 4);
+        let algo = NegativeFirst::minimal();
+        let table = RouteTable::build(&mesh, &algo).unwrap();
+        let node = NodeId::new(mesh.num_nodes() - 1);
+        let dst = NodeId::new(mesh.num_nodes() - 1);
+        assert!(table.lookup(node, dst, None).is_empty());
+        let under = NodeId::new(14);
+        let top = NodeId::new(19);
+        let north = Some(Direction::NORTH); // highest arrival slot in 2D
+        assert_eq!(
+            table.lookup(under, top, north),
+            algo.route(&mesh, under, top, north)
+        );
+    }
+
+    #[test]
     fn memory_formula_is_exact() {
         let mesh = Mesh::new_2d(16, 16);
         let table = RouteTable::build(&mesh, &WestFirst::minimal()).unwrap();

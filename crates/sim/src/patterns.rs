@@ -31,6 +31,11 @@ impl TrafficPattern for Uniform {
 
     fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_nodes();
+        if n < 2 {
+            // A single-node network has no valid destination; consume no
+            // randomness so degenerate runs stay deterministic.
+            return None;
+        }
         let mut pick = rng.random_range(0..n - 1);
         if pick >= src.index() {
             pick += 1;
@@ -332,6 +337,16 @@ mod tests {
             seen.insert(d);
         }
         assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn uniform_on_a_single_node_returns_none_without_drawing() {
+        let point = Mesh::new(vec![1, 1]);
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(Uniform.dest(&point, NodeId::new(0), &mut a), None);
+        // No randomness was consumed: both streams still agree.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -21,15 +21,22 @@ impl Cartesian {
     ///
     /// # Panics
     ///
-    /// Panics if `dims` is empty, any radix is < 2, or there are more than
-    /// 16 dimensions (the [`DirSet`] limit).
+    /// Panics if `dims` is empty, any radix is 0, any wrapped radix is
+    /// < 3 (a k < 3 ring degenerates to duplicate or self channels), or
+    /// there are more than 16 dimensions (the [`DirSet`] limit). A
+    /// radix-1 unwrapped dimension is legal and simply has no channels —
+    /// it makes degenerate shapes like a 1×k mesh expressible.
     pub(crate) fn new(dims: Vec<usize>, wrap: Vec<bool>) -> Self {
         assert!(!dims.is_empty(), "topology needs at least one dimension");
         assert!(dims.len() <= 16, "at most 16 dimensions are supported");
         assert_eq!(dims.len(), wrap.len());
         assert!(
-            dims.iter().all(|&k| k >= 2),
-            "every radix must be at least 2"
+            dims.iter().all(|&k| k >= 1),
+            "every radix must be at least 1"
+        );
+        assert!(
+            dims.iter().zip(&wrap).all(|(&k, &w)| !w || k >= 3),
+            "wrapped dimensions need radix at least 3"
         );
         assert!(
             dims.iter().all(|&k| k <= u16::MAX as usize),
@@ -304,8 +311,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "radix must be at least 2")]
-    fn rejects_radix_one() {
-        let _ = Cartesian::new(vec![1, 4], vec![false, false]);
+    #[should_panic(expected = "radix must be at least 1")]
+    fn rejects_radix_zero() {
+        let _ = Cartesian::new(vec![0, 4], vec![false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrapped dimensions need radix at least 3")]
+    fn rejects_wrapped_radix_two() {
+        let _ = Cartesian::new(vec![2], vec![true]);
+    }
+
+    #[test]
+    fn radix_one_dimension_is_a_degenerate_line() {
+        // A 1x4 "mesh" is a 4-node line: the extent-1 dimension
+        // contributes no channels and no distance.
+        let g = Cartesian::new(vec![1, 4], vec![false, false]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.channels().len(), 6); // 2 * (4 - 1) along dim 1
+        assert!(g
+            .channels()
+            .iter()
+            .all(|c| c.dir.dim() == 1 && !c.wraparound));
+        assert_eq!(g.distance(NodeId::new(0), NodeId::new(3)), 3);
+        // The single-node degenerate case: no channels at all.
+        let point = Cartesian::new(vec![1, 1], vec![false, false]);
+        assert_eq!(point.num_nodes(), 1);
+        assert!(point.channels().is_empty());
     }
 }

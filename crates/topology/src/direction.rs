@@ -445,6 +445,32 @@ mod tests {
     }
 
     #[test]
+    fn dirset_bits_round_trip() {
+        // Every subset of a 4D direction space survives the bits
+        // round-trip (route tables store the raw bitset).
+        for bits in 0u32..(1 << 8) {
+            let set = DirSet::from_bits(bits);
+            assert_eq!(set.bits(), bits);
+            assert_eq!(DirSet::from_bits(set.bits()), set);
+            let rebuilt: DirSet = set.iter().collect();
+            assert_eq!(rebuilt, set, "iteration must preserve membership");
+        }
+        // The extremes of the full 16-dimension space.
+        assert_eq!(DirSet::from_bits(0), DirSet::new());
+        assert_eq!(DirSet::from_bits(u32::MAX), DirSet::all(16));
+        assert_eq!(DirSet::all(16).bits(), u32::MAX);
+    }
+
+    #[test]
+    fn dirset_bits_match_direction_indices() {
+        for dir in Direction::all(16) {
+            let mut set = DirSet::new();
+            set.insert(dir);
+            assert_eq!(set.bits(), 1 << dir.index());
+        }
+    }
+
+    #[test]
     fn dirset_display() {
         let set: DirSet = [Direction::WEST, Direction::NORTH].into_iter().collect();
         assert_eq!(set.to_string(), "{-d0,+d1}");

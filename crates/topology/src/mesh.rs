@@ -26,11 +26,14 @@ pub struct Mesh {
 
 impl Mesh {
     /// Creates an n-dimensional mesh with the given per-dimension radixes.
+    /// An extent-1 dimension is legal and degenerate (it contributes no
+    /// channels), so shapes like `1×k` describe a k-node line and `1×1`
+    /// a single node.
     ///
     /// # Panics
     ///
     /// Panics if `dims` is empty, has more than 16 dimensions, or any
-    /// radix is less than 2.
+    /// radix is 0.
     pub fn new(dims: Vec<usize>) -> Self {
         let wrap = vec![false; dims.len()];
         Mesh {

@@ -19,4 +19,8 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --no-run --quiet
 
+echo "==> conformance soak (256 cases, fixed seed)"
+cargo run --release -q -p turnroute-check --bin conformance -- \
+  --cases 256 --seed 3405705229 --json target/conformance.json
+
 echo "All checks passed."

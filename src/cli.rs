@@ -64,8 +64,8 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, ParseSpecError> {
                 .split('x')
                 .map(|p| p.parse().map_err(|_| err(format!("bad mesh extent '{p}'"))))
                 .collect::<Result<_, _>>()?;
-            if dims.is_empty() || dims.iter().any(|&k| k < 2) {
-                return Err(err("mesh extents must all be at least 2"));
+            if dims.is_empty() || dims.iter().any(|&k| k < 1) {
+                return Err(err("mesh extents must all be at least 1"));
             }
             Ok(Box::new(Mesh::new(dims)))
         }
@@ -318,13 +318,17 @@ mod tests {
         assert_eq!(parse_topology("torus:8,2").unwrap().num_nodes(), 64);
         assert_eq!(parse_topology("hypercube:8").unwrap().num_nodes(), 256);
         assert_eq!(parse_topology("hex:6x5").unwrap().num_nodes(), 30);
+        // Degenerate meshes are legal: a 1xk mesh is a k-node line and
+        // 1x1 a single node.
+        assert_eq!(parse_topology("mesh:1x4").unwrap().num_nodes(), 4);
+        assert_eq!(parse_topology("mesh:1x1").unwrap().num_nodes(), 1);
     }
 
     #[test]
     fn bad_topologies_are_rejected_with_messages() {
         for bad in [
             "mesh",
-            "mesh:1x4",
+            "mesh:0x4",
             "torus:2,2",
             "hypercube:0",
             "hex:6",
@@ -335,6 +339,14 @@ mod tests {
                 Ok(_) => panic!("'{bad}' should not parse"),
             }
         }
+    }
+
+    #[test]
+    fn two_ary_torus_rejection_points_at_hypercube() {
+        let Err(e) = parse_topology("torus:2,3") else {
+            panic!("torus:2,3 should not parse");
+        };
+        assert!(e.to_string().contains("hypercube"), "{e}");
     }
 
     #[test]
