@@ -16,7 +16,7 @@ use turnroute_sim::{SimConfig, SweepSeries};
 const LOADS: &[f64] = &[0.01, 0.02, 0.04, 0.08, 0.12, 0.18];
 
 fn spec(pattern: &str) -> ExperimentSpec {
-    ExperimentSpec::new("mesh:16x16", pattern)
+    ExperimentSpec::builder("mesh:16x16", pattern)
         .algorithm("xy")
         .algorithm("west-first")
         .algorithm("north-last")
@@ -28,6 +28,8 @@ fn spec(pattern: &str) -> ExperimentSpec {
                 .measure_cycles(4_000)
                 .seed(9),
         )
+        .build()
+        .expect("a static bench spec resolves")
 }
 
 fn run_grid(threads: usize) -> Vec<SweepSeries> {

@@ -11,12 +11,14 @@ use turnroute_bench::{run_spec, RunArgs, MESH_LOADS};
 
 fn main() {
     let args = RunArgs::from_args();
-    let spec = ExperimentSpec::new("mesh:16x16", "uniform")
+    let spec = ExperimentSpec::builder("mesh:16x16", "uniform")
         .algorithm_as("xy", "xy")
         .algorithm("west-first")
         .algorithm("north-last")
         .algorithm("negative-first")
         .loads(MESH_LOADS)
-        .config(args.scale.config());
+        .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves");
     run_spec("Figure 13: uniform traffic", &spec, args);
 }

@@ -10,12 +10,14 @@ use turnroute_bench::{run_spec, RunArgs, CUBE_LOADS};
 
 fn main() {
     let args = RunArgs::from_args();
-    let spec = ExperimentSpec::new("hypercube:8", "hypercube-transpose")
+    let spec = ExperimentSpec::builder("hypercube:8", "hypercube-transpose")
         .algorithm_as("e-cube", "e-cube")
         .algorithm("abonf")
         .algorithm("abopl")
         .algorithm_as("negative-first", "p-cube")
         .loads(CUBE_LOADS)
-        .config(args.scale.config());
+        .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves");
     run_spec("Figure 15: matrix-transpose traffic", &spec, args);
 }

@@ -11,12 +11,14 @@ use turnroute_bench::{run_spec, RunArgs, CUBE_LOADS};
 
 fn main() {
     let args = RunArgs::from_args();
-    let spec = ExperimentSpec::new("hypercube:8", "reverse-flip")
+    let spec = ExperimentSpec::builder("hypercube:8", "reverse-flip")
         .algorithm_as("e-cube", "e-cube")
         .algorithm("abonf")
         .algorithm("abopl")
         .algorithm_as("negative-first", "p-cube")
         .loads(CUBE_LOADS)
-        .config(args.scale.config());
+        .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves");
     run_spec("Figure 16: reverse-flip traffic", &spec, args);
 }

@@ -10,11 +10,13 @@ fn main() {
     // Node 136 is the center (8, 8) of the 16x16 mesh. The hot node's
     // ejection channel caps total throughput early; sweep low loads
     // where the interesting differences live.
-    let spec = ExperimentSpec::new("mesh:16x16", "hotspot:136,10")
+    let spec = ExperimentSpec::builder("mesh:16x16", "hotspot:136,10")
         .algorithm_as("xy", "xy")
         .algorithm("west-first")
         .algorithm("negative-first")
         .loads(&[0.005, 0.01, 0.015, 0.02, 0.03, 0.04, 0.06])
-        .config(args.scale.config());
+        .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves");
     run_spec("Hot-spot traffic (10% to the center)", &spec, args);
 }

@@ -15,13 +15,15 @@ fn main() {
     let specs: Vec<ExperimentSpec> = ["uniform", "transpose", "diagonal-transpose"]
         .into_iter()
         .map(|pattern| {
-            ExperimentSpec::new("mesh:16x16", pattern)
+            ExperimentSpec::builder("mesh:16x16", pattern)
                 .algorithm_as("xy", "xy")
                 .algorithm("negative-first")
                 .algorithm("mad-y")
                 .loads(MESH_LOADS)
                 .config(args.scale.config())
                 .engine(Engine::VirtualChannel)
+                .build()
+                .expect("a static regenerator spec resolves")
         })
         .collect();
     run_specs("mad-y comparison on mesh:16x16", &specs, args);

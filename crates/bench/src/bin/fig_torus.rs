@@ -9,13 +9,15 @@ use turnroute_bench::{run_spec, RunArgs};
 
 fn main() {
     let args = RunArgs::from_args();
-    let spec = ExperimentSpec::new("torus:8,2", "uniform")
+    let spec = ExperimentSpec::builder("torus:8,2", "uniform")
         .algorithm("negative-first-torus")
         .algorithm_as("first-hop-wrap", "first-hop-wrap")
         .algorithm_as("dateline (2 lanes)", "dateline")
         .loads(&[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40])
         .config(args.scale.config())
-        .engine(Engine::VirtualChannel);
+        .engine(Engine::VirtualChannel)
+        .build()
+        .expect("a static regenerator spec resolves");
     run_spec("torus routing, uniform traffic", &spec, args);
     eprintln!("# The dateline scheme's hop counts equal the torus distance (minimal);");
     eprintln!("# the channel-free algorithms pay extra hops for deadlock freedom.");

@@ -20,22 +20,26 @@ fn best(series: &[SweepSeries]) -> Vec<(String, f64)> {
 }
 
 fn mesh_spec(pattern: &str, args: RunArgs) -> ExperimentSpec {
-    ExperimentSpec::new("mesh:16x16", pattern)
+    ExperimentSpec::builder("mesh:16x16", pattern)
         .algorithm_as("xy", "xy")
         .algorithm("west-first")
         .algorithm("negative-first")
         .loads(MESH_LOADS)
         .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves")
 }
 
 fn cube_spec(pattern: &str, args: RunArgs) -> ExperimentSpec {
-    ExperimentSpec::new("hypercube:8", pattern)
+    ExperimentSpec::builder("hypercube:8", pattern)
         .algorithm_as("e-cube", "e-cube")
         .algorithm("abonf")
         .algorithm("abopl")
         .algorithm_as("negative-first", "p-cube")
         .loads(CUBE_LOADS)
         .config(args.scale.config())
+        .build()
+        .expect("a static regenerator spec resolves")
 }
 
 fn main() {

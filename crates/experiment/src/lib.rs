@@ -1,0 +1,31 @@
+//! The experiment layer of the turnroute workspace: everything between
+//! "a string description of an experiment" and "a running sweep".
+//!
+//! This crate owns three things:
+//!
+//! * [`cli`] — the specification parsers (`mesh:16x16`, `west-first`,
+//!   `hotspot:120,10`, `chan:17@5..9`) shared by the `turnroute`
+//!   command line, the experiment builder, and the job server;
+//! * [`spec`] — the [`ExperimentSpec`] API: a validating builder, a
+//!   typed [`SpecError`], a canonical JSON wire format that rejects
+//!   unknown fields, and a content fingerprint used as the
+//!   content-addressed result-store key by `turnroute-serve`;
+//! * [`json`] — a minimal dependency-free JSON reader/writer backing
+//!   the wire format (and reused by the server for request bodies).
+//!
+//! Both the CLI and the HTTP API route through [`ExperimentSpec`]'s
+//! builder, so a malformed submission fails with a typed error at the
+//! boundary instead of a panic deep in the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod json;
+pub mod spec;
+
+pub use cli::ParseSpecError;
+pub use spec::{
+    AlgorithmSpec, Engine, Experiment, ExperimentSpec, ExperimentSpecBuilder, SpecError,
+    DEFAULT_FAULT_SEED, SPEC_SCHEMA_VERSION,
+};

@@ -1,0 +1,98 @@
+//! A thin blocking HTTP client for the `/v1` API.
+//!
+//! Backs the `turnroute submit`/`status`/`fetch` subcommands and the
+//! integration tests. One request per connection, mirroring the
+//! server's `Connection: close` discipline.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Sends one `method` request for `path` to `addr` (a `host:port`
+/// string) and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Fails on connection or transport errors; HTTP-level errors come
+/// back as their status code, not as `Err`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated response headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok((status, body))
+}
+
+/// `POST /v1/jobs` with the spec JSON. Returns `(status, body)`.
+pub fn submit(addr: &str, spec_json: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "POST", "/v1/jobs", Some(spec_json.as_bytes()))
+}
+
+/// `GET /v1/jobs/{id}`.
+pub fn status(addr: &str, job_id: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "GET", &format!("/v1/jobs/{job_id}"), None)
+}
+
+/// `GET /v1/jobs/{id}/result`.
+pub fn fetch(addr: &str, job_id: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "GET", &format!("/v1/jobs/{job_id}/result"), None)
+}
+
+/// `DELETE /v1/jobs/{id}`.
+pub fn cancel(addr: &str, job_id: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "DELETE", &format!("/v1/jobs/{job_id}"), None)
+}
+
+/// `GET /v1/cache/stats`.
+pub fn cache_stats(addr: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "GET", "/v1/cache/stats", None)
+}

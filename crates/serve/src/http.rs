@@ -1,0 +1,156 @@
+//! A minimal, dependency-free HTTP/1.1 reader and writer.
+//!
+//! The workspace is deliberately std-only, so the job server speaks
+//! HTTP through this module instead of a framework. Scope is exactly
+//! what the `/v1` API needs: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only (no chunked
+//! transfer), and JSON payloads.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// The largest request body the server accepts, in bytes. Experiment
+/// specs are small; anything bigger is a mistake or abuse.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, `DELETE`, ...), uppercase.
+    pub method: String,
+    /// The request path, query string stripped.
+    pub path: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Carries the HTTP status the
+/// connection handler should answer with.
+#[derive(Debug)]
+pub struct RequestError {
+    /// The status code to respond with.
+    pub status: u16,
+    /// A human-readable reason, sent in the JSON error payload.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        RequestError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Returns `Ok(Err(_))` for malformed or over-limit requests (answer
+/// with the carried status) and `Err(_)` for transport failures (drop
+/// the connection).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, RequestError>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a request line",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(Err(RequestError::new(400, "malformed request line")));
+    };
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length: usize = 0;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(Err(RequestError::new(400, "truncated headers")));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err(RequestError::new(400, "bad Content-Length"))),
+                };
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(RequestError::new(
+            413,
+            format!("body exceeds {MAX_BODY_BYTES} bytes"),
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Ok(Request { method, path, body }))
+}
+
+/// One HTTP response; the body is always `application/json`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with `status` and a JSON `body`.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// The standard error payload:
+    /// `{"error": {"kind": ..., "message": ...}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        let body = format!(
+            "{{\"error\":{{\"kind\":{},\"message\":{}}}}}\n",
+            turnroute_experiment::json::escape(kind),
+            turnroute_experiment::json::escape(message),
+        );
+        Response::json(status, body.into_bytes())
+    }
+}
+
+/// The reason phrase for the status codes the API uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes `response` to `stream` and flushes. Every response closes
+/// the connection.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}

@@ -1,0 +1,34 @@
+//! Sweep-as-a-service: a persistent, headless job server over the
+//! turnroute executor.
+//!
+//! The one-shot CLI pays full recompute for every query even though
+//! results are deterministic and fingerprinted. This crate turns the
+//! simulator into a shared service:
+//!
+//! * [`server`] — the HTTP/JSON API: `POST /v1/jobs` submits an
+//!   [`turnroute_experiment::ExperimentSpec`], `GET /v1/jobs/{id}`
+//!   polls status with per-cell progress, `GET /v1/jobs/{id}/result`
+//!   returns the versioned report, plus `GET /v1/healthz` and
+//!   `GET /v1/cache/stats`;
+//! * [`store`] — the content-addressed on-disk result store, keyed by
+//!   [`turnroute_experiment::ExperimentSpec::fingerprint`] (which folds
+//!   in fault-plan identity) so identical specs are served from disk
+//!   byte-identically with zero engine cycles;
+//! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer (the
+//!   workspace is std-only by design);
+//! * [`client`] — the thin blocking client used by the `turnroute
+//!   submit`/`status`/`fetch` subcommands and the integration tests.
+//!
+//! Duplicate in-flight submissions coalesce onto one running job; a
+//! corrupted store entry is detected by its fingerprint and recomputed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use server::{ServeOptions, Server, ServerHandle};
+pub use store::{ResultStore, StoreLookup};

@@ -1,0 +1,495 @@
+//! The job server: an HTTP/JSON API over the deterministic executor.
+//!
+//! # Job lifecycle
+//!
+//! `POST /v1/jobs` validates the submitted spec at the boundary
+//! (typed [`SpecError`] → 4xx), computes its content key, and then:
+//!
+//! * **store hit** — the key is already on disk: the job is born
+//!   `done` and `cached`, and `/result` serves the stored bytes with
+//!   zero engine cycles;
+//! * **coalesce** — an identical spec is already queued or running:
+//!   the submission returns that job's id instead of enqueueing a
+//!   duplicate;
+//! * **enqueue** — otherwise the job enters the queue and a single
+//!   background runner executes it on a fresh [`Executor`] wired to an
+//!   [`ExecProgress`] surface, so `GET /v1/jobs/{id}` reports live
+//!   per-cell progress and `DELETE /v1/jobs/{id}` cancels.
+//!
+//! # Cache keying
+//!
+//! The store key is [`ExperimentSpec::fingerprint`] (which already
+//! folds in fault-plan identity and the full engine configuration)
+//! suffixed with [`REPORT_SCHEMA_VERSION`], so bumping the report
+//! schema can never serve stale-schema bytes. Results are serialized
+//! once, through the same [`report::write_report_json`] the CLI uses —
+//! a server result is byte-identical to the CLI's `--format json` for
+//! the same experiment.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::http::{read_request, write_response, Request, Response};
+use crate::store::{ResultStore, StoreLookup};
+use turnroute_experiment::json::escape;
+use turnroute_experiment::{ExperimentSpec, SpecError};
+use turnroute_sim::report::{self, REPORT_SCHEMA_VERSION};
+use turnroute_sim::{ExecProgress, Executor};
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory of the content-addressed result store.
+    pub store_dir: PathBuf,
+    /// Worker threads per job's executor.
+    pub threads: usize,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct Job {
+    key: String,
+    spec: ExperimentSpec,
+    status: JobStatus,
+    progress: Arc<ExecProgress>,
+    /// `true` if the submission was answered straight from the store.
+    cached: bool,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: HashMap<String, Job>,
+    /// Content key → job id, for coalescing in-flight duplicates.
+    inflight: HashMap<String, String>,
+    queue: VecDeque<String>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// Service counters, exposed at `GET /v1/cache/stats`. All monotonic
+/// over the server's lifetime.
+#[derive(Default)]
+struct Counters {
+    jobs_submitted: AtomicU64,
+    coalesced: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    corrupt_detected: AtomicU64,
+    /// Cells the engine actually simulated (speculation included);
+    /// stays flat across store hits — the acceptance proof that cached
+    /// submissions cost zero engine cycles.
+    engine_cells_simulated: AtomicU64,
+}
+
+struct State {
+    store: ResultStore,
+    threads: usize,
+    inner: Mutex<Inner>,
+    wake_runner: Condvar,
+    counters: Counters,
+}
+
+/// The job server. Construct with [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// A running server: its bound address plus the shutdown handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    runner_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), opens
+    /// the result store, and starts the accept loop and the job
+    /// runner.
+    pub fn start(addr: &str, options: ServeOptions) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(State {
+            store: ResultStore::open(&options.store_dir)?,
+            threads: options.threads.max(1),
+            inner: Mutex::new(Inner::default()),
+            wake_runner: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_state = state.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let state = accept_state.clone();
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+        });
+
+        let runner_state = state.clone();
+        let runner_thread = std::thread::spawn(move || run_jobs(&runner_state));
+
+        Ok(ServerHandle {
+            addr: local,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            runner_thread: Some(runner_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, cancels any running job, drains the runner,
+    /// and joins both threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        {
+            let mut inner = self.state.inner.lock().expect("server poisoned");
+            inner.shutdown = true;
+            for job in inner.jobs.values() {
+                if job.status == JobStatus::Running {
+                    job.progress.cancel();
+                }
+            }
+            self.state.wake_runner.notify_all();
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.runner_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The single job runner: pops queued jobs and executes them one at a
+/// time (each job parallelizes internally across executor threads).
+fn run_jobs(state: &State) {
+    loop {
+        let (id, spec, key, progress) = {
+            let mut inner = state.inner.lock().expect("server poisoned");
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    let job = inner.jobs.get_mut(&id).expect("queued jobs exist");
+                    if job.status != JobStatus::Queued {
+                        continue; // cancelled while waiting
+                    }
+                    job.status = JobStatus::Running;
+                    break (id, job.spec.clone(), job.key.clone(), job.progress.clone());
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = state.wake_runner.wait(inner).expect("server poisoned");
+            }
+        };
+
+        // Fresh executor, fresh in-memory cell cache: the emitted
+        // counters — which go into the report — are exactly what a
+        // cold CLI run produces, so stored bytes match the CLI's.
+        let mut executor = Executor::new(state.threads).with_progress(progress.clone());
+        let outcome = spec.run_on(&mut executor);
+        state
+            .counters
+            .engine_cells_simulated
+            .fetch_add(executor.stats().simulated as u64, Ordering::AcqRel);
+
+        let (status, error) = match outcome {
+            _ if progress.is_cancelled() => (JobStatus::Cancelled, None),
+            Err(e) => (JobStatus::Failed, Some(e.to_string())),
+            Ok(series) => {
+                let mut body = Vec::new();
+                report::write_report_json(&series, &executor.stats(), &mut body)
+                    .expect("writing to a Vec cannot fail");
+                match state.store.put(&key, &body) {
+                    Ok(()) => (JobStatus::Done, None),
+                    Err(e) => (JobStatus::Failed, Some(format!("store write failed: {e}"))),
+                }
+            }
+        };
+
+        let mut inner = state.inner.lock().expect("server poisoned");
+        inner.inflight.remove(&key);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.status = status;
+            job.error = error;
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &State) {
+    let request = match read_request(&mut stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(e)) => {
+            let _ = write_response(&mut stream, &Response::error(e.status, "http", &e.message));
+            return;
+        }
+        Err(_) => return,
+    };
+    let response = route(&request, state);
+    let _ = write_response(&mut stream, &response);
+}
+
+fn route(request: &Request, state: &State) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => healthz(state),
+        ("GET", ["v1", "cache", "stats"]) => cache_stats(state),
+        ("POST", ["v1", "jobs"]) => submit(request, state),
+        ("GET", ["v1", "jobs", id]) => job_status(id, state),
+        ("GET", ["v1", "jobs", id, "result"]) => job_result(id, state),
+        ("DELETE", ["v1", "jobs", id]) => cancel_job(id, state),
+        (_, ["v1", "jobs", ..]) | (_, ["v1", "healthz"]) | (_, ["v1", "cache", "stats"]) => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
+        _ => Response::error(404, "not_found", "unknown path"),
+    }
+}
+
+fn healthz(state: &State) -> Response {
+    let inner = state.inner.lock().expect("server poisoned");
+    let body = format!(
+        "{{\"status\":\"ok\",\"jobs\":{},\"queued\":{}}}\n",
+        inner.jobs.len(),
+        inner.queue.len()
+    );
+    Response::json(200, body.into_bytes())
+}
+
+fn cache_stats(state: &State) -> Response {
+    let entries = state.store.len().unwrap_or(0);
+    let c = &state.counters;
+    let body = format!(
+        "{{\"entries\":{},\"jobs_submitted\":{},\"coalesced\":{},\"store_hits\":{},\
+         \"store_misses\":{},\"corrupt_detected\":{},\"engine_cells_simulated\":{}}}\n",
+        entries,
+        c.jobs_submitted.load(Ordering::Acquire),
+        c.coalesced.load(Ordering::Acquire),
+        c.store_hits.load(Ordering::Acquire),
+        c.store_misses.load(Ordering::Acquire),
+        c.corrupt_detected.load(Ordering::Acquire),
+        c.engine_cells_simulated.load(Ordering::Acquire),
+    );
+    Response::json(200, body.into_bytes())
+}
+
+/// The content-addressed store key for a spec under the current report
+/// schema.
+fn content_key(spec: &ExperimentSpec) -> String {
+    format!("{}-r{}", spec.fingerprint(), REPORT_SCHEMA_VERSION)
+}
+
+fn spec_error_response(e: &SpecError) -> Response {
+    Response::error(400, e.kind(), &e.to_string())
+}
+
+fn submit(request: &Request, state: &State) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "malformed", "the body is not UTF-8");
+    };
+    let spec = match ExperimentSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(e) => return spec_error_response(&e),
+    };
+    let key = content_key(&spec);
+    state.counters.jobs_submitted.fetch_add(1, Ordering::AcqRel);
+
+    let mut inner = state.inner.lock().expect("server poisoned");
+
+    // Coalesce onto an identical queued/running job first: no store
+    // read, no second enqueue.
+    if let Some(existing) = inner.inflight.get(&key) {
+        let id = existing.clone();
+        let status = inner.jobs[&id].status;
+        state.counters.coalesced.fetch_add(1, Ordering::AcqRel);
+        return Response::json(
+            202,
+            format!(
+                "{{\"job_id\":{},\"status\":\"{}\",\"cached\":false,\"coalesced\":true}}\n",
+                escape(&id),
+                status.as_str()
+            )
+            .into_bytes(),
+        );
+    }
+
+    let served_from_store = match state.store.get(&key) {
+        StoreLookup::Hit(_) => {
+            state.counters.store_hits.fetch_add(1, Ordering::AcqRel);
+            true
+        }
+        StoreLookup::Corrupt => {
+            // Detected by the entry fingerprint: recompute and heal.
+            state
+                .counters
+                .corrupt_detected
+                .fetch_add(1, Ordering::AcqRel);
+            state.counters.store_misses.fetch_add(1, Ordering::AcqRel);
+            false
+        }
+        StoreLookup::Miss => {
+            state.counters.store_misses.fetch_add(1, Ordering::AcqRel);
+            false
+        }
+    };
+
+    inner.next_id += 1;
+    let id = format!("j{}", inner.next_id);
+    let job = Job {
+        key: key.clone(),
+        spec,
+        status: if served_from_store {
+            JobStatus::Done
+        } else {
+            JobStatus::Queued
+        },
+        progress: ExecProgress::new(),
+        cached: served_from_store,
+        error: None,
+    };
+    inner.jobs.insert(id.clone(), job);
+    if served_from_store {
+        return Response::json(
+            200,
+            format!(
+                "{{\"job_id\":{},\"status\":\"done\",\"cached\":true}}\n",
+                escape(&id)
+            )
+            .into_bytes(),
+        );
+    }
+    inner.inflight.insert(key, id.clone());
+    inner.queue.push_back(id.clone());
+    state.wake_runner.notify_all();
+    Response::json(
+        202,
+        format!(
+            "{{\"job_id\":{},\"status\":\"queued\",\"cached\":false}}\n",
+            escape(&id)
+        )
+        .into_bytes(),
+    )
+}
+
+fn status_doc(id: &str, job: &Job) -> String {
+    let total = job.spec.num_cells() as u64;
+    let completed = if job.status == JobStatus::Done {
+        total
+    } else {
+        job.progress.completed().min(total)
+    };
+    let error = job
+        .error
+        .as_deref()
+        .map_or(String::new(), |e| format!(",\"error\":{}", escape(e)));
+    format!(
+        "{{\"job_id\":{},\"status\":\"{}\",\"cached\":{},\
+         \"cells_total\":{total},\"cells_completed\":{completed}{error}}}\n",
+        escape(id),
+        job.status.as_str(),
+        job.cached,
+    )
+}
+
+fn job_status(id: &str, state: &State) -> Response {
+    let inner = state.inner.lock().expect("server poisoned");
+    match inner.jobs.get(id) {
+        Some(job) => Response::json(200, status_doc(id, job).into_bytes()),
+        None => Response::error(404, "not_found", "no such job"),
+    }
+}
+
+fn job_result(id: &str, state: &State) -> Response {
+    let (key, status) = {
+        let inner = state.inner.lock().expect("server poisoned");
+        match inner.jobs.get(id) {
+            Some(job) => (job.key.clone(), job.status),
+            None => return Response::error(404, "not_found", "no such job"),
+        }
+    };
+    match status {
+        JobStatus::Done => match state.store.get(&key) {
+            StoreLookup::Hit(body) => Response::json(200, body),
+            StoreLookup::Miss | StoreLookup::Corrupt => {
+                state
+                    .counters
+                    .corrupt_detected
+                    .fetch_add(1, Ordering::AcqRel);
+                Response::error(
+                    410,
+                    "corrupt",
+                    "the stored result failed verification; resubmit to recompute",
+                )
+            }
+        },
+        JobStatus::Failed => Response::error(409, "failed", "the job failed; see its status"),
+        JobStatus::Cancelled => Response::error(409, "cancelled", "the job was cancelled"),
+        JobStatus::Queued | JobStatus::Running => {
+            Response::error(409, "not_done", "the job has not finished yet")
+        }
+    }
+}
+
+fn cancel_job(id: &str, state: &State) -> Response {
+    let mut inner = state.inner.lock().expect("server poisoned");
+    let Some(job) = inner.jobs.get_mut(id) else {
+        return Response::error(404, "not_found", "no such job");
+    };
+    match job.status {
+        JobStatus::Queued => {
+            job.status = JobStatus::Cancelled;
+            job.progress.cancel();
+            let key = job.key.clone();
+            inner.inflight.remove(&key);
+            let doc = status_doc(id, &inner.jobs[id]);
+            Response::json(200, doc.into_bytes())
+        }
+        JobStatus::Running => {
+            job.progress.cancel();
+            Response::json(202, status_doc(id, job).into_bytes())
+        }
+        // Terminal states: cancellation is a no-op, report as-is.
+        JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled => {
+            Response::json(200, status_doc(id, job).into_bytes())
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The content-addressed on-disk result store.
+//!
+//! One file per result, named by the submission's content key (the
+//! spec fingerprint plus the report schema version). Each entry opens
+//! with a header line carrying a fingerprint of the body, so a
+//! truncated or bit-flipped entry is *detected* on read — the caller
+//! sees [`StoreLookup::Corrupt`], counts it, and recomputes — instead
+//! of being served as a silently wrong report.
+//!
+//! Entries are written atomically (temp file + rename), so a crashed
+//! writer never leaves a half-entry under a valid key.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use turnroute_rng::split_mix_64;
+
+/// Magic + version prefix of every entry's header line.
+const HEADER_PREFIX: &str = "turnroute-store v1";
+
+/// The outcome of a [`ResultStore::get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreLookup {
+    /// The entry exists and its body matched its fingerprint.
+    Hit(Vec<u8>),
+    /// No entry under this key.
+    Miss,
+    /// An entry exists but is truncated, bit-flipped, or otherwise
+    /// unreadable; the caller should recompute and overwrite.
+    Corrupt,
+}
+
+/// Folds `bytes` into the 64-bit fingerprint stored in entry headers.
+pub fn body_fingerprint(bytes: &[u8]) -> u64 {
+    let mut fp = 0x5708_E5ED_u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        fp ^= u64::from_le_bytes(word);
+        split_mix_64(&mut fp);
+    }
+    fp ^= bytes.len() as u64;
+    split_mix_64(&mut fp);
+    fp
+}
+
+/// A directory of fingerprint-verified result entries.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        // Keys are hex fingerprints plus a short suffix; reject
+        // anything that could escape the directory.
+        debug_assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "store keys are fingerprint-derived"
+        );
+        self.dir.join(format!("{key}.entry"))
+    }
+
+    /// Looks up `key`, verifying length and fingerprint.
+    pub fn get(&self, key: &str) -> StoreLookup {
+        let mut file = match std::fs::File::open(self.entry_path(key)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return StoreLookup::Miss,
+            Err(_) => return StoreLookup::Corrupt,
+        };
+        let mut raw = Vec::new();
+        if file.read_to_end(&mut raw).is_err() {
+            return StoreLookup::Corrupt;
+        }
+        let Some(newline) = raw.iter().position(|&b| b == b'\n') else {
+            return StoreLookup::Corrupt;
+        };
+        let Ok(header) = std::str::from_utf8(&raw[..newline]) else {
+            return StoreLookup::Corrupt;
+        };
+        let Some(rest) = header.strip_prefix(HEADER_PREFIX) else {
+            return StoreLookup::Corrupt;
+        };
+        let mut fields = rest.split_whitespace();
+        let (Some(fp), Some(len), None) = (fields.next(), fields.next(), fields.next()) else {
+            return StoreLookup::Corrupt;
+        };
+        let (Ok(fp), Ok(len)) = (u64::from_str_radix(fp, 16), len.parse::<usize>()) else {
+            return StoreLookup::Corrupt;
+        };
+        let body = &raw[newline + 1..];
+        if body.len() != len || body_fingerprint(body) != fp {
+            return StoreLookup::Corrupt;
+        }
+        StoreLookup::Hit(body.to_vec())
+    }
+
+    /// Stores `body` under `key`, atomically replacing any existing
+    /// entry (including a corrupt one).
+    pub fn put(&self, key: &str, body: &[u8]) -> io::Result<()> {
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!("{key}.tmp-{}", std::process::id()));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            writeln!(
+                file,
+                "{HEADER_PREFIX} {:016x} {}",
+                body_fingerprint(body),
+                body.len()
+            )?;
+            file.write_all(body)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries on disk (corrupt ones included — they still
+    /// occupy their key until overwritten).
+    pub fn len(&self) -> io::Result<usize> {
+        let mut count = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "entry") {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// `true` if the store holds no entries.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("turnroute-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trips_bodies_byte_identically() {
+        let store = temp_store("rt");
+        assert_eq!(store.get("a1b2"), StoreLookup::Miss);
+        let body = b"{\"schema_version\":1,\"series\":[]}\n";
+        store.put("a1b2", body).unwrap();
+        assert_eq!(store.get("a1b2"), StoreLookup::Hit(body.to_vec()));
+        assert_eq!(store.len().unwrap(), 1);
+        // Overwrite replaces the body.
+        store.put("a1b2", b"v2").unwrap();
+        assert_eq!(store.get("a1b2"), StoreLookup::Hit(b"v2".to_vec()));
+        assert_eq!(store.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn detects_bit_flips_truncation_and_garbage() {
+        let store = temp_store("corrupt");
+        store.put("key-1", b"a body worth protecting").unwrap();
+        let path = store.dir.join("key-1.entry");
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Flip one body byte.
+        let mut flipped = pristine.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(store.get("key-1"), StoreLookup::Corrupt);
+
+        // Truncate.
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        assert_eq!(store.get("key-1"), StoreLookup::Corrupt);
+
+        // Replace with garbage lacking the header.
+        std::fs::write(&path, b"not an entry at all").unwrap();
+        assert_eq!(store.get("key-1"), StoreLookup::Corrupt);
+
+        // A put heals the key.
+        store.put("key-1", b"recomputed").unwrap();
+        assert_eq!(store.get("key-1"), StoreLookup::Hit(b"recomputed".to_vec()));
+    }
+
+    #[test]
+    fn fingerprint_separates_length_and_content() {
+        assert_ne!(body_fingerprint(b"ab"), body_fingerprint(b"ba"));
+        assert_ne!(body_fingerprint(b"a"), body_fingerprint(b"a\0"));
+        assert_eq!(body_fingerprint(b"same"), body_fingerprint(b"same"));
+    }
+}

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -415,6 +416,52 @@ pub struct ExecStats {
     pub emitted_simulated: usize,
 }
 
+/// A live progress and cancellation surface for one [`Executor::run`].
+///
+/// Attach with [`Executor::with_progress`] and share the [`Arc`] with
+/// whoever needs to watch the run (the job server polls it for per-cell
+/// progress and flips [`ExecProgress::cancel`] to abandon a job). All
+/// counters are monotonic within one run; `run` resets them at entry.
+///
+/// Cancellation is cooperative and cell-granular: workers stop claiming
+/// new cells, finish the one they are on, and the assembled series
+/// report every uncomputed cell as a skipped placeholder.
+#[derive(Debug, Default)]
+pub struct ExecProgress {
+    total: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl ExecProgress {
+    /// A fresh surface, ready to attach to an executor.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ExecProgress::default())
+    }
+
+    /// Total cells the current run will account for (0 before a run
+    /// starts).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Acquire)
+    }
+
+    /// Cells accounted for so far: simulated, served from the cache, or
+    /// written off by the saturation skip / cancellation.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// Asks the running executor to stop claiming new cells.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`ExecProgress::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
 /// Wall-time accounting for one emitted sweep cell.
 #[derive(Debug, Clone)]
 pub struct CellTiming {
@@ -520,6 +567,7 @@ pub struct Executor {
     cache: CellCache,
     stats: ExecStats,
     telemetry: ExecTelemetry,
+    progress: Option<Arc<ExecProgress>>,
 }
 
 impl Executor {
@@ -530,12 +578,20 @@ impl Executor {
             cache: CellCache::in_memory(),
             stats: ExecStats::default(),
             telemetry: ExecTelemetry::default(),
+            progress: None,
         }
     }
 
     /// Replaces the (empty, in-memory) cell cache.
     pub fn with_cache(mut self, cache: CellCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches a progress/cancellation surface; each [`Executor::run`]
+    /// resets its counters and keeps them live while cells complete.
+    pub fn with_progress(mut self, progress: Arc<ExecProgress>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -570,6 +626,11 @@ impl Executor {
     pub fn run(&mut self, jobs: Vec<SeriesJob<'_>>) -> Vec<SweepSeries> {
         self.stats = ExecStats::default();
         self.telemetry = ExecTelemetry::default();
+        if let Some(p) = &self.progress {
+            let total: u64 = jobs.iter().map(|j| j.loads.len() as u64).sum();
+            p.completed.store(0, Ordering::Release);
+            p.total.store(total, Ordering::Release);
+        }
 
         // Prefill from the cache; a cached unsustainable point bounds
         // the series immediately.
@@ -590,6 +651,9 @@ impl Executor {
                     st.results[i] = Some(point.into());
                     st.cached[i] = true;
                     self.stats.cache_hits += 1;
+                    if let Some(p) = &self.progress {
+                        p.completed.fetch_add(1, Ordering::AcqRel);
+                    }
                 }
             }
             states.push(st);
@@ -601,7 +665,11 @@ impl Executor {
             simulated: 0,
         });
 
+        let progress = self.progress.clone();
         let work = |shared: &Mutex<Shared>| loop {
+            if progress.as_deref().is_some_and(ExecProgress::is_cancelled) {
+                break;
+            }
             let claim = shared.lock().expect("executor poisoned").claim();
             let Some((j, i)) = claim else { break };
             let job = &jobs[j];
@@ -621,6 +689,10 @@ impl Executor {
             }
             st.results[i] = Some(output);
             st.wall[i] = wall_secs;
+            drop(guard);
+            if let Some(p) = &progress {
+                p.completed.fetch_add(1, Ordering::AcqRel);
+            }
         };
 
         if self.threads == 1 {
@@ -637,6 +709,11 @@ impl Executor {
         self.stats.simulated = shared.simulated;
         self.cache = std::mem::take(&mut shared.cache);
 
+        let cancelled = self
+            .progress
+            .as_deref()
+            .is_some_and(ExecProgress::is_cancelled);
+
         // Assemble: everything past a series' first unsustainable load
         // is a skipped placeholder, computed or not. Telemetry is built
         // here, from emitted cells only, so its cell order — and which
@@ -646,9 +723,17 @@ impl Executor {
             let mut points = Vec::with_capacity(job.loads.len());
             for (i, &load) in job.loads.iter().enumerate() {
                 if i <= st.cutoff {
-                    let output = st.results[i]
-                        .take()
-                        .expect("cells at or below the cutoff are always computed");
+                    let Some(output) = st.results[i].take() else {
+                        // Only a cancelled run leaves holes at or below
+                        // the cutoff; report them as skipped.
+                        assert!(
+                            cancelled,
+                            "cells at or below the cutoff are always computed"
+                        );
+                        self.stats.skipped += 1;
+                        points.push(SweepPoint::skipped_at(load));
+                        continue;
+                    };
                     if st.cached[i] {
                         self.stats.emitted_from_cache += 1;
                     } else {
@@ -675,6 +760,13 @@ impl Executor {
                 disconnected: job.disconnected,
                 points,
             });
+        }
+        if let Some(p) = &self.progress {
+            if !cancelled {
+                // Saturation-skipped cells count as accounted for: a
+                // finished run always reads completed == total.
+                p.completed.store(p.total(), Ordering::Release);
+            }
         }
         out
     }
@@ -905,6 +997,45 @@ mod tests {
             assert_eq!(h.min(), Some(100));
             assert_eq!(h.max(), Some(200));
         }
+    }
+
+    #[test]
+    fn progress_counts_every_cell_and_finishes_full() {
+        let calls = AtomicUsize::new(0);
+        let progress = ExecProgress::new();
+        let mut ex = Executor::new(2).with_progress(progress.clone());
+        // Saturates at 0.15: the cells past the cutoff are skipped, but
+        // a finished run still reads completed == total.
+        ex.run(vec![fake_job("algo", &[0.1, 0.2, 0.3, 0.4], 0.15, &calls)]);
+        assert_eq!(progress.total(), 4);
+        assert_eq!(progress.completed(), 4);
+        assert!(!progress.is_cancelled());
+
+        // Cache prefills count as completed cells on the next run.
+        let cache = ex.into_cache();
+        let progress = ExecProgress::new();
+        let mut ex = Executor::new(1)
+            .with_cache(cache)
+            .with_progress(progress.clone());
+        ex.run(vec![fake_job("algo", &[0.1, 0.2, 0.3, 0.4], 0.15, &calls)]);
+        assert_eq!(progress.completed(), 4);
+    }
+
+    #[test]
+    fn cancellation_stops_claiming_and_reports_skips() {
+        let calls = AtomicUsize::new(0);
+        let progress = ExecProgress::new();
+        // Cancel before the run even starts: no cell may simulate.
+        progress.cancel();
+        let mut ex = Executor::new(2).with_progress(progress.clone());
+        let series = ex
+            .run(vec![fake_job("algo", &[0.1, 0.2, 0.3], 1.0, &calls)])
+            .remove(0);
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(series.points.len(), 3);
+        assert!(series.points.iter().all(|p| p.skipped));
+        assert_eq!(ex.stats().skipped, 3);
+        assert!(progress.completed() < progress.total());
     }
 
     #[test]

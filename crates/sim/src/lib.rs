@@ -59,7 +59,9 @@ pub use config::{
 };
 pub use deadlock::{DeadlockReport, WaitEdge};
 pub use engine::{RunOutcome, SimReport, Simulation};
-pub use exec::{CellCache, CellOutput, CellTiming, ExecStats, ExecTelemetry, Executor, SeriesJob};
+pub use exec::{
+    CellCache, CellOutput, CellTiming, ExecProgress, ExecStats, ExecTelemetry, Executor, SeriesJob,
+};
 pub use hist::LatencyHistogram;
 pub use lut::{RouteTable, RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
 pub use metrics::MetricsCollector;

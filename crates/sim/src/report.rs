@@ -66,20 +66,30 @@ pub fn write_json(series: &[SweepSeries], w: &mut impl Write) -> io::Result<()> 
     writeln!(w)
 }
 
-/// Writes the series array plus the executor's deterministic counters
-/// as one JSON document:
-/// `{"series": [...], "executor": {"cache_hits": ..., ...}}`.
+/// Version of the sweep-report JSON document emitted by
+/// [`write_report_json`]. Bump on any field rename, removal, or
+/// semantic change; consumers gate on it before parsing.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Writes the full versioned sweep report — the series array plus the
+/// executor's deterministic counters — as one JSON document:
+/// `{"schema_version": 1, "series": [...], "executor": {...}}`.
+///
+/// This is **the** report serializer: the CLI's `--format json` and the
+/// job server's `/v1/jobs/{id}/result` both emit through it, so the two
+/// surfaces are byte-identical for identical experiments.
 ///
 /// Only schedule-invariant counters are included (`cache_hits`,
 /// `skipped`, and the emitted splits), never [`ExecStats::simulated`],
 /// which counts speculative work and varies with thread count — the
 /// document stays byte-identical for any `--threads`.
-pub fn write_json_with_stats(
+pub fn write_report_json(
     series: &[SweepSeries],
     stats: &ExecStats,
     w: &mut impl Write,
 ) -> io::Result<()> {
     writeln!(w, "{{")?;
+    writeln!(w, "  \"schema_version\": {REPORT_SCHEMA_VERSION},")?;
     write!(w, "  \"series\": ")?;
     write_json_array(series, w, "  ")?;
     writeln!(w, ",")?;
@@ -294,5 +304,24 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_schedule_invariant() {
+        let stats = ExecStats {
+            simulated: 99, // speculative; must NOT appear in the output
+            cache_hits: 1,
+            skipped: 1,
+            emitted_from_cache: 1,
+            emitted_simulated: 1,
+        };
+        let mut buf = Vec::new();
+        write_report_json(&sample(), &stats, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(text.contains("\"series\": ["));
+        assert!(text.contains("\"cache_hits\": 1"));
+        assert!(!text.contains("simulated\": 99"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> placeholder-URL guard"
+# The real repository URL lives in Cargo.toml; the placeholder domain
+# must never come back (this file is the only permitted mention).
+if git grep -n "example\.invalid" -- ':!scripts/check.sh' ':!ISSUE.md' ; then
+  echo "error: placeholder domain 'example.invalid' reintroduced" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -15,6 +23,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> server integration tests (submit/poll/fetch, cache, coalescing)"
+cargo test -q -p turnroute-serve --test server_integration
 
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --no-run --quiet

@@ -15,7 +15,12 @@
 //!   (fully adaptive mad-y for meshes, dateline routing for tori) and a
 //!   lane-aware simulator;
 //! * [`fault`] — deterministic fault plans, fault-aware routing
-//!   relations, and the faulted deadlock/reachability verifier.
+//!   relations, and the faulted deadlock/reachability verifier;
+//! * [`experiment`] — the validated [`experiment::ExperimentSpec`]
+//!   builder, its JSON wire format, and the shared CLI spec parsers
+//!   ([`cli`]);
+//! * [`serve`] — the headless job server: HTTP/JSON API over the
+//!   executor with a content-addressed on-disk result store.
 //!
 //! This facade crate re-exports the individual crates under short module
 //! names and hosts the runnable examples (`examples/`) and cross-crate
@@ -44,12 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cli;
-pub mod experiment;
-
 pub use turnroute_analysis as analysis;
 pub use turnroute_core as core;
+pub use turnroute_experiment::cli;
+pub use turnroute_experiment::spec as experiment;
 pub use turnroute_fault as fault;
+pub use turnroute_serve as serve;
 pub use turnroute_sim as sim;
 pub use turnroute_topology as topology;
 pub use turnroute_vc as vc;

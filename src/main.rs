@@ -17,7 +17,8 @@ use turnroute::cli::{
 };
 use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
 use turnroute::experiment::{Engine, ExperimentSpec};
-use turnroute::sim::report::{write_csv, write_json_with_stats, write_telemetry_json};
+use turnroute::serve::{client, ServeOptions, Server};
+use turnroute::sim::report::{write_csv, write_report_json, write_telemetry_json};
 use turnroute::sim::{
     CellCache, Executor, FlitTraceObserver, RouteTableMode, RunOutcome, SimConfig, Simulation,
 };
@@ -60,10 +61,33 @@ commands:
             permanent channel faults (one seed-derived nested fault set
             per count) for degradation curves; --faults injects one
             explicit plan into every cell instead
+  serve     [--addr HOST:PORT] [--store DIR] [--threads N]
+            run the headless job server: POST /v1/jobs submits an
+            experiment spec (JSON), GET /v1/jobs/ID polls status with
+            per-cell progress, GET /v1/jobs/ID/result fetches the
+            versioned report; plus GET /v1/healthz and
+            GET /v1/cache/stats. identical specs are answered from the
+            content-addressed store in DIR (default .turnroute-store)
+            byte-identically with zero engine cycles; duplicate
+            in-flight submissions coalesce onto one job
+  submit    --spec FILE [--addr HOST:PORT]
+            validate FILE ('-' reads stdin) locally, then submit it as
+            a job; prints the server's job document
+  status    --job ID [--addr HOST:PORT]
+            poll one job: state plus cells_completed / cells_total
+  fetch     --job ID [--addr HOST:PORT] [--out FILE]
+            download a finished job's report (byte-identical to
+            `sweep --format json` for the same spec)
+  cancel    --job ID [--addr HOST:PORT]
+            cancel a queued or running job
   list      print the accepted topologies, algorithms, patterns and
             fault spec forms
 
-nodes are dense ids (137) or coordinates (9,4).";
+nodes are dense ids (137) or coordinates (9,4);
+the default server address is 127.0.0.1:7453.";
+
+/// The default `HOST:PORT` for `serve` and the client subcommands.
+const DEFAULT_ADDR: &str = "127.0.0.1:7453";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -185,14 +209,17 @@ fn run(args: &[String]) -> Result<(), String> {
             let config = sim_config(&opts)?;
             if loads.len() > 1 {
                 // Several loads: a sweep of one algorithm, in parallel.
-                let mut spec = ExperimentSpec::new(required(&opts, "topology")?, &pattern_name)
-                    .algorithm(&name)
-                    .loads(&loads)
-                    .config(config);
+                let mut builder =
+                    ExperimentSpec::builder(required(&opts, "topology")?, &pattern_name)
+                        .algorithm(&name)
+                        .loads(&loads)
+                        .config(config);
                 if let Some(fspec) = opts.get("faults") {
-                    spec = spec.faults(fspec);
+                    builder = builder.faults(fspec);
                 }
-                let series = spec
+                let series = builder
+                    .build()
+                    .map_err(|e| e.to_string())?
                     .run(threads_option(&opts)?)
                     .map_err(|e| e.to_string())?;
                 let mut out = std::io::stdout().lock();
@@ -300,12 +327,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let opts = options(rest)?;
             let loads = parse_loads(required(&opts, "loads")?)?;
             let engine = match opts.get("engine").map(String::as_str) {
-                None | Some("wormhole") => Engine::Wormhole,
-                Some("vc") | Some("virtual-channel") => Engine::VirtualChannel,
-                Some(other) => return Err(format!("unknown engine '{other}' (wormhole | vc)")),
+                None => Engine::Wormhole,
+                Some(name) => Engine::from_name(name)
+                    .ok_or_else(|| format!("unknown engine '{name}' (wormhole | vc)"))?,
             };
-            let mut spec =
-                ExperimentSpec::new(required(&opts, "topology")?, required(&opts, "pattern")?)
+            let mut builder =
+                ExperimentSpec::builder(required(&opts, "topology")?, required(&opts, "pattern")?)
                     .loads(&loads)
                     .config(sim_config(&opts)?)
                     .engine(engine);
@@ -314,23 +341,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 if name.is_empty() {
                     return Err("empty algorithm name in --algorithms".into());
                 }
-                spec = spec.algorithm(name);
-            }
-            if spec.algorithms.is_empty() {
-                return Err("--algorithms needs at least one name".into());
+                builder = builder.algorithm(name);
             }
             if let Some(fspec) = opts.get("faults") {
-                spec = spec.faults(fspec);
+                builder = builder.faults(fspec);
             }
             if let Some(axis) = opts.get("fault-axis") {
-                spec = spec.fault_axis(&parse_fault_axis(axis)?);
+                builder = builder.fault_axis(&parse_fault_axis(axis)?);
             }
             if let Some(seed) = opts.get("fault-seed") {
                 let seed: u64 = seed
                     .parse()
                     .map_err(|_| "bad --fault-seed value".to_string())?;
-                spec = spec.fault_seed(seed);
+                builder = builder.fault_seed(seed);
             }
+            let spec = builder.build().map_err(|e| e.to_string())?;
             let mut executor = Executor::new(threads_option(&opts)?);
             if let Some(path) = opts.get("cache") {
                 let cache = CellCache::at_path(path)
@@ -341,7 +366,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut out = std::io::stdout().lock();
             match opts.get("format").map(String::as_str) {
                 None | Some("csv") => write_csv(&series, &mut out),
-                Some("json") => write_json_with_stats(&series, &executor.stats(), &mut out),
+                Some("json") => write_report_json(&series, &executor.stats(), &mut out),
                 Some(other) => return Err(format!("unknown format '{other}' (csv | json)")),
             }
             .map_err(|e| e.to_string())?;
@@ -369,8 +394,97 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let opts = options(rest)?;
+            let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+            let store_dir = opts
+                .get("store")
+                .map(String::as_str)
+                .unwrap_or(".turnroute-store");
+            let handle = Server::start(
+                addr,
+                ServeOptions {
+                    store_dir: store_dir.into(),
+                    threads: threads_option(&opts)?,
+                },
+            )
+            .map_err(|e| format!("cannot start the server on {addr}: {e}"))?;
+            println!("turnroute-serve listening on http://{}", handle.addr());
+            println!("  result store: {store_dir}");
+            println!("  POST /v1/jobs   GET /v1/jobs/ID   GET /v1/jobs/ID/result");
+            println!("  GET /v1/healthz   GET /v1/cache/stats   (Ctrl-C stops)");
+            loop {
+                std::thread::park();
+            }
+        }
+        "submit" => {
+            let opts = options(rest)?;
+            let spec_json = read_spec_arg(&opts)?;
+            // Validate locally first: a bad spec fails with the typed
+            // error without a server round-trip.
+            ExperimentSpec::from_json(&spec_json).map_err(|e| e.to_string())?;
+            let addr = server_addr(&opts);
+            let (status, body) = client::submit(&addr, &spec_json).map_err(|e| e.to_string())?;
+            print_response(status, &body)
+        }
+        "status" => {
+            let opts = options(rest)?;
+            let (status, body) = client::status(&server_addr(&opts), required(&opts, "job")?)
+                .map_err(|e| e.to_string())?;
+            print_response(status, &body)
+        }
+        "fetch" => {
+            let opts = options(rest)?;
+            let (status, body) = client::fetch(&server_addr(&opts), required(&opts, "job")?)
+                .map_err(|e| e.to_string())?;
+            match opts.get("out") {
+                Some(path) if status < 400 => std::fs::write(path, &body)
+                    .map_err(|e| format!("cannot write --out {path}: {e}")),
+                _ => print_response(status, &body),
+            }
+        }
+        "cancel" => {
+            let opts = options(rest)?;
+            let (status, body) = client::cancel(&server_addr(&opts), required(&opts, "job")?)
+                .map_err(|e| e.to_string())?;
+            print_response(status, &body)
+        }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// The server address for the client subcommands (`--addr`, or the
+/// default).
+fn server_addr(opts: &HashMap<String, String>) -> String {
+    opts.get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.into())
+}
+
+/// Reads the `--spec` argument: a file path, or `-` for stdin.
+fn read_spec_arg(opts: &HashMap<String, String>) -> Result<String, String> {
+    let path = required(opts, "spec")?;
+    if path == "-" {
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text)
+            .map_err(|e| format!("cannot read the spec from stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --spec {path}: {e}"))
+    }
+}
+
+/// Prints the server's response body; 4xx/5xx answers also fail the
+/// process so scripts can branch on the exit code.
+fn print_response(status: u16, body: &[u8]) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    out.write_all(body)
+        .and_then(|()| out.flush())
+        .map_err(|e| e.to_string())?;
+    if status >= 400 {
+        return Err(format!("the server answered HTTP {status}"));
+    }
+    Ok(())
 }
 
 /// Parses `--trace-window START:END` (cycle bounds, half-open).

@@ -14,12 +14,14 @@ fn quick() -> SimConfig {
 }
 
 fn mesh_spec(loads: &[f64]) -> ExperimentSpec {
-    ExperimentSpec::new("mesh:6x6", "transpose")
+    ExperimentSpec::builder("mesh:6x6", "transpose")
         .algorithm("xy")
         .algorithm("west-first")
         .algorithm("negative-first")
         .loads(loads)
         .config(quick())
+        .build()
+        .expect("spec resolves")
 }
 
 fn csv(spec: &ExperimentSpec, threads: usize) -> Vec<u8> {
@@ -44,12 +46,14 @@ fn one_two_and_eight_threads_produce_byte_identical_output() {
 
 #[test]
 fn vc_engine_is_thread_invariant_too() {
-    let spec = ExperimentSpec::new("mesh:6x6", "uniform")
+    let spec = ExperimentSpec::builder("mesh:6x6", "uniform")
         .algorithm("mad-y")
         .algorithm("xy")
         .loads(&[0.02, 0.05])
         .config(quick())
-        .engine(Engine::VirtualChannel);
+        .engine(Engine::VirtualChannel)
+        .build()
+        .expect("spec resolves");
     assert_eq!(csv(&spec, 1), csv(&spec, 8));
 }
 
@@ -74,10 +78,12 @@ fn the_skip_rule_never_skips_a_sustainable_point() {
             // seed depends only on the cell's identity, not its position
             // in the grid): it must really be unsustainable.
             for p in series.points.iter().filter(|p| p.skipped) {
-                let alone = ExperimentSpec::new("mesh:6x6", "transpose")
+                let alone = ExperimentSpec::builder("mesh:6x6", "transpose")
                     .algorithm(&series.algorithm)
                     .loads(&[p.offered_load])
                     .config(quick())
+                    .build()
+                    .expect("spec resolves")
                     .run(1)
                     .unwrap()
                     .remove(0);

@@ -19,13 +19,15 @@ fn quick() -> SimConfig {
 /// The acceptance sweep: three turn-model algorithms, three fault
 /// levels, two loads.
 fn degradation_spec() -> ExperimentSpec {
-    ExperimentSpec::new("mesh:8x8", "uniform")
+    ExperimentSpec::builder("mesh:8x8", "uniform")
         .algorithm("xy")
         .algorithm("west-first")
         .algorithm("negative-first")
         .loads(&[0.02, 0.05])
         .config(quick())
         .fault_axis(&[0, 2, 6])
+        .build()
+        .expect("spec resolves")
 }
 
 #[test]
@@ -96,11 +98,13 @@ fn degradation_csv_carries_the_fault_columns() {
 fn a_disconnecting_plan_surfaces_in_the_verifier_column() {
     // Cutting off the corner node disconnects all 70 pairs touching it;
     // the sweep must report that instead of hiding it in the numbers.
-    let series = ExperimentSpec::new("mesh:6x6", "uniform")
+    let series = ExperimentSpec::builder("mesh:6x6", "uniform")
         .algorithm("west-first")
         .loads(&[0.02])
         .config(quick())
         .faults("node:0,0")
+        .build()
+        .expect("spec resolves")
         .run(1)
         .unwrap();
     assert_eq!(series.len(), 1);

@@ -23,12 +23,13 @@ fn csv(
     mode: RouteTableMode,
     threads: usize,
 ) -> Vec<u8> {
-    let mut spec = ExperimentSpec::new(topology, pattern)
+    let mut builder = ExperimentSpec::builder(topology, pattern)
         .loads(&[0.02, 0.05])
         .config(quick().route_table(mode));
     for a in algos {
-        spec = spec.algorithm(*a);
+        builder = builder.algorithm(*a);
     }
+    let spec = builder.build().expect("spec resolves");
     let mut buf = Vec::new();
     write_csv(&spec.run(threads).expect("spec resolves"), &mut buf).expect("in-memory CSV");
     buf
@@ -92,12 +93,13 @@ fn budget_fallback_is_equally_invisible() {
     // not notice.
     let algos = ["west-first", "xy"];
     let base = csv("mesh:6x6", "transpose", &algos, RouteTableMode::On, 1);
-    let mut spec = ExperimentSpec::new("mesh:6x6", "transpose")
+    let mut builder = ExperimentSpec::builder("mesh:6x6", "transpose")
         .loads(&[0.02, 0.05])
         .config(quick().route_table_budget(1));
     for a in &algos {
-        spec = spec.algorithm(*a);
+        builder = builder.algorithm(*a);
     }
+    let spec = builder.build().expect("spec resolves");
     let mut capped = Vec::new();
     write_csv(&spec.run(1).expect("spec resolves"), &mut capped).expect("in-memory CSV");
     assert_eq!(base, capped, "budget fallback changed sweep bytes");
