@@ -3,132 +3,28 @@
 //! transpose workloads, with the precomputed route table on and off,
 //! against the last recorded pre-optimisation baseline.
 //!
-//! The baseline constants below were measured on this host at commit
-//! 1dec775 (before the allocation-free hot path and route tables) with
-//! exactly this workload; re-measure them from that commit if the
+//! The workload itself lives in [`turnroute_bench::workloads`] so this
+//! bench, the `bench_record` regression gate, and `scripts/bench.sh`
+//! all measure the same thing. The baseline constants there were
+//! measured on this host at commit 1dec775 (before the allocation-free
+//! hot path and route tables); re-measure them from that commit if the
 //! workload ever changes.
 
-use std::sync::Arc;
-
-use turnroute_bench::timing::{Harness, JsonReport};
-use turnroute_core::{DimensionOrder, RoutingAlgorithm, WestFirst};
-use turnroute_sim::{
-    patterns, NoopObserver, RouteTable, RouteTableMode, SimConfig, SimReport, Simulation,
+use turnroute_bench::workloads::{
+    measure_engine, render_engine_json, BASELINE_WEST_FIRST_CPS, BASELINE_XY_CPS,
 };
-use turnroute_topology::Mesh;
-
-/// Pre-optimisation cycles/sec at commit 1dec775: west-first/transpose.
-const BASELINE_WEST_FIRST_CPS: f64 = 110_014.0;
-/// Pre-optimisation cycles/sec at commit 1dec775: xy/transpose.
-const BASELINE_XY_CPS: f64 = 132_812.0;
-
-fn workload_config(mode: RouteTableMode) -> SimConfig {
-    SimConfig::paper()
-        .injection_rate(0.08)
-        .warmup_cycles(1_000)
-        .measure_cycles(4_000)
-        .seed(42)
-        .route_table(mode)
-}
-
-/// One full run with a caller-owned table (`None` = direct routing),
-/// mirroring the sweep executor, which builds the table once per series
-/// and shares it across every cell.
-fn run(
-    mesh: &Mesh,
-    algo: &dyn RoutingAlgorithm,
-    table: Option<Arc<RouteTable>>,
-) -> (SimReport, u64) {
-    let mode = if table.is_some() {
-        RouteTableMode::On
-    } else {
-        RouteTableMode::Off
-    };
-    let mut sim = Simulation::with_observer_and_table(
-        mesh,
-        algo,
-        &patterns::Transpose,
-        workload_config(mode),
-        NoopObserver,
-        table,
-    );
-    let report = sim.run();
-    (report, sim.cycle())
-}
 
 fn main() {
-    let mesh = Mesh::new_2d(16, 16);
-    let wf = WestFirst::minimal();
-    let xy = DimensionOrder::new();
-
-    let wf_table = RouteTable::build(&mesh, &wf).map(Arc::new);
-    let xy_table = RouteTable::build(&mesh, &xy).map(Arc::new);
-    assert!(wf_table.is_some() && xy_table.is_some(), "pairs must table");
-
-    // The route table must be invisible in the results; compare the
-    // full report renderings before timing anything.
-    let (wf_on, wf_cycles) = run(&mesh, &wf, wf_table.clone());
-    let (wf_off, off_cycles) = run(&mesh, &wf, None);
-    assert_eq!(wf_cycles, off_cycles, "route table changed the run length");
-    let identical = format!("{wf_on:?}") == format!("{wf_off:?}");
-    assert!(identical, "route table changed the report");
-
-    let mut h = Harness::new().sample_size(10);
-    let r_wf_on = h
-        .bench("engine/mesh16/west-first/transpose/table-on", || {
-            run(&mesh, &wf, wf_table.clone())
-        })
-        .clone();
-    let r_wf_off = h
-        .bench("engine/mesh16/west-first/transpose/table-off", || {
-            run(&mesh, &wf, None)
-        })
-        .clone();
-    let r_xy_on = h
-        .bench("engine/mesh16/xy/transpose/table-on", || {
-            run(&mesh, &xy, xy_table.clone())
-        })
-        .clone();
-
-    let wf_cps = wf_cycles as f64 / r_wf_on.median_secs();
-    let wf_cps_off = wf_cycles as f64 / r_wf_off.median_secs();
-    let (_, xy_cycles) = run(&mesh, &xy, xy_table.clone());
-    let xy_cps = xy_cycles as f64 / r_xy_on.median_secs();
-
-    println!("west-first: {wf_cps:.0} cycles/sec (table off: {wf_cps_off:.0}, baseline {BASELINE_WEST_FIRST_CPS:.0})");
-    println!("xy:         {xy_cps:.0} cycles/sec (baseline {BASELINE_XY_CPS:.0})");
-
-    JsonReport::new()
-        .field_str("bench", "engine_throughput")
-        .field_str(
-            "workload",
-            "mesh:16x16, transpose, load 0.08, warmup 1000 + measure 4000 + drain, seed 42",
-        )
-        .field_str(
-            "table_cost_model",
-            "table built once outside the timed loop and shared, as the sweep executor amortizes it across a series' cells",
-        )
-        .field_str(
-            "baseline",
-            "commit 1dec775 (pre-optimisation), same host and workload",
-        )
-        .field_num("run_cycles", wf_cycles as f64)
-        .result("west_first_table_on", &r_wf_on)
-        .result("west_first_table_off", &r_wf_off)
-        .result("xy_table_on", &r_xy_on)
-        .field_num("west_first_cycles_per_sec", wf_cps.round())
-        .field_num("west_first_cycles_per_sec_table_off", wf_cps_off.round())
-        .field_num("xy_cycles_per_sec", xy_cps.round())
-        .field_num("baseline_west_first_cycles_per_sec", BASELINE_WEST_FIRST_CPS)
-        .field_num("baseline_xy_cycles_per_sec", BASELINE_XY_CPS)
-        .field_num(
-            "west_first_speedup_vs_baseline",
-            (wf_cps / BASELINE_WEST_FIRST_CPS * 100.0).round() / 100.0,
-        )
-        .field_num(
-            "xy_speedup_vs_baseline",
-            (xy_cps / BASELINE_XY_CPS * 100.0).round() / 100.0,
-        )
-        .field_bool("reports_identical_table_on_vs_off", identical)
-        .write(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json"));
+    let m = measure_engine(10);
+    println!(
+        "west-first: {:.0} cycles/sec (table off: {:.0}, baseline {BASELINE_WEST_FIRST_CPS:.0})",
+        m.west_first_cps, m.west_first_cps_table_off
+    );
+    println!(
+        "xy:         {:.0} cycles/sec (baseline {BASELINE_XY_CPS:.0})",
+        m.xy_cps
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, render_engine_json(&m)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
 }

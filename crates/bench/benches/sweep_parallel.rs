@@ -2,91 +2,24 @@
 //! experiment executor, recorded to `BENCH_sweep.json` at the repo root.
 //!
 //! The grid is a scaled-down Figure 13/14 pair: 4 algorithms x 2
-//! patterns x 6 loads on a 16x16 mesh. Results are bit-identical at
-//! every thread count (asserted here), so the only question is
-//! wall-clock. Note the executor schedules speculatively past a series'
-//! saturation point; on a single hardware core that speculation is pure
-//! extra work, so the parallel run only wins when real cores exist.
+//! patterns x 6 loads on a 16x16 mesh; it lives in
+//! [`turnroute_bench::workloads`] so this bench and the `bench_record`
+//! regression gate measure the same thing. Results are bit-identical
+//! at every thread count (asserted inside the workload), so the only
+//! question is wall-clock. Note the executor schedules speculatively
+//! past a series' saturation point; on a single hardware core that
+//! speculation is pure extra work, so the parallel run only wins when
+//! real cores exist.
 
-use turnroute::experiment::ExperimentSpec;
-use turnroute_bench::timing::Harness;
-use turnroute_sim::report::write_csv;
-use turnroute_sim::{SimConfig, SweepSeries};
-
-const LOADS: &[f64] = &[0.01, 0.02, 0.04, 0.08, 0.12, 0.18];
-
-fn spec(pattern: &str) -> ExperimentSpec {
-    ExperimentSpec::builder("mesh:16x16", pattern)
-        .algorithm("xy")
-        .algorithm("west-first")
-        .algorithm("north-last")
-        .algorithm("negative-first")
-        .loads(LOADS)
-        .config(
-            SimConfig::paper()
-                .warmup_cycles(1_000)
-                .measure_cycles(4_000)
-                .seed(9),
-        )
-        .build()
-        .expect("a static bench spec resolves")
-}
-
-fn run_grid(threads: usize) -> Vec<SweepSeries> {
-    let mut all = spec("uniform").run(threads).expect("spec resolves");
-    all.extend(spec("transpose").run(threads).expect("spec resolves"));
-    all
-}
-
-fn csv_bytes(series: &[SweepSeries]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    write_csv(series, &mut buf).expect("in-memory CSV");
-    buf
-}
+use turnroute_bench::workloads::{measure_sweep, render_sweep_json};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-
-    // Determinism first: the parallel bytes must equal the serial bytes.
-    let serial_csv = csv_bytes(&run_grid(1));
-    assert_eq!(
-        serial_csv,
-        csv_bytes(&run_grid(8)),
-        "thread count changed the bytes"
-    );
-
-    let mut h = Harness::new().sample_size(5);
-    let serial = h
-        .bench("sweep/mesh16_grid/threads=1", || run_grid(1))
-        .median_secs();
-    let par2 = h
-        .bench("sweep/mesh16_grid/threads=2", || run_grid(2))
-        .median_secs();
-    let par8 = h
-        .bench("sweep/mesh16_grid/threads=8", || run_grid(8))
-        .median_secs();
-
-    let speedup8 = serial / par8;
-    println!("speedup at 8 threads: {speedup8:.2}x (host has {cores} core(s))");
-
-    let json = format!(
-        r#"{{
-  "bench": "sweep_parallel",
-  "grid": "mesh:16x16, 4 algorithms x (uniform, transpose) x {} loads, quick windows",
-  "host_cores": {cores},
-  "serial_secs": {serial:.4},
-  "threads2_secs": {par2:.4},
-  "threads8_secs": {par8:.4},
-  "speedup_2_threads": {:.3},
-  "speedup_8_threads": {speedup8:.3},
-  "bytes_identical_1_vs_8_threads": true,
-  "note": "Executor schedules speculatively past each series' saturation cutoff, so on hosts with fewer hardware cores than workers the extra threads add work instead of overlapping it; the >=3x target presumes >=8 real cores."
-}}
-"#,
-        LOADS.len(),
-        serial / par2,
+    let m = measure_sweep(5);
+    println!(
+        "speedup at 8 threads: {:.2}x (host has {} core(s))",
+        m.speedup_8, m.host_cores
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-    std::fs::write(path, &json).expect("writing BENCH_sweep.json");
+    std::fs::write(path, render_sweep_json(&m)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }

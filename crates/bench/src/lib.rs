@@ -6,7 +6,9 @@
 //! mode produces the same qualitative shapes in a fraction of the time)
 //! and prints CSV to stdout with a human-readable summary on stderr.
 
+pub mod regression;
 pub mod timing;
+pub mod workloads;
 
 use turnroute::experiment::ExperimentSpec;
 use turnroute_sim::report::write_csv;

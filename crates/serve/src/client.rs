@@ -96,3 +96,8 @@ pub fn cancel(addr: &str, job_id: &str) -> io::Result<(u16, Vec<u8>)> {
 pub fn cache_stats(addr: &str) -> io::Result<(u16, Vec<u8>)> {
     http_request(addr, "GET", "/v1/cache/stats", None)
 }
+
+/// `GET /v1/metrics` — the Prometheus text exposition.
+pub fn metrics(addr: &str) -> io::Result<(u16, Vec<u8>)> {
+    http_request(addr, "GET", "/v1/metrics", None)
+}

@@ -96,11 +96,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, Reques
     Ok(Ok(Request { method, path, body }))
 }
 
-/// One HTTP response; the body is always `application/json`.
+/// One HTTP response. Bodies are `application/json` except for the
+/// Prometheus exposition, which is plain text.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// The status code.
     pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -110,6 +113,16 @@ impl Response {
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `text/plain` response in the Prometheus exposition dialect.
+    pub fn metrics_text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
             body: body.into(),
         }
     }
@@ -145,9 +158,10 @@ fn reason(status: u16) -> &'static str {
 /// the connection.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
     );
     stream.write_all(head.as_bytes())?;

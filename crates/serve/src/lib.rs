@@ -17,16 +17,21 @@
 //! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer (the
 //!   workspace is std-only by design);
 //! * [`client`] — the thin blocking client used by the `turnroute
-//!   submit`/`status`/`fetch` subcommands and the integration tests.
+//!   submit`/`status`/`fetch` subcommands and the integration tests;
+//! * [`metrics`] — hand-rolled counters/histograms behind the
+//!   Prometheus-text `GET /v1/metrics` endpoint.
 //!
 //! Duplicate in-flight submissions coalesce onto one running job; a
 //! corrupted store entry is detected by its fingerprint and recomputed.
+//! Every request and job lifecycle is traced through the structured
+//! [`turnroute_sim::oplog`] logger when one is configured.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod server;
 pub mod store;
 

@@ -1,0 +1,195 @@
+//! Hand-rolled service metrics and their Prometheus text exposition.
+//!
+//! The workspace is std-only, so this module supplies the three
+//! primitives `GET /v1/metrics` needs instead of a metrics framework:
+//!
+//! * **labeled counters** — [`LabeledCounter`], a mutex-guarded ordered
+//!   map from a small, bounded label tuple to a count (route × status
+//!   for the access counter). Scrapes are rare and label sets tiny, so
+//!   a mutex beats sharding complexity;
+//! * **duration histograms** — [`DurationHistogram`], the simulator's
+//!   log-bucketed mergeable [`LatencyHistogram`] recording microseconds,
+//!   exposed as a Prometheus histogram over a fixed cumulative `le`
+//!   ladder via [`LatencyHistogram::count_le`];
+//! * **an exposition writer** — [`Expo`], emitting the text format
+//!   (version 0.0.4: `# HELP` / `# TYPE` headers, `name{labels} value`
+//!   samples) that Prometheus, VictoriaMetrics and `promtool` ingest.
+//!
+//! Scalar counters stay plain `AtomicU64`s at their call sites; this
+//! module renders them. Everything here is monotonic or gauge-valued —
+//! nothing feeds back into experiment results, which must stay
+//! byte-identical whether or not anyone scrapes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use turnroute_sim::LatencyHistogram;
+
+/// The cumulative `le` ladder (seconds) both duration histograms
+/// expose. Chosen to straddle the API's realistic range: sub-ms cache
+/// hits up to multi-second sweep jobs.
+pub const DURATION_BUCKETS_SECS: &[f64] = &[0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0];
+
+/// A monotone counter split by a small label tuple (e.g. route ×
+/// status code). Label cardinality is bounded by construction: routes
+/// are a fixed enumeration and status codes a handful of values.
+#[derive(Debug, Default)]
+pub struct LabeledCounter {
+    counts: Mutex<BTreeMap<(String, String), u64>>,
+}
+
+impl LabeledCounter {
+    /// Adds 1 to the `(a, b)` label pair's count.
+    pub fn increment(&self, a: &str, b: &str) {
+        let mut counts = self.counts.lock().expect("metrics poisoned");
+        *counts.entry((a.to_owned(), b.to_owned())).or_insert(0) += 1;
+    }
+
+    /// A stable-ordered snapshot of every labeled count.
+    pub fn snapshot(&self) -> Vec<((String, String), u64)> {
+        self.counts
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+/// A duration histogram: microsecond samples in a log-bucketed
+/// [`LatencyHistogram`], scraped as Prometheus cumulative buckets.
+#[derive(Debug, Default)]
+pub struct DurationHistogram {
+    hist: Mutex<LatencyHistogram>,
+}
+
+impl DurationHistogram {
+    /// Records one duration, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.hist.lock().expect("metrics poisoned").record(micros);
+    }
+
+    /// A point-in-time copy for rendering.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.hist.lock().expect("metrics poisoned").clone()
+    }
+}
+
+/// A Prometheus text-exposition builder (format version 0.0.4).
+#[derive(Debug, Default)]
+pub struct Expo {
+    out: String,
+}
+
+impl Expo {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Expo::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header pair for a metric family.
+    /// `kind` is `counter`, `gauge` or `histogram`.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line; `labels` render as `{k="v",...}` with
+    /// label values escaped per the exposition format.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: impl std::fmt::Display) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = write!(self.out, "{k}=\"{escaped}\"");
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits a full histogram family from microsecond samples: the
+    /// cumulative `_bucket{le=...}` ladder ([`DURATION_BUCKETS_SECS`]
+    /// plus `+Inf`), `_sum` (seconds) and `_count`.
+    pub fn duration_histogram(&mut self, name: &str, help: &str, hist: &LatencyHistogram) {
+        self.family(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        for &le in DURATION_BUCKETS_SECS {
+            let micros = (le * 1e6) as u64;
+            self.sample(&bucket, &[("le", &format!("{le}"))], hist.count_le(micros));
+        }
+        self.sample(&bucket, &[("le", "+Inf")], hist.len());
+        self.sample(&format!("{name}_sum"), &[], hist.sum() as f64 / 1e6);
+        self.sample(&format!("{name}_count"), &[], hist.len());
+    }
+
+    /// The rendered exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_counters_snapshot_in_stable_order() {
+        let c = LabeledCounter::default();
+        c.increment("jobs", "202");
+        c.increment("healthz", "200");
+        c.increment("jobs", "202");
+        let snap = c.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                (("healthz".to_owned(), "200".to_owned()), 1),
+                (("jobs".to_owned(), "202".to_owned()), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn exposition_renders_families_labels_and_escapes() {
+        let mut e = Expo::new();
+        e.family("x_total", "Things that happened.", "counter");
+        e.sample("x_total", &[("route", "jobs"), ("code", "200")], 7);
+        e.sample("y", &[("path", "a\"b\\c")], 1.5);
+        e.sample("z", &[], 0);
+        let text = e.finish();
+        assert!(text.contains("# HELP x_total Things that happened.\n"));
+        assert!(text.contains("# TYPE x_total counter\n"));
+        assert!(text.contains("x_total{route=\"jobs\",code=\"200\"} 7\n"));
+        assert!(text.contains("y{path=\"a\\\"b\\\\c\"} 1.5\n"));
+        assert!(text.contains("z 0\n"));
+    }
+
+    #[test]
+    fn duration_histogram_buckets_are_cumulative_and_capped_by_count() {
+        let h = DurationHistogram::default();
+        h.record_micros(500); // 0.0005 s
+        h.record_micros(30_000); // 0.03 s
+        h.record_micros(3_000_000); // 3 s
+        let mut e = Expo::new();
+        e.duration_histogram("d_seconds", "Durations.", &h.snapshot());
+        let text = e.finish();
+        assert!(text.contains("# TYPE d_seconds histogram"));
+        assert!(text.contains("d_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("d_seconds_count 3\n"));
+        // Cumulative: each bucket's value never exceeds the next's.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("d_seconds_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "bucket ladder not cumulative: {line}");
+            prev = v;
+        }
+        // The 3 s sample lands above le=2.5 but within le=10.
+        assert!(text.contains("d_seconds_bucket{le=\"2.5\"} 2\n"));
+        assert!(text.contains("d_seconds_bucket{le=\"10\"} 3\n"));
+    }
+}

@@ -138,6 +138,19 @@ impl ResultStore {
     pub fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? == 0)
     }
+
+    /// Total on-disk size of all entries, in bytes (headers included —
+    /// this is the directory's footprint, not the sum of body lengths).
+    pub fn total_bytes(&self) -> io::Result<u64> {
+        let mut bytes = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "entry") {
+                bytes += entry.metadata()?.len();
+            }
+        }
+        Ok(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +172,8 @@ mod tests {
         store.put("a1b2", body).unwrap();
         assert_eq!(store.get("a1b2"), StoreLookup::Hit(body.to_vec()));
         assert_eq!(store.len().unwrap(), 1);
+        // The entry's footprint covers the header line plus the body.
+        assert!(store.total_bytes().unwrap() > body.len() as u64);
         // Overwrite replaces the body.
         store.put("a1b2", b"v2").unwrap();
         assert_eq!(store.get("a1b2"), StoreLookup::Hit(b"v2".to_vec()));

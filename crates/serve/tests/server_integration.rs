@@ -11,7 +11,7 @@ use turnroute_experiment::ExperimentSpec;
 use turnroute_serve::client;
 use turnroute_serve::{ServeOptions, Server, ServerHandle};
 use turnroute_sim::report::write_report_json;
-use turnroute_sim::{Executor, SimConfig};
+use turnroute_sim::{Executor, Logger, SimConfig};
 
 fn quick() -> SimConfig {
     SimConfig::paper()
@@ -40,6 +40,7 @@ fn start(tag: &str) -> (ServerHandle, String, PathBuf) {
         ServeOptions {
             store_dir: store_dir.clone(),
             threads: 2,
+            logger: Logger::disabled(),
         },
     )
     .expect("server starts on an ephemeral port");
@@ -311,9 +312,21 @@ fn a_corrupted_store_entry_is_detected_and_recomputed() {
     let after = stats(&addr);
     assert_eq!(stat(&after, "corrupt_detected"), 1);
     assert_eq!(
+        stat(&after, "corrupt_healed"),
+        1,
+        "the recompute must be counted as a heal"
+    );
+    assert_eq!(
         stat(&after, "engine_cells_simulated"),
         cells_once * 2,
         "the recompute re-ran the full grid"
+    );
+    // The healed store holds exactly the one entry, and its reported
+    // footprint covers at least the pristine body.
+    assert_eq!(stat(&after, "entries"), 1);
+    assert!(
+        stat(&after, "store_bytes") >= pristine.len() as u64,
+        "store_bytes must cover the stored report"
     );
 
     handle.shutdown();

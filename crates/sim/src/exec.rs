@@ -35,6 +35,7 @@ use crate::engine::{SimReport, Simulation};
 use crate::hist::LatencyHistogram;
 use crate::lut::{RouteTable, RouteTableMode, DEFAULT_ROUTE_TABLE_BUDGET};
 use crate::obs::NoopObserver;
+use crate::oplog::{Level, Logger};
 use crate::patterns::TrafficPattern;
 use crate::sweep::{SweepPoint, SweepSeries};
 use turnroute_core::RoutingAlgorithm;
@@ -568,6 +569,8 @@ pub struct Executor {
     stats: ExecStats,
     telemetry: ExecTelemetry,
     progress: Option<Arc<ExecProgress>>,
+    log: Logger,
+    span: String,
 }
 
 impl Executor {
@@ -579,6 +582,8 @@ impl Executor {
             stats: ExecStats::default(),
             telemetry: ExecTelemetry::default(),
             progress: None,
+            log: Logger::disabled(),
+            span: String::new(),
         }
     }
 
@@ -592,6 +597,16 @@ impl Executor {
     /// resets its counters and keeps them live while cells complete.
     pub fn with_progress(mut self, progress: Arc<ExecProgress>) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Attaches a structured logger: every completed cell emits a
+    /// debug-level `"cell"` event tagged with `span` (the job server
+    /// passes the job id, so one job's cell progress greps as one
+    /// span). Disabled loggers cost nothing.
+    pub fn with_oplog(mut self, log: Logger, span: impl Into<String>) -> Self {
+        self.log = log;
+        self.span = span.into();
         self
     }
 
@@ -666,6 +681,8 @@ impl Executor {
         });
 
         let progress = self.progress.clone();
+        let log = self.log.clone();
+        let span = self.span.clone();
         let work = |shared: &Mutex<Shared>| loop {
             if progress.as_deref().is_some_and(ExecProgress::is_cancelled) {
                 break;
@@ -692,6 +709,21 @@ impl Executor {
             drop(guard);
             if let Some(p) = &progress {
                 p.completed.fetch_add(1, Ordering::AcqRel);
+            }
+            if log.enabled(Level::Debug) {
+                let mut ev = log
+                    .event(Level::Debug, "cell")
+                    .span(&span)
+                    .str("algorithm", &job.algorithm)
+                    .str("pattern", &job.pattern)
+                    .f64("offered_load", load)
+                    .f64("wall_secs", wall_secs);
+                if let Some(p) = &progress {
+                    ev = ev
+                        .u64("cells_completed", p.completed())
+                        .u64("cells_total", p.total());
+                }
+                ev.emit();
             }
         };
 

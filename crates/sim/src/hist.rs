@@ -202,6 +202,26 @@ impl LatencyHistogram {
         bucket_bounds(bucket_of(value))
     }
 
+    /// Number of recorded samples in buckets lying entirely at or below
+    /// `bound` — the cumulative count a Prometheus histogram `le`
+    /// bucket needs. Exact below [`LINEAR_LIMIT`]; above it, samples in
+    /// the bucket straddling `bound` are excluded, so the result may
+    /// undercount by at most one bucket's population (relative width
+    /// `1 / SUB_BUCKETS`). Monotone in `bound`, and
+    /// `count_le(u64::MAX) == len()`.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let mut cum = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let (low, high) = bucket_bounds(i);
+            if high <= bound {
+                cum += c;
+            } else if low > bound {
+                break;
+            }
+        }
+        cum
+    }
+
     /// The occupied buckets as `(low, high, count)` triples, in
     /// ascending value order (for compact reporting).
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -385,6 +405,27 @@ mod tests {
                 "q={q}: merged quantile {approx} outside exact bucket [{low}, {high}]"
             );
         }
+    }
+
+    #[test]
+    fn count_le_is_monotone_and_bucket_exact() {
+        let h = LatencyHistogram::from_values(&[0, 1, 5, 63, 100, 10_000, 1_000_000]);
+        // Exact in the linear range.
+        assert_eq!(h.count_le(0), 1);
+        assert_eq!(h.count_le(4), 2);
+        assert_eq!(h.count_le(63), 4);
+        // Above the linear range, within one bucket of exact.
+        let (_, high_100) = LatencyHistogram::bucket_bounds_of(100);
+        assert_eq!(h.count_le(high_100), 5);
+        assert_eq!(h.count_le(u64::MAX), h.len());
+        // Monotone in the bound.
+        let mut prev = 0;
+        for bound in [0u64, 10, 63, 64, 1_000, 100_000, 10_000_000] {
+            let c = h.count_le(bound);
+            assert!(c >= prev, "count_le({bound}) regressed");
+            prev = c;
+        }
+        assert_eq!(LatencyHistogram::new().count_le(u64::MAX), 0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod hist;
 pub mod lut;
 mod metrics;
 pub mod obs;
+pub mod oplog;
 mod packet;
 pub mod patterns;
 pub mod report;
@@ -69,6 +70,7 @@ pub use obs::{
     ChannelActivityObserver, FaultObserver, FlitTraceObserver, NoopObserver, SimObserver,
     TurnUsageObserver,
 };
+pub use oplog::{Level, Logger};
 pub use packet::{Packet, PacketId, PacketState};
 pub use sweep::{sweep, SweepPoint, SweepSeries};
 pub use traffic::PoissonSource;

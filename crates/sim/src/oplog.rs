@@ -1,0 +1,382 @@
+//! Structured operational logging: leveled, timestamped, span-tagged
+//! line-JSON event records.
+//!
+//! The simulator's [`obs`](crate::obs) layer observes *simulations*
+//! (flit traces, turn matrices) with zero default overhead; this module
+//! observes the *system around them* — the job server's requests, job
+//! lifecycles and store traffic, and the executor's per-cell progress.
+//! Events are single-line JSON objects written to an arbitrary sink
+//! (stderr or a file), so they grep cleanly and parse with any JSON
+//! reader:
+//!
+//! ```text
+//! {"ts_ms":1754700000123,"level":"info","event":"job_done","span":"j1","cells":4}
+//! ```
+//!
+//! Design constraints, in order:
+//!
+//! * **Disabled means free.** A [`Logger::disabled`] logger carries no
+//!   sink; every field builder short-circuits on `None` and
+//!   [`Logger::enabled`] lets hot paths skip event construction
+//!   entirely. Experiment *results* must be byte-identical with logging
+//!   on or off — logs go to their own sink, never stdout.
+//! * **No globals.** A [`Logger`] is an explicit, cheaply clonable
+//!   handle (`Arc` inside), so tests run isolated loggers side by side
+//!   and ownership is visible at construction sites.
+//! * **std-only.** Rendering is hand-rolled line JSON; timestamps are
+//!   wall-clock milliseconds since the Unix epoch.
+//!
+//! # Span model
+//!
+//! A *span* is a correlation id stitching one logical operation's
+//! events together: the job server uses the job id (`"j7"`) for
+//! lifecycle events and a per-connection id (`"r12"`, from
+//! [`Logger::next_span`]) for request events. Events carry at most one
+//! span; nesting is expressed by logging the parent id as an ordinary
+//! field.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics (per-cell executor events).
+    Debug,
+    /// Normal lifecycle events (requests, job transitions).
+    Info,
+    /// Something off but handled (malformed request, store corruption).
+    Warn,
+    /// Something failed (job failure, store write error).
+    Error,
+}
+
+impl Level {
+    /// The lowercase name used in the `"level"` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(format!(
+                "unknown log level '{other}' (debug | info | warn | error)"
+            )),
+        }
+    }
+}
+
+struct Inner {
+    min: Level,
+    sink: Mutex<Box<dyn Write + Send>>,
+    spans: AtomicU64,
+}
+
+/// A handle to a structured-log sink (or to nothing at all).
+///
+/// Cloning shares the sink; see the module docs for the design rules.
+#[derive(Clone, Default)]
+pub struct Logger {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Logger(disabled)"),
+            Some(inner) => write!(f, "Logger(min: {})", inner.min),
+        }
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything at zero cost (the default).
+    pub fn disabled() -> Self {
+        Logger { inner: None }
+    }
+
+    /// A logger writing events at or above `min` to `sink`.
+    pub fn to_writer(min: Level, sink: impl Write + Send + 'static) -> Self {
+        Logger {
+            inner: Some(Arc::new(Inner {
+                min,
+                sink: Mutex::new(Box::new(sink)),
+                spans: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A logger appending to the file at `path` (created if missing).
+    pub fn to_file(min: Level, path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::to_writer(min, file))
+    }
+
+    /// A logger writing to standard error.
+    pub fn to_stderr(min: Level) -> Self {
+        Self::to_writer(min, io::stderr())
+    }
+
+    /// `true` if an event at `level` would actually be written — gate
+    /// any per-event work a hot path would rather skip.
+    pub fn enabled(&self, level: Level) -> bool {
+        self.inner.as_ref().is_some_and(|i| level >= i.min)
+    }
+
+    /// A fresh span id with the given prefix (`"r"` → `"r1"`, `"r2"`,
+    /// ...), unique per logger.
+    pub fn next_span(&self, prefix: &str) -> String {
+        let n = self
+            .inner
+            .as_ref()
+            .map_or(0, |i| i.spans.fetch_add(1, Ordering::Relaxed) + 1);
+        format!("{prefix}{n}")
+    }
+
+    /// Starts an event record named `event` at `level`. Append fields
+    /// with the builder methods, then [`Event::emit`].
+    pub fn event(&self, level: Level, event: &str) -> Event<'_> {
+        let Some(inner) = self.inner.as_ref().filter(|i| level >= i.min) else {
+            return Event {
+                sink: None,
+                buf: String::new(),
+            };
+        };
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"ts_ms\":");
+        buf.push_str(&ts_ms.to_string());
+        buf.push_str(",\"level\":\"");
+        buf.push_str(level.as_str());
+        buf.push_str("\",\"event\":");
+        push_json_str(&mut buf, event);
+        Event {
+            sink: Some(&inner.sink),
+            buf,
+        }
+    }
+}
+
+/// One in-flight event record; append fields, then [`Event::emit`].
+///
+/// All builders are no-ops when the owning logger filtered the event
+/// out, so callers never branch on log levels themselves.
+#[must_use = "an event does nothing until emit() is called"]
+pub struct Event<'a> {
+    sink: Option<&'a Mutex<Box<dyn Write + Send>>>,
+    buf: String,
+}
+
+impl Event<'_> {
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds the span id this event belongs to.
+    pub fn span(self, id: &str) -> Self {
+        self.str("span", id)
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        if self.sink.is_some() {
+            self.key(key);
+            push_json_str(&mut self.buf, value);
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if self.sink.is_some() {
+            self.key(key);
+            self.buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values — JSON has no
+    /// NaN or infinity).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if self.sink.is_some() {
+            self.key(key);
+            if value.is_finite() {
+                self.buf.push_str(&value.to_string());
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        if self.sink.is_some() {
+            self.key(key);
+            self.buf.push_str(if value { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Writes the record as one line. Sink errors are swallowed:
+    /// logging must never take the system down with it.
+    pub fn emit(mut self) {
+        let Some(sink) = self.sink else { return };
+        self.buf.push_str("}\n");
+        if let Ok(mut w) = sink.lock() {
+            let _ = w.write_all(self.buf.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink capturing everything written, shareable with the test.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn events_render_as_line_json_with_schema_fields() {
+        let cap = Capture::default();
+        let log = Logger::to_writer(Level::Debug, cap.clone());
+        log.event(Level::Info, "request")
+            .span("r1")
+            .str("method", "GET")
+            .u64("status", 200)
+            .f64("duration_secs", 0.25)
+            .bool("cached", true)
+            .emit();
+        let text = cap.text();
+        assert!(text.ends_with("}\n"), "one line per event: {text:?}");
+        assert_eq!(text.lines().count(), 1);
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"event\":\"request\""));
+        assert!(line.contains("\"span\":\"r1\""));
+        assert!(line.contains("\"method\":\"GET\""));
+        assert!(line.contains("\"status\":200"));
+        assert!(line.contains("\"duration_secs\":0.25"));
+        assert!(line.contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn level_filter_drops_quieter_events() {
+        let cap = Capture::default();
+        let log = Logger::to_writer(Level::Warn, cap.clone());
+        assert!(!log.enabled(Level::Info));
+        assert!(log.enabled(Level::Error));
+        log.event(Level::Info, "dropped").emit();
+        log.event(Level::Warn, "kept").emit();
+        let text = cap.text();
+        assert!(!text.contains("dropped"));
+        assert!(text.contains("kept"));
+    }
+
+    #[test]
+    fn disabled_logger_emits_nothing_and_reports_disabled() {
+        let log = Logger::disabled();
+        assert!(!log.enabled(Level::Error));
+        // Emitting through a disabled logger is a no-op, not a panic.
+        log.event(Level::Error, "void").u64("x", 1).emit();
+        assert_eq!(format!("{log:?}"), "Logger(disabled)");
+        assert_eq!(format!("{:?}", Logger::default()), "Logger(disabled)");
+    }
+
+    #[test]
+    fn strings_are_escaped_and_floats_sanitized() {
+        let cap = Capture::default();
+        let log = Logger::to_writer(Level::Debug, cap.clone());
+        log.event(Level::Info, "e")
+            .str("path", "a\"b\\c\nd")
+            .f64("nan", f64::NAN)
+            .emit();
+        let text = cap.text();
+        assert!(text.contains("\"path\":\"a\\\"b\\\\c\\nd\""));
+        assert!(text.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn span_ids_are_unique_per_logger() {
+        let cap = Capture::default();
+        let log = Logger::to_writer(Level::Debug, cap);
+        assert_eq!(log.next_span("r"), "r1");
+        assert_eq!(log.next_span("r"), "r2");
+        assert_eq!(log.next_span("j"), "j3");
+        // Disabled loggers still hand out (constant) ids harmlessly.
+        assert_eq!(Logger::disabled().next_span("r"), "r0");
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert!(Level::Debug < Level::Info && Level::Warn < Level::Error);
+        assert_eq!("warn".parse::<Level>(), Ok(Level::Warn));
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Perf-regression harness entry point.
+#
+#   scripts/bench.sh               re-measure, append bench/history.jsonl,
+#                                  rewrite BENCH_*.json, regenerate the
+#                                  trajectory dashboard
+#   scripts/bench.sh --check       measure-only CI gate: fail on a >10%
+#                                  throughput regression vs the last
+#                                  committed record (still writes the
+#                                  dashboard for artifact upload)
+#
+# All flags are forwarded to the bench_record binary (--tolerance F,
+# --note TEXT, --help).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p turnroute-bench --bin bench_record -- "$@"

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 echo "==> placeholder-URL guard"
 # The real repository URL lives in Cargo.toml; the placeholder domain
 # must never come back (this file is the only permitted mention).
-if git grep -n "example\.invalid" -- ':!scripts/check.sh' ':!ISSUE.md' ; then
+if git grep -n "example\.invalid" -- ':!scripts/check.sh' ':!ISSUE.md' ':!CHANGES.md' ; then
   echo "error: placeholder domain 'example.invalid' reintroduced" >&2
   exit 1
 fi

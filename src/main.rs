@@ -20,7 +20,8 @@ use turnroute::experiment::{Engine, ExperimentSpec};
 use turnroute::serve::{client, ServeOptions, Server};
 use turnroute::sim::report::{write_csv, write_report_json, write_telemetry_json};
 use turnroute::sim::{
-    CellCache, Executor, FlitTraceObserver, RouteTableMode, RunOutcome, SimConfig, Simulation,
+    CellCache, Executor, FlitTraceObserver, Level, Logger, RouteTableMode, RunOutcome, SimConfig,
+    Simulation,
 };
 use turnroute::topology::{ChannelId, Topology};
 
@@ -62,14 +63,19 @@ commands:
             per count) for degradation curves; --faults injects one
             explicit plan into every cell instead
   serve     [--addr HOST:PORT] [--store DIR] [--threads N]
+            [--log FILE|-] [--log-level debug|info|warn|error]
             run the headless job server: POST /v1/jobs submits an
             experiment spec (JSON), GET /v1/jobs/ID polls status with
             per-cell progress, GET /v1/jobs/ID/result fetches the
-            versioned report; plus GET /v1/healthz and
-            GET /v1/cache/stats. identical specs are answered from the
-            content-addressed store in DIR (default .turnroute-store)
-            byte-identically with zero engine cycles; duplicate
-            in-flight submissions coalesce onto one job
+            versioned report; plus GET /v1/healthz, GET /v1/cache/stats
+            and the Prometheus text exposition at GET /v1/metrics.
+            identical specs are answered from the content-addressed
+            store in DIR (default .turnroute-store) byte-identically
+            with zero engine cycles; duplicate in-flight submissions
+            coalesce onto one job. --log streams structured line-JSON
+            events (requests, job lifecycle spans, store activity) to
+            FILE, or to stderr with '-'; --log-level defaults to info
+            (debug adds per-cell progress events)
   submit    --spec FILE [--addr HOST:PORT]
             validate FILE ('-' reads stdin) locally, then submit it as
             a job; prints the server's job document
@@ -401,18 +407,26 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get("store")
                 .map(String::as_str)
                 .unwrap_or(".turnroute-store");
+            let logger = serve_logger(&opts)?;
             let handle = Server::start(
                 addr,
                 ServeOptions {
                     store_dir: store_dir.into(),
                     threads: threads_option(&opts)?,
+                    logger,
                 },
             )
             .map_err(|e| format!("cannot start the server on {addr}: {e}"))?;
             println!("turnroute-serve listening on http://{}", handle.addr());
             println!("  result store: {store_dir}");
             println!("  POST /v1/jobs   GET /v1/jobs/ID   GET /v1/jobs/ID/result");
-            println!("  GET /v1/healthz   GET /v1/cache/stats   (Ctrl-C stops)");
+            println!("  GET /v1/healthz   GET /v1/cache/stats   GET /v1/metrics");
+            if let Some(dest) = opts.get("log") {
+                let dest = if dest == "-" { "stderr" } else { dest };
+                println!("  structured log: {dest}   (Ctrl-C stops)");
+            } else {
+                println!("  (Ctrl-C stops; --log - streams structured events)");
+            }
             loop {
                 std::thread::park();
             }
@@ -450,6 +464,28 @@ fn run(args: &[String]) -> Result<(), String> {
             print_response(status, &body)
         }
         other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Builds the `serve` logger from `--log FILE|-` and `--log-level`
+/// (default `info`). Without `--log`, logging is disabled entirely.
+fn serve_logger(opts: &HashMap<String, String>) -> Result<Logger, String> {
+    let Some(dest) = opts.get("log") else {
+        if opts.contains_key("log-level") {
+            return Err("--log-level needs --log FILE|- to have somewhere to write".into());
+        }
+        return Ok(Logger::disabled());
+    };
+    let level: Level = opts
+        .get("log-level")
+        .map(String::as_str)
+        .unwrap_or("info")
+        .parse()
+        .map_err(|e: String| format!("bad --log-level: {e}"))?;
+    if dest == "-" {
+        Ok(Logger::to_stderr(level))
+    } else {
+        Logger::to_file(level, dest).map_err(|e| format!("cannot open --log {dest}: {e}"))
     }
 }
 

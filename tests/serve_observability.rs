@@ -1,0 +1,369 @@
+//! Operational-telemetry coverage: the Prometheus exposition at
+//! `GET /v1/metrics` (validity, series count, counter deltas across a
+//! job and a cache hit), the structured log's full job-lifecycle
+//! schema, and the guarantee that logging never changes report bytes.
+
+mod support;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use support::json::{self, Value};
+use turnroute::experiment::ExperimentSpec;
+use turnroute::serve::{client, ServeOptions, Server, ServerHandle};
+use turnroute::sim::report::write_report_json;
+use turnroute::sim::{Executor, Level, Logger, SimConfig};
+
+fn small_spec() -> ExperimentSpec {
+    ExperimentSpec::builder("mesh:6x6", "transpose")
+        .algorithm("xy")
+        .algorithm("west-first")
+        .loads(&[0.02, 0.05])
+        .config(
+            SimConfig::paper()
+                .warmup_cycles(300)
+                .measure_cycles(1_500)
+                .seed(7),
+        )
+        .build()
+        .expect("spec resolves")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("turnroute-obs-test-{tag}-{}", std::process::id()))
+}
+
+fn start(tag: &str, logger: Logger) -> (ServerHandle, String) {
+    let store_dir = temp_path(&format!("store-{tag}"));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let handle = Server::start(
+        "127.0.0.1:0",
+        ServeOptions {
+            store_dir,
+            threads: 2,
+            logger,
+        },
+    )
+    .expect("server starts on an ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn parse(body: &[u8]) -> Value {
+    json::parse(std::str::from_utf8(body).expect("UTF-8 response"))
+        .expect("well-formed JSON response")
+}
+
+fn str_field<'a>(doc: &'a Value, key: &str) -> &'a str {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string field '{key}'"))
+}
+
+fn wait_done(addr: &str, job_id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = client::status(addr, job_id).expect("status reaches the server");
+        assert_eq!(status, 200);
+        let doc = parse(&body);
+        match str_field(&doc, "status") {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {job_id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            "done" => return,
+            other => panic!("job {job_id} ended as '{other}'"),
+        }
+    }
+}
+
+/// Scrapes `/v1/metrics` into `sample-line -> value`, validating the
+/// exposition shape as it goes: every non-comment line is
+/// `name{labels} value` with a finite numeric value, and every sample
+/// belongs to a family announced by a `# TYPE` line.
+fn scrape(addr: &str) -> HashMap<String, f64> {
+    let (status, body) = client::metrics(addr).expect("metrics reach the server");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("exposition is UTF-8");
+    let mut typed_families = Vec::new();
+    let mut samples = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().expect("TYPE line names a family");
+            let kind = parts.next().expect("TYPE line carries a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown metric kind '{kind}'"
+            );
+            typed_families.push(family.to_owned());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().expect("sample value is numeric");
+        assert!(value.is_finite(), "non-finite sample: {line}");
+        let name = key.split('{').next().unwrap();
+        assert!(
+            typed_families.iter().any(|f| name.starts_with(f.as_str())),
+            "sample '{name}' has no # TYPE header"
+        );
+        samples.insert(key.to_owned(), value);
+    }
+    assert!(
+        typed_families.len() >= 8,
+        "expected >=8 metric families, got {}: {typed_families:?}",
+        typed_families.len()
+    );
+    samples
+}
+
+fn metric(samples: &HashMap<String, f64>, key: &str) -> f64 {
+    *samples
+        .get(key)
+        .unwrap_or_else(|| panic!("metric '{key}' missing from the exposition"))
+}
+
+#[test]
+fn metrics_deltas_track_a_job_and_a_cache_hit() {
+    let (handle, addr) = start("metrics", Logger::disabled());
+    let spec_json = small_spec().to_json();
+
+    let before = scrape(&addr);
+    assert_eq!(
+        metric(&before, "turnroute_jobs_total{status=\"done\"}"),
+        0.0
+    );
+    assert_eq!(
+        metric(&before, "turnroute_engine_cells_simulated_total"),
+        0.0
+    );
+
+    // First submission: a miss that executes the grid.
+    let (status, body) = client::submit(&addr, &spec_json).unwrap();
+    assert_eq!(status, 202);
+    let job_id = str_field(&parse(&body), "job_id").to_owned();
+    wait_done(&addr, &job_id);
+
+    let after_run = scrape(&addr);
+    assert_eq!(
+        metric(&after_run, "turnroute_jobs_total{status=\"done\"}"),
+        1.0
+    );
+    assert_eq!(metric(&after_run, "turnroute_jobs_submitted_total"), 1.0);
+    assert_eq!(metric(&after_run, "turnroute_store_misses_total"), 1.0);
+    assert_eq!(metric(&after_run, "turnroute_store_hits_total"), 0.0);
+    assert_eq!(metric(&after_run, "turnroute_store_entries"), 1.0);
+    assert_eq!(
+        metric(&after_run, "turnroute_job_duration_seconds_count"),
+        1.0
+    );
+    let cells = metric(&after_run, "turnroute_engine_cells_simulated_total");
+    assert!(cells > 0.0, "the first run must simulate");
+    assert!(metric(&after_run, "turnroute_store_bytes") > 0.0);
+
+    // Second submission of the same spec: a store hit, zero new cells.
+    let (status, body) = client::submit(&addr, &spec_json).unwrap();
+    assert_eq!(status, 200);
+    let second = parse(&body);
+    assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(
+        str_field(&second, "span"),
+        str_field(&second, "job_id"),
+        "the job id doubles as its trace span"
+    );
+
+    let after_hit = scrape(&addr);
+    assert_eq!(metric(&after_hit, "turnroute_store_hits_total"), 1.0);
+    assert_eq!(metric(&after_hit, "turnroute_jobs_submitted_total"), 2.0);
+    assert_eq!(
+        metric(&after_hit, "turnroute_engine_cells_simulated_total"),
+        cells,
+        "a cache hit must cost zero engine cycles"
+    );
+    // The access counter saw the scrapes and submissions, with bounded
+    // route labels.
+    assert!(
+        metric(
+            &after_hit,
+            "turnroute_http_requests_total{route=\"metrics\",code=\"200\"}"
+        ) >= 2.0
+    );
+    assert!(
+        metric(
+            &after_hit,
+            "turnroute_http_requests_total{route=\"jobs_submit\",code=\"200\"}"
+        ) >= 1.0
+    );
+    assert!(metric(&after_hit, "turnroute_http_request_duration_seconds_count") > 0.0);
+
+    // Wrong method on the metrics path is a 405, like every other route.
+    let (status, _) = client::http_request(&addr, "POST", "/v1/metrics", None).unwrap();
+    assert_eq!(status, 405);
+
+    handle.shutdown();
+}
+
+/// Events of one log file, parsed and schema-checked: every line is an
+/// object with a millisecond timestamp, a known level, and an event
+/// name.
+fn read_log(path: &PathBuf) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("log file exists");
+    text.lines()
+        .map(|line| {
+            let doc =
+                json::parse(line).unwrap_or_else(|e| panic!("log line is not JSON ({e}): {line}"));
+            assert!(
+                doc.get("ts_ms")
+                    .and_then(Value::as_num)
+                    .is_some_and(|t| t > 0.0),
+                "missing ts_ms: {line}"
+            );
+            let level = str_field(&doc, "level");
+            assert!(
+                matches!(level, "debug" | "info" | "warn" | "error"),
+                "unknown level '{level}'"
+            );
+            assert!(!str_field(&doc, "event").is_empty());
+            doc
+        })
+        .collect()
+}
+
+fn events_for_span<'a>(events: &'a [Value], span: &str) -> Vec<&'a Value> {
+    events
+        .iter()
+        .filter(|e| e.get("span").and_then(Value::as_str) == Some(span))
+        .collect()
+}
+
+#[test]
+fn the_log_captures_a_full_job_lifecycle_under_one_span() {
+    let log_path = temp_path("lifecycle.log");
+    let _ = std::fs::remove_file(&log_path);
+    let logger = Logger::to_file(Level::Debug, &log_path).expect("log file opens");
+    let (handle, addr) = start("lifecycle", logger);
+
+    let (status, body) = client::submit(&addr, &small_spec().to_json()).unwrap();
+    assert_eq!(status, 202);
+    let doc = parse(&body);
+    let job_id = str_field(&doc, "job_id").to_owned();
+    assert_eq!(str_field(&doc, "span"), job_id);
+    wait_done(&addr, &job_id);
+    handle.shutdown();
+
+    let events = read_log(&log_path);
+    let job_events = events_for_span(&events, &job_id);
+    let names: Vec<&str> = job_events.iter().map(|e| str_field(e, "event")).collect();
+
+    // The lifecycle in order: submitted -> store verdict -> queued ->
+    // running -> per-cell progress -> store write -> done.
+    let order = ["job_submitted", "store_miss", "job_queued", "job_running"];
+    let mut positions = order.iter().map(|want| {
+        names
+            .iter()
+            .position(|n| n == want)
+            .unwrap_or_else(|| panic!("no '{want}' event for span {job_id} in {names:?}"))
+    });
+    let mut prev = positions.next().unwrap();
+    for next in positions {
+        assert!(prev < next, "lifecycle events out of order: {names:?}");
+        prev = next;
+    }
+    let done_at = names
+        .iter()
+        .position(|n| *n == "job_done")
+        .expect("job_done event");
+    assert!(prev < done_at);
+
+    // Per-cell debug progress, threaded through ExecProgress: 2
+    // algorithms x 2 loads = 4 cells.
+    let cells: Vec<&&Value> = job_events
+        .iter()
+        .filter(|e| str_field(e, "event") == "cell")
+        .collect();
+    assert_eq!(cells.len(), 4, "one debug event per executed cell");
+    for cell in &cells {
+        assert_eq!(cell.get("cells_total").and_then(Value::as_num), Some(4.0));
+        assert!(cell.get("algorithm").and_then(Value::as_str).is_some());
+        assert!(cell.get("offered_load").and_then(Value::as_num).is_some());
+    }
+    let write = job_events
+        .iter()
+        .find(|e| str_field(e, "event") == "store_write")
+        .expect("store_write event");
+    assert!(write.get("bytes").and_then(Value::as_num).unwrap() > 0.0);
+
+    // The done event reports the work and the wall time.
+    let done = job_events[done_at];
+    assert!(done.get("cells_simulated").and_then(Value::as_num).unwrap() > 0.0);
+    assert!(done.get("wall_secs").and_then(Value::as_num).unwrap() >= 0.0);
+
+    // Access log: every HTTP request emitted one `request` event with
+    // the full schema, under its own r<N> span.
+    let requests: Vec<&Value> = events
+        .iter()
+        .filter(|e| str_field(e, "event") == "request")
+        .collect();
+    assert!(!requests.is_empty());
+    for r in &requests {
+        assert!(str_field(r, "span").starts_with('r'));
+        assert!(str_field(r, "peer").contains(':'));
+        assert!(!str_field(r, "method").is_empty());
+        assert!(str_field(r, "path").starts_with("/v1/"));
+        assert!(r.get("status").and_then(Value::as_num).is_some());
+        assert!(r.get("bytes").and_then(Value::as_num).is_some());
+        assert!(r.get("duration_ms").and_then(Value::as_num).is_some());
+    }
+    let submit_access = requests
+        .iter()
+        .find(|r| str_field(r, "path") == "/v1/jobs")
+        .expect("the POST /v1/jobs access event");
+    assert_eq!(str_field(submit_access, "method"), "POST");
+    // The job_submitted event links back to the request span.
+    let submitted = job_events
+        .iter()
+        .find(|e| str_field(e, "event") == "job_submitted")
+        .unwrap();
+    assert!(str_field(submitted, "request").starts_with('r'));
+
+    // Server start/stop bracket the session.
+    assert!(events
+        .iter()
+        .any(|e| str_field(e, "event") == "server_started"));
+    assert!(events
+        .iter()
+        .any(|e| str_field(e, "event") == "server_stopped"));
+
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn report_bytes_are_identical_with_logging_enabled_and_disabled() {
+    let spec = small_spec();
+
+    let mut quiet = Executor::new(2);
+    let quiet_series = spec.run_on(&mut quiet).expect("spec runs");
+    let mut quiet_bytes = Vec::new();
+    write_report_json(&quiet_series, &quiet.stats(), &mut quiet_bytes).unwrap();
+
+    let log_path = temp_path("exec.log");
+    let _ = std::fs::remove_file(&log_path);
+    let logger = Logger::to_file(Level::Debug, &log_path).expect("log file opens");
+    let mut chatty = Executor::new(2).with_oplog(logger, "j1");
+    let chatty_series = spec.run_on(&mut chatty).expect("spec runs");
+    let mut chatty_bytes = Vec::new();
+    write_report_json(&chatty_series, &chatty.stats(), &mut chatty_bytes).unwrap();
+
+    assert_eq!(
+        quiet_bytes, chatty_bytes,
+        "logging must never change report bytes"
+    );
+    // And the log actually captured the execution it observed.
+    let logged = std::fs::read_to_string(&log_path).unwrap();
+    assert_eq!(logged.matches("\"event\":\"cell\"").count(), 4);
+    let _ = std::fs::remove_file(&log_path);
+}
