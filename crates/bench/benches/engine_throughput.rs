@@ -11,7 +11,8 @@
 //! workload ever changes.
 
 use turnroute_bench::workloads::{
-    measure_engine, render_engine_json, BASELINE_WEST_FIRST_CPS, BASELINE_XY_CPS,
+    measure_engine, measure_engine_sharded, render_engine_json, BASELINE_WEST_FIRST_CPS,
+    BASELINE_XY_CPS,
 };
 
 fn main() {
@@ -24,7 +25,13 @@ fn main() {
         "xy:         {:.0} cycles/sec (baseline {BASELINE_XY_CPS:.0})",
         m.xy_cps
     );
+    let s = measure_engine_sharded(10);
+    println!(
+        "mesh64:     {:.0} cycles/sec sharded x{} ({:.2}x vs serial {:.0})",
+        s.sharded_cps, s.shards, s.speedup, s.serial_cps
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, render_engine_json(&m)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(path, render_engine_json(&m, &s))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }

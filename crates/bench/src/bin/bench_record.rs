@@ -16,7 +16,7 @@ use turnroute_bench::regression::{
     check, parse_history, BenchRecord, DEFAULT_TOLERANCE, RECORD_SCHEMA,
 };
 use turnroute_bench::workloads::{
-    measure_engine, measure_sweep, render_engine_json, render_sweep_json,
+    measure_engine, measure_engine_sharded, measure_sweep, render_engine_json, render_sweep_json,
 };
 
 const USAGE: &str = "\
@@ -104,6 +104,8 @@ fn main() -> ExitCode {
 
     eprintln!("# measuring the engine-throughput workload");
     let engine = measure_engine(10);
+    eprintln!("# measuring the sharded large-mesh workload");
+    let sharded = measure_engine_sharded(10);
     eprintln!("# measuring the sweep-grid workload");
     let sweep = measure_sweep(5);
 
@@ -116,6 +118,9 @@ fn main() -> ExitCode {
         host_cores: sweep.host_cores as u64,
         engine_west_first_cps: engine.west_first_cps.round(),
         engine_xy_cps: engine.xy_cps.round(),
+        engine_mesh64_serial_cps: sharded.serial_cps.round(),
+        engine_sharded_cps: sharded.sharded_cps.round(),
+        sharded_speedup: (sharded.speedup * 1e3).round() / 1e3,
         sweep_cells_per_sec: (sweep.cells_per_sec * 1e3).round() / 1e3,
         sweep_serial_secs: (sweep.serial_secs * 1e4).round() / 1e4,
         sweep_threads8_secs: (sweep.threads8_secs * 1e4).round() / 1e4,
@@ -124,10 +129,15 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "engine west-first {:.0} cycles/s · engine xy {:.0} cycles/s · sweep {:.1} cells/s \
-         (serial {:.3}s, 8 threads {:.3}s, {} core(s))",
+        "engine west-first {:.0} cycles/s · engine xy {:.0} cycles/s · \
+         sharded 64x64 {:.0} cycles/s ({} shard(s), {:.2}x vs serial {:.0}) · \
+         sweep {:.1} cells/s (serial {:.3}s, 8 threads {:.3}s, {} core(s))",
         current.engine_west_first_cps,
         current.engine_xy_cps,
+        current.engine_sharded_cps,
+        sharded.shards,
+        current.sharded_speedup,
+        current.engine_mesh64_serial_cps,
         current.sweep_cells_per_sec,
         current.sweep_serial_secs,
         current.sweep_threads8_secs,
@@ -188,7 +198,10 @@ fn main() -> ExitCode {
     println!("recorded -> {}", history_path.display());
 
     for (path, body) in [
-        (root.join("BENCH_engine.json"), render_engine_json(&engine)),
+        (
+            root.join("BENCH_engine.json"),
+            render_engine_json(&engine, &sharded),
+        ),
         (root.join("BENCH_sweep.json"), render_sweep_json(&sweep)),
     ] {
         if let Err(e) = std::fs::write(&path, body) {

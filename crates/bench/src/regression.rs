@@ -35,6 +35,15 @@ pub struct BenchRecord {
     pub engine_west_first_cps: f64,
     /// Engine cycles/sec, xy/transpose, route table on.
     pub engine_xy_cps: f64,
+    /// 64x64-mesh cycles/sec, serial engine (one shard). `0.0` in
+    /// records written before the workload existed.
+    pub engine_mesh64_serial_cps: f64,
+    /// 64x64-mesh cycles/sec, cycle-barrier sharded arbitration at one
+    /// shard per core. `0.0` in records written before the workload
+    /// existed; the gate skips metrics with no prior measurement.
+    pub engine_sharded_cps: f64,
+    /// mesh64 serial time / sharded time.
+    pub sharded_speedup: f64,
     /// Sweep-grid cells per serial second.
     pub sweep_cells_per_sec: f64,
     /// Serial wall time of the full sweep grid, seconds.
@@ -55,6 +64,7 @@ type GatedMetric = (&'static str, fn(&BenchRecord) -> f64);
 const GATED_METRICS: &[GatedMetric] = &[
     ("engine_west_first_cps", |r| r.engine_west_first_cps),
     ("engine_xy_cps", |r| r.engine_xy_cps),
+    ("engine_sharded_cps", |r| r.engine_sharded_cps),
     ("sweep_cells_per_sec", |r| r.sweep_cells_per_sec),
 ];
 
@@ -79,6 +89,8 @@ impl BenchRecord {
         format!(
             "{{\"schema\":{},\"recorded_at_unix\":{},\"host_cores\":{},\
              \"engine_west_first_cps\":{},\"engine_xy_cps\":{},\
+             \"engine_mesh64_serial_cps\":{},\"engine_sharded_cps\":{},\
+             \"sharded_speedup\":{},\
              \"sweep_cells_per_sec\":{},\"sweep_serial_secs\":{},\
              \"sweep_threads8_secs\":{},\"sweep_speedup_8_threads\":{},\
              \"note\":{}}}",
@@ -87,6 +99,9 @@ impl BenchRecord {
             self.host_cores,
             num(self.engine_west_first_cps),
             num(self.engine_xy_cps),
+            num(self.engine_mesh64_serial_cps),
+            num(self.engine_sharded_cps),
+            num(self.sharded_speedup),
             num(self.sweep_cells_per_sec),
             num(self.sweep_serial_secs),
             num(self.sweep_threads8_secs),
@@ -112,6 +127,9 @@ impl BenchRecord {
                 .and_then(Value::as_f64)
                 .ok_or_else(|| format!("history record lacks '{key}'"))
         };
+        // Metrics added after the first records were committed: absent
+        // means "not measured yet" (0.0), which the gate skips.
+        let f_opt = |key: &str| -> f64 { doc.get(key).and_then(Value::as_f64).unwrap_or(0.0) };
         let schema = u("schema")?;
         if schema != RECORD_SCHEMA {
             return Err(format!(
@@ -124,6 +142,9 @@ impl BenchRecord {
             host_cores: u("host_cores")?,
             engine_west_first_cps: f("engine_west_first_cps")?,
             engine_xy_cps: f("engine_xy_cps")?,
+            engine_mesh64_serial_cps: f_opt("engine_mesh64_serial_cps"),
+            engine_sharded_cps: f_opt("engine_sharded_cps"),
+            sharded_speedup: f_opt("sharded_speedup"),
             sweep_cells_per_sec: f("sweep_cells_per_sec")?,
             sweep_serial_secs: f("sweep_serial_secs")?,
             sweep_threads8_secs: f("sweep_threads8_secs")?,
@@ -158,6 +179,11 @@ pub fn check(last: &BenchRecord, current: &BenchRecord, tolerance: f64) -> Vec<S
     for (name, get) in GATED_METRICS {
         let was = get(last);
         let now = get(current);
+        if was <= 0.0 {
+            // The last record predates this metric (or never measured
+            // it); there is no baseline to regress against.
+            continue;
+        }
         let floor = was * (1.0 - tolerance);
         if now < floor {
             violations.push(format!(
@@ -205,11 +231,13 @@ struct Series<'a> {
 
 /// Renders the static trajectory dashboard: one indexed line chart
 /// (every series as % of its first record, so one axis serves all
-/// three metrics) plus the raw records as a table. Self-contained
-/// HTML — inline SVG and CSS, no scripts, light and dark via
-/// `prefers-color-scheme`.
+/// the metrics) plus the raw records as a table. A series whose first
+/// record predates its metric (value 0) is left off the chart — it has
+/// no base to index against — but still shows in the table.
+/// Self-contained HTML — inline SVG and CSS, no scripts, light and
+/// dark via `prefers-color-scheme`.
 pub fn render_dashboard(history: &[BenchRecord]) -> String {
-    let series = [
+    let mut series = vec![
         Series {
             label: "engine west-first (cycles/s)",
             css_var: "--s1",
@@ -225,7 +253,13 @@ pub fn render_dashboard(history: &[BenchRecord]) -> String {
             css_var: "--s3",
             values: history.iter().map(|r| r.sweep_cells_per_sec).collect(),
         },
+        Series {
+            label: "engine sharded 64x64 (cycles/s)",
+            css_var: "--s4",
+            values: history.iter().map(|r| r.engine_sharded_cps).collect(),
+        },
     ];
+    series.retain(|s| s.values.first().copied().unwrap_or(0.0) > 0.0);
 
     let mut out = String::new();
     out.push_str(DASHBOARD_HEAD);
@@ -391,19 +425,31 @@ fn render_table(history: &[BenchRecord]) -> String {
     let mut t = String::from(
         "<h2>Records</h2>\n<table>\n<thead><tr><th>#</th><th>date</th><th>cores</th>\
          <th>engine west-first (cycles/s)</th><th>engine xy (cycles/s)</th>\
+         <th>sharded 64x64 (cycles/s)</th><th>shard speedup</th>\
          <th>sweep (cells/s)</th><th>sweep serial (s)</th><th>8-thread (s)</th>\
          <th>speedup ×8</th><th>note</th></tr></thead>\n<tbody>\n",
     );
+    // Pre-sharding records carry 0 for the sharded metrics: show a dash
+    // rather than a number that looks like a measurement.
+    let or_dash = |v: f64, scale: f64| {
+        if v > 0.0 {
+            num((v * scale).round() / scale)
+        } else {
+            "—".to_owned()
+        }
+    };
     for (i, r) in history.iter().enumerate() {
         let _ = writeln!(
             t,
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
-             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
             i + 1,
             date_of(r.recorded_at_unix),
             r.host_cores,
             num(r.engine_west_first_cps.round()),
             num(r.engine_xy_cps.round()),
+            or_dash(r.engine_sharded_cps, 1.0),
+            or_dash(r.sharded_speedup, 1e3),
             num((r.sweep_cells_per_sec * 10.0).round() / 10.0),
             num((r.sweep_serial_secs * 1e4).round() / 1e4),
             num((r.sweep_threads8_secs * 1e4).round() / 1e4),
@@ -416,7 +462,7 @@ fn render_table(history: &[BenchRecord]) -> String {
 }
 
 /// Document head: layout, the validated categorical palette (slots
-/// 1–3) in light and dark steps, recessive grid/ticks, and mark specs
+/// 1–4) in light and dark steps, recessive grid/ticks, and mark specs
 /// (2px lines, 8px markers with a 2px surface ring).
 const DASHBOARD_HEAD: &str = r#"<!doctype html>
 <html lang="en">
@@ -433,6 +479,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
   --s1: #2a78d6; /* blue */
   --s2: #eb6834; /* orange */
   --s3: #1baf7a; /* aqua-green */
+  --s4: #8a56d6; /* violet */
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -443,6 +490,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
     --s1: #3987e5;
     --s2: #d95926;
     --s3: #199e70;
+    --s4: #9a6ae0;
   }
 }
 body {
@@ -489,6 +537,9 @@ mod tests {
             host_cores: 1,
             engine_west_first_cps: wf,
             engine_xy_cps: xy,
+            engine_mesh64_serial_cps: wf / 16.0,
+            engine_sharded_cps: wf / 4.0,
+            sharded_speedup: 4.0,
             sweep_cells_per_sec: cells,
             sweep_serial_secs: 0.62,
             sweep_threads8_secs: 0.93,
@@ -538,15 +589,35 @@ mod tests {
     fn check_fails_a_synthetic_regression_beyond_tolerance() {
         let last = record(100_000.0, 120_000.0, 80.0);
         // One metric 15% down: exactly the synthetic case the gate
-        // must catch.
-        let regressed = record(85_000.0, 121_000.0, 80.0);
+        // must catch. (record() derives the sharded metric from the
+        // west-first one; pin it so only one metric moves.)
+        let mut regressed = record(85_000.0, 121_000.0, 80.0);
+        regressed.engine_sharded_cps = last.engine_sharded_cps;
         let violations = check(&last, &regressed, DEFAULT_TOLERANCE);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("engine_west_first_cps"));
         assert!(violations[0].contains("15.0%"));
-        // All three down hard: all three reported.
+        // All four down hard: all four reported.
         let collapsed = record(50_000.0, 60_000.0, 40.0);
-        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 3);
+        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 4);
+    }
+
+    #[test]
+    fn pre_sharding_records_parse_and_are_not_gated() {
+        // A history line written before the sharded workload existed:
+        // no mesh64/sharded fields at all.
+        let old = "{\"schema\":1,\"recorded_at_unix\":1754700000,\"host_cores\":1,\
+                   \"engine_west_first_cps\":100000,\"engine_xy_cps\":120000,\
+                   \"sweep_cells_per_sec\":80,\"sweep_serial_secs\":0.62,\
+                   \"sweep_threads8_secs\":0.93,\"sweep_speedup_8_threads\":0.667,\
+                   \"note\":\"pre-sharding\"}";
+        let last = BenchRecord::from_json_line(old).unwrap();
+        assert_eq!(last.engine_sharded_cps, 0.0);
+        assert_eq!(last.engine_mesh64_serial_cps, 0.0);
+        // The gate has no sharded baseline to compare against, so a
+        // fresh record with any sharded figure passes that metric.
+        let current = record(100_000.0, 120_000.0, 80.0);
+        assert!(check(&last, &current, DEFAULT_TOLERANCE).is_empty());
     }
 
     #[test]

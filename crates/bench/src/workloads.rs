@@ -5,14 +5,17 @@
 //! * [`measure_engine`] — hot-path throughput: simulated cycles per
 //!   second on the standard 16x16-mesh transpose workload, route table
 //!   on and off (the `engine_throughput` bench);
+//! * [`measure_engine_sharded`] — the large-mesh (64x64) workload,
+//!   serial vs the cycle-barrier sharded arbitrator at one shard per
+//!   core;
 //! * [`measure_sweep`] — executor wall-clock on a figure-sized grid
 //!   (4 algorithms x 2 patterns x 6 loads), serial vs parallel, plus
 //!   the grid-cells-per-second figure the regression gate tracks (the
 //!   `sweep_parallel` bench).
 //!
-//! Both verify determinism before timing anything: the route table
-//! must not change the report, and the parallel bytes must equal the
-//! serial bytes.
+//! All verify determinism before timing anything: the route table
+//! must not change the report, the sharded report must equal the
+//! serial report, and the parallel bytes must equal the serial bytes.
 
 use std::sync::Arc;
 
@@ -149,9 +152,107 @@ pub fn measure_engine(samples: usize) -> EngineMeasurement {
     }
 }
 
-/// Renders `BENCH_engine.json` from a measurement (the one shape both
-/// the bench target and `bench_record` write).
-pub fn render_engine_json(m: &EngineMeasurement) -> String {
+fn mesh64_config(shards: usize) -> SimConfig {
+    SimConfig::paper()
+        .injection_rate(0.03)
+        .warmup_cycles(500)
+        .measure_cycles(2_000)
+        .seed(42)
+        .shards(shards)
+}
+
+/// One full large-mesh run at the given shard count (`0` = auto:
+/// one shard per core).
+fn mesh64_run(mesh: &Mesh, algo: &dyn RoutingAlgorithm, shards: usize) -> (SimReport, u64) {
+    let mut sim = Simulation::new(mesh, algo, &patterns::Transpose, mesh64_config(shards));
+    let report = sim.run();
+    assert!(
+        sim.shard_fallback_reason().is_none(),
+        "sharded bench fell back to serial: {:?}",
+        sim.shard_fallback_reason()
+    );
+    (report, sim.cycle())
+}
+
+/// The sharded large-mesh workload's measured results.
+#[derive(Debug, Clone)]
+pub struct ShardedMeasurement {
+    /// Hardware cores the host reports.
+    pub host_cores: usize,
+    /// Shards the auto run resolves to (one per core, capped).
+    pub shards: usize,
+    /// west-first/transpose on the 64x64 mesh, serial engine.
+    pub serial_cps: f64,
+    /// Same workload, cycle-barrier sharded arbitration at `shards`.
+    pub sharded_cps: f64,
+    /// serial time / sharded time.
+    pub speedup: f64,
+    /// Cycles one run simulates (warmup + measure + drain).
+    pub run_cycles: u64,
+    /// Serial and sharded produced byte-identical report renderings.
+    pub reports_identical: bool,
+    /// Raw timing for the serial run.
+    pub serial: BenchResult,
+    /// Raw timing for the sharded run.
+    pub sharded: BenchResult,
+}
+
+/// Runs the large-mesh sharded workload with `samples` timed samples
+/// per benchmark: a 64x64 mesh, west-first/transpose, serial vs one
+/// shard per core.
+///
+/// # Panics
+///
+/// Panics if sharding changes the run length or the report — sharding
+/// is a pure speed optimisation, so a divergence is a correctness bug,
+/// not a perf result. Also panics if the engine silently falls back to
+/// serial (the sharded figure would be a lie).
+pub fn measure_engine_sharded(samples: usize) -> ShardedMeasurement {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The engine caps auto at one shard per core (MAX_SHARDS = 256,
+    // never binding below 256 cores on a 4096-node mesh).
+    let shards = host_cores.min(256);
+    let mesh = Mesh::new_2d(64, 64);
+    let wf = WestFirst::minimal();
+
+    // Determinism first: the sharded report must equal the serial one.
+    let (serial_report, serial_cycles) = mesh64_run(&mesh, &wf, 1);
+    let (sharded_report, sharded_cycles) = mesh64_run(&mesh, &wf, 0);
+    assert_eq!(
+        serial_cycles, sharded_cycles,
+        "sharding changed the run length"
+    );
+    let reports_identical = format!("{serial_report:?}") == format!("{sharded_report:?}");
+    assert!(reports_identical, "sharding changed the report");
+
+    let mut h = Harness::new().sample_size(samples);
+    let serial = h
+        .bench("engine/mesh64/west-first/transpose/shards=1", || {
+            mesh64_run(&mesh, &wf, 1)
+        })
+        .clone();
+    let sharded = h
+        .bench("engine/mesh64/west-first/transpose/shards=auto", || {
+            mesh64_run(&mesh, &wf, 0)
+        })
+        .clone();
+
+    ShardedMeasurement {
+        host_cores,
+        shards,
+        serial_cps: serial_cycles as f64 / serial.median_secs(),
+        sharded_cps: sharded_cycles as f64 / sharded.median_secs(),
+        speedup: serial.median_secs() / sharded.median_secs(),
+        run_cycles: serial_cycles,
+        reports_identical,
+        serial,
+        sharded,
+    }
+}
+
+/// Renders `BENCH_engine.json` from the two engine measurements (the
+/// one shape both the bench target and `bench_record` write).
+pub fn render_engine_json(m: &EngineMeasurement, s: &ShardedMeasurement) -> String {
     JsonReport::new()
         .field_str("bench", "engine_throughput")
         .field_str(
@@ -187,6 +288,30 @@ pub fn render_engine_json(m: &EngineMeasurement) -> String {
             (m.xy_cps / BASELINE_XY_CPS * 100.0).round() / 100.0,
         )
         .field_bool("reports_identical_table_on_vs_off", m.reports_identical)
+        .field_str(
+            "sharded_workload",
+            "mesh:64x64, west-first, transpose, load 0.03, warmup 500 + measure 2000 + drain, seed 42",
+        )
+        .field_num("sharded_host_cores", s.host_cores as f64)
+        .field_num("sharded_shards", s.shards as f64)
+        .field_num("mesh64_run_cycles", s.run_cycles as f64)
+        .result("mesh64_serial", &s.serial)
+        .result("mesh64_sharded", &s.sharded)
+        .field_num("mesh64_serial_cycles_per_sec", s.serial_cps.round())
+        .field_num("engine_sharded_cycles_per_sec", s.sharded_cps.round())
+        .field_num("sharded_speedup", round3(s.speedup))
+        .field_bool("reports_identical_1_vs_auto_shards", s.reports_identical)
+        .field_str(
+            "sharded_note",
+            if s.host_cores == 1 {
+                "single-core host: auto sharding resolves to one shard, so the sharded figure \
+                 equals serial by construction; the >=2.5x target presumes a multi-core host — \
+                 see bench/history.jsonl for the multi-core record"
+            } else {
+                "auto sharding runs one shard per core; serial and sharded reports are \
+                 byte-identical, so the speedup is free of any accuracy trade"
+            },
+        )
         .render()
 }
 
@@ -328,6 +453,49 @@ mod tests {
     fn grid_shape_matches_the_documented_workload() {
         assert_eq!(sweep_grid_cells(), 48);
         assert!(SWEEP_LOADS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    fn fake_result(name: &str, median_ns: f64) -> crate::timing::BenchResult {
+        crate::timing::BenchResult {
+            name: name.to_owned(),
+            median_ns,
+            mean_ns: median_ns,
+            min_ns: median_ns,
+            samples: 1,
+            iters_per_sample: 1,
+        }
+    }
+
+    #[test]
+    fn engine_json_carries_the_sharded_metrics() {
+        let m = EngineMeasurement {
+            west_first_cps: 600_000.0,
+            west_first_cps_table_off: 550_000.0,
+            xy_cps: 700_000.0,
+            run_cycles: 5_000,
+            reports_identical: true,
+            west_first_on: fake_result("wf-on", 1e6),
+            west_first_off: fake_result("wf-off", 1e6),
+            xy_on: fake_result("xy-on", 1e6),
+        };
+        let s = ShardedMeasurement {
+            host_cores: 8,
+            shards: 8,
+            serial_cps: 40_000.0,
+            sharded_cps: 120_000.0,
+            speedup: 3.0,
+            run_cycles: 2_500,
+            reports_identical: true,
+            serial: fake_result("mesh64-serial", 6e7),
+            sharded: fake_result("mesh64-sharded", 2e7),
+        };
+        let json = render_engine_json(&m, &s);
+        assert!(json.contains("\"engine_sharded_cycles_per_sec\": 120000"));
+        assert!(json.contains("\"mesh64_serial_cycles_per_sec\": 40000"));
+        assert!(json.contains("\"sharded_speedup\": 3"));
+        assert!(json.contains("\"sharded_shards\": 8"));
+        assert!(json.contains("\"reports_identical_1_vs_auto_shards\": true"));
+        assert!(json.contains("one shard per core"));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! 1. **Bit identity**: every metric the engine reports — histograms,
 //!    counters, queue samples, channel utilization, final cycle —
-//!    equals the oracle's, for table `Off`, `On` and `Auto` alike.
+//!    equals the oracle's, for table `Off`, `On` and `Auto` alike, and
+//!    again for the cycle-barrier sharded arbitrator at 2 and 4 shards.
 //! 2. **Prohibited turns**: a [`TurnUsageObserver`] rides the table-off
 //!    run whenever the algorithm has a classifiable mesh turn set; it
 //!    hard-asserts no prohibited turn is ever taken.
@@ -55,6 +56,10 @@ pub fn check_case(case: &ConformanceCase) -> Result<(), String> {
         RouteTableMode::Auto,
     ] {
         check_engine_mode(&built, &oracle, mode)?;
+    }
+
+    for shards in [2, 4] {
+        check_engine_sharded(&built, &oracle, shards)?;
     }
 
     if case.faults.is_empty() && oracle.deadlocked {
@@ -122,6 +127,34 @@ fn check_engine_mode(
         check_conservation(&sim, &report)?;
     }
     Ok(())
+}
+
+/// One sharded-engine run (route-table `Auto`), compared
+/// field-for-field with the oracle: the cycle-barrier partitioned
+/// arbitrator must be bit-identical at every shard count. Cases whose
+/// configuration forces the serial fallback (RNG-consuming selection
+/// policies) still run — the fallback too must be invisible.
+fn check_engine_sharded(
+    built: &BuiltCase,
+    oracle: &OracleReport,
+    shards: usize,
+) -> Result<(), String> {
+    let config = built.config.clone().shards(shards);
+    let tag = format!("shards {shards}");
+    let mut sim = Simulation::new(
+        built.topo.as_ref(),
+        built.algo.as_ref(),
+        built.pattern.as_ref(),
+        config,
+    );
+    let report = sim.run();
+    compare_reports(
+        oracle,
+        &report,
+        sim.cycle(),
+        &sim.channel_utilization(),
+        &tag,
+    )
 }
 
 macro_rules! expect_eq {

@@ -435,11 +435,11 @@ impl ExperimentSpec {
     /// order, no whitespace, every API field explicit.
     ///
     /// Only the API-visible [`SimConfig`] fields (`seed`,
-    /// `warmup_cycles`, `measure_cycles`) appear in the document;
-    /// non-API fields (length distribution, selection policies) are
-    /// covered by [`ExperimentSpec::fingerprint`] instead. A round-trip
-    /// through [`ExperimentSpec::from_json`] reproduces the document
-    /// byte for byte.
+    /// `warmup_cycles`, `measure_cycles`, `shards`) appear in the
+    /// document; non-API fields (length distribution, selection
+    /// policies) are covered by [`ExperimentSpec::fingerprint`]
+    /// instead. A round-trip through [`ExperimentSpec::from_json`]
+    /// reproduces the document byte for byte.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(256);
@@ -471,8 +471,11 @@ impl ExperimentSpec {
         let _ = write!(out, "],\"engine\":\"{}\"", self.engine.as_str());
         let _ = write!(
             out,
-            ",\"config\":{{\"seed\":{},\"warmup_cycles\":{},\"measure_cycles\":{}}}",
-            self.config.seed, self.config.warmup_cycles, self.config.measure_cycles
+            ",\"config\":{{\"seed\":{},\"warmup_cycles\":{},\"measure_cycles\":{},\"shards\":{}}}",
+            self.config.seed,
+            self.config.warmup_cycles,
+            self.config.measure_cycles,
+            self.config.shards
         );
         out.push_str(",\"fault_axis\":[");
         for (i, c) in self.fault_axis.iter().enumerate() {
@@ -576,6 +579,13 @@ impl ExperimentSpec {
                             "seed" => config = config.seed(n),
                             "warmup_cycles" => config = config.warmup_cycles(n),
                             "measure_cycles" => config = config.measure_cycles(n),
+                            // Older documents simply omit this; the
+                            // builder default (1, serial) applies.
+                            "shards" => {
+                                let shards = usize::try_from(n)
+                                    .map_err(|_| malformed("config.shards", "a shard count"))?;
+                                config = config.shards(shards);
+                            }
                             other => {
                                 return Err(SpecError::UnknownField(format!("config.{other}")))
                             }
@@ -633,8 +643,12 @@ impl ExperimentSpec {
     /// knobs zeroed, exactly like the executor's cell cache keys), so
     /// two specs share a fingerprint only if they produce byte-identical
     /// reports. This is the content-addressed result-store key in
-    /// `turnroute-serve`.
+    /// `turnroute-serve`. The shard count is canonicalized away in both
+    /// inputs — reports are bit-identical at every value, so specs
+    /// differing only in `shards` address the same stored result.
     pub fn fingerprint(&self) -> String {
+        let mut wire = self.clone();
+        wire.config.shards = 1;
         let canonical_config = format!(
             "{:?}",
             self.config
@@ -642,6 +656,7 @@ impl ExperimentSpec {
                 .injection_rate(0.0)
                 .route_table(turnroute_sim::RouteTableMode::Auto)
                 .route_table_budget(turnroute_sim::DEFAULT_ROUTE_TABLE_BUDGET)
+                .shards(1)
         );
         let mut lane_a = 0x5EED_50EC_0000_0001u64;
         let mut lane_b = 0x5EED_50EC_0000_0002u64;
@@ -658,7 +673,7 @@ impl ExperimentSpec {
             lane_a ^= bytes.len() as u64;
             split_mix_64(&mut lane_a);
         };
-        feed(self.to_json().as_bytes());
+        feed(wire.to_json().as_bytes());
         feed(canonical_config.as_bytes());
         format!("{lane_a:016x}{lane_b:016x}")
     }
@@ -769,7 +784,11 @@ impl Experiment {
                 let mut jobs: Vec<SeriesJob<'_>> = Vec::new();
                 for a in &algos {
                     for schedule in &schedules {
-                        let cfg = spec.config.clone().fault_schedule(schedule.clone());
+                        let cfg = spec
+                            .config
+                            .clone()
+                            .fault_schedule(schedule.clone())
+                            .shards(executor.cell_shards(spec.config.shards));
                         // Series-level fault columns: the cycle-0 fault
                         // count and how many (src, dst) pairs the
                         // verifier proves unroutable under it.
@@ -1208,5 +1227,36 @@ mod tests {
             .unwrap();
         assert_eq!(exotic.to_json(), a.to_json());
         assert_ne!(exotic.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn shards_round_trip_but_share_fingerprints() {
+        let base = |shards: usize| {
+            ExperimentSpec::builder("mesh:6x6", "uniform")
+                .algorithm("xy")
+                .loads(&[0.02])
+                .config(quick().shards(shards))
+                .build()
+                .unwrap()
+        };
+        let serial = base(1);
+        let sharded = base(8);
+        // The wire format carries the knob (server jobs pick it up)...
+        assert!(sharded.to_json().contains("\"shards\":8"));
+        let round = ExperimentSpec::from_json(&sharded.to_json()).unwrap();
+        assert_eq!(round.to_json(), sharded.to_json());
+        assert_eq!(round.config.shards, 8);
+        // ...but the fingerprint canonicalizes it away: reports are
+        // bit-identical at every shard count, so both specs address the
+        // same stored result.
+        assert_eq!(serial.fingerprint(), sharded.fingerprint());
+        // Older documents without the field default to serial.
+        let old = ExperimentSpec::from_json(
+            r#"{"topology": "mesh:6x6", "pattern": "uniform",
+                "algorithms": ["xy"], "loads": [0.02],
+                "config": {"seed": 5}}"#,
+        )
+        .unwrap();
+        assert_eq!(old.config.shards, 1);
     }
 }

@@ -135,6 +135,15 @@ pub struct SimConfig {
     /// direction set. A schedule participates in experiment cache
     /// identity through its content fingerprint.
     pub faults: Option<Arc<FaultSchedule>>,
+    /// How many topology shards arbitrate in parallel inside one run:
+    /// `1` is the serial engine, `0` means "auto" (one shard per
+    /// available core). Purely a speed knob — reports are bit-identical
+    /// at every shard count (see `DESIGN.md` §11), so cache keys and
+    /// spec fingerprints canonicalize it away. Configurations the
+    /// sharded arbitrator cannot split deterministically (RNG-consuming
+    /// selection policies, attached observers) fall back to serial with
+    /// a recorded reason.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -153,6 +162,7 @@ impl SimConfig {
             route_table: RouteTableMode::Auto,
             route_table_budget: DEFAULT_ROUTE_TABLE_BUDGET,
             faults: None,
+            shards: 1,
         }
     }
 
@@ -227,6 +237,14 @@ impl SimConfig {
     /// Attaches an already-shared fault schedule (or clears it).
     pub fn fault_schedule(mut self, schedule: Option<Arc<FaultSchedule>>) -> Self {
         self.faults = schedule.filter(|s| !s.is_empty());
+        self
+    }
+
+    /// Sets the intra-run shard count: `1` = serial, `0` = auto (one
+    /// shard per available core). Reports are bit-identical at every
+    /// value.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 

@@ -1,5 +1,7 @@
 //! The cycle-based wormhole simulation engine.
 
+mod shard;
+
 use crate::config::{InputSelection, OutputSelection, SimConfig};
 use crate::deadlock::{detect_deadlock, DeadlockReport};
 use crate::lut::RouteTable;
@@ -37,6 +39,35 @@ struct Scratch {
     granted_epoch: Vec<u64>,
     /// Freshly generated `(source, length)` messages.
     messages: Vec<(NodeId, u32)>,
+}
+
+/// Hot per-packet fields mirrored as struct-of-arrays: the cycle
+/// kernel's requester scans and sort keys read densely packed columns
+/// instead of striding over whole [`Packet`] records (~130 bytes each).
+/// The AoS `Packet` remains the source of truth for the public API,
+/// observers and deadlock analysis; the few write sites (creation, head
+/// moves, stranding) update both.
+struct HotLanes {
+    /// The router each packet's header currently occupies.
+    head_node: Vec<NodeId>,
+    /// Each packet's destination (immutable after creation).
+    dst: Vec<NodeId>,
+    /// Direction each header arrived over (`None` before injection).
+    arrived: Vec<Option<Direction>>,
+    /// Cycle each header arrived at its current router (the FCFS key).
+    head_arrival: Vec<u64>,
+    /// Stranded flags (see [`Packet::is_stranded`]).
+    stranded: Vec<bool>,
+}
+
+impl HotLanes {
+    fn push(&mut self, src: NodeId, dst: NodeId, created_at: u64) {
+        self.head_node.push(src);
+        self.dst.push(dst);
+        self.arrived.push(None);
+        self.head_arrival.push(created_at);
+        self.stranded.push(false);
+    }
 }
 
 /// Why a simulation run ended.
@@ -125,8 +156,14 @@ pub struct Simulation<'a, O: SimObserver = NoopObserver> {
     source: PoissonSource,
     cycle: u64,
     packets: Vec<Packet>,
+    /// Struct-of-arrays mirror of the packet fields the cycle kernel
+    /// reads every cycle.
+    lanes: HotLanes,
     /// Per-node source queue of packets waiting to inject.
     queues: Vec<VecDeque<PacketId>>,
+    /// Total packets across all source queues, maintained on push/pop
+    /// so drain checks and queue sampling are O(1) instead of O(nodes).
+    queued_total: usize,
     /// Per-node packet currently streaming flits from the source.
     injecting: Vec<Option<PacketId>>,
     /// Per-node packet currently streaming flits into the local
@@ -134,6 +171,10 @@ pub struct Simulation<'a, O: SimObserver = NoopObserver> {
     ejecting: Vec<Option<PacketId>>,
     /// Per-channel occupant.
     channel_owner: Vec<Option<PacketId>>,
+    /// Channel-occupancy bitset (64 channels per word), kept in lockstep
+    /// with `channel_owner`: the hot free-channel check reads one bit
+    /// instead of a 16-byte `Option<PacketId>`.
+    channel_busy: Vec<u64>,
     /// Channels taken out of service by fault injection.
     faulty: Vec<bool>,
     /// The configured fault schedule's events, replayed in order.
@@ -151,6 +192,9 @@ pub struct Simulation<'a, O: SimObserver = NoopObserver> {
     fault_repairs: bool,
     /// Why the configured route table was disabled, if it was.
     table_fallback: Option<&'static str>,
+    /// Why a requested multi-shard run fell back to the serial
+    /// arbitrator, if it did.
+    shard_fallback: Option<&'static str>,
     /// Flits routed over each channel during the measurement window
     /// (credited when a header acquires the channel).
     channel_flits: Vec<u64>,
@@ -249,16 +293,26 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             source,
             cycle: 0,
             packets: Vec::new(),
+            lanes: HotLanes {
+                head_node: Vec::new(),
+                dst: Vec::new(),
+                arrived: Vec::new(),
+                head_arrival: Vec::new(),
+                stranded: Vec::new(),
+            },
             queues: vec![VecDeque::new(); topo.num_nodes()],
+            queued_total: 0,
             injecting: vec![None; topo.num_nodes()],
             ejecting: vec![None; topo.num_nodes()],
             channel_owner: vec![None; topo.num_channels()],
+            channel_busy: vec![0; topo.num_channels().div_ceil(64)],
             faulty: vec![false; topo.num_channels()],
             fault_events,
             fault_cursor: 0,
             prune_faulty,
             fault_repairs,
             table_fallback: None,
+            shard_fallback: None,
             channel_flits: vec![0; topo.num_channels()],
             in_flight: Vec::new(),
             stranded_count: 0,
@@ -296,6 +350,26 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
     /// set). `None` for caller-owned tables.
     pub fn route_table_fallback_reason(&self) -> Option<&'static str> {
         self.table_fallback
+    }
+
+    /// Why a requested multi-shard run fell back to the serial
+    /// arbitrator, if it did: RNG-consuming selection policies draw
+    /// during arbitration (so splitting it would reorder the stream),
+    /// and attached observers receive per-requester events in global
+    /// priority order. Set by [`Simulation::run`]; `None` before the
+    /// run or when sharding was honoured.
+    #[must_use]
+    pub fn shard_fallback_reason(&self) -> Option<&'static str> {
+        self.shard_fallback
+    }
+
+    /// `true` if `channel` currently holds a flit — the bitset read the
+    /// hot arbitration loop uses (one bit, versus the 16-byte
+    /// [`Simulation::channel_owner`] entry).
+    #[must_use]
+    pub fn channel_is_busy(&self, channel: ChannelId) -> bool {
+        let c = channel.index();
+        self.channel_busy[c >> 6] & (1u64 << (c & 63)) != 0
     }
 
     /// The attached observer.
@@ -339,9 +413,15 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         self.channel_owner[channel.index()]
     }
 
-    /// Total messages waiting in source queues.
+    /// Total messages waiting in source queues. O(1): a running count
+    /// maintained on every queue push and pop.
+    #[must_use]
     pub fn queued_messages(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.queued_total,
+            self.queues.iter().map(VecDeque::len).sum::<usize>()
+        );
+        self.queued_total
     }
 
     /// Enqueues a hand-crafted message (useful for directed tests and
@@ -354,7 +434,9 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         let id = PacketId(self.packets.len() as u64);
         self.packets
             .push(Packet::new(id, src, dst, length, self.cycle));
+        self.lanes.push(src, dst, self.cycle);
         self.queues[src.index()].push_back(id);
+        self.queued_total += 1;
         self.total_generated += 1;
         if self.in_window() {
             self.metrics.messages_generated += 1;
@@ -401,27 +483,29 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
     /// explains the figures: dimension-order routing funnels transpose
     /// traffic through a few corner channels, adaptive routing spreads
     /// it.
+    #[must_use]
     pub fn channel_utilization(&self) -> Vec<f64> {
-        let mut out = Vec::new();
-        self.channel_utilization_into(&mut out);
-        out
+        self.utilization_samples().collect()
     }
 
     /// [`Simulation::channel_utilization`] into a caller-owned buffer
     /// (cleared first), so periodic sampling reuses one allocation.
     pub fn channel_utilization_into(&self, out: &mut Vec<f64>) {
         out.clear();
+        out.extend(self.utilization_samples());
+    }
+
+    /// The per-channel utilization values both public variants emit.
+    fn utilization_samples(&self) -> impl Iterator<Item = f64> + '_ {
         let cycles = self
             .metrics
             .window_end
             .min(self.cycle)
             .saturating_sub(self.metrics.window_start);
-        if cycles == 0 {
-            out.resize(self.channel_flits.len(), 0.0);
-            return;
-        }
         let usec = crate::config::cycles_to_usec(cycles);
-        out.extend(self.channel_flits.iter().map(|&f| f as f64 / usec));
+        self.channel_flits
+            .iter()
+            .map(move |&f| if cycles == 0 { 0.0 } else { f as f64 / usec })
     }
 
     fn in_window(&self) -> bool {
@@ -449,9 +533,23 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
     /// Advances the simulation one cycle. Returns a deadlock report if
     /// the watchdog fired this cycle.
     pub fn step(&mut self) -> Option<DeadlockReport> {
+        self.begin_cycle();
+        self.arbitrate();
+        self.finish_cycle()
+    }
+
+    /// The serial head of a cycle: fault events, then traffic
+    /// generation (all RNG draws of the cycle's pre-arbitration phase,
+    /// in node order).
+    fn begin_cycle(&mut self) {
         self.apply_due_faults();
         self.generate();
-        self.arbitrate();
+    }
+
+    /// The serial tail of a cycle, after arbitration filled
+    /// `scratch.grants`: apply grants, sample queues, run the stall
+    /// rule, advance the clock, fire the watchdog.
+    fn finish_cycle(&mut self) -> Option<DeadlockReport> {
         let progressed = self.advance();
         if self.in_window() && self.cycle.is_multiple_of(256) {
             let queued = self.queued_messages();
@@ -473,13 +571,11 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         None
     }
 
-    /// Runs warmup, the measurement window, then a drain phase (with
-    /// generation disabled) so that measured messages can finish.
-    pub fn run(&mut self) -> SimReport {
-        self.metrics.window_start = self.config.warmup_cycles;
-        self.metrics.window_end = self.config.warmup_cycles + self.config.measure_cycles;
+    /// The single-threaded run loop ([`Simulation::run`] dispatches
+    /// here at one effective shard). Expects the measurement window to
+    /// be set already.
+    fn run_serial(&mut self) -> SimReport {
         let drain_limit = self.metrics.window_end + self.config.measure_cycles;
-
         let mut outcome = RunOutcome::Completed;
         while self.cycle < drain_limit {
             if self.cycle == self.metrics.window_end {
@@ -497,6 +593,10 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
                 break;
             }
         }
+        self.build_report(outcome)
+    }
+
+    fn build_report(&self, outcome: RunOutcome) -> SimReport {
         SimReport {
             offered_load: self.config.injection_rate_flits,
             metrics: self.metrics.clone(),
@@ -547,10 +647,49 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
     /// distinguish "all busy" from "relation offers nothing" without a
     /// second routing query).
     fn candidates(&mut self, id: PacketId, out: &mut [ChannelId; MAX_DIRS]) -> (usize, DirSet) {
-        let (head, dst, arrived) = {
-            let p = &self.packets[id.0 as usize];
-            (p.head_node, p.dst, p.arrived)
-        };
+        let (head, permitted) = self.permitted_pruned(id);
+        let arrived = self.lanes.arrived[id.0 as usize];
+        let mut dirs = [Direction::WEST; MAX_DIRS];
+        let ordered = self.order_directions(permitted, arrived, &mut dirs);
+        let count = self.free_candidates(head, &dirs[..ordered], out);
+        (count, permitted)
+    }
+
+    /// The RNG-free twin of [`Simulation::candidates`] used by the
+    /// sharded arbitrator: same pruning, same deterministic ordering,
+    /// same free-channel filter, via the same helpers.
+    ///
+    /// Callers guarantee the output selection is not `Random` (the
+    /// shard planner falls back to serial otherwise).
+    fn candidates_deterministic(
+        &self,
+        id: PacketId,
+        out: &mut [ChannelId; MAX_DIRS],
+    ) -> (usize, DirSet) {
+        debug_assert!(self.config.output_selection != OutputSelection::Random);
+        let (head, permitted) = self.permitted_pruned(id);
+        let arrived = self.lanes.arrived[id.0 as usize];
+        let mut dirs = [Direction::WEST; MAX_DIRS];
+        let ordered = Self::order_directions_deterministic(
+            self.config.output_selection,
+            permitted,
+            arrived,
+            &mut dirs,
+        );
+        let count = self.free_candidates(head, &dirs[..ordered], out);
+        (count, permitted)
+    }
+
+    /// The routing relation's (optionally fault-pruned) answer for
+    /// `id`'s header, plus the head node it sits at.
+    #[inline]
+    fn permitted_pruned(&self, id: PacketId) -> (NodeId, DirSet) {
+        let i = id.0 as usize;
+        let (head, dst, arrived) = (
+            self.lanes.head_node[i],
+            self.lanes.dst[i],
+            self.lanes.arrived[i],
+        );
         let mut permitted = self.permitted(head, dst, arrived);
         if self.prune_faulty {
             // Mirror the pruned route table exactly: drop failed (and
@@ -564,18 +703,29 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
                 }
             }
         }
-        let mut dirs = [Direction::WEST; MAX_DIRS];
-        let ordered = self.order_directions(permitted, arrived, &mut dirs);
+        (head, permitted)
+    }
+
+    /// Filters `dirs` down to in-service, unoccupied channels out of
+    /// `head` (the bitset occupancy check), writing them to `out` in
+    /// order; returns the count.
+    #[inline]
+    fn free_candidates(
+        &self,
+        head: NodeId,
+        dirs: &[Direction],
+        out: &mut [ChannelId; MAX_DIRS],
+    ) -> usize {
         let mut count = 0;
-        for &dir in &dirs[..ordered] {
+        for &dir in dirs {
             if let Some(c) = self.topo.channel_from(head, dir) {
-                if !self.faulty[c.index()] && self.channel_owner[c.index()].is_none() {
+                if !self.faulty[c.index()] && !self.channel_is_busy(c) {
                     out[count] = c;
                     count += 1;
                 }
             }
         }
-        (count, permitted)
+        count
     }
 
     /// Expands `permitted` into `out` in the output-selection policy's
@@ -586,14 +736,40 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         arrived: Option<Direction>,
         out: &mut [Direction; MAX_DIRS],
     ) -> usize {
+        let n = Self::order_directions_deterministic(
+            self.config.output_selection,
+            permitted,
+            arrived,
+            out,
+        );
+        if self.config.output_selection == OutputSelection::Random {
+            // Fisher-Yates with the simulation RNG.
+            let dirs = &mut out[..n];
+            for i in (1..dirs.len()).rev() {
+                let j = self.rng.random_range(0..=i);
+                dirs.swap(i, j);
+            }
+        }
+        n
+    }
+
+    /// The RNG-free part of direction ordering, shared by the serial
+    /// and sharded paths (`Random` is left in insertion order here; the
+    /// serial caller shuffles afterwards).
+    fn order_directions_deterministic(
+        policy: OutputSelection,
+        permitted: DirSet,
+        arrived: Option<Direction>,
+        out: &mut [Direction; MAX_DIRS],
+    ) -> usize {
         let mut n = 0;
         for dir in permitted {
             out[n] = dir;
             n += 1;
         }
         let dirs = &mut out[..n];
-        match self.config.output_selection {
-            OutputSelection::LowestDimension => {}
+        match policy {
+            OutputSelection::LowestDimension | OutputSelection::Random => {}
             OutputSelection::HighestDimension => dirs.reverse(),
             OutputSelection::StraightFirst => {
                 if let Some(fwd) = arrived {
@@ -604,15 +780,93 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
                     }
                 }
             }
-            OutputSelection::Random => {
-                // Fisher-Yates with the simulation RNG.
-                for i in (1..dirs.len()).rev() {
-                    let j = self.rng.random_range(0..=i);
-                    dirs.swap(i, j);
+        }
+        n
+    }
+
+    /// Appends the cycle's requesters whose head node index lies in
+    /// `[lo, hi)`: in-flight headers not yet at their destination and
+    /// not stranded, plus each node's queue head if the injection
+    /// channel is free. The serial path passes the full node range;
+    /// shards pass their partition. Order within `out` is in-flight
+    /// order then node order — the caller sorts (or shuffles) before
+    /// granting.
+    fn collect_requesters(&self, lo: usize, hi: usize, out: &mut Vec<PacketId>) {
+        out.extend(self.in_flight.iter().copied().filter(|&id| {
+            let i = id.0 as usize;
+            let head = self.lanes.head_node[i];
+            (lo..hi).contains(&head.index()) && head != self.lanes.dst[i] && !self.lanes.stranded[i]
+        }));
+        for node in lo..hi {
+            if self.injecting[node].is_none() {
+                if let Some(&head) = self.queues[node].front() {
+                    out.push(head);
                 }
             }
         }
-        n
+    }
+
+    /// Sorts requesters into the global priority order that implements
+    /// the (deterministic) input-selection policy at every contested
+    /// channel. The keys end in the unique packet id, so the unstable
+    /// sort is a total order; shards sorting disjoint subsets produce
+    /// exactly the serial order restricted to each subset.
+    fn sort_requesters(&self, requesters: &mut [PacketId]) {
+        match self.config.input_selection {
+            InputSelection::FirstComeFirstServed => {
+                requesters.sort_unstable_by_key(|&id| self.fcfs_key(id));
+            }
+            InputSelection::FixedPriority => {
+                requesters.sort_unstable_by_key(|&id| self.fixed_priority_key(id));
+            }
+            InputSelection::Random => unreachable!("Random is shuffled, not sorted"),
+        }
+    }
+
+    /// First-come-first-served priority key (earlier header arrival
+    /// wins; packet id breaks ties).
+    #[inline]
+    fn fcfs_key(&self, id: PacketId) -> (u64, u64) {
+        (self.lanes.head_arrival[id.0 as usize], id.0)
+    }
+
+    /// Fixed-priority key (injection beats every network input, then
+    /// lowest arrival direction; packet id breaks ties).
+    #[inline]
+    fn fixed_priority_key(&self, id: PacketId) -> (usize, u64) {
+        let dir_rank = self.lanes.arrived[id.0 as usize].map_or(0, |d| d.index() + 1);
+        (dir_rank, id.0)
+    }
+
+    /// Whether a header whose pruned direction set is empty is stuck
+    /// for good. Under a fault plan with repairs, an empty *pruned* set
+    /// can heal when a link comes back; strand only if the relation
+    /// itself offers nothing. (Repairs imply a dynamic schedule, so no
+    /// table is in use and `route` is the raw, unpruned relation.)
+    fn strands_permanently(&self, id: PacketId) -> bool {
+        !(self.prune_faulty && self.fault_repairs) || {
+            let i = id.0 as usize;
+            self.algo
+                .route(
+                    self.topo,
+                    self.lanes.head_node[i],
+                    self.lanes.dst[i],
+                    self.lanes.arrived[i],
+                )
+                .is_empty()
+        }
+    }
+
+    /// Marks an in-flight header stranded (idempotent; queued packets
+    /// are left alone — their source may still route around the fault).
+    fn strand(&mut self, id: PacketId) {
+        let i = id.0 as usize;
+        let p = &mut self.packets[i];
+        if p.state() == PacketState::InFlight && !p.is_stranded {
+            p.is_stranded = true;
+            self.lanes.stranded[i] = true;
+            self.stranded_count += 1;
+        }
     }
 
     /// Arbitration: headers request channels; contested channels go to
@@ -623,35 +877,15 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         // plus each node's queue head if the injection channel is free.
         let mut requesters = std::mem::take(&mut self.scratch.requesters);
         requesters.clear();
-        for &id in &self.in_flight {
-            let p = &self.packets[id.0 as usize];
-            if p.head_node != p.dst && !p.is_stranded {
-                requesters.push(id);
-            }
-        }
-        for node in 0..self.topo.num_nodes() {
-            if self.injecting[node].is_none() {
-                if let Some(&head) = self.queues[node].front() {
-                    requesters.push(head);
-                }
-            }
-        }
+        self.collect_requesters(0, self.topo.num_nodes(), &mut requesters);
 
         // Input selection: a global priority order implements the local
         // policy at every contested channel. The sort keys end in the
         // unique packet id, so the unstable sorts are total orders and
         // produce exactly what the allocating stable sorts used to.
         match self.config.input_selection {
-            InputSelection::FirstComeFirstServed => {
-                requesters
-                    .sort_unstable_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
-            }
-            InputSelection::FixedPriority => {
-                requesters.sort_unstable_by_key(|&id| {
-                    let p = &self.packets[id.0 as usize];
-                    let dir_rank = p.arrived.map_or(0, |d| d.index() + 1);
-                    (dir_rank, id.0)
-                });
+            InputSelection::FirstComeFirstServed | InputSelection::FixedPriority => {
+                self.sort_requesters(&mut requesters);
             }
             InputSelection::Random => {
                 for i in (1..requesters.len()).rev() {
@@ -674,23 +908,8 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
                 // Either every permitted channel is busy (normal
                 // blocking) or the relation offers nothing (stranded).
                 if permitted.is_empty() {
-                    // Under a fault plan with repairs, an empty *pruned*
-                    // set can heal when a link comes back; strand only
-                    // if the relation itself offers nothing. (Repairs
-                    // imply a dynamic schedule, so no table is in use
-                    // and `route` is the raw, unpruned relation.)
-                    let permanent = !(self.prune_faulty && self.fault_repairs) || {
-                        let p = &self.packets[id.0 as usize];
-                        self.algo
-                            .route(self.topo, p.head_node, p.dst, p.arrived)
-                            .is_empty()
-                    };
-                    if permanent {
-                        let p = &mut self.packets[id.0 as usize];
-                        if p.state() == PacketState::InFlight && !p.is_stranded {
-                            p.is_stranded = true;
-                            self.stranded_count += 1;
-                        }
+                    if self.strands_permanently(id) {
+                        self.strand(id);
                     }
                 } else if O::ENABLED {
                     // Name the channel the header would have preferred.
@@ -737,10 +956,10 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         let mut at_dest = std::mem::take(&mut self.scratch.at_dest);
         at_dest.clear();
         at_dest.extend(self.in_flight.iter().copied().filter(|&id| {
-            let p = &self.packets[id.0 as usize];
-            p.head_node == p.dst
+            let i = id.0 as usize;
+            self.lanes.head_node[i] == self.lanes.dst[i]
         }));
-        at_dest.sort_unstable_by_key(|&id| (self.packets[id.0 as usize].head_arrival, id.0));
+        at_dest.sort_unstable_by_key(|&id| self.fcfs_key(id));
         for &id in &at_dest {
             let node = self.packets[id.0 as usize].dst.index();
             match self.ejecting[node] {
@@ -773,6 +992,7 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             let node = ch.src.index();
             let front = self.queues[node].pop_front();
             debug_assert_eq!(front, Some(id));
+            self.queued_total -= 1;
             self.injecting[node] = Some(id);
             self.packets[id.0 as usize].injected_at = Some(self.cycle);
             self.in_flight.push(id);
@@ -783,18 +1003,24 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             self.obs.packet_injected(self.cycle, id, src, dst, length);
         }
         self.channel_owner[channel.index()] = Some(id);
+        let c = channel.index();
+        self.channel_busy[c >> 6] |= 1u64 << (c & 63);
         if self.in_window() {
             let len = self.packets[id.0 as usize].length as u64;
             self.channel_flits[channel.index()] += len;
         }
         let cycle = self.cycle;
-        let p = &mut self.packets[id.0 as usize];
+        let idx = id.0 as usize;
+        let p = &mut self.packets[idx];
         let from_dir = p.arrived;
         p.worm.push(channel);
         p.head_node = ch.dst;
         p.arrived = Some(ch.dir);
         p.head_arrival = cycle + 1;
         p.hops += 1;
+        self.lanes.head_node[idx] = ch.dst;
+        self.lanes.arrived[idx] = Some(ch.dir);
+        self.lanes.head_arrival[idx] = cycle + 1;
         if let Some(from) = from_dir {
             // The turn happened at the channel's source router.
             self.obs.turn_taken(cycle, id, ch.src, from, ch.dir);
@@ -853,7 +1079,9 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
             let p = &mut self.packets[idx];
             let tail = p.worm[p.worm_head];
             p.worm_head += 1;
-            self.channel_owner[tail.index()] = None;
+            let t = tail.index();
+            self.channel_owner[t] = None;
+            self.channel_busy[t >> 6] &= !(1u64 << (t & 63));
             self.obs.channel_released(self.cycle, id, tail);
         }
     }
@@ -1142,5 +1370,121 @@ mod tests {
         let r2 = Simulation::new(&mesh, &algo, &Uniform, config).run();
         assert_eq!(r1.total_delivered, r2.total_delivered);
         assert_eq!(r1.metrics.latencies, r2.metrics.latencies);
+    }
+
+    /// Runs `config` serially and at `shards` shards and asserts the
+    /// reports (Debug covers every metric field), final cycles and
+    /// utilization vectors are identical.
+    fn assert_shards_invisible(
+        mesh: &Mesh,
+        algo: &dyn RoutingAlgorithm,
+        config: SimConfig,
+        shards: usize,
+    ) {
+        let mut serial = Simulation::new(mesh, algo, &Transpose, config.clone().shards(1));
+        let mut sharded = Simulation::new(mesh, algo, &Transpose, config.shards(shards));
+        let (r1, rn) = (serial.run(), sharded.run());
+        assert!(
+            sharded.shard_fallback_reason().is_none(),
+            "unexpected fallback: {:?}",
+            sharded.shard_fallback_reason()
+        );
+        assert_eq!(format!("{r1:?}"), format!("{rn:?}"));
+        assert_eq!(serial.cycle(), sharded.cycle());
+        assert_eq!(serial.channel_utilization(), sharded.channel_utilization());
+    }
+
+    #[test]
+    fn sharded_report_is_bit_identical() {
+        let mesh = Mesh::new_2d(6, 6);
+        let config = SimConfig::paper()
+            .injection_rate(0.08)
+            .warmup_cycles(300)
+            .measure_cycles(3_000)
+            .seed(7);
+        // Three shards over 36 nodes: boundaries cut through the mesh
+        // interior, so plenty of worms span shards every cycle.
+        assert_shards_invisible(&mesh, &WestFirst::minimal(), config.clone(), 3);
+        assert_shards_invisible(&mesh, &DimensionOrder::new(), config, 5);
+    }
+
+    #[test]
+    fn sharded_faulted_run_matches_serial() {
+        use turnroute_fault::FaultPlan;
+        let mesh = Mesh::new_2d(6, 6);
+        // A transient fault on a channel out of node 18 — the first
+        // node of the second of two equal shards, i.e. a shard-boundary
+        // router — plus a permanent one elsewhere.
+        let boundary = mesh.channel_from(NodeId::new(18), Direction::EAST).unwrap();
+        let schedule = FaultPlan::new()
+            .channel_transient(boundary, 200, 900)
+            .channel(ChannelId::new(7), 400)
+            .compile(&mesh)
+            .unwrap();
+        let config = SimConfig::paper()
+            .injection_rate(0.06)
+            .warmup_cycles(100)
+            .measure_cycles(2_000)
+            .seed(21)
+            .faults(schedule);
+        assert_shards_invisible(&mesh, &WestFirst::minimal(), config, 2);
+    }
+
+    #[test]
+    fn sharded_selection_ablation_matches_serial() {
+        let mesh = Mesh::new_2d(5, 5);
+        let config = SimConfig::paper()
+            .injection_rate(0.05)
+            .warmup_cycles(100)
+            .measure_cycles(1_500)
+            .input_selection(InputSelection::FixedPriority)
+            .output_selection(OutputSelection::StraightFirst)
+            .seed(5);
+        assert_shards_invisible(&mesh, &NegativeFirst::minimal(), config, 4);
+    }
+
+    #[test]
+    fn rng_consuming_policies_fall_back_to_serial() {
+        let mesh = Mesh::new_2d(4, 4);
+        let algo = WestFirst::minimal();
+        let config = quiet_config()
+            .injection_rate(0.03)
+            .measure_cycles(400)
+            .output_selection(OutputSelection::Random)
+            .shards(4);
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, config.clone());
+        assert!(sim.shard_fallback_reason().is_none());
+        sim.run();
+        assert!(sim.shard_fallback_reason().is_some());
+        // Observers also force the serial path (per-requester events).
+        let mut observed = Simulation::with_observer(
+            &mesh,
+            &algo,
+            &Uniform,
+            config.output_selection(OutputSelection::LowestDimension),
+            crate::obs::ChannelActivityObserver::new(),
+        );
+        observed.run();
+        assert!(observed.shard_fallback_reason().is_some());
+    }
+
+    #[test]
+    fn large_mesh_smoke_512x512() {
+        // The ROADMAP "production scale" target: a 512x512 mesh (262144
+        // nodes) must construct and simulate. Short window; the drain
+        // limit bounds the run regardless of in-flight traffic.
+        let mesh = Mesh::new_2d(512, 512);
+        let algo = DimensionOrder::new();
+        let config = SimConfig::paper()
+            .injection_rate(0.004)
+            .lengths(crate::config::LengthDistribution::Fixed(4))
+            .warmup_cycles(0)
+            .measure_cycles(64)
+            .seed(3)
+            .shards(4);
+        let mut sim = Simulation::new(&mesh, &algo, &Uniform, config);
+        let report = sim.run();
+        assert!(matches!(report.outcome, RunOutcome::Completed));
+        assert!(report.total_generated > 0);
     }
 }

@@ -231,7 +231,8 @@ pub fn sim_cache_key(
     // the fingerprint identifies the shared configuration only. The
     // route-table policy is canonicalized away too: table-driven and
     // direct routing produce bit-identical points, so cells cached
-    // under one mode are valid under every other.
+    // under one mode are valid under every other. Likewise the shard
+    // count: reports are bit-identical at every value.
     let canonical = format!(
         "{:?}",
         base.clone()
@@ -239,6 +240,7 @@ pub fn sim_cache_key(
             .seed(0)
             .route_table(RouteTableMode::Auto)
             .route_table_budget(DEFAULT_ROUTE_TABLE_BUDGET)
+            .shards(1)
     );
     let mut fp = 0x5EED_CE11u64;
     for chunk in canonical.as_bytes().chunks(8) {
@@ -584,6 +586,29 @@ impl Executor {
             progress: None,
             log: Logger::disabled(),
             span: String::new(),
+        }
+    }
+
+    /// How many worker threads this executor runs cells on.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Resolves a per-cell shard request against this executor's thread
+    /// budget, so intra-run sharding composes with cell-level
+    /// parallelism instead of multiplying it: `0` (auto) becomes the
+    /// cores left over per worker (1 when the sweep already saturates
+    /// the host), an explicit count is respected as-is. Purely a speed
+    /// decision — cell results are bit-identical at every shard count.
+    #[must_use]
+    pub fn cell_shards(&self, requested: usize) -> usize {
+        match requested {
+            0 => {
+                let cores = std::thread::available_parallelism().map_or(1, usize::from);
+                (cores / self.threads).max(1)
+            }
+            n => n,
         }
     }
 

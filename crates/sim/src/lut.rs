@@ -8,7 +8,9 @@
 //! [`DirSet`] for every triple of a `(topology, algorithm)` pair into a
 //! flat dense array — one byte per entry, since every table-eligible
 //! topology has at most 8 directions — built once and shared across
-//! sweep cells via [`Arc`].
+//! sweep cells via [`Arc`]. The table is immutable after construction,
+//! so the sharded engine's arbitration workers (`engine/shard.rs`)
+//! read it concurrently through `&self` with no synchronisation.
 //!
 //! # Indexing
 //!

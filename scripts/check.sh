@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> shard determinism (sweep bytes identical at 1 vs 8 shards)"
+cargo test -q --test shard_determinism
+
 echo "==> server integration tests (submit/poll/fetch, cache, coalescing)"
 cargo test -q -p turnroute-serve --test server_integration
 

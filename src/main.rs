@@ -37,21 +37,24 @@ commands:
   route     --topology T --algorithm A --from NODE --to NODE
             walk one route and count the allowed shortest paths
   simulate  --topology T --algorithm A --pattern P --load F[,F...]
-            [--threads N] [--cycles N] [--warmup N] [--seed N]
-            [--route-table auto|on|off] [--faults SPEC]
+            [--threads N] [--shards auto|N] [--cycles N] [--warmup N]
+            [--seed N] [--route-table auto|on|off] [--faults SPEC]
             [--trace FILE [--trace-window START:END]]
             run the Section 6 wormhole simulation; one load reports in
             detail, several loads sweep in parallel and print CSV.
             --route-table precomputes routing decisions into a dense
             lookup table (auto: when it fits 64 MiB; results are
             bit-identical either way).
+            --shards partitions one run's arbitration across worker
+            threads at a cycle barrier (auto: one shard per core;
+            reports are bit-identical at every shard count).
             --faults injects a deterministic fault plan (see `list`)
             --trace writes a flit-level Chrome trace-event JSON file
             (open in Perfetto), optionally restricted to a cycle window
   sweep     --topology T --algorithms A[,B...] --pattern P
-            --loads F[,F...] [--threads N] [--engine wormhole|vc]
-            [--format csv|json] [--cache FILE] [--telemetry [FILE]]
-            [--cycles N] [--warmup N] [--seed N]
+            --loads F[,F...] [--threads N] [--shards auto|N]
+            [--engine wormhole|vc] [--format csv|json] [--cache FILE]
+            [--telemetry [FILE]] [--cycles N] [--warmup N] [--seed N]
             [--route-table auto|on|off]
             [--faults SPEC | --fault-axis N[,N...] [--fault-seed S]]
             fan the (algorithm x load) grid across worker threads;
@@ -269,6 +272,9 @@ fn run(args: &[String]) -> Result<(), String> {
                         eprintln!("# route table off: {reason}");
                     }
                     let report = sim.run();
+                    if let Some(reason) = sim.shard_fallback_reason() {
+                        eprintln!("# sharding off (serial engine): {reason}");
+                    }
                     let obs = sim.into_observer();
                     let file = std::fs::File::create(trace_path)
                         .map_err(|e| format!("cannot create --trace {trace_path}: {e}"))?;
@@ -285,7 +291,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     if let Some(reason) = sim.route_table_fallback_reason() {
                         eprintln!("# route table off: {reason}");
                     }
-                    sim.run()
+                    let report = sim.run();
+                    if let Some(reason) = sim.shard_fallback_reason() {
+                        eprintln!("# sharding off (serial engine): {reason}");
+                    }
+                    report
                 }
             };
             println!(
@@ -600,8 +610,24 @@ fn threads_option(opts: &HashMap<String, String>) -> Result<usize, String> {
     Ok(threads)
 }
 
-/// Builds the base [`SimConfig`] from `--cycles`, `--warmup` and
-/// `--seed` (shared by `simulate` and `sweep`).
+/// Parses `--shards auto|N` (default 1, the serial engine; `auto` asks
+/// for one shard per available core; results are bit-identical at
+/// every value).
+fn shards_option(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("shards").map(String::as_str) {
+        None => Ok(1),
+        Some("auto") => Ok(0),
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "bad --shards value '{v}' (expected auto or N >= 1)"
+            )),
+        },
+    }
+}
+
+/// Builds the base [`SimConfig`] from `--cycles`, `--warmup`, `--seed`
+/// and `--shards` (shared by `simulate` and `sweep`).
 fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
     let cycles: u64 = opts
         .get("cycles")
@@ -632,7 +658,8 @@ fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
         .warmup_cycles(warmup)
         .measure_cycles(cycles)
         .seed(seed)
-        .route_table(route_table))
+        .route_table(route_table)
+        .shards(shards_option(opts)?))
 }
 
 fn verify(topo: &dyn Topology, algo: &dyn RoutingAlgorithm, name: &str) {
