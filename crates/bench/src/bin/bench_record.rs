@@ -16,7 +16,8 @@ use turnroute_bench::regression::{
     check, parse_history, BenchRecord, DEFAULT_TOLERANCE, RECORD_SCHEMA,
 };
 use turnroute_bench::workloads::{
-    measure_engine, measure_engine_sharded, measure_sweep, render_engine_json, render_sweep_json,
+    measure_engine, measure_engine_sharded, measure_sweep, measure_synth, render_engine_json,
+    render_sweep_json,
 };
 
 const USAGE: &str = "\
@@ -108,6 +109,8 @@ fn main() -> ExitCode {
     let sharded = measure_engine_sharded(10);
     eprintln!("# measuring the sweep-grid workload");
     let sweep = measure_sweep(5);
+    eprintln!("# measuring the synthesis workload");
+    let synth = measure_synth(10);
 
     let recorded_at_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -121,6 +124,7 @@ fn main() -> ExitCode {
         engine_mesh64_serial_cps: sharded.serial_cps.round(),
         engine_sharded_cps: sharded.sharded_cps.round(),
         sharded_speedup: (sharded.speedup * 1e3).round() / 1e3,
+        synth_candidates_per_sec: (synth.candidates_per_sec * 10.0).round() / 10.0,
         sweep_cells_per_sec: (sweep.cells_per_sec * 1e3).round() / 1e3,
         sweep_serial_secs: (sweep.serial_secs * 1e4).round() / 1e4,
         sweep_threads8_secs: (sweep.threads8_secs * 1e4).round() / 1e4,
@@ -131,6 +135,7 @@ fn main() -> ExitCode {
     println!(
         "engine west-first {:.0} cycles/s · engine xy {:.0} cycles/s · \
          sharded 64x64 {:.0} cycles/s ({} shard(s), {:.2}x vs serial {:.0}) · \
+         synth {:.1} candidates/s · \
          sweep {:.1} cells/s (serial {:.3}s, 8 threads {:.3}s, {} core(s))",
         current.engine_west_first_cps,
         current.engine_xy_cps,
@@ -138,6 +143,7 @@ fn main() -> ExitCode {
         sharded.shards,
         current.sharded_speedup,
         current.engine_mesh64_serial_cps,
+        current.synth_candidates_per_sec,
         current.sweep_cells_per_sec,
         current.sweep_serial_secs,
         current.sweep_threads8_secs,

@@ -44,6 +44,11 @@ pub struct BenchRecord {
     pub engine_sharded_cps: f64,
     /// mesh64 serial time / sharded time.
     pub sharded_speedup: f64,
+    /// Turn-prohibition synthesis: candidates evaluated per second on
+    /// the 16-node dragonfly workload, one worker. `0.0` in records
+    /// written before the workload existed; the gate skips metrics
+    /// with no prior measurement.
+    pub synth_candidates_per_sec: f64,
     /// Sweep-grid cells per serial second.
     pub sweep_cells_per_sec: f64,
     /// Serial wall time of the full sweep grid, seconds.
@@ -66,6 +71,7 @@ const GATED_METRICS: &[GatedMetric] = &[
     ("engine_xy_cps", |r| r.engine_xy_cps),
     ("engine_sharded_cps", |r| r.engine_sharded_cps),
     ("sweep_cells_per_sec", |r| r.sweep_cells_per_sec),
+    ("synth_candidates_per_sec", |r| r.synth_candidates_per_sec),
 ];
 
 fn num(v: f64) -> String {
@@ -90,7 +96,7 @@ impl BenchRecord {
             "{{\"schema\":{},\"recorded_at_unix\":{},\"host_cores\":{},\
              \"engine_west_first_cps\":{},\"engine_xy_cps\":{},\
              \"engine_mesh64_serial_cps\":{},\"engine_sharded_cps\":{},\
-             \"sharded_speedup\":{},\
+             \"sharded_speedup\":{},\"synth_candidates_per_sec\":{},\
              \"sweep_cells_per_sec\":{},\"sweep_serial_secs\":{},\
              \"sweep_threads8_secs\":{},\"sweep_speedup_8_threads\":{},\
              \"note\":{}}}",
@@ -102,6 +108,7 @@ impl BenchRecord {
             num(self.engine_mesh64_serial_cps),
             num(self.engine_sharded_cps),
             num(self.sharded_speedup),
+            num(self.synth_candidates_per_sec),
             num(self.sweep_cells_per_sec),
             num(self.sweep_serial_secs),
             num(self.sweep_threads8_secs),
@@ -145,6 +152,7 @@ impl BenchRecord {
             engine_mesh64_serial_cps: f_opt("engine_mesh64_serial_cps"),
             engine_sharded_cps: f_opt("engine_sharded_cps"),
             sharded_speedup: f_opt("sharded_speedup"),
+            synth_candidates_per_sec: f_opt("synth_candidates_per_sec"),
             sweep_cells_per_sec: f("sweep_cells_per_sec")?,
             sweep_serial_secs: f("sweep_serial_secs")?,
             sweep_threads8_secs: f("sweep_threads8_secs")?,
@@ -257,6 +265,11 @@ pub fn render_dashboard(history: &[BenchRecord]) -> String {
             label: "engine sharded 64x64 (cycles/s)",
             css_var: "--s4",
             values: history.iter().map(|r| r.engine_sharded_cps).collect(),
+        },
+        Series {
+            label: "synth (candidates/s)",
+            css_var: "--s5",
+            values: history.iter().map(|r| r.synth_candidates_per_sec).collect(),
         },
     ];
     series.retain(|s| s.values.first().copied().unwrap_or(0.0) > 0.0);
@@ -426,6 +439,7 @@ fn render_table(history: &[BenchRecord]) -> String {
         "<h2>Records</h2>\n<table>\n<thead><tr><th>#</th><th>date</th><th>cores</th>\
          <th>engine west-first (cycles/s)</th><th>engine xy (cycles/s)</th>\
          <th>sharded 64x64 (cycles/s)</th><th>shard speedup</th>\
+         <th>synth (cand/s)</th>\
          <th>sweep (cells/s)</th><th>sweep serial (s)</th><th>8-thread (s)</th>\
          <th>speedup ×8</th><th>note</th></tr></thead>\n<tbody>\n",
     );
@@ -442,7 +456,7 @@ fn render_table(history: &[BenchRecord]) -> String {
         let _ = writeln!(
             t,
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
-             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
             i + 1,
             date_of(r.recorded_at_unix),
             r.host_cores,
@@ -450,6 +464,7 @@ fn render_table(history: &[BenchRecord]) -> String {
             num(r.engine_xy_cps.round()),
             or_dash(r.engine_sharded_cps, 1.0),
             or_dash(r.sharded_speedup, 1e3),
+            or_dash(r.synth_candidates_per_sec, 10.0),
             num((r.sweep_cells_per_sec * 10.0).round() / 10.0),
             num((r.sweep_serial_secs * 1e4).round() / 1e4),
             num((r.sweep_threads8_secs * 1e4).round() / 1e4),
@@ -480,6 +495,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
   --s2: #eb6834; /* orange */
   --s3: #1baf7a; /* aqua-green */
   --s4: #8a56d6; /* violet */
+  --s5: #c2417e; /* magenta */
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -491,6 +507,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
     --s2: #d95926;
     --s3: #199e70;
     --s4: #9a6ae0;
+    --s5: #d05a8f;
   }
 }
 body {
@@ -540,6 +557,7 @@ mod tests {
             engine_mesh64_serial_cps: wf / 16.0,
             engine_sharded_cps: wf / 4.0,
             sharded_speedup: 4.0,
+            synth_candidates_per_sec: cells * 2.0,
             sweep_cells_per_sec: cells,
             sweep_serial_secs: 0.62,
             sweep_threads8_secs: 0.93,
@@ -597,9 +615,9 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("engine_west_first_cps"));
         assert!(violations[0].contains("15.0%"));
-        // All four down hard: all four reported.
+        // All five down hard: all five reported.
         let collapsed = record(50_000.0, 60_000.0, 40.0);
-        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 4);
+        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 5);
     }
 
     #[test]

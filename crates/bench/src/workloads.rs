@@ -11,11 +11,15 @@
 //! * [`measure_sweep`] — executor wall-clock on a figure-sized grid
 //!   (4 algorithms x 2 patterns x 6 loads), serial vs parallel, plus
 //!   the grid-cells-per-second figure the regression gate tracks (the
-//!   `sweep_parallel` bench).
+//!   `sweep_parallel` bench);
+//! * [`measure_synth`] — turn-prohibition synthesis throughput on a
+//!   16-node dragonfly: candidates evaluated per second, single
+//!   worker so the figure is scheduler-independent.
 //!
 //! All verify determinism before timing anything: the route table
 //! must not change the report, the sharded report must equal the
-//! serial report, and the parallel bytes must equal the serial bytes.
+//! serial report, the parallel bytes must equal the serial bytes, and
+//! the synthesis report must be identical run to run.
 
 use std::sync::Arc;
 
@@ -435,6 +439,58 @@ pub fn render_sweep_json(m: &SweepMeasurement) -> String {
             "Executor schedules speculatively past each series' saturation cutoff, so on hosts with fewer hardware cores than workers the extra threads add work instead of overlapping it; the >=3x target presumes >=8 real cores.",
         )
         .render()
+}
+
+/// The synthesis workload's measured results.
+#[derive(Debug, Clone)]
+pub struct SynthMeasurement {
+    /// Candidate orderings evaluated per timed run.
+    pub candidates: usize,
+    /// Candidates evaluated per second (single worker).
+    pub candidates_per_sec: f64,
+    /// Two untimed runs rendered byte-identical reports.
+    pub reports_identical: bool,
+    /// Raw timing for the synthesis run.
+    pub timing: BenchResult,
+}
+
+/// Runs the synthesis workload with `samples` timed samples: a full
+/// turn-prohibition search (24 candidates, seed 42, one worker) on a
+/// 16-node dragonfly, the same topology the check.sh smoke uses.
+///
+/// # Panics
+///
+/// Panics if synthesis fails or two runs render different reports —
+/// determinism is a prerequisite for the timing to mean anything.
+pub fn measure_synth(samples: usize) -> SynthMeasurement {
+    use turnroute::synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
+
+    let topo = GraphTopology::new(&GraphSpec::dragonfly(4, 4)).expect("dragonfly builds");
+    let opts = SynthesisOptions {
+        seed: 42,
+        candidates: 24,
+        threads: 1,
+    };
+
+    // Determinism first: the same seed must render the same report.
+    let a = synthesize(&topo, &opts).expect("dragonfly synthesizes");
+    let b = synthesize(&topo, &opts).expect("dragonfly synthesizes");
+    let reports_identical = a.report.render() == b.report.render();
+    assert!(reports_identical, "synthesis report changed between runs");
+
+    let mut h = Harness::new().sample_size(samples);
+    let timing = h
+        .bench("synth/dragonfly4x4/seed42/threads=1", || {
+            synthesize(&topo, &opts).expect("dragonfly synthesizes")
+        })
+        .clone();
+
+    SynthMeasurement {
+        candidates: opts.candidates,
+        candidates_per_sec: opts.candidates as f64 / timing.median_secs(),
+        reports_identical,
+        timing,
+    }
 }
 
 fn round4(v: f64) -> f64 {

@@ -21,6 +21,7 @@ use turnroute_sim::patterns::{
     Tornado, TrafficPattern, Transpose, Uniform,
 };
 use turnroute_sim::{InputSelection, LengthDistribution, OutputSelection, SimConfig};
+use turnroute_synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
 use turnroute_topology::{ChannelId, Hypercube, Mesh, NodeId, Topology, Torus};
 
 /// Topology of a case, within the suite's size bounds.
@@ -37,6 +38,10 @@ pub enum TopoSpec {
     },
     /// An n-dimensional hypercube.
     Hypercube(usize),
+    /// A fully connected graph on `n` nodes (a graph topology).
+    FullMesh(usize),
+    /// A bidirectional ring on `n` nodes (a graph topology).
+    Ring(usize),
 }
 
 impl TopoSpec {
@@ -46,6 +51,12 @@ impl TopoSpec {
             TopoSpec::Mesh(dims) => Box::new(Mesh::new(dims.clone())),
             TopoSpec::Torus { k, n } => Box::new(Torus::new(*k, *n)),
             TopoSpec::Hypercube(n) => Box::new(Hypercube::new(*n)),
+            TopoSpec::FullMesh(n) => Box::new(
+                GraphTopology::new(&GraphSpec::full_mesh(*n)).expect("validated full mesh builds"),
+            ),
+            TopoSpec::Ring(n) => {
+                Box::new(GraphTopology::new(&GraphSpec::ring(*n)).expect("validated ring builds"))
+            }
         }
     }
 
@@ -54,6 +65,10 @@ impl TopoSpec {
             TopoSpec::Mesh(dims) => dims.len(),
             TopoSpec::Torus { n, .. } => *n,
             TopoSpec::Hypercube(n) => *n,
+            // Graph topologies have direction-pair counts, not
+            // geometric dimensions; no Cartesian algorithm supports
+            // them, so the value is never load-bearing.
+            TopoSpec::FullMesh(_) | TopoSpec::Ring(_) => 0,
         }
     }
 
@@ -77,6 +92,8 @@ impl fmt::Display for TopoSpec {
             }
             TopoSpec::Torus { k, n } => write!(f, "torus:{k},{n}"),
             TopoSpec::Hypercube(n) => write!(f, "hypercube:{n}"),
+            TopoSpec::FullMesh(n) => write!(f, "fullmesh:{n}"),
+            TopoSpec::Ring(n) => write!(f, "ring:{n}"),
         }
     }
 }
@@ -103,6 +120,9 @@ pub enum AlgoSpec {
     NegativeFirstTorus,
     /// First-hop-wraparound torus routing over minimal negative-first.
     FirstHopWrap,
+    /// A synthesized turn model (graph topologies), from a fixed-seed
+    /// bounded search so cases stay deterministic.
+    Synth,
 }
 
 impl AlgoSpec {
@@ -122,6 +142,7 @@ impl AlgoSpec {
         (AlgoSpec::PCube(false), "p-cube-nonmin"),
         (AlgoSpec::NegativeFirstTorus, "negative-first-torus"),
         (AlgoSpec::FirstHopWrap, "first-hop-wrap"),
+        (AlgoSpec::Synth, "synth"),
     ];
 
     fn name(self) -> &'static str {
@@ -136,7 +157,9 @@ impl AlgoSpec {
     pub fn supports(self, topo: &TopoSpec) -> bool {
         let n = topo.num_dims();
         match self {
-            AlgoSpec::DimensionOrder => !matches!(topo, TopoSpec::Torus { .. }),
+            AlgoSpec::DimensionOrder => {
+                matches!(topo, TopoSpec::Mesh(_) | TopoSpec::Hypercube(_))
+            }
             AlgoSpec::WestFirst(_) | AlgoSpec::NorthLast(_) => {
                 matches!(topo, TopoSpec::Mesh(_)) && n == 2
             }
@@ -147,6 +170,7 @@ impl AlgoSpec {
             AlgoSpec::NegativeFirstTorus | AlgoSpec::FirstHopWrap => {
                 matches!(topo, TopoSpec::Torus { .. })
             }
+            AlgoSpec::Synth => matches!(topo, TopoSpec::FullMesh(_) | TopoSpec::Ring(_)),
         }
     }
 
@@ -182,6 +206,22 @@ impl AlgoSpec {
                     NegativeFirst::with_dims(n, true),
                 ))
             }
+            AlgoSpec::Synth => {
+                // A fixed-seed bounded search keeps the case cheap and
+                // reproducible; the suite's graph topologies are
+                // bidirectional, so a viable relation always exists.
+                let built = topo.build();
+                let synthesis = synthesize(
+                    built.as_ref(),
+                    &SynthesisOptions {
+                        seed: 1,
+                        candidates: 8,
+                        threads: 1,
+                    },
+                )
+                .expect("bidirectional suite graphs synthesize");
+                Box::new(synthesis.routing)
+            }
         }
     }
 
@@ -197,7 +237,7 @@ impl AlgoSpec {
             AlgoSpec::NegativeFirst(_) | AlgoSpec::PCube(_) => Some(TurnSet::negative_first(n)),
             AlgoSpec::Abonf(_) => Some(TurnSet::abonf(n)),
             AlgoSpec::Abopl(_) => Some(TurnSet::abopl(n)),
-            AlgoSpec::NegativeFirstTorus | AlgoSpec::FirstHopWrap => None,
+            AlgoSpec::NegativeFirstTorus | AlgoSpec::FirstHopWrap | AlgoSpec::Synth => None,
         }
     }
 }
@@ -392,6 +432,16 @@ impl ConformanceCase {
             TopoSpec::Hypercube(n) => {
                 if !(1..=4).contains(n) {
                     return Err(format!("hypercube bounds: n in 1..=4, got {n}"));
+                }
+            }
+            TopoSpec::FullMesh(n) => {
+                if !(3..=6).contains(n) {
+                    return Err(format!("fullmesh bounds: n in 3..=6, got {n}"));
+                }
+            }
+            TopoSpec::Ring(n) => {
+                if !(3..=8).contains(n) {
+                    return Err(format!("ring bounds: n in 3..=8, got {n}"));
                 }
             }
         }
@@ -645,6 +695,10 @@ fn parse_topo(value: &str) -> Result<TopoSpec, String> {
         "hypercube" => Ok(TopoSpec::Hypercube(
             parse_u64(rest, "hypercube dims")? as usize
         )),
+        "fullmesh" => Ok(TopoSpec::FullMesh(
+            parse_u64(rest, "fullmesh nodes")? as usize
+        )),
+        "ring" => Ok(TopoSpec::Ring(parse_u64(rest, "ring nodes")? as usize)),
         other => Err(format!("unknown topology kind {other}")),
     }
 }
@@ -701,7 +755,54 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_fields() {
         assert!(ConformanceCase::parse("topo=mesh:4x4 wat=1").is_err());
-        assert!(ConformanceCase::parse("topo=ring:9").is_err());
+        assert!(ConformanceCase::parse("topo=blob:9").is_err());
+    }
+
+    #[test]
+    fn graph_cases_round_trip_and_build() {
+        let case = ConformanceCase {
+            topo: TopoSpec::FullMesh(4),
+            algo: AlgoSpec::Synth,
+            pattern: PatternSpec::Uniform,
+            load: 0.05,
+            lengths: LengthSpec::Fixed(8),
+            input: InputSelection::FirstComeFirstServed,
+            output: OutputSelection::LowestDimension,
+            seed: 11,
+            warmup: 64,
+            measure: 256,
+            threads: 2,
+            faults: Vec::new(),
+        };
+        assert!(case.validate().is_ok(), "{:?}", case.validate());
+        let line = case.to_string();
+        assert!(line.starts_with("topo=fullmesh:4 algo=synth"), "{line}");
+        assert_eq!(ConformanceCase::parse(&line).unwrap(), case);
+        let built = case.build();
+        assert_eq!(built.topo.num_nodes(), 4);
+        assert!(built.turn_set.is_none());
+        assert!(!built.algo.is_minimal());
+        // Cartesian algorithms refuse graph topologies.
+        let mut bad = case.clone();
+        bad.algo = AlgoSpec::DimensionOrder;
+        assert!(bad.validate().is_err());
+        // And synth refuses Cartesian ones.
+        let mut bad = case;
+        bad.topo = TopoSpec::Mesh(vec![4, 4]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn graph_bounds_are_enforced() {
+        let mut case = sample();
+        case.algo = AlgoSpec::Synth;
+        case.faults = Vec::new();
+        case.topo = TopoSpec::FullMesh(7);
+        assert!(case.validate().is_err());
+        case.topo = TopoSpec::Ring(9);
+        assert!(case.validate().is_err());
+        case.topo = TopoSpec::Ring(8);
+        assert!(case.validate().is_ok(), "{:?}", case.validate());
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn choose<T: Copy>(rng: &mut StdRng, items: &[T]) -> T {
 }
 
 fn gen_topo(rng: &mut StdRng) -> TopoSpec {
-    match rng.random_range(0..4u32) {
+    match rng.random_range(0..5u32) {
         // 2D meshes get double weight: most algorithms and patterns
         // live there.
         0 | 1 => {
@@ -42,7 +42,15 @@ fn gen_topo(rng: &mut StdRng) -> TopoSpec {
             k: rng.random_range(3..=5usize),
             n: rng.random_range(1..=2usize),
         },
-        _ => TopoSpec::Hypercube(rng.random_range(2..=4usize)),
+        3 => TopoSpec::Hypercube(rng.random_range(2..=4usize)),
+        // Graph topologies exercise the synthesized turn models.
+        _ => {
+            if rng.random_bool(0.5) {
+                TopoSpec::FullMesh(rng.random_range(3..=6usize))
+            } else {
+                TopoSpec::Ring(rng.random_range(3..=8usize))
+            }
+        }
     }
 }
 
@@ -62,6 +70,7 @@ const ALGOS: &[AlgoSpec] = &[
     AlgoSpec::PCube(false),
     AlgoSpec::NegativeFirstTorus,
     AlgoSpec::FirstHopWrap,
+    AlgoSpec::Synth,
 ];
 
 const PATTERNS: &[PatternSpec] = &[
@@ -193,18 +202,22 @@ mod tests {
         // Over a few hundred draws every topology family, every
         // route-table-relevant algorithm class and faults all appear.
         let mut rng = StdRng::seed_from_u64(11);
-        let (mut mesh, mut torus, mut cube, mut faulted) = (0, 0, 0, 0);
+        let (mut mesh, mut torus, mut cube, mut graph, mut faulted) = (0, 0, 0, 0, 0);
         for _ in 0..400 {
             let case = generate_case(&mut rng);
             match case.topo {
                 TopoSpec::Mesh(_) => mesh += 1,
                 TopoSpec::Torus { .. } => torus += 1,
                 TopoSpec::Hypercube(_) => cube += 1,
+                TopoSpec::FullMesh(_) | TopoSpec::Ring(_) => graph += 1,
             }
             if !case.faults.is_empty() {
                 faulted += 1;
             }
         }
-        assert!(mesh > 50 && torus > 30 && cube > 30 && faulted > 30);
+        assert!(
+            mesh > 50 && torus > 30 && cube > 30 && graph > 30 && faulted > 30,
+            "mesh {mesh} torus {torus} cube {cube} graph {graph} faulted {faulted}"
+        );
     }
 }

@@ -133,6 +133,20 @@ pub fn shrink_candidates(case: &ConformanceCase) -> Vec<ConformanceCase> {
                 push(c);
             }
         }
+        TopoSpec::FullMesh(n) => {
+            if *n > 3 {
+                let mut c = case.clone();
+                c.topo = TopoSpec::FullMesh(n - 1);
+                push(c);
+            }
+        }
+        TopoSpec::Ring(n) => {
+            if *n > 3 {
+                let mut c = case.clone();
+                c.topo = TopoSpec::Ring(n - 1);
+                push(c);
+            }
+        }
     }
 
     // Canonicalize the seed last: many failures are seed-independent,

@@ -341,4 +341,72 @@ mod tests {
         assert!(xy.num_dependencies() < all.num_dependencies());
         assert!(xy.num_dependencies() > 0);
     }
+
+    #[test]
+    fn empty_relation_is_trivially_acyclic() {
+        let cdg = ChannelDependencyGraph::from_successors(Vec::new());
+        assert_eq!(cdg.num_channels(), 0);
+        assert_eq!(cdg.num_dependencies(), 0);
+        assert!(cdg.is_acyclic());
+        assert_eq!(cdg.find_cycle(), None);
+        assert_eq!(cdg.topological_numbering(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn single_channel_without_self_dependence_is_acyclic() {
+        let cdg = ChannelDependencyGraph::from_successors(vec![Vec::new()]);
+        assert!(cdg.is_acyclic());
+        assert_eq!(cdg.topological_numbering(), Some(vec![0]));
+        // A self-dependence is the smallest possible cycle.
+        let selfie = ChannelDependencyGraph::from_successors(vec![vec![ChannelId::new(0)]]);
+        assert!(!selfie.is_acyclic());
+        assert_eq!(selfie.find_cycle(), Some(vec![ChannelId::new(0)]));
+        assert_eq!(selfie.topological_numbering(), None);
+    }
+
+    #[test]
+    fn find_cycle_reports_a_two_cycle_exactly() {
+        // c0 -> c1 -> c0: the cycle must come back closed and minimal.
+        let cdg = ChannelDependencyGraph::from_successors(vec![
+            vec![ChannelId::new(1)],
+            vec![ChannelId::new(0)],
+        ]);
+        assert!(!cdg.is_acyclic());
+        let cycle = cdg.find_cycle().expect("a 2-cycle exists");
+        assert_eq!(cycle.len(), 2);
+        // Every reported channel depends on the next, cyclically.
+        for (i, &c) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert!(
+                cdg.successors(c).contains(&next),
+                "{c} must depend on {next}"
+            );
+        }
+    }
+
+    #[test]
+    fn numbering_is_stable_on_disconnected_dependence_graphs() {
+        // Two independent chains (c0 -> c1, c2 -> c3) and an isolated
+        // channel: the numbering must cover all components, decrease
+        // along every dependency, and be deterministic across calls.
+        let successors = vec![
+            vec![ChannelId::new(1)],
+            Vec::new(),
+            vec![ChannelId::new(3)],
+            Vec::new(),
+            Vec::new(),
+        ];
+        let cdg = ChannelDependencyGraph::from_successors(successors);
+        assert!(cdg.is_acyclic());
+        let numbers = cdg.topological_numbering().expect("acyclic");
+        assert_eq!(numbers.len(), 5);
+        let mut sorted = numbers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "numbers must be distinct: {numbers:?}");
+        assert!(numbers[1] < numbers[0]);
+        assert!(numbers[3] < numbers[2]);
+        let again = cdg.topological_numbering().expect("acyclic");
+        assert_eq!(numbers, again, "numbering must be deterministic");
+    }
 }

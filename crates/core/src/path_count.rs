@@ -13,7 +13,9 @@ use turnroute_topology::{Direction, NodeId, Topology};
 ///
 /// For a minimal algorithm this is the paper's `S_algorithm`. The count
 /// distinguishes paths by their node sequences; the arrival-direction
-/// state only serves turn-constrained algorithms.
+/// state only serves turn-constrained algorithms. Counts saturate at
+/// `u128::MAX` — dense nonminimal relations (e.g. synthesized turn
+/// models on high-degree graphs) can admit more paths than fit.
 ///
 /// # Panics
 ///
@@ -69,7 +71,7 @@ pub fn count_paths(
             let next = topo
                 .neighbor(node, dir)
                 .expect("routing algorithm returned a direction without a channel");
-            total += visit(algorithm, topo, dst, (next, Some(dir)), memo);
+            total = total.saturating_add(visit(algorithm, topo, dst, (next, Some(dir)), memo));
         }
         memo.insert(state, Mark::Done(total));
         total

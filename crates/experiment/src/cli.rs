@@ -14,6 +14,7 @@ use turnroute_sim::patterns::{
     BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose, NearestNeighbor,
     ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
 };
+use turnroute_synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
 use turnroute_topology::{HexMesh, Hypercube, Mesh, NodeId, Topology, Torus};
 use turnroute_vc::{DatelineDimensionOrder, MadY, SingleClass, VcRoutingAlgorithm};
 
@@ -46,7 +47,12 @@ pub const TOPOLOGY_SPECS: &str = "\
   mesh:<k0>x<k1>[x<k2>...]   n-dimensional mesh, e.g. mesh:16x16
   torus:<k>,<n>              k-ary n-cube, e.g. torus:8,2
   hypercube:<n>              binary n-cube, e.g. hypercube:8
-  hex:<m>x<n>                hexagonal mesh, e.g. hex:8x8";
+  hex:<m>x<n>                hexagonal mesh, e.g. hex:8x8
+  graph:<file>               edge-list file (see DESIGN.md §12)
+  fullmesh:<n>               fully connected n-node graph
+  ring:<n>                   bidirectional n-node ring
+  dragonfly:<r>,<g>          g groups of r all-to-all routers
+  fattree:<l>,<s>            l leaves fully wired to s spines";
 
 /// Parses a topology specification like `mesh:16x16`, `torus:8,2`,
 /// `hypercube:8` or `hex:6x6`.
@@ -102,7 +108,59 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, ParseSpecError> {
             }
             Ok(Box::new(HexMesh::new(m, n)))
         }
+        "graph" | "fullmesh" | "ring" | "dragonfly" | "fattree" => {
+            let spec = parse_graph_spec(kind, rest)?;
+            let topo = GraphTopology::new(&spec).map_err(|e| {
+                err(format!(
+                    "bad graph topology '{spec}': {e}",
+                    spec = spec.label
+                ))
+            })?;
+            Ok(Box::new(topo))
+        }
         other => Err(err(format!("unknown topology kind '{other}'"))),
+    }
+}
+
+/// Parses the graph-topology kinds into a [`GraphSpec`]: the generators
+/// by their parameters, `graph:<file>` by reading the edge-list file.
+fn parse_graph_spec(kind: &str, rest: &str) -> Result<GraphSpec, ParseSpecError> {
+    match kind {
+        "graph" => {
+            let text = std::fs::read_to_string(rest)
+                .map_err(|e| err(format!("cannot read graph file '{rest}': {e}")))?;
+            GraphSpec::parse(&text, format!("graph:{rest}"))
+                .map_err(|e| err(format!("bad graph file '{rest}': {e}")))
+        }
+        "fullmesh" => {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| err(format!("bad node count '{rest}'")))?;
+            Ok(GraphSpec::full_mesh(n))
+        }
+        "ring" => {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| err(format!("bad node count '{rest}'")))?;
+            Ok(GraphSpec::ring(n))
+        }
+        "dragonfly" => {
+            let (r, g) = rest
+                .split_once(',')
+                .ok_or_else(|| err("dragonfly spec is dragonfly:<routers>,<groups>"))?;
+            let r: usize = r.parse().map_err(|_| err(format!("bad routers '{r}'")))?;
+            let g: usize = g.parse().map_err(|_| err(format!("bad groups '{g}'")))?;
+            Ok(GraphSpec::dragonfly(r, g))
+        }
+        "fattree" => {
+            let (l, s) = rest
+                .split_once(',')
+                .ok_or_else(|| err("fattree spec is fattree:<leaves>,<spines>"))?;
+            let l: usize = l.parse().map_err(|_| err(format!("bad leaves '{l}'")))?;
+            let s: usize = s.parse().map_err(|_| err(format!("bad spines '{s}'")))?;
+            Ok(GraphSpec::fat_tree(l, s))
+        }
+        _ => unreachable!("caller matched the graph kinds"),
     }
 }
 
@@ -115,7 +173,8 @@ pub const ALGORITHM_NAMES: &str = "\
   abonf | abopl                   n-dimensional analogs (Section 4.1)
   p-cube[-nonminimal]             hypercubes (Section 5)
   negative-first-torus            k-ary n-cubes (Section 4.2)
-  first-hop-wrap                  k-ary n-cubes (Section 4.2)";
+  first-hop-wrap                  k-ary n-cubes (Section 4.2)
+  synth[:<seed>]                  synthesized turn model (any topology)";
 
 /// Parses an algorithm name in the context of `topo` (dimension counts
 /// and torus-specific constructions depend on the topology).
@@ -154,6 +213,26 @@ pub fn parse_algorithm(
         }
         "negative-first-torus" | "first-hop-wrap" => {
             return Err(err(format!("'{name}' requires a torus topology")))
+        }
+        _ if name == "synth" || name.starts_with("synth:") => {
+            let seed = match name.strip_prefix("synth:") {
+                None => 0,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| err(format!("bad synthesis seed '{s}'")))?,
+            };
+            let synthesis = synthesize(
+                topo,
+                &SynthesisOptions {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| err(format!("synthesis failed on {}: {e}", topo.label())))?;
+            // Keep the spec string as the name so reports round-trip.
+            let mut routing = synthesis.routing;
+            routing.set_name(name);
+            Box::new(routing)
         }
         other => {
             return Err(err(format!(
@@ -325,6 +404,34 @@ mod tests {
     }
 
     #[test]
+    fn graph_topologies_parse() {
+        assert_eq!(parse_topology("fullmesh:8").unwrap().num_nodes(), 8);
+        assert_eq!(parse_topology("ring:9").unwrap().num_nodes(), 9);
+        assert_eq!(parse_topology("dragonfly:4,4").unwrap().num_nodes(), 16);
+        assert_eq!(parse_topology("fattree:4,2").unwrap().num_nodes(), 6);
+        let dir = std::env::temp_dir().join("turnroute-cli-graph-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tri.graph");
+        std::fs::write(&file, "nodes 3\n0 <-> 1\n1 <-> 2\n2 <-> 0\n").unwrap();
+        let topo = parse_topology(&format!("graph:{}", file.display())).unwrap();
+        assert_eq!(topo.num_nodes(), 3);
+        assert_eq!(topo.num_channels(), 6);
+    }
+
+    #[test]
+    fn synth_parses_with_and_without_seed() {
+        let topo = parse_topology("fullmesh:6").unwrap();
+        let algo = parse_algorithm("synth", topo.as_ref()).unwrap();
+        assert_eq!(algo.name(), "synth");
+        let seeded = parse_algorithm("synth:7", topo.as_ref()).unwrap();
+        assert_eq!(seeded.name(), "synth:7");
+        assert!(parse_algorithm("synth:banana", topo.as_ref()).is_err());
+        // Works on the paper's topologies too.
+        let mesh = parse_topology("mesh:4x4").unwrap();
+        assert!(parse_algorithm("synth:1", mesh.as_ref()).is_ok());
+    }
+
+    #[test]
     fn bad_topologies_are_rejected_with_messages() {
         for bad in [
             "mesh",
@@ -332,7 +439,11 @@ mod tests {
             "torus:2,2",
             "hypercube:0",
             "hex:6",
-            "ring:8",
+            "ring:1",
+            "fullmesh:zap",
+            "dragonfly:4",
+            "graph:/no/such/file",
+            "blob:9",
         ] {
             match parse_topology(bad) {
                 Err(e) => assert!(!e.to_string().is_empty(), "{bad}"),

@@ -1031,7 +1031,7 @@ mod tests {
             ExperimentSpec::builder("mesh:6x6", "uniform")
                 .algorithm("frobnicate")
                 .loads(&[0.02]),
-            ExperimentSpec::builder("ring:9", "uniform")
+            ExperimentSpec::builder("blob:9", "uniform")
                 .algorithm("xy")
                 .loads(&[0.02]),
             ExperimentSpec::builder("mesh:6x6", "noise")

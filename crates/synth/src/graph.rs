@@ -1,0 +1,377 @@
+//! Arbitrary directed graphs: the edge-list file format and the
+//! built-in generators (full-mesh, ring, dragonfly, fat-tree).
+//!
+//! A [`GraphSpec`] is the raw material a
+//! [`GraphTopology`](crate::GraphTopology) is built from: a node count
+//! plus a list of directed edges. Specs come from three places — the
+//! text format parsed by [`GraphSpec::parse`], the generators below, or
+//! hand-built lists in tests.
+//!
+//! # File format
+//!
+//! One directive or edge per line; `#` starts a comment:
+//!
+//! ```text
+//! # A 3-node directed triangle plus one bidirectional chord.
+//! nodes 3
+//! 0 1
+//! 1 2
+//! 2 0
+//! 0 <-> 2
+//! ```
+//!
+//! * `nodes N` (optional) declares the node count; without it the count
+//!   is inferred as the largest endpoint + 1.
+//! * `u v` adds the directed edge `u -> v`.
+//! * `u <-> v` adds both `u -> v` and `v -> u`.
+//!
+//! Duplicate edges are collapsed; self-loops are rejected.
+
+use std::fmt;
+
+/// A validation or parse failure while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A line of the edge-list format did not parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The graph has fewer than two nodes.
+    TooFewNodes(usize),
+    /// The graph has no edges.
+    NoEdges,
+    /// An edge endpoint is `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// The declared node count.
+        num_nodes: usize,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop(usize),
+    /// The graph is not strongly connected: no directed path exists.
+    NotStronglyConnected {
+        /// Source of the missing path.
+        from: usize,
+        /// Unreachable destination.
+        to: usize,
+    },
+    /// Direction labelling needs more than the 32 direction slots a
+    /// `DirSet` can hold (the graph's degree is too high).
+    TooManyDirections {
+        /// The hard limit (32).
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            GraphError::TooFewNodes(n) => write!(f, "a topology needs at least 2 nodes, got {n}"),
+            GraphError::NoEdges => write!(f, "the graph has no edges"),
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop(node) => write!(f, "self-loop on node {node}"),
+            GraphError::NotStronglyConnected { from, to } => write!(
+                f,
+                "not strongly connected: no directed path from node {from} to node {to}"
+            ),
+            GraphError::TooManyDirections { limit } => write!(
+                f,
+                "the graph's degree needs more than {limit} direction labels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A raw directed graph: node count plus deduplicated, sorted edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Number of nodes (dense ids `0..num_nodes`).
+    pub num_nodes: usize,
+    /// Directed edges `(src, dst)`, sorted and deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// The spec string this graph round-trips through (`fullmesh:8`,
+    /// `graph:FILE`, ...), used as the topology label.
+    pub label: String,
+}
+
+impl GraphSpec {
+    /// Builds a spec from explicit parts, normalizing the edge list.
+    pub fn new(num_nodes: usize, mut edges: Vec<(usize, usize)>, label: String) -> GraphSpec {
+        edges.sort_unstable();
+        edges.dedup();
+        GraphSpec {
+            num_nodes,
+            edges,
+            label,
+        }
+    }
+
+    /// Parses the edge-list text format (see the module docs).
+    pub fn parse(text: &str, label: String) -> Result<GraphSpec, GraphError> {
+        let mut declared_nodes: Option<usize> = None;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut max_endpoint = 0usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| GraphError::Parse {
+                line: line_no,
+                message,
+            };
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["nodes", n] => {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| err(format!("bad node count '{n}'")))?;
+                    if declared_nodes.replace(n).is_some() {
+                        return Err(err("duplicate 'nodes' directive".into()));
+                    }
+                }
+                [u, v] | [u, "<->", v] => {
+                    let both = tokens.len() == 3;
+                    let u: usize = u.parse().map_err(|_| err(format!("bad node '{u}'")))?;
+                    let v: usize = v.parse().map_err(|_| err(format!("bad node '{v}'")))?;
+                    max_endpoint = max_endpoint.max(u).max(v);
+                    edges.push((u, v));
+                    if both {
+                        edges.push((v, u));
+                    }
+                }
+                _ => {
+                    return Err(err(format!(
+                        "expected 'nodes N', 'u v' or 'u <-> v', got '{line}'"
+                    )))
+                }
+            }
+        }
+        if edges.is_empty() {
+            return Err(GraphError::NoEdges);
+        }
+        let num_nodes = declared_nodes.unwrap_or(max_endpoint + 1);
+        Ok(GraphSpec::new(num_nodes, edges, label))
+    }
+
+    /// A full mesh (complete digraph) on `n` nodes: every ordered pair
+    /// is a channel. The topology of Cano et al. (HOTI 2025).
+    pub fn full_mesh(n: usize) -> GraphSpec {
+        let edges = (0..n)
+            .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        GraphSpec::new(n, edges, format!("fullmesh:{n}"))
+    }
+
+    /// A bidirectional ring on `n` nodes.
+    pub fn ring(n: usize) -> GraphSpec {
+        let mut edges = Vec::with_capacity(2 * n);
+        for u in 0..n {
+            edges.push((u, (u + 1) % n));
+            edges.push(((u + 1) % n, u));
+        }
+        GraphSpec::new(n, edges, format!("ring:{n}"))
+    }
+
+    /// A dragonfly with `groups` groups of `routers` routers each:
+    /// all-to-all inside every group, and one bidirectional global link
+    /// between every pair of groups (the canonical `h = 1` wiring, with
+    /// the global link for pair `(g, g')` landing on a deterministic
+    /// router of each group). The 16-node instance is `dragonfly:4,4`.
+    pub fn dragonfly(routers: usize, groups: usize) -> GraphSpec {
+        let mut edges = Vec::new();
+        for g in 0..groups {
+            let base = g * routers;
+            for a in 0..routers {
+                for b in 0..routers {
+                    if a != b {
+                        edges.push((base + a, base + b));
+                    }
+                }
+            }
+        }
+        // Global links: spread each group's partners across its routers.
+        let local = |g: usize, partner: usize| {
+            let slot = if partner < g { partner } else { partner - 1 };
+            g * routers + slot % routers
+        };
+        for g1 in 0..groups {
+            for g2 in g1 + 1..groups {
+                let (a, b) = (local(g1, g2), local(g2, g1));
+                edges.push((a, b));
+                edges.push((b, a));
+            }
+        }
+        GraphSpec::new(
+            routers * groups,
+            edges,
+            format!("dragonfly:{routers},{groups}"),
+        )
+    }
+
+    /// A two-level fat tree: `leaves` leaf switches each wired (both
+    /// ways) to all of `spines` spine switches. Spine nodes participate
+    /// in traffic like any other node — this models the fat tree as a
+    /// direct network, which is what the wormhole engine simulates.
+    pub fn fat_tree(leaves: usize, spines: usize) -> GraphSpec {
+        let mut edges = Vec::new();
+        for l in 0..leaves {
+            for s in 0..spines {
+                edges.push((l, leaves + s));
+                edges.push((leaves + s, l));
+            }
+        }
+        GraphSpec::new(leaves + spines, edges, format!("fattree:{leaves},{spines}"))
+    }
+
+    /// Checks node count, edge ranges, self-loops and strong
+    /// connectivity. [`GraphTopology::new`](crate::GraphTopology::new)
+    /// calls this; it is public so file-driven tools can validate
+    /// before building.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.num_nodes < 2 {
+            return Err(GraphError::TooFewNodes(self.num_nodes));
+        }
+        if self.edges.is_empty() {
+            return Err(GraphError::NoEdges);
+        }
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            let node = u.max(v);
+            if node >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        // Strong connectivity: node 0 must reach everyone along edges,
+        // and everyone must reach node 0 (along reversed edges).
+        let forward = self.reachable_from_zero(false);
+        if let Some(to) = (0..self.num_nodes).find(|&n| !forward[n]) {
+            return Err(GraphError::NotStronglyConnected { from: 0, to });
+        }
+        let backward = self.reachable_from_zero(true);
+        if let Some(from) = (0..self.num_nodes).find(|&n| !backward[n]) {
+            return Err(GraphError::NotStronglyConnected { from, to: 0 });
+        }
+        Ok(())
+    }
+
+    fn reachable_from_zero(&self, reversed: bool) -> Vec<bool> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for &(u, v) in &self.edges {
+            let (u, v) = if reversed { (v, u) } else { (u, v) };
+            adj[u].push(v);
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_directives_edges_and_comments() {
+        let text = "# triangle\nnodes 3\n0 1\n1 2 # inline\n2 0\n\n0 <-> 2\n";
+        let spec = GraphSpec::parse(text, "graph:test".into()).unwrap();
+        assert_eq!(spec.num_nodes, 3);
+        assert_eq!(spec.edges, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn infers_node_count_without_directive() {
+        let spec = GraphSpec::parse("0 <-> 5\n", "graph:t".into()).unwrap();
+        assert_eq!(spec.num_nodes, 6);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = GraphSpec::parse("0 1\nfrogs\n", "graph:t".into()).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Parse {
+                line: 2,
+                message: "expected 'nodes N', 'u v' or 'u <-> v', got 'frogs'".into()
+            }
+        );
+        assert!(GraphSpec::parse("", "graph:t".into()).is_err());
+        assert!(GraphSpec::parse("nodes 3\nnodes 3\n0 1\n", "graph:t".into()).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_graphs() {
+        let loop_ = GraphSpec::new(3, vec![(0, 1), (1, 1)], "t".into());
+        assert_eq!(loop_.validate(), Err(GraphError::SelfLoop(1)));
+        let oob = GraphSpec::new(2, vec![(0, 1), (1, 0), (0, 5)], "t".into());
+        assert!(matches!(
+            oob.validate(),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+        // A one-way pair: 1 cannot reach 0.
+        let weak = GraphSpec::new(2, vec![(0, 1)], "t".into());
+        assert!(matches!(
+            weak.validate(),
+            Err(GraphError::NotStronglyConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn full_mesh_has_all_ordered_pairs() {
+        let spec = GraphSpec::full_mesh(8);
+        assert_eq!(spec.num_nodes, 8);
+        assert_eq!(spec.edges.len(), 56);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.label, "fullmesh:8");
+    }
+
+    #[test]
+    fn ring_is_bidirectional() {
+        let spec = GraphSpec::ring(5);
+        assert_eq!(spec.edges.len(), 10);
+        assert!(spec.validate().is_ok());
+        assert!(spec.edges.contains(&(4, 0)) && spec.edges.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn dragonfly_16_nodes_is_connected() {
+        let spec = GraphSpec::dragonfly(4, 4);
+        assert_eq!(spec.num_nodes, 16);
+        // 4 groups x 12 intra edges + 6 group pairs x 2 global edges.
+        assert_eq!(spec.edges.len(), 4 * 12 + 6 * 2);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn fat_tree_is_complete_bipartite() {
+        let spec = GraphSpec::fat_tree(4, 2);
+        assert_eq!(spec.num_nodes, 6);
+        assert_eq!(spec.edges.len(), 16);
+        assert!(spec.validate().is_ok());
+    }
+}

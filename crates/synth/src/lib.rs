@@ -1,0 +1,46 @@
+//! # turnroute-synth
+//!
+//! Arbitrary-graph topologies and automatic turn-prohibition
+//! synthesis.
+//!
+//! The turn model (Glass & Ni, ISCA 1994/1998) hand-derives deadlock-
+//! free adaptive routing for meshes, tori and hypercubes by prohibiting
+//! a minimal set of turns. This crate generalizes both halves of that
+//! story to networks the paper never considered:
+//!
+//! * [`GraphSpec`] / [`GraphTopology`] put *any* strongly-connected
+//!   directed graph — parsed from an edge-list file or produced by the
+//!   built-in full-mesh / ring / dragonfly / fat-tree generators —
+//!   behind the workspace's [`Topology`] trait, so the simulation
+//!   engine, sweeps, fault pruning and conformance checking all run on
+//!   it unchanged.
+//! * [`synthesize`] *searches* for a minimal turn-prohibition set on
+//!   such a graph: seeded up\*/down\*-style channel orderings generate
+//!   candidate relations, a greedy pass re-admits every turn that keeps
+//!   the channel dependency graph acyclic, candidates are validated
+//!   (Dally–Seitz acyclicity + all-pairs reachability) and scored by
+//!   adaptiveness (permitted-path counts), in parallel. The winner
+//!   compiles into a [`SynthesizedRouting`], a [`RoutingAlgorithm`]
+//!   like any other.
+//!
+//! The search is deterministic: the same seed yields a byte-identical
+//! [`SynthesisReport`] regardless of thread count.
+//!
+//! [`Topology`]: turnroute_topology::Topology
+//! [`RoutingAlgorithm`]: turnroute_core::RoutingAlgorithm
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod routing;
+mod search;
+mod topology;
+
+pub use graph::{GraphError, GraphSpec};
+pub use routing::SynthesizedRouting;
+pub use search::{
+    synthesize, ProhibitedTurn, Synthesis, SynthesisError, SynthesisOptions, SynthesisReport,
+    DEFAULT_CANDIDATES,
+};
+pub use topology::GraphTopology;

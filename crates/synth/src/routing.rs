@@ -1,0 +1,267 @@
+//! The routing algorithm a synthesized turn model compiles into.
+
+use turnroute_core::{ChannelDependencyGraph, RoutingAlgorithm};
+use turnroute_topology::{ChannelId, DirSet, Direction, NodeId, Topology};
+
+/// A word-packed bitset over channel ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChannelSet {
+    words: Vec<u64>,
+}
+
+impl ChannelSet {
+    pub(crate) fn new(num_channels: usize) -> ChannelSet {
+        ChannelSet {
+            words: vec![0; num_channels.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn insert(&mut self, c: ChannelId) {
+        self.words[c.index() / 64] |= 1 << (c.index() % 64);
+    }
+
+    pub(crate) fn contains(&self, c: ChannelId) -> bool {
+        self.words[c.index() / 64] >> (c.index() % 64) & 1 == 1
+    }
+}
+
+/// A deadlock-free adaptive routing algorithm compiled from a
+/// synthesized turn-prohibition set (see [`synthesize`]).
+///
+/// The algorithm carries the full permitted-turn relation as
+/// per-channel successor sets, plus one precomputed *deliverability*
+/// bitset per destination: the channels from which the destination
+/// remains reachable without ever taking a prohibited turn. `route`
+/// offers exactly the outgoing channels that are (a) deliverable for
+/// the destination and (b) permitted after the arrival channel — so a
+/// packet is never steered into a corner the relation cannot route out
+/// of.
+///
+/// The relation is validated acyclic at construction (Dally–Seitz via
+/// [`ChannelDependencyGraph`]), which also bounds every walk: each hop
+/// strictly decreases the channel's topological number.
+///
+/// Instances are topology-specific: `route` must be called with the
+/// same topology the algorithm was synthesized for (the universal
+/// assumption of this workspace's algorithm constructors).
+///
+/// [`synthesize`]: crate::synthesize
+#[derive(Debug)]
+pub struct SynthesizedRouting {
+    name: String,
+    num_dirs: usize,
+    /// `node * num_dirs + dir.index()` -> incoming channel.
+    channel_into: Vec<Option<ChannelId>>,
+    /// Outgoing `(direction, channel)` pairs per node, direction-sorted.
+    outgoing: Vec<Vec<(Direction, ChannelId)>>,
+    /// Permitted successor channels, one bitset per channel.
+    allowed: Vec<ChannelSet>,
+    /// Channels from which `dest` stays reachable, one bitset per dest.
+    deliverable: Vec<ChannelSet>,
+}
+
+impl SynthesizedRouting {
+    /// Compiles a permitted-turn relation into a routing algorithm.
+    ///
+    /// `successors[c]` lists the channels a packet holding channel `c`
+    /// may request next. Returns `None` if the relation's channel
+    /// dependency graph has a cycle (the caller's candidate was not
+    /// deadlock free) — otherwise deliverability is computed by a
+    /// backward closure in topological order.
+    pub(crate) fn compile(
+        topo: &dyn Topology,
+        name: String,
+        successors: &[Vec<ChannelId>],
+    ) -> Option<SynthesizedRouting> {
+        let cdg = ChannelDependencyGraph::from_successors(successors.to_vec());
+        let numbering = cdg.topological_numbering()?;
+        let num_channels = topo.num_channels();
+        let num_nodes = topo.num_nodes();
+        let num_dirs = 2 * topo.num_dims();
+
+        let mut channel_into = vec![None; num_nodes * num_dirs];
+        let mut outgoing: Vec<Vec<(Direction, ChannelId)>> = vec![Vec::new(); num_nodes];
+        for (i, ch) in topo.channels().iter().enumerate() {
+            let id = ChannelId::new(i);
+            channel_into[ch.dst.index() * num_dirs + ch.dir.index()] = Some(id);
+            outgoing[ch.src.index()].push((ch.dir, id));
+        }
+        for list in &mut outgoing {
+            list.sort_unstable_by_key(|&(dir, _)| dir.index());
+        }
+
+        let mut allowed = vec![ChannelSet::new(num_channels); num_channels];
+        for (c, succs) in successors.iter().enumerate() {
+            for &s in succs {
+                allowed[c].insert(s);
+            }
+        }
+
+        // Deliverability: numbers strictly decrease along dependencies,
+        // so visiting channels in ascending number order sees every
+        // permitted successor before the channel that may request it.
+        let mut by_number: Vec<usize> = (0..num_channels).collect();
+        by_number.sort_unstable_by_key(|&c| numbering[c]);
+        let channels = topo.channels();
+        let mut deliverable = vec![ChannelSet::new(num_channels); num_nodes];
+        for &c in &by_number {
+            let dst = channels[c].dst.index();
+            deliverable[dst].insert(ChannelId::new(c));
+            for (dest, del) in deliverable.iter_mut().enumerate() {
+                if dest == dst || del.contains(ChannelId::new(c)) {
+                    continue;
+                }
+                if successors[c].iter().any(|&s| del.contains(s)) {
+                    del.insert(ChannelId::new(c));
+                }
+            }
+        }
+
+        Some(SynthesizedRouting {
+            name,
+            num_dirs,
+            channel_into,
+            outgoing,
+            allowed,
+            deliverable,
+        })
+    }
+
+    /// Renames the algorithm — e.g. to the CLI spec string (`synth:7`)
+    /// so sweep CSVs and reports round-trip through the job server.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// `true` if some channel of `src` can deliver to `dest` — the
+    /// all-pairs reachability predicate the synthesis search validates.
+    pub(crate) fn source_can_reach(&self, src: NodeId, dest: NodeId) -> bool {
+        self.outgoing[src.index()]
+            .iter()
+            .any(|&(_, c)| self.deliverable[dest.index()].contains(c))
+    }
+}
+
+impl RoutingAlgorithm for SynthesizedRouting {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn route(
+        &self,
+        _topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        let mut set = DirSet::new();
+        if current == dest {
+            return set;
+        }
+        let holding = arrived.and_then(|dir| {
+            debug_assert!(dir.index() < self.num_dirs);
+            self.channel_into[current.index() * self.num_dirs + dir.index()]
+        });
+        let deliverable = &self.deliverable[dest.index()];
+        for &(dir, c) in &self.outgoing[current.index()] {
+            if !deliverable.contains(c) {
+                continue;
+            }
+            if let Some(held) = holding {
+                if !self.allowed[held.index()].contains(c) {
+                    continue;
+                }
+            }
+            set.insert(dir);
+        }
+        set
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn is_minimal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphSpec;
+    use crate::GraphTopology;
+
+    /// A hand-built relation on a 3-ring: total order by channel id
+    /// (c1 may be followed by any adjacent lower-numbered channel).
+    fn ring3_by_id() -> (GraphTopology, Vec<Vec<ChannelId>>) {
+        let topo = GraphTopology::new(&GraphSpec::ring(3)).unwrap();
+        let channels = topo.channels().to_vec();
+        let succ = channels
+            .iter()
+            .enumerate()
+            .map(|(i, c1)| {
+                channels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, c2)| c1.dst == c2.src && j < i && c2.dst != c1.src)
+                    .map(|(j, _)| ChannelId::new(j))
+                    .collect()
+            })
+            .collect();
+        (topo, succ)
+    }
+
+    #[test]
+    fn compile_rejects_cyclic_relations() {
+        let topo = GraphTopology::new(&GraphSpec::ring(3)).unwrap();
+        // Everything adjacent allowed: the ring's dependency cycle
+        // survives, so compilation must refuse.
+        let channels = topo.channels().to_vec();
+        let succ: Vec<Vec<ChannelId>> = channels
+            .iter()
+            .map(|c1| {
+                channels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, c2)| c1.dst == c2.src && c2.dst != c1.src)
+                    .map(|(j, _)| ChannelId::new(j))
+                    .collect()
+            })
+            .collect();
+        assert!(SynthesizedRouting::compile(&topo, "synth".into(), &succ).is_none());
+    }
+
+    #[test]
+    fn route_only_offers_deliverable_permitted_channels() {
+        let (topo, succ) = ring3_by_id();
+        let algo = SynthesizedRouting::compile(&topo, "synth".into(), &succ).unwrap();
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest {
+                    assert!(algo.route(&topo, src, dest, None).is_empty());
+                    continue;
+                }
+                // Source injection: every pair must have some channel.
+                if algo.source_can_reach(src, dest) {
+                    assert!(!algo.route(&topo, src, dest, None).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walks_terminate_and_deliver() {
+        let (topo, succ) = ring3_by_id();
+        let algo = SynthesizedRouting::compile(&topo, "synth".into(), &succ).unwrap();
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest || !algo.source_can_reach(src, dest) {
+                    continue;
+                }
+                let path = turnroute_core::walk(&algo, &topo, src, dest);
+                assert_eq!(*path.last().unwrap(), dest);
+            }
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The turn-prohibition synthesis search.
+//!
+//! The turn model derives deadlock freedom from a channel numbering:
+//! if every permitted turn moves to a strictly lower-numbered channel,
+//! the channel dependency graph is acyclic (Dally–Seitz). Synthesis
+//! inverts the hand derivation: *search* over numberings, keep the
+//! relations that stay all-pairs reachable, and pick the one that
+//! permits the most paths.
+//!
+//! Each candidate is seeded from a spanning-tree ordering (the up\*/
+//! down\* family): a BFS from a rotating root ranks the nodes by
+//! `(level, seeded tie-break)`, channels toward lower-ranked nodes
+//! become "up" and the rest "down", and the induced numbering permits
+//! up→up, up→down and down→down turns — acyclic by construction and
+//! all-pairs reachable on any bidirectionally-wired graph. A greedy
+//! second phase then re-admits every prohibited turn that keeps the
+//! dependency graph acyclic (checked per turn, and re-validated with
+//! [`ChannelDependencyGraph::is_acyclic`] on the final relation), which
+//! is what makes the result a *minimal* prohibition set: removing any
+//! remaining prohibited turn would close a cycle at the point it was
+//! considered.
+//!
+//! Candidates are scored by adaptiveness — the total number of
+//! permitted paths over all (sampled, for large networks) source–
+//! destination pairs, via [`count_paths`] — and evaluated in parallel
+//! across worker threads. The winner is chosen by `(score desc,
+//! permitted turns desc, candidate index asc)`, so the outcome is
+//! byte-identical for any thread count.
+
+use crate::routing::SynthesizedRouting;
+use std::fmt;
+use std::sync::mpsc;
+use turnroute_core::{count_paths, ChannelDependencyGraph};
+use turnroute_rng::{split_mix_64, Rng, StdRng};
+use turnroute_topology::{ChannelId, NodeId, Topology};
+
+/// Default candidate-space size for [`SynthesisOptions`].
+pub const DEFAULT_CANDIDATES: usize = 24;
+
+/// Above this many source–destination pairs the adaptiveness score is
+/// computed over a deterministic sample instead of exhaustively.
+const MAX_EXHAUSTIVE_PAIRS: usize = 4096;
+
+/// Tuning knobs for [`synthesize`].
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Seed for the candidate orderings and tie-breaks. The same seed
+    /// produces a byte-identical [`SynthesisReport`].
+    pub seed: u64,
+    /// How many candidate orderings to evaluate.
+    pub candidates: usize,
+    /// Worker threads for candidate evaluation; 0 means one per
+    /// available core. The result does not depend on this.
+    pub threads: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            seed: 0,
+            candidates: DEFAULT_CANDIDATES,
+            threads: 0,
+        }
+    }
+}
+
+/// Why synthesis produced nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// `candidates` was 0.
+    NoCandidates,
+    /// Every candidate relation left some pair unreachable (possible on
+    /// graphs with one-way links; bidirectionally-wired graphs always
+    /// admit an up*/down* candidate).
+    NoViableCandidate {
+        /// How many candidates were tried.
+        candidates: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoCandidates => write!(f, "need at least one candidate"),
+            SynthesisError::NoViableCandidate { candidates } => write!(
+                f,
+                "no deadlock-free all-pairs-reachable relation found in {candidates} candidates \
+                 (one-way links can make this unsatisfiable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// One prohibited turn of the winning relation, with its node path for
+/// human-readable reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProhibitedTurn {
+    /// The channel the packet holds.
+    pub from: ChannelId,
+    /// The adjacent channel it may not request next.
+    pub to: ChannelId,
+    /// Source router of `from`.
+    pub src: NodeId,
+    /// The router where the turn would happen.
+    pub via: NodeId,
+    /// Destination router of `to`.
+    pub dst: NodeId,
+}
+
+/// The outcome of a synthesis run: everything needed to reproduce,
+/// verify and rank the winning turn model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisReport {
+    /// Topology label (`fullmesh:8`, `graph:FILE`, ...).
+    pub topology: String,
+    /// Node count.
+    pub num_nodes: usize,
+    /// Channel count.
+    pub num_channels: usize,
+    /// Direction pairs the topology labels channels with.
+    pub num_dims: usize,
+    /// The search seed.
+    pub seed: u64,
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Candidates that were acyclic *and* all-pairs reachable.
+    pub viable: usize,
+    /// Index of the winning candidate.
+    pub winner: usize,
+    /// Adjacent channel pairs (possible turns, 180° turns excluded).
+    pub turn_pairs: usize,
+    /// Turns the winner permits.
+    pub allowed: usize,
+    /// Turns the winner prohibits, sorted by channel ids.
+    pub prohibited: Vec<ProhibitedTurn>,
+    /// Total permitted paths over the scored pairs (saturating).
+    pub score: u128,
+    /// How many source–destination pairs were scored.
+    pub score_pairs: usize,
+    /// `true` if the score pairs were sampled rather than exhaustive.
+    pub sampled: bool,
+    /// FNV-1a fingerprint of the rendered report body; byte-identical
+    /// output has an identical fingerprint.
+    pub fingerprint: u64,
+}
+
+impl SynthesisReport {
+    /// Renders the canonical text report. Same seed ⇒ byte-identical
+    /// output, which `scripts/check.sh` asserts.
+    pub fn render(&self) -> String {
+        let mut out = self.render_body();
+        out.push_str(&format!("fingerprint: {:016x}\n", self.fingerprint));
+        out
+    }
+
+    fn render_body(&self) -> String {
+        let mut out = String::new();
+        out.push_str("turnroute-synth v1\n");
+        out.push_str(&format!(
+            "topology: {} ({} nodes, {} channels, {} direction pairs)\n",
+            self.topology, self.num_nodes, self.num_channels, self.num_dims
+        ));
+        out.push_str(&format!(
+            "search: seed {}, {} candidates, {} viable, winner {}\n",
+            self.seed, self.candidates, self.viable, self.winner
+        ));
+        out.push_str(&format!(
+            "turns: {} adjacent pairs, {} allowed, {} prohibited\n",
+            self.turn_pairs,
+            self.allowed,
+            self.prohibited.len()
+        ));
+        out.push_str(&format!(
+            "adaptiveness: {} permitted paths over {} pairs ({})\n",
+            self.score,
+            self.score_pairs,
+            if self.sampled {
+                "sampled"
+            } else {
+                "exhaustive"
+            }
+        ));
+        out.push_str(&format!(
+            "verified: channel dependency graph acyclic; all {} source-destination pairs reachable\n",
+            self.num_nodes * (self.num_nodes - 1)
+        ));
+        out.push_str("prohibited turns:\n");
+        for t in &self.prohibited {
+            out.push_str(&format!(
+                "  {} -> {}  {} -> {} -> {}\n",
+                t.from, t.to, t.src, t.via, t.dst
+            ));
+        }
+        out
+    }
+}
+
+/// A synthesized turn model: the compiled routing algorithm plus its
+/// report.
+#[derive(Debug)]
+pub struct Synthesis {
+    /// The winning relation as a routing algorithm.
+    pub routing: SynthesizedRouting,
+    /// The canonical, deterministic description of the search outcome.
+    pub report: SynthesisReport,
+}
+
+/// Searches for a minimal turn-prohibition set on `topo` (see the
+/// module docs for the strategy) and compiles the winner into a
+/// [`SynthesizedRouting`].
+///
+/// Works on any [`Topology`] — the graph topologies of this crate, but
+/// also meshes or hypercubes, where the search rediscovers orderings in
+/// the spirit of the paper's hand-derived ones.
+pub fn synthesize(
+    topo: &dyn Topology,
+    opts: &SynthesisOptions,
+) -> Result<Synthesis, SynthesisError> {
+    if opts.candidates == 0 {
+        return Err(SynthesisError::NoCandidates);
+    }
+    let channels = topo.channels();
+    let num_channels = channels.len();
+    let n = topo.num_nodes();
+
+    // Adjacent non-180° channel pairs: the turns a relation decides on.
+    let mut followers: Vec<Vec<usize>> = vec![Vec::new(); num_channels];
+    {
+        let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, c) in channels.iter().enumerate() {
+            outgoing[c.src.index()].push(i);
+        }
+        for (i, c1) in channels.iter().enumerate() {
+            for &j in &outgoing[c1.dst.index()] {
+                if channels[j].dst != c1.src {
+                    followers[i].push(j);
+                }
+            }
+        }
+    }
+    let turn_pairs: usize = followers.iter().map(Vec::len).sum();
+
+    // Undirected adjacency for the spanning-tree orderings.
+    let mut undirected: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in channels {
+        undirected[c.src.index()].push(c.dst.index());
+        undirected[c.dst.index()].push(c.src.index());
+    }
+
+    let score_pairs = scoring_pairs(n, opts.seed);
+    let sampled = score_pairs.len() < n * (n - 1);
+
+    // Evaluate the candidate space in parallel; candidate index decides
+    // every tie, so the outcome is thread-count invariant.
+    let workers = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.threads
+    }
+    .min(opts.candidates);
+    let mut outcomes: Vec<Option<Candidate>> = Vec::new();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..workers {
+            let tx = tx.clone();
+            let followers = &followers;
+            let undirected = &undirected;
+            let score_pairs = &score_pairs;
+            scope.spawn(move || {
+                let mut index = w;
+                while index < opts.candidates {
+                    let result = evaluate_candidate(
+                        topo,
+                        followers,
+                        undirected,
+                        score_pairs,
+                        index,
+                        opts.seed,
+                    );
+                    if tx.send((index, result)).is_err() {
+                        return;
+                    }
+                    index += workers;
+                }
+            });
+        }
+        drop(tx);
+        outcomes = vec![None; opts.candidates];
+        for (index, result) in rx {
+            outcomes[index] = result;
+        }
+    });
+
+    let viable = outcomes.iter().flatten().count();
+    let mut best: Option<(usize, &Candidate)> = None;
+    for (index, candidate) in outcomes.iter().enumerate() {
+        let Some(c) = candidate else { continue };
+        let better = match best {
+            None => true,
+            Some((_, b)) => c.score > b.score || (c.score == b.score && c.allowed > b.allowed),
+        };
+        if better {
+            best = Some((index, c));
+        }
+    }
+    let Some((winner, candidate)) = best else {
+        return Err(SynthesisError::NoViableCandidate {
+            candidates: opts.candidates,
+        });
+    };
+
+    // Re-validate the winner the way the module docs promise: the
+    // dependency graph of the emitted relation must be acyclic
+    // (Dally–Seitz) and every pair reachable.
+    let cdg = ChannelDependencyGraph::from_successors(candidate.successors.clone());
+    assert!(cdg.is_acyclic(), "winner relation must be acyclic");
+    let routing = SynthesizedRouting::compile(topo, "synth".into(), &candidate.successors)
+        .expect("acyclic winner compiles");
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            assert!(
+                s == d || routing.source_can_reach(s, d),
+                "winner relation must be all-pairs reachable"
+            );
+        }
+    }
+
+    let mut prohibited = Vec::new();
+    for (i, follows) in followers.iter().enumerate() {
+        for &j in follows {
+            if !candidate.successors[i].contains(&ChannelId::new(j)) {
+                prohibited.push(ProhibitedTurn {
+                    from: ChannelId::new(i),
+                    to: ChannelId::new(j),
+                    src: channels[i].src,
+                    via: channels[i].dst,
+                    dst: channels[j].dst,
+                });
+            }
+        }
+    }
+
+    let mut report = SynthesisReport {
+        topology: topo.label(),
+        num_nodes: n,
+        num_channels,
+        num_dims: topo.num_dims(),
+        seed: opts.seed,
+        candidates: opts.candidates,
+        viable,
+        winner,
+        turn_pairs,
+        allowed: candidate.allowed,
+        prohibited,
+        score: candidate.score,
+        score_pairs: score_pairs.len(),
+        sampled,
+        fingerprint: 0,
+    };
+    report.fingerprint = fnv1a(report.render_body().as_bytes());
+    Ok(Synthesis { routing, report })
+}
+
+/// A viable candidate: its relation, permitted-turn count and score.
+#[derive(Clone)]
+struct Candidate {
+    successors: Vec<Vec<ChannelId>>,
+    allowed: usize,
+    score: u128,
+}
+
+/// Evaluates candidate `index`: ordering → base relation → greedy
+/// re-admission → acyclicity + reachability validation → score.
+/// `None` if the relation leaves any pair unreachable.
+fn evaluate_candidate(
+    topo: &dyn Topology,
+    followers: &[Vec<usize>],
+    undirected: &[Vec<usize>],
+    score_pairs: &[(NodeId, NodeId)],
+    index: usize,
+    seed: u64,
+) -> Option<Candidate> {
+    let channels = topo.channels();
+    let num_channels = channels.len();
+    let n = topo.num_nodes();
+    let mut state = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(split_mix_64(&mut state));
+
+    // Rank nodes by (BFS level from the rotating root, seeded shuffle).
+    let root = index % n;
+    let mut level = vec![usize::MAX; n];
+    level[root] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &undirected[u] {
+            if level[v] == usize::MAX {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut tiebreak: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..i + 1);
+        tiebreak.swap(i, j);
+    }
+    let mut pos = vec![0usize; n];
+    for (p, &node) in tiebreak.iter().enumerate() {
+        pos[node] = p;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| (level[v], pos[v]));
+    let mut rank = vec![0usize; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v] = r;
+    }
+
+    // Channel numbering: "up" channels (toward lower rank) live above
+    // every "down" channel, and each class decreases along any walk —
+    // so permitting only number-decreasing turns is up*/down*.
+    let number: Vec<usize> = channels
+        .iter()
+        .map(|c| {
+            let (s, d) = (rank[c.src.index()], rank[c.dst.index()]);
+            if d < s {
+                n + s
+            } else {
+                n - 1 - s
+            }
+        })
+        .collect();
+
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); num_channels];
+    let mut denied: Vec<(usize, usize)> = Vec::new();
+    for (i, follows) in followers.iter().enumerate() {
+        for &j in follows {
+            if number[i] > number[j] {
+                successors[i].push(j);
+            } else {
+                denied.push((i, j));
+            }
+        }
+    }
+
+    // Greedy re-admission, in a seeded order for candidate diversity: a
+    // prohibited turn comes back whenever it cannot close a cycle.
+    for i in (1..denied.len()).rev() {
+        let j = rng.random_range(0..i + 1);
+        denied.swap(i, j);
+    }
+    let mut visited = vec![0u32; num_channels];
+    let mut epoch = 0u32;
+    for &(c1, c2) in &denied {
+        epoch += 1;
+        if !reaches(&successors, c2, c1, &mut visited, epoch) {
+            successors[c1].push(c2);
+        }
+    }
+
+    let successors: Vec<Vec<ChannelId>> = successors
+        .into_iter()
+        .map(|mut list| {
+            list.sort_unstable();
+            list.into_iter().map(ChannelId::new).collect()
+        })
+        .collect();
+    let allowed = successors.iter().map(Vec::len).sum();
+
+    // Validation: Dally–Seitz on the candidate's dependency graph, then
+    // all-pairs reachability on the surviving relation.
+    let cdg = ChannelDependencyGraph::from_successors(successors.clone());
+    if !cdg.is_acyclic() {
+        return None; // unreachable: re-admission preserves acyclicity
+    }
+    let routing = SynthesizedRouting::compile(topo, "synth".into(), &successors)?;
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d && !routing.source_can_reach(s, d) {
+                return None;
+            }
+        }
+    }
+
+    let mut score: u128 = 0;
+    for &(s, d) in score_pairs {
+        score = score.saturating_add(count_paths(&routing, topo, s, d));
+    }
+    Some(Candidate {
+        successors,
+        allowed,
+        score,
+    })
+}
+
+/// `true` if `to` is reachable from `from` along the current permitted
+/// successors — i.e. admitting the turn `to -> from`'s inverse would
+/// close a cycle. Epoch-stamped visited marks avoid reallocation.
+fn reaches(
+    successors: &[Vec<usize>],
+    from: usize,
+    to: usize,
+    visited: &mut [u32],
+    epoch: u32,
+) -> bool {
+    let mut stack = vec![from];
+    visited[from] = epoch;
+    while let Some(c) = stack.pop() {
+        if c == to {
+            return true;
+        }
+        for &s in &successors[c] {
+            if visited[s] != epoch {
+                visited[s] = epoch;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// The source–destination pairs to score: exhaustive up to
+/// [`MAX_EXHAUSTIVE_PAIRS`], then a deterministic seeded sample shared
+/// by every candidate.
+fn scoring_pairs(n: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let all = n * (n - 1);
+    if all <= MAX_EXHAUSTIVE_PAIRS {
+        let mut pairs = Vec::with_capacity(all);
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    pairs.push((NodeId::new(s), NodeId::new(d)));
+                }
+            }
+        }
+        return pairs;
+    }
+    let mut state = seed ^ 0x5C0E_7A18_5A17_ED00;
+    let mut pairs = Vec::with_capacity(MAX_EXHAUSTIVE_PAIRS);
+    while pairs.len() < MAX_EXHAUSTIVE_PAIRS {
+        let r = split_mix_64(&mut state);
+        let s = (r as usize) % n;
+        let d = ((r >> 32) as usize) % n;
+        if s != d {
+            pairs.push((NodeId::new(s), NodeId::new(d)));
+        }
+    }
+    pairs
+}
+
+/// FNV-1a over the report body: cheap, stable, and enough to let
+/// `scripts/check.sh` assert byte-identical output across runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphSpec;
+    use crate::GraphTopology;
+    use turnroute_core::check_routing_contract;
+
+    fn opts(seed: u64) -> SynthesisOptions {
+        SynthesisOptions {
+            seed,
+            candidates: 8,
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn full_mesh_synthesis_is_deadlock_free_and_reachable() {
+        let topo = GraphTopology::new(&GraphSpec::full_mesh(8)).unwrap();
+        let synthesis = synthesize(&topo, &opts(7)).unwrap();
+        let r = &synthesis.report;
+        assert_eq!(r.viable, r.candidates);
+        assert_eq!(r.allowed + r.prohibited.len(), r.turn_pairs);
+        assert!(r.score >= 56, "at least the direct path per pair");
+        check_routing_contract(&synthesis.routing, &topo);
+    }
+
+    #[test]
+    fn dragonfly_16_synthesis_succeeds() {
+        let topo = GraphTopology::new(&GraphSpec::dragonfly(4, 4)).unwrap();
+        let synthesis = synthesize(&topo, &opts(3)).unwrap();
+        assert!(synthesis.report.viable > 0);
+        check_routing_contract(&synthesis.routing, &topo);
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_any_thread_count() {
+        let topo = GraphTopology::new(&GraphSpec::ring(8)).unwrap();
+        let serial = synthesize(
+            &topo,
+            &SynthesisOptions {
+                seed: 11,
+                candidates: 8,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let parallel = synthesize(
+            &topo,
+            &SynthesisOptions {
+                seed: 11,
+                candidates: 8,
+                threads: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.report, parallel.report);
+        assert_eq!(serial.report.render(), parallel.report.render());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let topo = GraphTopology::new(&GraphSpec::full_mesh(6)).unwrap();
+        let a = synthesize(&topo, &opts(1)).unwrap().report;
+        let b = synthesize(&topo, &opts(2)).unwrap().report;
+        // Scores may coincide, but the reports carry their seeds, so
+        // the fingerprints must differ.
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn works_on_the_papers_mesh_too() {
+        let topo = turnroute_topology::Mesh::new_2d(4, 4);
+        let synthesis = synthesize(&topo, &opts(5)).unwrap();
+        assert!(synthesis.report.viable > 0);
+        check_routing_contract(&synthesis.routing, &topo);
+    }
+
+    #[test]
+    fn zero_candidates_is_an_error() {
+        let topo = GraphTopology::new(&GraphSpec::ring(4)).unwrap();
+        let err = synthesize(
+            &topo,
+            &SynthesisOptions {
+                seed: 0,
+                candidates: 0,
+                threads: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::NoCandidates);
+    }
+
+    #[test]
+    fn report_renders_fingerprint_last() {
+        let topo = GraphTopology::new(&GraphSpec::fat_tree(4, 2)).unwrap();
+        let synthesis = synthesize(&topo, &opts(9)).unwrap();
+        let text = synthesis.report.render();
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("fingerprint: "), "got {last}");
+        assert_eq!(
+            last,
+            format!("fingerprint: {:016x}", synthesis.report.fingerprint)
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! An arbitrary strongly-connected directed graph behind the
+//! [`Topology`] trait.
+
+use crate::graph::{GraphError, GraphSpec};
+use std::collections::VecDeque;
+use turnroute_topology::{Channel, ChannelId, Coord, DirSet, Direction, NodeId, Topology};
+
+/// The most direction labels any topology can use: a
+/// [`DirSet`] holds 32 bits (16 dimensions x 2 signs).
+const MAX_DIRECTIONS: usize = 32;
+
+/// An arbitrary directed graph as a routable topology.
+///
+/// Built from a [`GraphSpec`] (an edge-list file or one of the
+/// generators); construction validates the graph and rejects anything
+/// the engine cannot route on, with a typed [`GraphError`].
+///
+/// # Contract notes
+///
+/// The [`Topology`] trait speaks Cartesian: dimensions, radixes,
+/// per-dimension coordinates. A general graph has none of those, so
+/// this type bends the contract the way [`HexMesh`] does — every
+/// deviation below is relied on by the engine and the synthesis search:
+///
+/// * **Directions are edge colors, not axes.** Each channel gets a
+///   [`Direction`] via a greedy bipartite edge coloring such that no
+///   two channels leaving the same node and no two channels entering
+///   the same node share a direction. That is exactly what the engine
+///   needs: `channel_from(node, dir)` is unique, and an arriving
+///   packet's `(node, arrived_dir)` pair identifies its input channel.
+///   The coloring uses at most `2 * max_degree - 1` labels; graphs
+///   needing more than 32 are rejected
+///   ([`GraphError::TooManyDirections`]).
+/// * **`num_dims`** is `ceil(colors / 2)` — the number of direction
+///   *pairs* the coloring used, not a geometric dimensionality.
+/// * **Coordinates are node ids.** `coord_of` returns `num_dims`
+///   components with the node id in component 0 and zeros elsewhere;
+///   `node_at` reads component 0 back. `radix(0)` is `num_nodes` and
+///   `radix(d > 0)` is 1, so coordinate-reflecting traffic patterns
+///   (bit-complement, tornado) keep working.
+/// * **`wraps` is `false`** and no channel is flagged `wraparound`:
+///   the turn model's wraparound machinery is meaningless here.
+/// * **`distance`** is true directed shortest-path (all-pairs BFS,
+///   precomputed); `minimal_directions` returns every direction whose
+///   channel starts a shortest path.
+///
+/// [`HexMesh`]: turnroute_topology::HexMesh
+#[derive(Debug)]
+pub struct GraphTopology {
+    num_nodes: usize,
+    num_dims: usize,
+    label: String,
+    channels: Vec<Channel>,
+    /// `node * 2 * num_dims + dir.index()` -> outgoing channel.
+    channel_from: Vec<Option<ChannelId>>,
+    /// `node * 2 * num_dims + dir.index()` -> incoming channel.
+    channel_into: Vec<Option<ChannelId>>,
+    /// `src * num_nodes + dst` -> directed hop distance.
+    dist: Vec<usize>,
+}
+
+impl GraphTopology {
+    /// Builds the topology, validating the spec (see [`GraphSpec::validate`])
+    /// and the direction-labelling constraints.
+    pub fn new(spec: &GraphSpec) -> Result<GraphTopology, GraphError> {
+        spec.validate()?;
+        let n = spec.num_nodes;
+        assert!(n <= 1 << 16, "node ids must fit a Coord component");
+
+        // Greedy bipartite edge coloring: each edge takes the lowest
+        // color unused both among its source's outgoing and its
+        // destination's incoming edges. Edges are visited in sorted
+        // order, so the labelling is deterministic.
+        let mut used_out = vec![0u32; n];
+        let mut used_in = vec![0u32; n];
+        let mut colored: Vec<(usize, usize, usize)> = Vec::with_capacity(spec.edges.len());
+        for &(u, v) in &spec.edges {
+            let taken = used_out[u] | used_in[v];
+            let color = (!taken).trailing_zeros() as usize;
+            if color >= MAX_DIRECTIONS {
+                return Err(GraphError::TooManyDirections {
+                    limit: MAX_DIRECTIONS,
+                });
+            }
+            used_out[u] |= 1 << color;
+            used_in[v] |= 1 << color;
+            colored.push((u, v, color));
+        }
+        let colors = 1 + colored.iter().map(|&(_, _, c)| c).max().unwrap_or(0);
+        let num_dims = colors.div_ceil(2);
+        let num_dirs = 2 * num_dims;
+
+        // Channel ids follow the trait's convention: ascending source,
+        // then ascending direction index (= color).
+        colored.sort_unstable_by_key(|&(u, _, c)| (u, c));
+        let mut channels = Vec::with_capacity(colored.len());
+        let mut channel_from = vec![None; n * num_dirs];
+        let mut channel_into = vec![None; n * num_dirs];
+        for (id, &(u, v, c)) in colored.iter().enumerate() {
+            let dir = Direction::from_index(c);
+            channels.push(Channel {
+                src: NodeId::new(u),
+                dst: NodeId::new(v),
+                dir,
+                wraparound: false,
+            });
+            channel_from[u * num_dirs + c] = Some(ChannelId::new(id));
+            channel_into[v * num_dirs + c] = Some(ChannelId::new(id));
+        }
+
+        // All-pairs directed BFS; strong connectivity (validated above)
+        // guarantees every entry is finite.
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &spec.edges {
+            adj[u].push(v);
+        }
+        let mut dist = vec![usize::MAX; n * n];
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            let mut queue = VecDeque::from([src]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if row[v] == usize::MAX {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+
+        Ok(GraphTopology {
+            num_nodes: n,
+            num_dims,
+            label: spec.label.clone(),
+            channels,
+            channel_from,
+            channel_into,
+            dist,
+        })
+    }
+
+    /// The channel *entering* `node` over `dir`, if any — the inverse
+    /// lookup the engine performs implicitly when it stamps a packet's
+    /// arrival direction. Unique by construction (see the coloring
+    /// contract note).
+    pub fn channel_into(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        let i = dir.index();
+        if i >= 2 * self.num_dims {
+            return None;
+        }
+        self.channel_into[node.index() * 2 * self.num_dims + i]
+    }
+}
+
+impl Topology for GraphTopology {
+    fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        assert!(dim < self.num_dims, "dimension {dim} out of range");
+        if dim == 0 {
+            self.num_nodes
+        } else {
+            1
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn wraps(&self, dim: usize) -> bool {
+        assert!(dim < self.num_dims, "dimension {dim} out of range");
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        let mut components = vec![0u16; self.num_dims];
+        components[0] = node.index() as u16;
+        Coord::new(components)
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        NodeId::new(coord.get(0) as usize)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.channel_from(node, dir)
+            .map(|c| self.channels[c.index()].dst)
+    }
+
+    fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    fn channel_from(&self, node: NodeId, dir: Direction) -> Option<ChannelId> {
+        let i = dir.index();
+        if i >= 2 * self.num_dims {
+            return None;
+        }
+        self.channel_from[node.index() * 2 * self.num_dims + i]
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.dist[a.index() * self.num_nodes + b.index()]
+    }
+
+    fn minimal_directions(&self, from: NodeId, to: NodeId) -> DirSet {
+        let mut set = DirSet::new();
+        if from == to {
+            return set;
+        }
+        let d = self.distance(from, to);
+        for i in 0..2 * self.num_dims {
+            let dir = Direction::from_index(i);
+            if let Some(c) = self.channel_from(from, dir) {
+                let next = self.channels[c.index()].dst;
+                if self.distance(next, to) + 1 == d {
+                    set.insert(dir);
+                }
+            }
+        }
+        set
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphSpec;
+
+    #[test]
+    fn full_mesh_distances_are_all_one() {
+        let topo = GraphTopology::new(&GraphSpec::full_mesh(8)).unwrap();
+        assert_eq!(topo.num_nodes(), 8);
+        assert_eq!(topo.num_channels(), 56);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                assert_eq!(topo.distance(a, b), usize::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn direction_labels_are_unique_per_endpoint() {
+        for spec in [
+            GraphSpec::full_mesh(8),
+            GraphSpec::ring(7),
+            GraphSpec::dragonfly(4, 4),
+            GraphSpec::fat_tree(4, 2),
+        ] {
+            let topo = GraphTopology::new(&spec).unwrap();
+            let mut out_seen = std::collections::HashSet::new();
+            let mut in_seen = std::collections::HashSet::new();
+            for ch in topo.channels() {
+                assert!(
+                    out_seen.insert((ch.src, ch.dir)),
+                    "{}: duplicate (src, dir)",
+                    spec.label
+                );
+                assert!(
+                    in_seen.insert((ch.dst, ch.dir)),
+                    "{}: duplicate (dst, dir)",
+                    spec.label
+                );
+            }
+            assert!(2 * topo.num_dims() <= 32);
+        }
+    }
+
+    #[test]
+    fn lookups_agree_with_the_channel_list() {
+        let topo = GraphTopology::new(&GraphSpec::dragonfly(4, 4)).unwrap();
+        for (i, ch) in topo.channels().iter().enumerate() {
+            let id = ChannelId::new(i);
+            assert_eq!(topo.channel_from(ch.src, ch.dir), Some(id));
+            assert_eq!(topo.channel_into(ch.dst, ch.dir), Some(id));
+            assert_eq!(topo.neighbor(ch.src, ch.dir), Some(ch.dst));
+        }
+    }
+
+    #[test]
+    fn channel_ids_ascend_by_source_then_direction() {
+        let topo = GraphTopology::new(&GraphSpec::ring(5)).unwrap();
+        let keys: Vec<(usize, usize)> = topo
+            .channels()
+            .iter()
+            .map(|c| (c.src.index(), c.dir.index()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn ring_distances_wrap_both_ways() {
+        let topo = GraphTopology::new(&GraphSpec::ring(6)).unwrap();
+        assert_eq!(topo.distance(NodeId::new(0), NodeId::new(3)), 3);
+        assert_eq!(topo.distance(NodeId::new(0), NodeId::new(5)), 1);
+        let dirs = topo.minimal_directions(NodeId::new(0), NodeId::new(3));
+        assert_eq!(dirs.len(), 2, "both ways around are shortest");
+    }
+
+    #[test]
+    fn coords_round_trip_and_radix_covers_patterns() {
+        let topo = GraphTopology::new(&GraphSpec::full_mesh(5)).unwrap();
+        for node in topo.nodes() {
+            let c = topo.coord_of(node);
+            assert_eq!(c.num_dims(), topo.num_dims());
+            assert_eq!(topo.node_at(&c), node);
+        }
+        assert_eq!(topo.radix(0), 5);
+        for d in 1..topo.num_dims() {
+            assert_eq!(topo.radix(d), 1);
+            assert!(!topo.wraps(d));
+        }
+    }
+
+    #[test]
+    fn high_degree_graphs_get_a_typed_error() {
+        // K_40 needs at least 39 labels, over the 32-slot budget.
+        let err = GraphTopology::new(&GraphSpec::full_mesh(40)).unwrap_err();
+        assert_eq!(err, GraphError::TooManyDirections { limit: 32 });
+    }
+
+    #[test]
+    fn label_is_the_spec_string() {
+        let topo = GraphTopology::new(&GraphSpec::fat_tree(4, 2)).unwrap();
+        assert_eq!(topo.label(), "fattree:4,2");
+    }
+}

@@ -3,13 +3,41 @@
 //!
 //! These operate purely on the channel graph, so they double as an oracle
 //! for checking each topology's closed-form [`Topology::distance`].
+//! Unreachable nodes are represented explicitly — `None` from
+//! [`bfs_distances`], [`Disconnected`] from [`diameter`] — rather than
+//! as a sentinel `usize::MAX`, since disconnected inputs are reachable
+//! through arbitrary graph-topology files and fault studies.
 
 use crate::{NodeId, Topology};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// A witness that the channel graph is not strongly connected: no path
+/// of channels leads from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected {
+    /// The source of the missing path.
+    pub from: NodeId,
+    /// The node unreachable from `from`.
+    pub to: NodeId,
+}
+
+impl fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel graph is disconnected: no path from {} to {}",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for Disconnected {}
 
 /// Hop distances from `source` to every node, computed by BFS over the
-/// channel graph. Unreachable nodes get `usize::MAX` (cannot happen in the
-/// connected topologies of this crate, but kept for fault studies).
+/// channel graph. Unreachable nodes get `None` (cannot happen in the
+/// generated topologies of this crate, but graph files and fault
+/// studies can produce them).
 ///
 /// # Example
 ///
@@ -18,11 +46,11 @@ use std::collections::VecDeque;
 ///
 /// let mesh = Mesh::new_2d(4, 4);
 /// let dist = bfs_distances(&mesh, NodeId::new(0));
-/// assert_eq!(dist[mesh.node_at(&[3, 3].into()).index()], 6);
+/// assert_eq!(dist[mesh.node_at(&[3, 3].into()).index()], Some(6));
 /// ```
-pub fn bfs_distances(topo: &dyn Topology, source: NodeId) -> Vec<usize> {
-    let mut dist = vec![usize::MAX; topo.num_nodes()];
-    dist[source.index()] = 0;
+pub fn bfs_distances(topo: &dyn Topology, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; topo.num_nodes()];
+    dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
     // Adjacency from the channel table keeps this valid for any topology.
     let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); topo.num_nodes()];
@@ -30,10 +58,10 @@ pub fn bfs_distances(topo: &dyn Topology, source: NodeId) -> Vec<usize> {
         out[ch.src.index()].push(ch.dst);
     }
     while let Some(node) = queue.pop_front() {
-        let d = dist[node.index()];
+        let d = dist[node.index()].expect("queued nodes have distances");
         for &next in &out[node.index()] {
-            if dist[next.index()] == usize::MAX {
-                dist[next.index()] = d + 1;
+            if dist[next.index()].is_none() {
+                dist[next.index()] = Some(d + 1);
                 queue.push_back(next);
             }
         }
@@ -42,14 +70,23 @@ pub fn bfs_distances(topo: &dyn Topology, source: NodeId) -> Vec<usize> {
 }
 
 /// The network diameter: the largest minimal hop count between any pair.
-pub fn diameter(topo: &dyn Topology) -> usize {
-    topo.nodes()
-        .flat_map(|a| {
-            let dist = bfs_distances(topo, a);
-            dist.into_iter().filter(|&d| d != usize::MAX).max()
-        })
-        .max()
-        .unwrap_or(0)
+///
+/// # Errors
+///
+/// Returns [`Disconnected`] naming an unreachable pair if any node
+/// cannot reach any other.
+pub fn diameter(topo: &dyn Topology) -> Result<usize, Disconnected> {
+    let mut max = 0;
+    for a in topo.nodes() {
+        let dist = bfs_distances(topo, a);
+        for b in topo.nodes() {
+            match dist[b.index()] {
+                Some(d) => max = max.max(d),
+                None => return Err(Disconnected { from: a, to: b }),
+            }
+        }
+    }
+    Ok(max)
 }
 
 /// Mean minimal hop count over all ordered pairs of *distinct* nodes.
@@ -80,7 +117,7 @@ mod tests {
         for a in mesh.nodes() {
             let dist = bfs_distances(&mesh, a);
             for b in mesh.nodes() {
-                assert_eq!(dist[b.index()], mesh.distance(a, b));
+                assert_eq!(dist[b.index()], Some(mesh.distance(a, b)));
             }
         }
     }
@@ -91,7 +128,7 @@ mod tests {
         for a in torus.nodes() {
             let dist = bfs_distances(&torus, a);
             for b in torus.nodes() {
-                assert_eq!(dist[b.index()], torus.distance(a, b));
+                assert_eq!(dist[b.index()], Some(torus.distance(a, b)));
             }
         }
     }
@@ -102,16 +139,75 @@ mod tests {
         for a in cube.nodes() {
             let dist = bfs_distances(&cube, a);
             for b in cube.nodes() {
-                assert_eq!(dist[b.index()], cube.distance(a, b));
+                assert_eq!(dist[b.index()], Some(cube.distance(a, b)));
             }
         }
     }
 
     #[test]
     fn diameters() {
-        assert_eq!(diameter(&Mesh::new_2d(16, 16)), 30);
-        assert_eq!(diameter(&Hypercube::new(8)), 8);
-        assert_eq!(diameter(&Torus::new(8, 2)), 8);
+        assert_eq!(diameter(&Mesh::new_2d(16, 16)), Ok(30));
+        assert_eq!(diameter(&Hypercube::new(8)), Ok(8));
+        assert_eq!(diameter(&Torus::new(8, 2)), Ok(8));
+    }
+
+    #[test]
+    fn disconnection_is_a_typed_error() {
+        /// Two nodes, no channels: every pair is a witness.
+        struct NoWires;
+        impl Topology for NoWires {
+            fn num_dims(&self) -> usize {
+                1
+            }
+            fn radix(&self, _dim: usize) -> usize {
+                2
+            }
+            fn num_nodes(&self) -> usize {
+                2
+            }
+            fn wraps(&self, _dim: usize) -> bool {
+                false
+            }
+            fn coord_of(&self, node: NodeId) -> crate::Coord {
+                crate::Coord::new(vec![node.index() as u16])
+            }
+            fn node_at(&self, coord: &crate::Coord) -> NodeId {
+                NodeId::new(coord.get(0) as usize)
+            }
+            fn neighbor(&self, _node: NodeId, _dir: crate::Direction) -> Option<NodeId> {
+                None
+            }
+            fn channels(&self) -> &[crate::Channel] {
+                &[]
+            }
+            fn channel_from(
+                &self,
+                _node: NodeId,
+                _dir: crate::Direction,
+            ) -> Option<crate::ChannelId> {
+                None
+            }
+            fn distance(&self, _a: NodeId, _b: NodeId) -> usize {
+                0
+            }
+            fn minimal_directions(&self, _from: NodeId, _to: NodeId) -> crate::DirSet {
+                crate::DirSet::new()
+            }
+            fn label(&self) -> String {
+                "nowires".into()
+            }
+        }
+        let err = diameter(&NoWires).unwrap_err();
+        assert_eq!(
+            err,
+            Disconnected {
+                from: NodeId::new(0),
+                to: NodeId::new(1)
+            }
+        );
+        assert!(err.to_string().contains("no path from n0 to n1"));
+        let dist = bfs_distances(&NoWires, NodeId::new(0));
+        assert_eq!(dist, vec![Some(0), None]);
     }
 
     #[test]

@@ -231,7 +231,7 @@ mod tests {
         for a in hex.nodes() {
             let dist = bfs_distances(&hex, a);
             for b in hex.nodes() {
-                assert_eq!(dist[b.index()], hex.distance(a, b), "{a}->{b}");
+                assert_eq!(dist[b.index()], Some(hex.distance(a, b)), "{a}->{b}");
             }
         }
     }

@@ -44,7 +44,7 @@ mod traits;
 pub use channel::{Channel, ChannelId};
 pub use coord::{Coord, NodeId};
 pub use direction::{DirSet, Direction, Sign};
-pub use graph::{average_distance, bfs_distances, diameter};
+pub use graph::{average_distance, bfs_distances, diameter, Disconnected};
 pub use hex::HexMesh;
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;

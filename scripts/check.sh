@@ -37,4 +37,16 @@ echo "==> conformance soak (256 cases, fixed seed)"
 cargo run --release -q -p turnroute-check --bin conformance -- \
   --cases 256 --seed 3405705229 --json target/conformance.json
 
+echo "==> synthesis smoke (same seed => byte-identical, verified relation)"
+# Bounded: 8 candidates on a 16-node dragonfly. The two runs differ in
+# thread count, so identical bytes exercise the thread-invariant winner
+# order; the verified line asserts acyclicity + all-pairs reachability.
+cargo run --release -q -- synth --topology dragonfly:4,4 --seed 3 \
+  --candidates 8 --threads 1 --out target/synth-a.turns
+cargo run --release -q -- synth --topology dragonfly:4,4 --seed 3 \
+  --candidates 8 --threads 8 --out target/synth-b.turns
+cmp target/synth-a.turns target/synth-b.turns
+grep -q "^verified: channel dependency graph acyclic" target/synth-a.turns
+grep -q "^fingerprint: " target/synth-a.turns
+
 echo "All checks passed."

@@ -16,6 +16,10 @@
 //!   lane-aware simulator;
 //! * [`fault`] — deterministic fault plans, fault-aware routing
 //!   relations, and the faulted deadlock/reachability verifier;
+//! * [`synth`] — arbitrary-graph topologies (edge-list files plus
+//!   full-mesh / ring / dragonfly / fat-tree generators) and automatic
+//!   turn-prohibition synthesis: a parallel search for minimal
+//!   deadlock-free turn models on networks the paper never considered;
 //! * [`experiment`] — the validated [`experiment::ExperimentSpec`]
 //!   builder, its JSON wire format, and the shared CLI spec parsers
 //!   ([`cli`]);
@@ -56,5 +60,6 @@ pub use turnroute_experiment::spec as experiment;
 pub use turnroute_fault as fault;
 pub use turnroute_serve as serve;
 pub use turnroute_sim as sim;
+pub use turnroute_synth as synth;
 pub use turnroute_topology as topology;
 pub use turnroute_vc as vc;

@@ -1,0 +1,178 @@
+//! End-to-end coverage for synthesized turn models on graph
+//! topologies: deterministic synthesis output, thread-invariant sweeps
+//! through the experiment executor, and the job server answering a
+//! synth-on-graph spec byte-identically to a local run.
+
+mod support;
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use support::json::{self, Value};
+use turnroute::experiment::ExperimentSpec;
+use turnroute::serve::{client, ServeOptions, Server, ServerHandle};
+use turnroute::sim::report::{write_csv, write_report_json};
+use turnroute::sim::{Executor, Logger, SimConfig};
+use turnroute::synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
+
+fn quick() -> SimConfig {
+    SimConfig::paper()
+        .warmup_cycles(300)
+        .measure_cycles(1_500)
+        .seed(7)
+}
+
+fn graph_spec() -> ExperimentSpec {
+    ExperimentSpec::builder("dragonfly:4,4", "uniform")
+        .algorithm("synth:3")
+        .algorithm("xy")
+        .loads(&[0.02, 0.05])
+        .config(quick())
+        .build()
+        .expect("spec resolves")
+}
+
+fn csv(spec: &ExperimentSpec, threads: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_csv(&spec.run(threads).expect("spec resolves"), &mut buf).expect("in-memory CSV");
+    buf
+}
+
+#[test]
+fn synthesis_reports_are_byte_identical_across_thread_counts() {
+    for spec in [GraphSpec::full_mesh(8), GraphSpec::dragonfly(4, 4)] {
+        let topo = GraphTopology::new(&spec).expect("generator graphs build");
+        let mut renders = Vec::new();
+        for threads in [1, 8] {
+            let synthesis = synthesize(
+                &topo,
+                &SynthesisOptions {
+                    seed: 7,
+                    candidates: 16,
+                    threads,
+                },
+            )
+            .expect("generator graphs synthesize");
+            let report = &synthesis.report;
+            assert!(report.viable > 0, "{}: no viable candidate", spec.label);
+            assert_eq!(
+                report.allowed + report.prohibited.len(),
+                report.turn_pairs,
+                "{}: every adjacent pair is allowed or prohibited",
+                spec.label
+            );
+            renders.push(synthesis.report.render());
+        }
+        assert_eq!(
+            renders[0], renders[1],
+            "{}: thread count leaked",
+            spec.label
+        );
+        assert!(renders[0]
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("fingerprint: "));
+    }
+}
+
+#[test]
+fn graph_sweeps_are_thread_invariant() {
+    let spec = graph_spec();
+    let serial = csv(&spec, 1);
+    assert_eq!(serial, csv(&spec, 8), "8 threads changed the bytes");
+    let text = String::from_utf8(serial).unwrap();
+    assert!(
+        text.contains("synth:3,uniform"),
+        "missing synth rows:\n{text}"
+    );
+}
+
+#[test]
+fn edge_list_files_run_through_the_experiment_stack() {
+    let dir = std::env::temp_dir().join(format!("turnroute-synth-int-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("k4.graph");
+    std::fs::write(&file, "# complete graph on 4 nodes\nnodes 4\n0 <-> 1\n0 <-> 2\n0 <-> 3\n1 <-> 2\n1 <-> 3\n2 <-> 3\n").unwrap();
+    let spec = ExperimentSpec::builder(format!("graph:{}", file.display()), "uniform")
+        .algorithm("synth")
+        .loads(&[0.02])
+        .config(quick())
+        .build()
+        .expect("file-backed graph resolves");
+    let series = spec.run(2).expect("sweep runs");
+    assert_eq!(series.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "turnroute-synth-int-store-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn start(tag: &str) -> (ServerHandle, String) {
+    let store_dir = temp_store(tag);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let handle = Server::start(
+        "127.0.0.1:0",
+        ServeOptions {
+            store_dir,
+            threads: 2,
+            logger: Logger::disabled(),
+        },
+    )
+    .expect("server starts on an ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn parse(body: &[u8]) -> Value {
+    json::parse(std::str::from_utf8(body).expect("UTF-8 response"))
+        .expect("well-formed JSON response")
+}
+
+fn str_field<'a>(doc: &'a Value, key: &str) -> &'a str {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string field '{key}'"))
+}
+
+fn wait_done(addr: &str, job_id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = client::status(addr, job_id).expect("status reaches the server");
+        assert_eq!(status, 200);
+        let doc = parse(&body);
+        match str_field(&doc, "status") {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {job_id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            "done" => return,
+            other => panic!("job {job_id} ended as '{other}'"),
+        }
+    }
+}
+
+#[test]
+fn the_job_server_answers_synth_specs_byte_identically_to_a_local_run() {
+    let spec = graph_spec();
+    let mut local = Executor::new(2);
+    let series = spec.run_on(&mut local).expect("local run");
+    let mut local_bytes = Vec::new();
+    write_report_json(&series, &local.stats(), &mut local_bytes).unwrap();
+
+    let (handle, addr) = start("serve");
+    let (status, body) = client::submit(&addr, &spec.to_json()).unwrap();
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let job_id = str_field(&parse(&body), "job_id").to_owned();
+    wait_done(&addr, &job_id);
+    let (status, served_bytes) = client::fetch(&addr, &job_id).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        served_bytes, local_bytes,
+        "server report differs from the local run"
+    );
+    handle.shutdown();
+}
