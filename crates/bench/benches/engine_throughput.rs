@@ -11,8 +11,8 @@
 //! workload ever changes.
 
 use turnroute_bench::workloads::{
-    measure_engine, measure_engine_sharded, render_engine_json, BASELINE_WEST_FIRST_CPS,
-    BASELINE_XY_CPS,
+    measure_engine, measure_engine_mmpp, measure_engine_sharded, render_engine_json,
+    BASELINE_WEST_FIRST_CPS, BASELINE_XY_CPS,
 };
 
 fn main() {
@@ -30,8 +30,13 @@ fn main() {
         "mesh64:     {:.0} cycles/sec sharded x{} ({:.2}x vs serial {:.0})",
         s.sharded_cps, s.shards, s.speedup, s.serial_cps
     );
+    let p = measure_engine_mmpp(10);
+    println!(
+        "mmpp:       {:.0} cycles/sec (bursty 96/288 injection)",
+        p.mmpp_cps
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, render_engine_json(&m, &s))
+    std::fs::write(path, render_engine_json(&m, &s, &p))
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }

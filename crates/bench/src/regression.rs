@@ -42,6 +42,11 @@ pub struct BenchRecord {
     /// shard per core. `0.0` in records written before the workload
     /// existed; the gate skips metrics with no prior measurement.
     pub engine_sharded_cps: f64,
+    /// Engine cycles/sec on the 16x16 workload injected through the
+    /// bursty MMPP arrival process (mmpp:96,288). `0.0` in records
+    /// written before the workload existed; the gate skips metrics
+    /// with no prior measurement.
+    pub engine_mmpp_cps: f64,
     /// mesh64 serial time / sharded time.
     pub sharded_speedup: f64,
     /// Turn-prohibition synthesis: candidates evaluated per second on
@@ -70,6 +75,7 @@ const GATED_METRICS: &[GatedMetric] = &[
     ("engine_west_first_cps", |r| r.engine_west_first_cps),
     ("engine_xy_cps", |r| r.engine_xy_cps),
     ("engine_sharded_cps", |r| r.engine_sharded_cps),
+    ("engine_mmpp_cps", |r| r.engine_mmpp_cps),
     ("sweep_cells_per_sec", |r| r.sweep_cells_per_sec),
     ("synth_candidates_per_sec", |r| r.synth_candidates_per_sec),
 ];
@@ -96,6 +102,7 @@ impl BenchRecord {
             "{{\"schema\":{},\"recorded_at_unix\":{},\"host_cores\":{},\
              \"engine_west_first_cps\":{},\"engine_xy_cps\":{},\
              \"engine_mesh64_serial_cps\":{},\"engine_sharded_cps\":{},\
+             \"engine_mmpp_cps\":{},\
              \"sharded_speedup\":{},\"synth_candidates_per_sec\":{},\
              \"sweep_cells_per_sec\":{},\"sweep_serial_secs\":{},\
              \"sweep_threads8_secs\":{},\"sweep_speedup_8_threads\":{},\
@@ -107,6 +114,7 @@ impl BenchRecord {
             num(self.engine_xy_cps),
             num(self.engine_mesh64_serial_cps),
             num(self.engine_sharded_cps),
+            num(self.engine_mmpp_cps),
             num(self.sharded_speedup),
             num(self.synth_candidates_per_sec),
             num(self.sweep_cells_per_sec),
@@ -151,6 +159,7 @@ impl BenchRecord {
             engine_xy_cps: f("engine_xy_cps")?,
             engine_mesh64_serial_cps: f_opt("engine_mesh64_serial_cps"),
             engine_sharded_cps: f_opt("engine_sharded_cps"),
+            engine_mmpp_cps: f_opt("engine_mmpp_cps"),
             sharded_speedup: f_opt("sharded_speedup"),
             synth_candidates_per_sec: f_opt("synth_candidates_per_sec"),
             sweep_cells_per_sec: f("sweep_cells_per_sec")?,
@@ -270,6 +279,11 @@ pub fn render_dashboard(history: &[BenchRecord]) -> String {
             label: "synth (candidates/s)",
             css_var: "--s5",
             values: history.iter().map(|r| r.synth_candidates_per_sec).collect(),
+        },
+        Series {
+            label: "engine mmpp (cycles/s)",
+            css_var: "--s6",
+            values: history.iter().map(|r| r.engine_mmpp_cps).collect(),
         },
     ];
     series.retain(|s| s.values.first().copied().unwrap_or(0.0) > 0.0);
@@ -439,6 +453,7 @@ fn render_table(history: &[BenchRecord]) -> String {
         "<h2>Records</h2>\n<table>\n<thead><tr><th>#</th><th>date</th><th>cores</th>\
          <th>engine west-first (cycles/s)</th><th>engine xy (cycles/s)</th>\
          <th>sharded 64x64 (cycles/s)</th><th>shard speedup</th>\
+         <th>mmpp (cycles/s)</th>\
          <th>synth (cand/s)</th>\
          <th>sweep (cells/s)</th><th>sweep serial (s)</th><th>8-thread (s)</th>\
          <th>speedup ×8</th><th>note</th></tr></thead>\n<tbody>\n",
@@ -456,7 +471,8 @@ fn render_table(history: &[BenchRecord]) -> String {
         let _ = writeln!(
             t,
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
-             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td></tr>",
             i + 1,
             date_of(r.recorded_at_unix),
             r.host_cores,
@@ -464,6 +480,7 @@ fn render_table(history: &[BenchRecord]) -> String {
             num(r.engine_xy_cps.round()),
             or_dash(r.engine_sharded_cps, 1.0),
             or_dash(r.sharded_speedup, 1e3),
+            or_dash(r.engine_mmpp_cps, 1.0),
             or_dash(r.synth_candidates_per_sec, 10.0),
             num((r.sweep_cells_per_sec * 10.0).round() / 10.0),
             num((r.sweep_serial_secs * 1e4).round() / 1e4),
@@ -496,6 +513,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
   --s3: #1baf7a; /* aqua-green */
   --s4: #8a56d6; /* violet */
   --s5: #c2417e; /* magenta */
+  --s6: #8c7a1c; /* olive */
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -508,6 +526,7 @@ const DASHBOARD_HEAD: &str = r#"<!doctype html>
     --s3: #199e70;
     --s4: #9a6ae0;
     --s5: #d05a8f;
+    --s6: #b7a33c;
   }
 }
 body {
@@ -556,6 +575,7 @@ mod tests {
             engine_xy_cps: xy,
             engine_mesh64_serial_cps: wf / 16.0,
             engine_sharded_cps: wf / 4.0,
+            engine_mmpp_cps: wf / 2.0,
             sharded_speedup: 4.0,
             synth_candidates_per_sec: cells * 2.0,
             sweep_cells_per_sec: cells,
@@ -607,17 +627,18 @@ mod tests {
     fn check_fails_a_synthetic_regression_beyond_tolerance() {
         let last = record(100_000.0, 120_000.0, 80.0);
         // One metric 15% down: exactly the synthetic case the gate
-        // must catch. (record() derives the sharded metric from the
-        // west-first one; pin it so only one metric moves.)
+        // must catch. (record() derives the sharded and mmpp metrics
+        // from the west-first one; pin them so only one metric moves.)
         let mut regressed = record(85_000.0, 121_000.0, 80.0);
         regressed.engine_sharded_cps = last.engine_sharded_cps;
+        regressed.engine_mmpp_cps = last.engine_mmpp_cps;
         let violations = check(&last, &regressed, DEFAULT_TOLERANCE);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("engine_west_first_cps"));
         assert!(violations[0].contains("15.0%"));
-        // All five down hard: all five reported.
+        // All six down hard: all six reported.
         let collapsed = record(50_000.0, 60_000.0, 40.0);
-        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 5);
+        assert_eq!(check(&last, &collapsed, DEFAULT_TOLERANCE).len(), 6);
     }
 
     #[test]
@@ -632,6 +653,7 @@ mod tests {
         let last = BenchRecord::from_json_line(old).unwrap();
         assert_eq!(last.engine_sharded_cps, 0.0);
         assert_eq!(last.engine_mesh64_serial_cps, 0.0);
+        assert_eq!(last.engine_mmpp_cps, 0.0);
         // The gate has no sharded baseline to compare against, so a
         // fresh record with any sharded figure passes that metric.
         let current = record(100_000.0, 120_000.0, 80.0);

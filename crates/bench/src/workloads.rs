@@ -8,6 +8,10 @@
 //! * [`measure_engine_sharded`] — the large-mesh (64x64) workload,
 //!   serial vs the cycle-barrier sharded arbitrator at one shard per
 //!   core;
+//! * [`measure_engine_mmpp`] — the same 16x16 workload injected
+//!   through the bursty MMPP arrival process (per-node nested RNG
+//!   streams), so a collapse in the injection path is caught even when
+//!   the Poisson figures hold;
 //! * [`measure_sweep`] — executor wall-clock on a figure-sized grid
 //!   (4 algorithms x 2 patterns x 6 loads), serial vs parallel, plus
 //!   the grid-cells-per-second figure the regression gate tracks (the
@@ -29,7 +33,7 @@ use turnroute_core::{DimensionOrder, RoutingAlgorithm, WestFirst};
 use turnroute_sim::report::write_csv;
 use turnroute_sim::{
     patterns, NoopObserver, RouteTable, RouteTableMode, SimConfig, SimReport, Simulation,
-    SweepSeries,
+    SweepSeries, TrafficModel,
 };
 use turnroute_topology::Mesh;
 
@@ -156,6 +160,75 @@ pub fn measure_engine(samples: usize) -> EngineMeasurement {
     }
 }
 
+/// One full run of the 16x16 workload injected through the bursty
+/// MMPP arrival process instead of the Poisson stream (direct routing;
+/// the injection path is the subject here, not the table).
+fn mmpp_run(mesh: &Mesh, algo: &dyn RoutingAlgorithm) -> (SimReport, u64) {
+    let config = engine_config(RouteTableMode::Off).traffic(TrafficModel::Mmpp {
+        burst_cycles: 96.0,
+        idle_cycles: 288.0,
+    });
+    let mut sim = Simulation::new(mesh, algo, &patterns::Transpose, config);
+    let report = sim.run();
+    (report, sim.cycle())
+}
+
+/// The MMPP injection workload's measured results.
+#[derive(Debug, Clone)]
+pub struct MmppMeasurement {
+    /// west-first/transpose under mmpp:96,288 — simulated cycles per
+    /// second.
+    pub mmpp_cps: f64,
+    /// Cycles one run simulates (warmup + measure + drain).
+    pub run_cycles: u64,
+    /// Two untimed runs produced byte-identical report renderings.
+    pub reports_identical: bool,
+    /// Raw timing for the MMPP run.
+    pub timing: BenchResult,
+}
+
+/// Runs the MMPP injection workload with `samples` timed samples: the
+/// standard 16x16-mesh west-first/transpose run with bursty on-off
+/// arrivals (mean burst 96 cycles, mean idle 288, same mean offered
+/// load as the Poisson workload).
+///
+/// # Panics
+///
+/// Panics if two runs of the same seed diverge (the per-node nested
+/// injection streams must be deterministic) or if the MMPP report
+/// equals the Poisson one (the burstiness must actually reach the
+/// engine).
+pub fn measure_engine_mmpp(samples: usize) -> MmppMeasurement {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = WestFirst::minimal();
+
+    let (a, cycles_a) = mmpp_run(&mesh, &wf);
+    let (b, cycles_b) = mmpp_run(&mesh, &wf);
+    assert_eq!(cycles_a, cycles_b, "MMPP re-run changed the run length");
+    let reports_identical = format!("{a:?}") == format!("{b:?}");
+    assert!(reports_identical, "MMPP re-run changed the report");
+    let (poisson, _) = engine_run(&mesh, &wf, None);
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{poisson:?}"),
+        "the MMPP arrival process left the run identical to Poisson"
+    );
+
+    let mut h = Harness::new().sample_size(samples);
+    let timing = h
+        .bench("engine/mesh16/west-first/transpose/mmpp:96,288", || {
+            mmpp_run(&mesh, &wf)
+        })
+        .clone();
+
+    MmppMeasurement {
+        mmpp_cps: cycles_a as f64 / timing.median_secs(),
+        run_cycles: cycles_a,
+        reports_identical,
+        timing,
+    }
+}
+
 fn mesh64_config(shards: usize) -> SimConfig {
     SimConfig::paper()
         .injection_rate(0.03)
@@ -254,9 +327,13 @@ pub fn measure_engine_sharded(samples: usize) -> ShardedMeasurement {
     }
 }
 
-/// Renders `BENCH_engine.json` from the two engine measurements (the
+/// Renders `BENCH_engine.json` from the three engine measurements (the
 /// one shape both the bench target and `bench_record` write).
-pub fn render_engine_json(m: &EngineMeasurement, s: &ShardedMeasurement) -> String {
+pub fn render_engine_json(
+    m: &EngineMeasurement,
+    s: &ShardedMeasurement,
+    p: &MmppMeasurement,
+) -> String {
     JsonReport::new()
         .field_str("bench", "engine_throughput")
         .field_str(
@@ -305,6 +382,15 @@ pub fn render_engine_json(m: &EngineMeasurement, s: &ShardedMeasurement) -> Stri
         .field_num("engine_sharded_cycles_per_sec", s.sharded_cps.round())
         .field_num("sharded_speedup", round3(s.speedup))
         .field_bool("reports_identical_1_vs_auto_shards", s.reports_identical)
+        .field_str(
+            "mmpp_workload",
+            "mesh:16x16, west-first, transpose, load 0.08 injected as mmpp:96,288 \
+             (bursty on-off arrivals, same mean offered load), seed 42",
+        )
+        .field_num("mmpp_run_cycles", p.run_cycles as f64)
+        .result("mmpp", &p.timing)
+        .field_num("engine_mmpp_cycles_per_sec", p.mmpp_cps.round())
+        .field_bool("reports_identical_mmpp_reruns", p.reports_identical)
         .field_str(
             "sharded_note",
             if s.host_cores == 1 {
@@ -545,13 +631,22 @@ mod tests {
             serial: fake_result("mesh64-serial", 6e7),
             sharded: fake_result("mesh64-sharded", 2e7),
         };
-        let json = render_engine_json(&m, &s);
+        let p = MmppMeasurement {
+            mmpp_cps: 500_000.0,
+            run_cycles: 5_100,
+            reports_identical: true,
+            timing: fake_result("mmpp", 1e6),
+        };
+        let json = render_engine_json(&m, &s, &p);
         assert!(json.contains("\"engine_sharded_cycles_per_sec\": 120000"));
         assert!(json.contains("\"mesh64_serial_cycles_per_sec\": 40000"));
         assert!(json.contains("\"sharded_speedup\": 3"));
         assert!(json.contains("\"sharded_shards\": 8"));
         assert!(json.contains("\"reports_identical_1_vs_auto_shards\": true"));
         assert!(json.contains("one shard per core"));
+        assert!(json.contains("\"engine_mmpp_cycles_per_sec\": 500000"));
+        assert!(json.contains("\"reports_identical_mmpp_reruns\": true"));
+        assert!(json.contains("mmpp:96,288"));
     }
 
     #[test]

@@ -16,11 +16,12 @@ use turnroute_core::{
     PCube, RoutingAlgorithm, TurnSet, WestFirst,
 };
 use turnroute_fault::FaultPlan;
+use turnroute_rng::split_mix_64;
 use turnroute_sim::patterns::{
     BitComplement, BitReversal, DiagonalTranspose, Hotspot, NearestNeighbor, ReverseFlip, Shuffle,
-    Tornado, TrafficPattern, Transpose, Uniform,
+    Tornado, Trace, TrafficPattern, Transpose, Uniform,
 };
-use turnroute_sim::{InputSelection, LengthDistribution, OutputSelection, SimConfig};
+use turnroute_sim::{InputSelection, LengthDistribution, OutputSelection, SimConfig, TrafficModel};
 use turnroute_synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
 use turnroute_topology::{ChannelId, Hypercube, Mesh, NodeId, Topology, Torus};
 
@@ -57,6 +58,17 @@ impl TopoSpec {
             TopoSpec::Ring(n) => {
                 Box::new(GraphTopology::new(&GraphSpec::ring(*n)).expect("validated ring builds"))
             }
+        }
+    }
+
+    /// Node count without instantiating the topology (cases gate the
+    /// trace pattern's referenced-node range on it).
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TopoSpec::Mesh(dims) => dims.iter().product(),
+            TopoSpec::Torus { k, n } => k.pow(*n as u32),
+            TopoSpec::Hypercube(n) => 1 << n,
+            TopoSpec::FullMesh(n) | TopoSpec::Ring(n) => *n,
         }
     }
 
@@ -271,6 +283,15 @@ pub enum PatternSpec {
     BitReversal,
     /// Perfect shuffle (hypercube).
     Shuffle,
+    /// A trace-driven destination file over the first `nodes` nodes,
+    /// generated deterministically from `seed` and written to a temp
+    /// fixture at build time (exercising the file parser end to end).
+    Trace {
+        /// Nodes the fixture references (2..=topology size).
+        nodes: u16,
+        /// Content seed for the deterministic fixture generator.
+        seed: u16,
+    },
 }
 
 impl PatternSpec {
@@ -291,7 +312,7 @@ impl PatternSpec {
         PatternSpec::NAMES
             .iter()
             .find(|(p, _)| *p == self)
-            .expect("every variant is named")
+            .expect("every non-parameterized variant is named")
             .1
     }
 
@@ -307,6 +328,7 @@ impl PatternSpec {
             PatternSpec::ReverseFlip | PatternSpec::BitReversal | PatternSpec::Shuffle => {
                 matches!(topo, TopoSpec::Hypercube(_))
             }
+            PatternSpec::Trace { nodes, .. } => usize::from(nodes) <= topo.num_nodes(),
         }
     }
 
@@ -323,13 +345,48 @@ impl PatternSpec {
             PatternSpec::ReverseFlip => Box::new(ReverseFlip),
             PatternSpec::BitReversal => Box::new(BitReversal),
             PatternSpec::Shuffle => Box::new(Shuffle),
+            PatternSpec::Trace { nodes, seed } => {
+                // Round-trip through a real file so the case covers the
+                // same path as `--pattern trace:FILE`, not just the
+                // in-memory parser.
+                let text = trace_fixture_text(nodes, seed);
+                let path = std::env::temp_dir()
+                    .join(format!("turnroute-check-trace-{nodes}-{seed}.trace"));
+                std::fs::write(&path, &text).expect("trace fixture writes");
+                let read = std::fs::read_to_string(&path).expect("trace fixture reads back");
+                Box::new(
+                    Trace::parse(&read, format!("trace:{nodes},{seed}"))
+                        .expect("generated trace fixture parses"),
+                )
+            }
         }
     }
 }
 
+/// Deterministic trace-file content for [`PatternSpec::Trace`]: every
+/// source gets 1-3 weighted destination entries from a splitmix walk,
+/// so the one-line case serialization reproduces the whole fixture.
+fn trace_fixture_text(nodes: u16, seed: u16) -> String {
+    use fmt::Write as _;
+    let mut s = 0x7472_6163_653A_0000u64 ^ (u64::from(seed) << 32) ^ u64::from(nodes);
+    let mut out = format!("# conformance trace fixture nodes={nodes} seed={seed}\n");
+    for src in 0..u64::from(nodes) {
+        let entries = 1 + split_mix_64(&mut s) % 3;
+        for _ in 0..entries {
+            let dst = split_mix_64(&mut s) % u64::from(nodes);
+            let weight = 1 + split_mix_64(&mut s) % 9;
+            let _ = writeln!(out, "{src} {dst} {weight}");
+        }
+    }
+    out
+}
+
 impl fmt::Display for PatternSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match self {
+            PatternSpec::Trace { nodes, seed } => write!(f, "trace:{nodes},{seed}"),
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -371,6 +428,8 @@ pub struct ConformanceCase {
     pub pattern: PatternSpec,
     /// Offered load per node in flits per cycle.
     pub load: f64,
+    /// Arrival process delivering that load (Poisson or bursty MMPP).
+    pub traffic: TrafficModel,
     /// Message lengths.
     pub lengths: LengthSpec,
     /// Input (arbitration) policy.
@@ -454,6 +513,22 @@ impl ConformanceCase {
         if !(self.load > 0.0 && self.load <= 0.5) {
             return Err(format!("load must be in (0, 0.5], got {}", self.load));
         }
+        if let TrafficModel::Mmpp {
+            burst_cycles,
+            idle_cycles,
+        } = self.traffic
+        {
+            for v in [burst_cycles, idle_cycles] {
+                if !(1.0..=4096.0).contains(&v) {
+                    return Err(format!("mmpp sojourns must be in 1..=4096 cycles, got {v}"));
+                }
+            }
+        }
+        if let PatternSpec::Trace { nodes, .. } = self.pattern {
+            if nodes < 2 {
+                return Err(format!("trace pattern needs at least 2 nodes, got {nodes}"));
+            }
+        }
         match self.lengths {
             LengthSpec::Fixed(l) if l == 0 || l > 256 => {
                 return Err("fixed length must be in 1..=256".into());
@@ -502,6 +577,7 @@ impl ConformanceCase {
         let turn_set = self.algo.turn_set(&self.topo);
         let mut config = SimConfig::paper()
             .injection_rate(self.load)
+            .traffic(self.traffic)
             .lengths(self.lengths.to_distribution())
             .input_selection(self.input)
             .output_selection(self.output)
@@ -536,6 +612,9 @@ impl ConformanceCase {
         let mut algo = None;
         let mut pattern = None;
         let mut load = None;
+        // Absent from pre-MMPP corpus lines; those keep the legacy
+        // Poisson stream.
+        let mut traffic = TrafficModel::Poisson;
         let mut lengths = None;
         let mut input = None;
         let mut output = None;
@@ -560,13 +639,21 @@ impl ConformanceCase {
                     );
                 }
                 "pattern" => {
-                    pattern = Some(
+                    pattern = Some(if let Some(rest) = value.strip_prefix("trace:") {
+                        let (n, s) = rest
+                            .split_once(',')
+                            .ok_or_else(|| format!("bad trace pattern {value} (want trace:N,S)"))?;
+                        PatternSpec::Trace {
+                            nodes: parse_u64(n, "trace nodes")? as u16,
+                            seed: parse_u64(s, "trace seed")? as u16,
+                        }
+                    } else {
                         PatternSpec::NAMES
                             .iter()
                             .find(|(_, n)| *n == value)
                             .map(|(p, _)| *p)
-                            .ok_or_else(|| format!("unknown pattern {value}"))?,
-                    );
+                            .ok_or_else(|| format!("unknown pattern {value}"))?
+                    });
                 }
                 "load" => {
                     load = Some(
@@ -575,6 +662,7 @@ impl ConformanceCase {
                             .map_err(|e| format!("bad load {value}: {e}"))?,
                     );
                 }
+                "traffic" => traffic = parse_traffic_model(value)?,
                 "len" => lengths = Some(parse_lengths(value)?),
                 "input" => {
                     input = Some(match value {
@@ -610,6 +698,7 @@ impl ConformanceCase {
             algo: algo.ok_or("missing algo")?,
             pattern: pattern.ok_or("missing pattern")?,
             load: load.ok_or("missing load")?,
+            traffic,
             lengths: lengths.ok_or("missing len")?,
             input: input.ok_or("missing input")?,
             output: output.ok_or("missing output")?,
@@ -649,6 +738,11 @@ impl fmt::Display for ConformanceCase {
             self.measure,
             self.threads,
         )?;
+        // Only emitted when non-default, so pre-MMPP corpus lines
+        // round-trip byte-identically.
+        if self.traffic != TrafficModel::Poisson {
+            write!(f, " traffic={}", self.traffic.as_spec())?;
+        }
         if !self.faults.is_empty() {
             write!(f, " faults=")?;
             for (i, c) in self.faults.iter().enumerate() {
@@ -703,6 +797,26 @@ fn parse_topo(value: &str) -> Result<TopoSpec, String> {
     }
 }
 
+fn parse_traffic_model(value: &str) -> Result<TrafficModel, String> {
+    if value == "poisson" {
+        return Ok(TrafficModel::Poisson);
+    }
+    let rest = value
+        .strip_prefix("mmpp:")
+        .ok_or_else(|| format!("unknown traffic model {value}"))?;
+    let (b, i) = rest
+        .split_once(',')
+        .ok_or_else(|| format!("bad traffic {value} (want mmpp:B,I)"))?;
+    Ok(TrafficModel::Mmpp {
+        burst_cycles: b
+            .parse::<f64>()
+            .map_err(|e| format!("bad mmpp burst {b}: {e}"))?,
+        idle_cycles: i
+            .parse::<f64>()
+            .map_err(|e| format!("bad mmpp idle {i}: {e}"))?,
+    })
+}
+
 fn parse_lengths(value: &str) -> Result<LengthSpec, String> {
     let (kind, rest) = value
         .split_once(':')
@@ -732,6 +846,7 @@ mod tests {
             algo: AlgoSpec::WestFirst(true),
             pattern: PatternSpec::Uniform,
             load: 0.05,
+            traffic: TrafficModel::Poisson,
             lengths: LengthSpec::Bimodal(4, 32),
             input: InputSelection::Random,
             output: OutputSelection::Random,
@@ -765,6 +880,7 @@ mod tests {
             algo: AlgoSpec::Synth,
             pattern: PatternSpec::Uniform,
             load: 0.05,
+            traffic: TrafficModel::Poisson,
             lengths: LengthSpec::Fixed(8),
             input: InputSelection::FirstComeFirstServed,
             output: OutputSelection::LowestDimension,

@@ -9,7 +9,7 @@
 
 use crate::case::{AlgoSpec, ConformanceCase, LengthSpec, PatternSpec, TopoSpec};
 use turnroute_rng::{Rng, RngCore, StdRng};
-use turnroute_sim::{InputSelection, OutputSelection};
+use turnroute_sim::{InputSelection, OutputSelection, TrafficModel};
 
 fn choose<T: Copy>(rng: &mut StdRng, items: &[T]) -> T {
     items[rng.random_range(0..items.len())]
@@ -101,8 +101,28 @@ pub fn generate_case(rng: &mut StdRng) -> ConformanceCase {
         .filter(|p| p.supports(&topo))
         .collect();
     let algo = choose(rng, &algos);
-    let pattern = choose(rng, &patterns);
+    // A sixth of the cases drive destinations from a generated trace
+    // fixture (which any topology supports); the rest draw from the
+    // static pattern list.
+    let pattern = if rng.random_bool(1.0 / 6.0) {
+        PatternSpec::Trace {
+            nodes: rng.random_range(2..=topo.num_nodes()) as u16,
+            seed: (rng.next_u64() & 0xFFFF) as u16,
+        }
+    } else {
+        choose(rng, &patterns)
+    };
     let load = choose(rng, &[0.01, 0.02, 0.05, 0.08, 0.12]);
+    // A quarter of the cases inject through the bursty on-off arrival
+    // process instead of the legacy Poisson stream.
+    let traffic = if rng.random_bool(0.25) {
+        TrafficModel::Mmpp {
+            burst_cycles: choose(rng, &[24.0, 96.0, 384.0]),
+            idle_cycles: choose(rng, &[48.0, 192.0, 768.0]),
+        }
+    } else {
+        TrafficModel::Poisson
+    };
     let lengths = choose(
         rng,
         &[
@@ -152,6 +172,7 @@ pub fn generate_case(rng: &mut StdRng) -> ConformanceCase {
         algo,
         pattern,
         load,
+        traffic,
         lengths,
         input,
         output,
@@ -203,6 +224,7 @@ mod tests {
         // route-table-relevant algorithm class and faults all appear.
         let mut rng = StdRng::seed_from_u64(11);
         let (mut mesh, mut torus, mut cube, mut graph, mut faulted) = (0, 0, 0, 0, 0);
+        let (mut mmpp, mut traced) = (0, 0);
         for _ in 0..400 {
             let case = generate_case(&mut rng);
             match case.topo {
@@ -214,10 +236,20 @@ mod tests {
             if !case.faults.is_empty() {
                 faulted += 1;
             }
+            if matches!(case.traffic, TrafficModel::Mmpp { .. }) {
+                mmpp += 1;
+            }
+            if matches!(case.pattern, PatternSpec::Trace { .. }) {
+                traced += 1;
+            }
         }
         assert!(
             mesh > 50 && torus > 30 && cube > 30 && graph > 30 && faulted > 30,
             "mesh {mesh} torus {torus} cube {cube} graph {graph} faulted {faulted}"
+        );
+        assert!(
+            mmpp > 40 && traced > 25,
+            "mmpp {mmpp} traced {traced}: the new traffic axes must be exercised"
         );
     }
 }

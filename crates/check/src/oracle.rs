@@ -19,15 +19,16 @@
 //! ([`crate::invariants`]) asserts their reports are bit-identical.
 //!
 //! The only pieces shared with the real engine are the ones that *are*
-//! the specification of the RNG stream: [`PoissonSource`] (arrival and
-//! length draws) and the [`TrafficPattern`] trait objects (destination
-//! draws). Everything downstream of those draws is reimplemented here.
+//! the specification of the RNG stream: [`TrafficSource`] (arrival and
+//! length draws, for both the Poisson and the MMPP on-off models) and
+//! the [`TrafficPattern`] trait objects (destination draws). Everything
+//! downstream of those draws is reimplemented here.
 
 use turnroute_core::RoutingAlgorithm;
 use turnroute_fault::FaultEvent;
 use turnroute_rng::{Rng, StdRng};
 use turnroute_sim::patterns::TrafficPattern;
-use turnroute_sim::{cycles_to_usec, InputSelection, OutputSelection, PoissonSource, SimConfig};
+use turnroute_sim::{cycles_to_usec, InputSelection, OutputSelection, SimConfig, TrafficSource};
 use turnroute_topology::{ChannelId, Direction, NodeId, Topology};
 
 /// A packet in the oracle: same lifecycle as the engine's
@@ -103,7 +104,7 @@ pub struct Oracle<'a> {
     pattern: &'a dyn TrafficPattern,
     config: SimConfig,
     rng: StdRng,
-    source: PoissonSource,
+    source: TrafficSource,
     cycle: u64,
     packets: Vec<OraclePacket>,
     queues: Vec<Vec<usize>>,
@@ -155,12 +156,7 @@ impl<'a> Oracle<'a> {
         };
         let prune_faulty = !fault_events.is_empty();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let source = PoissonSource::new(
-            topo.num_nodes(),
-            config.mean_interarrival_cycles(),
-            config.lengths,
-            &mut rng,
-        );
+        let source = TrafficSource::for_config(topo.num_nodes(), &config, &mut rng);
         Oracle {
             topo,
             algo,

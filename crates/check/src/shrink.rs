@@ -7,7 +7,7 @@
 //! algorithms would mislead whoever debugs it.
 
 use crate::case::{ConformanceCase, LengthSpec, PatternSpec, TopoSpec};
-use turnroute_sim::{InputSelection, OutputSelection};
+use turnroute_sim::{InputSelection, OutputSelection, TrafficModel};
 
 /// Smaller variants of `case`, most aggressive first. Candidates may be
 /// invalid (the caller filters through
@@ -49,6 +49,13 @@ pub fn shrink_candidates(case: &ConformanceCase) -> Vec<ConformanceCase> {
     if case.input != InputSelection::FirstComeFirstServed {
         let mut c = case.clone();
         c.input = InputSelection::FirstComeFirstServed;
+        push(c);
+    }
+
+    // Collapse bursty arrivals back to the legacy Poisson stream.
+    if case.traffic != TrafficModel::Poisson {
+        let mut c = case.clone();
+        c.traffic = TrafficModel::Poisson;
         push(c);
     }
 
@@ -172,6 +179,7 @@ mod tests {
             algo: AlgoSpec::NegativeFirst(false),
             pattern: PatternSpec::Transpose,
             load: 0.08,
+            traffic: TrafficModel::Poisson,
             lengths: LengthSpec::Bimodal(10, 200),
             input: InputSelection::Random,
             output: OutputSelection::Random,
@@ -207,6 +215,7 @@ mod tests {
             algo: AlgoSpec::DimensionOrder,
             pattern: PatternSpec::Uniform,
             load: 0.01,
+            traffic: TrafficModel::Poisson,
             lengths: LengthSpec::Fixed(1),
             input: InputSelection::FirstComeFirstServed,
             output: OutputSelection::LowestDimension,

@@ -12,8 +12,9 @@ use turnroute_core::{
 use turnroute_fault::{FaultPlan, FaultSchedule};
 use turnroute_sim::patterns::{
     BitComplement, BitReversal, DiagonalTranspose, Hotspot, HypercubeTranspose, NearestNeighbor,
-    ReverseFlip, Shuffle, Tornado, TrafficPattern, Transpose, Uniform,
+    ReverseFlip, Shuffle, Tornado, Trace, TrafficPattern, Transpose, Uniform, WeightedHotspot,
 };
+use turnroute_sim::TrafficModel;
 use turnroute_synth::{synthesize, GraphSpec, GraphTopology, SynthesisOptions};
 use turnroute_topology::{HexMesh, Hypercube, Mesh, NodeId, Topology, Torus};
 use turnroute_vc::{DatelineDimensionOrder, MadY, SingleClass, VcRoutingAlgorithm};
@@ -271,28 +272,65 @@ pub fn parse_vc_algorithm(
 pub const PATTERN_NAMES: &str = "\
   uniform | transpose | diagonal-transpose | hypercube-transpose
   reverse-flip | bit-complement | bit-reversal | shuffle | tornado
-  neighbor | hotspot:<node>,<percent>";
+  neighbor | hotspot:<node>[*<w>][+<node>[*<w>]...],<percent>
+  trace:<file>  per-node weighted destination file: '<src> <dst> [weight]'
+                lines, '#' comments (see README)";
 
-/// Parses a traffic pattern name, e.g. `uniform` or `hotspot:120,10`.
+/// Parses a traffic pattern name, e.g. `uniform`, `hotspot:120,10`,
+/// `hotspot:12*3+40,20` or `trace:pairs.trace`.
 ///
 /// # Errors
 ///
-/// Returns a message listing the accepted names on any mismatch.
+/// Returns a message listing the accepted names on any mismatch, and a
+/// line-numbered message for unreadable or malformed trace files.
 pub fn parse_pattern(name: &str) -> Result<Box<dyn TrafficPattern>, ParseSpecError> {
     if let Some(rest) = name.strip_prefix("hotspot:") {
-        let (node, pct) = rest
-            .split_once(',')
-            .ok_or_else(|| err("hotspot spec is hotspot:<node>,<percent>"))?;
-        let node: usize = node
-            .parse()
-            .map_err(|_| err(format!("bad node '{node}'")))?;
+        let (nodes, pct) = rest.rsplit_once(',').ok_or_else(|| {
+            err("hotspot spec is hotspot:<node>[*<w>][+<node>[*<w>]...],<percent>")
+        })?;
         let pct: f64 = pct
             .parse()
             .map_err(|_| err(format!("bad percent '{pct}'")))?;
         if !(0.0..=100.0).contains(&pct) {
             return Err(err("hotspot percent must be within 0..=100"));
         }
-        return Ok(Box::new(Hotspot::new(NodeId::new(node), pct / 100.0)));
+        let mut hotspots: Vec<(NodeId, f64)> = Vec::new();
+        for part in nodes.split('+') {
+            let (node, weight) = match part.split_once('*') {
+                None => (part, 1.0),
+                Some((n, w)) => {
+                    let w: f64 = w
+                        .parse()
+                        .map_err(|_| err(format!("bad hotspot weight '{w}'")))?;
+                    if !w.is_finite() || w <= 0.0 {
+                        return Err(err(format!(
+                            "hotspot weight must be a positive finite number, got {w}"
+                        )));
+                    }
+                    (n, w)
+                }
+            };
+            let node: usize = node
+                .parse()
+                .map_err(|_| err(format!("bad node '{node}'")))?;
+            hotspots.push((NodeId::new(node), weight));
+        }
+        // A single unweighted hotspot keeps the original pattern (and
+        // its original RNG draw sequence); any '+' or '*' form builds
+        // the weighted generalization.
+        return Ok(match hotspots.as_slice() {
+            [(node, w)] if *w == 1.0 && !nodes.contains('*') => {
+                Box::new(Hotspot::new(*node, pct / 100.0))
+            }
+            _ => Box::new(WeightedHotspot::new(hotspots, pct / 100.0)),
+        });
+    }
+    if let Some(rest) = name.strip_prefix("trace:") {
+        let text = std::fs::read_to_string(rest)
+            .map_err(|e| err(format!("cannot read trace file '{rest}': {e}")))?;
+        let trace = Trace::parse(&text, format!("trace:{rest}"))
+            .map_err(|e| err(format!("bad trace file '{rest}': {e}")))?;
+        return Ok(Box::new(trace));
     }
     Ok(match name {
         "uniform" => Box::new(Uniform),
@@ -311,6 +349,71 @@ pub fn parse_pattern(name: &str) -> Result<Box<dyn TrafficPattern>, ParseSpecErr
             )))
         }
     })
+}
+
+/// The traffic-model specifications the CLI accepts.
+pub const TRAFFIC_SPECS: &str = "\
+  poisson                    stationary Poisson arrivals (default)
+  mmpp:<burst>,<idle>        bursty on-off arrivals: mean ON / OFF
+                             sojourns in cycles, same long-run load";
+
+/// Parses a traffic-model specification like `poisson` or
+/// `mmpp:200,600`.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted forms on any mismatch, and a
+/// targeted message for non-positive or non-finite MMPP sojourns.
+pub fn parse_traffic(spec: &str) -> Result<TrafficModel, ParseSpecError> {
+    if spec == "poisson" {
+        return Ok(TrafficModel::Poisson);
+    }
+    if let Some(rest) = spec.strip_prefix("mmpp:") {
+        let (burst, idle) = rest
+            .split_once(',')
+            .ok_or_else(|| err("mmpp spec is mmpp:<burst_cycles>,<idle_cycles>"))?;
+        let burst_cycles: f64 = burst
+            .parse()
+            .map_err(|_| err(format!("bad burst cycles '{burst}'")))?;
+        let idle_cycles: f64 = idle
+            .parse()
+            .map_err(|_| err(format!("bad idle cycles '{idle}'")))?;
+        let model = TrafficModel::Mmpp {
+            burst_cycles,
+            idle_cycles,
+        };
+        model.check().map_err(err)?;
+        return Ok(model);
+    }
+    Err(err(format!(
+        "unknown traffic model '{spec}'; accepted forms:\n{TRAFFIC_SPECS}"
+    )))
+}
+
+/// Checks that `pattern` fits `topo`: patterns naming explicit nodes
+/// (hotspots, trace files) must not reference a node the topology does
+/// not have. Spec layers call this after parsing both, so the mismatch
+/// surfaces as a typed error instead of an engine panic.
+///
+/// # Errors
+///
+/// Returns a message naming the out-of-range node and the topology's
+/// node count.
+pub fn check_pattern_fits(
+    pattern: &dyn TrafficPattern,
+    topo: &dyn Topology,
+) -> Result<(), ParseSpecError> {
+    let need = pattern.min_nodes();
+    if need > topo.num_nodes() {
+        return Err(err(format!(
+            "pattern '{}' references node {} but {} has only {} nodes",
+            pattern.name(),
+            need - 1,
+            topo.label(),
+            topo.num_nodes()
+        )));
+    }
+    Ok(())
 }
 
 /// The fault-plan specification forms the CLI accepts (joined with `+`
@@ -514,6 +617,97 @@ mod tests {
         assert!(parse_pattern("hotspot:12").is_err());
         assert!(parse_pattern("hotspot:12,200").is_err());
         assert!(parse_pattern("noise").is_err());
+    }
+
+    #[test]
+    fn weighted_hotspots_parse() {
+        // Plain form still builds the legacy single-hotspot pattern.
+        assert_eq!(parse_pattern("hotspot:12,10").unwrap().min_nodes(), 13);
+        assert_eq!(
+            parse_pattern("hotspot:12,10").unwrap().name(),
+            "hotspot(10%)"
+        );
+        // Weighted / multi-node forms build the generalization.
+        let multi = parse_pattern("hotspot:3*2+9,25").unwrap();
+        assert_eq!(multi.name(), "hotspot(3*2+9;25%)");
+        assert_eq!(multi.min_nodes(), 10);
+        let weighted_single = parse_pattern("hotspot:7*0.5,50").unwrap();
+        assert_eq!(weighted_single.min_nodes(), 8);
+        for bad in [
+            "hotspot:3*0,10",
+            "hotspot:3*-1,10",
+            "hotspot:3*inf,10",
+            "hotspot:3*zap,10",
+            "hotspot:+,10",
+            "hotspot:3+4",
+        ] {
+            assert!(parse_pattern(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_patterns_parse_from_files() {
+        let dir = std::env::temp_dir().join("turnroute-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("pairs.trace");
+        std::fs::write(&file, "# demo\n0 5\n0 9 3\n1 2\n").unwrap();
+        let spec = format!("trace:{}", file.display());
+        let pattern = parse_pattern(&spec).unwrap();
+        assert_eq!(pattern.min_nodes(), 10);
+        assert!(pattern.name().starts_with(&format!("{spec}@")));
+        // Unreadable and malformed files surface as parse errors.
+        assert!(parse_pattern("trace:/no/such/file.trace").is_err());
+        let bad = dir.join("bad.trace");
+        std::fs::write(&bad, "0 1 zap\n").unwrap();
+        let e = parse_pattern(&format!("trace:{}", bad.display()))
+            .err()
+            .unwrap();
+        assert!(e.to_string().contains("bad weight"), "{e}");
+        let truncated = dir.join("truncated.trace");
+        std::fs::write(&truncated, "0 5\n3\n").unwrap();
+        let e = parse_pattern(&format!("trace:{}", truncated.display()))
+            .err()
+            .unwrap();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn traffic_models_parse() {
+        assert_eq!(parse_traffic("poisson").unwrap(), TrafficModel::Poisson);
+        let m = parse_traffic("mmpp:200,600").unwrap();
+        assert_eq!(
+            m,
+            TrafficModel::Mmpp {
+                burst_cycles: 200.0,
+                idle_cycles: 600.0
+            }
+        );
+        // The canonical spec string round-trips.
+        assert_eq!(parse_traffic(&m.as_spec()).unwrap(), m);
+        for bad in [
+            "mmpp:200",
+            "mmpp:0,600",
+            "mmpp:200,0",
+            "mmpp:-1,600",
+            "mmpp:inf,600",
+            "mmpp:zap,600",
+            "bursty",
+        ] {
+            assert!(parse_traffic(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pattern_fit_checks_node_bounds() {
+        let mesh = parse_topology("mesh:4x4").unwrap();
+        let ok = parse_pattern("hotspot:15,10").unwrap();
+        assert!(check_pattern_fits(ok.as_ref(), mesh.as_ref()).is_ok());
+        let oob = parse_pattern("hotspot:16,10").unwrap();
+        let e = check_pattern_fits(oob.as_ref(), mesh.as_ref()).unwrap_err();
+        assert!(e.to_string().contains("16 nodes"), "{e}");
+        assert!(
+            check_pattern_fits(parse_pattern("uniform").unwrap().as_ref(), mesh.as_ref()).is_ok()
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::cli::{
-    parse_algorithm, parse_faults, parse_pattern, parse_topology, parse_vc_algorithm,
-    ParseSpecError,
+    check_pattern_fits, parse_algorithm, parse_faults, parse_pattern, parse_topology,
+    parse_traffic, parse_vc_algorithm, ParseSpecError,
 };
 use crate::json::{self, Value};
 use turnroute_core::RoutingAlgorithm;
@@ -359,8 +359,13 @@ impl ExperimentSpec {
                 "measure_cycles must be at least 1",
             ));
         }
+        self.config
+            .traffic
+            .check()
+            .map_err(|m| SpecError::invalid("config", m))?;
         let topo = parse_topology(&self.topology)?;
-        parse_pattern(&self.pattern)?;
+        let pattern = parse_pattern(&self.pattern)?;
+        check_pattern_fits(pattern.as_ref(), topo.as_ref())?;
         for a in &self.algorithms {
             match self.engine {
                 Engine::Wormhole => {
@@ -471,11 +476,13 @@ impl ExperimentSpec {
         let _ = write!(out, "],\"engine\":\"{}\"", self.engine.as_str());
         let _ = write!(
             out,
-            ",\"config\":{{\"seed\":{},\"warmup_cycles\":{},\"measure_cycles\":{},\"shards\":{}}}",
+            ",\"config\":{{\"seed\":{},\"warmup_cycles\":{},\"measure_cycles\":{},\"shards\":{},\
+             \"traffic\":{}}}",
             self.config.seed,
             self.config.warmup_cycles,
             self.config.measure_cycles,
-            self.config.shards
+            self.config.shards,
+            json::escape(&self.config.traffic.as_spec())
         );
         out.push_str(",\"fault_axis\":[");
         for (i, c) in self.fault_axis.iter().enumerate() {
@@ -572,19 +579,31 @@ impl ExperimentSpec {
                                 "duplicate field 'config.{ck}'"
                             )));
                         }
-                        let n = cv
-                            .as_u64()
-                            .ok_or_else(|| malformed("config", "integer fields"))?;
+                        let int = |field: &'static str| {
+                            cv.as_u64().ok_or_else(|| malformed(field, "an integer"))
+                        };
                         match ck.as_str() {
-                            "seed" => config = config.seed(n),
-                            "warmup_cycles" => config = config.warmup_cycles(n),
-                            "measure_cycles" => config = config.measure_cycles(n),
+                            "seed" => config = config.seed(int("config.seed")?),
+                            "warmup_cycles" => {
+                                config = config.warmup_cycles(int("config.warmup_cycles")?)
+                            }
+                            "measure_cycles" => {
+                                config = config.measure_cycles(int("config.measure_cycles")?)
+                            }
                             // Older documents simply omit this; the
                             // builder default (1, serial) applies.
                             "shards" => {
-                                let shards = usize::try_from(n)
+                                let shards = usize::try_from(int("config.shards")?)
                                     .map_err(|_| malformed("config.shards", "a shard count"))?;
                                 config = config.shards(shards);
+                            }
+                            // Likewise absent from older documents;
+                            // defaults to Poisson arrivals.
+                            "traffic" => {
+                                let spec = cv
+                                    .as_str()
+                                    .ok_or_else(|| malformed("config.traffic", "a string"))?;
+                                config = config.traffic(parse_traffic(spec)?);
                             }
                             other => {
                                 return Err(SpecError::UnknownField(format!("config.{other}")))
@@ -1258,5 +1277,76 @@ mod tests {
         )
         .unwrap();
         assert_eq!(old.config.shards, 1);
+    }
+
+    #[test]
+    fn traffic_models_round_trip_and_address_distinct_results() {
+        use turnroute_sim::TrafficModel;
+        let base = |traffic: TrafficModel| {
+            ExperimentSpec::builder("mesh:6x6", "uniform")
+                .algorithm("xy")
+                .loads(&[0.02])
+                .config(quick().traffic(traffic))
+                .build()
+                .unwrap()
+        };
+        let poisson = base(TrafficModel::Poisson);
+        let mmpp = base(TrafficModel::Mmpp {
+            burst_cycles: 120.0,
+            idle_cycles: 480.0,
+        });
+        assert!(poisson.to_json().contains("\"traffic\":\"poisson\""));
+        assert!(mmpp.to_json().contains("\"traffic\":\"mmpp:120,480\""));
+        let round = ExperimentSpec::from_json(&mmpp.to_json()).unwrap();
+        assert_eq!(round.to_json(), mmpp.to_json());
+        assert_eq!(round.config.traffic, mmpp.config.traffic);
+        // Unlike shards, the model changes the arrival process, so it
+        // participates in content addressing: a bursty run must not be
+        // served from a Poisson run's stored report.
+        assert_ne!(poisson.fingerprint(), mmpp.fingerprint());
+        assert_ne!(
+            mmpp.fingerprint(),
+            base(TrafficModel::Mmpp {
+                burst_cycles: 240.0,
+                idle_cycles: 480.0,
+            })
+            .fingerprint()
+        );
+        // Older documents without the field default to Poisson arrivals.
+        let old = ExperimentSpec::from_json(
+            r#"{"topology": "mesh:6x6", "pattern": "uniform",
+                "algorithms": ["xy"], "loads": [0.02],
+                "config": {"seed": 5}}"#,
+        )
+        .unwrap();
+        assert_eq!(old.config.traffic, TrafficModel::Poisson);
+    }
+
+    #[test]
+    fn bad_traffic_documents_are_typed_errors() {
+        let doc = |traffic: &str| {
+            format!(
+                r#"{{"topology": "mesh:6x6", "pattern": "uniform",
+                    "algorithms": ["xy"], "loads": [0.02],
+                    "config": {{"traffic": {traffic}}}}}"#
+            )
+        };
+        for bad in ["\"mmpp:0,480\"", "\"mmpp:120\"", "\"voip\"", "\"mmpp:a,b\""] {
+            let err = ExperimentSpec::from_json(&doc(bad)).unwrap_err();
+            assert_eq!(err.kind(), "parse", "{bad}");
+        }
+        let err = ExperimentSpec::from_json(&doc("7")).unwrap_err();
+        assert_eq!(err.kind(), "malformed");
+        // A spec built with a bad model in code fails validation too.
+        let err = ExperimentSpec::builder("mesh:6x6", "uniform")
+            .algorithm("xy")
+            .loads(&[0.02])
+            .config(quick().traffic(turnroute_sim::TrafficModel::Mmpp {
+                burst_cycles: f64::NAN,
+                idle_cycles: 480.0,
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid");
     }
 }

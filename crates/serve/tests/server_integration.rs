@@ -11,7 +11,7 @@ use turnroute_experiment::ExperimentSpec;
 use turnroute_serve::client;
 use turnroute_serve::{ServeOptions, Server, ServerHandle};
 use turnroute_sim::report::write_report_json;
-use turnroute_sim::{Executor, Logger, SimConfig};
+use turnroute_sim::{Executor, Logger, SimConfig, TrafficModel};
 
 fn quick() -> SimConfig {
     SimConfig::paper()
@@ -389,4 +389,62 @@ fn server_results_match_the_reference_oracle() {
         (throughput - expected).abs() <= expected.abs() * 1e-9,
         "server throughput {throughput} diverges from the oracle's {expected}"
     );
+}
+
+/// The traffic axes travel the wire intact: an MMPP spec with a
+/// trace-driven destination file submitted to the server produces the
+/// exact bytes the CLI serializer writes for the same spec run locally.
+/// Because all injection randomness is drawn from per-node nested
+/// streams, this holds regardless of the server's worker count.
+#[test]
+fn mmpp_and_trace_jobs_match_the_cli_serializer_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("turnroute-serve-mmpp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    let trace = dir.join("pairs.trace");
+    std::fs::write(
+        &trace,
+        "# serve fixture\n0 35 3\n1 34\n7 28 2\n12 23\n30 5 4\n",
+    )
+    .unwrap();
+
+    let bursty = quick().traffic(TrafficModel::Mmpp {
+        burst_cycles: 96.0,
+        idle_cycles: 288.0,
+    });
+    let specs = [
+        ExperimentSpec::builder("mesh:6x6", "transpose")
+            .algorithm("xy")
+            .algorithm("west-first")
+            .loads(&[0.02, 0.05])
+            .config(bursty.clone())
+            .build()
+            .expect("mmpp spec resolves"),
+        ExperimentSpec::builder("mesh:6x6", format!("trace:{}", trace.display()))
+            .algorithm("west-first")
+            .loads(&[0.05])
+            .config(bursty)
+            .build()
+            .expect("trace spec resolves"),
+    ];
+
+    let (handle, addr, _store) = start("mmpp");
+    for spec in &specs {
+        let (status, doc) = submit_ok(&addr, &spec.to_json());
+        assert_eq!(status, 202);
+        let job_id = str_field(&doc, "job_id").to_owned();
+        let done = wait_done(&addr, &job_id);
+        assert_eq!(str_field(&done, "status"), "done");
+        let (status, body) = client::fetch(&addr, &job_id).expect("fetch reaches the server");
+        assert_eq!(status, 200);
+
+        let mut executor = Executor::new(3);
+        let series = spec.run_on(&mut executor).expect("spec runs locally");
+        let mut expected = Vec::new();
+        write_report_json(&series, &executor.stats(), &mut expected).unwrap();
+        assert_eq!(
+            body, expected,
+            "server bytes differ from the CLI serializer for an MMPP job"
+        );
+    }
+    handle.shutdown();
 }

@@ -49,6 +49,84 @@ impl LengthDistribution {
     }
 }
 
+/// How message arrivals are generated at each node.
+///
+/// The model is orthogonal to the offered load: every model is
+/// normalized so the *long-run mean* injection rate equals
+/// [`SimConfig::injection_rate_flits`], which keeps sweep load axes and
+/// saturation comparisons meaningful across models.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrafficModel {
+    /// Stationary Poisson arrivals — the paper's Section 6 model.
+    /// Inter-arrival times are exponential with mean
+    /// `mean_length / injection_rate_flits` cycles.
+    #[default]
+    Poisson,
+    /// A 2-state Markov-modulated Poisson process (bursty on-off
+    /// traffic). Each node alternates between an ON state, where
+    /// arrivals are Poisson at a rate boosted by `1 / duty` (duty =
+    /// `burst_cycles / (burst_cycles + idle_cycles)`), and an OFF state
+    /// with no arrivals. Sojourn times are exponential with the given
+    /// means, so the long-run mean rate matches the configured load.
+    ///
+    /// Draws come from per-node seeded streams (prefix-nested from the
+    /// run seed, the same discipline as the fault schedule), so the
+    /// arrival sequence is invariant under threading and sharding.
+    Mmpp {
+        /// Mean ON-state sojourn, in cycles (positive, finite).
+        burst_cycles: f64,
+        /// Mean OFF-state sojourn, in cycles (positive, finite).
+        idle_cycles: f64,
+    },
+}
+
+impl TrafficModel {
+    /// The canonical spec string: `poisson` or `mmpp:<burst>,<idle>`.
+    /// Round-trips through the CLI / wire-format parser.
+    pub fn as_spec(&self) -> String {
+        match *self {
+            TrafficModel::Poisson => "poisson".to_owned(),
+            TrafficModel::Mmpp {
+                burst_cycles,
+                idle_cycles,
+            } => format!("mmpp:{burst_cycles},{idle_cycles}"),
+        }
+    }
+
+    /// The fraction of time a node spends in the ON state (`1.0` for
+    /// Poisson).
+    pub fn duty(&self) -> f64 {
+        match *self {
+            TrafficModel::Poisson => 1.0,
+            TrafficModel::Mmpp {
+                burst_cycles,
+                idle_cycles,
+            } => burst_cycles / (burst_cycles + idle_cycles),
+        }
+    }
+
+    /// Checks the model's parameters, returning a human-readable
+    /// complaint for non-positive or non-finite sojourn means.
+    pub fn check(&self) -> Result<(), String> {
+        match *self {
+            TrafficModel::Poisson => Ok(()),
+            TrafficModel::Mmpp {
+                burst_cycles,
+                idle_cycles,
+            } => {
+                for (name, v) in [("burst_cycles", burst_cycles), ("idle_cycles", idle_cycles)] {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(format!(
+                            "mmpp {name} must be a positive finite number of cycles, got {v}"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Which header wins when several compete for one output channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InputSelection {
@@ -107,6 +185,10 @@ pub struct SimConfig {
     /// exponentially distributed inter-arrival times whose mean is
     /// `mean_length / injection_rate_flits` cycles.
     pub injection_rate_flits: f64,
+    /// The arrival process generating messages at each node. Every
+    /// model is normalized to the same long-run mean rate, so this axis
+    /// changes *when* messages arrive, never how many on average.
+    pub traffic: TrafficModel,
     /// Message length distribution.
     pub lengths: LengthDistribution,
     /// Input (arbitration) policy.
@@ -152,6 +234,7 @@ impl SimConfig {
     pub fn paper() -> Self {
         SimConfig {
             injection_rate_flits: 0.0,
+            traffic: TrafficModel::Poisson,
             lengths: LengthDistribution::paper(),
             input_selection: InputSelection::FirstComeFirstServed,
             output_selection: OutputSelection::LowestDimension,
@@ -170,6 +253,12 @@ impl SimConfig {
     pub fn injection_rate(mut self, flits_per_cycle: f64) -> Self {
         assert!(flits_per_cycle >= 0.0, "negative injection rate");
         self.injection_rate_flits = flits_per_cycle;
+        self
+    }
+
+    /// Sets the arrival process (see [`TrafficModel`]).
+    pub fn traffic(mut self, model: TrafficModel) -> Self {
+        self.traffic = model;
         self
     }
 
@@ -275,6 +364,34 @@ mod tests {
         // 210 cycles.
         assert_eq!(c.mean_interarrival_cycles(), Some(210.0));
         assert_eq!(SimConfig::paper().mean_interarrival_cycles(), None);
+    }
+
+    #[test]
+    fn traffic_model_specs_and_duty() {
+        assert_eq!(TrafficModel::Poisson.as_spec(), "poisson");
+        assert_eq!(TrafficModel::Poisson.duty(), 1.0);
+        let mmpp = TrafficModel::Mmpp {
+            burst_cycles: 200.0,
+            idle_cycles: 600.0,
+        };
+        assert_eq!(mmpp.as_spec(), "mmpp:200,600");
+        assert_eq!(mmpp.duty(), 0.25);
+        assert!(mmpp.check().is_ok());
+        for bad in [
+            (0.0, 100.0),
+            (100.0, 0.0),
+            (-1.0, 100.0),
+            (f64::NAN, 100.0),
+            (100.0, f64::INFINITY),
+        ] {
+            let m = TrafficModel::Mmpp {
+                burst_cycles: bad.0,
+                idle_cycles: bad.1,
+            };
+            assert!(m.check().is_err(), "{bad:?}");
+        }
+        assert_eq!(SimConfig::paper().traffic, TrafficModel::Poisson);
+        assert_eq!(SimConfig::paper().traffic(mmpp).traffic, mmpp);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::metrics::MetricsCollector;
 use crate::obs::{NoopObserver, SimObserver};
 use crate::packet::{Packet, PacketId, PacketState};
 use crate::patterns::TrafficPattern;
-use crate::traffic::PoissonSource;
+use crate::traffic::TrafficSource;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use turnroute_core::RoutingAlgorithm;
@@ -153,7 +153,7 @@ pub struct Simulation<'a, O: SimObserver = NoopObserver> {
     pattern: &'a dyn TrafficPattern,
     config: SimConfig,
     rng: StdRng,
-    source: PoissonSource,
+    source: TrafficSource,
     cycle: u64,
     packets: Vec<Packet>,
     /// Struct-of-arrays mirror of the packet fields the cycle kernel
@@ -277,12 +277,7 @@ impl<'a, O: SimObserver> Simulation<'a, O> {
         };
         let prune_faulty = !fault_events.is_empty() && table.is_none();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let source = PoissonSource::new(
-            topo.num_nodes(),
-            config.mean_interarrival_cycles(),
-            config.lengths,
-            &mut rng,
-        );
+        let source = TrafficSource::for_config(topo.num_nodes(), &config, &mut rng);
         Simulation {
             obs: observer,
             topo,

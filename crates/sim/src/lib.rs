@@ -56,7 +56,8 @@ mod sweep;
 mod traffic;
 
 pub use config::{
-    cycles_to_usec, InputSelection, LengthDistribution, OutputSelection, SimConfig, FLITS_PER_USEC,
+    cycles_to_usec, InputSelection, LengthDistribution, OutputSelection, SimConfig, TrafficModel,
+    FLITS_PER_USEC,
 };
 pub use deadlock::{DeadlockReport, WaitEdge};
 pub use engine::{RunOutcome, SimReport, Simulation};
@@ -73,4 +74,4 @@ pub use obs::{
 pub use oplog::{Level, Logger};
 pub use packet::{Packet, PacketId, PacketState};
 pub use sweep::{sweep, SweepPoint, SweepSeries};
-pub use traffic::PoissonSource;
+pub use traffic::{MmppSource, PoissonSource, TrafficSource};

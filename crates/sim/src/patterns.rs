@@ -5,7 +5,7 @@
 //! module adds the other classic patterns (bit-complement, bit-reversal,
 //! shuffle, tornado, hotspot, nearest-neighbor) for wider studies.
 
-use turnroute_rng::{Rng, RngCore};
+use turnroute_rng::{split_mix_64, Rng, RngCore};
 use turnroute_topology::{NodeId, Topology};
 
 /// A traffic pattern: maps a source to a destination, possibly randomly.
@@ -18,6 +18,16 @@ pub trait TrafficPattern: Send + Sync {
 
     /// Picks the destination for a message from `src`.
     fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
+
+    /// The smallest node count the pattern is defined for: `0` for
+    /// patterns generic over topology size, `max referenced node + 1`
+    /// for patterns naming explicit nodes (hotspots, trace files).
+    /// Spec layers check this against the topology and reject the
+    /// combination with a typed error instead of letting the engine
+    /// index out of range.
+    fn min_nodes(&self) -> usize {
+        0
+    }
 }
 
 /// Uniform traffic: every other node is equally likely (Section 6).
@@ -295,6 +305,248 @@ impl TrafficPattern for Hotspot {
             Uniform.dest(topo, src, rng)
         }
     }
+
+    fn min_nodes(&self) -> usize {
+        self.hotspot.index() + 1
+    }
+}
+
+/// Weighted multi-hotspot traffic, the generalization of [`Hotspot`]:
+/// with probability `fraction` a message targets one of several favored
+/// nodes, picked proportionally to its weight; otherwise uniform.
+///
+/// RNG contract: one `random_bool` always, plus one `random_range` draw
+/// on the hotspot branch (or the [`Uniform`] draw otherwise). The
+/// single-hotspot `Hotspot` keeps its original one-draw stream, so
+/// legacy seeds reproduce.
+#[derive(Debug, Clone)]
+pub struct WeightedHotspot {
+    hotspots: Vec<(NodeId, f64)>,
+    fraction: f64,
+    total_weight: f64,
+}
+
+impl WeightedHotspot {
+    /// Creates a weighted hotspot pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hotspots` is empty, a weight is not positive and
+    /// finite, or `fraction` is outside `[0, 1]` (spec layers reject
+    /// these earlier with typed errors).
+    pub fn new(hotspots: Vec<(NodeId, f64)>, fraction: f64) -> Self {
+        assert!(!hotspots.is_empty(), "at least one hotspot is required");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        assert!(
+            hotspots.iter().all(|&(_, w)| w.is_finite() && w > 0.0),
+            "hotspot weights must be positive finite numbers"
+        );
+        let total_weight = hotspots.iter().map(|&(_, w)| w).sum();
+        WeightedHotspot {
+            hotspots,
+            fraction,
+            total_weight,
+        }
+    }
+}
+
+impl TrafficPattern for WeightedHotspot {
+    fn name(&self) -> String {
+        let nodes: Vec<String> = self
+            .hotspots
+            .iter()
+            .map(|(n, w)| {
+                if *w == 1.0 {
+                    format!("{}", n.index())
+                } else {
+                    format!("{}*{w}", n.index())
+                }
+            })
+            .collect();
+        format!(
+            "hotspot({};{}%)",
+            nodes.join("+"),
+            (self.fraction * 100.0).round()
+        )
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if rng.random_bool(self.fraction) {
+            let mut t = rng.random_range(0.0..self.total_weight);
+            for &(node, w) in &self.hotspots {
+                if t < w {
+                    return (node != src).then_some(node);
+                }
+                t -= w;
+            }
+            // Floating-point slack lands on the last hotspot.
+            let node = self.hotspots.last().expect("non-empty by construction").0;
+            (node != src).then_some(node)
+        } else {
+            Uniform.dest(topo, src, rng)
+        }
+    }
+
+    fn min_nodes(&self) -> usize {
+        self.hotspots
+            .iter()
+            .map(|(n, _)| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Trace-driven traffic: each source node draws its destination from a
+/// weighted list read out of a text file (the `FileMap` idea from
+/// caminos-lib, generalized from permutations to weighted fan-out).
+///
+/// File format, one entry per line:
+///
+/// ```text
+/// # comment lines and blank lines are ignored
+/// <src> <dst> [weight]
+/// ```
+///
+/// A source with several entries picks among them proportionally to
+/// weight (default `1`); a source with no entries generates no network
+/// traffic and *consumes no randomness* (like [`Uniform`] on a
+/// single-node network). An entry whose destination equals its source
+/// is drawn but consumed locally, mirroring [`Hotspot`] semantics.
+///
+/// The pattern's [`name`](TrafficPattern::name) embeds a content
+/// fingerprint of the parsed entries, so per-cell seeds, cache keys and
+/// store fingerprints all track the *contents* of the trace file, not
+/// its path: editing the file changes every derived identity, renaming
+/// it does not change the simulated numbers.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    label: String,
+    fingerprint: u64,
+    /// Destination lists indexed by source node; `(dst, weight)`.
+    dests: Vec<Vec<(NodeId, f64)>>,
+    /// Per-source total weight, precomputed for the draw.
+    totals: Vec<f64>,
+    min_nodes: usize,
+}
+
+impl Trace {
+    /// Parses trace-file `text`. `label` names the source in the
+    /// pattern's display name (conventionally `trace:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message for malformed lines (wrong field
+    /// count, unparsable ids, non-positive or non-finite weights) and
+    /// for files with no entries at all.
+    pub fn parse(text: &str, label: impl Into<String>) -> Result<Self, String> {
+        let mut dests: Vec<Vec<(NodeId, f64)>> = Vec::new();
+        let mut fp = 0x7261_6365_5f66_7031u64;
+        let mut entries = 0usize;
+        let mut min_nodes = 0usize;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let (src, dst, weight) = match fields.as_slice() {
+                [s, d] => (*s, *d, None),
+                [s, d, w] => (*s, *d, Some(*w)),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected '<src> <dst> [weight]', got '{line}'",
+                        i + 1
+                    ))
+                }
+            };
+            let src: usize = src
+                .parse()
+                .map_err(|_| format!("line {}: bad source node '{src}'", i + 1))?;
+            let dst: usize = dst
+                .parse()
+                .map_err(|_| format!("line {}: bad destination node '{dst}'", i + 1))?;
+            let weight: f64 = match weight {
+                None => 1.0,
+                Some(w) => {
+                    let w: f64 = w
+                        .parse()
+                        .map_err(|_| format!("line {}: bad weight '{w}'", i + 1))?;
+                    if !w.is_finite() || w <= 0.0 {
+                        return Err(format!(
+                            "line {}: weight must be a positive finite number, got {w}",
+                            i + 1
+                        ));
+                    }
+                    w
+                }
+            };
+            if dests.len() <= src {
+                dests.resize(src + 1, Vec::new());
+            }
+            dests[src].push((NodeId::new(dst), weight));
+            min_nodes = min_nodes.max(src + 1).max(dst + 1);
+            entries += 1;
+            // Content fingerprint over the parsed entries, so comments
+            // and whitespace never perturb experiment identity.
+            for word in [src as u64, dst as u64, weight.to_bits()] {
+                fp ^= word;
+                split_mix_64(&mut fp);
+            }
+        }
+        if entries == 0 {
+            return Err("trace file has no entries".into());
+        }
+        let totals = dests
+            .iter()
+            .map(|list| list.iter().map(|&(_, w)| w).sum())
+            .collect();
+        Ok(Trace {
+            label: label.into(),
+            fingerprint: fp,
+            dests,
+            totals,
+            min_nodes,
+        })
+    }
+
+    /// The number of trace entries (weighted destination edges).
+    pub fn num_entries(&self) -> usize {
+        self.dests.iter().map(Vec::len).sum()
+    }
+}
+
+impl TrafficPattern for Trace {
+    fn name(&self) -> String {
+        format!("{}@{:016x}", self.label, self.fingerprint)
+    }
+
+    fn dest(&self, _topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let list = self.dests.get(src.index())?;
+        match list.as_slice() {
+            [] => None,
+            // One entry: no draw needed, and skipping it keeps silent
+            // sources and deterministic single-target sources cheap.
+            [(dst, _)] => (*dst != src).then_some(*dst),
+            _ => {
+                let mut t = rng.random_range(0.0..self.totals[src.index()]);
+                for &(dst, w) in list {
+                    if t < w {
+                        return (dst != src).then_some(dst);
+                    }
+                    t -= w;
+                }
+                let dst = list.last().expect("non-empty by match arm").0;
+                (dst != src).then_some(dst)
+            }
+        }
+    }
+
+    fn min_nodes(&self) -> usize {
+        self.min_nodes
+    }
 }
 
 /// Nearest-neighbor traffic: a uniformly random neighbor.
@@ -532,6 +784,122 @@ mod tests {
             .filter(|_| pattern.dest(&mesh, NodeId::new(0), &mut rng) == Some(hs))
             .count();
         assert!((400..650).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn weighted_hotspot_splits_by_weight() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        let a = NodeId::new(3);
+        let b = NodeId::new(12);
+        // 3:1 weights at 100% hotspot fraction.
+        let pattern = WeightedHotspot::new(vec![(a, 3.0), (b, 1.0)], 1.0);
+        let (mut hits_a, mut hits_b) = (0, 0);
+        for _ in 0..4000 {
+            match pattern.dest(&mesh, NodeId::new(0), &mut rng) {
+                Some(d) if d == a => hits_a += 1,
+                Some(d) if d == b => hits_b += 1,
+                other => panic!("unexpected destination {other:?}"),
+            }
+        }
+        assert!((2800..3200).contains(&hits_a), "got {hits_a}");
+        assert_eq!(hits_a + hits_b, 4000);
+        assert_eq!(pattern.min_nodes(), 13);
+        assert_eq!(pattern.name(), "hotspot(3*3+12;100%)");
+    }
+
+    #[test]
+    fn weighted_hotspot_falls_back_to_uniform() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        let pattern = WeightedHotspot::new(vec![(NodeId::new(5), 1.0)], 0.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(pattern.dest(&mesh, NodeId::new(0), &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn hotspot_min_nodes_names_the_node() {
+        assert_eq!(Hotspot::new(NodeId::new(9), 0.1).min_nodes(), 10);
+        assert_eq!(Uniform.min_nodes(), 0);
+    }
+
+    #[test]
+    fn trace_parses_and_draws_by_weight() {
+        let trace = Trace::parse("# demo\n\n0 5\n0 9 3\n1 2\n", "trace:demo").unwrap();
+        assert_eq!(trace.num_entries(), 3);
+        assert_eq!(trace.min_nodes(), 10);
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        let mut to9 = 0;
+        for _ in 0..4000 {
+            match trace.dest(&mesh, NodeId::new(0), &mut rng).unwrap().index() {
+                9 => to9 += 1,
+                5 => {}
+                other => panic!("unexpected destination {other}"),
+            }
+        }
+        // Weight 3 of 4 total.
+        assert!((2800..3200).contains(&to9), "got {to9}");
+        // Single-entry source: deterministic, no draw.
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(0);
+        assert_eq!(
+            trace.dest(&mesh, NodeId::new(1), &mut a).unwrap().index(),
+            2
+        );
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn trace_silent_sources_consume_no_randomness() {
+        let trace = Trace::parse("0 1\n", "trace:tiny").unwrap();
+        let mesh = Mesh::new_2d(4, 4);
+        let mut a = rng();
+        let mut b = rng();
+        // Node 7 has no entries; node 99 is past the table entirely.
+        assert_eq!(trace.dest(&mesh, NodeId::new(7), &mut a), None);
+        assert_eq!(trace.dest(&mesh, NodeId::new(99), &mut a), None);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn trace_self_entries_are_consumed_locally() {
+        let trace = Trace::parse("3 3\n", "trace:selfy").unwrap();
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = rng();
+        assert_eq!(trace.dest(&mesh, NodeId::new(3), &mut rng), None);
+    }
+
+    #[test]
+    fn trace_name_tracks_content_not_formatting() {
+        let a = Trace::parse("0 1\n2 3 1.5\n", "trace:x").unwrap();
+        let b = Trace::parse("# hello\n 0  1 \n\n2 3 1.5\n", "trace:x").unwrap();
+        assert_eq!(a.name(), b.name());
+        let c = Trace::parse("0 1\n2 3 2.5\n", "trace:x").unwrap();
+        assert_ne!(a.name(), c.name());
+        assert!(a.name().starts_with("trace:x@"));
+    }
+
+    #[test]
+    fn trace_rejects_malformed_input() {
+        for (text, needle) in [
+            ("", "no entries"),
+            ("# only comments\n", "no entries"),
+            ("0\n", "expected"),
+            ("0 1 2 3\n", "expected"),
+            ("zero 1\n", "bad source"),
+            ("0 one\n", "bad destination"),
+            ("0 1 heavy\n", "bad weight"),
+            ("0 1 0\n", "positive"),
+            ("0 1 -2\n", "positive"),
+            ("0 1 inf\n", "positive"),
+        ] {
+            let e = Trace::parse(text, "trace:bad").unwrap_err();
+            assert!(e.contains(needle), "{text:?}: {e}");
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
-//! Message generation: Poisson arrivals with the paper's bimodal
-//! lengths.
+//! Message generation: Poisson or MMPP (bursty on-off) arrivals with
+//! the paper's bimodal lengths.
+//!
+//! [`TrafficSource`] is the single entry point both the optimized
+//! engine and the `turnroute-check` naive oracle construct — with the
+//! same arguments, in the same order — so the arrival/length RNG
+//! stream is bit-identical between them *by construction*. The source
+//! IS the specification of that stream: any change here changes both
+//! sides at once.
 
-use crate::config::LengthDistribution;
-use turnroute_rng::{Rng, RngCore};
+use crate::config::{LengthDistribution, SimConfig, TrafficModel};
+use turnroute_rng::{split_mix_64, Rng, RngCore, StdRng};
 
 /// Per-node Poisson message source: inter-arrival times are drawn from a
 /// negative exponential distribution (Section 6), message lengths from
@@ -77,6 +84,216 @@ fn exponential(rng: &mut dyn RngCore, mean: f64) -> f64 {
     -u.ln() * mean
 }
 
+/// One node's lane of an [`MmppSource`]: its private RNG stream plus
+/// the state of its on-off modulating chain.
+#[derive(Debug, Clone)]
+struct MmppLane {
+    /// This node's private generator. Every draw the node ever makes —
+    /// initial state, sojourn lengths, arrivals, message lengths —
+    /// comes from here, so the sequence is independent of every other
+    /// node and of how the run is threaded or sharded.
+    rng: StdRng,
+    /// Whether the node is currently in the ON (bursting) state.
+    on: bool,
+    /// Cycle (fractional) at which the current sojourn ends.
+    next_toggle: f64,
+    /// Next arrival cycle; `INFINITY` while OFF.
+    next_arrival: f64,
+}
+
+/// Domain-separation tag folded into per-node traffic seeds so the
+/// streams can never collide with the fault schedule's or the
+/// executor's seed derivations.
+const MMPP_SEED_TAG: u64 = 0x7472_6166_6669_633A; // "traffic:"
+
+/// Per-node 2-state Markov-modulated Poisson source (bursty on-off
+/// arrivals), normalized so the long-run mean rate equals the
+/// configured injection rate.
+///
+/// Unlike [`PoissonSource`], which interleaves every node's draws on
+/// one shared stream, each node here owns a private [`StdRng`] seeded
+/// prefix-nested from `(run seed, node)` — the same discipline as the
+/// fault schedule — so the arrival sequence of a node is a pure
+/// function of `(seed, node)` and reports stay byte-identical at any
+/// `--threads` / `--shards`.
+#[derive(Debug, Clone)]
+pub struct MmppSource {
+    on_mean_interarrival: Option<f64>,
+    burst_cycles: f64,
+    idle_cycles: f64,
+    lengths: LengthDistribution,
+    lanes: Vec<MmppLane>,
+}
+
+impl MmppSource {
+    /// Creates a source for `num_nodes` nodes. `mean_interarrival` is
+    /// the *long-run* mean in cycles (same convention as
+    /// [`PoissonSource::new`]); `None` disables generation. While ON,
+    /// arrivals are exponential with mean `mean_interarrival * duty`
+    /// where `duty = burst / (burst + idle)`, which restores the
+    /// configured long-run rate. Initial states are drawn with the
+    /// chain's stationary probability so the process starts in
+    /// equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_cycles` or `idle_cycles` is not positive and
+    /// finite (spec layers reject these earlier with typed errors).
+    pub fn new(
+        num_nodes: usize,
+        mean_interarrival: Option<f64>,
+        lengths: LengthDistribution,
+        burst_cycles: f64,
+        idle_cycles: f64,
+        seed: u64,
+    ) -> Self {
+        let model = TrafficModel::Mmpp {
+            burst_cycles,
+            idle_cycles,
+        };
+        if let Err(e) = model.check() {
+            panic!("{e}");
+        }
+        let duty = model.duty();
+        let on_mean = mean_interarrival.map(|m| m * duty);
+        let lanes = (0..num_nodes)
+            .map(|node| {
+                // Prefix-nested per-node seed: tag, then run seed, then
+                // node index, each stirred in before use.
+                let mut s = MMPP_SEED_TAG;
+                s ^= seed;
+                split_mix_64(&mut s);
+                s ^= node as u64;
+                let mut rng = StdRng::seed_from_u64(split_mix_64(&mut s));
+                let on = rng.random_bool(duty);
+                let sojourn = if on { burst_cycles } else { idle_cycles };
+                let next_toggle = exponential(&mut rng, sojourn);
+                let next_arrival = match (on, on_mean) {
+                    (true, Some(m)) => exponential(&mut rng, m),
+                    _ => f64::INFINITY,
+                };
+                MmppLane {
+                    rng,
+                    on,
+                    next_toggle,
+                    next_arrival,
+                }
+            })
+            .collect();
+        MmppSource {
+            on_mean_interarrival: on_mean,
+            burst_cycles,
+            idle_cycles,
+            lengths,
+            lanes,
+        }
+    }
+
+    /// Calls `emit(length)` once per message node `node` generates up
+    /// to and including `cycle`. All draws use the node's private
+    /// stream; the shared engine RNG is never touched.
+    pub fn poll(&mut self, node: usize, cycle: u64, mut emit: impl FnMut(u32)) {
+        let Some(on_mean) = self.on_mean_interarrival else {
+            return;
+        };
+        let lane = &mut self.lanes[node];
+        let now = cycle as f64;
+        loop {
+            // Arrivals win ties with toggles: an arrival drawn at or
+            // before the sojourn boundary belongs to the current ON
+            // period. The rule is arbitrary but shared (engine and
+            // oracle run this very code), so it cannot diverge.
+            if lane.next_arrival <= now && lane.next_arrival <= lane.next_toggle {
+                emit(sample_length(self.lengths, &mut lane.rng));
+                lane.next_arrival += exponential(&mut lane.rng, on_mean);
+            } else if lane.next_toggle <= now {
+                let at = lane.next_toggle;
+                lane.on = !lane.on;
+                if lane.on {
+                    lane.next_toggle = at + exponential(&mut lane.rng, self.burst_cycles);
+                    lane.next_arrival = at + exponential(&mut lane.rng, on_mean);
+                } else {
+                    lane.next_toggle = at + exponential(&mut lane.rng, self.idle_cycles);
+                    // Any arrival drawn past the ON period is discarded:
+                    // exponential memorylessness makes redrawing at the
+                    // next ON entry distribution-identical.
+                    lane.next_arrival = f64::INFINITY;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+/// Draws a message length from `lengths` using `rng`.
+fn sample_length(lengths: LengthDistribution, rng: &mut dyn RngCore) -> u32 {
+    match lengths {
+        LengthDistribution::Fixed(l) => l,
+        LengthDistribution::Bimodal { short, long } => {
+            if rng.random_bool(0.5) {
+                short
+            } else {
+                long
+            }
+        }
+    }
+}
+
+/// The arrival process of one run, dispatching on
+/// [`SimConfig::traffic`](crate::SimConfig).
+///
+/// Both the optimized engine and the conformance oracle build this via
+/// [`TrafficSource::for_config`] with identical arguments, which makes
+/// their arrival/length RNG streams bit-identical by construction.
+#[derive(Debug, Clone)]
+pub enum TrafficSource {
+    /// Stationary Poisson arrivals on the shared engine stream (the
+    /// paper's model; draw-for-draw identical to the pre-axis engine).
+    Poisson(PoissonSource),
+    /// Bursty on-off arrivals on per-node private streams.
+    Mmpp(MmppSource),
+}
+
+impl TrafficSource {
+    /// Builds the source `config` asks for. For [`TrafficModel::Poisson`]
+    /// this draws each node's initial phase from `rng` — exactly the
+    /// draws [`PoissonSource::new`] always made, so legacy seeds
+    /// reproduce. For [`TrafficModel::Mmpp`] the shared `rng` is left
+    /// untouched; all state derives from per-node streams.
+    pub fn for_config(num_nodes: usize, config: &SimConfig, rng: &mut dyn RngCore) -> Self {
+        match config.traffic {
+            TrafficModel::Poisson => TrafficSource::Poisson(PoissonSource::new(
+                num_nodes,
+                config.mean_interarrival_cycles(),
+                config.lengths,
+                rng,
+            )),
+            TrafficModel::Mmpp {
+                burst_cycles,
+                idle_cycles,
+            } => TrafficSource::Mmpp(MmppSource::new(
+                num_nodes,
+                config.mean_interarrival_cycles(),
+                config.lengths,
+                burst_cycles,
+                idle_cycles,
+                config.seed,
+            )),
+        }
+    }
+
+    /// Calls `emit(length)` once per message node `node` generates up
+    /// to and including `cycle`. `rng` is the shared engine stream;
+    /// only the Poisson model consumes it.
+    pub fn poll(&mut self, node: usize, cycle: u64, rng: &mut dyn RngCore, emit: impl FnMut(u32)) {
+        match self {
+            TrafficSource::Poisson(src) => src.poll(node, cycle, rng, emit),
+            TrafficSource::Mmpp(src) => src.poll(node, cycle, emit),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +351,114 @@ mod tests {
         let mut count = 0;
         src.poll(0, 100, &mut rng, |_| count += 1);
         assert!(count > 50, "got {count}");
+    }
+
+    #[test]
+    fn mmpp_long_run_rate_matches_poisson_mean() {
+        // Mean inter-arrival 50 cycles over 200k cycles: expect ~4000
+        // messages. MMPP clumps them, but the long-run mean must match.
+        let mut src = MmppSource::new(
+            1,
+            Some(50.0),
+            LengthDistribution::Fixed(10),
+            400.0,
+            1200.0,
+            7,
+        );
+        let mut count = 0u32;
+        for cycle in 0..200_000u64 {
+            src.poll(0, cycle, |_| count += 1);
+        }
+        assert!((3400..4600).contains(&count), "got {count}");
+    }
+
+    #[test]
+    fn mmpp_zero_rate_generates_nothing() {
+        let mut src = MmppSource::new(4, None, LengthDistribution::paper(), 100.0, 100.0, 1);
+        for cycle in 0..1000 {
+            src.poll(2, cycle, |_| panic!("no messages at zero load"));
+        }
+    }
+
+    #[test]
+    fn mmpp_nodes_are_independent_streams() {
+        // Polling other nodes (or not) must not perturb node 0's
+        // arrivals — that independence is what makes the draws
+        // shard-layout-invariant.
+        let lengths = LengthDistribution::Bimodal { short: 3, long: 9 };
+        let collect_node0 = |poll_others: bool| {
+            let mut src = MmppSource::new(8, Some(20.0), lengths, 150.0, 450.0, 99);
+            let mut seen = Vec::new();
+            for cycle in 0..50_000u64 {
+                if poll_others {
+                    for node in 1..8 {
+                        src.poll(node, cycle, |_| {});
+                    }
+                }
+                src.poll(0, cycle, |len| seen.push((cycle, len)));
+            }
+            seen
+        };
+        let alone = collect_node0(false);
+        let crowded = collect_node0(true);
+        assert!(!alone.is_empty());
+        assert_eq!(alone, crowded);
+    }
+
+    #[test]
+    fn mmpp_arrivals_are_burstier_than_poisson() {
+        // Dispersion test: with duty 0.2 the per-window message counts
+        // must be overdispersed relative to Poisson (variance well
+        // above mean).
+        let mut src = MmppSource::new(
+            1,
+            Some(10.0),
+            LengthDistribution::Fixed(1),
+            500.0,
+            2000.0,
+            5,
+        );
+        const WINDOW: u64 = 200;
+        let mut counts = Vec::new();
+        let mut current = 0u64;
+        for cycle in 0..400_000u64 {
+            src.poll(0, cycle, |_| current += 1);
+            if (cycle + 1) % WINDOW == 0 {
+                counts.push(current as f64);
+                current = 0;
+            }
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+        assert!(
+            var > 2.0 * mean,
+            "expected overdispersion, got mean {mean:.2} var {var:.2}"
+        );
+    }
+
+    #[test]
+    fn traffic_source_dispatches_on_the_config_model() {
+        use crate::config::{SimConfig, TrafficModel};
+        let base = SimConfig::paper().injection_rate(0.1).seed(11);
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let poisson = TrafficSource::for_config(16, &base, &mut rng);
+        assert!(matches!(poisson, TrafficSource::Poisson(_)));
+        let mmpp_cfg = base.clone().traffic(TrafficModel::Mmpp {
+            burst_cycles: 100.0,
+            idle_cycles: 300.0,
+        });
+        let mut rng2 = StdRng::seed_from_u64(mmpp_cfg.seed);
+        let before = rng2.clone().next_u64();
+        let mmpp = TrafficSource::for_config(16, &mmpp_cfg, &mut rng2);
+        assert!(matches!(mmpp, TrafficSource::Mmpp(_)));
+        // MMPP construction must not consume the shared stream.
+        assert_eq!(rng2.next_u64(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_cycles")]
+    fn mmpp_rejects_nonpositive_sojourns() {
+        MmppSource::new(1, Some(10.0), LengthDistribution::Fixed(1), 0.0, 10.0, 1);
     }
 }

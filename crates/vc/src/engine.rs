@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use turnroute_rng::StdRng;
 use turnroute_sim::patterns::TrafficPattern;
 use turnroute_sim::{
-    DeadlockReport, MetricsCollector, PoissonSource, RunOutcome, SimConfig, SimReport,
+    DeadlockReport, MetricsCollector, RunOutcome, SimConfig, SimReport, TrafficSource,
 };
 use turnroute_topology::{NodeId, Topology};
 
@@ -103,7 +103,7 @@ pub struct VcSimulation<'a> {
     pattern: &'a dyn TrafficPattern,
     config: SimConfig,
     rng: StdRng,
-    source: PoissonSource,
+    source: TrafficSource,
     cycle: u64,
     packets: Vec<VcPacket>,
     queues: Vec<VecDeque<VcPacketId>>,
@@ -129,12 +129,7 @@ impl<'a> VcSimulation<'a> {
     ) -> Self {
         let table = VcTable::new(topo, &algo.provisioning(topo));
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let source = PoissonSource::new(
-            topo.num_nodes(),
-            config.mean_interarrival_cycles(),
-            config.lengths,
-            &mut rng,
-        );
+        let source = TrafficSource::for_config(topo.num_nodes(), &config, &mut rng);
         VcSimulation {
             topo,
             algo,

@@ -33,6 +33,20 @@ cargo test -q -p turnroute-serve --test server_integration
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --no-run --quiet
 
+echo "==> traffic smoke (MMPP + trace pattern, bytes identical at 1 vs 8 threads)"
+# Bursty arrivals and trace-driven destinations draw all injection
+# randomness from per-node nested streams, so the sweep report must be
+# byte-identical no matter how the executor schedules the cells.
+cargo run --release -q -- sweep --topology mesh:4x4 --algorithms xy,west-first \
+  --pattern trace:tests/fixtures/hotpairs.trace --loads 0.05,0.1 \
+  --traffic mmpp:64,192 --cycles 800 --warmup 100 --seed 5 \
+  --format json --threads 1 > target/traffic-a.json
+cargo run --release -q -- sweep --topology mesh:4x4 --algorithms xy,west-first \
+  --pattern trace:tests/fixtures/hotpairs.trace --loads 0.05,0.1 \
+  --traffic mmpp:64,192 --cycles 800 --warmup 100 --seed 5 \
+  --format json --threads 8 > target/traffic-b.json
+cmp target/traffic-a.json target/traffic-b.json
+
 echo "==> conformance soak (256 cases, fixed seed)"
 cargo run --release -q -p turnroute-check --bin conformance -- \
   --cases 256 --seed 3405705229 --json target/conformance.json

@@ -12,8 +12,9 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use turnroute::cli::{
-    parse_algorithm, parse_faults, parse_node, parse_pattern, parse_topology, ALGORITHM_NAMES,
-    FAULT_SPECS, PATTERN_NAMES, TOPOLOGY_SPECS, VC_ALGORITHM_NAMES,
+    check_pattern_fits, parse_algorithm, parse_faults, parse_node, parse_pattern, parse_topology,
+    parse_traffic, ALGORITHM_NAMES, FAULT_SPECS, PATTERN_NAMES, TOPOLOGY_SPECS, TRAFFIC_SPECS,
+    VC_ALGORITHM_NAMES,
 };
 use turnroute::core::{count_paths, walk, ChannelDependencyGraph, RoutingAlgorithm, TurnSet};
 use turnroute::experiment::{Engine, ExperimentSpec};
@@ -38,7 +39,8 @@ commands:
             walk one route and count the allowed shortest paths
   simulate  --topology T --algorithm A --pattern P --load F[,F...]
             [--threads N] [--shards auto|N] [--cycles N] [--warmup N]
-            [--seed N] [--route-table auto|on|off] [--faults SPEC]
+            [--seed N] [--traffic poisson|mmpp:B,I]
+            [--route-table auto|on|off] [--faults SPEC]
             [--trace FILE [--trace-window START:END]]
             run the Section 6 wormhole simulation; one load reports in
             detail, several loads sweep in parallel and print CSV.
@@ -48,6 +50,9 @@ commands:
             --shards partitions one run's arbitration across worker
             threads at a cycle barrier (auto: one shard per core;
             reports are bit-identical at every shard count).
+            --traffic selects the arrival process: poisson (default)
+            or mmpp:B,I, bursty on-off arrivals with mean burst / idle
+            sojourns of B / I cycles at the same mean offered load
             --faults injects a deterministic fault plan (see `list`)
             --trace writes a flit-level Chrome trace-event JSON file
             (open in Perfetto), optionally restricted to a cycle window
@@ -55,7 +60,7 @@ commands:
             --loads F[,F...] [--threads N] [--shards auto|N]
             [--engine wormhole|vc] [--format csv|json] [--cache FILE]
             [--telemetry [FILE]] [--cycles N] [--warmup N] [--seed N]
-            [--route-table auto|on|off]
+            [--traffic poisson|mmpp:B,I] [--route-table auto|on|off]
             [--faults SPEC | --fault-axis N[,N...] [--fault-seed S]]
             fan the (algorithm x load) grid across worker threads;
             deterministic for any thread count. --telemetry reports
@@ -159,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("algorithms:\n{ALGORITHM_NAMES}\n");
             println!("algorithms (--engine vc only):\n{VC_ALGORITHM_NAMES}\n");
             println!("patterns:\n{PATTERN_NAMES}\n");
+            println!("traffic models (--traffic):\n{TRAFFIC_SPECS}\n");
             println!("fault specs (--faults, +-separated):\n{FAULT_SPECS}");
             Ok(())
         }
@@ -281,6 +287,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let topo = parse_topology(required(&opts, "topology")?).map_err(|e| e.to_string())?;
             let algo = parse_algorithm(&name, topo.as_ref()).map_err(|e| e.to_string())?;
             let pattern = parse_pattern(&pattern_name).map_err(|e| e.to_string())?;
+            check_pattern_fits(pattern.as_ref(), topo.as_ref()).map_err(|e| e.to_string())?;
             let load = loads[0];
             let mut config = config.injection_rate(load);
             if let Some(fspec) = opts.get("faults") {
@@ -669,8 +676,8 @@ fn shards_option(opts: &HashMap<String, String>) -> Result<usize, String> {
     }
 }
 
-/// Builds the base [`SimConfig`] from `--cycles`, `--warmup`, `--seed`
-/// and `--shards` (shared by `simulate` and `sweep`).
+/// Builds the base [`SimConfig`] from `--cycles`, `--warmup`, `--seed`,
+/// `--traffic` and `--shards` (shared by `simulate` and `sweep`).
 fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
     let cycles: u64 = opts
         .get("cycles")
@@ -697,11 +704,16 @@ fn sim_config(opts: &HashMap<String, String>) -> Result<SimConfig, String> {
             ))
         }
     };
+    let traffic = match opts.get("traffic") {
+        None => turnroute::sim::TrafficModel::Poisson,
+        Some(spec) => parse_traffic(spec).map_err(|e| e.to_string())?,
+    };
     Ok(SimConfig::paper()
         .warmup_cycles(warmup)
         .measure_cycles(cycles)
         .seed(seed)
         .route_table(route_table)
+        .traffic(traffic)
         .shards(shards_option(opts)?))
 }
 

@@ -10,8 +10,9 @@ use turnroute::core::{
     count_paths, walk, Abonf, Abopl, ChannelDependencyGraph, DimensionOrder, NegativeFirst,
     NorthLast, PCube, RoutingAlgorithm, TurnSet, TwoPhase, WestFirst,
 };
+use turnroute::experiment::ExperimentSpec;
 use turnroute::sim::patterns::Uniform;
-use turnroute::sim::{SimConfig, Simulation};
+use turnroute::sim::{LengthDistribution, MmppSource, SimConfig, Simulation, TrafficModel};
 use turnroute::topology::{DirSet, Direction, Hypercube, Mesh, NodeId, Topology};
 use turnroute_rng::{Rng, StdRng};
 
@@ -201,6 +202,95 @@ fn simulator_conserves_flits() {
                 p.length
             );
         }
+    }
+}
+
+/// The MMPP arrival process is normalized so its long-run empirical
+/// injection rate converges to the configured offered load, for random
+/// loads and burst/idle sojourn scales.
+#[test]
+fn mmpp_empirical_rate_converges_to_offered_load() {
+    let mut rng = StdRng::seed_from_u64(0xF009);
+    for case in 0..8 {
+        let load = rng.random_range(0.02f64..0.2);
+        let burst = rng.random_range(20.0f64..400.0);
+        let idle = rng.random_range(20.0f64..800.0);
+        let nodes = 9;
+        let horizon = 100_000u64;
+        // Unit-length messages make flits == messages, so the offered
+        // load is the arrival rate directly.
+        let mut source = MmppSource::new(
+            nodes,
+            Some(1.0 / load),
+            LengthDistribution::Fixed(1),
+            burst,
+            idle,
+            0xF009 + case,
+        );
+        let mut arrivals = 0u64;
+        for cycle in 0..horizon {
+            for node in 0..nodes {
+                source.poll(node, cycle, |_| arrivals += 1);
+            }
+        }
+        let expected = load * horizon as f64 * nodes as f64;
+        let ratio = arrivals as f64 / expected;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "load {load:.3} burst {burst:.0} idle {idle:.0}: \
+             {arrivals} arrivals vs {expected:.0} expected (ratio {ratio:.3})"
+        );
+    }
+}
+
+/// Reports under the new traffic axes — bursty MMPP arrivals and a
+/// trace-driven destination file — are byte-identical at any executor
+/// thread count and any engine shard count: all injection randomness
+/// comes from per-node prefix-nested streams, never from whichever
+/// worker happens to run the cell.
+#[test]
+fn mmpp_and_trace_reports_are_thread_and_shard_invariant() {
+    let dir = std::env::temp_dir().join("turnroute-properties");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("invariance.trace");
+    std::fs::write(&trace, "# fixture\n0 5 2\n1 4\n2 0 3\n3 1\n5 2 2\n12 7 5\n").unwrap();
+    for pattern in [
+        &"uniform".to_string(),
+        &format!("trace:{}", trace.display()),
+    ] {
+        let spec_for = |shards: usize| {
+            ExperimentSpec::builder("mesh:4x4", pattern)
+                .algorithm("west-first")
+                .algorithm("xy")
+                .loads(&[0.05, 0.1])
+                .config(
+                    SimConfig::paper()
+                        .warmup_cycles(200)
+                        .measure_cycles(1_500)
+                        .seed(7)
+                        .traffic(TrafficModel::Mmpp {
+                            burst_cycles: 80.0,
+                            idle_cycles: 240.0,
+                        })
+                        .shards(shards),
+                )
+                .build()
+                .unwrap()
+        };
+        let csv = |shards: usize, threads: usize| {
+            spec_for(shards)
+                .run(threads)
+                .unwrap()
+                .iter()
+                .map(|s| s.to_csv())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let base = csv(1, 1);
+        assert!(base.contains("0.05"), "sanity: {base}");
+        assert_eq!(base, csv(1, 8), "thread invariance for {pattern}");
+        assert_eq!(base, csv(4, 1), "shard invariance for {pattern}");
+        assert_eq!(base, csv(4, 8), "combined invariance for {pattern}");
     }
 }
 
